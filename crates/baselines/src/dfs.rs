@@ -1,0 +1,314 @@
+//! DFS-based hop-constrained s-t simple path enumeration.
+//!
+//! Three variants of increasing sophistication:
+//!
+//! * [`naive_dfs`] — exhaustive DFS with only the hop budget as a cut
+//!   (`O(|V|^k)` in the worst case, the strawman of §2.3);
+//! * [`pruned_dfs`] — DFS with the standard distance cut
+//!   `depth + Δ(v, t) ≤ k`, the backbone shared by TDFS-style algorithms;
+//! * [`bc_dfs`] — barrier-based DFS in the spirit of Peng et al. (BC-DFS):
+//!   when the subtree below a vertex fails *without ever being blocked by a
+//!   stack vertex*, the vertex is assigned a barrier budget under which it
+//!   will never be explored again.
+
+use spg_graph::hash::FxHashMap;
+use spg_graph::traversal::{bfs_distances_to, BfsOptions};
+use spg_graph::{DiGraph, VertexId};
+
+use crate::sink::PathSink;
+
+/// Exhaustive DFS enumeration of all s-t simple paths of length ≤ `k`.
+pub fn naive_dfs(g: &DiGraph, s: VertexId, t: VertexId, k: u32, sink: &mut dyn PathSink) {
+    if s == t {
+        return;
+    }
+    let mut stack = vec![s];
+    naive_rec(g, t, k, &mut stack, sink);
+}
+
+fn naive_rec(
+    g: &DiGraph,
+    t: VertexId,
+    budget: u32,
+    stack: &mut Vec<VertexId>,
+    sink: &mut dyn PathSink,
+) -> bool {
+    let cur = *stack.last().unwrap();
+    if cur == t {
+        return sink.accept(stack);
+    }
+    if budget == 0 {
+        return true;
+    }
+    for &nxt in g.out_neighbors(cur) {
+        if stack.contains(&nxt) {
+            continue;
+        }
+        stack.push(nxt);
+        let keep_going = naive_rec(g, t, budget - 1, stack, sink);
+        stack.pop();
+        if !keep_going {
+            return false;
+        }
+    }
+    true
+}
+
+/// DFS enumeration with the distance cut `depth + Δ(v, t) ≤ k`.
+///
+/// The backward distances are computed once per query by a hop-bounded BFS
+/// from `t` on the reversed adjacency.
+pub fn pruned_dfs(g: &DiGraph, s: VertexId, t: VertexId, k: u32, sink: &mut dyn PathSink) {
+    if s == t {
+        return;
+    }
+    let dist_t = bfs_distances_to(g, t, BfsOptions::bounded(k));
+    if dist_t.get(&s).copied().unwrap_or(u32::MAX) > k {
+        return;
+    }
+    let mut stack = vec![s];
+    pruned_rec(g, t, k, &dist_t, &mut stack, sink);
+}
+
+fn pruned_rec(
+    g: &DiGraph,
+    t: VertexId,
+    budget: u32,
+    dist_t: &FxHashMap<VertexId, u32>,
+    stack: &mut Vec<VertexId>,
+    sink: &mut dyn PathSink,
+) -> bool {
+    let cur = *stack.last().unwrap();
+    if cur == t {
+        return sink.accept(stack);
+    }
+    if budget == 0 {
+        return true;
+    }
+    for &nxt in g.out_neighbors(cur) {
+        let d = dist_t.get(&nxt).copied().unwrap_or(u32::MAX);
+        if d == u32::MAX || d > budget - 1 {
+            continue;
+        }
+        if stack.contains(&nxt) {
+            continue;
+        }
+        stack.push(nxt);
+        let keep_going = pruned_rec(g, t, budget - 1, dist_t, stack, sink);
+        stack.pop();
+        if !keep_going {
+            return false;
+        }
+    }
+    true
+}
+
+/// Barrier-based DFS (BC-DFS).
+///
+/// In addition to the distance cut, every vertex carries a *barrier*: the
+/// largest remaining budget under which the vertex has been proven to be a
+/// dead end *independently of the current stack*. A subtree failure only
+/// raises the barrier when no stack vertex was responsible for blocking the
+/// search (otherwise the failure might not repeat once the stack shrinks),
+/// which keeps the pruning sound.
+pub fn bc_dfs(g: &DiGraph, s: VertexId, t: VertexId, k: u32, sink: &mut dyn PathSink) {
+    if s == t {
+        return;
+    }
+    let dist_t = bfs_distances_to(g, t, BfsOptions::bounded(k));
+    if dist_t.get(&s).copied().unwrap_or(u32::MAX) > k {
+        return;
+    }
+    let mut state = BcState {
+        dist_t,
+        barrier: FxHashMap::default(),
+        stack: vec![s],
+        stopped: false,
+    };
+    bc_rec(g, t, k, &mut state, sink);
+}
+
+struct BcState {
+    dist_t: FxHashMap<VertexId, u32>,
+    /// `barrier[v] = b` means: exploring `v` with remaining budget ≤ `b`
+    /// cannot produce any output path, regardless of the stack.
+    barrier: FxHashMap<VertexId, u32>,
+    stack: Vec<VertexId>,
+    stopped: bool,
+}
+
+/// Result of exploring one subtree.
+struct BcOutcome {
+    /// At least one path was emitted below this vertex.
+    found: bool,
+    /// The subtree was (possibly) limited by a vertex currently on the stack,
+    /// so its failure cannot be cached as a barrier.
+    blocked_by_stack: bool,
+}
+
+fn bc_rec(g: &DiGraph, t: VertexId, budget: u32, st: &mut BcState, sink: &mut dyn PathSink) -> BcOutcome {
+    let cur = *st.stack.last().unwrap();
+    if cur == t {
+        if !sink.accept(&st.stack) {
+            st.stopped = true;
+        }
+        return BcOutcome {
+            found: true,
+            blocked_by_stack: false,
+        };
+    }
+    if budget == 0 {
+        return BcOutcome {
+            found: false,
+            blocked_by_stack: false,
+        };
+    }
+    let mut found = false;
+    let mut blocked = false;
+    for &nxt in g.out_neighbors(cur) {
+        if st.stopped {
+            break;
+        }
+        let d = st.dist_t.get(&nxt).copied().unwrap_or(u32::MAX);
+        if d == u32::MAX || d > budget - 1 {
+            continue;
+        }
+        if st.stack.contains(&nxt) {
+            // A stack vertex blocked this branch: the failure of `cur` (if it
+            // fails) depends on the current stack and must not become a
+            // barrier.
+            blocked = true;
+            continue;
+        }
+        if let Some(&b) = st.barrier.get(&nxt) {
+            if budget - 1 <= b {
+                continue;
+            }
+        }
+        st.stack.push(nxt);
+        let outcome = bc_rec(g, t, budget - 1, st, sink);
+        st.stack.pop();
+        found |= outcome.found;
+        blocked |= outcome.blocked_by_stack;
+        if !outcome.found && !outcome.blocked_by_stack {
+            // Stack-independent failure: remember it.
+            let entry = st.barrier.entry(nxt).or_insert(0);
+            *entry = (*entry).max(budget - 1);
+        }
+    }
+    BcOutcome {
+        found,
+        blocked_by_stack: blocked,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::{CollectPaths, CountPaths};
+    use spg_graph::generators::{gnm_random, layered_dag};
+
+    fn figure1() -> DiGraph {
+        DiGraph::from_edges(
+            8,
+            [
+                (0, 1),
+                (0, 2),
+                (1, 2),
+                (1, 4),
+                (1, 6),
+                (2, 3),
+                (2, 5),
+                (4, 5),
+                (5, 3),
+                (5, 1),
+                (5, 7),
+                (6, 7),
+                (7, 4),
+            ],
+        )
+    }
+
+    #[test]
+    fn figure1b_has_exactly_five_paths_for_k4() {
+        // s = 0, t = 3, k = 4 must yield the five paths of Figure 1(b).
+        for f in [naive_dfs, pruned_dfs, bc_dfs] {
+            let mut sink = CollectPaths::new();
+            f(&figure1(), 0, 3, 4, &mut sink);
+            let paths = sink.into_sorted();
+            assert_eq!(
+                paths,
+                vec![
+                    vec![0, 1, 2, 3],
+                    vec![0, 1, 2, 5, 3],
+                    vec![0, 1, 4, 5, 3],
+                    vec![0, 2, 3],
+                    vec![0, 2, 5, 3],
+                ]
+            );
+        }
+    }
+
+    #[test]
+    fn all_dfs_variants_agree_on_random_graphs() {
+        for seed in 0..15u64 {
+            let n = 10;
+            let g = gnm_random(n, 30, seed);
+            for k in 2..7u32 {
+                let mut a = CollectPaths::new();
+                naive_dfs(&g, 0, (n - 1) as u32, k, &mut a);
+                let mut b = CollectPaths::new();
+                pruned_dfs(&g, 0, (n - 1) as u32, k, &mut b);
+                let mut c = CollectPaths::new();
+                bc_dfs(&g, 0, (n - 1) as u32, k, &mut c);
+                let a = a.into_sorted();
+                assert_eq!(a, b.into_sorted(), "pruned seed={seed} k={k}");
+                assert_eq!(a, c.into_sorted(), "bc seed={seed} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn layered_dag_path_count_is_width_power() {
+        // 4 layers of width 3: 9 paths from vertex 0 to the single sink vertex 9.
+        let g = layered_dag(4, 3);
+        let mut sink = CountPaths::new();
+        pruned_dfs(&g, 0, 9, 3, &mut sink);
+        assert_eq!(sink.count(), 9);
+        // With k = 2 no path fits.
+        let mut sink = CountPaths::new();
+        pruned_dfs(&g, 0, 9, 2, &mut sink);
+        assert_eq!(sink.count(), 0);
+    }
+
+    #[test]
+    fn early_stop_via_sink_limit() {
+        let g = layered_dag(4, 3);
+        let mut sink = CountPaths::with_limit(5);
+        naive_dfs(&g, 0, 9, 3, &mut sink);
+        assert_eq!(sink.count(), 5);
+        let mut sink = CountPaths::with_limit(5);
+        bc_dfs(&g, 0, 9, 3, &mut sink);
+        assert_eq!(sink.count(), 5);
+    }
+
+    #[test]
+    fn same_source_and_target_yields_nothing() {
+        let g = figure1();
+        let mut sink = CountPaths::new();
+        naive_dfs(&g, 2, 2, 4, &mut sink);
+        pruned_dfs(&g, 2, 2, 4, &mut sink);
+        bc_dfs(&g, 2, 2, 4, &mut sink);
+        assert_eq!(sink.count(), 0);
+    }
+
+    #[test]
+    fn unreachable_target_yields_nothing() {
+        let g = DiGraph::from_edges(4, [(0, 1), (2, 3)]);
+        for f in [naive_dfs, pruned_dfs, bc_dfs] {
+            let mut sink = CountPaths::new();
+            f(&g, 0, 3, 8, &mut sink);
+            assert_eq!(sink.count(), 0);
+        }
+    }
+}

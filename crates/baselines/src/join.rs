@@ -1,0 +1,293 @@
+//! JOIN-style hop-constrained s-t simple path enumeration.
+//!
+//! Following the structure of the JOIN algorithm of Peng et al. (VLDB'19 /
+//! VLDBJ'21), the hop budget `k` is split into a forward half
+//! `k_f = ⌈k/2⌉` and a backward half `k_b = k − k_f`. Partial simple paths of
+//! length exactly `k_f` from `s` (that have not yet reached `t`) are bucketed
+//! by their endpoint; partial simple paths of length ≤ `k_b` ending at `t`
+//! are bucketed by their start vertex. Joining the two buckets on the shared
+//! middle vertex — keeping only vertex-disjoint pairs within the hop budget —
+//! produces every s-t simple path of length > `k_f` exactly once; paths of
+//! length ≤ `k_f` are emitted directly during the forward enumeration.
+//!
+//! Storing the partial paths is what makes JOIN's space footprint large
+//! (Figure 9 of the paper); [`join_memory_estimate`] exposes that footprint
+//! to the benchmark harness.
+
+use spg_graph::hash::FxHashMap;
+use spg_graph::traversal::{bfs_distances_from, bfs_distances_to, BfsOptions};
+use spg_graph::{DiGraph, VertexId};
+
+use crate::sink::PathSink;
+
+/// Enumerates all s-t simple paths of length ≤ `k` using the join strategy.
+pub fn join_enumerate(g: &DiGraph, s: VertexId, t: VertexId, k: u32, sink: &mut dyn PathSink) {
+    join_enumerate_with_stats(g, s, t, k, sink);
+}
+
+/// Statistics of one join-based enumeration (partial path counts drive the
+/// space accounting of Figure 9).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JoinStats {
+    /// Forward partial simple paths materialised (length exactly `k_f`).
+    pub forward_partials: usize,
+    /// Backward partial simple paths materialised (length ≤ `k_b`).
+    pub backward_partials: usize,
+    /// Join pairs examined.
+    pub pairs_examined: usize,
+    /// Estimated bytes used to store the partial paths.
+    pub partial_bytes: usize,
+}
+
+/// Same as [`join_enumerate`] but returns the [`JoinStats`].
+pub fn join_enumerate_with_stats(
+    g: &DiGraph,
+    s: VertexId,
+    t: VertexId,
+    k: u32,
+    sink: &mut dyn PathSink,
+) -> JoinStats {
+    let mut stats = JoinStats::default();
+    if s == t || k == 0 {
+        return stats;
+    }
+    let dist_t = bfs_distances_to(g, t, BfsOptions::bounded(k));
+    if dist_t.get(&s).copied().unwrap_or(u32::MAX) > k {
+        return stats;
+    }
+    let dist_s = bfs_distances_from(g, s, BfsOptions::bounded(k));
+    let kf = k.div_ceil(2);
+    let kb = k - kf;
+
+    // Forward phase: emit complete paths of length ≤ k_f, collect partials of
+    // length exactly k_f bucketed by endpoint.
+    let mut forward_partials: FxHashMap<VertexId, Vec<Vec<VertexId>>> = FxHashMap::default();
+    {
+        let mut stack = vec![s];
+        let mut stopped = false;
+        forward_rec(
+            g,
+            t,
+            kf,
+            k,
+            &dist_t,
+            &mut stack,
+            sink,
+            &mut forward_partials,
+            &mut stopped,
+        );
+        if stopped {
+            return stats;
+        }
+    }
+    stats.forward_partials = forward_partials.values().map(Vec::len).sum();
+
+    if kb == 0 || forward_partials.is_empty() {
+        stats.partial_bytes = partial_bytes(&forward_partials, &FxHashMap::default());
+        return stats;
+    }
+
+    // Backward phase: partial simple paths ending at t of length 1..=k_b,
+    // bucketed by their first vertex. Only vertices that the forward phase
+    // can actually reach within k_f hops matter.
+    let mut backward_partials: FxHashMap<VertexId, Vec<Vec<VertexId>>> = FxHashMap::default();
+    {
+        let mut stack = vec![t];
+        backward_rec(g, s, kb, &dist_s, kf, &mut stack, &mut backward_partials);
+    }
+    stats.backward_partials = backward_partials.values().map(Vec::len).sum();
+    stats.partial_bytes = partial_bytes(&forward_partials, &backward_partials);
+
+    // Join phase.
+    let mut middles: Vec<VertexId> = forward_partials.keys().copied().collect();
+    middles.sort_unstable();
+    'outer: for m in middles {
+        let fronts = &forward_partials[&m];
+        let Some(backs) = backward_partials.get(&m) else {
+            continue;
+        };
+        for front in fronts {
+            for back in backs {
+                stats.pairs_examined += 1;
+                if front.len() - 1 + back.len() - 1 > k as usize {
+                    continue;
+                }
+                // Vertex-disjointness (the middle vertex is shared by design;
+                // `back` is stored reversed: [m, ..., t]).
+                if back[1..].iter().any(|v| front.contains(v)) {
+                    continue;
+                }
+                let mut path = front.clone();
+                path.extend_from_slice(&back[1..]);
+                if !sink.accept(&path) {
+                    break 'outer;
+                }
+            }
+        }
+    }
+    stats
+}
+
+#[allow(clippy::too_many_arguments)]
+fn forward_rec(
+    g: &DiGraph,
+    t: VertexId,
+    remaining: u32,
+    k: u32,
+    dist_t: &FxHashMap<VertexId, u32>,
+    stack: &mut Vec<VertexId>,
+    sink: &mut dyn PathSink,
+    partials: &mut FxHashMap<VertexId, Vec<Vec<VertexId>>>,
+    stopped: &mut bool,
+) {
+    let cur = *stack.last().unwrap();
+    if cur == t {
+        if !sink.accept(stack) {
+            *stopped = true;
+        }
+        return;
+    }
+    if remaining == 0 {
+        // Partial of length exactly k_f; only useful if t is still reachable
+        // within the leftover budget.
+        let used = stack.len() as u32 - 1;
+        let leftover = k - used;
+        if dist_t.get(&cur).copied().unwrap_or(u32::MAX) <= leftover {
+            partials.entry(cur).or_default().push(stack.clone());
+        }
+        return;
+    }
+    for &nxt in g.out_neighbors(cur) {
+        if *stopped {
+            return;
+        }
+        let used_after = stack.len() as u32;
+        let leftover_after = k - used_after;
+        if dist_t.get(&nxt).copied().unwrap_or(u32::MAX) > leftover_after {
+            continue;
+        }
+        if stack.contains(&nxt) {
+            continue;
+        }
+        stack.push(nxt);
+        forward_rec(g, t, remaining - 1, k, dist_t, stack, sink, partials, stopped);
+        stack.pop();
+    }
+}
+
+/// Builds backward partial paths stored as `[m, ..., t]` (start vertex first).
+fn backward_rec(
+    g: &DiGraph,
+    s: VertexId,
+    remaining: u32,
+    dist_s: &FxHashMap<VertexId, u32>,
+    kf: u32,
+    stack: &mut Vec<VertexId>,
+    partials: &mut FxHashMap<VertexId, Vec<Vec<VertexId>>>,
+) {
+    let cur = *stack.last().unwrap();
+    if stack.len() > 1 {
+        // `cur` is a candidate middle vertex. The forward phase only produces
+        // partials whose endpoint is at forward distance ≤ k_f from s.
+        if dist_s.get(&cur).copied().unwrap_or(u32::MAX) <= kf && cur != s {
+            let mut path: Vec<VertexId> = stack.clone();
+            path.reverse();
+            partials.entry(cur).or_default().push(path);
+        }
+    }
+    if remaining == 0 {
+        return;
+    }
+    for &prev in g.in_neighbors(cur) {
+        if prev == s || stack.contains(&prev) {
+            continue;
+        }
+        stack.push(prev);
+        backward_rec(g, s, remaining - 1, dist_s, kf, stack, partials);
+        stack.pop();
+    }
+}
+
+fn partial_bytes(
+    forward: &FxHashMap<VertexId, Vec<Vec<VertexId>>>,
+    backward: &FxHashMap<VertexId, Vec<Vec<VertexId>>>,
+) -> usize {
+    let count_bytes = |m: &FxHashMap<VertexId, Vec<Vec<VertexId>>>| -> usize {
+        m.values()
+            .flat_map(|paths| paths.iter())
+            .map(|p| p.len() * std::mem::size_of::<VertexId>() + std::mem::size_of::<Vec<VertexId>>())
+            .sum()
+    };
+    count_bytes(forward) + count_bytes(backward)
+}
+
+/// Estimated bytes JOIN needs for a query: the partial-path storage measured
+/// by actually running the two enumeration phases (Figure 9 / Figure 10(a)).
+pub fn join_memory_estimate(g: &DiGraph, s: VertexId, t: VertexId, k: u32) -> usize {
+    let mut sink = crate::sink::CountPaths::new();
+    let stats = join_enumerate_with_stats(g, s, t, k, &mut sink);
+    stats.partial_bytes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dfs::naive_dfs;
+    use crate::sink::{CollectPaths, CountPaths};
+    use spg_graph::generators::{gnm_random, layered_dag};
+
+    #[test]
+    fn join_matches_naive_dfs_on_random_graphs() {
+        for seed in 0..20u64 {
+            let n = 10;
+            let g = gnm_random(n, 28, 900 + seed);
+            for k in 2..8u32 {
+                let mut expected = CollectPaths::new();
+                naive_dfs(&g, 0, (n - 1) as u32, k, &mut expected);
+                let mut got = CollectPaths::new();
+                join_enumerate(&g, 0, (n - 1) as u32, k, &mut got);
+                assert_eq!(
+                    expected.into_sorted(),
+                    got.into_sorted(),
+                    "seed={seed} k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn join_counts_layered_dag_paths() {
+        let g = layered_dag(5, 3); // 3^3 = 27 paths of length 4 end at one sink vertex
+        let mut sink = CountPaths::new();
+        let stats = join_enumerate_with_stats(&g, 0, 12, 4, &mut sink);
+        assert_eq!(sink.count(), 27);
+        assert!(stats.forward_partials > 0);
+        assert!(stats.partial_bytes > 0);
+    }
+
+    #[test]
+    fn join_handles_infeasible_queries() {
+        let g = DiGraph::from_edges(4, [(0, 1), (2, 3)]);
+        let mut sink = CountPaths::new();
+        let stats = join_enumerate_with_stats(&g, 0, 3, 6, &mut sink);
+        assert_eq!(sink.count(), 0);
+        assert_eq!(stats.forward_partials, 0);
+        assert_eq!(join_memory_estimate(&g, 0, 3, 6), 0);
+    }
+
+    #[test]
+    fn join_respects_sink_early_stop() {
+        let g = layered_dag(5, 3);
+        let mut sink = CountPaths::with_limit(10);
+        join_enumerate(&g, 0, 12, 4, &mut sink);
+        assert!(sink.count() <= 10);
+    }
+
+    #[test]
+    fn memory_estimate_grows_with_k() {
+        let g = gnm_random(60, 400, 7);
+        let small = join_memory_estimate(&g, 0, 59, 3);
+        let large = join_memory_estimate(&g, 0, 59, 6);
+        assert!(large >= small);
+    }
+}

@@ -1,0 +1,39 @@
+//! # spg-baselines — enumeration and subgraph baselines for EVE
+//!
+//! The paper compares EVE against the straightforward way of generating a
+//! hop-constrained s-t simple path graph: enumerate every simple path and
+//! union its edges. This crate implements the enumeration algorithms used as
+//! baselines in the evaluation, plus the KHSQ / KHSQ+ k-hop subgraph
+//! construction that Tables 4–5 and Figure 12(b) use as an alternative search
+//! space:
+//!
+//! * [`dfs`] — naive DFS, distance-cut DFS and barrier-based BC-DFS;
+//! * [`fpt`] — the colour-coding k-path oracle and the Theorem 2.7 reduction;
+//! * [`join`] — JOIN-style middle-split enumeration;
+//! * [`pathenum`] — PathEnum-style index + cost-based plan selection;
+//! * [`khsq`] — `G^k_st` construction (KHSQ and KHSQ+);
+//! * [`spg_baseline`] — `SPG_k` generation by path-union over any of the
+//!   enumerators, optionally restricted to `G^k_st`;
+//! * [`sink`] — path sinks (collect / count / edge-union).
+//!
+//! All algorithms work directly on [`spg_graph::DiGraph`] and are
+//! cross-validated against each other in unit, integration and property
+//! tests.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dfs;
+pub mod fpt;
+pub mod join;
+pub mod khsq;
+pub mod pathenum;
+pub mod sink;
+pub mod spg_baseline;
+
+pub use dfs::{bc_dfs, naive_dfs, pruned_dfs};
+pub use fpt::{has_exact_k_path, has_k_path_within, spg_by_color_coding, ColorCodingConfig};
+pub use join::{join_enumerate, join_enumerate_with_stats, join_memory_estimate, JoinStats};
+pub use khsq::{khsq, khsq_plus, KhsqStats};
+pub use pathenum::{pathenum_enumerate, PathEnumIndex, PathEnumStrategy};
+pub use sink::{CollectPaths, CountPaths, EdgeUnion, PathSink};
+pub use spg_baseline::{spg_by_enumeration, spg_by_enumeration_on_gkst, EnumerationAlgorithm};

@@ -1,0 +1,178 @@
+//! Output sinks for path enumeration.
+//!
+//! Every enumerator in this crate reports paths through a [`PathSink`], so
+//! the same algorithm can be used to materialise paths, count them (the path
+//! counts of Figure 2(b)), or union their edges into a simple path graph
+//! (the baseline way of answering an `SPG_k` query, §6.2).
+
+use spg_graph::hash::FxHashSet;
+use spg_graph::{EdgeSubgraph, VertexId};
+
+/// Consumer of enumerated s-t simple paths.
+pub trait PathSink {
+    /// Called once per enumerated path (a vertex sequence from `s` to `t`).
+    /// Returning `false` asks the enumerator to stop early.
+    fn accept(&mut self, path: &[VertexId]) -> bool;
+}
+
+/// Collects every enumerated path.
+#[derive(Debug, Default, Clone)]
+pub struct CollectPaths {
+    paths: Vec<Vec<VertexId>>,
+}
+
+impl CollectPaths {
+    /// Empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The collected paths, in enumeration order.
+    pub fn paths(&self) -> &[Vec<VertexId>] {
+        &self.paths
+    }
+
+    /// The collected paths, sorted lexicographically (useful for comparing
+    /// two enumerators that emit paths in different orders).
+    pub fn into_sorted(mut self) -> Vec<Vec<VertexId>> {
+        self.paths.sort();
+        self.paths
+    }
+
+    /// Number of collected paths.
+    pub fn len(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// `true` if nothing was collected.
+    pub fn is_empty(&self) -> bool {
+        self.paths.is_empty()
+    }
+}
+
+impl PathSink for CollectPaths {
+    fn accept(&mut self, path: &[VertexId]) -> bool {
+        self.paths.push(path.to_vec());
+        true
+    }
+}
+
+/// Counts enumerated paths without storing them.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CountPaths {
+    count: u64,
+    limit: Option<u64>,
+}
+
+impl CountPaths {
+    /// Counter without a limit.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counter that stops the enumeration after `limit` paths — the paper
+    /// caps runs with a time budget; a path cap plays the same role in tests.
+    pub fn with_limit(limit: u64) -> Self {
+        CountPaths {
+            count: 0,
+            limit: Some(limit),
+        }
+    }
+
+    /// Number of paths seen so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+impl PathSink for CountPaths {
+    fn accept(&mut self, _path: &[VertexId]) -> bool {
+        self.count += 1;
+        match self.limit {
+            Some(limit) => self.count < limit,
+            None => true,
+        }
+    }
+}
+
+/// Unions the edges of every enumerated path — the straightforward baseline
+/// for generating `SPG_k(s, t)` (§6.2).
+#[derive(Debug, Default, Clone)]
+pub struct EdgeUnion {
+    edges: FxHashSet<(VertexId, VertexId)>,
+    paths: u64,
+}
+
+impl EdgeUnion {
+    /// Empty union.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct edges collected.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Number of paths contributing to the union.
+    pub fn path_count(&self) -> u64 {
+        self.paths
+    }
+
+    /// The union as an [`EdgeSubgraph`].
+    pub fn into_subgraph(self) -> EdgeSubgraph {
+        EdgeSubgraph::from_edges(self.edges)
+    }
+}
+
+impl PathSink for EdgeUnion {
+    fn accept(&mut self, path: &[VertexId]) -> bool {
+        self.paths += 1;
+        for w in path.windows(2) {
+            self.edges.insert((w[0], w[1]));
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collect_paths_stores_everything() {
+        let mut sink = CollectPaths::new();
+        assert!(sink.accept(&[0, 1, 2]));
+        assert!(sink.accept(&[0, 2]));
+        assert_eq!(sink.len(), 2);
+        assert!(!sink.is_empty());
+        assert_eq!(sink.paths()[1], vec![0, 2]);
+        let sorted = sink.into_sorted();
+        assert_eq!(sorted, vec![vec![0, 1, 2], vec![0, 2]]);
+    }
+
+    #[test]
+    fn count_paths_with_limit_stops() {
+        let mut sink = CountPaths::with_limit(2);
+        assert!(sink.accept(&[0, 1]));
+        assert!(!sink.accept(&[0, 2]));
+        assert_eq!(sink.count(), 2);
+        let mut unlimited = CountPaths::new();
+        for _ in 0..5 {
+            assert!(unlimited.accept(&[0, 1]));
+        }
+        assert_eq!(unlimited.count(), 5);
+    }
+
+    #[test]
+    fn edge_union_dedups_shared_edges() {
+        let mut sink = EdgeUnion::new();
+        sink.accept(&[0, 1, 2]);
+        sink.accept(&[0, 1, 3]);
+        assert_eq!(sink.path_count(), 2);
+        assert_eq!(sink.edge_count(), 3);
+        let sub = sink.into_subgraph();
+        assert!(sub.contains(0, 1));
+        assert!(sub.contains(1, 3));
+    }
+}

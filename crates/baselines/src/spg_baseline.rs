@@ -1,0 +1,143 @@
+//! Baseline generation of `SPG_k(s, t)` by enumerating all simple paths and
+//! unioning their edges (the "straightforward solution" of §1.2 / §6.2).
+//!
+//! Any of this crate's enumerators can serve as the engine; the paper's
+//! evaluation uses JOIN and PathEnum as the strongest baselines, optionally
+//! restricted to the `G^k_st` subgraph computed by KHSQ+ (Table 5).
+
+use spg_graph::{DiGraph, EdgeSubgraph, VertexId};
+
+use crate::dfs::{bc_dfs, naive_dfs, pruned_dfs};
+use crate::join::join_enumerate;
+use crate::khsq::khsq_plus;
+use crate::pathenum::pathenum_enumerate;
+use crate::sink::EdgeUnion;
+
+/// The enumeration algorithms available as `SPG_k` baselines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EnumerationAlgorithm {
+    /// Exhaustive DFS (no pruning).
+    NaiveDfs,
+    /// DFS with the distance cut.
+    PrunedDfs,
+    /// Barrier-based DFS (BC-DFS).
+    BcDfs,
+    /// Middle-split join (JOIN).
+    Join,
+    /// Index + cost-based plan selection (PathEnum).
+    PathEnum,
+}
+
+impl EnumerationAlgorithm {
+    /// All algorithms, strongest baselines last.
+    pub const ALL: [EnumerationAlgorithm; 5] = [
+        EnumerationAlgorithm::NaiveDfs,
+        EnumerationAlgorithm::PrunedDfs,
+        EnumerationAlgorithm::BcDfs,
+        EnumerationAlgorithm::Join,
+        EnumerationAlgorithm::PathEnum,
+    ];
+
+    /// Display name used in benchmark tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            EnumerationAlgorithm::NaiveDfs => "NaiveDFS",
+            EnumerationAlgorithm::PrunedDfs => "PrunedDFS",
+            EnumerationAlgorithm::BcDfs => "BC-DFS",
+            EnumerationAlgorithm::Join => "JOIN",
+            EnumerationAlgorithm::PathEnum => "PathEnum",
+        }
+    }
+
+    /// Runs the algorithm, unioning every enumerated path into an edge set.
+    pub fn enumerate_union(
+        self,
+        g: &DiGraph,
+        s: VertexId,
+        t: VertexId,
+        k: u32,
+    ) -> EdgeUnion {
+        let mut union = EdgeUnion::new();
+        match self {
+            EnumerationAlgorithm::NaiveDfs => naive_dfs(g, s, t, k, &mut union),
+            EnumerationAlgorithm::PrunedDfs => pruned_dfs(g, s, t, k, &mut union),
+            EnumerationAlgorithm::BcDfs => bc_dfs(g, s, t, k, &mut union),
+            EnumerationAlgorithm::Join => join_enumerate(g, s, t, k, &mut union),
+            EnumerationAlgorithm::PathEnum => pathenum_enumerate(g, s, t, k, &mut union),
+        }
+        union
+    }
+}
+
+/// Generates `SPG_k(s, t)` by enumerating all hop-constrained simple paths
+/// with `algorithm` and unioning their edges.
+pub fn spg_by_enumeration(
+    algorithm: EnumerationAlgorithm,
+    g: &DiGraph,
+    s: VertexId,
+    t: VertexId,
+    k: u32,
+) -> EdgeSubgraph {
+    algorithm.enumerate_union(g, s, t, k).into_subgraph()
+}
+
+/// Generates `SPG_k(s, t)` by first restricting the search to the `G^k_st`
+/// subgraph (computed with KHSQ+) and then enumerating on that subgraph — the
+/// enhanced baselines of Table 5.
+pub fn spg_by_enumeration_on_gkst(
+    algorithm: EnumerationAlgorithm,
+    g: &DiGraph,
+    s: VertexId,
+    t: VertexId,
+    k: u32,
+) -> EdgeSubgraph {
+    let (gkst, _) = khsq_plus(g, s, t, k);
+    if gkst.is_empty() {
+        return gkst;
+    }
+    let restricted = gkst.to_graph(g.vertex_count());
+    spg_by_enumeration(algorithm, &restricted, s, t, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spg_graph::generators::gnm_random;
+
+    #[test]
+    fn all_baselines_agree_on_the_simple_path_graph() {
+        for seed in 0..10u64 {
+            let n = 12;
+            let g = gnm_random(n, 40, 700 + seed);
+            for k in 2..7u32 {
+                let reference =
+                    spg_by_enumeration(EnumerationAlgorithm::NaiveDfs, &g, 0, (n - 1) as u32, k);
+                for alg in EnumerationAlgorithm::ALL {
+                    let got = spg_by_enumeration(alg, &g, 0, (n - 1) as u32, k);
+                    assert_eq!(reference, got, "{} seed={seed} k={k}", alg.name());
+                    let on_gkst =
+                        spg_by_enumeration_on_gkst(alg, &g, 0, (n - 1) as u32, k);
+                    assert_eq!(reference, on_gkst, "{} on G^k_st seed={seed} k={k}", alg.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn union_reports_path_and_edge_counts() {
+        let g = spg_graph::generators::layered_dag(4, 3);
+        let union = EnumerationAlgorithm::PrunedDfs.enumerate_union(&g, 0, 9, 3);
+        assert_eq!(union.path_count(), 9);
+        // SPG contains only the edges between consecutive layers on the
+        // 0 -> 9 corridor: every layer-0/1/2 vertex participates.
+        assert!(union.edge_count() > 0);
+        assert!(union.edge_count() <= g.edge_count());
+    }
+
+    #[test]
+    fn algorithm_names_are_distinct() {
+        let names: std::collections::HashSet<&str> =
+            EnumerationAlgorithm::ALL.iter().map(|a| a.name()).collect();
+        assert_eq!(names.len(), EnumerationAlgorithm::ALL.len());
+    }
+}

@@ -1,0 +1,71 @@
+//! Criterion comparison of EVE against the enumeration baselines for
+//! generating `SPG_k(s, t)` (the micro-benchmark companion to Figure 8).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// Short measurement windows keep the full `cargo bench` run laptop-friendly.
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2))
+}
+
+use spg_baselines::{spg_by_enumeration, spg_by_enumeration_on_gkst, EnumerationAlgorithm};
+use spg_core::{Eve, EveConfig, Query};
+use spg_graph::DiGraph;
+use spg_workloads::{dataset_by_code, reachable_queries, DatasetScale};
+
+fn setup(code: &str, k: u32) -> (DiGraph, Vec<Query>) {
+    let g = dataset_by_code(code)
+        .expect("dataset registered")
+        .build(DatasetScale::Quick);
+    let queries = reachable_queries(&g, 5, k, 7);
+    (g, queries)
+}
+
+fn bench_spg_generation(c: &mut Criterion) {
+    for (code, k) in [("bk", 4u32), ("bk", 6), ("tw", 6)] {
+        let (g, queries) = setup(code, k);
+        let eve = Eve::new(&g, EveConfig::default());
+        let mut group = c.benchmark_group(format!("spg_{code}_k{k}"));
+        group.bench_function(BenchmarkId::from_parameter("EVE"), |b| {
+            b.iter(|| {
+                for &q in &queries {
+                    std::hint::black_box(eve.query(q).unwrap());
+                }
+            })
+        });
+        for alg in [EnumerationAlgorithm::Join, EnumerationAlgorithm::PathEnum] {
+            group.bench_function(BenchmarkId::from_parameter(alg.name()), |b| {
+                b.iter(|| {
+                    for &q in &queries {
+                        std::hint::black_box(spg_by_enumeration(alg, &g, q.source, q.target, q.k));
+                    }
+                })
+            });
+            group.bench_function(
+                BenchmarkId::from_parameter(format!("KHSQ+_{}", alg.name())),
+                |b| {
+                    b.iter(|| {
+                        for &q in &queries {
+                            std::hint::black_box(spg_by_enumeration_on_gkst(
+                                alg, &g, q.source, q.target, q.k,
+                            ));
+                        }
+                    })
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_spg_generation
+}
+criterion_main!(benches);

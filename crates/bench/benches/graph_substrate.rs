@@ -1,0 +1,59 @@
+//! Criterion micro-benchmarks for the graph substrate: CSR construction,
+//! BFS strategies and essential-vertex set operations.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// Short measurement windows keep the full `cargo bench` run laptop-friendly.
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2))
+}
+
+use spg_core::EvSet;
+use spg_graph::generators::{gnm_random, preferential_attachment};
+use spg_graph::traversal::{bfs_distances_from, BfsOptions};
+use spg_graph::{DiGraph, GraphBuilder};
+
+fn bench_graph_construction(c: &mut Criterion) {
+    let edges: Vec<(u32, u32)> = gnm_random(5_000, 40_000, 3).edges().collect();
+    c.bench_function("csr_build_40k_edges", |b| {
+        b.iter(|| {
+            let mut builder = GraphBuilder::with_capacity(5_000, edges.len());
+            builder.extend_edges(edges.iter().copied());
+            std::hint::black_box(builder.build())
+        })
+    });
+}
+
+fn bench_bfs(c: &mut Criterion) {
+    let g: DiGraph = preferential_attachment(20_000, 6, 0.3, 5);
+    let mut group = c.benchmark_group("bounded_bfs");
+    for depth in [2u32, 4, 6] {
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &depth| {
+            b.iter(|| std::hint::black_box(bfs_distances_from(&g, 0, BfsOptions::bounded(depth))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_evset_operations(c: &mut Criterion) {
+    let a = EvSet::from_vertices((0..8).map(|i| i * 3));
+    let b = EvSet::from_vertices((0..8).map(|i| i * 2 + 1));
+    c.bench_function("evset_intersect_with_added", |bencher| {
+        bencher.iter(|| std::hint::black_box(a.intersect_with_added(&b, 13)))
+    });
+    c.bench_function("evset_is_disjoint", |bencher| {
+        bencher.iter(|| std::hint::black_box(a.is_disjoint(&b)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_graph_construction, bench_bfs, bench_evset_operations
+}
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Figure 10(a): maximum space cost per query as k grows (wn and bs).
+
+use spg_bench::{build_dataset, default_eve, run_batch, HarnessConfig, SpgAlgorithm, Table};
+use spg_workloads::reachable_queries;
+
+fn main() {
+    let cfg = HarnessConfig::from_args();
+    let mut table = Table::new(
+        "Figure 10(a): maximum space cost (KiB) vs. k",
+        &["dataset", "k", "EVE", "JOIN", "PathEnum"],
+    );
+    for spec in cfg.select_datasets(&["wn", "bs"]) {
+        let g = build_dataset(spec, &cfg);
+        let eve = default_eve(&g);
+        for k in 3..=8u32 {
+            let queries = reachable_queries(&g, cfg.queries, k, cfg.seed);
+            if queries.is_empty() {
+                continue;
+            }
+            let max_bytes = |alg: SpgAlgorithm| -> f64 {
+                run_batch(alg, &g, &eve, &queries, cfg.budget)
+                    .iter()
+                    .map(|r| r.memory_bytes)
+                    .max()
+                    .unwrap_or(0) as f64
+                    / 1024.0
+            };
+            table.add_row(vec![
+                spec.code.to_string(),
+                k.to_string(),
+                format!("{:.1}", max_bytes(SpgAlgorithm::Eve)),
+                format!("{:.1}", max_bytes(SpgAlgorithm::Join)),
+                format!("{:.1}", max_bytes(SpgAlgorithm::PathEnum)),
+            ]);
+        }
+    }
+    table.print();
+}

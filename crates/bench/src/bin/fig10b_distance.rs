@@ -1,0 +1,47 @@
+//! Figure 10(b): average query time as a function of the shortest distance
+//! Δ(s, t) between the query endpoints (k = 6, datasets lj and bs; the paper
+//! uses 500 queries per distance 1..6).
+
+use spg_bench::{
+    build_dataset, default_eve, fmt_ms, mean_duration, run_batch, HarnessConfig, SpgAlgorithm,
+    Table,
+};
+use spg_workloads::QueryGenerator;
+
+fn main() {
+    let cfg = HarnessConfig::from_args();
+    let k = 6u32;
+    let per_distance = (cfg.queries / 2).max(5);
+    let mut table = Table::new(
+        "Figure 10(b): average query time (ms) vs. Δ(s, t), k = 6",
+        &["dataset", "distance", "EVE", "JOIN", "PathEnum"],
+    );
+    for spec in cfg.select_datasets(&["lj", "bs"]) {
+        let g = build_dataset(spec, &cfg);
+        let eve = default_eve(&g);
+        let mut generator = QueryGenerator::new(&g, cfg.seed);
+        for distance in 1..=6u32 {
+            let queries = generator.queries_with_distance(per_distance, distance, k);
+            if queries.is_empty() {
+                continue;
+            }
+            let avg = |alg: SpgAlgorithm| -> String {
+                let runs = run_batch(alg, &g, &eve, &queries, cfg.budget);
+                if runs.iter().any(|r| r.timed_out) {
+                    "INF".to_string()
+                } else {
+                    let times: Vec<_> = runs.iter().map(|r| r.elapsed).collect();
+                    fmt_ms(mean_duration(&times))
+                }
+            };
+            table.add_row(vec![
+                spec.code.to_string(),
+                distance.to_string(),
+                avg(SpgAlgorithm::Eve),
+                avg(SpgAlgorithm::Join),
+                avg(SpgAlgorithm::PathEnum),
+            ]);
+        }
+    }
+    table.print();
+}

@@ -1,0 +1,45 @@
+//! Figure 10(c): detailed per-phase time of EVE (propagation for essential
+//! vertices, upper-bound computation, verification) for k = 5..8 on the
+//! dense `ye` and sparse `bs` datasets.
+
+use std::time::Duration;
+
+use spg_bench::{build_dataset, default_eve, fmt_ms, HarnessConfig, Table};
+use spg_workloads::reachable_queries;
+
+fn main() {
+    let cfg = HarnessConfig::from_args();
+    let mut table = Table::new(
+        "Figure 10(c): EVE per-phase total time (ms) over the query batch",
+        &["dataset", "k", "(1) propagation", "(2) upper bound", "(3) verification", "total"],
+    );
+    for spec in cfg.select_datasets(&["ye", "bs"]) {
+        let g = build_dataset(spec, &cfg);
+        let eve = default_eve(&g);
+        for k in 5..=8u32 {
+            let queries = reachable_queries(&g, cfg.queries, k, cfg.seed);
+            if queries.is_empty() {
+                continue;
+            }
+            let mut phase1 = Duration::ZERO;
+            let mut phase2 = Duration::ZERO;
+            let mut phase3 = Duration::ZERO;
+            for &q in &queries {
+                let spg = eve.query(q).expect("valid query");
+                let t = spg.stats().timings;
+                phase1 += t.phase1_propagation();
+                phase2 += t.phase2_upper_bound();
+                phase3 += t.phase3_verification();
+            }
+            table.add_row(vec![
+                spec.code.to_string(),
+                k.to_string(),
+                fmt_ms(phase1),
+                fmt_ms(phase2),
+                fmt_ms(phase3),
+                fmt_ms(phase1 + phase2 + phase3),
+            ]);
+        }
+    }
+    table.print();
+}

@@ -1,0 +1,78 @@
+//! Figure 11: effectiveness of the pruning strategies (k = 7).
+//!
+//! Compares, per dataset, the total query-batch time of:
+//! * Naive EVE (single BFS, no forward-looking pruning, no search ordering),
+//! * + forward-looking pruning,
+//! * + bidirectional search,
+//! * + adaptive bidirectional search,
+//! * full EVE (adaptive + pruning + search ordering).
+
+use std::time::{Duration, Instant};
+
+use spg_bench::{build_dataset, fmt_ms, HarnessConfig, Table};
+use spg_core::{Eve, EveConfig};
+use spg_graph::DistanceStrategy;
+use spg_workloads::reachable_queries;
+
+fn main() {
+    let cfg = HarnessConfig::from_args();
+    let k = 7u32;
+    let variants: [(&str, EveConfig); 5] = [
+        ("Naive EVE", EveConfig::naive()),
+        (
+            "+fwd-looking",
+            EveConfig {
+                distance_strategy: DistanceStrategy::Single,
+                forward_looking_pruning: true,
+                search_ordering: false,
+            },
+        ),
+        (
+            "+bidirectional",
+            EveConfig {
+                distance_strategy: DistanceStrategy::Bidirectional,
+                forward_looking_pruning: true,
+                search_ordering: false,
+            },
+        ),
+        (
+            "+adaptive",
+            EveConfig {
+                distance_strategy: DistanceStrategy::AdaptiveBidirectional,
+                forward_looking_pruning: true,
+                search_ordering: false,
+            },
+        ),
+        ("full EVE (+ordering)", EveConfig::full()),
+    ];
+    let headers: Vec<&str> = std::iter::once("dataset")
+        .chain(variants.iter().map(|(name, _)| *name))
+        .collect();
+    let mut table = Table::new(
+        "Figure 11: total time (ms) per pruning configuration, k = 7",
+        &headers,
+    );
+    let datasets = cfg.select_datasets(&[
+        "ps", "ye", "wn", "uk", "sf", "bk", "tw", "bs", "gg", "hm", "wt", "lj", "dl", "fr", "hg",
+    ]);
+    for spec in datasets {
+        let g = build_dataset(spec, &cfg);
+        let queries = reachable_queries(&g, cfg.queries, k, cfg.seed);
+        if queries.is_empty() {
+            continue;
+        }
+        let mut row = vec![spec.code.to_string()];
+        for (_, config) in &variants {
+            let eve = Eve::new(&g, *config);
+            let mut total = Duration::ZERO;
+            for &q in &queries {
+                let start = Instant::now();
+                let _ = eve.query(q).expect("valid query");
+                total += start.elapsed();
+            }
+            row.push(fmt_ms(total));
+        }
+        table.add_row(row);
+    }
+    table.print();
+}

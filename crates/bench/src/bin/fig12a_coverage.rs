@@ -1,0 +1,33 @@
+//! Figure 12(a): average coverage ratio r_C = |E(SPG_k)| / |E| vs. k across
+//! all datasets.
+
+use spg_bench::{build_dataset, default_eve, mean_f64, HarnessConfig, Table};
+use spg_workloads::reachable_queries;
+
+fn main() {
+    let cfg = HarnessConfig::from_args();
+    let datasets = cfg.select_datasets(&[
+        "ps", "ye", "wn", "uk", "sf", "bk", "tw", "bs", "gg", "hm", "wt", "lj", "dl", "fr", "hg",
+    ]);
+    let ks: Vec<u32> = (3..=8).collect();
+    let headers: Vec<String> = std::iter::once("dataset".to_string())
+        .chain(ks.iter().map(|k| format!("k={k}")))
+        .collect();
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = Table::new("Figure 12(a): average coverage ratio r_C", &header_refs);
+    for spec in datasets {
+        let g = build_dataset(spec, &cfg);
+        let eve = default_eve(&g);
+        let mut row = vec![spec.code.to_string()];
+        for &k in &ks {
+            let queries = reachable_queries(&g, cfg.queries, k, cfg.seed);
+            let ratios: Vec<f64> = queries
+                .iter()
+                .map(|&q| eve.query(q).expect("valid query").coverage_ratio(&g))
+                .collect();
+            row.push(format!("{:.5}", mean_f64(&ratios)));
+        }
+        table.add_row(row);
+    }
+    table.print();
+}

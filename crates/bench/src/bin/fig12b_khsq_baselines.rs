@@ -1,0 +1,37 @@
+//! Figure 12(b): EVE against the KHSQ+-enhanced baselines (JOIN and PathEnum
+//! run on the `G^k_st` subgraph) on the tw, lj and dl datasets, k = 3..6.
+
+use spg_bench::{
+    build_dataset, default_eve, fmt_total, run_batch, total_time, HarnessConfig, SpgAlgorithm,
+    Table,
+};
+use spg_workloads::reachable_queries;
+
+fn main() {
+    let cfg = HarnessConfig::from_args();
+    let mut table = Table::new(
+        "Figure 12(b): total time (ms): EVE vs. KHSQ+-enhanced baselines",
+        &["dataset", "k", "EVE", "KHSQ+ +JOIN", "KHSQ+ +PathEnum"],
+    );
+    for spec in cfg.select_datasets(&["tw", "lj", "dl"]) {
+        let g = build_dataset(spec, &cfg);
+        let eve = default_eve(&g);
+        for k in 3..=6u32 {
+            let queries = reachable_queries(&g, cfg.queries, k, cfg.seed);
+            if queries.is_empty() {
+                continue;
+            }
+            let total = |alg: SpgAlgorithm| {
+                fmt_total(total_time(&run_batch(alg, &g, &eve, &queries, cfg.budget)))
+            };
+            table.add_row(vec![
+                spec.code.to_string(),
+                k.to_string(),
+                total(SpgAlgorithm::Eve),
+                total(SpgAlgorithm::JoinOnGkst),
+                total(SpgAlgorithm::PathEnumOnGkst),
+            ]);
+        }
+    }
+    table.print();
+}

@@ -1,0 +1,47 @@
+//! Figure 2(b): number of edges in `SPG_k` vs. number of s-t simple paths,
+//! for k = 3..8 on the `wn` and `uk` datasets.
+//!
+//! The paper's point: the path count explodes (roughly exponentially in k)
+//! while `|E(SPG_k)|` stays bounded by `|E|`, which is why generating the
+//! graph beats enumerating the paths.
+
+use spg_baselines::{pruned_dfs, CountPaths};
+use spg_bench::{build_dataset, default_eve, mean_f64, HarnessConfig, Table};
+use spg_workloads::reachable_queries;
+
+fn main() {
+    let cfg = HarnessConfig::from_args();
+    let mut table = Table::new(
+        "Figure 2(b): |E(SPG_k)| and #simple paths vs. k (averages per query)",
+        &["dataset", "k", "avg |E(SPG_k)|", "avg #paths", "paths / edges"],
+    );
+    for spec in cfg.select_datasets(&["wn", "uk"]) {
+        let g = build_dataset(spec, &cfg);
+        let eve = default_eve(&g);
+        eprintln!("{}: {} vertices, {} edges", spec.code, g.vertex_count(), g.edge_count());
+        for k in 3..=8u32 {
+            let queries = reachable_queries(&g, cfg.queries, k, cfg.seed);
+            let mut edge_counts = Vec::new();
+            let mut path_counts = Vec::new();
+            for &q in &queries {
+                let spg = eve.query(q).expect("valid query");
+                edge_counts.push(spg.edge_count() as f64);
+                // Count paths with a cap so a single dense query cannot stall
+                // the whole figure; capped queries still show the explosion.
+                let mut sink = CountPaths::with_limit(2_000_000);
+                pruned_dfs(&g, q.source, q.target, q.k, &mut sink);
+                path_counts.push(sink.count() as f64);
+            }
+            let avg_edges = mean_f64(&edge_counts);
+            let avg_paths = mean_f64(&path_counts);
+            table.add_row(vec![
+                spec.code.to_string(),
+                k.to_string(),
+                format!("{avg_edges:.1}"),
+                format!("{avg_paths:.1}"),
+                format!("{:.1}", if avg_edges > 0.0 { avg_paths / avg_edges } else { 0.0 }),
+            ]);
+        }
+    }
+    table.print();
+}

@@ -1,0 +1,60 @@
+//! Figure 8: total time to answer the query batch with EVE, JOIN and
+//! PathEnum, for k = 3..8 on every selected dataset. "INF" means at least
+//! one query exceeded the per-query budget (`--budget-ms`).
+
+use spg_bench::{
+    build_dataset, default_eve, fmt_total, run_batch, total_time, HarnessConfig, SpgAlgorithm,
+    Table,
+};
+use spg_workloads::reachable_queries;
+
+fn main() {
+    let cfg = HarnessConfig::from_args();
+    let datasets = cfg.select_datasets(&[
+        "ps", "ye", "wn", "uk", "sf", "bk", "tw", "bs", "gg", "hm", "wt", "lj", "dl", "fr", "hg",
+    ]);
+    let mut table = Table::new(
+        "Figure 8: total time (ms) over the query batch",
+        &["dataset", "k", "EVE", "JOIN", "PathEnum", "EVE speedup vs best baseline"],
+    );
+    for spec in datasets {
+        let g = build_dataset(spec, &cfg);
+        let eve = default_eve(&g);
+        eprintln!("{}: {} vertices, {} edges", spec.code, g.vertex_count(), g.edge_count());
+        for k in 3..=8u32 {
+            let queries = reachable_queries(&g, cfg.queries, k, cfg.seed);
+            if queries.is_empty() {
+                continue;
+            }
+            let eve_total = total_time(&run_batch(SpgAlgorithm::Eve, &g, &eve, &queries, cfg.budget));
+            let join_total =
+                total_time(&run_batch(SpgAlgorithm::Join, &g, &eve, &queries, cfg.budget));
+            let pe_total =
+                total_time(&run_batch(SpgAlgorithm::PathEnum, &g, &eve, &queries, cfg.budget));
+            let speedup = match (eve_total, join_total, pe_total) {
+                (Some(e), j, p) if e.as_secs_f64() > 0.0 => {
+                    let best = [j, p]
+                        .into_iter()
+                        .flatten()
+                        .map(|d| d.as_secs_f64())
+                        .fold(f64::INFINITY, f64::min);
+                    if best.is_finite() {
+                        format!("{:.1}x", best / e.as_secs_f64())
+                    } else {
+                        ">INF".to_string()
+                    }
+                }
+                _ => "-".to_string(),
+            };
+            table.add_row(vec![
+                spec.code.to_string(),
+                k.to_string(),
+                fmt_total(eve_total),
+                fmt_total(join_total),
+                fmt_total(pe_total),
+                speedup,
+            ]);
+        }
+    }
+    table.print();
+}

@@ -1,0 +1,36 @@
+//! Table 3: average redundant ratio r_D of the upper-bound graph,
+//! r_D = (|E(SPGᵘ_k)| − |E(SPG_k)|) / |E(SPG_k)|, for k = 5..8.
+
+use spg_bench::{build_dataset, default_eve, mean_f64, HarnessConfig, Table};
+use spg_workloads::reachable_queries;
+
+fn main() {
+    let cfg = HarnessConfig::from_args();
+    let datasets = cfg.select_datasets(&[
+        "ps", "ye", "wn", "uk", "sf", "bk", "tw", "bs", "gg", "hm", "wt", "lj", "dl", "fr", "hg",
+    ]);
+    let ks = [5u32, 6, 7, 8];
+    let headers: Vec<String> = std::iter::once("dataset".to_string())
+        .chain(ks.iter().map(|k| format!("k={k}")))
+        .collect();
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = Table::new("Table 3: average redundant ratio r_D (%)", &header_refs);
+    for spec in datasets {
+        let g = build_dataset(spec, &cfg);
+        let eve = default_eve(&g);
+        let mut row = vec![spec.code.to_string()];
+        for &k in &ks {
+            let queries = reachable_queries(&g, cfg.queries, k, cfg.seed);
+            let ratios: Vec<f64> = queries
+                .iter()
+                .filter_map(|&q| {
+                    let spg = eve.query(q).expect("valid query");
+                    spg.stats().redundant_ratio(spg.edge_count())
+                })
+                .collect();
+            row.push(format!("{:.5}", 100.0 * mean_f64(&ratios)));
+        }
+        table.add_row(row);
+    }
+    table.print();
+}

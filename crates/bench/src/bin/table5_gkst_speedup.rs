@@ -1,0 +1,50 @@
+//! Table 5: speedups for *generating* `SPG_k(s, t)` (k = 6) when JOIN and
+//! PathEnum are restricted to the `G^k_st` subgraph (computed with KHSQ+)
+//! instead of the original graph, plus the comparison against EVE itself.
+
+use spg_bench::{
+    build_dataset, default_eve, fmt_total, run_batch, total_time, HarnessConfig, SpgAlgorithm,
+    Table,
+};
+use spg_workloads::reachable_queries;
+
+fn main() {
+    let cfg = HarnessConfig::from_args();
+    let datasets =
+        cfg.select_datasets(&["wn", "uk", "sf", "bk", "tw", "bs", "gg", "wt", "lj", "dl", "fr"]);
+    let k = 6u32;
+    let mut table = Table::new(
+        "Table 5: SPG generation on G^k_st (k = 6): speedup over the plain baseline, and EVE total",
+        &["dataset", "JOIN speedup", "PathEnum speedup", "EVE total (ms)"],
+    );
+    for spec in datasets {
+        let g = build_dataset(spec, &cfg);
+        let eve = default_eve(&g);
+        let queries = reachable_queries(&g, cfg.queries, k, cfg.seed);
+        if queries.is_empty() {
+            continue;
+        }
+        let total = |alg: SpgAlgorithm| total_time(&run_batch(alg, &g, &eve, &queries, cfg.budget));
+        let join_plain = total(SpgAlgorithm::Join);
+        let join_gkst = total(SpgAlgorithm::JoinOnGkst);
+        let pe_plain = total(SpgAlgorithm::PathEnum);
+        let pe_gkst = total(SpgAlgorithm::PathEnumOnGkst);
+        let eve_total = total(SpgAlgorithm::Eve);
+        let speedup = |plain: Option<std::time::Duration>, enhanced: Option<std::time::Duration>| {
+            match (plain, enhanced) {
+                (Some(p), Some(e)) if e.as_secs_f64() > 0.0 => {
+                    format!("{:.1}", p.as_secs_f64() / e.as_secs_f64())
+                }
+                (None, Some(_)) => ">1 (plain INF)".to_string(),
+                _ => "-".to_string(),
+            }
+        };
+        table.add_row(vec![
+            spec.code.to_string(),
+            speedup(join_plain, join_gkst),
+            speedup(pe_plain, pe_gkst),
+            fmt_total(eve_total),
+        ]);
+    }
+    table.print();
+}

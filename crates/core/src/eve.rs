@@ -1,0 +1,349 @@
+//! The EVE pipeline: Essential Vertices based Examination (§2.3, Figure 4(b)).
+//!
+//! [`Eve`] wires the three phases together:
+//!
+//! 1. **Distance + propagation** — adaptive bidirectional distance search
+//!    followed by forward/backward essential-vertex propagation with
+//!    forward-looking pruning;
+//! 2. **Upper-bound graph** — edge labeling into failing / undetermined /
+//!    definite edges;
+//! 3. **Verification** — DFS-oriented search with ordered adjacency for every
+//!    undetermined edge.
+//!
+//! Every pruning technique the paper ablates in Figure 11 is an explicit
+//! switch on [`EveConfig`], so the benchmark harness can reproduce the
+//! ablation, and `EveConfig::naive()` reproduces the paper's "Naive EVE".
+
+use std::time::Instant;
+
+use spg_graph::{DiGraph, DistanceIndex, DistanceStrategy, EdgeSubgraph};
+
+use crate::labeling::UpperBoundGraph;
+use crate::propagation::Propagation;
+use crate::query::{Query, QueryError};
+use crate::spg::SimplePathGraph;
+use crate::stats::{EveStats, MemoryEstimate, PhaseTimings};
+use crate::verification::{apply_search_ordering, verify_undetermined};
+
+/// Configuration switches for the EVE pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EveConfig {
+    /// How the per-query distance index is computed (§3.3, Figure 6(a)).
+    pub distance_strategy: DistanceStrategy,
+    /// Enable the forward-looking pruning of Theorem 3.6 during propagation.
+    pub forward_looking_pruning: bool,
+    /// Enable the §5.3 search-ordering strategy before verification.
+    pub search_ordering: bool,
+}
+
+impl Default for EveConfig {
+    fn default() -> Self {
+        EveConfig {
+            distance_strategy: DistanceStrategy::AdaptiveBidirectional,
+            forward_looking_pruning: true,
+            search_ordering: true,
+        }
+    }
+}
+
+impl EveConfig {
+    /// The full configuration used throughout the paper's evaluation
+    /// (adaptive bidirectional search, forward-looking pruning, search
+    /// ordering). Same as `Default`.
+    pub fn full() -> Self {
+        EveConfig::default()
+    }
+
+    /// "Naive EVE" of Figure 11: single-directional BFS, no forward-looking
+    /// pruning, no search ordering. The answer is identical, only slower.
+    pub fn naive() -> Self {
+        EveConfig {
+            distance_strategy: DistanceStrategy::Single,
+            forward_looking_pruning: false,
+            search_ordering: false,
+        }
+    }
+
+    /// Human-readable name used by the ablation harness.
+    pub fn describe(&self) -> String {
+        format!(
+            "{} search, pruning={}, ordering={}",
+            self.distance_strategy.name(),
+            if self.forward_looking_pruning { "on" } else { "off" },
+            if self.search_ordering { "on" } else { "off" },
+        )
+    }
+}
+
+/// Intermediate artefacts of a query, exposed for experiments that need more
+/// than the final answer (e.g. Table 3 compares `SPGᵘ_k` against `SPG_k`).
+#[derive(Debug, Clone)]
+pub struct EveOutput {
+    /// The exact answer.
+    pub spg: SimplePathGraph,
+    /// The edges of the upper-bound graph `SPGᵘ_k`.
+    pub upper_bound: EdgeSubgraph,
+}
+
+/// The EVE algorithm bound to a graph.
+///
+/// The struct is cheap to construct (it only borrows the graph); all state is
+/// per-query.
+#[derive(Debug, Clone, Copy)]
+pub struct Eve<'g> {
+    graph: &'g DiGraph,
+    config: EveConfig,
+}
+
+impl<'g> Eve<'g> {
+    /// Binds EVE to `graph` with an explicit configuration.
+    pub fn new(graph: &'g DiGraph, config: EveConfig) -> Self {
+        Eve { graph, config }
+    }
+
+    /// Binds EVE to `graph` with the default (full) configuration.
+    pub fn with_defaults(graph: &'g DiGraph) -> Self {
+        Eve::new(graph, EveConfig::default())
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> EveConfig {
+        self.config
+    }
+
+    /// The graph this instance answers queries on.
+    pub fn graph(&self) -> &'g DiGraph {
+        self.graph
+    }
+
+    /// Answers a query, returning the exact simple path graph.
+    pub fn query(&self, query: Query) -> Result<SimplePathGraph, QueryError> {
+        Ok(self.query_detailed(query)?.spg)
+    }
+
+    /// Answers a query, additionally returning the upper-bound graph
+    /// `SPGᵘ_k(s, t)` computed on the way (Table 3 / §6.6).
+    pub fn query_detailed(&self, query: Query) -> Result<EveOutput, QueryError> {
+        query.validate(self.graph)?;
+        let mut timings = PhaseTimings::default();
+        let mut memory = MemoryEstimate::default();
+
+        // Phase 1a: distance index.
+        let start = Instant::now();
+        let index = DistanceIndex::compute(
+            self.graph,
+            query.source,
+            query.target,
+            query.k,
+            self.config.distance_strategy,
+        );
+        timings.distance = start.elapsed();
+        memory.distance_bytes = index.memory_bytes();
+
+        // Phase 1b: essential-vertex propagation.
+        let start = Instant::now();
+        let forward = Propagation::forward(
+            self.graph,
+            query,
+            &index,
+            self.config.forward_looking_pruning,
+        );
+        let backward = Propagation::backward(
+            self.graph,
+            query,
+            &index,
+            self.config.forward_looking_pruning,
+        );
+        timings.propagation = start.elapsed();
+        memory.propagation_bytes = forward.memory_bytes() + backward.memory_bytes();
+
+        // Phase 2: upper-bound graph via edge labeling.
+        let start = Instant::now();
+        let mut upper = UpperBoundGraph::build(self.graph, query, &index, &forward, &backward);
+        timings.labeling = start.elapsed();
+        memory.upper_bound_bytes = upper.memory_bytes();
+
+        // Phase 3: verification of undetermined edges.
+        let start = Instant::now();
+        if self.config.search_ordering && query.k >= 5 {
+            apply_search_ordering(&mut upper);
+        }
+        let outcome = verify_undetermined(&upper, query);
+        timings.verification = start.elapsed();
+        memory.verification_bytes = outcome.edges.len()
+            * std::mem::size_of::<(u32, u32)>()
+            + (query.k as usize + 2) * 2 * std::mem::size_of::<u32>();
+
+        let stats = EveStats {
+            timings,
+            memory,
+            search_space: index.stats(),
+            forward_propagation: forward.stats(),
+            backward_propagation: backward.stats(),
+            labeling: upper.stats(),
+            verification: outcome.stats,
+            upper_bound_edges: upper.edge_count(),
+        };
+        let spg = SimplePathGraph::from_parts(
+            query,
+            EdgeSubgraph::from_edges(outcome.edges),
+            stats,
+        );
+        Ok(EveOutput {
+            spg,
+            upper_bound: upper.to_edge_subgraph(),
+        })
+    }
+
+    /// Computes only the upper-bound graph `SPGᵘ_k(s, t)` (phases 1 and 2),
+    /// skipping verification. Useful as a fast approximate answer: by
+    /// Theorem 4.8 it is exact whenever `k ≤ 4`, and Table 3 shows it carries
+    /// well under 0.05% redundant edges on most graphs.
+    pub fn upper_bound(&self, query: Query) -> Result<EdgeSubgraph, QueryError> {
+        query.validate(self.graph)?;
+        let index = DistanceIndex::compute(
+            self.graph,
+            query.source,
+            query.target,
+            query.k,
+            self.config.distance_strategy,
+        );
+        let forward = Propagation::forward(
+            self.graph,
+            query,
+            &index,
+            self.config.forward_looking_pruning,
+        );
+        let backward = Propagation::backward(
+            self.graph,
+            query,
+            &index,
+            self.config.forward_looking_pruning,
+        );
+        let upper = UpperBoundGraph::build(self.graph, query, &index, &forward, &backward);
+        Ok(upper.to_edge_subgraph())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper_example::{self, names::*};
+
+    #[test]
+    fn figure1c_answer_for_k4() {
+        let g = paper_example::figure1_graph();
+        let eve = Eve::with_defaults(&g);
+        let spg = eve.query(Query::new(S, T, 4)).unwrap();
+        let mut expected = paper_example::figure1c_spg4_edges();
+        expected.sort_unstable();
+        assert_eq!(spg.edges(), expected.as_slice());
+        assert_eq!(spg.vertex_count(), 6);
+        // For k ≤ 4 the upper bound is already exact (Theorem 4.8).
+        assert_eq!(spg.stats().upper_bound_edges, spg.edge_count());
+        assert_eq!(spg.stats().verification.searches, 0);
+    }
+
+    #[test]
+    fn k7_answer_excludes_ba_and_bj() {
+        let g = paper_example::figure1_graph();
+        let eve = Eve::with_defaults(&g);
+        let out = eve.query_detailed(Query::new(S, T, 7)).unwrap();
+        assert_eq!(out.spg.edge_count(), 11);
+        assert!(!out.spg.contains_edge(B, A));
+        assert!(!out.spg.contains_edge(B, J));
+        assert!(out.spg.contains_edge(I, J));
+        // The upper bound keeps (B, A) — the redundant edge of Lemma 3.3.
+        assert!(out.upper_bound.contains(B, A));
+        assert_eq!(out.upper_bound.edge_count(), 13 - 1);
+        let r = out
+            .spg
+            .stats()
+            .redundant_ratio(out.spg.edge_count())
+            .unwrap();
+        assert!(r > 0.0);
+    }
+
+    #[test]
+    fn all_configurations_agree_on_the_answer() {
+        let g = paper_example::figure1_graph();
+        let configs = [
+            EveConfig::full(),
+            EveConfig::naive(),
+            EveConfig {
+                distance_strategy: spg_graph::DistanceStrategy::Bidirectional,
+                forward_looking_pruning: true,
+                search_ordering: false,
+            },
+            EveConfig {
+                distance_strategy: spg_graph::DistanceStrategy::Single,
+                forward_looking_pruning: true,
+                search_ordering: true,
+            },
+        ];
+        for k in 1..=8u32 {
+            let reference = Eve::new(&g, configs[0]).query(Query::new(S, T, k)).unwrap();
+            for cfg in &configs[1..] {
+                let other = Eve::new(&g, *cfg).query(Query::new(S, T, k)).unwrap();
+                assert_eq!(
+                    reference.edges(),
+                    other.edges(),
+                    "k={k}, config {}",
+                    cfg.describe()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn infeasible_and_invalid_queries() {
+        let g = paper_example::figure1_graph();
+        let eve = Eve::with_defaults(&g);
+        // t cannot be reached from j-side vertex within 1 hop.
+        let spg = eve.query(Query::new(J, T, 1)).unwrap();
+        assert!(spg.is_empty());
+        assert!(eve.query(Query::new(S, S, 3)).is_err());
+        assert!(eve.query(Query::new(S, 99, 3)).is_err());
+        assert!(eve.query(Query::new(S, T, 0)).is_err());
+    }
+
+    #[test]
+    fn k1_and_k2_answers() {
+        let g = paper_example::figure1_graph();
+        let eve = Eve::with_defaults(&g);
+        // k = 1: there is no direct edge s -> t.
+        assert!(eve.query(Query::new(S, T, 1)).unwrap().is_empty());
+        // k = 2: only s -> c -> t.
+        let spg = eve.query(Query::new(S, T, 2)).unwrap();
+        assert_eq!(spg.edges(), &[(S, C), (C, T)]);
+    }
+
+    #[test]
+    fn upper_bound_shortcut_matches_detailed_output() {
+        let g = paper_example::figure1_graph();
+        let eve = Eve::with_defaults(&g);
+        for k in 2..=8u32 {
+            let ub = eve.upper_bound(Query::new(S, T, k)).unwrap();
+            let detailed = eve.query_detailed(Query::new(S, T, k)).unwrap();
+            assert_eq!(ub, detailed.upper_bound, "k = {k}");
+            // Upper bound must contain the exact answer.
+            assert!(detailed.spg.as_subgraph().is_subgraph_of(&ub));
+        }
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let g = paper_example::figure1_graph();
+        let eve = Eve::with_defaults(&g);
+        let spg = eve.query(Query::new(S, T, 7)).unwrap();
+        let stats = spg.stats();
+        assert!(stats.memory.peak_bytes() > 0);
+        assert!(stats.search_space.space_vertices > 0);
+        assert!(stats.labeling.edges_examined > 0);
+        assert!(stats.forward_propagation.edge_scans > 0);
+        assert!(stats.upper_bound_edges >= spg.edge_count());
+        assert_eq!(eve.config(), EveConfig::full());
+        assert_eq!(eve.graph().edge_count(), 13);
+        assert!(!EveConfig::naive().describe().is_empty());
+    }
+}

@@ -1,0 +1,244 @@
+//! Essential vertex sets (Definition 3.1).
+//!
+//! An essential vertex set `EV*_l(s, u)` is the intersection of the vertex
+//! sets of *all* simple paths from `s` to `u` of length at most `l` that do
+//! not pass through `t`. By Theorem 3.5 it can equivalently be computed over
+//! all (not necessarily simple) paths, which is what the propagation phase
+//! exploits.
+//!
+//! Sets are tiny — at most `l + 1 ≤ k` vertices, and the paper evaluates
+//! `k ≤ 8` — so they are stored as short *sorted* vectors. Intersection and
+//! disjointness are linear merges over the sorted representation; the
+//! propagation step's operator `A ∩ (B ∪ {y})` is fused into a single pass so
+//! no temporary union is ever materialised.
+
+use spg_graph::VertexId;
+
+/// A small sorted set of vertices: the essential vertices of some `P_l(s,u)`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct EvSet {
+    items: Vec<VertexId>,
+}
+
+impl EvSet {
+    /// The empty set.
+    pub fn new() -> Self {
+        EvSet { items: Vec::new() }
+    }
+
+    /// Singleton set `{v}`.
+    pub fn singleton(v: VertexId) -> Self {
+        EvSet { items: vec![v] }
+    }
+
+    /// Builds a set from arbitrary (possibly unsorted, duplicated) vertices.
+    pub fn from_vertices<I: IntoIterator<Item = VertexId>>(iter: I) -> Self {
+        let mut items: Vec<VertexId> = iter.into_iter().collect();
+        items.sort_unstable();
+        items.dedup();
+        EvSet { items }
+    }
+
+    /// Number of vertices in the set.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` if the set is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Sorted slice of the members.
+    #[inline]
+    pub fn as_slice(&self) -> &[VertexId] {
+        &self.items
+    }
+
+    /// Membership test (binary search).
+    #[inline]
+    pub fn contains(&self, v: VertexId) -> bool {
+        self.items.binary_search(&v).is_ok()
+    }
+
+    /// Inserts `v`, keeping the representation sorted.
+    pub fn insert(&mut self, v: VertexId) {
+        if let Err(pos) = self.items.binary_search(&v) {
+            self.items.insert(pos, v);
+        }
+    }
+
+    /// Returns `self ∪ {v}` without mutating `self`.
+    pub fn with(&self, v: VertexId) -> EvSet {
+        let mut out = self.clone();
+        out.insert(v);
+        out
+    }
+
+    /// `true` if the two sets share no vertex (linear merge).
+    pub fn is_disjoint(&self, other: &EvSet) -> bool {
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.items.len() && j < other.items.len() {
+            match self.items[i].cmp(&other.items[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => return false,
+            }
+        }
+        true
+    }
+
+    /// `true` if every member of `self` is in `other`.
+    pub fn is_subset_of(&self, other: &EvSet) -> bool {
+        self.items.iter().all(|&v| other.contains(v))
+    }
+
+    /// Plain intersection `self ∩ other`.
+    pub fn intersect(&self, other: &EvSet) -> EvSet {
+        let mut out = Vec::with_capacity(self.items.len().min(other.items.len()));
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.items.len() && j < other.items.len() {
+            match self.items[i].cmp(&other.items[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(self.items[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        EvSet { items: out }
+    }
+
+    /// The fused propagation operator `self ∩ (other ∪ {extra})`
+    /// (Equation 4): intersects `self` with `other` while treating `extra` as
+    /// an additional member of `other`, in a single merge pass.
+    pub fn intersect_with_added(&self, other: &EvSet, extra: VertexId) -> EvSet {
+        let mut out = Vec::with_capacity(self.items.len().min(other.items.len() + 1));
+        let (mut i, mut j) = (0usize, 0usize);
+        let mut extra_pending = true;
+        while i < self.items.len() {
+            let a = self.items[i];
+            // Advance `other` below a.
+            while j < other.items.len() && other.items[j] < a {
+                j += 1;
+            }
+            let in_other = j < other.items.len() && other.items[j] == a;
+            let is_extra = extra_pending && a == extra;
+            if in_other || is_extra {
+                out.push(a);
+                if is_extra {
+                    extra_pending = false;
+                }
+            }
+            i += 1;
+        }
+        EvSet { items: out }
+    }
+
+    /// Heap bytes used by the set (for the space accounting of §6.2).
+    pub fn memory_bytes(&self) -> usize {
+        self.items.capacity() * std::mem::size_of::<VertexId>()
+    }
+}
+
+impl FromIterator<VertexId> for EvSet {
+    fn from_iter<I: IntoIterator<Item = VertexId>>(iter: I) -> Self {
+        EvSet::from_vertices(iter)
+    }
+}
+
+impl std::fmt::Display for EvSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{{")?;
+        for (i, v) in self.items.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(items: &[VertexId]) -> EvSet {
+        EvSet::from_vertices(items.iter().copied())
+    }
+
+    #[test]
+    fn construction_sorts_and_dedups() {
+        let s = set(&[5, 1, 3, 1, 5]);
+        assert_eq!(s.as_slice(), &[1, 3, 5]);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn membership_and_insert() {
+        let mut s = set(&[2, 4]);
+        assert!(s.contains(2));
+        assert!(!s.contains(3));
+        s.insert(3);
+        s.insert(3);
+        assert_eq!(s.as_slice(), &[2, 3, 4]);
+        let t = s.with(0);
+        assert_eq!(t.as_slice(), &[0, 2, 3, 4]);
+        assert_eq!(s.as_slice(), &[2, 3, 4], "with() must not mutate");
+    }
+
+    #[test]
+    fn disjoint_and_subset() {
+        assert!(set(&[1, 3]).is_disjoint(&set(&[2, 4])));
+        assert!(!set(&[1, 3]).is_disjoint(&set(&[3, 4])));
+        assert!(set(&[]).is_disjoint(&set(&[1])));
+        assert!(set(&[1, 3]).is_subset_of(&set(&[0, 1, 2, 3])));
+        assert!(!set(&[1, 5]).is_subset_of(&set(&[1, 2, 3])));
+    }
+
+    #[test]
+    fn plain_intersection() {
+        assert_eq!(set(&[1, 2, 3, 7]).intersect(&set(&[2, 3, 4])), set(&[2, 3]));
+        assert_eq!(set(&[1]).intersect(&set(&[2])), set(&[]));
+    }
+
+    #[test]
+    fn fused_operator_matches_naive_union_then_intersect() {
+        let cases: Vec<(Vec<u32>, Vec<u32>, u32)> = vec![
+            (vec![0, 2, 5, 9], vec![2, 9], 5),
+            (vec![0, 2, 5, 9], vec![], 5),
+            (vec![], vec![1, 2], 3),
+            (vec![1, 2, 3], vec![1, 2, 3], 0),
+            (vec![4, 6, 8], vec![1, 3, 5], 8),
+            (vec![4, 6, 8], vec![1, 3, 5], 0),
+        ];
+        for (a, b, extra) in cases {
+            let sa = set(&a);
+            let sb = set(&b);
+            let fused = sa.intersect_with_added(&sb, extra);
+            let naive = sa.intersect(&sb.with(extra));
+            assert_eq!(fused, naive, "a={a:?} b={b:?} extra={extra}");
+        }
+    }
+
+    #[test]
+    fn display_and_memory() {
+        let s = set(&[3, 1]);
+        assert_eq!(s.to_string(), "{1, 3}");
+        assert!(s.memory_bytes() >= 2 * std::mem::size_of::<VertexId>());
+        assert_eq!(EvSet::new().to_string(), "{}");
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let s: EvSet = [9u32, 1, 9, 4].into_iter().collect();
+        assert_eq!(s.as_slice(), &[1, 4, 9]);
+        assert_eq!(EvSet::singleton(7).as_slice(), &[7]);
+    }
+}

@@ -1,0 +1,547 @@
+//! Edge labeling and the essential-vertex based upper-bound graph
+//! (§4, Algorithm 2).
+//!
+//! Every edge inside the adaptive bidirectional search space is assigned one
+//! of three labels:
+//!
+//! * [`EdgeLabel::Failing`] (`0`) — provably not in `SPG_k(s,t)`
+//!   (Theorem 3.4),
+//! * [`EdgeLabel::Undetermined`] (`1`) — passes the essential-vertex test but
+//!   still needs verification,
+//! * [`EdgeLabel::Definite`] (`2`) — provably in `SPG_k(s,t)` (Lemmas 4.4 and
+//!   4.6: edges within the first or last two hops).
+//!
+//! The non-failing edges form the upper-bound graph `SPGᵘ_k(s,t)`
+//! (Definition 4.1); Theorem 4.8 guarantees `SPGᵘ_k = SPG_k` whenever
+//! `k ≤ 4`. While labeling, the departure and arrival vertex sets (§5.1) and
+//! their valid in/out neighbours are collected for the verification phase;
+//! by Theorem 5.8 at most `k − 2` valid neighbours are retained per vertex.
+
+use spg_graph::hash::{FxHashMap, FxHashSet};
+use spg_graph::{DiGraph, DistanceIndex, EdgeSubgraph, VertexId};
+
+use crate::propagation::Propagation;
+use crate::query::Query;
+
+/// Label assigned to an edge by Algorithm 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EdgeLabel {
+    /// Definitely not contained in `SPG_k(s, t)` (label "0").
+    Failing,
+    /// Possibly contained, must be verified (label "1").
+    Undetermined,
+    /// Definitely contained in `SPG_k(s, t)` (label "2").
+    Definite,
+}
+
+/// Counters describing one labeling pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LabelingStats {
+    /// Edges examined (= edges inside the bidirectional search space).
+    pub edges_examined: usize,
+    /// Edges labeled failing.
+    pub failing: usize,
+    /// Edges labeled undetermined.
+    pub undetermined: usize,
+    /// Edges labeled definite.
+    pub definite: usize,
+}
+
+/// The upper-bound graph `SPGᵘ_k(s, t)` together with the bookkeeping the
+/// verification phase needs (adjacency restricted to `SPGᵘ_k`, departures,
+/// arrivals and their valid neighbours).
+#[derive(Debug, Clone)]
+pub struct UpperBoundGraph {
+    query: Query,
+    definite: Vec<(VertexId, VertexId)>,
+    undetermined: Vec<(VertexId, VertexId)>,
+    edge_set: FxHashSet<(VertexId, VertexId)>,
+    out_adj: FxHashMap<VertexId, Vec<VertexId>>,
+    in_adj: FxHashMap<VertexId, Vec<VertexId>>,
+    /// Departure vertex set `D`, mapped to `In_D` (≤ k−2 entries each).
+    departures: FxHashMap<VertexId, Vec<VertexId>>,
+    /// Arrival vertex set `A`, mapped to `Out_A` (≤ k−2 entries each).
+    arrivals: FxHashMap<VertexId, Vec<VertexId>>,
+    stats: LabelingStats,
+}
+
+impl UpperBoundGraph {
+    /// Runs Algorithm 2 over every edge of the search space and assembles the
+    /// upper-bound graph.
+    pub fn build(
+        g: &DiGraph,
+        query: Query,
+        index: &DistanceIndex,
+        forward: &Propagation,
+        backward: &Propagation,
+    ) -> UpperBoundGraph {
+        let mut ub = UpperBoundGraph {
+            query,
+            definite: Vec::new(),
+            undetermined: Vec::new(),
+            edge_set: FxHashSet::default(),
+            out_adj: FxHashMap::default(),
+            in_adj: FxHashMap::default(),
+            departures: FxHashMap::default(),
+            arrivals: FxHashMap::default(),
+            stats: LabelingStats::default(),
+        };
+        if !index.is_feasible() {
+            return ub;
+        }
+        let labeler = EdgeLabeler {
+            query,
+            index,
+            forward,
+            backward,
+        };
+        let cap = (query.k.saturating_sub(2)).max(1) as usize;
+        // Deterministic iteration order: sorted space vertices.
+        let mut space: Vec<VertexId> = index.space_vertices().collect();
+        space.sort_unstable();
+        for &u in &space {
+            for &v in g.out_neighbors(u) {
+                if !index.edge_in_space(u, v) {
+                    continue;
+                }
+                ub.stats.edges_examined += 1;
+                let outcome = labeler.label(u, v);
+                match outcome.label {
+                    EdgeLabel::Failing => ub.stats.failing += 1,
+                    EdgeLabel::Undetermined => {
+                        ub.stats.undetermined += 1;
+                        ub.undetermined.push((u, v));
+                        ub.insert_edge(u, v);
+                    }
+                    EdgeLabel::Definite => {
+                        ub.stats.definite += 1;
+                        ub.definite.push((u, v));
+                        ub.insert_edge(u, v);
+                        if outcome.departure {
+                            let entry = ub.departures.entry(v).or_default();
+                            if entry.len() < cap && !entry.contains(&u) {
+                                entry.push(u);
+                            }
+                        }
+                        if outcome.arrival {
+                            let entry = ub.arrivals.entry(u).or_default();
+                            if entry.len() < cap && !entry.contains(&v) {
+                                entry.push(v);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        ub.definite.sort_unstable();
+        ub.undetermined.sort_unstable();
+        ub
+    }
+
+    fn insert_edge(&mut self, u: VertexId, v: VertexId) {
+        self.edge_set.insert((u, v));
+        self.out_adj.entry(u).or_default().push(v);
+        self.in_adj.entry(v).or_default().push(u);
+    }
+
+    /// The query this upper bound was built for.
+    pub fn query(&self) -> Query {
+        self.query
+    }
+
+    /// Labeling counters.
+    pub fn stats(&self) -> LabelingStats {
+        self.stats
+    }
+
+    /// Number of edges in `SPGᵘ_k` (definite + undetermined).
+    pub fn edge_count(&self) -> usize {
+        self.definite.len() + self.undetermined.len()
+    }
+
+    /// Definite edges (label "2"), sorted.
+    pub fn definite_edges(&self) -> &[(VertexId, VertexId)] {
+        &self.definite
+    }
+
+    /// Undetermined edges (label "1"), sorted.
+    pub fn undetermined_edges(&self) -> &[(VertexId, VertexId)] {
+        &self.undetermined
+    }
+
+    /// `true` if `(u, v)` belongs to the upper-bound graph.
+    pub fn contains_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.edge_set.contains(&(u, v))
+    }
+
+    /// Out-neighbours of `v` within `SPGᵘ_k`.
+    pub fn out_neighbors(&self, v: VertexId) -> &[VertexId] {
+        self.out_adj.get(&v).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// In-neighbours of `v` within `SPGᵘ_k`.
+    pub fn in_neighbors(&self, v: VertexId) -> &[VertexId] {
+        self.in_adj.get(&v).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Mutable access used by the verification phase to re-order adjacency
+    /// lists according to the search-ordering strategy (§5.3).
+    pub(crate) fn adjacency_mut(
+        &mut self,
+    ) -> (
+        &mut FxHashMap<VertexId, Vec<VertexId>>,
+        &mut FxHashMap<VertexId, Vec<VertexId>>,
+    ) {
+        (&mut self.out_adj, &mut self.in_adj)
+    }
+
+    /// The departure vertex set `D`.
+    pub fn departures(&self) -> impl Iterator<Item = VertexId> + '_ {
+        self.departures.keys().copied()
+    }
+
+    /// The arrival vertex set `A`.
+    pub fn arrivals(&self) -> impl Iterator<Item = VertexId> + '_ {
+        self.arrivals.keys().copied()
+    }
+
+    /// `true` if `v` is a departure vertex.
+    pub fn is_departure(&self, v: VertexId) -> bool {
+        self.departures.contains_key(&v)
+    }
+
+    /// `true` if `v` is an arrival vertex.
+    pub fn is_arrival(&self, v: VertexId) -> bool {
+        self.arrivals.contains_key(&v)
+    }
+
+    /// Valid in-neighbours `In_D(v)` of a departure (≤ k−2 entries).
+    pub fn in_d(&self, v: VertexId) -> &[VertexId] {
+        self.departures.get(&v).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Valid out-neighbours `Out_A(v)` of an arrival (≤ k−2 entries).
+    pub fn out_a(&self, v: VertexId) -> &[VertexId] {
+        self.arrivals.get(&v).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// All edges of `SPGᵘ_k` as an [`EdgeSubgraph`].
+    pub fn to_edge_subgraph(&self) -> EdgeSubgraph {
+        EdgeSubgraph::from_edges(
+            self.definite
+                .iter()
+                .copied()
+                .chain(self.undetermined.iter().copied()),
+        )
+    }
+
+    /// Approximate heap footprint in bytes (space accounting for §6.2).
+    pub fn memory_bytes(&self) -> usize {
+        let edge = std::mem::size_of::<(VertexId, VertexId)>();
+        let mut bytes = (self.definite.len() + self.undetermined.len()) * edge;
+        bytes += self.edge_set.len() * (edge + 8);
+        for adj in [&self.out_adj, &self.in_adj, &self.departures, &self.arrivals] {
+            bytes += adj.len() * (std::mem::size_of::<VertexId>() + 8 + std::mem::size_of::<Vec<VertexId>>());
+            bytes += adj
+                .values()
+                .map(|v| v.capacity() * std::mem::size_of::<VertexId>())
+                .sum::<usize>();
+        }
+        bytes
+    }
+}
+
+/// Outcome of labeling one edge.
+struct LabelOutcome {
+    label: EdgeLabel,
+    /// The head of the edge qualified as a departure vertex (Definition 5.1),
+    /// with the tail as a valid in-neighbour.
+    departure: bool,
+    /// The tail of the edge qualified as an arrival vertex (Definition 5.3),
+    /// with the head as a valid out-neighbour.
+    arrival: bool,
+}
+
+impl LabelOutcome {
+    fn plain(label: EdgeLabel) -> Self {
+        LabelOutcome {
+            label,
+            departure: false,
+            arrival: false,
+        }
+    }
+}
+
+/// Per-edge implementation of Algorithm 2.
+struct EdgeLabeler<'a> {
+    query: Query,
+    index: &'a DistanceIndex,
+    forward: &'a Propagation,
+    backward: &'a Propagation,
+}
+
+impl<'a> EdgeLabeler<'a> {
+    /// `EV*_l(s, u)` exists iff there is a simple path `s → u` of length ≤ l
+    /// not passing through `t`, which is equivalent to `Δ(s, u) ≤ l` on the
+    /// t-avoiding forward distances.
+    fn forward_exists(&self, l: u32, u: VertexId) -> bool {
+        self.index.dist_from_s(u) <= l
+    }
+
+    /// `EV*_l(v, t)` exists iff `Δ(v, t) ≤ l` on the s-avoiding backward
+    /// distances.
+    fn backward_exists(&self, l: u32, v: VertexId) -> bool {
+        self.index.dist_to_t(v) <= l
+    }
+
+    fn label(&self, u: VertexId, v: VertexId) -> LabelOutcome {
+        let Query {
+            source: s,
+            target: t,
+            k,
+        } = self.query;
+
+        // Edges entering s or leaving t can never lie on a simple s-t path.
+        if v == s || u == t {
+            return LabelOutcome::plain(EdgeLabel::Failing);
+        }
+        // First-hop edges (Lemma 4.4): e(s, v) ∈ SPG_k ⇔ EV*_{k−1}(v, t)
+        // exists; symmetrically for e(u, t).
+        if u == s {
+            let label = if self.backward_exists(k - 1, v) {
+                EdgeLabel::Definite
+            } else {
+                EdgeLabel::Failing
+            };
+            return LabelOutcome::plain(label);
+        }
+        if v == t {
+            let label = if self.forward_exists(k - 1, u) {
+                EdgeLabel::Definite
+            } else {
+                EdgeLabel::Failing
+            };
+            return LabelOutcome::plain(label);
+        }
+
+        // Second-hop edges (Lemma 4.6). Unlike the paper's pseudo-code we
+        // evaluate both the from-s and the to-t condition before returning,
+        // so that an edge qualifying as both records both its departure and
+        // its arrival information.
+        let mut definite = false;
+        let mut departure = false;
+        let mut arrival = false;
+        if k >= 2 {
+            if self.forward_exists(1, u) && self.backward_exists(k - 2, v) {
+                let ev_vt = self
+                    .backward
+                    .ev(k - 2, v)
+                    .expect("EV(v,t) must be materialised when it exists");
+                if !ev_vt.contains(u) {
+                    definite = true;
+                    departure = true;
+                }
+            }
+            if self.backward_exists(1, v) && self.forward_exists(k - 2, u) {
+                let ev_su = self
+                    .forward
+                    .ev(k - 2, u)
+                    .expect("EV(s,u) must be materialised when it exists");
+                if !ev_su.contains(v) {
+                    definite = true;
+                    arrival = true;
+                }
+            }
+        }
+        if definite {
+            return LabelOutcome {
+                label: EdgeLabel::Definite,
+                departure,
+                arrival,
+            };
+        }
+
+        // Remaining split points: 2 ≤ k_f ≤ k−3 with k_b = k − k_f − 1
+        // (Theorem 4.3 shows checking the extremal k_b suffices).
+        if k >= 5 {
+            for kf in 2..=(k - 3) {
+                let kb = k - kf - 1;
+                if !self.forward_exists(kf, u) || !self.backward_exists(kb, v) {
+                    continue;
+                }
+                let ev_su = self
+                    .forward
+                    .ev(kf, u)
+                    .expect("forward EV must exist for an in-space vertex");
+                let ev_vt = self
+                    .backward
+                    .ev(kb, v)
+                    .expect("backward EV must exist for an in-space vertex");
+                if ev_su.is_disjoint(ev_vt) {
+                    return LabelOutcome::plain(EdgeLabel::Undetermined);
+                }
+            }
+        }
+        LabelOutcome::plain(EdgeLabel::Failing)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper_example::{self, names::*};
+    use spg_graph::DistanceStrategy;
+
+    fn build(k: u32) -> (DiGraph, UpperBoundGraph) {
+        let g = paper_example::figure1_graph();
+        let q = Query::new(S, T, k);
+        let idx = DistanceIndex::compute(&g, S, T, k, DistanceStrategy::AdaptiveBidirectional);
+        let fwd = Propagation::forward(&g, q, &idx, true);
+        let bwd = Propagation::backward(&g, q, &idx, true);
+        let ub = UpperBoundGraph::build(&g, q, &idx, &fwd, &bwd);
+        (g, ub)
+    }
+
+    /// Figure 6(c): edge labels of the running example for k = 7.
+    #[test]
+    fn figure6c_labels_for_k7() {
+        let (_, ub) = build(7);
+        let definite: Vec<(VertexId, VertexId)> = vec![
+            (S, A),
+            (S, C),
+            (A, C),
+            (A, H),
+            (A, I),
+            (C, T),
+            (C, B),
+            (H, B),
+            (B, T),
+        ]
+        .into_iter()
+        .collect();
+        let mut expected_definite = definite.clone();
+        expected_definite.sort_unstable();
+        assert_eq!(ub.definite_edges(), expected_definite.as_slice());
+
+        let mut expected_undetermined = vec![(B, A), (I, J), (J, H)];
+        expected_undetermined.sort_unstable();
+        assert_eq!(ub.undetermined_edges(), expected_undetermined.as_slice());
+
+        // (B, J) is the failing edge of Example 4.2.
+        assert!(!ub.contains_edge(B, J));
+        assert_eq!(ub.stats().failing, 1);
+        assert_eq!(ub.stats().edges_examined, 13);
+        assert_eq!(ub.edge_count(), 12);
+    }
+
+    /// Figure 7(b): departures, arrivals and their valid neighbours for k = 7.
+    #[test]
+    fn figure7b_departures_and_arrivals() {
+        let (_, ub) = build(7);
+        let mut deps: Vec<VertexId> = ub.departures().collect();
+        deps.sort_unstable();
+        let mut expected_deps: Vec<VertexId> = paper_example::figure7b_departures()
+            .into_iter()
+            .map(|(v, _)| v)
+            .collect();
+        expected_deps.sort_unstable();
+        assert_eq!(deps, expected_deps);
+        for (v, in_d) in paper_example::figure7b_departures() {
+            let mut got = ub.in_d(v).to_vec();
+            got.sort_unstable();
+            assert_eq!(got, in_d, "In_D({})", paper_example::names::label(v));
+        }
+
+        let mut arrs: Vec<VertexId> = ub.arrivals().collect();
+        arrs.sort_unstable();
+        let mut expected_arrs: Vec<VertexId> = paper_example::figure7b_arrivals()
+            .into_iter()
+            .map(|(v, _)| v)
+            .collect();
+        expected_arrs.sort_unstable();
+        assert_eq!(arrs, expected_arrs);
+        for (v, out_a) in paper_example::figure7b_arrivals() {
+            let mut got = ub.out_a(v).to_vec();
+            got.sort_unstable();
+            assert_eq!(got, out_a, "Out_A({})", paper_example::names::label(v));
+        }
+        assert!(ub.is_departure(B));
+        assert!(!ub.is_departure(A));
+        assert!(ub.is_arrival(A));
+        assert!(!ub.is_arrival(I));
+    }
+
+    /// Theorem 4.8: for k ≤ 4 the upper bound is exact — for the running
+    /// example, SPGᵘ_4 must equal the Figure 1(c) simple path graph.
+    #[test]
+    fn upper_bound_is_exact_for_k4_on_figure1() {
+        let (_, ub) = build(4);
+        let mut expected = paper_example::figure1c_spg4_edges();
+        expected.sort_unstable();
+        let got = ub.to_edge_subgraph();
+        assert_eq!(got.edges(), expected.as_slice());
+        // Everything within two hops of both endpoints is definite; nothing
+        // needs verification for k ≤ 4.
+        assert_eq!(ub.undetermined_edges().len(), 0);
+    }
+
+    /// Example 4.5 and 4.7 of the paper.
+    #[test]
+    fn examples_4_5_and_4_7() {
+        let (_, ub) = build(7);
+        assert!(ub.definite_edges().contains(&(S, A)));
+        assert!(ub.definite_edges().contains(&(A, I)));
+    }
+
+    #[test]
+    fn infeasible_query_produces_empty_upper_bound() {
+        let g = DiGraph::from_edges(4, [(0, 1), (2, 3)]);
+        let q = Query::new(0, 3, 4);
+        let idx = DistanceIndex::compute(&g, 0, 3, 4, DistanceStrategy::AdaptiveBidirectional);
+        let fwd = Propagation::forward(&g, q, &idx, true);
+        let bwd = Propagation::backward(&g, q, &idx, true);
+        let ub = UpperBoundGraph::build(&g, q, &idx, &fwd, &bwd);
+        assert_eq!(ub.edge_count(), 0);
+        assert_eq!(ub.stats().edges_examined, 0);
+        assert!(ub.to_edge_subgraph().is_empty());
+    }
+
+    #[test]
+    fn adjacency_of_upper_bound_graph_is_consistent() {
+        let (_, ub) = build(7);
+        for &(u, v) in ub.definite_edges().iter().chain(ub.undetermined_edges()) {
+            assert!(ub.out_neighbors(u).contains(&v));
+            assert!(ub.in_neighbors(v).contains(&u));
+            assert!(ub.contains_edge(u, v));
+        }
+        assert!(ub.out_neighbors(T).is_empty());
+        assert!(ub.memory_bytes() > 0);
+        assert_eq!(ub.query().k, 7);
+    }
+
+    #[test]
+    fn in_d_and_out_a_are_capped_by_theorem_5_8() {
+        // A graph where s has many out-neighbours all pointing at the same
+        // departure vertex d, which then reaches t: In_D(d) must be capped at
+        // k − 2 entries.
+        let fan = 20u32;
+        let mut edges = Vec::new();
+        let s = 0u32;
+        let d = fan + 1;
+        let t = fan + 2;
+        for x in 1..=fan {
+            edges.push((s, x));
+            edges.push((x, d));
+        }
+        edges.push((d, t));
+        let g = DiGraph::from_edges((fan + 3) as usize, edges);
+        let k = 6u32;
+        let q = Query::new(s, t, k);
+        let idx = DistanceIndex::compute(&g, s, t, k, DistanceStrategy::AdaptiveBidirectional);
+        let fwd = Propagation::forward(&g, q, &idx, true);
+        let bwd = Propagation::backward(&g, q, &idx, true);
+        let ub = UpperBoundGraph::build(&g, q, &idx, &fwd, &bwd);
+        assert!(ub.is_departure(d));
+        assert!(ub.in_d(d).len() <= (k - 2) as usize);
+    }
+}

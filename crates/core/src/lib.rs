@@ -1,0 +1,50 @@
+//! # spg-core — EVE: hop-constrained s-t simple path graph generation
+//!
+//! From-scratch Rust implementation of **EVE** (Essential Vertices based
+//! Examination), the algorithm of *"Towards Generating Hop-constrained s-t
+//! Simple Path Graphs"* (SIGMOD 2023). Given a directed graph and a query
+//! `⟨s, t, k⟩`, EVE computes the subgraph `SPG_k(s, t)` containing exactly
+//! the edges that lie on at least one simple path from `s` to `t` of length
+//! at most `k` — without enumerating those paths.
+//!
+//! The pipeline has three phases (see [`Eve`]):
+//!
+//! 1. [`propagation`] — essential-vertex sets `EV*_l(s, ·)` / `EV*_l(·, t)`
+//!    computed by level-wise propagation with forward-looking pruning;
+//! 2. [`labeling`] — every edge in the search space is labeled failing /
+//!    undetermined / definite, yielding the tight upper-bound graph
+//!    `SPGᵘ_k(s, t)`;
+//! 3. [`verification`] — each undetermined edge is confirmed or rejected by a
+//!    DFS-oriented search for a witness path between a departure and an
+//!    arrival vertex.
+//!
+//! ```
+//! use spg_core::{Eve, EveConfig, Query};
+//! use spg_core::paper_example::{figure1_graph, names};
+//!
+//! let g = figure1_graph();
+//! let eve = Eve::new(&g, EveConfig::default());
+//! let spg = eve.query(Query::new(names::S, names::T, 4)).unwrap();
+//! assert_eq!(spg.edge_count(), 8); // Figure 1(c)
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod eve;
+pub mod evset;
+pub mod labeling;
+pub mod paper_example;
+pub mod propagation;
+pub mod query;
+pub mod spg;
+pub mod stats;
+pub mod verification;
+
+pub use eve::{Eve, EveConfig, EveOutput};
+pub use evset::EvSet;
+pub use labeling::{EdgeLabel, LabelingStats, UpperBoundGraph};
+pub use propagation::{Propagation, PropagationStats};
+pub use query::{Query, QueryError};
+pub use spg::SimplePathGraph;
+pub use stats::{EveStats, MemoryEstimate, PhaseTimings};
+pub use verification::{VerificationOutcome, VerificationStats};

@@ -1,0 +1,172 @@
+//! The running example of the paper (Figure 1), reusable from tests,
+//! examples and documentation.
+//!
+//! The paper illustrates every phase of EVE on one small directed graph with
+//! eight vertices `s, a, b, c, h, i, j, t`. This module encodes that graph
+//! once, with stable vertex ids, together with the ground-truth artefacts the
+//! paper states for it:
+//!
+//! * all 4-hop-constrained s-t simple paths (Figure 1(b)),
+//! * the 4-hop-constrained simple path graph (Figure 1(c)),
+//! * the edge labels of the upper-bound graph for `k = 7` (Figure 6(c)),
+//! * the departure/arrival sets for `k = 7` (Figure 7(b)).
+//!
+//! Unit tests across the crate assert against these values, which makes the
+//! implementation directly traceable to the paper.
+
+use spg_graph::{DiGraph, VertexId};
+
+/// Stable vertex ids for the Figure 1 graph.
+pub mod names {
+    use super::VertexId;
+    /// Source vertex `s`.
+    pub const S: VertexId = 0;
+    /// Vertex `a`.
+    pub const A: VertexId = 1;
+    /// Vertex `c`.
+    pub const C: VertexId = 2;
+    /// Target vertex `t`.
+    pub const T: VertexId = 3;
+    /// Vertex `h`.
+    pub const H: VertexId = 4;
+    /// Vertex `b`.
+    pub const B: VertexId = 5;
+    /// Vertex `i`.
+    pub const I: VertexId = 6;
+    /// Vertex `j`.
+    pub const J: VertexId = 7;
+
+    /// Human-readable label of a Figure 1 vertex (useful in examples).
+    pub fn label(v: VertexId) -> &'static str {
+        match v {
+            S => "s",
+            A => "a",
+            C => "c",
+            T => "t",
+            H => "h",
+            B => "b",
+            I => "i",
+            J => "j",
+            _ => "?",
+        }
+    }
+}
+
+use names::*;
+
+/// Builds the directed graph of Figure 1(a).
+pub fn figure1_graph() -> DiGraph {
+    DiGraph::from_edges(8, figure1_edges())
+}
+
+/// The edge list of Figure 1(a).
+pub fn figure1_edges() -> Vec<(VertexId, VertexId)> {
+    vec![
+        (S, A),
+        (S, C),
+        (A, C),
+        (A, H),
+        (A, I),
+        (C, T),
+        (C, B),
+        (H, B),
+        (B, T),
+        (B, A),
+        (B, J),
+        (I, J),
+        (J, H),
+    ]
+}
+
+/// All 4-hop-constrained s-t simple paths of Figure 1(b), as vertex
+/// sequences.
+pub fn figure1b_paths() -> Vec<Vec<VertexId>> {
+    vec![
+        vec![S, C, T],
+        vec![S, A, C, T],
+        vec![S, C, B, T],
+        vec![S, A, C, B, T],
+        vec![S, A, H, B, T],
+    ]
+}
+
+/// The edge set of the 4-hop-constrained s-t simple path graph of
+/// Figure 1(c).
+pub fn figure1c_spg4_edges() -> Vec<(VertexId, VertexId)> {
+    vec![
+        (S, A),
+        (S, C),
+        (A, C),
+        (A, H),
+        (C, T),
+        (C, B),
+        (H, B),
+        (B, T),
+    ]
+}
+
+/// The departures `D` with their valid in-neighbours `In_D` for `k = 7`
+/// (Figure 7(b), left table).
+pub fn figure7b_departures() -> Vec<(VertexId, Vec<VertexId>)> {
+    vec![(B, vec![C]), (C, vec![A]), (H, vec![A]), (I, vec![A])]
+}
+
+/// The arrivals `A` with their valid out-neighbours `Out_A` for `k = 7`
+/// (Figure 7(b), right table).
+pub fn figure7b_arrivals() -> Vec<(VertexId, Vec<VertexId>)> {
+    vec![(A, vec![C]), (C, vec![B]), (H, vec![B])]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_graph_has_expected_shape() {
+        let g = figure1_graph();
+        assert_eq!(g.vertex_count(), 8);
+        assert_eq!(g.edge_count(), 13);
+        for (u, v) in figure1_edges() {
+            assert!(g.has_edge(u, v), "missing edge ({u},{v})");
+        }
+    }
+
+    #[test]
+    fn figure1b_paths_are_valid_simple_paths() {
+        let g = figure1_graph();
+        for p in figure1b_paths() {
+            assert!(p.len() <= 5, "hop constraint 4 means at most 5 vertices");
+            assert_eq!(p.first(), Some(&S));
+            assert_eq!(p.last(), Some(&T));
+            let mut seen = std::collections::HashSet::new();
+            for v in &p {
+                assert!(seen.insert(*v), "path {p:?} repeats vertex {v}");
+            }
+            for w in p.windows(2) {
+                assert!(g.has_edge(w[0], w[1]), "edge ({}, {}) missing", w[0], w[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn figure1c_is_exactly_the_union_of_figure1b() {
+        let mut union: Vec<(VertexId, VertexId)> = figure1b_paths()
+            .iter()
+            .flat_map(|p| p.windows(2).map(|w| (w[0], w[1])).collect::<Vec<_>>())
+            .collect();
+        union.sort_unstable();
+        union.dedup();
+        let mut expected = figure1c_spg4_edges();
+        expected.sort_unstable();
+        assert_eq!(union, expected);
+    }
+
+    #[test]
+    fn labels_cover_all_vertices() {
+        let g = figure1_graph();
+        for v in g.vertices() {
+            assert_ne!(names::label(v), "?");
+        }
+        assert_eq!(names::label(99), "?");
+    }
+}

@@ -1,0 +1,527 @@
+//! Propagating computation of essential vertices (§3.2, Algorithm 1) with the
+//! forward-looking pruning strategy (§3.3, Theorem 3.6).
+//!
+//! Forward propagation computes `EV_l(s, y)` for every vertex `y` and level
+//! `1 ≤ l ≤ k−1` by the recursion of Equation (4):
+//!
+//! ```text
+//! EV_l(s, y) = ⋂_{x ∈ In(y), P_{l−1}(s,x) ≠ ∅} ( EV_{l−1}(s, x) ∪ {y} )
+//! ```
+//!
+//! Backward propagation runs the same recursion on the reversed graph from
+//! `t`. By Theorem 3.5 the result equals the essential vertex sets defined
+//! over *simple* paths, which is what the edge-labeling phase consumes.
+//!
+//! ### Storage
+//!
+//! Only the levels at which a vertex's set actually *changes* are stored
+//! (the paper's "we only store the first one since the others can refer to
+//! it" optimisation); [`Propagation::ev`] resolves a `(level, vertex)` lookup
+//! to the latest stored level `≤ level`, which implements the inheritance of
+//! Algorithm 1 line 12 implicitly.
+//!
+//! ### Deviation from the paper's pseudo-code
+//!
+//! Algorithm 1 as printed re-initialises `EV_l(s, y)` from the first frontier
+//! in-neighbour alone (its line 7) and never intersects with `EV_{l−1}(s, y)`
+//! itself. When a vertex has an in-neighbour that was reached at an earlier
+//! level but is *not* part of the current frontier, that in-neighbour's
+//! contribution would be lost and the computed set could become a strict
+//! superset of Equation (4) — which would make Theorem 3.4 discard edges that
+//! actually belong to `SPG_k`. This implementation therefore additionally
+//! intersects with the vertex's previous-level set, which provably yields
+//! exactly the Equation (4) value (see the module tests, which compare
+//! against a brute-force evaluation of Definition 3.1 on enumerated simple
+//! paths, and against the paper's Figure 5 table).
+
+use spg_graph::hash::FxHashMap;
+use spg_graph::{DiGraph, Direction, DistanceIndex, VertexId, INF_DIST};
+
+use crate::evset::EvSet;
+use crate::query::Query;
+
+/// Work counters for one propagation run (one direction).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PropagationStats {
+    /// Number of adjacency entries scanned.
+    pub edge_scans: usize,
+    /// Number of visits skipped by the forward-looking pruning rule.
+    pub pruned_visits: usize,
+    /// Number of essential-vertex sets materialised (changed levels only).
+    pub sets_stored: usize,
+    /// Number of levels actually expanded before the frontier emptied.
+    pub levels_run: u32,
+}
+
+/// Essential vertex sets for one endpoint of the query.
+///
+/// A *forward* propagation holds `EV_l(s, ·)`; a *backward* propagation holds
+/// `EV_l(·, t)` (computed over the reversed adjacency).
+#[derive(Debug, Clone)]
+pub struct Propagation {
+    /// `s` for forward propagation, `t` for backward propagation.
+    origin: VertexId,
+    /// The opposite query endpoint, never visited (Definition 3.1 excludes
+    /// paths through it).
+    excluded: VertexId,
+    k: u32,
+    /// `levels[l]` maps a vertex to its set if the set changed at level `l`.
+    levels: Vec<FxHashMap<VertexId, EvSet>>,
+    stats: PropagationStats,
+}
+
+impl Propagation {
+    /// Forward propagation from `query.source` on `g`, producing
+    /// `EV_l(s, y)` for `1 ≤ l ≤ k−1`.
+    ///
+    /// When `forward_looking` is enabled, propagation into `y` at level `l`
+    /// is skipped whenever `l + Δ(y, t) > k` (Theorem 3.6), using the
+    /// backward distances of `index`.
+    pub fn forward(
+        g: &DiGraph,
+        query: Query,
+        index: &DistanceIndex,
+        forward_looking: bool,
+    ) -> Propagation {
+        Self::run(
+            g,
+            Direction::Forward,
+            query.source,
+            query.target,
+            query.k,
+            |y| index.dist_to_t(y),
+            forward_looking,
+        )
+    }
+
+    /// Backward propagation from `query.target` on the reversed adjacency,
+    /// producing `EV_l(v, t)` for `1 ≤ l ≤ k−1`.
+    pub fn backward(
+        g: &DiGraph,
+        query: Query,
+        index: &DistanceIndex,
+        forward_looking: bool,
+    ) -> Propagation {
+        Self::run(
+            g,
+            Direction::Backward,
+            query.target,
+            query.source,
+            query.k,
+            |y| index.dist_from_s(y),
+            forward_looking,
+        )
+    }
+
+    fn run<F>(
+        g: &DiGraph,
+        dir: Direction,
+        origin: VertexId,
+        excluded: VertexId,
+        k: u32,
+        remaining_dist: F,
+        forward_looking: bool,
+    ) -> Propagation
+    where
+        F: Fn(VertexId) -> u32,
+    {
+        let mut prop = Propagation {
+            origin,
+            excluded,
+            k,
+            levels: vec![FxHashMap::default(); k as usize],
+            stats: PropagationStats::default(),
+        };
+        prop.levels[0].insert(origin, EvSet::singleton(origin));
+        prop.stats.sets_stored = 1;
+
+        let mut frontier: Vec<VertexId> = vec![origin];
+        for l in 1..k {
+            if frontier.is_empty() {
+                break;
+            }
+            prop.stats.levels_run = l;
+            let mut updated: FxHashMap<VertexId, EvSet> = FxHashMap::default();
+            for &x in &frontier {
+                // The frontier only ever contains vertices with a set at the
+                // previous level (the origin at level 0, or updated vertices).
+                let ev_x = prop
+                    .ev(l - 1, x)
+                    .expect("frontier vertex must have an essential vertex set")
+                    .clone();
+                for &y in g.neighbors(x, dir) {
+                    prop.stats.edge_scans += 1;
+                    if y == origin || y == excluded {
+                        continue;
+                    }
+                    if forward_looking {
+                        let rest = remaining_dist(y);
+                        if rest == INF_DIST || l + rest > k {
+                            prop.stats.pruned_visits += 1;
+                            continue;
+                        }
+                    }
+                    match updated.get_mut(&y) {
+                        Some(current) => {
+                            *current = current.intersect_with_added(&ev_x, y);
+                        }
+                        None => {
+                            // Seed with the previous-level set of `y` itself
+                            // when it exists (see the module-level deviation
+                            // note), otherwise with the contribution of `x`.
+                            let seeded = match prop.ev(l - 1, y) {
+                                Some(prev) => prev.intersect_with_added(&ev_x, y),
+                                None => ev_x.with(y),
+                            };
+                            updated.insert(y, seeded);
+                        }
+                    }
+                }
+            }
+
+            let mut next_frontier: Vec<VertexId> = Vec::with_capacity(updated.len());
+            let mut level_map: FxHashMap<VertexId, EvSet> = FxHashMap::default();
+            for (y, set) in updated {
+                next_frontier.push(y);
+                let unchanged = prop.ev(l - 1, y).map(|prev| prev == &set).unwrap_or(false);
+                if !unchanged {
+                    prop.stats.sets_stored += 1;
+                    level_map.insert(y, set);
+                }
+            }
+            prop.levels[l as usize] = level_map;
+            frontier = next_frontier;
+        }
+        prop
+    }
+
+    /// The endpoint this propagation started from (`s` or `t`).
+    pub fn origin(&self) -> VertexId {
+        self.origin
+    }
+
+    /// The opposite endpoint, excluded from all paths.
+    pub fn excluded(&self) -> VertexId {
+        self.excluded
+    }
+
+    /// Hop constraint `k` the propagation was run with (levels go up to `k−1`).
+    pub fn hop_constraint(&self) -> u32 {
+        self.k
+    }
+
+    /// Work counters.
+    pub fn stats(&self) -> PropagationStats {
+        self.stats
+    }
+
+    /// `EV_l(origin, v)` (forward) or `EV_l(v, origin)` (backward): the set
+    /// stored at the latest level `≤ l`, or `None` if `v` was never reached
+    /// by level `l`.
+    ///
+    /// Note: under forward-looking pruning a `None` here does not necessarily
+    /// mean "no simple path of length ≤ l exists" — existence must be decided
+    /// from the [`DistanceIndex`] (Theorem 3.6 guarantees the pruned lookups
+    /// are never needed).
+    pub fn ev(&self, l: u32, v: VertexId) -> Option<&EvSet> {
+        let top = l.min(self.k.saturating_sub(1));
+        for level in (0..=top).rev() {
+            if let Some(set) = self.levels[level as usize].get(&v) {
+                return Some(set);
+            }
+        }
+        None
+    }
+
+    /// Number of essential-vertex sets materialised across all levels.
+    pub fn stored_sets(&self) -> usize {
+        self.levels.iter().map(|m| m.len()).sum()
+    }
+
+    /// Approximate heap footprint in bytes: every stored set plus map
+    /// overhead. Used for the space accounting of Figures 9 / 10(a).
+    pub fn memory_bytes(&self) -> usize {
+        let mut bytes = self.levels.capacity() * std::mem::size_of::<FxHashMap<VertexId, EvSet>>();
+        for level in &self.levels {
+            bytes += level.len()
+                * (std::mem::size_of::<VertexId>() + std::mem::size_of::<EvSet>() + 8);
+            bytes += level.values().map(EvSet::memory_bytes).sum::<usize>();
+        }
+        bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper_example::{self, names::*};
+    use spg_graph::DistanceStrategy;
+
+    fn index(g: &DiGraph, q: Query) -> DistanceIndex {
+        DistanceIndex::compute(g, q.source, q.target, q.k, DistanceStrategy::Single)
+    }
+
+    fn ev_vec(p: &Propagation, l: u32, v: VertexId) -> Option<Vec<VertexId>> {
+        p.ev(l, v).map(|s| s.as_slice().to_vec())
+    }
+
+    fn sorted(mut v: Vec<VertexId>) -> Vec<VertexId> {
+        v.sort_unstable();
+        v
+    }
+
+    /// Figure 5(a): forward essential vertices of the running example (the
+    /// non-parenthesised entries, i.e. those the paper reports as computed).
+    #[test]
+    fn figure5a_forward_essential_vertices() {
+        let g = paper_example::figure1_graph();
+        let q = Query::new(S, T, 8);
+        let idx = index(&g, q);
+        let p = Propagation::forward(&g, q, &idx, false);
+
+        // l = 1
+        assert_eq!(ev_vec(&p, 1, A), Some(sorted(vec![S, A])));
+        assert_eq!(ev_vec(&p, 1, C), Some(sorted(vec![S, C])));
+        assert_eq!(ev_vec(&p, 1, B), None);
+        assert_eq!(ev_vec(&p, 1, J), None);
+        // l = 2
+        assert_eq!(ev_vec(&p, 2, B), Some(sorted(vec![S, C, B])));
+        assert_eq!(ev_vec(&p, 2, H), Some(sorted(vec![S, A, H])));
+        assert_eq!(ev_vec(&p, 2, I), Some(sorted(vec![S, A, I])));
+        assert_eq!(ev_vec(&p, 2, A), Some(sorted(vec![S, A])));
+        // l = 3
+        assert_eq!(ev_vec(&p, 3, B), Some(sorted(vec![S, B])));
+        assert_eq!(ev_vec(&p, 3, J), Some(sorted(vec![S, J])));
+        assert_eq!(ev_vec(&p, 3, H), Some(sorted(vec![S, A, H])));
+        // l = 4
+        assert_eq!(ev_vec(&p, 4, H), Some(sorted(vec![S, H])));
+        assert_eq!(ev_vec(&p, 4, C), Some(sorted(vec![S, C])));
+        assert_eq!(ev_vec(&p, 4, B), Some(sorted(vec![S, B])));
+    }
+
+    /// Figure 5(b): backward essential vertices of the running example.
+    #[test]
+    fn figure5b_backward_essential_vertices() {
+        let g = paper_example::figure1_graph();
+        let q = Query::new(S, T, 8);
+        let idx = index(&g, q);
+        let p = Propagation::backward(&g, q, &idx, false);
+
+        // l = 1
+        assert_eq!(ev_vec(&p, 1, B), Some(sorted(vec![B, T])));
+        assert_eq!(ev_vec(&p, 1, C), Some(sorted(vec![C, T])));
+        assert_eq!(ev_vec(&p, 1, A), None);
+        // l = 2
+        assert_eq!(ev_vec(&p, 2, A), Some(sorted(vec![A, C, T])));
+        assert_eq!(ev_vec(&p, 2, H), Some(sorted(vec![H, B, T])));
+        assert_eq!(ev_vec(&p, 2, I), None);
+        // l = 3
+        assert_eq!(ev_vec(&p, 3, A), Some(sorted(vec![A, T])));
+        assert_eq!(ev_vec(&p, 3, J), Some(sorted(vec![J, H, B, T])));
+        // l = 4
+        assert_eq!(ev_vec(&p, 4, I), Some(sorted(vec![I, J, H, B, T])));
+        assert_eq!(ev_vec(&p, 4, H), Some(sorted(vec![H, B, T])));
+    }
+
+    /// Example 3.2 of the paper: EV*_2(s,b) = {s,c,b} and EV*_3(s,b) = {s,b}.
+    #[test]
+    fn example_3_2_matches() {
+        let g = paper_example::figure1_graph();
+        let q = Query::new(S, T, 6);
+        let idx = index(&g, q);
+        let p = Propagation::forward(&g, q, &idx, false);
+        assert_eq!(ev_vec(&p, 2, B), Some(sorted(vec![S, C, B])));
+        assert_eq!(ev_vec(&p, 3, B), Some(sorted(vec![S, B])));
+    }
+
+    /// Essential vertex sets shrink (or stay equal) as the level grows.
+    #[test]
+    fn levels_are_monotonically_shrinking() {
+        let g = paper_example::figure1_graph();
+        let q = Query::new(S, T, 8);
+        let idx = index(&g, q);
+        for p in [
+            Propagation::forward(&g, q, &idx, false),
+            Propagation::backward(&g, q, &idx, false),
+        ] {
+            for v in g.vertices() {
+                for l in 1..q.k {
+                    if let (Some(prev), Some(curr)) = (p.ev(l - 1, v), p.ev(l, v)) {
+                        assert!(
+                            curr.is_subset_of(prev),
+                            "EV_{l}({v}) = {curr} must be ⊆ EV_{}({v}) = {prev}",
+                            l - 1
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Brute force check of Theorem 3.5 / Definition 3.1: the propagated sets
+    /// equal the intersection of the vertex sets of all enumerated simple
+    /// paths (not passing through the excluded endpoint).
+    #[test]
+    fn propagation_matches_bruteforce_definition_on_random_graphs() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(2023);
+        for case in 0..25 {
+            let n = rng.gen_range(5..11);
+            let m = rng.gen_range(n..(n * (n - 1)).min(3 * n));
+            let g = spg_graph::generators::gnm_random(n, m, 100 + case);
+            let s = 0u32;
+            let t = (n as u32) - 1;
+            let k = rng.gen_range(3..7) as u32;
+            let q = Query::new(s, t, k);
+            let idx = index(&g, q);
+            let p = Propagation::forward(&g, q, &idx, false);
+            for v in g.vertices() {
+                if v == s || v == t {
+                    continue;
+                }
+                for l in 1..k {
+                    let expected = brute_force_ev(&g, s, v, t, l);
+                    let got = p.ev(l, v).cloned();
+                    match (expected, got) {
+                        (None, None) => {}
+                        (None, Some(set)) => {
+                            panic!("case {case}: EV_{l}(s,{v}) should not exist, got {set}")
+                        }
+                        (Some(exp), None) => {
+                            panic!("case {case}: EV_{l}(s,{v}) should be {exp:?}, got none")
+                        }
+                        (Some(exp), Some(set)) => {
+                            assert_eq!(
+                                set.as_slice(),
+                                exp.as_slice(),
+                                "case {case}: EV_{l}(s,{v})"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Definition 3.1 evaluated literally: enumerate all simple paths from
+    /// `s` to `v` of length ≤ l avoiding `t` and intersect their vertex sets.
+    fn brute_force_ev(g: &DiGraph, s: VertexId, v: VertexId, t: VertexId, l: u32) -> Option<EvSet> {
+        let mut paths: Vec<Vec<VertexId>> = Vec::new();
+        let mut stack = vec![s];
+        dfs_collect(g, v, t, l, &mut stack, &mut paths);
+        if paths.is_empty() {
+            return None;
+        }
+        let mut iter = paths.into_iter();
+        let first: EvSet = iter.next().unwrap().into_iter().collect();
+        Some(iter.fold(first, |acc, p| acc.intersect(&p.into_iter().collect())))
+    }
+
+    fn dfs_collect(
+        g: &DiGraph,
+        goal: VertexId,
+        excluded: VertexId,
+        budget: u32,
+        stack: &mut Vec<VertexId>,
+        out: &mut Vec<Vec<VertexId>>,
+    ) {
+        let cur = *stack.last().unwrap();
+        if cur == goal {
+            out.push(stack.clone());
+            // Do not return: longer simple paths through `goal` are not
+            // relevant because a path ending at `goal` is what we collect.
+            return;
+        }
+        if budget == 0 {
+            return;
+        }
+        for &nxt in g.out_neighbors(cur) {
+            if nxt == excluded || stack.contains(&nxt) {
+                continue;
+            }
+            stack.push(nxt);
+            dfs_collect(g, goal, excluded, budget - 1, stack, out);
+            stack.pop();
+        }
+    }
+
+    /// Forward-looking pruning must not change any essential vertex set that
+    /// is still relevant for edge labeling: for every vertex `u` and level
+    /// `l` with `l + Δ(u,t) ≤ k`, the pruned and unpruned propagations agree.
+    #[test]
+    fn pruning_preserves_relevant_sets() {
+        let g = paper_example::figure1_graph();
+        for k in 4..=8u32 {
+            let q = Query::new(S, T, k);
+            let idx = index(&g, q);
+            let full = Propagation::forward(&g, q, &idx, false);
+            let pruned = Propagation::forward(&g, q, &idx, true);
+            assert!(pruned.stats().pruned_visits + pruned.stats().edge_scans > 0);
+            for v in g.vertices() {
+                let dv = idx.dist_to_t(v);
+                if dv == INF_DIST {
+                    continue;
+                }
+                for l in 1..k {
+                    if l + dv <= k {
+                        assert_eq!(
+                            full.ev(l, v),
+                            pruned.ev(l, v),
+                            "k={k} l={l} v={v}: pruning changed a relevant set"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Example 3.7: with k = 7, EV_l(s, i) for l > 3 is not computed because
+    /// Δ(i, t) = 4 (the pruned propagation never updates vertex i past its
+    /// level-2 set).
+    #[test]
+    fn example_3_7_pruning_skips_vertex_i() {
+        let g = paper_example::figure1_graph();
+        let q = Query::new(S, T, 7);
+        let idx = index(&g, q);
+        assert_eq!(idx.dist_to_t(I), 4);
+        let pruned = Propagation::forward(&g, q, &idx, true);
+        // The stored set for i stays the level-2 value {s, a, i}; the
+        // unpruned run would eventually shrink it at level 5.
+        assert_eq!(ev_vec(&pruned, 6, I), Some(sorted(vec![S, A, I])));
+        assert!(pruned.stats().pruned_visits > 0);
+    }
+
+    #[test]
+    fn stats_and_memory_are_reported() {
+        let g = paper_example::figure1_graph();
+        let q = Query::new(S, T, 6);
+        let idx = index(&g, q);
+        let p = Propagation::forward(&g, q, &idx, true);
+        assert!(p.stats().edge_scans > 0);
+        assert!(p.stored_sets() >= 1);
+        assert!(p.memory_bytes() > 0);
+        assert_eq!(p.origin(), S);
+        assert_eq!(p.excluded(), T);
+        assert_eq!(p.hop_constraint(), 6);
+    }
+
+    #[test]
+    fn excluded_endpoint_is_never_part_of_a_set() {
+        let g = paper_example::figure1_graph();
+        let q = Query::new(S, T, 8);
+        let idx = index(&g, q);
+        let p = Propagation::forward(&g, q, &idx, false);
+        for v in g.vertices() {
+            if let Some(set) = p.ev(q.k - 1, v) {
+                assert!(!set.contains(T), "forward EV of {v} must not contain t");
+            }
+        }
+        let b = Propagation::backward(&g, q, &idx, false);
+        for v in g.vertices() {
+            if let Some(set) = b.ev(q.k - 1, v) {
+                assert!(!set.contains(S), "backward EV of {v} must not contain s");
+            }
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Query definition and validation.
+//!
+//! A query is the triple `⟨s, t, k⟩` of the problem statement (§2.1): find
+//! the simple path graph `SPG_k(s, t)` containing every edge that lies on at
+//! least one simple path from `s` to `t` of length at most `k`.
+
+use spg_graph::{DiGraph, VertexId};
+
+/// A hop-constrained s-t simple path graph query `⟨s, t, k⟩`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Query {
+    /// Source vertex `s`.
+    pub source: VertexId,
+    /// Target vertex `t` (must differ from `s`).
+    pub target: VertexId,
+    /// Hop constraint `k ≥ 1`: only simple paths with at most `k` edges count.
+    pub k: u32,
+}
+
+impl Query {
+    /// Creates a query. Validation against a concrete graph happens in
+    /// [`Query::validate`].
+    pub fn new(source: VertexId, target: VertexId, k: u32) -> Self {
+        Query { source, target, k }
+    }
+
+    /// Checks that the query is well-formed for graph `g`.
+    pub fn validate(&self, g: &DiGraph) -> Result<(), QueryError> {
+        let n = g.vertex_count();
+        if (self.source as usize) >= n {
+            return Err(QueryError::VertexOutOfRange {
+                vertex: self.source,
+                vertices: n,
+            });
+        }
+        if (self.target as usize) >= n {
+            return Err(QueryError::VertexOutOfRange {
+                vertex: self.target,
+                vertices: n,
+            });
+        }
+        if self.source == self.target {
+            return Err(QueryError::SourceEqualsTarget(self.source));
+        }
+        if self.k == 0 {
+            return Err(QueryError::ZeroHopConstraint);
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Display for Query {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "⟨s={}, t={}, k={}⟩", self.source, self.target, self.k)
+    }
+}
+
+/// Reasons a query can be rejected before any computation starts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryError {
+    /// A query endpoint does not exist in the graph.
+    VertexOutOfRange {
+        /// The offending vertex id.
+        vertex: VertexId,
+        /// Number of vertices in the graph.
+        vertices: usize,
+    },
+    /// `s == t`; the problem statement requires distinct endpoints.
+    SourceEqualsTarget(VertexId),
+    /// `k == 0`; no edge can lie on a path of length zero.
+    ZeroHopConstraint,
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::VertexOutOfRange { vertex, vertices } => {
+                write!(f, "vertex {vertex} out of range (graph has {vertices} vertices)")
+            }
+            QueryError::SourceEqualsTarget(v) => {
+                write!(f, "source and target must be distinct (both are {v})")
+            }
+            QueryError::ZeroHopConstraint => write!(f, "hop constraint k must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_query_passes() {
+        let g = DiGraph::from_edges(3, [(0, 1), (1, 2)]);
+        assert!(Query::new(0, 2, 3).validate(&g).is_ok());
+    }
+
+    #[test]
+    fn out_of_range_vertex_is_rejected() {
+        let g = DiGraph::from_edges(3, [(0, 1)]);
+        let err = Query::new(0, 9, 3).validate(&g).unwrap_err();
+        assert_eq!(
+            err,
+            QueryError::VertexOutOfRange {
+                vertex: 9,
+                vertices: 3
+            }
+        );
+        assert!(err.to_string().contains("out of range"));
+    }
+
+    #[test]
+    fn equal_endpoints_are_rejected() {
+        let g = DiGraph::from_edges(3, [(0, 1)]);
+        let err = Query::new(1, 1, 3).validate(&g).unwrap_err();
+        assert_eq!(err, QueryError::SourceEqualsTarget(1));
+    }
+
+    #[test]
+    fn zero_k_is_rejected() {
+        let g = DiGraph::from_edges(3, [(0, 1)]);
+        let err = Query::new(0, 1, 0).validate(&g).unwrap_err();
+        assert_eq!(err, QueryError::ZeroHopConstraint);
+    }
+
+    #[test]
+    fn display_formats() {
+        let q = Query::new(3, 7, 5);
+        assert_eq!(q.to_string(), "⟨s=3, t=7, k=5⟩");
+    }
+}

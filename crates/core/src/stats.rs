@@ -1,0 +1,148 @@
+//! Per-query statistics: phase timings, memory accounting and work counters.
+//!
+//! The paper's evaluation reports not only end-to-end latency (Figure 8) but
+//! also the per-phase breakdown (Figure 10(c)), peak space (Figures 9 and
+//! 10(a)) and the tightness of the upper bound (Table 3). [`EveStats`]
+//! aggregates everything the benchmark harness needs to regenerate those
+//! artefacts, and is attached to every [`crate::SimplePathGraph`] answer.
+
+use std::time::Duration;
+
+use crate::labeling::LabelingStats;
+use crate::propagation::PropagationStats;
+use crate::verification::VerificationStats;
+use spg_graph::SearchSpaceStats;
+
+/// Wall-clock time spent in each EVE phase.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseTimings {
+    /// Distance computation (adaptive bidirectional search).
+    pub distance: Duration,
+    /// Forward + backward essential-vertex propagation.
+    pub propagation: Duration,
+    /// Edge labeling / upper-bound graph construction.
+    pub labeling: Duration,
+    /// Undetermined-edge verification (including search ordering).
+    pub verification: Duration,
+}
+
+impl PhaseTimings {
+    /// Total time across all phases.
+    pub fn total(&self) -> Duration {
+        self.distance + self.propagation + self.labeling + self.verification
+    }
+
+    /// Time of the paper's "phase (1): propagation for essential vertices",
+    /// which includes the distance computation it depends on.
+    pub fn phase1_propagation(&self) -> Duration {
+        self.distance + self.propagation
+    }
+
+    /// Time of the paper's "phase (2): computing upper-bound graph".
+    pub fn phase2_upper_bound(&self) -> Duration {
+        self.labeling
+    }
+
+    /// Time of the paper's "phase (3): verifying undetermined edges".
+    pub fn phase3_verification(&self) -> Duration {
+        self.verification
+    }
+}
+
+/// Analytic estimate of the bytes held by each phase's dominant data
+/// structures (see DESIGN.md §2.3 for why this stands in for RSS
+/// measurements).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoryEstimate {
+    /// Distance index (forward + backward distance maps).
+    pub distance_bytes: usize,
+    /// Essential-vertex sets of both propagations.
+    pub propagation_bytes: usize,
+    /// Upper-bound graph adjacency, labels, departures and arrivals.
+    pub upper_bound_bytes: usize,
+    /// Verification result set and stacks.
+    pub verification_bytes: usize,
+}
+
+impl MemoryEstimate {
+    /// Sum over all phases: EVE keeps the earlier structures alive until the
+    /// answer is produced, so the peak equals the total.
+    pub fn peak_bytes(&self) -> usize {
+        self.distance_bytes + self.propagation_bytes + self.upper_bound_bytes + self.verification_bytes
+    }
+}
+
+/// All statistics collected while answering one query.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EveStats {
+    /// Wall-clock time per phase.
+    pub timings: PhaseTimings,
+    /// Estimated bytes per phase.
+    pub memory: MemoryEstimate,
+    /// Counters from the distance phase.
+    pub search_space: SearchSpaceStats,
+    /// Counters from the forward propagation.
+    pub forward_propagation: PropagationStats,
+    /// Counters from the backward propagation.
+    pub backward_propagation: PropagationStats,
+    /// Counters from edge labeling.
+    pub labeling: LabelingStats,
+    /// Counters from verification.
+    pub verification: VerificationStats,
+    /// Number of edges in the upper-bound graph `SPGᵘ_k` (definite +
+    /// undetermined), used for the redundant ratio of Table 3.
+    pub upper_bound_edges: usize,
+}
+
+impl EveStats {
+    /// Redundant ratio `r_D = (|E(SPGᵘ_k)| − |E(SPG_k)|) / |E(SPG_k)|`
+    /// (§6.6), given the final answer size. Returns `None` when the answer is
+    /// empty.
+    pub fn redundant_ratio(&self, answer_edges: usize) -> Option<f64> {
+        if answer_edges == 0 {
+            return None;
+        }
+        Some((self.upper_bound_edges as f64 - answer_edges as f64) / answer_edges as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timings_add_up() {
+        let t = PhaseTimings {
+            distance: Duration::from_millis(1),
+            propagation: Duration::from_millis(2),
+            labeling: Duration::from_millis(3),
+            verification: Duration::from_millis(4),
+        };
+        assert_eq!(t.total(), Duration::from_millis(10));
+        assert_eq!(t.phase1_propagation(), Duration::from_millis(3));
+        assert_eq!(t.phase2_upper_bound(), Duration::from_millis(3));
+        assert_eq!(t.phase3_verification(), Duration::from_millis(4));
+    }
+
+    #[test]
+    fn memory_peak_is_sum_of_phases() {
+        let m = MemoryEstimate {
+            distance_bytes: 10,
+            propagation_bytes: 20,
+            upper_bound_bytes: 30,
+            verification_bytes: 40,
+        };
+        assert_eq!(m.peak_bytes(), 100);
+    }
+
+    #[test]
+    fn redundant_ratio_formula() {
+        let stats = EveStats {
+            upper_bound_edges: 105,
+            ..Default::default()
+        };
+        let r = stats.redundant_ratio(100).unwrap();
+        assert!((r - 0.05).abs() < 1e-12);
+        assert_eq!(stats.redundant_ratio(0), None);
+    }
+}

@@ -1,0 +1,192 @@
+//! Mutable construction of [`DiGraph`] instances.
+//!
+//! The builder accumulates edges, then sorts and deduplicates them once at
+//! [`GraphBuilder::build`] time, producing sorted CSR adjacency in
+//! `O(|E| log |E|)`. Self-loops are dropped by default because a self-loop can
+//! never appear on a simple path; the behaviour can be changed with
+//! [`GraphBuilder::keep_self_loops`] for callers that need raw multigraph
+//! statistics.
+
+use crate::csr::{DiGraph, VertexId};
+
+/// Incremental builder for [`DiGraph`].
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<(VertexId, VertexId)>,
+    keep_self_loops: bool,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph with `n` vertices (`0..n`).
+    pub fn new(n: usize) -> Self {
+        GraphBuilder {
+            n,
+            edges: Vec::new(),
+            keep_self_loops: false,
+        }
+    }
+
+    /// Creates a builder with an edge-capacity hint.
+    pub fn with_capacity(n: usize, edges: usize) -> Self {
+        GraphBuilder {
+            n,
+            edges: Vec::with_capacity(edges),
+            keep_self_loops: false,
+        }
+    }
+
+    /// Number of vertices this builder was created with.
+    pub fn vertex_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges added so far (before deduplication).
+    pub fn raw_edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Keep self-loops instead of silently dropping them (default: drop).
+    pub fn keep_self_loops(&mut self, keep: bool) -> &mut Self {
+        self.keep_self_loops = keep;
+        self
+    }
+
+    /// Adds the directed edge `(u, v)`.
+    ///
+    /// # Panics
+    /// Panics if `u` or `v` is not a valid vertex id for this builder.
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId) -> &mut Self {
+        assert!(
+            (u as usize) < self.n && (v as usize) < self.n,
+            "edge ({u}, {v}) out of range for a graph with {} vertices",
+            self.n
+        );
+        self.edges.push((u, v));
+        self
+    }
+
+    /// Adds every edge from an iterator.
+    pub fn extend_edges<I>(&mut self, edges: I) -> &mut Self
+    where
+        I: IntoIterator<Item = (VertexId, VertexId)>,
+    {
+        for (u, v) in edges {
+            self.add_edge(u, v);
+        }
+        self
+    }
+
+    /// Returns `true` if the (raw, pre-dedup) edge list already contains
+    /// `(u, v)`. Linear scan — intended for small fixture graphs and tests.
+    pub fn contains_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.edges.iter().any(|&(a, b)| a == u && b == v)
+    }
+
+    /// Finalises the builder into an immutable CSR [`DiGraph`].
+    ///
+    /// Parallel edges are collapsed; self-loops are dropped unless
+    /// [`GraphBuilder::keep_self_loops`] was enabled.
+    pub fn build(&self) -> DiGraph {
+        let n = self.n;
+        let mut edges: Vec<(VertexId, VertexId)> = if self.keep_self_loops {
+            self.edges.clone()
+        } else {
+            self.edges.iter().copied().filter(|&(u, v)| u != v).collect()
+        };
+        edges.sort_unstable();
+        edges.dedup();
+
+        let m = edges.len();
+        let mut out_offsets = vec![0u32; n + 1];
+        let mut in_degree = vec![0u32; n];
+        for &(u, v) in &edges {
+            out_offsets[u as usize + 1] += 1;
+            in_degree[v as usize] += 1;
+        }
+        for i in 0..n {
+            out_offsets[i + 1] += out_offsets[i];
+        }
+        // Edges are sorted by (u, v), so the targets slice is already grouped
+        // by source and sorted within each group.
+        let out_targets: Vec<VertexId> = edges.iter().map(|&(_, v)| v).collect();
+
+        let mut in_offsets = vec![0u32; n + 1];
+        for v in 0..n {
+            in_offsets[v + 1] = in_offsets[v] + in_degree[v];
+        }
+        let mut cursor: Vec<u32> = in_offsets[..n].to_vec();
+        let mut in_sources = vec![0 as VertexId; m];
+        // Iterating edges in (u, v) order fills each in-bucket with ascending
+        // sources, keeping in-adjacency sorted as well.
+        for &(u, v) in &edges {
+            let slot = cursor[v as usize] as usize;
+            in_sources[slot] = u;
+            cursor[v as usize] += 1;
+        }
+
+        DiGraph::from_csr_parts(out_offsets, out_targets, in_offsets, in_sources)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_produces_sorted_adjacency_in_both_directions() {
+        let mut b = GraphBuilder::new(6);
+        b.extend_edges([(3, 1), (0, 5), (0, 2), (2, 1), (5, 1), (0, 4)]);
+        let g = b.build();
+        assert_eq!(g.out_neighbors(0), &[2, 4, 5]);
+        assert_eq!(g.in_neighbors(1), &[2, 3, 5]);
+    }
+
+    #[test]
+    fn dedup_and_self_loop_policy() {
+        let mut b = GraphBuilder::new(3);
+        b.extend_edges([(0, 1), (0, 1), (1, 1), (2, 0)]);
+        assert_eq!(b.raw_edge_count(), 4);
+        let g = b.build();
+        assert_eq!(g.edge_count(), 2);
+
+        let mut b2 = GraphBuilder::new(3);
+        b2.keep_self_loops(true);
+        b2.extend_edges([(1, 1), (0, 1)]);
+        let g2 = b2.build();
+        assert_eq!(g2.edge_count(), 2);
+        assert!(g2.has_edge(1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 2);
+    }
+
+    #[test]
+    fn contains_edge_reports_raw_edges() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(1, 2);
+        assert!(b.contains_edge(1, 2));
+        assert!(!b.contains_edge(2, 1));
+    }
+
+    #[test]
+    fn with_capacity_builds_identical_graph() {
+        let edges = [(0u32, 1u32), (1, 2), (2, 3), (3, 0)];
+        let mut a = GraphBuilder::new(4);
+        a.extend_edges(edges);
+        let mut b = GraphBuilder::with_capacity(4, 4);
+        b.extend_edges(edges);
+        assert_eq!(a.build(), b.build());
+    }
+
+    #[test]
+    fn empty_builder_builds_isolated_vertices() {
+        let g = GraphBuilder::new(7).build();
+        assert_eq!(g.vertex_count(), 7);
+        assert_eq!(g.edge_count(), 0);
+    }
+}

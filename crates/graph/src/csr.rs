@@ -1,0 +1,377 @@
+//! Compressed sparse row (CSR) storage for immutable directed graphs.
+//!
+//! [`DiGraph`] stores both the out-adjacency and the in-adjacency of a
+//! directed graph. The EVE algorithm needs both: forward propagation and
+//! forward BFS walk out-edges, backward propagation / backward BFS walk
+//! in-edges (equivalently, the out-edges of the reversed graph `Gʳ`). Keeping
+//! both directions inside one structure avoids materialising a second graph
+//! per query.
+//!
+//! Vertices are dense `u32` identifiers `0..n`. Edges are identified by their
+//! position in the out-adjacency array ([`EdgeId`]), which gives every edge a
+//! stable dense id that the edge-labeling phase of EVE uses for its per-edge
+//! label array. Adjacency lists are sorted, so `has_edge`/`edge_id` are
+//! `O(log d)` binary searches and neighbourhood intersections stream in
+//! order.
+
+use crate::builder::GraphBuilder;
+
+/// Dense vertex identifier (`0..vertex_count`).
+pub type VertexId = u32;
+
+/// Dense edge identifier: the position of the edge in out-adjacency order.
+pub type EdgeId = u32;
+
+/// An immutable directed graph in CSR form with out- and in-adjacency.
+#[derive(Clone, PartialEq, Eq)]
+pub struct DiGraph {
+    /// `out_offsets[u]..out_offsets[u+1]` indexes `out_targets` for vertex `u`.
+    out_offsets: Vec<u32>,
+    /// Concatenated, per-vertex-sorted out-neighbour lists.
+    out_targets: Vec<VertexId>,
+    /// `in_offsets[v]..in_offsets[v+1]` indexes `in_sources` for vertex `v`.
+    in_offsets: Vec<u32>,
+    /// Concatenated, per-vertex-sorted in-neighbour lists.
+    in_sources: Vec<VertexId>,
+}
+
+impl std::fmt::Debug for DiGraph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DiGraph")
+            .field("vertices", &self.vertex_count())
+            .field("edges", &self.edge_count())
+            .finish()
+    }
+}
+
+impl DiGraph {
+    /// Builds a graph from raw CSR arrays. Intended for use by
+    /// [`GraphBuilder`]; invariants (sorted adjacency, consistent offsets)
+    /// must already hold.
+    pub(crate) fn from_csr_parts(
+        out_offsets: Vec<u32>,
+        out_targets: Vec<VertexId>,
+        in_offsets: Vec<u32>,
+        in_sources: Vec<VertexId>,
+    ) -> Self {
+        debug_assert_eq!(out_offsets.len(), in_offsets.len());
+        debug_assert_eq!(out_targets.len(), in_sources.len());
+        DiGraph {
+            out_offsets,
+            out_targets,
+            in_offsets,
+            in_sources,
+        }
+    }
+
+    /// Creates an empty graph with `n` isolated vertices.
+    pub fn empty(n: usize) -> Self {
+        GraphBuilder::new(n).build()
+    }
+
+    /// Convenience constructor: builds a graph with `n` vertices from an edge
+    /// iterator, deduplicating parallel edges and dropping self-loops
+    /// (self-loops can never participate in a simple path).
+    ///
+    /// # Panics
+    /// Panics if an endpoint is `>= n`.
+    pub fn from_edges<I>(n: usize, edges: I) -> Self
+    where
+        I: IntoIterator<Item = (VertexId, VertexId)>,
+    {
+        let mut b = GraphBuilder::new(n);
+        for (u, v) in edges {
+            b.add_edge(u, v);
+        }
+        b.build()
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn vertex_count(&self) -> usize {
+        self.out_offsets.len() - 1
+    }
+
+    /// Number of directed edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.out_targets.len()
+    }
+
+    /// `true` if the graph has no edges.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.out_targets.is_empty()
+    }
+
+    /// Iterator over all vertex ids `0..n`.
+    #[inline]
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        0..self.vertex_count() as VertexId
+    }
+
+    /// Out-neighbours of `u`, sorted ascending.
+    #[inline]
+    pub fn out_neighbors(&self, u: VertexId) -> &[VertexId] {
+        let lo = self.out_offsets[u as usize] as usize;
+        let hi = self.out_offsets[u as usize + 1] as usize;
+        &self.out_targets[lo..hi]
+    }
+
+    /// In-neighbours of `v`, sorted ascending.
+    #[inline]
+    pub fn in_neighbors(&self, v: VertexId) -> &[VertexId] {
+        let lo = self.in_offsets[v as usize] as usize;
+        let hi = self.in_offsets[v as usize + 1] as usize;
+        &self.in_sources[lo..hi]
+    }
+
+    /// Out-degree of `u`.
+    #[inline]
+    pub fn out_degree(&self, u: VertexId) -> usize {
+        self.out_neighbors(u).len()
+    }
+
+    /// In-degree of `v`.
+    #[inline]
+    pub fn in_degree(&self, v: VertexId) -> usize {
+        self.in_neighbors(v).len()
+    }
+
+    /// Total degree (in + out) of `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.in_degree(v) + self.out_degree(v)
+    }
+
+    /// Neighbours in a chosen direction: out-neighbours for
+    /// [`Direction::Forward`], in-neighbours for [`Direction::Backward`].
+    #[inline]
+    pub fn neighbors(&self, v: VertexId, dir: Direction) -> &[VertexId] {
+        match dir {
+            Direction::Forward => self.out_neighbors(v),
+            Direction::Backward => self.in_neighbors(v),
+        }
+    }
+
+    /// `true` if the directed edge `(u, v)` exists.
+    #[inline]
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.out_neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Dense id of edge `(u, v)` if present.
+    #[inline]
+    pub fn edge_id(&self, u: VertexId, v: VertexId) -> Option<EdgeId> {
+        let base = self.out_offsets[u as usize];
+        self.out_neighbors(u)
+            .binary_search(&v)
+            .ok()
+            .map(|pos| base + pos as EdgeId)
+    }
+
+    /// Endpoints `(u, v)` of the edge with dense id `e`.
+    ///
+    /// `O(log n)` — the source vertex is located by binary search over the
+    /// offset array.
+    pub fn edge_endpoints(&self, e: EdgeId) -> (VertexId, VertexId) {
+        debug_assert!((e as usize) < self.edge_count());
+        let v = self.out_targets[e as usize];
+        // partition_point returns the first u with offset > e, so source = u-1.
+        let u = self.out_offsets.partition_point(|&off| off <= e) - 1;
+        (u as VertexId, v)
+    }
+
+    /// Iterator over `(EdgeId, source, target)` for the out-edges of `u`.
+    #[inline]
+    pub fn out_edges(&self, u: VertexId) -> impl Iterator<Item = (EdgeId, VertexId)> + '_ {
+        let base = self.out_offsets[u as usize];
+        self.out_neighbors(u)
+            .iter()
+            .enumerate()
+            .map(move |(i, &v)| (base + i as EdgeId, v))
+    }
+
+    /// Iterator over all edges as `(source, target)` pairs in edge-id order.
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        self.vertices()
+            .flat_map(move |u| self.out_neighbors(u).iter().map(move |&v| (u, v)))
+    }
+
+    /// Iterator over all edges as `(EdgeId, source, target)` triples.
+    pub fn edges_with_ids(&self) -> impl Iterator<Item = (EdgeId, VertexId, VertexId)> + '_ {
+        self.vertices().flat_map(move |u| {
+            let base = self.out_offsets[u as usize];
+            self.out_neighbors(u)
+                .iter()
+                .enumerate()
+                .map(move |(i, &v)| (base + i as EdgeId, u, v))
+        })
+    }
+
+    /// Returns the reversed graph `Gʳ` (every edge flipped).
+    ///
+    /// Note that most algorithms in this workspace do not need this: backward
+    /// traversal can use [`DiGraph::in_neighbors`] directly. The method is
+    /// mainly useful for tests and for feeding forward-only third-party code.
+    pub fn reversed(&self) -> DiGraph {
+        DiGraph {
+            out_offsets: self.in_offsets.clone(),
+            out_targets: self.in_sources.clone(),
+            in_offsets: self.out_offsets.clone(),
+            in_sources: self.out_targets.clone(),
+        }
+    }
+
+    /// Maximum of in- and out-degree over all vertices (`d_max` in the paper).
+    pub fn max_degree(&self) -> usize {
+        self.vertices()
+            .map(|v| self.out_degree(v).max(self.in_degree(v)))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Average out-degree (`d_avg = |E| / |V|`).
+    pub fn avg_degree(&self) -> f64 {
+        if self.vertex_count() == 0 {
+            0.0
+        } else {
+            self.edge_count() as f64 / self.vertex_count() as f64
+        }
+    }
+
+    /// Approximate heap footprint of the CSR arrays in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        (self.out_offsets.len() + self.in_offsets.len()) * std::mem::size_of::<u32>()
+            + (self.out_targets.len() + self.in_sources.len()) * std::mem::size_of::<VertexId>()
+    }
+}
+
+/// Traversal direction selector used by BFS and propagation routines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Follow edges in their natural orientation (walk out-neighbours).
+    Forward,
+    /// Follow edges against their orientation (walk in-neighbours).
+    Backward,
+}
+
+impl Direction {
+    /// The opposite direction.
+    #[inline]
+    pub fn flipped(self) -> Direction {
+        match self {
+            Direction::Forward => Direction::Backward,
+            Direction::Backward => Direction::Forward,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The running example of Figure 1(a) in the paper, with the vertex
+    /// naming s=0, a=1, c=2, t=3, h=4, b=5, i=6, j=7.
+    pub(crate) fn figure1_graph() -> DiGraph {
+        DiGraph::from_edges(
+            8,
+            [
+                (0, 1), // s -> a
+                (0, 2), // s -> c
+                (1, 2), // a -> c
+                (1, 4), // a -> h
+                (1, 6), // a -> i
+                (2, 3), // c -> t
+                (2, 5), // c -> b
+                (4, 5), // h -> b
+                (5, 3), // b -> t
+                (5, 1), // b -> a
+                (5, 7), // b -> j
+                (6, 7), // i -> j
+                (7, 4), // j -> h
+            ],
+        )
+    }
+
+    #[test]
+    fn counts_and_degrees() {
+        let g = figure1_graph();
+        assert_eq!(g.vertex_count(), 8);
+        assert_eq!(g.edge_count(), 13);
+        assert_eq!(g.out_degree(1), 3); // a -> {c, h, i}
+        assert_eq!(g.in_degree(3), 2); // t <- {c, b}
+        assert_eq!(g.degree(5), 5); // b: in {c, h}, out {t, a, j}
+        assert!(g.max_degree() >= 3);
+        assert!((g.avg_degree() - 13.0 / 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn adjacency_is_sorted_and_queriable() {
+        let g = figure1_graph();
+        assert_eq!(g.out_neighbors(1), &[2, 4, 6]);
+        assert_eq!(g.in_neighbors(5), &[2, 4]);
+        assert!(g.has_edge(0, 2));
+        assert!(!g.has_edge(2, 0));
+        assert!(g.edge_id(0, 2).is_some());
+        assert_eq!(g.edge_id(2, 0), None);
+    }
+
+    #[test]
+    fn edge_ids_round_trip() {
+        let g = figure1_graph();
+        for (e, u, v) in g.edges_with_ids() {
+            assert_eq!(g.edge_endpoints(e), (u, v));
+            assert_eq!(g.edge_id(u, v), Some(e));
+        }
+        let ids: Vec<EdgeId> = g.edges_with_ids().map(|(e, _, _)| e).collect();
+        let expected: Vec<EdgeId> = (0..g.edge_count() as EdgeId).collect();
+        assert_eq!(ids, expected);
+    }
+
+    #[test]
+    fn reversal_flips_every_edge() {
+        let g = figure1_graph();
+        let r = g.reversed();
+        assert_eq!(r.vertex_count(), g.vertex_count());
+        assert_eq!(r.edge_count(), g.edge_count());
+        for (u, v) in g.edges() {
+            assert!(r.has_edge(v, u));
+        }
+        assert_eq!(r.reversed(), g);
+    }
+
+    #[test]
+    fn empty_graph_behaves() {
+        let g = DiGraph::empty(5);
+        assert_eq!(g.vertex_count(), 5);
+        assert_eq!(g.edge_count(), 0);
+        assert!(g.is_empty());
+        assert_eq!(g.out_neighbors(3), &[] as &[VertexId]);
+        assert_eq!(g.max_degree(), 0);
+        assert_eq!(g.avg_degree(), 0.0);
+    }
+
+    #[test]
+    fn self_loops_and_duplicates_removed() {
+        let g = DiGraph::from_edges(3, [(0, 1), (0, 1), (1, 1), (1, 2), (1, 2), (2, 0)]);
+        assert_eq!(g.edge_count(), 3);
+        assert!(!g.has_edge(1, 1));
+    }
+
+    #[test]
+    fn directions_select_the_right_adjacency() {
+        let g = figure1_graph();
+        assert_eq!(g.neighbors(1, Direction::Forward), g.out_neighbors(1));
+        assert_eq!(g.neighbors(1, Direction::Backward), g.in_neighbors(1));
+        assert_eq!(Direction::Forward.flipped(), Direction::Backward);
+        assert_eq!(Direction::Backward.flipped(), Direction::Forward);
+    }
+
+    #[test]
+    fn memory_estimate_is_positive_for_nonempty_graphs() {
+        let g = figure1_graph();
+        assert!(g.memory_bytes() > 0);
+        assert!(g.memory_bytes() >= g.edge_count() * 8);
+    }
+}

@@ -1,0 +1,251 @@
+//! Seeded random graph generators.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::csr::{DiGraph, VertexId};
+use crate::GraphBuilder;
+
+/// Erdős–Rényi `G(n, m)`: exactly `m` distinct directed edges (no self-loops)
+/// drawn uniformly at random.
+///
+/// If `m` exceeds the number of possible edges `n·(n−1)` it is clamped.
+pub fn gnm_random(n: usize, m: usize, seed: u64) -> DiGraph {
+    assert!(n > 0, "graph must have at least one vertex");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let max_edges = n.saturating_mul(n.saturating_sub(1));
+    let m = m.min(max_edges);
+    let mut builder = GraphBuilder::with_capacity(n, m);
+    let mut seen = crate::hash::set_with_capacity::<(VertexId, VertexId)>(m * 2);
+    while seen.len() < m {
+        let u = rng.gen_range(0..n) as VertexId;
+        let v = rng.gen_range(0..n) as VertexId;
+        if u == v {
+            continue;
+        }
+        if seen.insert((u, v)) {
+            builder.add_edge(u, v);
+        }
+    }
+    builder.build()
+}
+
+/// Erdős–Rényi `G(n, p)`: every ordered pair becomes an edge independently
+/// with probability `p`. Only suitable for small `n` (quadratic scan).
+pub fn gnp_random(n: usize, p: f64, seed: u64) -> DiGraph {
+    assert!((0.0..=1.0).contains(&p), "p must lie in [0, 1]");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::new(n);
+    for u in 0..n as VertexId {
+        for v in 0..n as VertexId {
+            if u != v && rng.gen_bool(p) {
+                builder.add_edge(u, v);
+            }
+        }
+    }
+    builder.build()
+}
+
+/// Directed Barabási–Albert style preferential attachment.
+///
+/// Vertices arrive one at a time; each new vertex emits `out_per_vertex`
+/// edges whose heads are chosen proportionally to (1 + current in-degree),
+/// producing the heavy-tailed in-degree distribution typical of web graphs.
+/// A matching fraction of "back" edges (head → new vertex) is added with
+/// probability `back_edge_prob` to create cycles, since hop-constrained
+/// simple path workloads are only interesting on cyclic graphs.
+pub fn preferential_attachment(
+    n: usize,
+    out_per_vertex: usize,
+    back_edge_prob: f64,
+    seed: u64,
+) -> DiGraph {
+    assert!(n >= 2, "need at least two vertices");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::with_capacity(n, n * out_per_vertex);
+    // Repeated-target list implements proportional sampling: every time a
+    // vertex gains an in-edge it is pushed again, so drawing uniformly from
+    // the list is preferential attachment.
+    let mut targets: Vec<VertexId> = vec![0];
+    for u in 1..n as VertexId {
+        let emit = out_per_vertex.min(u as usize);
+        for _ in 0..emit {
+            let pick = targets[rng.gen_range(0..targets.len())];
+            if pick != u {
+                builder.add_edge(u, pick);
+                targets.push(pick);
+                if rng.gen_bool(back_edge_prob) {
+                    builder.add_edge(pick, u);
+                    targets.push(u);
+                }
+            }
+        }
+        targets.push(u);
+    }
+    builder.build()
+}
+
+/// Directed configuration model with (truncated) power-law out-degrees.
+///
+/// Each vertex draws an out-degree from a Pareto-like distribution with
+/// exponent `gamma` and mean close to `avg_degree`; heads are matched to a
+/// random permutation of endpoints, which keeps the in-degree distribution
+/// close to uniform (as in citation-style social graphs).
+pub fn power_law_configuration(n: usize, avg_degree: f64, gamma: f64, seed: u64) -> DiGraph {
+    assert!(n >= 2);
+    assert!(gamma > 1.0, "power-law exponent must exceed 1");
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Sample degrees d = x_min * U^{-1/(gamma-1)}, truncated at n/4, then
+    // rescale so the mean matches avg_degree.
+    let raw: Vec<f64> = (0..n)
+        .map(|_| {
+            let u: f64 = rng.gen_range(1e-9..1.0);
+            u.powf(-1.0 / (gamma - 1.0))
+        })
+        .collect();
+    let mean_raw: f64 = raw.iter().sum::<f64>() / n as f64;
+    let cap = (n / 4).max(1) as f64;
+    let degrees: Vec<usize> = raw
+        .iter()
+        .map(|&x| ((x / mean_raw * avg_degree).round().min(cap)).max(0.0) as usize)
+        .collect();
+
+    let mut heads: Vec<VertexId> = Vec::new();
+    let total: usize = degrees.iter().sum();
+    heads.reserve(total);
+    for v in 0..n as VertexId {
+        heads.push(v);
+    }
+    // Pad / extend the head pool so every stub can be matched.
+    while heads.len() < total {
+        heads.push(rng.gen_range(0..n) as VertexId);
+    }
+    heads.shuffle(&mut rng);
+
+    let mut builder = GraphBuilder::with_capacity(n, total);
+    let mut cursor = 0usize;
+    for (u, &d) in degrees.iter().enumerate() {
+        for _ in 0..d {
+            let head = heads[cursor % heads.len()];
+            cursor += 1;
+            if head != u as VertexId {
+                builder.add_edge(u as VertexId, head);
+            }
+        }
+    }
+    builder.build()
+}
+
+/// Planted-partition ("community") graph.
+///
+/// Vertices are split into `communities` equal blocks. Ordered pairs inside
+/// the same block become edges with probability `p_in`, pairs across blocks
+/// with probability `p_out`. Dense blocks produce the large strongly cohesive
+/// communities with many overlapping s-t paths that motivate simple path
+/// *graphs* over path enumeration (§1.1).
+pub fn community_graph(
+    n: usize,
+    communities: usize,
+    p_in: f64,
+    p_out: f64,
+    seed: u64,
+) -> DiGraph {
+    assert!(communities >= 1 && communities <= n.max(1));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::new(n);
+    let block = n.div_ceil(communities);
+    for u in 0..n {
+        for v in 0..n {
+            if u == v {
+                continue;
+            }
+            let same = u / block == v / block;
+            let p = if same { p_in } else { p_out };
+            if p > 0.0 && rng.gen_bool(p) {
+                builder.add_edge(u as VertexId, v as VertexId);
+            }
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::properties::DegreeStats;
+
+    #[test]
+    fn gnm_has_exact_edge_count_and_is_deterministic() {
+        let g1 = gnm_random(100, 500, 7);
+        let g2 = gnm_random(100, 500, 7);
+        let g3 = gnm_random(100, 500, 8);
+        assert_eq!(g1.edge_count(), 500);
+        assert_eq!(g1, g2);
+        assert_ne!(g1, g3);
+    }
+
+    #[test]
+    fn gnm_clamps_to_maximum_possible_edges() {
+        let g = gnm_random(4, 100, 1);
+        assert_eq!(g.edge_count(), 12);
+    }
+
+    #[test]
+    fn gnp_density_tracks_probability() {
+        let g = gnp_random(60, 0.2, 11);
+        let possible = 60.0 * 59.0;
+        let density = g.edge_count() as f64 / possible;
+        assert!((density - 0.2).abs() < 0.05, "density {density}");
+    }
+
+    #[test]
+    fn preferential_attachment_is_heavy_tailed() {
+        let g = preferential_attachment(2000, 4, 0.3, 13);
+        let stats = DegreeStats::of(&g);
+        assert!(stats.edges > 2000);
+        // A heavy tail: the busiest vertex should collect far more than the
+        // average number of in-edges.
+        assert!(stats.max_in_degree as f64 > 8.0 * stats.avg_degree);
+    }
+
+    #[test]
+    fn power_law_configuration_hits_requested_density() {
+        let g = power_law_configuration(2000, 8.0, 2.5, 17);
+        let avg = g.avg_degree();
+        assert!(avg > 4.0 && avg < 12.0, "avg degree {avg}");
+        let stats = DegreeStats::of(&g);
+        assert!(stats.max_out_degree > 20);
+    }
+
+    #[test]
+    fn community_graph_is_denser_inside_blocks() {
+        let g = community_graph(120, 4, 0.3, 0.01, 23);
+        let block = 30;
+        let mut inside = 0usize;
+        let mut across = 0usize;
+        for (u, v) in g.edges() {
+            if (u as usize) / block == (v as usize) / block {
+                inside += 1;
+            } else {
+                across += 1;
+            }
+        }
+        assert!(inside > across, "inside {inside} across {across}");
+    }
+
+    #[test]
+    fn generators_produce_no_self_loops() {
+        for g in [
+            gnm_random(50, 200, 3),
+            gnp_random(50, 0.1, 3),
+            preferential_attachment(200, 3, 0.2, 3),
+            power_law_configuration(200, 5.0, 2.2, 3),
+            community_graph(60, 3, 0.2, 0.02, 3),
+        ] {
+            for (u, v) in g.edges() {
+                assert_ne!(u, v);
+            }
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Structured (non-random) graph families used by tests and micro-benchmarks.
+
+use crate::csr::{DiGraph, VertexId};
+use crate::GraphBuilder;
+
+/// Directed path `0 → 1 → … → n−1`.
+pub fn path_graph(n: usize) -> DiGraph {
+    let mut b = GraphBuilder::new(n);
+    for i in 1..n {
+        b.add_edge((i - 1) as VertexId, i as VertexId);
+    }
+    b.build()
+}
+
+/// Directed cycle `0 → 1 → … → n−1 → 0`.
+pub fn cycle_graph(n: usize) -> DiGraph {
+    assert!(n >= 2, "a directed cycle needs at least two vertices");
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n {
+        b.add_edge(i as VertexId, ((i + 1) % n) as VertexId);
+    }
+    b.build()
+}
+
+/// Complete directed graph: every ordered pair `(u, v)` with `u ≠ v`.
+pub fn complete_graph(n: usize) -> DiGraph {
+    let mut b = GraphBuilder::with_capacity(n, n.saturating_mul(n.saturating_sub(1)));
+    for u in 0..n as VertexId {
+        for v in 0..n as VertexId {
+            if u != v {
+                b.add_edge(u, v);
+            }
+        }
+    }
+    b.build()
+}
+
+/// `rows × cols` grid with edges pointing right and down (a DAG). Vertex
+/// `(r, c)` has id `r * cols + c`.
+pub fn grid_graph(rows: usize, cols: usize) -> DiGraph {
+    let n = rows * cols;
+    let mut b = GraphBuilder::new(n);
+    let id = |r: usize, c: usize| (r * cols + c) as VertexId;
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.add_edge(id(r, c), id(r, c + 1));
+            }
+            if r + 1 < rows {
+                b.add_edge(id(r, c), id(r + 1, c));
+            }
+        }
+    }
+    b.build()
+}
+
+/// Layered DAG: `layers` layers of `width` vertices each; every vertex of
+/// layer `i` is connected to every vertex of layer `i+1`. The number of
+/// source-to-sink paths is `width^(layers-1)`, which makes this family the
+/// canonical stress test for the exponential path blow-up the paper's
+/// Figure 2(b) illustrates, while `|E(SPG_k)|` stays linear.
+pub fn layered_dag(layers: usize, width: usize) -> DiGraph {
+    assert!(layers >= 1 && width >= 1);
+    let n = layers * width;
+    let mut b = GraphBuilder::with_capacity(n, (layers - 1) * width * width);
+    let id = |layer: usize, i: usize| (layer * width + i) as VertexId;
+    for layer in 0..layers.saturating_sub(1) {
+        for i in 0..width {
+            for j in 0..width {
+                b.add_edge(id(layer, i), id(layer + 1, j));
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal::{k_hop_reachable, shortest_distance};
+
+    #[test]
+    fn path_graph_shape() {
+        let g = path_graph(5);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(shortest_distance(&g, 0, 4), Some(4));
+        assert_eq!(shortest_distance(&g, 4, 0), None);
+    }
+
+    #[test]
+    fn cycle_graph_shape() {
+        let g = cycle_graph(4);
+        assert_eq!(g.edge_count(), 4);
+        assert!(k_hop_reachable(&g, 2, 1, 3));
+        assert!(!k_hop_reachable(&g, 2, 1, 2));
+    }
+
+    #[test]
+    fn complete_graph_shape() {
+        let g = complete_graph(5);
+        assert_eq!(g.edge_count(), 20);
+        for u in g.vertices() {
+            assert_eq!(g.out_degree(u), 4);
+            assert_eq!(g.in_degree(u), 4);
+        }
+    }
+
+    #[test]
+    fn grid_graph_shape() {
+        let g = grid_graph(3, 4);
+        assert_eq!(g.vertex_count(), 12);
+        // edges: right = 3 * 3, down = 2 * 4
+        assert_eq!(g.edge_count(), 9 + 8);
+        assert_eq!(shortest_distance(&g, 0, 11), Some(5));
+    }
+
+    #[test]
+    fn layered_dag_shape() {
+        let g = layered_dag(4, 3);
+        assert_eq!(g.vertex_count(), 12);
+        assert_eq!(g.edge_count(), 3 * 9);
+        // source layer 0 vertex 0 reaches the last layer in exactly 3 hops.
+        assert_eq!(shortest_distance(&g, 0, 9), Some(3));
+        assert!(!k_hop_reachable(&g, 0, 9, 2));
+    }
+
+    #[test]
+    fn degenerate_sizes_are_handled() {
+        assert_eq!(path_graph(1).edge_count(), 0);
+        assert_eq!(layered_dag(1, 5).edge_count(), 0);
+        assert_eq!(complete_graph(1).edge_count(), 0);
+    }
+}

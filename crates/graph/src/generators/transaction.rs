@@ -1,0 +1,248 @@
+//! Timestamped transaction graphs for the fraud-detection case study.
+//!
+//! Section 6.9 / Figure 13(a) of the paper analyses a real e-commerce
+//! transaction network: for a flagged transaction (edge) `e(t, s)` at time
+//! `T0`, fraud analysts extract all accounts and transactions that lie on a
+//! `(k+1)`-hop-constrained simple *cycle* through `e(t, s)` whose timestamps
+//! fall within the last `ΔT` days — which is exactly `SPG_k(s, t)` on the
+//! time-filtered graph. That proprietary dataset is unavailable, so
+//! [`TransactionGraph`] generates a synthetic stand-in: a background of
+//! random transfers plus a configurable number of *planted* short cycles
+//! (fraud rings) around a designated hot edge, all with timestamps.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::csr::{DiGraph, VertexId};
+use crate::subgraph::EdgeSubgraph;
+use crate::GraphBuilder;
+
+/// One timestamped transaction `from → to` at `timestamp` (days since epoch).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransactionEdge {
+    /// Paying account.
+    pub from: VertexId,
+    /// Receiving account.
+    pub to: VertexId,
+    /// Timestamp in fractional days since an arbitrary epoch.
+    pub timestamp: f64,
+}
+
+/// Configuration for [`TransactionGraph::generate`].
+#[derive(Debug, Clone, Copy)]
+pub struct TransactionGraphConfig {
+    /// Number of accounts.
+    pub accounts: usize,
+    /// Number of random background transactions.
+    pub background_transactions: usize,
+    /// Number of planted fraud rings (short cycles through the hot edge).
+    pub fraud_rings: usize,
+    /// Length (in edges) of each planted ring, including the hot edge.
+    pub ring_length: usize,
+    /// Time horizon in days: background timestamps are uniform in
+    /// `[0, horizon_days]`.
+    pub horizon_days: f64,
+    /// Planted-ring timestamps are within `[t0 - fraud_window_days, t0]`.
+    pub fraud_window_days: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TransactionGraphConfig {
+    fn default() -> Self {
+        TransactionGraphConfig {
+            accounts: 2_000,
+            background_transactions: 20_000,
+            fraud_rings: 4,
+            ring_length: 5,
+            horizon_days: 90.0,
+            fraud_window_days: 7.0,
+            seed: 42,
+        }
+    }
+}
+
+/// A synthetic timestamped transaction network with planted fraud rings.
+#[derive(Debug, Clone)]
+pub struct TransactionGraph {
+    transactions: Vec<TransactionEdge>,
+    accounts: usize,
+    /// The flagged "hot" transaction `t → s` that triggers the investigation.
+    hot_edge: (VertexId, VertexId),
+    /// Time of the flagged transaction (`T0` in the paper).
+    t0: f64,
+    /// Edges of the planted rings (excluding the hot edge), for ground truth.
+    planted: EdgeSubgraph,
+}
+
+impl TransactionGraph {
+    /// Generates a transaction graph according to `cfg`.
+    ///
+    /// The hot edge is `(1, 0)` (account 1 pays account 0) at time
+    /// `cfg.horizon_days`; every planted ring is a simple cycle
+    /// `0 → r₁ → … → r_{L-1} → 1` so that, together with the hot edge
+    /// `1 → 0`, it forms a simple cycle of length `cfg.ring_length`.
+    pub fn generate(cfg: TransactionGraphConfig) -> TransactionGraph {
+        assert!(cfg.accounts >= cfg.ring_length + 2, "not enough accounts");
+        assert!(cfg.ring_length >= 2, "a ring needs at least two edges");
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let t0 = cfg.horizon_days;
+        let mut transactions: Vec<TransactionEdge> = Vec::new();
+
+        // Background noise.
+        for _ in 0..cfg.background_transactions {
+            let from = rng.gen_range(0..cfg.accounts) as VertexId;
+            let to = rng.gen_range(0..cfg.accounts) as VertexId;
+            if from == to {
+                continue;
+            }
+            transactions.push(TransactionEdge {
+                from,
+                to,
+                timestamp: rng.gen_range(0.0..cfg.horizon_days),
+            });
+        }
+
+        // The flagged transaction t -> s, i.e. account 1 -> account 0.
+        let hot_edge = (1 as VertexId, 0 as VertexId);
+        transactions.push(TransactionEdge {
+            from: hot_edge.0,
+            to: hot_edge.1,
+            timestamp: t0,
+        });
+
+        // Planted rings: 0 -> r1 -> ... -> r_{L-1} -> 1, recent timestamps.
+        let mut planted_edges: Vec<(VertexId, VertexId)> = Vec::new();
+        let intermediates_per_ring = cfg.ring_length - 1;
+        let mut next_account = 2usize;
+        for _ in 0..cfg.fraud_rings {
+            let mut ring: Vec<VertexId> = vec![0];
+            for _ in 0..intermediates_per_ring.saturating_sub(1) {
+                ring.push(next_account as VertexId);
+                next_account = (next_account + 1) % cfg.accounts;
+                if next_account < 2 {
+                    next_account = 2;
+                }
+            }
+            ring.push(1);
+            for w in ring.windows(2) {
+                let (u, v) = (w[0], w[1]);
+                if u == v {
+                    continue;
+                }
+                planted_edges.push((u, v));
+                transactions.push(TransactionEdge {
+                    from: u,
+                    to: v,
+                    timestamp: t0 - rng.gen_range(0.0..cfg.fraud_window_days),
+                });
+            }
+        }
+
+        TransactionGraph {
+            transactions,
+            accounts: cfg.accounts,
+            hot_edge,
+            t0,
+            planted: EdgeSubgraph::from_edges(planted_edges),
+        }
+    }
+
+    /// All transactions, including background noise and planted rings.
+    pub fn transactions(&self) -> &[TransactionEdge] {
+        &self.transactions
+    }
+
+    /// Number of accounts (vertices).
+    pub fn accounts(&self) -> usize {
+        self.accounts
+    }
+
+    /// The flagged transaction `(t, s)`: its tail is the query target and its
+    /// head is the query source when looking for cycles through it.
+    pub fn hot_edge(&self) -> (VertexId, VertexId) {
+        self.hot_edge
+    }
+
+    /// Timestamp of the flagged transaction.
+    pub fn t0(&self) -> f64 {
+        self.t0
+    }
+
+    /// Ground-truth planted ring edges (excluding the hot edge itself).
+    pub fn planted_edges(&self) -> &EdgeSubgraph {
+        &self.planted
+    }
+
+    /// Builds the static directed graph containing only transactions with
+    /// timestamps in `[t0 − window_days, t0]`, which is the search graph the
+    /// case study runs EVE on.
+    pub fn window_graph(&self, window_days: f64) -> DiGraph {
+        let lo = self.t0 - window_days;
+        let mut b = GraphBuilder::new(self.accounts);
+        for tx in &self.transactions {
+            if tx.timestamp >= lo && tx.timestamp <= self.t0 {
+                b.add_edge(tx.from, tx.to);
+            }
+        }
+        b.build()
+    }
+
+    /// Builds the static graph over *all* transactions regardless of time.
+    pub fn full_graph(&self) -> DiGraph {
+        let mut b = GraphBuilder::new(self.accounts);
+        for tx in &self.transactions {
+            b.add_edge(tx.from, tx.to);
+        }
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal::k_hop_reachable;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = TransactionGraph::generate(TransactionGraphConfig::default());
+        let b = TransactionGraph::generate(TransactionGraphConfig::default());
+        assert_eq!(a.transactions().len(), b.transactions().len());
+        assert_eq!(a.hot_edge(), b.hot_edge());
+        assert_eq!(a.planted_edges(), b.planted_edges());
+    }
+
+    #[test]
+    fn planted_rings_fall_inside_the_fraud_window() {
+        let cfg = TransactionGraphConfig {
+            fraud_rings: 3,
+            ring_length: 4,
+            ..Default::default()
+        };
+        let tg = TransactionGraph::generate(cfg);
+        let windowed = tg.window_graph(cfg.fraud_window_days);
+        // Every planted edge must survive the time filter.
+        for &(u, v) in tg.planted_edges().edges() {
+            assert!(windowed.has_edge(u, v), "planted edge ({u},{v}) missing");
+        }
+        // And the ring closes: from s=0 we can reach t=1 within ring_length-1 hops.
+        assert!(k_hop_reachable(&windowed, 0, 1, (cfg.ring_length - 1) as u32));
+    }
+
+    #[test]
+    fn window_filter_reduces_edge_count() {
+        let tg = TransactionGraph::generate(TransactionGraphConfig::default());
+        let full = tg.full_graph();
+        let windowed = tg.window_graph(7.0);
+        assert!(windowed.edge_count() < full.edge_count());
+        assert!(windowed.edge_count() > 0);
+    }
+
+    #[test]
+    fn hot_edge_present_in_window_graph() {
+        let tg = TransactionGraph::generate(TransactionGraphConfig::default());
+        let (t, s) = tg.hot_edge();
+        let g = tg.window_graph(7.0);
+        assert!(g.has_edge(t, s));
+    }
+}

@@ -1,0 +1,142 @@
+//! Deterministic, fast hashing for vertex-keyed maps and sets.
+//!
+//! The hot data structures in this workspace are keyed by `u32` vertex ids or
+//! `(u32, u32)` edge pairs. The standard library's SipHash is
+//! collision-resistant but needlessly slow for that workload (see the Rust
+//! Performance Book's *Hashing* chapter). This module implements the same
+//! multiply-and-rotate scheme popularised by `rustc-hash` (FxHash) so the
+//! workspace does not need an extra dependency. The hasher is fully
+//! deterministic, which also keeps benchmark runs and tests reproducible.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A `HashMap` using the deterministic [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// A `HashSet` using the deterministic [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+const SEED64: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// FxHash-style hasher: one multiplication and one rotate per word.
+///
+/// Not HashDoS resistant — do not use it for untrusted external keys. All
+/// keys in this workspace are internally generated vertex/edge identifiers.
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED64);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+}
+
+/// Creates an empty [`FxHashMap`] with at least `capacity` slots reserved.
+pub fn map_with_capacity<K, V>(capacity: usize) -> FxHashMap<K, V> {
+    FxHashMap::with_capacity_and_hasher(capacity, BuildHasherDefault::default())
+}
+
+/// Creates an empty [`FxHashSet`] with at least `capacity` slots reserved.
+pub fn set_with_capacity<T>(capacity: usize) -> FxHashSet<T> {
+    FxHashSet::with_capacity_and_hasher(capacity, BuildHasherDefault::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    fn hash_one<T: Hash>(value: T) -> u64 {
+        let mut hasher = FxHasher::default();
+        value.hash(&mut hasher);
+        hasher.finish()
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        assert_eq!(hash_one(42u32), hash_one(42u32));
+        assert_eq!(hash_one((7u32, 9u32)), hash_one((7u32, 9u32)));
+    }
+
+    #[test]
+    fn distinct_keys_usually_distinct_hashes() {
+        let hashes: FxHashSet<u64> = (0u32..10_000).map(hash_one).collect();
+        // Perfect distinctness is not required, but the hasher must not be
+        // degenerate for small integers.
+        assert!(hashes.len() > 9_990);
+    }
+
+    #[test]
+    fn map_and_set_round_trip() {
+        let mut map: FxHashMap<u32, u32> = map_with_capacity(16);
+        for i in 0..100u32 {
+            map.insert(i, i * 2);
+        }
+        assert_eq!(map.len(), 100);
+        assert_eq!(map.get(&21), Some(&42));
+
+        let mut set: FxHashSet<(u32, u32)> = set_with_capacity(16);
+        for i in 0..100u32 {
+            set.insert((i, i + 1));
+        }
+        assert!(set.contains(&(3, 4)));
+        assert!(!set.contains(&(4, 3)));
+    }
+
+    #[test]
+    fn byte_stream_hashing_matches_chunked_input() {
+        // `write` must consume arbitrary byte slices without panicking and
+        // produce stable results.
+        let mut a = FxHasher::default();
+        a.write(b"hop-constrained simple path graph");
+        let mut b = FxHasher::default();
+        b.write(b"hop-constrained simple path graph");
+        assert_eq!(a.finish(), b.finish());
+    }
+}

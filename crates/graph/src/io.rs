@@ -1,0 +1,180 @@
+//! Plain-text edge list input / output.
+//!
+//! The datasets the paper uses (NetworkRepository, SNAP, Konect) ship as
+//! whitespace-separated edge lists, one `u v` pair per line, possibly with
+//! `#` or `%` comment lines. This module reads and writes that format so the
+//! workloads crate can persist generated datasets and users can load their
+//! own graphs.
+
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+use crate::csr::{DiGraph, VertexId};
+use crate::GraphBuilder;
+
+/// Errors produced while parsing an edge list.
+#[derive(Debug)]
+pub enum EdgeListError {
+    /// Underlying IO failure.
+    Io(io::Error),
+    /// A line could not be parsed as two vertex ids.
+    Parse {
+        /// 1-based line number in the input.
+        line: usize,
+        /// The offending line content.
+        content: String,
+    },
+}
+
+impl std::fmt::Display for EdgeListError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EdgeListError::Io(e) => write!(f, "I/O error while reading edge list: {e}"),
+            EdgeListError::Parse { line, content } => {
+                write!(f, "cannot parse edge list line {line}: {content:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EdgeListError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EdgeListError::Io(e) => Some(e),
+            EdgeListError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for EdgeListError {
+    fn from(e: io::Error) -> Self {
+        EdgeListError::Io(e)
+    }
+}
+
+/// Parses an edge list from any buffered reader.
+///
+/// Lines starting with `#` or `%` and blank lines are ignored. Vertex ids may
+/// be arbitrary `u32` values; the resulting graph has `max_id + 1` vertices.
+pub fn read_edge_list<R: BufRead>(reader: R) -> Result<DiGraph, EdgeListError> {
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
+    let mut max_id: u32 = 0;
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let parse = |tok: Option<&str>| tok.and_then(|t| t.parse::<u32>().ok());
+        match (parse(parts.next()), parse(parts.next())) {
+            (Some(u), Some(v)) => {
+                max_id = max_id.max(u).max(v);
+                edges.push((u, v));
+            }
+            _ => {
+                return Err(EdgeListError::Parse {
+                    line: idx + 1,
+                    content: trimmed.to_string(),
+                })
+            }
+        }
+    }
+    let n = if edges.is_empty() {
+        0
+    } else {
+        max_id as usize + 1
+    };
+    let mut b = GraphBuilder::with_capacity(n, edges.len());
+    b.extend_edges(edges);
+    Ok(b.build())
+}
+
+/// Reads an edge list from a file path.
+pub fn read_edge_list_file<P: AsRef<Path>>(path: P) -> Result<DiGraph, EdgeListError> {
+    let file = File::open(path)?;
+    read_edge_list(BufReader::new(file))
+}
+
+/// Writes a graph as an edge list (`u v` per line) to any writer.
+pub fn write_edge_list<W: Write>(g: &DiGraph, writer: W) -> io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# directed edge list: {} vertices, {} edges", g.vertex_count(), g.edge_count())?;
+    for (u, v) in g.edges() {
+        writeln!(w, "{u} {v}")?;
+    }
+    w.flush()
+}
+
+/// Writes a graph as an edge list to a file path.
+pub fn write_edge_list_file<P: AsRef<Path>>(g: &DiGraph, path: P) -> io::Result<()> {
+    let file = File::create(path)?;
+    write_edge_list(g, file)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn parse_simple_edge_list_with_comments() {
+        let text = "# comment\n% another comment\n0 1\n1 2\n\n2 0\n";
+        let g = read_edge_list(Cursor::new(text)).unwrap();
+        assert_eq!(g.vertex_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        assert!(g.has_edge(2, 0));
+    }
+
+    #[test]
+    fn parse_error_reports_line_number() {
+        let text = "0 1\nnot an edge\n";
+        let err = read_edge_list(Cursor::new(text)).unwrap_err();
+        match err {
+            EdgeListError::Parse { line, content } => {
+                assert_eq!(line, 2);
+                assert!(content.contains("not an edge"));
+            }
+            other => panic!("expected parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn empty_input_gives_empty_graph() {
+        let g = read_edge_list(Cursor::new("# nothing here\n")).unwrap();
+        assert_eq!(g.vertex_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn round_trip_through_memory_buffer() {
+        let g = DiGraph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (1, 3)]);
+        let mut buf: Vec<u8> = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let parsed = read_edge_list(Cursor::new(buf)).unwrap();
+        assert_eq!(parsed, g);
+    }
+
+    #[test]
+    fn round_trip_through_temp_file() {
+        let g = DiGraph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        let mut path = std::env::temp_dir();
+        path.push(format!("spg_graph_io_test_{}.txt", std::process::id()));
+        write_edge_list_file(&g, &path).unwrap();
+        let parsed = read_edge_list_file(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(parsed, g);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let io_err: EdgeListError = io::Error::new(io::ErrorKind::NotFound, "gone").into();
+        assert!(io_err.to_string().contains("I/O error"));
+        let parse_err = EdgeListError::Parse {
+            line: 7,
+            content: "x y".into(),
+        };
+        assert!(parse_err.to_string().contains("line 7"));
+    }
+}

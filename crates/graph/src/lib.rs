@@ -1,0 +1,45 @@
+//! # spg-graph — directed graph substrate
+//!
+//! This crate provides the graph infrastructure that every other crate in the
+//! workspace builds on:
+//!
+//! * [`DiGraph`] — a compact, immutable directed graph in CSR (compressed
+//!   sparse row) form with both out- and in-adjacency, suitable for the
+//!   forward *and* backward traversals required by the EVE algorithm.
+//! * [`GraphBuilder`] — deduplicating, self-loop-filtering builder.
+//! * [`traversal`] — BFS distance computation, including the single,
+//!   bidirectional and **adaptive bidirectional** search strategies compared
+//!   in §3.3 / Figure 11 of the paper, plus hop-bounded reachability.
+//! * [`generators`] — deterministic random graph generators used to simulate
+//!   the paper's 15 real-world networks (Table 2) at laptop scale.
+//! * [`io`] — plain text edge-list reading and writing.
+//! * [`subgraph`] — edge-subgraph extraction (used for `SPG_k`, `SPGᵘ_k` and
+//!   `G^k_st` materialisation).
+//! * [`hash`] — a small deterministic Fx-style hasher so hot hash maps keyed
+//!   by vertex ids do not pay the SipHash cost.
+//!
+//! The crate is `#![forbid(unsafe_code)]`; all hot paths rely on index-based
+//! CSR traversal rather than pointer tricks.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod csr;
+pub mod generators;
+pub mod hash;
+pub mod io;
+pub mod properties;
+pub mod subgraph;
+pub mod traversal;
+
+pub use builder::GraphBuilder;
+pub use csr::{DiGraph, Direction, EdgeId, VertexId};
+pub use properties::DegreeStats;
+pub use subgraph::EdgeSubgraph;
+pub use traversal::{
+    bfs_distances_from, bfs_distances_to, k_hop_reachable, DistanceIndex, DistanceStrategy,
+    SearchSpaceStats,
+};
+
+/// Sentinel distance meaning "unreachable / outside the search space".
+pub const INF_DIST: u32 = u32::MAX;

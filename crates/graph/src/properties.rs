@@ -1,0 +1,108 @@
+//! Degree statistics and basic structural properties.
+//!
+//! The paper's Table 2 characterises each dataset by `|V|`, `|E|` and the
+//! average degree `d_avg`; the verification cost analysis (§5.2) additionally
+//! depends on the maximum degree `d_max`. [`DegreeStats`] captures these in
+//! one pass so the workload crate and the benchmark harness can report the
+//! same columns.
+
+use crate::csr::DiGraph;
+
+/// Summary of the degree distribution of a directed graph.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegreeStats {
+    /// Number of vertices `|V|`.
+    pub vertices: usize,
+    /// Number of directed edges `|E|`.
+    pub edges: usize,
+    /// Average degree `|E| / |V|` (the paper's `d_avg`).
+    pub avg_degree: f64,
+    /// Maximum out-degree.
+    pub max_out_degree: usize,
+    /// Maximum in-degree.
+    pub max_in_degree: usize,
+    /// `d_max`: maximum of in- and out-degree over all vertices.
+    pub max_degree: usize,
+    /// Number of vertices with zero in- and out-degree.
+    pub isolated_vertices: usize,
+}
+
+impl DegreeStats {
+    /// Computes the statistics in a single pass over the vertex set.
+    pub fn of(g: &DiGraph) -> DegreeStats {
+        let mut max_out = 0usize;
+        let mut max_in = 0usize;
+        let mut isolated = 0usize;
+        for v in g.vertices() {
+            let o = g.out_degree(v);
+            let i = g.in_degree(v);
+            max_out = max_out.max(o);
+            max_in = max_in.max(i);
+            if o == 0 && i == 0 {
+                isolated += 1;
+            }
+        }
+        DegreeStats {
+            vertices: g.vertex_count(),
+            edges: g.edge_count(),
+            avg_degree: g.avg_degree(),
+            max_out_degree: max_out,
+            max_in_degree: max_in,
+            max_degree: max_out.max(max_in),
+            isolated_vertices: isolated,
+        }
+    }
+}
+
+impl std::fmt::Display for DegreeStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "|V|={} |E|={} d_avg={:.2} d_max={} (out {}, in {}) isolated={}",
+            self.vertices,
+            self.edges,
+            self.avg_degree,
+            self.max_degree,
+            self.max_out_degree,
+            self.max_in_degree,
+            self.isolated_vertices
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_a_small_graph() {
+        // star: 0 -> {1,2,3}, 4 isolated
+        let g = DiGraph::from_edges(5, [(0, 1), (0, 2), (0, 3)]);
+        let s = DegreeStats::of(&g);
+        assert_eq!(s.vertices, 5);
+        assert_eq!(s.edges, 3);
+        assert_eq!(s.max_out_degree, 3);
+        assert_eq!(s.max_in_degree, 1);
+        assert_eq!(s.max_degree, 3);
+        assert_eq!(s.isolated_vertices, 1);
+        assert!((s.avg_degree - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_of_empty_graph() {
+        let g = DiGraph::empty(0);
+        let s = DegreeStats::of(&g);
+        assert_eq!(s.vertices, 0);
+        assert_eq!(s.edges, 0);
+        assert_eq!(s.max_degree, 0);
+        assert_eq!(s.isolated_vertices, 0);
+    }
+
+    #[test]
+    fn display_contains_key_fields() {
+        let g = DiGraph::from_edges(3, [(0, 1), (1, 2)]);
+        let text = DegreeStats::of(&g).to_string();
+        assert!(text.contains("|V|=3"));
+        assert!(text.contains("|E|=2"));
+    }
+}

@@ -1,0 +1,203 @@
+//! Edge-subgraph extraction.
+//!
+//! The answers produced in this workspace — the simple path graph `SPG_k`,
+//! its upper bound `SPGᵘ_k`, and the k-hop subgraph `G^k_st` — are all *edge
+//! subgraphs* of the input graph: same vertex universe, a subset of the
+//! edges. [`EdgeSubgraph`] stores such a subgraph as an explicit edge set and
+//! can materialise it back into a standalone [`DiGraph`] (with either the
+//! original vertex ids preserved or compacted ids) so it can be fed to any
+//! algorithm in the workspace, e.g. running PathEnum on `SPG_k(s,t)` instead
+//! of on `G` (§6.7 of the paper).
+
+use crate::csr::{DiGraph, VertexId};
+use crate::hash::{FxHashMap, FxHashSet};
+
+/// A subgraph of a host graph identified by a set of edges.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EdgeSubgraph {
+    edges: Vec<(VertexId, VertexId)>,
+}
+
+impl EdgeSubgraph {
+    /// Creates a subgraph from an iterator of edges. Duplicates are removed.
+    pub fn from_edges<I>(edges: I) -> Self
+    where
+        I: IntoIterator<Item = (VertexId, VertexId)>,
+    {
+        let mut v: Vec<(VertexId, VertexId)> = edges.into_iter().collect();
+        v.sort_unstable();
+        v.dedup();
+        EdgeSubgraph { edges: v }
+    }
+
+    /// Empty subgraph.
+    pub fn new() -> Self {
+        EdgeSubgraph::default()
+    }
+
+    /// Number of edges in the subgraph.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// `true` if the subgraph has no edges.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Sorted slice of the edges.
+    pub fn edges(&self) -> &[(VertexId, VertexId)] {
+        &self.edges
+    }
+
+    /// `true` if `(u, v)` is in the subgraph (binary search).
+    pub fn contains(&self, u: VertexId, v: VertexId) -> bool {
+        self.edges.binary_search(&(u, v)).is_ok()
+    }
+
+    /// Set of distinct vertices incident to at least one subgraph edge.
+    pub fn vertex_set(&self) -> FxHashSet<VertexId> {
+        let mut s: FxHashSet<VertexId> = FxHashSet::default();
+        for &(u, v) in &self.edges {
+            s.insert(u);
+            s.insert(v);
+        }
+        s
+    }
+
+    /// Number of distinct incident vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.vertex_set().len()
+    }
+
+    /// `true` if `other` contains every edge of `self`.
+    pub fn is_subgraph_of(&self, other: &EdgeSubgraph) -> bool {
+        self.edges.iter().all(|&(u, v)| other.contains(u, v))
+    }
+
+    /// Edges present in `self` but not in `other`.
+    pub fn difference(&self, other: &EdgeSubgraph) -> Vec<(VertexId, VertexId)> {
+        self.edges
+            .iter()
+            .copied()
+            .filter(|&(u, v)| !other.contains(u, v))
+            .collect()
+    }
+
+    /// Materialises the subgraph as a [`DiGraph`] over the *same* vertex id
+    /// space as the host graph (`host_vertex_count` vertices). Vertices not
+    /// incident to any subgraph edge become isolated.
+    pub fn to_graph(&self, host_vertex_count: usize) -> DiGraph {
+        DiGraph::from_edges(host_vertex_count, self.edges.iter().copied())
+    }
+
+    /// Materialises the subgraph with *compacted* vertex ids `0..m` where `m`
+    /// is the number of incident vertices. Returns the graph together with
+    /// the mapping `original id -> compact id`.
+    pub fn to_compact_graph(&self) -> (DiGraph, FxHashMap<VertexId, VertexId>) {
+        let mut ids: Vec<VertexId> = self.vertex_set().into_iter().collect();
+        ids.sort_unstable();
+        let mapping: FxHashMap<VertexId, VertexId> = ids
+            .iter()
+            .enumerate()
+            .map(|(new, &old)| (old, new as VertexId))
+            .collect();
+        let g = DiGraph::from_edges(
+            ids.len(),
+            self.edges.iter().map(|&(u, v)| (mapping[&u], mapping[&v])),
+        );
+        (g, mapping)
+    }
+
+    /// Restriction of the host graph to the edges of this subgraph, keeping
+    /// only edges whose endpoints both satisfy `keep`.
+    pub fn filter_vertices<F>(&self, mut keep: F) -> EdgeSubgraph
+    where
+        F: FnMut(VertexId) -> bool,
+    {
+        EdgeSubgraph::from_edges(
+            self.edges
+                .iter()
+                .copied()
+                .filter(|&(u, v)| keep(u) && keep(v)),
+        )
+    }
+}
+
+impl FromIterator<(VertexId, VertexId)> for EdgeSubgraph {
+    fn from_iter<I: IntoIterator<Item = (VertexId, VertexId)>>(iter: I) -> Self {
+        EdgeSubgraph::from_edges(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> EdgeSubgraph {
+        EdgeSubgraph::from_edges([(0, 1), (1, 2), (2, 3), (1, 2)])
+    }
+
+    #[test]
+    fn dedup_and_queries() {
+        let s = sample();
+        assert_eq!(s.edge_count(), 3);
+        assert!(s.contains(1, 2));
+        assert!(!s.contains(2, 1));
+        assert_eq!(s.vertex_count(), 4);
+    }
+
+    #[test]
+    fn to_graph_preserves_ids() {
+        let s = sample();
+        let g = s.to_graph(10);
+        assert_eq!(g.vertex_count(), 10);
+        assert_eq!(g.edge_count(), 3);
+        assert!(g.has_edge(2, 3));
+        assert!(!g.has_edge(3, 2));
+    }
+
+    #[test]
+    fn compact_graph_remaps_consistently() {
+        let s = EdgeSubgraph::from_edges([(10, 20), (20, 30)]);
+        let (g, map) = s.to_compact_graph();
+        assert_eq!(g.vertex_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+        assert!(g.has_edge(map[&10], map[&20]));
+        assert!(g.has_edge(map[&20], map[&30]));
+    }
+
+    #[test]
+    fn subgraph_relations() {
+        let small = EdgeSubgraph::from_edges([(0, 1)]);
+        let big = sample();
+        assert!(small.is_subgraph_of(&big));
+        assert!(!big.is_subgraph_of(&small));
+        assert_eq!(big.difference(&small), vec![(1, 2), (2, 3)]);
+        assert!(small.difference(&big).is_empty());
+    }
+
+    #[test]
+    fn filter_vertices_drops_incident_edges() {
+        let s = sample();
+        let filtered = s.filter_vertices(|v| v != 2);
+        assert_eq!(filtered.edge_count(), 1);
+        assert!(filtered.contains(0, 1));
+    }
+
+    #[test]
+    fn from_iterator_collect() {
+        let s: EdgeSubgraph = [(5u32, 6u32), (6, 7)].into_iter().collect();
+        assert_eq!(s.edge_count(), 2);
+        assert!(s.vertex_set().contains(&7));
+    }
+
+    #[test]
+    fn empty_subgraph() {
+        let s = EdgeSubgraph::new();
+        assert!(s.is_empty());
+        assert_eq!(s.vertex_count(), 0);
+        let g = s.to_graph(4);
+        assert_eq!(g.edge_count(), 0);
+    }
+}

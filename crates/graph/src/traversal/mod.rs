@@ -1,0 +1,20 @@
+//! Graph traversal: hop-bounded BFS, bidirectional distance computation and
+//! k-hop reachability.
+//!
+//! The EVE algorithm needs, per query `⟨s, t, k⟩`, the shortest distances
+//! `Δ(s, v)` (never routing through `t`) and `Δ(v, t)` (never routing through
+//! `s`) for every vertex in the *search space* `{v : Δ(s,v) + Δ(v,t) ≤ k}`.
+//! Section 3.3 / Figure 6(a) of the paper compares three strategies for
+//! obtaining them — single-directional BFS, balanced bidirectional BFS, and
+//! adaptive bidirectional BFS — which are ablated in Figure 11. All three are
+//! implemented here behind [`DistanceStrategy`] and produce identical
+//! [`DistanceIndex`] contents; they differ only in how many vertices/edges
+//! they touch ([`SearchSpaceStats`]).
+
+mod bfs;
+mod bidirectional;
+mod reachability;
+
+pub use bfs::{bfs_distances_from, bfs_distances_to, BfsOptions};
+pub use bidirectional::{DistanceIndex, DistanceStrategy, SearchSpaceStats};
+pub use reachability::{k_hop_reachable, shortest_distance};

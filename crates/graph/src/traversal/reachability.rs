@@ -1,0 +1,101 @@
+//! k-hop reachability queries.
+//!
+//! The paper's query workload only contains pairs `(s, t)` where `t` is
+//! reachable from `s` within `k` hops; infeasible pairs "can be efficiently
+//! filtered out by answering k-hop reachability queries" (§6.1). The workload
+//! crate uses [`k_hop_reachable`] for exactly that filtering, and
+//! [`shortest_distance`] to bucket queries by `Δ(s, t)` for Figure 10(b).
+
+use std::collections::VecDeque;
+
+use crate::csr::{DiGraph, VertexId};
+use crate::hash::FxHashSet;
+
+/// `true` if `t` is reachable from `s` by a directed path of length ≤ `k`.
+///
+/// `s` is considered reachable from itself in 0 hops.
+pub fn k_hop_reachable(g: &DiGraph, s: VertexId, t: VertexId, k: u32) -> bool {
+    if s == t {
+        return true;
+    }
+    let mut visited: FxHashSet<VertexId> = FxHashSet::default();
+    visited.insert(s);
+    let mut queue: VecDeque<(VertexId, u32)> = VecDeque::new();
+    queue.push_back((s, 0));
+    while let Some((u, d)) = queue.pop_front() {
+        if d >= k {
+            continue;
+        }
+        for &v in g.out_neighbors(u) {
+            if v == t {
+                return true;
+            }
+            if visited.insert(v) {
+                queue.push_back((v, d + 1));
+            }
+        }
+    }
+    false
+}
+
+/// Shortest directed distance from `s` to `t`, or `None` if unreachable.
+pub fn shortest_distance(g: &DiGraph, s: VertexId, t: VertexId) -> Option<u32> {
+    if s == t {
+        return Some(0);
+    }
+    let mut visited: FxHashSet<VertexId> = FxHashSet::default();
+    visited.insert(s);
+    let mut queue: VecDeque<(VertexId, u32)> = VecDeque::new();
+    queue.push_back((s, 0));
+    while let Some((u, d)) = queue.pop_front() {
+        for &v in g.out_neighbors(u) {
+            if v == t {
+                return Some(d + 1);
+            }
+            if visited.insert(v) {
+                queue.push_back((v, d + 1));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cycle(n: usize) -> DiGraph {
+        DiGraph::from_edges(n, (0..n as u32).map(|i| (i, (i + 1) % n as u32)))
+    }
+
+    #[test]
+    fn reachability_respects_hop_budget() {
+        let g = cycle(6);
+        assert!(k_hop_reachable(&g, 0, 3, 3));
+        assert!(!k_hop_reachable(&g, 0, 3, 2));
+        assert!(k_hop_reachable(&g, 0, 0, 0));
+    }
+
+    #[test]
+    fn unreachable_pairs_are_rejected() {
+        let g = DiGraph::from_edges(4, [(0, 1), (2, 3)]);
+        assert!(!k_hop_reachable(&g, 0, 3, 10));
+        assert_eq!(shortest_distance(&g, 0, 3), None);
+    }
+
+    #[test]
+    fn shortest_distance_on_cycle() {
+        let g = cycle(5);
+        assert_eq!(shortest_distance(&g, 0, 0), Some(0));
+        assert_eq!(shortest_distance(&g, 0, 1), Some(1));
+        assert_eq!(shortest_distance(&g, 0, 4), Some(4));
+        assert_eq!(shortest_distance(&g, 4, 0), Some(1));
+    }
+
+    #[test]
+    fn shortest_distance_prefers_shortcuts() {
+        let g = DiGraph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)]);
+        assert_eq!(shortest_distance(&g, 0, 4), Some(1));
+        assert!(k_hop_reachable(&g, 0, 4, 1));
+    }
+}

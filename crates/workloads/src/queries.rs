@@ -1,0 +1,164 @@
+//! Query workload generation (§6.1 of the paper).
+//!
+//! For each hop constraint `k` the paper draws 1000 random query pairs
+//! `(s, t)` such that `t` is reachable from `s` within `k` hops (infeasible
+//! pairs are assumed to be filtered by a k-hop reachability index).
+//! Figure 10(b) additionally needs queries bucketed by their exact shortest
+//! distance `Δ(s, t)`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use spg_core::Query;
+use spg_graph::traversal::{k_hop_reachable, shortest_distance};
+use spg_graph::{DiGraph, VertexId};
+
+/// Deterministic query workload generator bound to one graph.
+#[derive(Debug)]
+pub struct QueryGenerator<'g> {
+    graph: &'g DiGraph,
+    rng: StdRng,
+    /// Attempts per requested query before giving up (sparse graphs may not
+    /// have enough reachable pairs).
+    max_attempts_per_query: usize,
+}
+
+impl<'g> QueryGenerator<'g> {
+    /// Creates a generator with the given seed.
+    pub fn new(graph: &'g DiGraph, seed: u64) -> Self {
+        QueryGenerator {
+            graph,
+            rng: StdRng::seed_from_u64(seed),
+            max_attempts_per_query: 400,
+        }
+    }
+
+    /// Draws up to `count` random queries `⟨s, t, k⟩` with `s ≠ t` and `t`
+    /// reachable from `s` within `k` hops. Fewer queries are returned when
+    /// the graph does not contain enough reachable pairs.
+    pub fn reachable_queries(&mut self, count: usize, k: u32) -> Vec<Query> {
+        let n = self.graph.vertex_count();
+        let mut out = Vec::with_capacity(count);
+        if n < 2 {
+            return out;
+        }
+        for _ in 0..count {
+            let mut found = None;
+            for _ in 0..self.max_attempts_per_query {
+                let s = self.rng.gen_range(0..n) as VertexId;
+                if self.graph.out_degree(s) == 0 {
+                    continue;
+                }
+                let t = self.rng.gen_range(0..n) as VertexId;
+                if s == t {
+                    continue;
+                }
+                if k_hop_reachable(self.graph, s, t, k) {
+                    found = Some(Query::new(s, t, k));
+                    break;
+                }
+            }
+            if let Some(q) = found {
+                out.push(q);
+            }
+        }
+        out
+    }
+
+    /// Draws up to `count` queries whose *exact* shortest distance `Δ(s, t)`
+    /// equals `distance` (Figure 10(b): 500 queries per distance 1..6).
+    pub fn queries_with_distance(&mut self, count: usize, distance: u32, k: u32) -> Vec<Query> {
+        let n = self.graph.vertex_count();
+        let mut out = Vec::with_capacity(count);
+        if n < 2 || distance == 0 || distance > k {
+            return out;
+        }
+        for _ in 0..count {
+            let mut found = None;
+            for _ in 0..self.max_attempts_per_query {
+                let s = self.rng.gen_range(0..n) as VertexId;
+                if self.graph.out_degree(s) == 0 {
+                    continue;
+                }
+                let t = self.rng.gen_range(0..n) as VertexId;
+                if s == t {
+                    continue;
+                }
+                if shortest_distance(self.graph, s, t) == Some(distance) {
+                    found = Some(Query::new(s, t, k));
+                    break;
+                }
+            }
+            if let Some(q) = found {
+                out.push(q);
+            }
+        }
+        out
+    }
+}
+
+/// One-shot helper: `count` reachable queries on `graph` for hop constraint
+/// `k`, seeded deterministically from `(seed, k)`.
+pub fn reachable_queries(graph: &DiGraph, count: usize, k: u32, seed: u64) -> Vec<Query> {
+    QueryGenerator::new(graph, seed ^ (k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .reachable_queries(count, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spg_graph::generators::{gnm_random, path_graph};
+
+    #[test]
+    fn generated_queries_are_feasible_and_deterministic() {
+        let g = gnm_random(300, 1800, 11);
+        let a = reachable_queries(&g, 50, 4, 99);
+        let b = reachable_queries(&g, 50, 4, 99);
+        assert_eq!(a, b);
+        assert!(a.len() >= 45, "expected most draws to succeed, got {}", a.len());
+        for q in &a {
+            assert_ne!(q.source, q.target);
+            assert!(k_hop_reachable(&g, q.source, q.target, q.k));
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_workloads() {
+        let g = gnm_random(300, 1800, 11);
+        let a = reachable_queries(&g, 30, 5, 1);
+        let b = reachable_queries(&g, 30, 5, 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn distance_bucketed_queries_have_the_requested_distance() {
+        let g = gnm_random(400, 1600, 17);
+        let mut gen = QueryGenerator::new(&g, 7);
+        for d in 1..=4u32 {
+            let queries = gen.queries_with_distance(10, d, 6);
+            for q in &queries {
+                assert_eq!(shortest_distance(&g, q.source, q.target), Some(d));
+                assert_eq!(q.k, 6);
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_graphs_return_fewer_queries_gracefully() {
+        let g = path_graph(4);
+        let queries = reachable_queries(&g, 20, 2, 3);
+        // Only pairs within distance 2 along the path exist; the generator
+        // must not loop forever or panic.
+        for q in &queries {
+            assert!(k_hop_reachable(&g, q.source, q.target, 2));
+        }
+    }
+
+    #[test]
+    fn impossible_distance_bucket_is_empty() {
+        let g = path_graph(5);
+        let mut gen = QueryGenerator::new(&g, 3);
+        assert!(gen.queries_with_distance(5, 0, 4).is_empty());
+        assert!(gen.queries_with_distance(5, 9, 4).is_empty());
+    }
+}

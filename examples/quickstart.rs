@@ -1,0 +1,50 @@
+//! Quickstart: generate a hop-constrained s-t simple path graph with EVE.
+//!
+//! Runs the paper's running example (Figure 1) end to end and prints the
+//! answer for several hop constraints, together with the per-phase
+//! statistics EVE collects.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use hop_spg::eve::paper_example::{figure1_graph, names};
+use hop_spg::eve::{Eve, EveConfig, Query};
+
+fn main() {
+    let graph = figure1_graph();
+    println!(
+        "Figure 1(a) graph: {} vertices, {} edges",
+        graph.vertex_count(),
+        graph.edge_count()
+    );
+
+    let eve = Eve::new(&graph, EveConfig::default());
+    for k in [2u32, 4, 7] {
+        let query = Query::new(names::S, names::T, k);
+        let spg = eve.query(query).expect("valid query");
+        println!(
+            "\nSPG_{k}(s, t): {} edges, {} vertices",
+            spg.edge_count(),
+            spg.vertex_count()
+        );
+        for &(u, v) in spg.edges() {
+            println!("  {} -> {}", names::label(u), names::label(v));
+        }
+        let stats = spg.stats();
+        println!(
+            "  upper bound: {} edges ({} definite, {} undetermined, {} failing)",
+            stats.upper_bound_edges,
+            stats.labeling.definite,
+            stats.labeling.undetermined,
+            stats.labeling.failing
+        );
+        println!(
+            "  phases: distance {:?}, propagation {:?}, labeling {:?}, verification {:?}",
+            stats.timings.distance,
+            stats.timings.propagation,
+            stats.timings.labeling,
+            stats.timings.verification
+        );
+    }
+}

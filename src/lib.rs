@@ -1,0 +1,52 @@
+//! # hop-spg — Hop-constrained s-t Simple Path Graph generation
+//!
+//! Umbrella crate for the Rust reproduction of *"Towards Generating
+//! Hop-constrained s-t Simple Path Graphs"* (SIGMOD 2023). It re-exports the
+//! public APIs of the workspace crates so downstream users only need a single
+//! dependency:
+//!
+//! * [`graph`] — the directed graph substrate (CSR storage, traversal,
+//!   generators, IO).
+//! * [`eve`] — the paper's contribution: the EVE algorithm producing
+//!   [`eve::SimplePathGraph`] answers.
+//! * [`baselines`] — simple path enumeration algorithms and the KHSQ/KHSQ+
+//!   k-hop subgraph constructions used as baselines.
+//! * [`workloads`] — synthetic datasets and query workloads mirroring the
+//!   paper's evaluation.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use hop_spg::graph::DiGraph;
+//! use hop_spg::eve::{Eve, EveConfig, Query};
+//!
+//! // The graph of Figure 1(a) in the paper.
+//! let g = DiGraph::from_edges(
+//!     8,
+//!     [
+//!         (0, 1), (0, 2), (1, 2), (2, 1), (2, 3), (1, 4), (4, 5), (5, 3),
+//!         (3, 1), (5, 0), (2, 6), (4, 6), (6, 7), (7, 5),
+//!     ],
+//! );
+//! let eve = Eve::new(&g, EveConfig::default());
+//! let spg = eve.query(Query::new(0, 3, 4)).unwrap();
+//! assert!(spg.edge_count() > 0);
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use spg_baselines as baselines;
+pub use spg_core as eve;
+pub use spg_graph as graph;
+pub use spg_workloads as workloads;
+
+/// Crate version of the umbrella package.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn version_is_nonempty() {
+        assert!(!super::VERSION.is_empty());
+    }
+}

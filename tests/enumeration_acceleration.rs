@@ -1,0 +1,56 @@
+//! Integration tests for §6.7/§6.8: using `SPG_k(s, t)` (or `G^k_st`) as the
+//! search space of an enumerator must preserve the enumerated path set
+//! exactly.
+
+use hop_spg::baselines::{khsq_plus, CollectPaths, PathEnumIndex};
+use hop_spg::eve::Eve;
+use hop_spg::graph::generators::{gnm_random, preferential_attachment};
+use hop_spg::workloads::reachable_queries;
+
+#[test]
+fn pathenum_on_spg_enumerates_identical_paths() {
+    let g = gnm_random(50, 300, 31);
+    let eve = Eve::with_defaults(&g);
+    for k in [4u32, 6] {
+        for q in reachable_queries(&g, 5, k, 7 + k as u64) {
+            let mut on_g = CollectPaths::new();
+            PathEnumIndex::build(&g, q.source, q.target, q.k).enumerate(&mut on_g);
+
+            let spg = eve.query(q).unwrap();
+            let reduced = spg.to_graph(g.vertex_count());
+            let mut on_spg = CollectPaths::new();
+            PathEnumIndex::build(&reduced, q.source, q.target, q.k).enumerate(&mut on_spg);
+
+            assert_eq!(on_g.into_sorted(), on_spg.into_sorted(), "query {q}");
+        }
+    }
+}
+
+#[test]
+fn pathenum_on_gkst_enumerates_identical_paths() {
+    let g = preferential_attachment(200, 3, 0.4, 3);
+    for k in [4u32, 5] {
+        for q in reachable_queries(&g, 5, k, 50 + k as u64) {
+            let mut on_g = CollectPaths::new();
+            PathEnumIndex::build(&g, q.source, q.target, q.k).enumerate(&mut on_g);
+
+            let (gkst, _) = khsq_plus(&g, q.source, q.target, q.k);
+            let reduced = gkst.to_graph(g.vertex_count());
+            let mut on_gkst = CollectPaths::new();
+            PathEnumIndex::build(&reduced, q.source, q.target, q.k).enumerate(&mut on_gkst);
+
+            assert_eq!(on_g.into_sorted(), on_gkst.into_sorted(), "query {q}");
+        }
+    }
+}
+
+#[test]
+fn spg_is_never_larger_than_gkst() {
+    let g = gnm_random(70, 420, 8);
+    let eve = Eve::with_defaults(&g);
+    for q in reachable_queries(&g, 8, 6, 2) {
+        let spg = eve.query(q).unwrap();
+        let (gkst, _) = khsq_plus(&g, q.source, q.target, q.k);
+        assert!(spg.edge_count() <= gkst.edge_count(), "query {q}");
+    }
+}

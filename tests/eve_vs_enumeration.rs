@@ -1,0 +1,130 @@
+//! Cross-crate integration tests: EVE against the enumeration oracle.
+//!
+//! The defining property of `SPG_k(s, t)` is that it equals the union of the
+//! edges of all k-hop-constrained s-t simple paths. These tests enforce that
+//! equality between the EVE implementation (`spg-core`) and the baseline
+//! enumerators (`spg-baselines`) across random graphs, structured graphs and
+//! the simulated datasets, for every configuration of the EVE pipeline.
+
+use hop_spg::baselines::{spg_by_enumeration, EnumerationAlgorithm};
+use hop_spg::eve::{Eve, EveConfig, Query};
+use hop_spg::graph::generators::{community_graph, gnm_random, layered_dag, preferential_attachment};
+use hop_spg::graph::{DiGraph, DistanceStrategy};
+use hop_spg::workloads::{reachable_queries, dataset_by_code, DatasetScale};
+
+fn oracle(g: &DiGraph, q: Query) -> Vec<(u32, u32)> {
+    spg_by_enumeration(EnumerationAlgorithm::PrunedDfs, g, q.source, q.target, q.k)
+        .edges()
+        .to_vec()
+}
+
+fn check_graph(g: &DiGraph, queries: &[Query], config: EveConfig) {
+    let eve = Eve::new(g, config);
+    for &q in queries {
+        let spg = eve.query(q).expect("valid query");
+        let expected = oracle(g, q);
+        assert_eq!(
+            spg.edges(),
+            expected.as_slice(),
+            "mismatch for {q} with config {}",
+            config.describe()
+        );
+    }
+}
+
+#[test]
+fn eve_matches_enumeration_on_random_graphs() {
+    for seed in 0..8u64 {
+        let g = gnm_random(40, 200, seed);
+        for k in 2..=8u32 {
+            let queries = reachable_queries(&g, 5, k, seed + 1000);
+            check_graph(&g, &queries, EveConfig::default());
+        }
+    }
+}
+
+#[test]
+fn eve_matches_enumeration_on_scale_free_graphs() {
+    let g = preferential_attachment(300, 3, 0.4, 77);
+    for k in 3..=7u32 {
+        let queries = reachable_queries(&g, 8, k, 5);
+        check_graph(&g, &queries, EveConfig::default());
+    }
+}
+
+#[test]
+fn eve_matches_enumeration_on_community_graphs() {
+    let g = community_graph(120, 4, 0.12, 0.01, 13);
+    for k in 3..=6u32 {
+        let queries = reachable_queries(&g, 8, k, 6);
+        check_graph(&g, &queries, EveConfig::default());
+    }
+}
+
+#[test]
+fn eve_matches_enumeration_on_layered_dags() {
+    let g = layered_dag(6, 4);
+    let t = (6 * 4 - 1) as u32;
+    for k in 5..=8u32 {
+        let queries = vec![Query::new(0, t, k), Query::new(1, t - 1, k)];
+        check_graph(&g, &queries, EveConfig::default());
+    }
+}
+
+#[test]
+fn every_configuration_produces_the_same_answer() {
+    let g = gnm_random(60, 360, 17);
+    let configs = [
+        EveConfig::full(),
+        EveConfig::naive(),
+        EveConfig {
+            distance_strategy: DistanceStrategy::Bidirectional,
+            forward_looking_pruning: false,
+            search_ordering: true,
+        },
+        EveConfig {
+            distance_strategy: DistanceStrategy::Single,
+            forward_looking_pruning: true,
+            search_ordering: false,
+        },
+    ];
+    for k in [4u32, 6, 8] {
+        let queries = reachable_queries(&g, 6, k, 3);
+        for config in configs {
+            check_graph(&g, &queries, config);
+        }
+    }
+}
+
+#[test]
+fn eve_matches_enumeration_on_simulated_datasets() {
+    // Two representative datasets at quick scale, small query counts so the
+    // oracle stays cheap.
+    for code in ["tw", "gg"] {
+        let spec = dataset_by_code(code).unwrap();
+        let g = spec.build(DatasetScale::Quick);
+        for k in [4u32, 6] {
+            let queries = reachable_queries(&g, 3, k, 21);
+            check_graph(&g, &queries, EveConfig::default());
+        }
+    }
+}
+
+#[test]
+fn all_baseline_algorithms_agree_with_eve() {
+    let g = gnm_random(30, 150, 23);
+    let queries = reachable_queries(&g, 4, 6, 9);
+    let eve = Eve::with_defaults(&g);
+    for &q in &queries {
+        let spg = eve.query(q).unwrap();
+        for alg in EnumerationAlgorithm::ALL {
+            let baseline = spg_by_enumeration(alg, &g, q.source, q.target, q.k);
+            assert_eq!(
+                spg.edges(),
+                baseline.edges(),
+                "EVE vs {} for {q}",
+                alg.name()
+            );
+        }
+    }
+}
