@@ -146,7 +146,13 @@ struct BcOutcome {
     blocked_by_stack: bool,
 }
 
-fn bc_rec(g: &DiGraph, t: VertexId, budget: u32, st: &mut BcState, sink: &mut dyn PathSink) -> BcOutcome {
+fn bc_rec(
+    g: &DiGraph,
+    t: VertexId,
+    budget: u32,
+    st: &mut BcState,
+    sink: &mut dyn PathSink,
+) -> BcOutcome {
     let cur = *st.stack.last().unwrap();
     if cur == t {
         if !sink.accept(&st.stack) {

@@ -91,13 +91,7 @@ pub fn has_k_path_within(
 
 /// Subset DP over one colouring: does a colourful s-t path of exactly `k`
 /// edges exist?
-fn colorful_path_exists(
-    g: &DiGraph,
-    s: VertexId,
-    t: VertexId,
-    k: u32,
-    coloring: &[u32],
-) -> bool {
+fn colorful_path_exists(g: &DiGraph, s: VertexId, t: VertexId, k: u32, coloring: &[u32]) -> bool {
     // masks[v] = set of colour subsets realisable by a colourful path from s
     // ending at v with the current number of edges.
     let mut masks: FxHashMap<VertexId, Vec<u32>> = FxHashMap::default();

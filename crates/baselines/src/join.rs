@@ -170,7 +170,17 @@ fn forward_rec(
             continue;
         }
         stack.push(nxt);
-        forward_rec(g, t, remaining - 1, k, dist_t, stack, sink, partials, stopped);
+        forward_rec(
+            g,
+            t,
+            remaining - 1,
+            k,
+            dist_t,
+            stack,
+            sink,
+            partials,
+            stopped,
+        );
         stack.pop();
     }
 }
@@ -215,7 +225,9 @@ fn partial_bytes(
     let count_bytes = |m: &FxHashMap<VertexId, Vec<Vec<VertexId>>>| -> usize {
         m.values()
             .flat_map(|paths| paths.iter())
-            .map(|p| p.len() * std::mem::size_of::<VertexId>() + std::mem::size_of::<Vec<VertexId>>())
+            .map(|p| {
+                p.len() * std::mem::size_of::<VertexId>() + std::mem::size_of::<Vec<VertexId>>()
+            })
             .sum()
     };
     count_bytes(forward) + count_bytes(backward)

@@ -206,7 +206,11 @@ mod tests {
                 for strategy in [PathEnumStrategy::DfsBased, PathEnumStrategy::JoinBased] {
                     let mut got = CollectPaths::new();
                     index.enumerate_with(strategy, &mut got);
-                    assert_eq!(expected, got.into_sorted(), "seed={seed} k={k} {strategy:?}");
+                    assert_eq!(
+                        expected,
+                        got.into_sorted(),
+                        "seed={seed} k={k} {strategy:?}"
+                    );
                 }
                 let mut auto = CollectPaths::new();
                 index.enumerate(&mut auto);

@@ -50,13 +50,7 @@ impl EnumerationAlgorithm {
     }
 
     /// Runs the algorithm, unioning every enumerated path into an edge set.
-    pub fn enumerate_union(
-        self,
-        g: &DiGraph,
-        s: VertexId,
-        t: VertexId,
-        k: u32,
-    ) -> EdgeUnion {
+    pub fn enumerate_union(self, g: &DiGraph, s: VertexId, t: VertexId, k: u32) -> EdgeUnion {
         let mut union = EdgeUnion::new();
         match self {
             EnumerationAlgorithm::NaiveDfs => naive_dfs(g, s, t, k, &mut union),
@@ -115,9 +109,13 @@ mod tests {
                 for alg in EnumerationAlgorithm::ALL {
                     let got = spg_by_enumeration(alg, &g, 0, (n - 1) as u32, k);
                     assert_eq!(reference, got, "{} seed={seed} k={k}", alg.name());
-                    let on_gkst =
-                        spg_by_enumeration_on_gkst(alg, &g, 0, (n - 1) as u32, k);
-                    assert_eq!(reference, on_gkst, "{} on G^k_st seed={seed} k={k}", alg.name());
+                    let on_gkst = spg_by_enumeration_on_gkst(alg, &g, 0, (n - 1) as u32, k);
+                    assert_eq!(
+                        reference,
+                        on_gkst,
+                        "{} on G^k_st seed={seed} k={k}",
+                        alg.name()
+                    );
                 }
             }
         }

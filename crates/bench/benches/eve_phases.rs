@@ -53,22 +53,30 @@ fn bench_propagation(c: &mut Criterion) {
     let (g, queries) = setup();
     let mut group = c.benchmark_group("propagation");
     for pruning in [false, true] {
-        let label = if pruning { "with_pruning" } else { "no_pruning" };
-        group.bench_with_input(BenchmarkId::from_parameter(label), &pruning, |b, &pruning| {
-            b.iter(|| {
-                for &q in &queries {
-                    let idx = DistanceIndex::compute(
-                        &g,
-                        q.source,
-                        q.target,
-                        q.k,
-                        DistanceStrategy::AdaptiveBidirectional,
-                    );
-                    std::hint::black_box(Propagation::forward(&g, q, &idx, pruning));
-                    std::hint::black_box(Propagation::backward(&g, q, &idx, pruning));
-                }
-            })
-        });
+        let label = if pruning {
+            "with_pruning"
+        } else {
+            "no_pruning"
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &pruning,
+            |b, &pruning| {
+                b.iter(|| {
+                    for &q in &queries {
+                        let idx = DistanceIndex::compute(
+                            &g,
+                            q.source,
+                            q.target,
+                            q.k,
+                            DistanceStrategy::AdaptiveBidirectional,
+                        );
+                        std::hint::black_box(Propagation::forward(&g, q, &idx, pruning));
+                        std::hint::black_box(Propagation::backward(&g, q, &idx, pruning));
+                    }
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -32,7 +32,14 @@ fn main() {
 
     let mut table = Table::new(
         "Case study (Fig. 13a): suspicious subgraph around the flagged transaction",
-        &["window (days)", "graph edges", "suspicious accounts", "suspicious transactions", "recall", "time (ms)"],
+        &[
+            "window (days)",
+            "graph edges",
+            "suspicious accounts",
+            "suspicious transactions",
+            "recall",
+            "time (ms)",
+        ],
     );
     for window in [3.0f64, 7.0, 14.0, 30.0] {
         let start = Instant::now();

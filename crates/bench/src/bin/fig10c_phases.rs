@@ -11,7 +11,14 @@ fn main() {
     let cfg = HarnessConfig::from_args();
     let mut table = Table::new(
         "Figure 10(c): EVE per-phase total time (ms) over the query batch",
-        &["dataset", "k", "(1) propagation", "(2) upper bound", "(3) verification", "total"],
+        &[
+            "dataset",
+            "k",
+            "(1) propagation",
+            "(2) upper bound",
+            "(3) verification",
+            "total",
+        ],
     );
     for spec in cfg.select_datasets(&["ye", "bs"]) {
         let g = build_dataset(spec, &cfg);

@@ -13,12 +13,23 @@ fn main() {
     let cfg = HarnessConfig::from_args();
     let mut table = Table::new(
         "Figure 2(b): |E(SPG_k)| and #simple paths vs. k (averages per query)",
-        &["dataset", "k", "avg |E(SPG_k)|", "avg #paths", "paths / edges"],
+        &[
+            "dataset",
+            "k",
+            "avg |E(SPG_k)|",
+            "avg #paths",
+            "paths / edges",
+        ],
     );
     for spec in cfg.select_datasets(&["wn", "uk"]) {
         let g = build_dataset(spec, &cfg);
         let eve = default_eve(&g);
-        eprintln!("{}: {} vertices, {} edges", spec.code, g.vertex_count(), g.edge_count());
+        eprintln!(
+            "{}: {} vertices, {} edges",
+            spec.code,
+            g.vertex_count(),
+            g.edge_count()
+        );
         for k in 3..=8u32 {
             let queries = reachable_queries(&g, cfg.queries, k, cfg.seed);
             let mut edge_counts = Vec::new();
@@ -39,7 +50,14 @@ fn main() {
                 k.to_string(),
                 format!("{avg_edges:.1}"),
                 format!("{avg_paths:.1}"),
-                format!("{:.1}", if avg_edges > 0.0 { avg_paths / avg_edges } else { 0.0 }),
+                format!(
+                    "{:.1}",
+                    if avg_edges > 0.0 {
+                        avg_paths / avg_edges
+                    } else {
+                        0.0
+                    }
+                ),
             ]);
         }
     }

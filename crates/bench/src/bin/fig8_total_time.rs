@@ -15,22 +15,50 @@ fn main() {
     ]);
     let mut table = Table::new(
         "Figure 8: total time (ms) over the query batch",
-        &["dataset", "k", "EVE", "JOIN", "PathEnum", "EVE speedup vs best baseline"],
+        &[
+            "dataset",
+            "k",
+            "EVE",
+            "JOIN",
+            "PathEnum",
+            "EVE speedup vs best baseline",
+        ],
     );
     for spec in datasets {
         let g = build_dataset(spec, &cfg);
         let eve = default_eve(&g);
-        eprintln!("{}: {} vertices, {} edges", spec.code, g.vertex_count(), g.edge_count());
+        eprintln!(
+            "{}: {} vertices, {} edges",
+            spec.code,
+            g.vertex_count(),
+            g.edge_count()
+        );
         for k in 3..=8u32 {
             let queries = reachable_queries(&g, cfg.queries, k, cfg.seed);
             if queries.is_empty() {
                 continue;
             }
-            let eve_total = total_time(&run_batch(SpgAlgorithm::Eve, &g, &eve, &queries, cfg.budget));
-            let join_total =
-                total_time(&run_batch(SpgAlgorithm::Join, &g, &eve, &queries, cfg.budget));
-            let pe_total =
-                total_time(&run_batch(SpgAlgorithm::PathEnum, &g, &eve, &queries, cfg.budget));
+            let eve_total = total_time(&run_batch(
+                SpgAlgorithm::Eve,
+                &g,
+                &eve,
+                &queries,
+                cfg.budget,
+            ));
+            let join_total = total_time(&run_batch(
+                SpgAlgorithm::Join,
+                &g,
+                &eve,
+                &queries,
+                cfg.budget,
+            ));
+            let pe_total = total_time(&run_batch(
+                SpgAlgorithm::PathEnum,
+                &g,
+                &eve,
+                &queries,
+                cfg.budget,
+            ));
             let speedup = match (eve_total, join_total, pe_total) {
                 (Some(e), j, p) if e.as_secs_f64() > 0.0 => {
                     let best = [j, p]

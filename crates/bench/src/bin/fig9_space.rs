@@ -24,7 +24,11 @@ fn main() {
         if queries.is_empty() {
             continue;
         }
-        for alg in [SpgAlgorithm::Eve, SpgAlgorithm::Join, SpgAlgorithm::PathEnum] {
+        for alg in [
+            SpgAlgorithm::Eve,
+            SpgAlgorithm::Join,
+            SpgAlgorithm::PathEnum,
+        ] {
             let runs = run_batch(alg, &g, &eve, &queries, cfg.budget);
             let bytes: Vec<usize> = runs.iter().map(|r| r.memory_bytes).collect();
             let (min, median, max) = min_median_max(&bytes);

@@ -10,12 +10,18 @@ use spg_workloads::reachable_queries;
 
 fn main() {
     let cfg = HarnessConfig::from_args();
-    let datasets =
-        cfg.select_datasets(&["wn", "uk", "sf", "bk", "tw", "bs", "gg", "wt", "lj", "dl", "fr"]);
+    let datasets = cfg.select_datasets(&[
+        "wn", "uk", "sf", "bk", "tw", "bs", "gg", "wt", "lj", "dl", "fr",
+    ]);
     let k = 6u32;
     let mut table = Table::new(
         "Table 5: SPG generation on G^k_st (k = 6): speedup over the plain baseline, and EVE total",
-        &["dataset", "JOIN speedup", "PathEnum speedup", "EVE total (ms)"],
+        &[
+            "dataset",
+            "JOIN speedup",
+            "PathEnum speedup",
+            "EVE total (ms)",
+        ],
     );
     for spec in datasets {
         let g = build_dataset(spec, &cfg);
@@ -30,7 +36,8 @@ fn main() {
         let pe_plain = total(SpgAlgorithm::PathEnum);
         let pe_gkst = total(SpgAlgorithm::PathEnumOnGkst);
         let eve_total = total(SpgAlgorithm::Eve);
-        let speedup = |plain: Option<std::time::Duration>, enhanced: Option<std::time::Duration>| {
+        let speedup = |plain: Option<std::time::Duration>,
+                       enhanced: Option<std::time::Duration>| {
             match (plain, enhanced) {
                 (Some(p), Some(e)) if e.as_secs_f64() > 0.0 => {
                     format!("{:.1}", p.as_secs_f64() / e.as_secs_f64())

@@ -173,7 +173,9 @@ impl Table {
         };
         out.push_str(&fmt_row(&self.headers, &widths));
         out.push('\n');
-        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1))));
+        out.push_str(
+            &"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1))),
+        );
         out.push('\n');
         for row in &self.rows {
             out.push_str(&fmt_row(row, &widths));
@@ -224,7 +226,11 @@ pub fn min_median_max(values: &[usize]) -> (usize, usize, usize) {
     }
     let mut sorted = values.to_vec();
     sorted.sort_unstable();
-    (sorted[0], sorted[sorted.len() / 2], sorted[sorted.len() - 1])
+    (
+        sorted[0],
+        sorted[sorted.len() / 2],
+        sorted[sorted.len() - 1],
+    )
 }
 
 /// Formats a duration in milliseconds with three decimals.
@@ -382,8 +388,7 @@ pub fn run_query(
         SpgAlgorithm::JoinOnGkst | SpgAlgorithm::PathEnumOnGkst => {
             let (gkst, _) = spg_baselines::khsq_plus(g, query.source, query.target, query.k);
             let restricted = gkst.to_graph(g.vertex_count());
-            let index =
-                PathEnumIndex::build(&restricted, query.source, query.target, query.k);
+            let index = PathEnumIndex::build(&restricted, query.source, query.target, query.k);
             let mut sink = BudgetedUnion::new(budget);
             match algorithm {
                 SpgAlgorithm::JoinOnGkst => {

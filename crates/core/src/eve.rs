@@ -69,7 +69,11 @@ impl EveConfig {
         format!(
             "{} search, pruning={}, ordering={}",
             self.distance_strategy.name(),
-            if self.forward_looking_pruning { "on" } else { "off" },
+            if self.forward_looking_pruning {
+                "on"
+            } else {
+                "off"
+            },
             if self.search_ordering { "on" } else { "off" },
         )
     }
@@ -170,8 +174,7 @@ impl<'g> Eve<'g> {
         }
         let outcome = verify_undetermined(&upper, query);
         timings.verification = start.elapsed();
-        memory.verification_bytes = outcome.edges.len()
-            * std::mem::size_of::<(u32, u32)>()
+        memory.verification_bytes = outcome.edges.len() * std::mem::size_of::<(u32, u32)>()
             + (query.k as usize + 2) * 2 * std::mem::size_of::<u32>();
 
         let stats = EveStats {
@@ -184,11 +187,8 @@ impl<'g> Eve<'g> {
             verification: outcome.stats,
             upper_bound_edges: upper.edge_count(),
         };
-        let spg = SimplePathGraph::from_parts(
-            query,
-            EdgeSubgraph::from_edges(outcome.edges),
-            stats,
-        );
+        let spg =
+            SimplePathGraph::from_parts(query, EdgeSubgraph::from_edges(outcome.edges), stats);
         Ok(EveOutput {
             spg,
             upper_bound: upper.to_edge_subgraph(),

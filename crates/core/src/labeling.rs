@@ -47,6 +47,9 @@ pub struct LabelingStats {
     pub definite: usize,
 }
 
+/// Sparse adjacency restricted to `SPGᵘ_k` (vertex → neighbour list).
+pub(crate) type AdjacencyMap = FxHashMap<VertexId, Vec<VertexId>>;
+
 /// The upper-bound graph `SPGᵘ_k(s, t)` together with the bookkeeping the
 /// verification phase needs (adjacency restricted to `SPGᵘ_k`, departures,
 /// arrivals and their valid neighbours).
@@ -56,12 +59,12 @@ pub struct UpperBoundGraph {
     definite: Vec<(VertexId, VertexId)>,
     undetermined: Vec<(VertexId, VertexId)>,
     edge_set: FxHashSet<(VertexId, VertexId)>,
-    out_adj: FxHashMap<VertexId, Vec<VertexId>>,
-    in_adj: FxHashMap<VertexId, Vec<VertexId>>,
+    out_adj: AdjacencyMap,
+    in_adj: AdjacencyMap,
     /// Departure vertex set `D`, mapped to `In_D` (≤ k−2 entries each).
-    departures: FxHashMap<VertexId, Vec<VertexId>>,
+    departures: AdjacencyMap,
     /// Arrival vertex set `A`, mapped to `Out_A` (≤ k−2 entries each).
-    arrivals: FxHashMap<VertexId, Vec<VertexId>>,
+    arrivals: AdjacencyMap,
     stats: LabelingStats,
 }
 
@@ -186,12 +189,7 @@ impl UpperBoundGraph {
 
     /// Mutable access used by the verification phase to re-order adjacency
     /// lists according to the search-ordering strategy (§5.3).
-    pub(crate) fn adjacency_mut(
-        &mut self,
-    ) -> (
-        &mut FxHashMap<VertexId, Vec<VertexId>>,
-        &mut FxHashMap<VertexId, Vec<VertexId>>,
-    ) {
+    pub(crate) fn adjacency_mut(&mut self) -> (&mut AdjacencyMap, &mut AdjacencyMap) {
         (&mut self.out_adj, &mut self.in_adj)
     }
 
@@ -240,8 +238,14 @@ impl UpperBoundGraph {
         let edge = std::mem::size_of::<(VertexId, VertexId)>();
         let mut bytes = (self.definite.len() + self.undetermined.len()) * edge;
         bytes += self.edge_set.len() * (edge + 8);
-        for adj in [&self.out_adj, &self.in_adj, &self.departures, &self.arrivals] {
-            bytes += adj.len() * (std::mem::size_of::<VertexId>() + 8 + std::mem::size_of::<Vec<VertexId>>());
+        for adj in [
+            &self.out_adj,
+            &self.in_adj,
+            &self.departures,
+            &self.arrivals,
+        ] {
+            bytes += adj.len()
+                * (std::mem::size_of::<VertexId>() + 8 + std::mem::size_of::<Vec<VertexId>>());
             bytes += adj
                 .values()
                 .map(|v| v.capacity() * std::mem::size_of::<VertexId>())

@@ -243,8 +243,8 @@ impl Propagation {
     pub fn memory_bytes(&self) -> usize {
         let mut bytes = self.levels.capacity() * std::mem::size_of::<FxHashMap<VertexId, EvSet>>();
         for level in &self.levels {
-            bytes += level.len()
-                * (std::mem::size_of::<VertexId>() + std::mem::size_of::<EvSet>() + 8);
+            bytes +=
+                level.len() * (std::mem::size_of::<VertexId>() + std::mem::size_of::<EvSet>() + 8);
             bytes += level.values().map(EvSet::memory_bytes).sum::<usize>();
         }
         bytes
@@ -367,7 +367,7 @@ mod tests {
         use rand::{Rng, SeedableRng};
         let mut rng = StdRng::seed_from_u64(2023);
         for case in 0..25 {
-            let n = rng.gen_range(5..11);
+            let n: usize = rng.gen_range(5..11);
             let m = rng.gen_range(n..(n * (n - 1)).min(3 * n));
             let g = spg_graph::generators::gnm_random(n, m, 100 + case);
             let s = 0u32;

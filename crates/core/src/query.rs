@@ -75,7 +75,10 @@ impl std::fmt::Display for QueryError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             QueryError::VertexOutOfRange { vertex, vertices } => {
-                write!(f, "vertex {vertex} out of range (graph has {vertices} vertices)")
+                write!(
+                    f,
+                    "vertex {vertex} out of range (graph has {vertices} vertices)"
+                )
             }
             QueryError::SourceEqualsTarget(v) => {
                 write!(f, "source and target must be distinct (both are {v})")

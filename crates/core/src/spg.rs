@@ -23,7 +23,11 @@ impl SimplePathGraph {
     /// Assembles an answer from its parts (used by the EVE pipeline and by
     /// the baseline adapters, which produce the same answer type).
     pub fn from_parts(query: Query, edges: EdgeSubgraph, stats: EveStats) -> Self {
-        SimplePathGraph { query, edges, stats }
+        SimplePathGraph {
+            query,
+            edges,
+            stats,
+        }
     }
 
     /// The query this answer belongs to.
@@ -70,10 +74,7 @@ impl SimplePathGraph {
     /// path. This is the membership test used in the NP-hardness reduction
     /// (Theorem 2.5).
     pub fn contains_vertex(&self, v: VertexId) -> bool {
-        self.edges
-            .edges()
-            .iter()
-            .any(|&(a, b)| a == v || b == v)
+        self.edges.edges().iter().any(|&(a, b)| a == v || b == v)
     }
 
     /// Coverage ratio `r_C = |E(SPG_k)| / |E(G)|` (§6.6, Figure 12(a)).

@@ -68,7 +68,10 @@ impl MemoryEstimate {
     /// Sum over all phases: EVE keeps the earlier structures alive until the
     /// answer is produced, so the peak equals the total.
     pub fn peak_bytes(&self) -> usize {
-        self.distance_bytes + self.propagation_bytes + self.upper_bound_bytes + self.verification_bytes
+        self.distance_bytes
+            + self.propagation_bytes
+            + self.upper_bound_bytes
+            + self.verification_bytes
     }
 }
 

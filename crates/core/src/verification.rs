@@ -16,6 +16,7 @@
 //! with ties broken towards vertices offering more valid neighbours — both
 //! heuristics make a witness more likely to be found early (§5.3).
 
+use std::collections::hash_map::Entry;
 use std::collections::VecDeque;
 
 use spg_graph::hash::{FxHashMap, FxHashSet};
@@ -66,14 +67,10 @@ pub fn apply_search_ordering(ub: &mut UpperBoundGraph) {
     // Distance from the nearest departure TO every vertex.
     let dist_from_departure = multi_source_bfs(&departures, |v| ub.out_neighbors(v).to_vec());
 
-    let out_a_len: FxHashMap<VertexId, usize> = arrivals
-        .iter()
-        .map(|&a| (a, ub.out_a(a).len()))
-        .collect();
-    let in_d_len: FxHashMap<VertexId, usize> = departures
-        .iter()
-        .map(|&d| (d, ub.in_d(d).len()))
-        .collect();
+    let out_a_len: FxHashMap<VertexId, usize> =
+        arrivals.iter().map(|&a| (a, ub.out_a(a).len())).collect();
+    let in_d_len: FxHashMap<VertexId, usize> =
+        departures.iter().map(|&d| (d, ub.in_d(d).len())).collect();
 
     let (out_adj, in_adj) = ub.adjacency_mut();
     for neighbors in out_adj.values_mut() {
@@ -105,8 +102,8 @@ where
     while let Some(u) = queue.pop_front() {
         let du = dist[&u];
         for v in neighbors(u) {
-            if !dist.contains_key(&v) {
-                dist.insert(v, du + 1);
+            if let Entry::Vacant(slot) = dist.entry(v) {
+                slot.insert(du + 1);
                 queue.push_back(v);
             }
         }
@@ -117,8 +114,7 @@ where
 /// Verifies every undetermined edge of `ub` and returns the final edge set of
 /// `SPG_k(s, t)` (Algorithm 3).
 pub fn verify_undetermined(ub: &UpperBoundGraph, query: Query) -> VerificationOutcome {
-    let mut result: FxHashSet<(VertexId, VertexId)> =
-        ub.definite_edges().iter().copied().collect();
+    let mut result: FxHashSet<(VertexId, VertexId)> = ub.definite_edges().iter().copied().collect();
     let mut stats = VerificationStats::default();
 
     if query.k >= 5 {
@@ -270,8 +266,13 @@ mod tests {
     use spg_graph::{DiGraph, DistanceIndex, DistanceStrategy};
 
     fn upper_bound(g: &DiGraph, q: Query, ordering: bool) -> UpperBoundGraph {
-        let idx =
-            DistanceIndex::compute(g, q.source, q.target, q.k, DistanceStrategy::AdaptiveBidirectional);
+        let idx = DistanceIndex::compute(
+            g,
+            q.source,
+            q.target,
+            q.k,
+            DistanceStrategy::AdaptiveBidirectional,
+        );
         let fwd = Propagation::forward(g, q, &idx, true);
         let bwd = Propagation::backward(g, q, &idx, true);
         let mut ub = UpperBoundGraph::build(g, q, &idx, &fwd, &bwd);
@@ -292,7 +293,10 @@ mod tests {
         let edges: FxHashSet<(VertexId, VertexId)> = outcome.edges.iter().copied().collect();
         assert!(edges.contains(&(I, J)));
         assert!(edges.contains(&(J, H)));
-        assert!(!edges.contains(&(B, A)), "e(b,a) is not on any simple s-t path (Lemma 3.3)");
+        assert!(
+            !edges.contains(&(B, A)),
+            "e(b,a) is not on any simple s-t path (Lemma 3.3)"
+        );
         assert!(!edges.contains(&(B, J)));
         assert_eq!(outcome.edges.len(), 11);
         assert_eq!(outcome.stats.rejected, 1);

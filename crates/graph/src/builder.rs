@@ -92,7 +92,11 @@ impl GraphBuilder {
         let mut edges: Vec<(VertexId, VertexId)> = if self.keep_self_loops {
             self.edges.clone()
         } else {
-            self.edges.iter().copied().filter(|&(u, v)| u != v).collect()
+            self.edges
+                .iter()
+                .copied()
+                .filter(|&(u, v)| u != v)
+                .collect()
         };
         edges.sort_unstable();
         edges.dedup();

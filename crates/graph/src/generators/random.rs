@@ -144,13 +144,7 @@ pub fn power_law_configuration(n: usize, avg_degree: f64, gamma: f64, seed: u64)
 /// with probability `p_out`. Dense blocks produce the large strongly cohesive
 /// communities with many overlapping s-t paths that motivate simple path
 /// *graphs* over path enumeration (§1.1).
-pub fn community_graph(
-    n: usize,
-    communities: usize,
-    p_in: f64,
-    p_out: f64,
-    seed: u64,
-) -> DiGraph {
+pub fn community_graph(n: usize, communities: usize, p_in: f64, p_out: f64, seed: u64) -> DiGraph {
     assert!(communities >= 1 && communities <= n.max(1));
     let mut rng = StdRng::seed_from_u64(seed);
     let mut builder = GraphBuilder::new(n);

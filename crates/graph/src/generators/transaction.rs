@@ -226,7 +226,12 @@ mod tests {
             assert!(windowed.has_edge(u, v), "planted edge ({u},{v}) missing");
         }
         // And the ring closes: from s=0 we can reach t=1 within ring_length-1 hops.
-        assert!(k_hop_reachable(&windowed, 0, 1, (cfg.ring_length - 1) as u32));
+        assert!(k_hop_reachable(
+            &windowed,
+            0,
+            1,
+            (cfg.ring_length - 1) as u32
+        ));
     }
 
     #[test]

@@ -100,7 +100,12 @@ pub fn read_edge_list_file<P: AsRef<Path>>(path: P) -> Result<DiGraph, EdgeListE
 /// Writes a graph as an edge list (`u v` per line) to any writer.
 pub fn write_edge_list<W: Write>(g: &DiGraph, writer: W) -> io::Result<()> {
     let mut w = BufWriter::new(writer);
-    writeln!(w, "# directed edge list: {} vertices, {} edges", g.vertex_count(), g.edge_count())?;
+    writeln!(
+        w,
+        "# directed edge list: {} vertices, {} edges",
+        g.vertex_count(),
+        g.edge_count()
+    )?;
     for (u, v) in g.edges() {
         writeln!(w, "{u} {v}")?;
     }

@@ -7,6 +7,7 @@
 //! vertex definition (Definition 3.1), which only considers paths that do not
 //! pass through the opposite endpoint.
 
+use std::collections::hash_map::Entry;
 use std::collections::VecDeque;
 
 use crate::csr::{DiGraph, Direction, VertexId};
@@ -64,8 +65,8 @@ pub fn bfs_distances(
             continue;
         }
         for &v in g.neighbors(u, dir) {
-            if !dist.contains_key(&v) {
-                dist.insert(v, du + 1);
+            if let Entry::Vacant(slot) = dist.entry(v) {
+                slot.insert(du + 1);
                 queue.push_back(v);
             }
         }
@@ -132,7 +133,10 @@ mod tests {
         let g = DiGraph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
         let d = bfs_distances_from(&g, 0, BfsOptions::bounded_avoiding(10, 2));
         assert_eq!(d[&2], 2);
-        assert!(!d.contains_key(&3), "must not route through forbidden vertex");
+        assert!(
+            !d.contains_key(&3),
+            "must not route through forbidden vertex"
+        );
     }
 
     #[test]

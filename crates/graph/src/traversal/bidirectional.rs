@@ -171,7 +171,10 @@ impl DistanceIndex {
         k: u32,
         strategy: DistanceStrategy,
     ) -> DistanceIndex {
-        assert!(s != t, "queries require distinct source and target vertices");
+        assert!(
+            s != t,
+            "queries require distinct source and target vertices"
+        );
         let mut forward = LevelBfs::new(g, Direction::Forward, s, t);
         let mut backward = LevelBfs::new(g, Direction::Backward, t, s);
 
@@ -359,7 +362,11 @@ mod tests {
             for v in g.vertices() {
                 assert_eq!(single.dist_from_s(v), bi.dist_from_s(v), "k={k} v={v}");
                 assert_eq!(single.dist_to_t(v), bi.dist_to_t(v), "k={k} v={v}");
-                assert_eq!(single.dist_from_s(v), adaptive.dist_from_s(v), "k={k} v={v}");
+                assert_eq!(
+                    single.dist_from_s(v),
+                    adaptive.dist_from_s(v),
+                    "k={k} v={v}"
+                );
                 assert_eq!(single.dist_to_t(v), adaptive.dist_to_t(v), "k={k} v={v}");
             }
             assert_eq!(single.space_size(), adaptive.space_size());

@@ -121,21 +121,141 @@ impl DatasetSpec {
 
 /// The 15 datasets of Table 2, in the paper's order.
 pub const DATASETS: [DatasetSpec; 15] = [
-    DatasetSpec { code: "ps", paper_name: "econ-psmigr3", family: GraphFamily::DenseUniform, paper_vertices: 3_100, paper_edges: 540_000, paper_avg_degree: 172, seed: 0xA001 },
-    DatasetSpec { code: "ye", paper_name: "bio-grid-yeast", family: GraphFamily::Community, paper_vertices: 6_000, paper_edges: 314_000, paper_avg_degree: 52, seed: 0xA002 },
-    DatasetSpec { code: "wn", paper_name: "bio-WormNet-v3", family: GraphFamily::Community, paper_vertices: 16_000, paper_edges: 763_000, paper_avg_degree: 47, seed: 0xA003 },
-    DatasetSpec { code: "uk", paper_name: "web-uk-2005", family: GraphFamily::Web, paper_vertices: 130_000, paper_edges: 12_000_000, paper_avg_degree: 91, seed: 0xA004 },
-    DatasetSpec { code: "sf", paper_name: "web-Stanford", family: GraphFamily::Web, paper_vertices: 282_000, paper_edges: 13_000_000, paper_avg_degree: 46, seed: 0xA005 },
-    DatasetSpec { code: "bk", paper_name: "web-baidu-baike", family: GraphFamily::Web, paper_vertices: 416_000, paper_edges: 3_300_000, paper_avg_degree: 8, seed: 0xA006 },
-    DatasetSpec { code: "tw", paper_name: "twitter-social", family: GraphFamily::Social, paper_vertices: 465_000, paper_edges: 835_000, paper_avg_degree: 2, seed: 0xA007 },
-    DatasetSpec { code: "bs", paper_name: "web-BerkStan", family: GraphFamily::Web, paper_vertices: 685_000, paper_edges: 7_600_000, paper_avg_degree: 11, seed: 0xA008 },
-    DatasetSpec { code: "gg", paper_name: "web-Google", family: GraphFamily::Web, paper_vertices: 876_000, paper_edges: 5_100_000, paper_avg_degree: 6, seed: 0xA009 },
-    DatasetSpec { code: "hm", paper_name: "bn-human-Jung2015", family: GraphFamily::DenseUniform, paper_vertices: 976_000, paper_edges: 146_000_000, paper_avg_degree: 150, seed: 0xA00A },
-    DatasetSpec { code: "wt", paper_name: "wikiTalk", family: GraphFamily::Social, paper_vertices: 2_400_000, paper_edges: 5_000_000, paper_avg_degree: 2, seed: 0xA00B },
-    DatasetSpec { code: "lj", paper_name: "soc-LiveJournal1", family: GraphFamily::Social, paper_vertices: 4_800_000, paper_edges: 68_000_000, paper_avg_degree: 14, seed: 0xA00C },
-    DatasetSpec { code: "dl", paper_name: "dbpedia-link", family: GraphFamily::Web, paper_vertices: 18_000_000, paper_edges: 137_000_000, paper_avg_degree: 7, seed: 0xA00D },
-    DatasetSpec { code: "fr", paper_name: "soc-friendster", family: GraphFamily::Social, paper_vertices: 66_000_000, paper_edges: 1_800_000_000, paper_avg_degree: 28, seed: 0xA00E },
-    DatasetSpec { code: "hg", paper_name: "web-cc12-hostgraph", family: GraphFamily::Web, paper_vertices: 89_000_000, paper_edges: 2_000_000_000, paper_avg_degree: 23, seed: 0xA00F },
+    DatasetSpec {
+        code: "ps",
+        paper_name: "econ-psmigr3",
+        family: GraphFamily::DenseUniform,
+        paper_vertices: 3_100,
+        paper_edges: 540_000,
+        paper_avg_degree: 172,
+        seed: 0xA001,
+    },
+    DatasetSpec {
+        code: "ye",
+        paper_name: "bio-grid-yeast",
+        family: GraphFamily::Community,
+        paper_vertices: 6_000,
+        paper_edges: 314_000,
+        paper_avg_degree: 52,
+        seed: 0xA002,
+    },
+    DatasetSpec {
+        code: "wn",
+        paper_name: "bio-WormNet-v3",
+        family: GraphFamily::Community,
+        paper_vertices: 16_000,
+        paper_edges: 763_000,
+        paper_avg_degree: 47,
+        seed: 0xA003,
+    },
+    DatasetSpec {
+        code: "uk",
+        paper_name: "web-uk-2005",
+        family: GraphFamily::Web,
+        paper_vertices: 130_000,
+        paper_edges: 12_000_000,
+        paper_avg_degree: 91,
+        seed: 0xA004,
+    },
+    DatasetSpec {
+        code: "sf",
+        paper_name: "web-Stanford",
+        family: GraphFamily::Web,
+        paper_vertices: 282_000,
+        paper_edges: 13_000_000,
+        paper_avg_degree: 46,
+        seed: 0xA005,
+    },
+    DatasetSpec {
+        code: "bk",
+        paper_name: "web-baidu-baike",
+        family: GraphFamily::Web,
+        paper_vertices: 416_000,
+        paper_edges: 3_300_000,
+        paper_avg_degree: 8,
+        seed: 0xA006,
+    },
+    DatasetSpec {
+        code: "tw",
+        paper_name: "twitter-social",
+        family: GraphFamily::Social,
+        paper_vertices: 465_000,
+        paper_edges: 835_000,
+        paper_avg_degree: 2,
+        seed: 0xA007,
+    },
+    DatasetSpec {
+        code: "bs",
+        paper_name: "web-BerkStan",
+        family: GraphFamily::Web,
+        paper_vertices: 685_000,
+        paper_edges: 7_600_000,
+        paper_avg_degree: 11,
+        seed: 0xA008,
+    },
+    DatasetSpec {
+        code: "gg",
+        paper_name: "web-Google",
+        family: GraphFamily::Web,
+        paper_vertices: 876_000,
+        paper_edges: 5_100_000,
+        paper_avg_degree: 6,
+        seed: 0xA009,
+    },
+    DatasetSpec {
+        code: "hm",
+        paper_name: "bn-human-Jung2015",
+        family: GraphFamily::DenseUniform,
+        paper_vertices: 976_000,
+        paper_edges: 146_000_000,
+        paper_avg_degree: 150,
+        seed: 0xA00A,
+    },
+    DatasetSpec {
+        code: "wt",
+        paper_name: "wikiTalk",
+        family: GraphFamily::Social,
+        paper_vertices: 2_400_000,
+        paper_edges: 5_000_000,
+        paper_avg_degree: 2,
+        seed: 0xA00B,
+    },
+    DatasetSpec {
+        code: "lj",
+        paper_name: "soc-LiveJournal1",
+        family: GraphFamily::Social,
+        paper_vertices: 4_800_000,
+        paper_edges: 68_000_000,
+        paper_avg_degree: 14,
+        seed: 0xA00C,
+    },
+    DatasetSpec {
+        code: "dl",
+        paper_name: "dbpedia-link",
+        family: GraphFamily::Web,
+        paper_vertices: 18_000_000,
+        paper_edges: 137_000_000,
+        paper_avg_degree: 7,
+        seed: 0xA00D,
+    },
+    DatasetSpec {
+        code: "fr",
+        paper_name: "soc-friendster",
+        family: GraphFamily::Social,
+        paper_vertices: 66_000_000,
+        paper_edges: 1_800_000_000,
+        paper_avg_degree: 28,
+        seed: 0xA00E,
+    },
+    DatasetSpec {
+        code: "hg",
+        paper_name: "web-cc12-hostgraph",
+        family: GraphFamily::Web,
+        paper_vertices: 89_000_000,
+        paper_edges: 2_000_000_000,
+        paper_avg_degree: 23,
+        seed: 0xA00F,
+    },
 ];
 
 /// Looks a dataset up by its two-letter code.
@@ -171,7 +291,11 @@ mod tests {
         for spec in &DATASETS {
             let g1 = spec.build(DatasetScale::Quick);
             assert!(g1.vertex_count() >= 300, "{} too small", spec.code);
-            assert!(g1.edge_count() < 120_000, "{} too large for quick scale", spec.code);
+            assert!(
+                g1.edge_count() < 120_000,
+                "{} too large for quick scale",
+                spec.code
+            );
             let g2 = spec.build(DatasetScale::Quick);
             assert_eq!(g1, g2, "{} not deterministic", spec.code);
         }

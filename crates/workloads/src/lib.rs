@@ -16,6 +16,8 @@ pub mod datasets;
 pub mod fraud;
 pub mod queries;
 
-pub use datasets::{dataset_by_code, headline_datasets, DatasetScale, DatasetSpec, GraphFamily, DATASETS};
+pub use datasets::{
+    dataset_by_code, headline_datasets, DatasetScale, DatasetSpec, GraphFamily, DATASETS,
+};
 pub use fraud::{investigate, investigate_network, FraudCaseConfig, FraudInvestigation};
 pub use queries::{reachable_queries, QueryGenerator};

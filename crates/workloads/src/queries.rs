@@ -115,7 +115,11 @@ mod tests {
         let a = reachable_queries(&g, 50, 4, 99);
         let b = reachable_queries(&g, 50, 4, 99);
         assert_eq!(a, b);
-        assert!(a.len() >= 45, "expected most draws to succeed, got {}", a.len());
+        assert!(
+            a.len() >= 45,
+            "expected most draws to succeed, got {}",
+            a.len()
+        );
         for q in &a {
             assert_ne!(q.source, q.target);
             assert!(k_hop_reachable(&g, q.source, q.target, q.k));

@@ -61,7 +61,11 @@ fn main() {
         let mut sink3 = CountPaths::new();
         PathEnumIndex::build(&reduced, q.source, q.target, q.k).enumerate(&mut sink3);
         time_with_gkst += start.elapsed();
-        assert_eq!(sink.count(), sink3.count(), "G^k_st must preserve all paths");
+        assert_eq!(
+            sink.count(),
+            sink3.count(),
+            "G^k_st must preserve all paths"
+        );
     }
 
     println!(

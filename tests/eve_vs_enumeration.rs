@@ -8,9 +8,11 @@
 
 use hop_spg::baselines::{spg_by_enumeration, EnumerationAlgorithm};
 use hop_spg::eve::{Eve, EveConfig, Query};
-use hop_spg::graph::generators::{community_graph, gnm_random, layered_dag, preferential_attachment};
+use hop_spg::graph::generators::{
+    community_graph, gnm_random, layered_dag, preferential_attachment,
+};
 use hop_spg::graph::{DiGraph, DistanceStrategy};
-use hop_spg::workloads::{reachable_queries, dataset_by_code, DatasetScale};
+use hop_spg::workloads::{dataset_by_code, reachable_queries, DatasetScale};
 
 fn oracle(g: &DiGraph, q: Query) -> Vec<(u32, u32)> {
     spg_by_enumeration(EnumerationAlgorithm::PrunedDfs, g, q.source, q.target, q.k)

@@ -1,0 +1,82 @@
+//! Workspace bootstrap sanity check: the Figure 1 running example must give
+//! the same answer through every layer of the workspace — EVE (`spg-core`),
+//! plain enumeration and KHSQ+-restricted enumeration (`spg-baselines`) —
+//! when accessed through the `hop_spg` umbrella crate re-exports.
+
+use std::collections::BTreeSet;
+
+use hop_spg::baselines::{
+    khsq_plus, spg_by_enumeration, spg_by_enumeration_on_gkst, EnumerationAlgorithm,
+};
+use hop_spg::eve::paper_example::{figure1_graph, names};
+use hop_spg::eve::{Eve, EveConfig, Query};
+
+fn edge_set(edges: &[(u32, u32)]) -> BTreeSet<(u32, u32)> {
+    edges.iter().copied().collect()
+}
+
+#[test]
+fn figure1_round_trips_through_eve_khsq_and_enumeration() {
+    let g = figure1_graph();
+    let query = Query::new(names::S, names::T, 4);
+
+    // EVE, the paper's algorithm.
+    let eve = Eve::new(&g, EveConfig::default());
+    let spg = eve.query(query).expect("Figure 1 query is valid");
+    assert_eq!(spg.edge_count(), 8, "Figure 1(c) has exactly 8 edges");
+
+    // SPG_k by exhaustive enumeration, for every enumerator.
+    for algorithm in [
+        EnumerationAlgorithm::NaiveDfs,
+        EnumerationAlgorithm::PrunedDfs,
+        EnumerationAlgorithm::BcDfs,
+        EnumerationAlgorithm::Join,
+        EnumerationAlgorithm::PathEnum,
+    ] {
+        let enumerated = spg_by_enumeration(algorithm, &g, names::S, names::T, 4);
+        assert_eq!(
+            edge_set(spg.edges()),
+            edge_set(enumerated.edges()),
+            "enumeration via {algorithm:?} must match EVE"
+        );
+
+        // The same enumeration restricted to the KHSQ+ search space G^k_st.
+        let on_gkst = spg_by_enumeration_on_gkst(algorithm, &g, names::S, names::T, 4);
+        assert_eq!(
+            edge_set(spg.edges()),
+            edge_set(on_gkst.edges()),
+            "KHSQ+-restricted enumeration via {algorithm:?} must match EVE"
+        );
+    }
+
+    // The KHSQ+ subgraph G^k_st is a sound over-approximation of the answer.
+    let (gkst, _) = khsq_plus(&g, names::S, names::T, 4);
+    assert!(
+        spg.as_subgraph().is_subgraph_of(&gkst),
+        "SPG_k must be contained in G^k_st"
+    );
+    assert!(
+        gkst.edge_count() >= spg.edge_count(),
+        "G^k_st can only be larger than SPG_k"
+    );
+}
+
+#[test]
+fn figure1_answer_is_monotone_in_k() {
+    let g = figure1_graph();
+    let eve = Eve::new(&g, EveConfig::default());
+    let mut previous = 0usize;
+    for k in 2..=8 {
+        let spg = eve
+            .query(Query::new(names::S, names::T, k))
+            .expect("valid query");
+        assert!(
+            spg.edge_count() >= previous,
+            "SPG_k edge count must be monotone in k (k={k})"
+        );
+        previous = spg.edge_count();
+    }
+    // At k = 4 the paper's running example is exactly Figure 1(c).
+    let fig1c = eve.query(Query::new(names::S, names::T, 4)).expect("valid");
+    assert_eq!(fig1c.edge_count(), 8);
+}

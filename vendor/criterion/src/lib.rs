@@ -1,0 +1,340 @@
+//! API-compatible subset of [`criterion` 0.5] for offline builds.
+//!
+//! Provides the benchmarking surface this workspace uses — the [`Criterion`]
+//! builder, [`benchmark_group`](Criterion::benchmark_group),
+//! [`bench_function`](Criterion::bench_function), `bench_with_input`,
+//! [`BenchmarkId`], [`Bencher::iter`] and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Instead of upstream's bootstrapped statistics and HTML reports, each
+//! benchmark is timed for roughly `measurement_time` and the mean, minimum
+//! and maximum per-iteration wall-clock times are printed. That is enough to
+//! compare algorithm variants locally and to keep `cargo bench` / CI smoke
+//! runs honest; absolute rigor is explicitly out of scope for the stub.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box`, matching `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Benchmark driver and configuration, mirroring `criterion::Criterion`.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            warm_up_time: Duration::from_secs(3),
+            measurement_time: Duration::from_secs(5),
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    ///
+    /// # Panics
+    /// Panics if `n` is zero.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the warm-up duration before sampling starts.
+    pub fn warm_up_time(mut self, t: Duration) -> Criterion {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Sets the target duration of the sampling phase.
+    pub fn measurement_time(mut self, t: Duration) -> Criterion {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Applies command-line configuration (`cargo bench -- <filter>`).
+    /// Harness flags passed by cargo itself are ignored.
+    pub fn configure_from_args(mut self) -> Criterion {
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--bench" | "--test" | "--profile-time" => {
+                    // `--profile-time` consumes a value; the others are flags
+                    // cargo forwards to every bench binary.
+                    if arg == "--profile-time" {
+                        let _ = args.next();
+                    }
+                }
+                "--save-baseline" | "--baseline" | "--load-baseline" => {
+                    let _ = args.next();
+                }
+                other if !other.starts_with('-') && self.filter.is_none() => {
+                    self.filter = Some(other.to_string());
+                }
+                _ => {}
+            }
+        }
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs a single benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run_one(&id.0, &mut f);
+        self
+    }
+
+    /// Runs a single benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run_one(&id.0, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    fn run_one(&self, name: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            sample_size: self.sample_size,
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+        };
+        f(&mut bencher);
+        report(name, &bencher.samples);
+    }
+}
+
+/// Identifies one benchmark within a group, mirroring `criterion::BenchmarkId`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id composed of a function name and a parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId(format!("{}/{}", function_name.into(), parameter))
+    }
+
+    /// An id carrying only a parameter (the group supplies the name).
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.0);
+        self.criterion.run_one(&full, &mut f);
+        self
+    }
+
+    /// Runs one benchmark in this group with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.0);
+        self.criterion
+            .run_one(&full, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Finishes the group (upstream flushes reports here; the stub reports
+    /// eagerly, so this only consumes the group).
+    pub fn finish(self) {}
+}
+
+/// Timer handed to each benchmark closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, first warming up, then recording up to
+    /// `sample_size` samples within the measurement budget.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let warm_up_end = Instant::now() + self.warm_up_time;
+        loop {
+            black_box(routine());
+            if Instant::now() >= warm_up_end {
+                break;
+            }
+        }
+        let measure_end = Instant::now() + self.measurement_time;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+            if Instant::now() >= measure_end {
+                break;
+            }
+        }
+    }
+}
+
+fn report(name: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("{name:<50} (no samples)");
+        return;
+    }
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let min = samples.iter().min().expect("nonempty");
+    let max = samples.iter().max().expect("nonempty");
+    println!(
+        "{name:<50} time: [{} {} {}]  ({} samples)",
+        fmt_duration(*min),
+        fmt_duration(mean),
+        fmt_duration(*max),
+        samples.len()
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.3} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Defines a named group of benchmark functions, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (
+        name = $name:ident;
+        config = $config:expr;
+        targets = $($target:path),+ $(,)?
+    ) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config.configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Defines the benchmark `main` function, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_ids_compose() {
+        assert_eq!(BenchmarkId::from_parameter(6).0, "6");
+        assert_eq!(BenchmarkId::new("bfs", "deep").0, "bfs/deep");
+        assert_eq!(BenchmarkId::from("plain").0, "plain");
+    }
+
+    #[test]
+    fn stub_runs_benchmarks_quickly() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut runs = 0u32;
+        c.bench_function("noop", |b| b.iter(|| std::hint::black_box(1 + 1)));
+        let mut group = c.benchmark_group("group");
+        group.bench_with_input(BenchmarkId::from_parameter("x"), &21u32, |b, &x| {
+            runs += 1;
+            b.iter(|| x * 2)
+        });
+        group.finish();
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(5)), "5 ns");
+        assert!(fmt_duration(Duration::from_micros(5)).ends_with("µs"));
+        assert!(fmt_duration(Duration::from_millis(5)).ends_with("ms"));
+        assert!(fmt_duration(Duration::from_secs(5)).ends_with("s"));
+    }
+}

@@ -1,0 +1,505 @@
+//! API-compatible subset of [`proptest` 1.4] for offline builds.
+//!
+//! Supports the surface this workspace uses:
+//!
+//! * [`strategy::Strategy`] with `prop_map`, `prop_flat_map`,
+//!   `prop_filter_map`, implemented for integer ranges and tuples;
+//! * [`collection::vec`] with a `Range<usize>` (or fixed) size;
+//! * [`test_runner::Config`] (aliased to `ProptestConfig` in the prelude);
+//! * the [`proptest!`], [`prop_assert!`], [`prop_assert_eq!`] and
+//!   [`prop_assert_ne!`] macros.
+//!
+//! Semantics match upstream with one deliberate exception: failing cases are
+//! reported with the case number and seed but are **not shrunk** to a minimal
+//! counterexample. Re-running is deterministic, so a reported failure always
+//! reproduces.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use crate::test_runner::TestRng;
+    use core::ops::Range;
+
+    /// A recipe for generating values of type [`Strategy::Value`].
+    ///
+    /// `try_sample` returns `None` when a filter rejects the drawn value; the
+    /// runner then retries with fresh randomness (upstream calls this a
+    /// "local reject").
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value, or `None` on filter rejection.
+        fn try_sample(&self, rng: &mut TestRng) -> Option<Self::Value>;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { base: self, f }
+        }
+
+        /// Generates a value, then samples from the strategy `f` builds
+        /// from it.
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { base: self, f }
+        }
+
+        /// Keeps only values `f` maps to `Some`, retrying otherwise.
+        fn prop_filter_map<U, F>(self, reason: &'static str, f: F) -> FilterMap<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> Option<U>,
+        {
+            FilterMap {
+                base: self,
+                f,
+                _reason: reason,
+            }
+        }
+
+        /// Keeps only values satisfying `f`, retrying otherwise.
+        fn prop_filter<F>(self, reason: &'static str, f: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter {
+                base: self,
+                f,
+                _reason: reason,
+            }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        base: S,
+        f: F,
+    }
+
+    impl<S, U, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+
+        fn try_sample(&self, rng: &mut TestRng) -> Option<U> {
+            self.base.try_sample(rng).map(&self.f)
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        base: S,
+        f: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+
+        fn try_sample(&self, rng: &mut TestRng) -> Option<S2::Value> {
+            let seed = self.base.try_sample(rng)?;
+            (self.f)(seed).try_sample(rng)
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_filter_map`].
+    pub struct FilterMap<S, F> {
+        base: S,
+        f: F,
+        _reason: &'static str,
+    }
+
+    impl<S, U, F> Strategy for FilterMap<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> Option<U>,
+    {
+        type Value = U;
+
+        fn try_sample(&self, rng: &mut TestRng) -> Option<U> {
+            (self.f)(self.base.try_sample(rng)?)
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_filter`].
+    pub struct Filter<S, F> {
+        base: S,
+        f: F,
+        _reason: &'static str,
+    }
+
+    impl<S, F> Strategy for Filter<S, F>
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> bool,
+    {
+        type Value = S::Value;
+
+        fn try_sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+            self.base.try_sample(rng).filter(&self.f)
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn try_sample(&self, _rng: &mut TestRng) -> Option<T> {
+            Some(self.0.clone())
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn try_sample(&self, rng: &mut TestRng) -> Option<$t> {
+                    assert!(self.start < self.end, "cannot sample empty range");
+                    let span = (self.end - self.start) as u64;
+                    Some(self.start + (rng.next_u64() % span) as $t)
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn try_sample(&self, rng: &mut TestRng) -> Option<Self::Value> {
+                    let ($($name,)+) = self;
+                    Some(($($name.try_sample(rng)?,)+))
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+}
+
+pub mod collection {
+    //! Strategies for collections.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use core::ops::Range;
+
+    /// Admissible lengths for [`vec`], mirroring `proptest::collection::SizeRange`.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        start: usize,
+        end: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(len: usize) -> Self {
+            SizeRange {
+                start: len,
+                end: len + 1,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            SizeRange {
+                start: r.start,
+                end: r.end,
+            }
+        }
+    }
+
+    /// Strategy for `Vec`s whose elements come from `element` and whose
+    /// length is drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn try_sample(&self, rng: &mut TestRng) -> Option<Vec<S::Value>> {
+            assert!(self.size.start < self.size.end, "empty size range");
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| self.element.try_sample(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Deterministic case runner (no shrinking).
+
+    /// SplitMix64 generator driving all strategies.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Creates a generator from a seed.
+        pub fn seed_from_u64(seed: u64) -> Self {
+            TestRng { state: seed }
+        }
+
+        /// Returns the next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    /// Runner configuration, aliased to `ProptestConfig` in the prelude.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of successful cases required for the test to pass.
+        pub cases: u32,
+        /// Maximum filter rejections tolerated across the whole run.
+        pub max_global_rejects: u32,
+    }
+
+    impl Config {
+        /// A configuration running `cases` successful cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Config {
+                cases,
+                ..Config::default()
+            }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config {
+                cases: 256,
+                max_global_rejects: 65_536,
+            }
+        }
+    }
+
+    /// Error raised by the `prop_assert*` family inside a test case.
+    pub type TestCaseError = String;
+
+    /// Runs `case` until `config.cases` samples pass, panicking on the first
+    /// failure. `case` returns `Ok(None)` when every involved strategy filter
+    /// rejected the draw.
+    ///
+    /// # Panics
+    /// Panics when a case fails or the reject budget is exhausted.
+    pub fn run<F>(test_name: &str, config: &Config, mut case: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<Option<()>, TestCaseError>,
+    {
+        // Deterministic per-test seed: same failures on every run.
+        let mut seed: u64 = 0xC1AE_5E7E_D00D_F00D;
+        for byte in test_name.bytes() {
+            seed = seed.wrapping_mul(0x100_0000_01B3) ^ u64::from(byte);
+        }
+        let mut rng = TestRng::seed_from_u64(seed);
+        let mut passed = 0u32;
+        let mut rejected = 0u32;
+        while passed < config.cases {
+            match case(&mut rng) {
+                Ok(Some(())) => passed += 1,
+                Ok(None) => {
+                    rejected += 1;
+                    assert!(
+                        rejected <= config.max_global_rejects,
+                        "proptest '{test_name}': too many filter rejections \
+                         ({rejected}) after {passed} passing cases"
+                    );
+                }
+                Err(message) => panic!(
+                    "proptest '{test_name}' failed at case {passed} (seed {seed:#x}, \
+                     no shrinking in the vendored stub):\n{message}"
+                ),
+            }
+        }
+    }
+}
+
+/// Commonly used items, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines property tests. Each function body runs for many sampled inputs;
+/// use the `prop_assert*` macros for assertions so failures report the case.
+#[macro_export]
+macro_rules! proptest {
+    // Internal expansion arm — must precede the catch-all arm below.
+    (@cfg ($config:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $config;
+                $crate::test_runner::run(stringify!($name), &config, |rng| {
+                    $(
+                        let sampled = match $crate::strategy::Strategy::try_sample(&($strat), rng) {
+                            ::core::option::Option::Some(v) => v,
+                            ::core::option::Option::None => return ::core::result::Result::Ok(::core::option::Option::None),
+                        };
+                        #[allow(irrefutable_let_patterns)]
+                        let $pat = sampled else {
+                            return ::core::result::Result::Ok(::core::option::Option::None);
+                        };
+                    )+
+                    $body
+                    ::core::result::Result::Ok(::core::option::Option::Some(()))
+                });
+            }
+        )*
+    };
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@cfg ($config) $($rest)*);
+    };
+    ( $($rest:tt)* ) => {
+        $crate::proptest!(@cfg ($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(::std::format!($($fmt)*));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left,
+            right
+        );
+    }};
+}
+
+/// Asserts inequality inside a [`proptest!`] case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::collection::vec;
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_tuples((a, b) in (1usize..10, 5u32..9)) {
+            prop_assert!((1..10).contains(&a));
+            prop_assert!((5..9).contains(&b));
+        }
+
+        #[test]
+        fn vec_lengths(v in vec(0u32..100, 2..6usize)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            for x in &v {
+                prop_assert!(*x < 100, "element {} out of range", x);
+            }
+        }
+
+        #[test]
+        fn flat_map_and_filter_map(
+            (n, v) in (2usize..8).prop_flat_map(|n| {
+                (Just(n), vec(0usize..n, 1..4usize))
+            }).prop_filter_map("nonempty", |(n, v)| {
+                if v.is_empty() { None } else { Some((n, v)) }
+            })
+        ) {
+            prop_assert!(!v.is_empty());
+            for x in &v {
+                prop_assert!(*x < n);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_property_panics() {
+        proptest! {
+            #[allow(unused)]
+            fn always_fails(x in 0u32..4) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+}
