@@ -1,0 +1,235 @@
+//! Perf trajectory tooling: runs a fixed query suite and writes a
+//! machine-readable `BENCH_2.json` snapshot (per-variant median latency,
+//! per-phase ns, edges/sec, peak workspace bytes) so successive PRs can
+//! track the hot-path numbers in version control.
+//!
+//! Usage: `cargo run --release -p spg-bench --bin bench_json -- \
+//!     [--out BENCH_2.json] [--queries 64] [--repeats 5]`
+//!
+//! The suite is the k = 6 configuration the workspace acceptance criterion
+//! references: a mid-size gnm graph plus the fraud case study's transaction
+//! network. Three variants answer the same batch: the legacy hash-map
+//! pipeline (`query_reference`), the flat pipeline with a fresh workspace
+//! per query (`query`), and the flat pipeline on one warm reusable
+//! workspace (`query_with`).
+
+use std::time::{Duration, Instant};
+
+use spg_core::{Eve, PhaseTimings, Query, QueryWorkspace};
+use spg_graph::generators::{gnm_random, TransactionGraph, TransactionGraphConfig};
+use spg_graph::DiGraph;
+use spg_workloads::reachable_queries;
+
+struct Args {
+    out: String,
+    queries: usize,
+    repeats: usize,
+}
+
+fn parse_args() -> Args {
+    let mut out = "BENCH_2.json".to_string();
+    let mut queries = 64usize;
+    let mut repeats = 5usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out = args.next().unwrap_or_else(|| usage("--out needs a path")),
+            "--queries" => {
+                queries = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--queries needs a number"))
+            }
+            "--repeats" => {
+                repeats = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--repeats needs a number"))
+            }
+            other => usage(&format!("unknown argument {other}")),
+        }
+    }
+    Args {
+        out,
+        queries,
+        repeats: repeats.max(1),
+    }
+}
+
+fn usage(message: &str) -> ! {
+    eprintln!("{message}");
+    eprintln!("options: --out PATH | --queries N | --repeats R");
+    std::process::exit(2);
+}
+
+fn median_ns(samples: &mut [u64]) -> u64 {
+    if samples.is_empty() {
+        return 0;
+    }
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// Per-query latency samples (ns) across all repeats for one variant.
+fn sample<F: FnMut(Query) -> usize>(
+    queries: &[Query],
+    repeats: usize,
+    mut run: F,
+) -> (Vec<u64>, usize, Duration) {
+    let mut samples = Vec::with_capacity(queries.len() * repeats);
+    let mut edges = 0usize;
+    let total_start = Instant::now();
+    for _ in 0..repeats {
+        edges = 0;
+        for &q in queries {
+            let start = Instant::now();
+            edges += run(q);
+            samples.push(start.elapsed().as_nanos() as u64);
+        }
+    }
+    (samples, edges, total_start.elapsed())
+}
+
+struct SuiteResult {
+    name: &'static str,
+    vertices: usize,
+    edges: usize,
+    query_count: usize,
+    legacy_median_ns: u64,
+    cold_median_ns: u64,
+    warm_median_ns: u64,
+    phase_ns: PhaseTimings,
+    spg_edges_per_sec: f64,
+    queries_per_sec_warm: f64,
+    peak_workspace_bytes: usize,
+}
+
+fn run_suite(name: &'static str, g: DiGraph, args: &Args) -> SuiteResult {
+    let queries = reachable_queries(&g, args.queries, 6, 0x5EED);
+    assert!(!queries.is_empty(), "{name}: workload generation failed");
+    let eve = Eve::with_defaults(&g);
+
+    // Warm-up: touch every query once per variant so first-fault effects
+    // (lazy page zeroing, branch predictors) do not skew the first samples.
+    let mut ws = QueryWorkspace::new();
+    for &q in &queries {
+        let _ = eve.query_reference(q).unwrap();
+        let _ = eve.query_with(&mut ws, q).unwrap();
+    }
+
+    let (mut legacy, legacy_edges, _) = sample(&queries, args.repeats, |q| {
+        eve.query_reference(q).unwrap().edge_count()
+    });
+    let (mut cold, _, _) = sample(&queries, args.repeats, |q| {
+        eve.query(q).unwrap().edge_count()
+    });
+    let (mut warm, warm_edges, warm_total) = sample(&queries, args.repeats, |q| {
+        eve.query_with(&mut ws, q).unwrap().edge_count()
+    });
+    assert_eq!(legacy_edges, warm_edges, "{name}: pipelines disagree");
+
+    // Per-phase breakdown: mean over one warm pass, from the recorded stats.
+    let mut phase = PhaseTimings::default();
+    for &q in &queries {
+        let spg = eve.query_with(&mut ws, q).unwrap();
+        let t = spg.stats().timings;
+        phase.distance += t.distance;
+        phase.propagation += t.propagation;
+        phase.labeling += t.labeling;
+        phase.verification += t.verification;
+    }
+    let nq = queries.len() as u32;
+    phase.distance /= nq;
+    phase.propagation /= nq;
+    phase.labeling /= nq;
+    phase.verification /= nq;
+
+    let warm_secs = warm_total.as_secs_f64().max(1e-12);
+    SuiteResult {
+        name,
+        vertices: g.vertex_count(),
+        edges: g.edge_count(),
+        query_count: queries.len(),
+        legacy_median_ns: median_ns(&mut legacy),
+        cold_median_ns: median_ns(&mut cold),
+        warm_median_ns: median_ns(&mut warm),
+        phase_ns: phase,
+        spg_edges_per_sec: (warm_edges * args.repeats) as f64 / warm_secs,
+        queries_per_sec_warm: (queries.len() * args.repeats) as f64 / warm_secs,
+        peak_workspace_bytes: ws.retained_bytes(),
+    }
+}
+
+fn render_json(results: &[SuiteResult]) -> String {
+    let mut out = String::from("{\n  \"bench\": 2,\n  \"suite_k\": 6,\n  \"suites\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let speedup = r.legacy_median_ns as f64 / r.warm_median_ns.max(1) as f64;
+        out.push_str(&format!(
+            concat!(
+                "    {{\n",
+                "      \"name\": \"{}\",\n",
+                "      \"vertices\": {},\n",
+                "      \"edges\": {},\n",
+                "      \"queries\": {},\n",
+                "      \"legacy_median_ns\": {},\n",
+                "      \"cold_median_ns\": {},\n",
+                "      \"warm_median_ns\": {},\n",
+                "      \"speedup_warm_vs_legacy\": {:.2},\n",
+                "      \"phase_ns\": {{\"distance\": {}, \"propagation\": {}, ",
+                "\"labeling\": {}, \"verification\": {}}},\n",
+                "      \"spg_edges_per_sec\": {:.0},\n",
+                "      \"queries_per_sec_warm\": {:.0},\n",
+                "      \"peak_workspace_bytes\": {}\n",
+                "    }}{}\n",
+            ),
+            r.name,
+            r.vertices,
+            r.edges,
+            r.query_count,
+            r.legacy_median_ns,
+            r.cold_median_ns,
+            r.warm_median_ns,
+            speedup,
+            r.phase_ns.distance.as_nanos(),
+            r.phase_ns.propagation.as_nanos(),
+            r.phase_ns.labeling.as_nanos(),
+            r.phase_ns.verification.as_nanos(),
+            r.spg_edges_per_sec,
+            r.queries_per_sec_warm,
+            r.peak_workspace_bytes,
+            if i + 1 < results.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let args = parse_args();
+    let gnm = gnm_random(4_000, 24_000, 7);
+    let txn = TransactionGraph::generate(TransactionGraphConfig {
+        accounts: 3_000,
+        background_transactions: 18_000,
+        ..Default::default()
+    })
+    .full_graph();
+
+    let results = vec![
+        run_suite("gnm", gnm, &args),
+        run_suite("transaction", txn, &args),
+    ];
+    for r in &results {
+        eprintln!(
+            "{}: legacy {} ns, cold {} ns, warm {} ns ({:.2}x vs legacy), workspace {} bytes",
+            r.name,
+            r.legacy_median_ns,
+            r.cold_median_ns,
+            r.warm_median_ns,
+            r.legacy_median_ns as f64 / r.warm_median_ns.max(1) as f64,
+            r.peak_workspace_bytes,
+        );
+    }
+    let json = render_json(&results);
+    std::fs::write(&args.out, &json).expect("write benchmark json");
+    println!("wrote {}", args.out);
+}

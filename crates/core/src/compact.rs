@@ -1,0 +1,1222 @@
+//! Flat, allocation-free re-implementation of the EVE phases on the
+//! compacted [`SearchSpace`].
+//!
+//! This module is the hot path behind [`crate::Eve::query_with`]. It mirrors
+//! the reference implementations ([`crate::propagation`], [`crate::labeling`],
+//! [`crate::verification`]) phase by phase but replaces every per-query hash
+//! map with flat `Vec`s indexed by dense local vertex id:
+//!
+//! * [`FlatPropagation`] — Algorithm 1 over per-level rows of arena handles.
+//!   Level `l` inherits level `l−1` by a row copy, so `ev(l, v)` is a single
+//!   O(1) array load instead of a descending-level hash-map scan. Essential
+//!   vertex sets live in one bump arena (`Vec<u32>`), referenced by packed
+//!   `(offset, len)` handles — no per-set heap allocation, no clone traffic.
+//! * [`FlatUpperBound`] — Algorithm 2 over the space CSR, emitting the
+//!   `SPGᵘ_k` edges in sorted order with a local CSR of both directions in
+//!   which every adjacency entry carries its dense edge id.
+//! * [`apply_search_ordering_flat`] / [`verify_flat`] — §5.3 ordering and
+//!   Algorithm 3 over the flat adjacency, with the verification result kept
+//!   as a bitmap over dense edge ids (the covered-by-witness test becomes a
+//!   single bit probe).
+//!
+//! Every container is a reusable buffer owned by
+//! [`crate::workspace::QueryWorkspace`]; after warm-up a query performs
+//! (amortised) zero heap allocation in these phases. Determinism matches the
+//! reference implementation exactly — local ids are assigned in ascending
+//! global order, so iteration order, tie-breaking and therefore every output
+//! edge set and work counter that the answer depends on are identical.
+
+use spg_graph::{Direction, SearchSpace};
+
+use crate::labeling::LabelingStats;
+use crate::propagation::PropagationStats;
+use crate::verification::VerificationStats;
+
+/// Sentinel for "no entry" in u32 slot maps.
+const NONE32: u32 = u32::MAX;
+
+/// Sentinel arena handle meaning "no set stored".
+const NONE_REF: u64 = u64::MAX;
+
+#[inline]
+fn pack(start: usize, len: usize) -> u64 {
+    ((start as u64) << 32) | len as u64
+}
+
+#[inline]
+fn unpack(r: u64) -> (usize, usize) {
+    ((r >> 32) as usize, (r & 0xFFFF_FFFF) as usize)
+}
+
+#[inline]
+fn set_slice(arena: &[u32], r: u64) -> &[u32] {
+    let (start, len) = unpack(r);
+    &arena[start..start + len]
+}
+
+/// Appends `{v}` to the arena.
+#[inline]
+fn alloc_singleton(arena: &mut Vec<u32>, v: u32) -> u64 {
+    let start = arena.len();
+    arena.push(v);
+    pack(start, 1)
+}
+
+/// Appends `a ∪ {extra}` to the arena (both sorted).
+fn alloc_with(arena: &mut Vec<u32>, a: u64, extra: u32) -> u64 {
+    let (sa, la) = unpack(a);
+    let start = arena.len();
+    let mut inserted = false;
+    for i in 0..la {
+        let x = arena[sa + i];
+        if !inserted && extra < x {
+            arena.push(extra);
+            inserted = true;
+        }
+        if x == extra {
+            inserted = true;
+        }
+        arena.push(x);
+    }
+    if !inserted {
+        arena.push(extra);
+    }
+    pack(start, arena.len() - start)
+}
+
+/// Appends the fused propagation operator `a ∩ (b ∪ {extra})` to the arena —
+/// the same single-pass merge as [`crate::EvSet::intersect_with_added`].
+fn alloc_intersect_with_added(arena: &mut Vec<u32>, a: u64, b: u64, extra: u32) -> u64 {
+    let (sa, la) = unpack(a);
+    let (sb, lb) = unpack(b);
+    let start = arena.len();
+    let mut j = 0usize;
+    let mut extra_pending = true;
+    for i in 0..la {
+        let x = arena[sa + i];
+        while j < lb && arena[sb + j] < x {
+            j += 1;
+        }
+        let in_b = j < lb && arena[sb + j] == x;
+        let is_extra = extra_pending && x == extra;
+        if in_b || is_extra {
+            arena.push(x);
+            if is_extra {
+                extra_pending = false;
+            }
+        }
+    }
+    pack(start, arena.len() - start)
+}
+
+fn refs_equal(arena: &[u32], a: u64, b: u64) -> bool {
+    if a == b {
+        return true;
+    }
+    if a == NONE_REF || b == NONE_REF {
+        return false;
+    }
+    set_slice(arena, a) == set_slice(arena, b)
+}
+
+#[inline]
+fn sorted_contains(slice: &[u32], v: u32) -> bool {
+    slice.binary_search(&v).is_ok()
+}
+
+fn sorted_disjoint(a: &[u32], b: &[u32]) -> bool {
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => return false,
+        }
+    }
+    true
+}
+
+// ---------------------------------------------------------------------------
+// Phase 1b: essential-vertex propagation on flat per-level rows
+// ---------------------------------------------------------------------------
+
+/// Essential-vertex propagation (Algorithm 1 + Theorem 3.6 pruning) over the
+/// compacted search space. Reusable across queries; see the module docs.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct FlatPropagation {
+    /// Bump arena holding every stored set as a sorted `u32` run.
+    arena: Vec<u32>,
+    /// `(top_level + 1)` rows of `row` packed handles; row `l` holds
+    /// `EV_l(·)` for every local vertex (inherited entries included).
+    refs: Vec<u64>,
+    row: usize,
+    top_level: u32,
+    frontier: Vec<u32>,
+    next_frontier: Vec<u32>,
+    /// Per-vertex level stamp marking "already updated at the current level".
+    touched: Vec<u32>,
+    stats: PropagationStats,
+}
+
+impl FlatPropagation {
+    /// Runs one propagation direction over `space`, reusing all buffers.
+    ///
+    /// Forward propagation starts at the source and prunes on `Δ(y, t)`;
+    /// backward propagation starts at the target and prunes on `Δ(s, y)`.
+    /// Restricting the walk to the space CSR is itself a (structural) form of
+    /// the Theorem 3.6 rule, so the sets any downstream consumer is allowed
+    /// to consult are identical to the reference implementation's.
+    pub(crate) fn run(&mut self, space: &SearchSpace, dir: Direction, forward_looking: bool) {
+        let k = space.hop_constraint();
+        self.arena.clear();
+        self.refs.clear();
+        self.stats = PropagationStats::default();
+        self.top_level = 0;
+        self.row = space.vertex_count();
+        let row = self.row;
+        if row == 0 {
+            return;
+        }
+        let (origin, excluded) = match dir {
+            Direction::Forward => (space.source_local(), space.target_local()),
+            Direction::Backward => (space.target_local(), space.source_local()),
+        };
+
+        self.refs.resize(row, NONE_REF);
+        let seed = alloc_singleton(&mut self.arena, origin);
+        self.refs[origin as usize] = seed;
+        self.stats.sets_stored = 1;
+
+        self.touched.clear();
+        self.touched.resize(row, 0);
+        self.frontier.clear();
+        self.frontier.push(origin);
+
+        for l in 1..k {
+            if self.frontier.is_empty() {
+                break;
+            }
+            self.stats.levels_run = l;
+            self.top_level = l;
+            // Row `l` starts as a copy of row `l−1`: unchanged vertices
+            // inherit their previous set (Algorithm 1 line 12), which is what
+            // makes `ev` a single array load.
+            let prev_base = (l as usize - 1) * row;
+            let cur_base = l as usize * row;
+            self.refs.resize(cur_base + row, NONE_REF);
+            self.refs.copy_within(prev_base..prev_base + row, cur_base);
+
+            self.next_frontier.clear();
+            for fi in 0..self.frontier.len() {
+                let x = self.frontier[fi];
+                let ev_x = self.refs[prev_base + x as usize];
+                debug_assert!(ev_x != NONE_REF, "frontier vertex must have a set");
+                for &y in space.neighbors(x, dir) {
+                    self.stats.edge_scans += 1;
+                    if y == origin || y == excluded {
+                        continue;
+                    }
+                    if forward_looking && l + space.remaining_dist(y, dir) > k {
+                        self.stats.pruned_visits += 1;
+                        continue;
+                    }
+                    let slot = cur_base + y as usize;
+                    if self.touched[y as usize] != l {
+                        self.touched[y as usize] = l;
+                        self.next_frontier.push(y);
+                        let prev_y = self.refs[prev_base + y as usize];
+                        self.refs[slot] = if prev_y != NONE_REF {
+                            // Seed with the previous-level set of `y` itself
+                            // (see the deviation note in `propagation`).
+                            alloc_intersect_with_added(&mut self.arena, prev_y, ev_x, y)
+                        } else {
+                            alloc_with(&mut self.arena, ev_x, y)
+                        };
+                    } else {
+                        let cur = self.refs[slot];
+                        self.refs[slot] = alloc_intersect_with_added(&mut self.arena, cur, ev_x, y);
+                    }
+                }
+            }
+            for &y in &self.next_frontier {
+                let cur = self.refs[cur_base + y as usize];
+                let prev = self.refs[prev_base + y as usize];
+                if !refs_equal(&self.arena, cur, prev) {
+                    self.stats.sets_stored += 1;
+                }
+            }
+            std::mem::swap(&mut self.frontier, &mut self.next_frontier);
+        }
+    }
+
+    /// `EV_l(origin, v)` as a sorted local-id slice, or `None` if `v` was
+    /// never reached by level `l`. O(1).
+    #[inline]
+    pub(crate) fn ev(&self, l: u32, v: u32) -> Option<&[u32]> {
+        if self.row == 0 {
+            return None;
+        }
+        let l = l.min(self.top_level);
+        let r = self.refs[l as usize * self.row + v as usize];
+        if r == NONE_REF {
+            None
+        } else {
+            Some(set_slice(&self.arena, r))
+        }
+    }
+
+    /// Work counters of the last run.
+    pub(crate) fn stats(&self) -> PropagationStats {
+        self.stats
+    }
+
+    /// Live bytes of the last run (arena payload + level rows).
+    pub(crate) fn memory_bytes(&self) -> usize {
+        self.arena.len() * std::mem::size_of::<u32>() + self.refs.len() * std::mem::size_of::<u64>()
+    }
+
+    /// Bytes of capacity retained for reuse across queries.
+    pub(crate) fn retained_bytes(&self) -> usize {
+        self.arena.capacity() * std::mem::size_of::<u32>()
+            + self.refs.capacity() * std::mem::size_of::<u64>()
+            + (self.frontier.capacity() + self.next_frontier.capacity() + self.touched.capacity())
+                * std::mem::size_of::<u32>()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Phase 2: edge labeling / upper-bound graph on the space CSR
+// ---------------------------------------------------------------------------
+
+/// Outcome of labeling one edge (flat-pipeline mirror of
+/// [`crate::labeling::EdgeLabel`] plus departure/arrival qualification).
+enum FlatLabel {
+    Failing,
+    Undetermined,
+    Definite { departure: bool, arrival: bool },
+}
+
+/// Per-edge Algorithm 2 on local ids; mirrors `labeling::EdgeLabeler::label`.
+fn label_edge(
+    space: &SearchSpace,
+    fwd: &FlatPropagation,
+    bwd: &FlatPropagation,
+    u: u32,
+    v: u32,
+) -> FlatLabel {
+    let k = space.hop_constraint();
+    let s = space.source_local();
+    let t = space.target_local();
+
+    // Edges entering s or leaving t can never lie on a simple s-t path.
+    if v == s || u == t {
+        return FlatLabel::Failing;
+    }
+    // First-hop edges (Lemma 4.4).
+    if u == s {
+        return if space.dist_to_t(v) < k {
+            FlatLabel::Definite {
+                departure: false,
+                arrival: false,
+            }
+        } else {
+            FlatLabel::Failing
+        };
+    }
+    if v == t {
+        return if space.dist_from_s(u) < k {
+            FlatLabel::Definite {
+                departure: false,
+                arrival: false,
+            }
+        } else {
+            FlatLabel::Failing
+        };
+    }
+
+    // Second-hop edges (Lemma 4.6), evaluating both sides so an edge
+    // qualifying as both records departure and arrival information.
+    let mut definite = false;
+    let mut departure = false;
+    let mut arrival = false;
+    if k >= 2 {
+        if space.dist_from_s(u) <= 1 && space.dist_to_t(v) <= k - 2 {
+            let ev_vt = bwd
+                .ev(k - 2, v)
+                .expect("EV(v,t) must be materialised when it exists");
+            if !sorted_contains(ev_vt, u) {
+                definite = true;
+                departure = true;
+            }
+        }
+        if space.dist_to_t(v) <= 1 && space.dist_from_s(u) <= k - 2 {
+            let ev_su = fwd
+                .ev(k - 2, u)
+                .expect("EV(s,u) must be materialised when it exists");
+            if !sorted_contains(ev_su, v) {
+                definite = true;
+                arrival = true;
+            }
+        }
+    }
+    if definite {
+        return FlatLabel::Definite { departure, arrival };
+    }
+
+    // Remaining split points (Theorem 4.3).
+    if k >= 5 {
+        for kf in 2..=(k - 3) {
+            let kb = k - kf - 1;
+            if space.dist_from_s(u) > kf || space.dist_to_t(v) > kb {
+                continue;
+            }
+            let ev_su = fwd
+                .ev(kf, u)
+                .expect("forward EV must exist for an in-space vertex");
+            let ev_vt = bwd
+                .ev(kb, v)
+                .expect("backward EV must exist for an in-space vertex");
+            if sorted_disjoint(ev_su, ev_vt) {
+                return FlatLabel::Undetermined;
+            }
+        }
+    }
+    FlatLabel::Failing
+}
+
+/// The upper-bound graph `SPGᵘ_k` over local ids, with flat CSR adjacency
+/// (every entry carrying its dense edge id) and stride-arena departure /
+/// arrival neighbour lists. Reusable across queries.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct FlatUpperBound {
+    k: u32,
+    n: usize,
+    s_local: u32,
+    t_local: u32,
+    /// `SPGᵘ_k` edges as local `(u, v)` pairs in ascending order; the index
+    /// is the dense edge id.
+    edges: Vec<(u32, u32)>,
+    /// Per edge id: `true` for definite (label 2), `false` for undetermined.
+    is_definite: Vec<bool>,
+    /// Edge ids of the undetermined edges, ascending.
+    undetermined: Vec<u32>,
+    out_offsets: Vec<u32>,
+    /// `(target, edge id)` per out-adjacency entry.
+    out_entries: Vec<(u32, u32)>,
+    in_offsets: Vec<u32>,
+    /// `(source, edge id)` per in-adjacency entry.
+    in_entries: Vec<(u32, u32)>,
+    /// Departure bookkeeping: per-vertex slot index into the stride arena.
+    dep_slot: Vec<u32>,
+    dep_items: Vec<u32>,
+    dep_len: Vec<u32>,
+    dep_verts: Vec<u32>,
+    /// Arrival bookkeeping, same layout.
+    arr_slot: Vec<u32>,
+    arr_items: Vec<u32>,
+    arr_len: Vec<u32>,
+    arr_verts: Vec<u32>,
+    /// `≤ k − 2` valid neighbours are retained per departure/arrival
+    /// (Theorem 5.8); this is the stride of the item arenas.
+    cap: usize,
+    /// Degree-counting scratch for the CSR builds.
+    scratch: Vec<u32>,
+    stats: LabelingStats,
+}
+
+impl FlatUpperBound {
+    /// Runs Algorithm 2 over every space edge and assembles the flat
+    /// upper-bound graph, reusing all buffers.
+    pub(crate) fn build(
+        &mut self,
+        space: &SearchSpace,
+        fwd: &FlatPropagation,
+        bwd: &FlatPropagation,
+    ) {
+        let n = space.vertex_count();
+        self.k = space.hop_constraint();
+        self.n = n;
+        self.stats = LabelingStats::default();
+        self.edges.clear();
+        self.is_definite.clear();
+        self.undetermined.clear();
+        self.out_offsets.clear();
+        self.out_entries.clear();
+        self.in_offsets.clear();
+        self.in_entries.clear();
+        self.dep_slot.clear();
+        self.dep_items.clear();
+        self.dep_len.clear();
+        self.dep_verts.clear();
+        self.arr_slot.clear();
+        self.arr_items.clear();
+        self.arr_len.clear();
+        self.arr_verts.clear();
+        if n == 0 {
+            self.s_local = NONE32;
+            self.t_local = NONE32;
+            self.out_offsets.push(0);
+            self.in_offsets.push(0);
+            return;
+        }
+        self.s_local = space.source_local();
+        self.t_local = space.target_local();
+        self.cap = (self.k.saturating_sub(2)).max(1) as usize;
+        self.dep_slot.resize(n, NONE32);
+        self.arr_slot.resize(n, NONE32);
+
+        // Space vertices are iterated in ascending local (== global) order,
+        // so the edge list comes out sorted exactly like the reference.
+        for u in 0..n as u32 {
+            for &v in space.out_neighbors(u) {
+                self.stats.edges_examined += 1;
+                match label_edge(space, fwd, bwd, u, v) {
+                    FlatLabel::Failing => self.stats.failing += 1,
+                    FlatLabel::Undetermined => {
+                        self.stats.undetermined += 1;
+                        let eid = self.edges.len() as u32;
+                        self.edges.push((u, v));
+                        self.is_definite.push(false);
+                        self.undetermined.push(eid);
+                    }
+                    FlatLabel::Definite { departure, arrival } => {
+                        self.stats.definite += 1;
+                        self.edges.push((u, v));
+                        self.is_definite.push(true);
+                        if departure {
+                            Self::push_capped(
+                                &mut self.dep_slot,
+                                &mut self.dep_items,
+                                &mut self.dep_len,
+                                &mut self.dep_verts,
+                                self.cap,
+                                v,
+                                u,
+                            );
+                        }
+                        if arrival {
+                            Self::push_capped(
+                                &mut self.arr_slot,
+                                &mut self.arr_items,
+                                &mut self.arr_len,
+                                &mut self.arr_verts,
+                                self.cap,
+                                u,
+                                v,
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        self.build_adjacency();
+    }
+
+    /// Records `item` as a valid neighbour of `vertex`, allocating the
+    /// vertex's stride slot on first touch and respecting the `cap` bound.
+    fn push_capped(
+        slot_map: &mut [u32],
+        items: &mut Vec<u32>,
+        lens: &mut Vec<u32>,
+        verts: &mut Vec<u32>,
+        cap: usize,
+        vertex: u32,
+        item: u32,
+    ) {
+        let mut slot = slot_map[vertex as usize];
+        if slot == NONE32 {
+            slot = lens.len() as u32;
+            slot_map[vertex as usize] = slot;
+            lens.push(0);
+            items.resize(items.len() + cap, 0);
+            verts.push(vertex);
+        }
+        let len = lens[slot as usize] as usize;
+        let base = slot as usize * cap;
+        if len < cap && !items[base..base + len].contains(&item) {
+            items[base + len] = item;
+            lens[slot as usize] += 1;
+        }
+    }
+
+    /// Builds both CSR directions from the sorted edge list.
+    fn build_adjacency(&mut self) {
+        let n = self.n;
+        let m = self.edges.len();
+        // Out: the edge list is already grouped by `u` in ascending order.
+        self.scratch.clear();
+        self.scratch.resize(n + 1, 0);
+        for &(u, _) in &self.edges {
+            self.scratch[u as usize + 1] += 1;
+        }
+        self.out_offsets.reserve(n + 1);
+        let mut acc = 0u32;
+        for d in self.scratch.iter() {
+            acc += d;
+            self.out_offsets.push(acc);
+        }
+        self.out_entries.reserve(m);
+        for (eid, &(_, v)) in self.edges.iter().enumerate() {
+            self.out_entries.push((v, eid as u32));
+        }
+        // In: count, prefix-sum, scatter (per-vertex sources stay ascending
+        // because edge ids are scanned in ascending (u, v) order).
+        self.scratch.clear();
+        self.scratch.resize(n + 1, 0);
+        for &(_, v) in &self.edges {
+            self.scratch[v as usize + 1] += 1;
+        }
+        self.in_offsets.reserve(n + 1);
+        let mut acc = 0u32;
+        for d in self.scratch.iter() {
+            acc += d;
+            self.in_offsets.push(acc);
+        }
+        self.in_entries.resize(m, (0, 0));
+        // Reuse the scratch as per-vertex write cursors.
+        self.scratch.truncate(n);
+        self.scratch.copy_from_slice(&self.in_offsets[..n]);
+        for (eid, &(u, v)) in self.edges.iter().enumerate() {
+            let pos = self.scratch[v as usize] as usize;
+            self.in_entries[pos] = (u, eid as u32);
+            self.scratch[v as usize] += 1;
+        }
+    }
+
+    /// Number of local vertices the adjacency covers.
+    #[inline]
+    pub(crate) fn vertex_count(&self) -> usize {
+        self.n
+    }
+
+    /// Hop constraint of the query.
+    #[inline]
+    pub(crate) fn hop_constraint(&self) -> u32 {
+        self.k
+    }
+
+    /// Local id of the query source.
+    #[inline]
+    pub(crate) fn source_local(&self) -> u32 {
+        self.s_local
+    }
+
+    /// Local id of the query target.
+    #[inline]
+    pub(crate) fn target_local(&self) -> u32 {
+        self.t_local
+    }
+
+    /// Number of `SPGᵘ_k` edges.
+    #[inline]
+    pub(crate) fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The `SPGᵘ_k` edges as local pairs, ascending; index = edge id.
+    #[inline]
+    pub(crate) fn edges(&self) -> &[(u32, u32)] {
+        &self.edges
+    }
+
+    /// Per-edge definite flags (the initial verification result bitmap).
+    #[inline]
+    pub(crate) fn definite_bits(&self) -> &[bool] {
+        &self.is_definite
+    }
+
+    /// Edge ids of the undetermined edges, ascending.
+    #[inline]
+    pub(crate) fn undetermined_eids(&self) -> &[u32] {
+        &self.undetermined
+    }
+
+    /// Out-adjacency entries `(target, edge id)` of local vertex `v`.
+    #[inline]
+    pub(crate) fn out_entries_of(&self, v: u32) -> &[(u32, u32)] {
+        let lo = self.out_offsets[v as usize] as usize;
+        let hi = self.out_offsets[v as usize + 1] as usize;
+        &self.out_entries[lo..hi]
+    }
+
+    /// In-adjacency entries `(source, edge id)` of local vertex `v`.
+    #[inline]
+    pub(crate) fn in_entries_of(&self, v: u32) -> &[(u32, u32)] {
+        let lo = self.in_offsets[v as usize] as usize;
+        let hi = self.in_offsets[v as usize + 1] as usize;
+        &self.in_entries[lo..hi]
+    }
+
+    /// `true` if `v` is a departure vertex.
+    #[inline]
+    pub(crate) fn is_departure(&self, v: u32) -> bool {
+        self.dep_slot[v as usize] != NONE32
+    }
+
+    /// `true` if `v` is an arrival vertex.
+    #[inline]
+    pub(crate) fn is_arrival(&self, v: u32) -> bool {
+        self.arr_slot[v as usize] != NONE32
+    }
+
+    /// Valid in-neighbours `In_D(v)` of a departure (≤ k−2 entries).
+    #[inline]
+    pub(crate) fn in_d(&self, v: u32) -> &[u32] {
+        let slot = self.dep_slot[v as usize];
+        if slot == NONE32 {
+            return &[];
+        }
+        let base = slot as usize * self.cap;
+        &self.dep_items[base..base + self.dep_len[slot as usize] as usize]
+    }
+
+    /// Valid out-neighbours `Out_A(v)` of an arrival (≤ k−2 entries).
+    #[inline]
+    pub(crate) fn out_a(&self, v: u32) -> &[u32] {
+        let slot = self.arr_slot[v as usize];
+        if slot == NONE32 {
+            return &[];
+        }
+        let base = slot as usize * self.cap;
+        &self.arr_items[base..base + self.arr_len[slot as usize] as usize]
+    }
+
+    /// The departure vertex set `D` (discovery order).
+    #[inline]
+    pub(crate) fn departure_verts(&self) -> &[u32] {
+        &self.dep_verts
+    }
+
+    /// The arrival vertex set `A` (discovery order).
+    #[inline]
+    pub(crate) fn arrival_verts(&self) -> &[u32] {
+        &self.arr_verts
+    }
+
+    /// Labeling counters.
+    pub(crate) fn stats(&self) -> LabelingStats {
+        self.stats
+    }
+
+    /// Live bytes of the last build.
+    pub(crate) fn memory_bytes(&self) -> usize {
+        let w = std::mem::size_of::<u32>();
+        self.edges.len() * std::mem::size_of::<(u32, u32)>()
+            + self.is_definite.len()
+            + (self.undetermined.len()
+                + self.out_offsets.len()
+                + self.in_offsets.len()
+                + self.dep_slot.len()
+                + self.arr_slot.len()
+                + self.dep_items.len()
+                + self.arr_items.len()
+                + self.dep_len.len()
+                + self.arr_len.len()
+                + self.dep_verts.len()
+                + self.arr_verts.len())
+                * w
+            + (self.out_entries.len() + self.in_entries.len()) * std::mem::size_of::<(u32, u32)>()
+    }
+
+    /// Bytes of capacity retained for reuse across queries.
+    pub(crate) fn retained_bytes(&self) -> usize {
+        let w = std::mem::size_of::<u32>();
+        self.edges.capacity() * std::mem::size_of::<(u32, u32)>()
+            + self.is_definite.capacity()
+            + (self.undetermined.capacity()
+                + self.out_offsets.capacity()
+                + self.in_offsets.capacity()
+                + self.dep_slot.capacity()
+                + self.arr_slot.capacity()
+                + self.dep_items.capacity()
+                + self.arr_items.capacity()
+                + self.dep_len.capacity()
+                + self.arr_len.capacity()
+                + self.dep_verts.capacity()
+                + self.arr_verts.capacity()
+                + self.scratch.capacity())
+                * w
+            + (self.out_entries.capacity() + self.in_entries.capacity())
+                * std::mem::size_of::<(u32, u32)>()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Phase 3a: §5.3 search ordering on the flat adjacency
+// ---------------------------------------------------------------------------
+
+/// Reusable buffers for [`apply_search_ordering_flat`].
+#[derive(Debug, Clone, Default)]
+pub(crate) struct OrderScratch {
+    dist_to_arrival: Vec<u32>,
+    dist_from_departure: Vec<u32>,
+    queue: Vec<u32>,
+}
+
+impl OrderScratch {
+    /// Bytes of capacity retained for reuse across queries.
+    pub(crate) fn retained_bytes(&self) -> usize {
+        (self.dist_to_arrival.capacity()
+            + self.dist_from_departure.capacity()
+            + self.queue.capacity())
+            * std::mem::size_of::<u32>()
+    }
+}
+
+/// Multi-source BFS over one adjacency direction of the flat upper bound;
+/// `dist` must be pre-filled with `u32::MAX`.
+fn multi_source_bfs_flat<'a, F>(dist: &mut [u32], queue: &mut Vec<u32>, sources: &[u32], entries: F)
+where
+    F: Fn(u32) -> &'a [(u32, u32)],
+{
+    queue.clear();
+    for &s in sources {
+        if dist[s as usize] == u32::MAX {
+            dist[s as usize] = 0;
+            queue.push(s);
+        }
+    }
+    let mut head = 0usize;
+    while head < queue.len() {
+        let u = queue[head];
+        head += 1;
+        let du = dist[u as usize];
+        for &(v, _) in entries(u) {
+            if dist[v as usize] == u32::MAX {
+                dist[v as usize] = du + 1;
+                queue.push(v);
+            }
+        }
+    }
+}
+
+/// Applies the §5.3 search-ordering strategy to the flat adjacency lists —
+/// the local-id mirror of [`crate::verification::apply_search_ordering`].
+/// Ties break on local id, which preserves global-id order.
+pub(crate) fn apply_search_ordering_flat(ub: &mut FlatUpperBound, scratch: &mut OrderScratch) {
+    let n = ub.vertex_count();
+    scratch.dist_to_arrival.clear();
+    scratch.dist_to_arrival.resize(n, u32::MAX);
+    scratch.dist_from_departure.clear();
+    scratch.dist_from_departure.resize(n, u32::MAX);
+    {
+        let ubr: &FlatUpperBound = ub;
+        multi_source_bfs_flat(
+            &mut scratch.dist_to_arrival,
+            &mut scratch.queue,
+            ubr.arrival_verts(),
+            |v| ubr.in_entries_of(v),
+        );
+        multi_source_bfs_flat(
+            &mut scratch.dist_from_departure,
+            &mut scratch.queue,
+            ubr.departure_verts(),
+            |v| ubr.out_entries_of(v),
+        );
+    }
+
+    let FlatUpperBound {
+        out_offsets,
+        out_entries,
+        in_offsets,
+        in_entries,
+        dep_slot,
+        dep_len,
+        arr_slot,
+        arr_len,
+        ..
+    } = ub;
+    for w in out_offsets.windows(2) {
+        let (lo, hi) = (w[0] as usize, w[1] as usize);
+        out_entries[lo..hi].sort_by_key(|&(v, _)| {
+            let fanout = if arr_slot[v as usize] == NONE32 {
+                0
+            } else {
+                arr_len[arr_slot[v as usize] as usize] as usize
+            };
+            (scratch.dist_to_arrival[v as usize], usize::MAX - fanout, v)
+        });
+    }
+    for w in in_offsets.windows(2) {
+        let (lo, hi) = (w[0] as usize, w[1] as usize);
+        in_entries[lo..hi].sort_by_key(|&(v, _)| {
+            let fanin = if dep_slot[v as usize] == NONE32 {
+                0
+            } else {
+                dep_len[dep_slot[v as usize] as usize] as usize
+            };
+            (
+                scratch.dist_from_departure[v as usize],
+                usize::MAX - fanin,
+                v,
+            )
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Phase 3b: verification on the flat adjacency
+// ---------------------------------------------------------------------------
+
+/// Reusable buffers for [`verify_flat`]. `result` doubles as the output: one
+/// bit per dense edge id of the upper-bound graph.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct VerifyScratch {
+    result: Vec<bool>,
+    stack_vertices: Vec<u32>,
+    stack_eids: Vec<u32>,
+}
+
+impl VerifyScratch {
+    /// Per-edge-id inclusion bitmap of the final `SPG_k` (valid after
+    /// [`verify_flat`]).
+    pub(crate) fn result(&self) -> &[bool] {
+        &self.result
+    }
+
+    /// Bytes of capacity retained for reuse across queries.
+    pub(crate) fn retained_bytes(&self) -> usize {
+        self.result.capacity()
+            + (self.stack_vertices.capacity() + self.stack_eids.capacity())
+                * std::mem::size_of::<u32>()
+    }
+}
+
+/// Verifies every undetermined edge (Algorithm 3) over the flat upper bound.
+/// After the call, `scratch.result()[eid]` tells whether edge `eid` belongs
+/// to `SPG_k`. The local-id mirror of [`crate::verification::verify_undetermined`].
+pub(crate) fn verify_flat(ub: &FlatUpperBound, scratch: &mut VerifyScratch) -> VerificationStats {
+    scratch.result.clear();
+    scratch.result.extend_from_slice(ub.definite_bits());
+    let mut stats = VerificationStats::default();
+
+    if ub.hop_constraint() >= 5 {
+        let VerifyScratch {
+            result,
+            stack_vertices,
+            stack_eids,
+        } = scratch;
+        stack_vertices.clear();
+        stack_eids.clear();
+        let mut verifier = FlatVerifier {
+            ub,
+            k: ub.hop_constraint(),
+            result,
+            stack_vertices,
+            stack_eids,
+            dfs_steps: 0,
+        };
+        for &eid in ub.undetermined_eids() {
+            if verifier.result[eid as usize] {
+                stats.covered_by_witness += 1;
+                stats.confirmed += 1;
+                continue;
+            }
+            stats.searches += 1;
+            let (u, v) = ub.edges()[eid as usize];
+            if verifier.verify_edge(eid, u, v) {
+                stats.confirmed += 1;
+            } else {
+                stats.rejected += 1;
+            }
+        }
+        stats.dfs_steps = verifier.dfs_steps;
+    } else {
+        // Theorem 4.8: k ≤ 4 means no undetermined edges can exist.
+        debug_assert!(ub.undetermined_eids().is_empty());
+    }
+    stats
+}
+
+struct FlatVerifier<'a> {
+    ub: &'a FlatUpperBound,
+    k: u32,
+    result: &'a mut Vec<bool>,
+    stack_vertices: &'a mut Vec<u32>,
+    stack_eids: &'a mut Vec<u32>,
+    dfs_steps: usize,
+}
+
+impl FlatVerifier<'_> {
+    /// Tries to find a witness for undetermined edge `eid = (u, v)`; if
+    /// found, every edge id on the stack is switched on in the result bitmap.
+    fn verify_edge(&mut self, eid: u32, u: u32, v: u32) -> bool {
+        self.stack_vertices.clear();
+        self.stack_eids.clear();
+        self.stack_vertices.extend_from_slice(&[
+            u,
+            v,
+            self.ub.source_local(),
+            self.ub.target_local(),
+        ]);
+        self.stack_eids.push(eid);
+        let confirmed = self.forward(v, 1, u);
+        if confirmed {
+            debug_assert!(self.result[eid as usize]);
+        }
+        confirmed
+    }
+
+    /// Grows the path forwards from `cur` towards an arrival vertex.
+    fn forward(&mut self, cur: u32, len: u32, u: u32) -> bool {
+        self.dfs_steps += 1;
+        if self.ub.is_arrival(cur) && self.backward(u, len, cur) {
+            return true;
+        }
+        if len < self.k - 4 {
+            let ub = self.ub;
+            for &(nxt, eid) in ub.out_entries_of(cur) {
+                if self.stack_vertices.contains(&nxt) {
+                    continue;
+                }
+                self.stack_vertices.push(nxt);
+                self.stack_eids.push(eid);
+                if self.forward(nxt, len + 1, u) {
+                    return true;
+                }
+                self.stack_vertices.pop();
+                self.stack_eids.pop();
+            }
+        }
+        false
+    }
+
+    /// Grows the path backwards from `cur` towards a departure vertex.
+    fn backward(&mut self, cur: u32, len: u32, arrival: u32) -> bool {
+        self.dfs_steps += 1;
+        if self.ub.is_departure(cur) && self.try_add_edges(cur, arrival) {
+            return true;
+        }
+        if len < self.k - 4 {
+            let ub = self.ub;
+            for &(nxt, eid) in ub.in_entries_of(cur) {
+                if self.stack_vertices.contains(&nxt) {
+                    continue;
+                }
+                self.stack_vertices.push(nxt);
+                self.stack_eids.push(eid);
+                if self.backward(nxt, len + 1, arrival) {
+                    return true;
+                }
+                self.stack_vertices.pop();
+                self.stack_eids.pop();
+            }
+        }
+        false
+    }
+
+    /// Final check of Theorem 5.6 condition (2), allocation-free: count the
+    /// valid neighbours not on the stack and remember the first of each side.
+    fn try_add_edges(&mut self, departure: u32, arrival: u32) -> bool {
+        let mut in_first = NONE32;
+        let mut in_count = 0usize;
+        for &x in self.ub.in_d(departure) {
+            if !self.stack_vertices.contains(&x) {
+                if in_count == 0 {
+                    in_first = x;
+                }
+                in_count += 1;
+            }
+        }
+        if in_count == 0 {
+            return false;
+        }
+        let mut out_first = NONE32;
+        let mut out_count = 0usize;
+        for &y in self.ub.out_a(arrival) {
+            if !self.stack_vertices.contains(&y) {
+                if out_count == 0 {
+                    out_first = y;
+                }
+                out_count += 1;
+            }
+        }
+        if out_count == 0 {
+            return false;
+        }
+        let pair_exists = in_count > 1 || out_count > 1 || in_first != out_first;
+        if !pair_exists {
+            return false;
+        }
+        for &eid in self.stack_eids.iter() {
+            self.result[eid as usize] = true;
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper_example::{self, names::*};
+    use crate::propagation::Propagation;
+    use crate::query::Query;
+    use spg_graph::{DiGraph, DistanceIndex, DistanceStrategy};
+
+    fn space_for(g: &DiGraph, q: Query) -> SearchSpace {
+        let idx = DistanceIndex::compute(
+            g,
+            q.source,
+            q.target,
+            q.k,
+            DistanceStrategy::AdaptiveBidirectional,
+        );
+        SearchSpace::build(g, &idx)
+    }
+
+    /// The flat propagation must agree with the reference propagation on
+    /// every set the labeling phase is allowed to consult (Theorem 3.6).
+    #[test]
+    fn flat_propagation_matches_reference_on_consultable_sets() {
+        let g = paper_example::figure1_graph();
+        for k in 2..=8u32 {
+            let q = Query::new(S, T, k);
+            let idx = DistanceIndex::compute(&g, S, T, k, DistanceStrategy::AdaptiveBidirectional);
+            let space = SearchSpace::build(&g, &idx);
+            let reference = Propagation::forward(&g, q, &idx, true);
+            let mut flat = FlatPropagation::default();
+            flat.run(&space, Direction::Forward, true);
+            for local in 0..space.vertex_count() as u32 {
+                let v = space.global(local);
+                let dv = idx.dist_to_t(v);
+                for l in 1..k {
+                    if l + dv > k {
+                        continue; // not consultable under pruning
+                    }
+                    let expected: Option<Vec<u32>> = reference.ev(l, v).map(|s| {
+                        s.as_slice()
+                            .iter()
+                            .map(|&x| space.local_of(x).expect("EV members stay in space"))
+                            .collect()
+                    });
+                    let got: Option<Vec<u32>> = flat.ev(l, local).map(|s| s.to_vec());
+                    assert_eq!(got, expected, "k={k} l={l} v={v}");
+                }
+            }
+            assert!(flat.stats().edge_scans > 0);
+            assert!(flat.memory_bytes() > 0);
+            assert!(flat.retained_bytes() >= flat.memory_bytes());
+        }
+    }
+
+    /// Arena set operators match the EvSet reference operators.
+    #[test]
+    fn arena_operators_match_evset() {
+        use crate::evset::EvSet;
+        let cases: Vec<(Vec<u32>, Vec<u32>, u32)> = vec![
+            (vec![0, 2, 5, 9], vec![2, 9], 5),
+            (vec![0, 2, 5, 9], vec![], 5),
+            (vec![1, 2, 3], vec![1, 2, 3], 0),
+            (vec![4, 6, 8], vec![1, 3, 5], 8),
+            (vec![4, 6, 8], vec![1, 3, 5], 0),
+        ];
+        for (a, b, extra) in cases {
+            let mut arena = Vec::new();
+            let ra = {
+                let start = arena.len();
+                arena.extend_from_slice(&a);
+                pack(start, a.len())
+            };
+            let rb = {
+                let start = arena.len();
+                arena.extend_from_slice(&b);
+                pack(start, b.len())
+            };
+            let fused = alloc_intersect_with_added(&mut arena, ra, rb, extra);
+            let sa = EvSet::from_vertices(a.iter().copied());
+            let sb = EvSet::from_vertices(b.iter().copied());
+            let expected = sa.intersect_with_added(&sb, extra);
+            assert_eq!(set_slice(&arena, fused), expected.as_slice());
+
+            let with = alloc_with(&mut arena, ra, extra);
+            assert_eq!(set_slice(&arena, with), sa.with(extra).as_slice());
+        }
+        let mut arena = Vec::new();
+        let s = alloc_singleton(&mut arena, 7);
+        assert_eq!(set_slice(&arena, s), &[7]);
+        assert!(refs_equal(&arena, s, s));
+        assert!(!refs_equal(&arena, s, NONE_REF));
+    }
+
+    /// End-to-end flat pipeline on the Figure 1 example must reproduce the
+    /// Figure 6(c) labels and the Example 5.7 verification outcome.
+    #[test]
+    fn flat_pipeline_reproduces_figure_fixtures() {
+        let g = paper_example::figure1_graph();
+        let q = Query::new(S, T, 7);
+        let space = space_for(&g, q);
+        let mut fwd = FlatPropagation::default();
+        let mut bwd = FlatPropagation::default();
+        fwd.run(&space, Direction::Forward, true);
+        bwd.run(&space, Direction::Backward, true);
+        let mut ub = FlatUpperBound::default();
+        ub.build(&space, &fwd, &bwd);
+
+        assert_eq!(ub.stats().edges_examined, 13);
+        assert_eq!(ub.stats().failing, 1);
+        assert_eq!(ub.edge_count(), 12);
+
+        let global_edges: Vec<(u32, u32)> = ub
+            .edges()
+            .iter()
+            .map(|&(u, v)| (space.global(u), space.global(v)))
+            .collect();
+        let mut expected: Vec<(u32, u32)> = vec![
+            (S, A),
+            (S, C),
+            (A, C),
+            (A, H),
+            (A, I),
+            (C, T),
+            (C, B),
+            (H, B),
+            (B, T),
+            (B, A),
+            (I, J),
+            (J, H),
+        ];
+        expected.sort_unstable();
+        assert_eq!(global_edges, expected);
+
+        let mut scratch = VerifyScratch::default();
+        let stats = verify_flat(&ub, &mut scratch);
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.confirmed, 2);
+        let confirmed: Vec<(u32, u32)> = ub
+            .edges()
+            .iter()
+            .zip(scratch.result())
+            .filter(|(_, &keep)| keep)
+            .map(|(&(u, v), _)| (space.global(u), space.global(v)))
+            .collect();
+        assert_eq!(confirmed.len(), 11);
+        assert!(!confirmed.contains(&(B, A)));
+        assert!(confirmed.contains(&(I, J)));
+        assert!(confirmed.contains(&(J, H)));
+    }
+
+    /// Search ordering must not change the flat verification answer.
+    #[test]
+    fn flat_ordering_is_answer_preserving() {
+        let g = paper_example::figure1_graph();
+        for k in 5..=8u32 {
+            let q = Query::new(S, T, k);
+            let space = space_for(&g, q);
+            let mut fwd = FlatPropagation::default();
+            let mut bwd = FlatPropagation::default();
+            fwd.run(&space, Direction::Forward, true);
+            bwd.run(&space, Direction::Backward, true);
+            let mut ub = FlatUpperBound::default();
+            ub.build(&space, &fwd, &bwd);
+            let mut scratch = VerifyScratch::default();
+            verify_flat(&ub, &mut scratch);
+            let plain = scratch.result().to_vec();
+
+            let mut order = OrderScratch::default();
+            apply_search_ordering_flat(&mut ub, &mut order);
+            verify_flat(&ub, &mut scratch);
+            assert_eq!(scratch.result(), plain.as_slice(), "k={k}");
+            assert!(order.retained_bytes() > 0);
+        }
+    }
+}

@@ -16,14 +16,16 @@
 
 use std::time::Instant;
 
-use spg_graph::{DiGraph, DistanceIndex, DistanceStrategy, EdgeSubgraph};
+use spg_graph::{DiGraph, Direction, DistanceIndex, DistanceStrategy, EdgeSubgraph, VertexId};
 
+use crate::compact::{apply_search_ordering_flat, verify_flat};
 use crate::labeling::UpperBoundGraph;
 use crate::propagation::Propagation;
 use crate::query::{Query, QueryError};
 use crate::spg::SimplePathGraph;
 use crate::stats::{EveStats, MemoryEstimate, PhaseTimings};
 use crate::verification::{apply_search_ordering, verify_undetermined};
+use crate::workspace::QueryWorkspace;
 
 /// Configuration switches for the EVE pipeline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -31,6 +33,14 @@ pub struct EveConfig {
     /// How the per-query distance index is computed (§3.3, Figure 6(a)).
     pub distance_strategy: DistanceStrategy,
     /// Enable the forward-looking pruning of Theorem 3.6 during propagation.
+    ///
+    /// The answer is identical either way. Note that the workspace pipeline
+    /// ([`Eve::query_with`]) propagates over the compacted `G^k_st` CSR,
+    /// whose space restriction structurally subsumes most of the rule —
+    /// there this flag only toggles the residual per-level check. Ablation
+    /// harnesses that want the paper's full "Naive EVE" work profile
+    /// (Figure 11) should measure [`Eve::query_reference`], which honours
+    /// the flag over the whole graph.
     pub forward_looking_pruning: bool,
     /// Enable the §5.3 search-ordering strategy before verification.
     pub search_ordering: bool,
@@ -121,13 +131,188 @@ impl<'g> Eve<'g> {
     }
 
     /// Answers a query, returning the exact simple path graph.
+    ///
+    /// Allocates a fresh [`QueryWorkspace`] per call; batch callers should
+    /// hold one workspace and use [`Eve::query_with`] instead.
     pub fn query(&self, query: Query) -> Result<SimplePathGraph, QueryError> {
-        Ok(self.query_detailed(query)?.spg)
+        let mut ws = QueryWorkspace::new();
+        self.query_with(&mut ws, query)
+    }
+
+    /// Answers a query on a reusable [`QueryWorkspace`]. After warm-up the
+    /// pipeline performs (amortised) zero heap allocation besides the answer
+    /// itself, which makes this the entry point for batch workloads.
+    pub fn query_with(
+        &self,
+        ws: &mut QueryWorkspace,
+        query: Query,
+    ) -> Result<SimplePathGraph, QueryError> {
+        query.validate(self.graph)?;
+        self.run_flat_pipeline(ws, query)
     }
 
     /// Answers a query, additionally returning the upper-bound graph
     /// `SPGᵘ_k(s, t)` computed on the way (Table 3 / §6.6).
     pub fn query_detailed(&self, query: Query) -> Result<EveOutput, QueryError> {
+        let mut ws = QueryWorkspace::new();
+        self.query_detailed_with(&mut ws, query)
+    }
+
+    /// [`Eve::query_detailed`] on a reusable workspace: the compacted-search-
+    /// space pipeline (phase 1 additionally emits the dense [`spg_graph::SearchSpace`];
+    /// phases 1b–3 run entirely on flat local-id arrays).
+    pub fn query_detailed_with(
+        &self,
+        ws: &mut QueryWorkspace,
+        query: Query,
+    ) -> Result<EveOutput, QueryError> {
+        query.validate(self.graph)?;
+        let spg = self.run_flat_pipeline(ws, query)?;
+        // The workspace still holds the phase-2 output; only the detailed
+        // entry point pays for materialising it (`query_with` does not).
+        let upper_bound = Self::upper_bound_subgraph(ws);
+        Ok(EveOutput { spg, upper_bound })
+    }
+
+    /// Phases 1a–2 on the workspace: distance search, space compaction,
+    /// both propagations and edge labeling. Shared by the query and
+    /// upper-bound entry points; phase timings/memory are recorded when the
+    /// caller provides accumulators.
+    fn run_phases_1_2(
+        &self,
+        ws: &mut QueryWorkspace,
+        query: Query,
+        timings: &mut PhaseTimings,
+        memory: &mut MemoryEstimate,
+    ) {
+        // Phase 1a: epoch-stamped distance search + compacted search space.
+        let start = Instant::now();
+        ws.dist.compute(
+            self.graph,
+            query.source,
+            query.target,
+            query.k,
+            self.config.distance_strategy,
+        );
+        ws.space
+            .rebuild_from_flat(self.graph, &ws.dist, &mut ws.scratch);
+        timings.distance = start.elapsed();
+        memory.distance_bytes = ws.dist.memory_bytes() + ws.space.memory_bytes();
+
+        // Phase 1b: essential-vertex propagation on flat per-level rows.
+        let start = Instant::now();
+        ws.fwd.run(
+            &ws.space,
+            Direction::Forward,
+            self.config.forward_looking_pruning,
+        );
+        ws.bwd.run(
+            &ws.space,
+            Direction::Backward,
+            self.config.forward_looking_pruning,
+        );
+        timings.propagation = start.elapsed();
+        memory.propagation_bytes = ws.fwd.memory_bytes() + ws.bwd.memory_bytes();
+
+        // Phase 2: upper-bound graph via edge labeling.
+        let start = Instant::now();
+        ws.ub.build(&ws.space, &ws.fwd, &ws.bwd);
+        timings.labeling = start.elapsed();
+        memory.upper_bound_bytes = ws.ub.memory_bytes();
+    }
+
+    /// Phases 1a–3 on the workspace, assembling the answer (but not the
+    /// upper-bound subgraph). The query must already be validated.
+    fn run_flat_pipeline(
+        &self,
+        ws: &mut QueryWorkspace,
+        query: Query,
+    ) -> Result<SimplePathGraph, QueryError> {
+        let mut timings = PhaseTimings::default();
+        let mut memory = MemoryEstimate::default();
+        self.run_phases_1_2(ws, query, &mut timings, &mut memory);
+
+        // Phase 3: verification of undetermined edges.
+        let start = Instant::now();
+        if self.config.search_ordering && query.k >= 5 {
+            apply_search_ordering_flat(&mut ws.ub, &mut ws.order);
+        }
+        let verification = verify_flat(&ws.ub, &mut ws.verify);
+        let mut answer: Vec<(VertexId, VertexId)> = Vec::with_capacity(ws.ub.edge_count());
+        for (eid, &(u, v)) in ws.ub.edges().iter().enumerate() {
+            if ws.verify.result()[eid] {
+                answer.push((ws.space.global(u), ws.space.global(v)));
+            }
+        }
+        timings.verification = start.elapsed();
+        memory.record_verification(answer.len(), query.k);
+        memory.workspace_arena_bytes = ws.retained_bytes();
+
+        let mut search_space = ws.dist.stats();
+        search_space.space_vertices = ws.space.vertex_count();
+        let stats = EveStats {
+            timings,
+            memory,
+            search_space,
+            forward_propagation: ws.fwd.stats(),
+            backward_propagation: ws.bwd.stats(),
+            labeling: ws.ub.stats(),
+            verification,
+            upper_bound_edges: ws.ub.edge_count(),
+        };
+        Ok(SimplePathGraph::from_parts(
+            query,
+            EdgeSubgraph::from_edges(answer),
+            stats,
+        ))
+    }
+
+    /// Materialises the `SPGᵘ_k` edges currently held by the workspace.
+    fn upper_bound_subgraph(ws: &QueryWorkspace) -> EdgeSubgraph {
+        EdgeSubgraph::from_edges(
+            ws.ub
+                .edges()
+                .iter()
+                .map(|&(u, v)| (ws.space.global(u), ws.space.global(v))),
+        )
+    }
+
+    /// Computes only the upper-bound graph `SPGᵘ_k(s, t)` (phases 1 and 2),
+    /// skipping verification. Useful as a fast approximate answer: by
+    /// Theorem 4.8 it is exact whenever `k ≤ 4`, and Table 3 shows it carries
+    /// well under 0.05% redundant edges on most graphs.
+    pub fn upper_bound(&self, query: Query) -> Result<EdgeSubgraph, QueryError> {
+        let mut ws = QueryWorkspace::new();
+        self.upper_bound_with(&mut ws, query)
+    }
+
+    /// [`Eve::upper_bound`] on a reusable workspace.
+    pub fn upper_bound_with(
+        &self,
+        ws: &mut QueryWorkspace,
+        query: Query,
+    ) -> Result<EdgeSubgraph, QueryError> {
+        query.validate(self.graph)?;
+        self.run_phases_1_2(
+            ws,
+            query,
+            &mut PhaseTimings::default(),
+            &mut MemoryEstimate::default(),
+        );
+        Ok(Self::upper_bound_subgraph(ws))
+    }
+
+    /// Answers a query with the hash-map reference pipeline (the pre-
+    /// compaction implementation). Retained for differential testing and as
+    /// the baseline the `query_workspace` benchmark compares against; the
+    /// answer is always identical to [`Eve::query`].
+    pub fn query_reference(&self, query: Query) -> Result<SimplePathGraph, QueryError> {
+        Ok(self.query_detailed_reference(query)?.spg)
+    }
+
+    /// [`Eve::query_detailed`] via the hash-map reference pipeline
+    /// ([`Propagation`], [`UpperBoundGraph`], [`verify_undetermined`]).
+    pub fn query_detailed_reference(&self, query: Query) -> Result<EveOutput, QueryError> {
         query.validate(self.graph)?;
         let mut timings = PhaseTimings::default();
         let mut memory = MemoryEstimate::default();
@@ -174,8 +359,7 @@ impl<'g> Eve<'g> {
         }
         let outcome = verify_undetermined(&upper, query);
         timings.verification = start.elapsed();
-        memory.verification_bytes = outcome.edges.len() * std::mem::size_of::<(u32, u32)>()
-            + (query.k as usize + 2) * 2 * std::mem::size_of::<u32>();
+        memory.record_verification(outcome.edges.len(), query.k);
 
         let stats = EveStats {
             timings,
@@ -193,35 +377,6 @@ impl<'g> Eve<'g> {
             spg,
             upper_bound: upper.to_edge_subgraph(),
         })
-    }
-
-    /// Computes only the upper-bound graph `SPGᵘ_k(s, t)` (phases 1 and 2),
-    /// skipping verification. Useful as a fast approximate answer: by
-    /// Theorem 4.8 it is exact whenever `k ≤ 4`, and Table 3 shows it carries
-    /// well under 0.05% redundant edges on most graphs.
-    pub fn upper_bound(&self, query: Query) -> Result<EdgeSubgraph, QueryError> {
-        query.validate(self.graph)?;
-        let index = DistanceIndex::compute(
-            self.graph,
-            query.source,
-            query.target,
-            query.k,
-            self.config.distance_strategy,
-        );
-        let forward = Propagation::forward(
-            self.graph,
-            query,
-            &index,
-            self.config.forward_looking_pruning,
-        );
-        let backward = Propagation::backward(
-            self.graph,
-            query,
-            &index,
-            self.config.forward_looking_pruning,
-        );
-        let upper = UpperBoundGraph::build(self.graph, query, &index, &forward, &backward);
-        Ok(upper.to_edge_subgraph())
     }
 }
 
@@ -328,6 +483,57 @@ mod tests {
             assert_eq!(ub, detailed.upper_bound, "k = {k}");
             // Upper bound must contain the exact answer.
             assert!(detailed.spg.as_subgraph().is_subgraph_of(&ub));
+        }
+    }
+
+    /// The flat workspace pipeline and the hash-map reference pipeline must
+    /// produce identical answers and upper bounds under every configuration.
+    #[test]
+    fn compact_and_reference_pipelines_agree_on_random_graphs() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(777);
+        let mut ws = crate::QueryWorkspace::new();
+        for case in 0..30 {
+            let n = rng.gen_range(6..20);
+            let m = rng.gen_range(n..4 * n);
+            let g = spg_graph::generators::gnm_random(n, m, 9000 + case);
+            let s = 0u32;
+            let t = (n - 1) as u32;
+            let k = rng.gen_range(2..9);
+            let q = Query::new(s, t, k);
+            for cfg in [EveConfig::full(), EveConfig::naive()] {
+                let eve = Eve::new(&g, cfg);
+                let reference = eve.query_detailed_reference(q).unwrap();
+                let compact = eve.query_detailed_with(&mut ws, q).unwrap();
+                assert_eq!(
+                    compact.spg.edges(),
+                    reference.spg.edges(),
+                    "case {case} k={k} cfg {}",
+                    cfg.describe()
+                );
+                assert_eq!(
+                    compact.upper_bound,
+                    reference.upper_bound,
+                    "case {case} k={k} cfg {}",
+                    cfg.describe()
+                );
+                assert_eq!(
+                    compact.spg.stats().upper_bound_edges,
+                    reference.spg.stats().upper_bound_edges
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reference_query_matches_compact_query() {
+        let g = paper_example::figure1_graph();
+        let eve = Eve::with_defaults(&g);
+        for k in 1..=8u32 {
+            let compact = eve.query(Query::new(S, T, k)).unwrap();
+            let reference = eve.query_reference(Query::new(S, T, k)).unwrap();
+            assert_eq!(compact.edges(), reference.edges(), "k={k}");
         }
     }
 

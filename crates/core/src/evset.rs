@@ -90,9 +90,23 @@ impl EvSet {
         true
     }
 
-    /// `true` if every member of `self` is in `other`.
+    /// `true` if every member of `self` is in `other` (linear merge over the
+    /// sorted representations, like the other binary set operators).
     pub fn is_subset_of(&self, other: &EvSet) -> bool {
-        self.items.iter().all(|&v| other.contains(v))
+        if self.items.len() > other.items.len() {
+            return false;
+        }
+        let mut j = 0usize;
+        for &v in &self.items {
+            while j < other.items.len() && other.items[j] < v {
+                j += 1;
+            }
+            if j >= other.items.len() || other.items[j] != v {
+                return false;
+            }
+            j += 1;
+        }
+        true
     }
 
     /// Plain intersection `self ∩ other`.

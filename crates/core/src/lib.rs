@@ -30,6 +30,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod compact;
+
 pub mod eve;
 pub mod evset;
 pub mod labeling;
@@ -39,6 +41,7 @@ pub mod query;
 pub mod spg;
 pub mod stats;
 pub mod verification;
+pub mod workspace;
 
 pub use eve::{Eve, EveConfig, EveOutput};
 pub use evset::EvSet;
@@ -48,3 +51,4 @@ pub use query::{Query, QueryError};
 pub use spg::SimplePathGraph;
 pub use stats::{EveStats, MemoryEstimate, PhaseTimings};
 pub use verification::{VerificationOutcome, VerificationStats};
+pub use workspace::QueryWorkspace;

@@ -142,35 +142,39 @@ impl Propagation {
             }
             prop.stats.levels_run = l;
             let mut updated: FxHashMap<VertexId, EvSet> = FxHashMap::default();
+            // Stats are accumulated locally so `ev_x` can borrow `prop`
+            // immutably across the inner loop instead of cloning one EvSet
+            // per frontier vertex.
+            let mut edge_scans = 0usize;
+            let mut pruned_visits = 0usize;
             for &x in &frontier {
                 // The frontier only ever contains vertices with a set at the
                 // previous level (the origin at level 0, or updated vertices).
                 let ev_x = prop
                     .ev(l - 1, x)
-                    .expect("frontier vertex must have an essential vertex set")
-                    .clone();
+                    .expect("frontier vertex must have an essential vertex set");
                 for &y in g.neighbors(x, dir) {
-                    prop.stats.edge_scans += 1;
+                    edge_scans += 1;
                     if y == origin || y == excluded {
                         continue;
                     }
                     if forward_looking {
                         let rest = remaining_dist(y);
                         if rest == INF_DIST || l + rest > k {
-                            prop.stats.pruned_visits += 1;
+                            pruned_visits += 1;
                             continue;
                         }
                     }
                     match updated.get_mut(&y) {
                         Some(current) => {
-                            *current = current.intersect_with_added(&ev_x, y);
+                            *current = current.intersect_with_added(ev_x, y);
                         }
                         None => {
                             // Seed with the previous-level set of `y` itself
                             // when it exists (see the module-level deviation
                             // note), otherwise with the contribution of `x`.
                             let seeded = match prop.ev(l - 1, y) {
-                                Some(prev) => prev.intersect_with_added(&ev_x, y),
+                                Some(prev) => prev.intersect_with_added(ev_x, y),
                                 None => ev_x.with(y),
                             };
                             updated.insert(y, seeded);
@@ -178,6 +182,8 @@ impl Propagation {
                     }
                 }
             }
+            prop.stats.edge_scans += edge_scans;
+            prop.stats.pruned_visits += pruned_visits;
 
             let mut next_frontier: Vec<VertexId> = Vec::with_capacity(updated.len());
             let mut level_map: FxHashMap<VertexId, EvSet> = FxHashMap::default();

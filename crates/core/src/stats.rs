@@ -54,7 +54,8 @@ impl PhaseTimings {
 /// measurements).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MemoryEstimate {
-    /// Distance index (forward + backward distance maps).
+    /// Distance index (forward + backward distance maps) plus, on the
+    /// compacted pipeline, the dense search-space CSR.
     pub distance_bytes: usize,
     /// Essential-vertex sets of both propagations.
     pub propagation_bytes: usize,
@@ -62,6 +63,13 @@ pub struct MemoryEstimate {
     pub upper_bound_bytes: usize,
     /// Verification result set and stacks.
     pub verification_bytes: usize,
+    /// Buffer capacity retained by the reusable [`crate::QueryWorkspace`]
+    /// after the query — the steady-state footprint a warm workspace keeps
+    /// so that subsequent queries are allocation-free. Not part of
+    /// [`MemoryEstimate::peak_bytes`]: the live per-phase bytes above already
+    /// account for the portions in use, and capacity is amortised across the
+    /// whole batch rather than attributable to one query.
+    pub workspace_arena_bytes: usize,
 }
 
 impl MemoryEstimate {
@@ -72,6 +80,15 @@ impl MemoryEstimate {
             + self.propagation_bytes
             + self.upper_bound_bytes
             + self.verification_bytes
+    }
+
+    /// Records the verification phase's footprint: the answer edge list plus
+    /// the two DFS stacks (bounded by `k + 2` entries each, Theorem 5.6).
+    /// Space accounting for every pipeline lives here so the estimate cannot
+    /// drift between implementations.
+    pub fn record_verification(&mut self, answer_edges: usize, k: u32) {
+        self.verification_bytes = answer_edges * std::mem::size_of::<(u32, u32)>()
+            + (k as usize + 2) * 2 * std::mem::size_of::<u32>();
     }
 }
 
@@ -134,8 +151,21 @@ mod tests {
             propagation_bytes: 20,
             upper_bound_bytes: 30,
             verification_bytes: 40,
+            // Retained workspace capacity is reported but never double
+            // counted into the per-query peak.
+            workspace_arena_bytes: 1000,
         };
         assert_eq!(m.peak_bytes(), 100);
+    }
+
+    #[test]
+    fn record_verification_formula() {
+        let mut m = MemoryEstimate::default();
+        m.record_verification(5, 6);
+        assert_eq!(
+            m.verification_bytes,
+            5 * std::mem::size_of::<(u32, u32)>() + 8 * 2 * std::mem::size_of::<u32>()
+        );
     }
 
     #[test]

@@ -38,7 +38,7 @@ pub use properties::DegreeStats;
 pub use subgraph::EdgeSubgraph;
 pub use traversal::{
     bfs_distances_from, bfs_distances_to, k_hop_reachable, DistanceIndex, DistanceStrategy,
-    SearchSpaceStats,
+    FlatDistances, SearchSpace, SearchSpaceStats, SpaceScratch,
 };
 
 /// Sentinel distance meaning "unreachable / outside the search space".

@@ -1,0 +1,423 @@
+//! Epoch-stamped flat distance search for the workspace hot path.
+//!
+//! [`FlatDistances`] computes exactly what [`DistanceIndex`] computes — the
+//! t-avoiding forward distances `Δ(s, v)` and s-avoiding backward distances
+//! `Δ(v, t)` under any [`DistanceStrategy`] — but stores them in two flat
+//! graph-sized arrays whose entries are validated by an epoch stamp instead
+//! of per-query hash maps. Reusing one instance across queries touches only
+//! the vertices each query actually discovers: bumping the epoch invalidates
+//! every stale entry in O(1), so there is no per-query clearing and, after
+//! warm-up, no per-query allocation.
+//!
+//! A second structural win over the hash-map engine: the bidirectional
+//! strategies' "finish inside the other side's explored region" phase reads
+//! the other side's stamps directly. The hash-map engine has to clone the
+//! other side's whole distance map as a snapshot; here no snapshot is needed
+//! because a side's restricted expansion only consults the *other* side's
+//! entries, which that side's own expansion never mutates mid-run.
+
+use crate::csr::{DiGraph, Direction, VertexId};
+use crate::traversal::{DistanceStrategy, SearchSpaceStats};
+use crate::INF_DIST;
+
+/// One direction of epoch-stamped BFS state.
+#[derive(Debug, Clone, Default)]
+struct StampedSide {
+    /// `(stamp, dist)` per global vertex id; valid iff stamp == current epoch.
+    slots: Vec<(u32, u32)>,
+    /// Vertices discovered this epoch, in discovery order.
+    seen: Vec<VertexId>,
+    frontier: Vec<VertexId>,
+    next: Vec<VertexId>,
+    depth: u32,
+    edge_scans: usize,
+}
+
+impl StampedSide {
+    fn begin(&mut self, n: usize, source: VertexId, epoch: u32) {
+        if self.slots.len() < n {
+            self.slots.resize(n, (0, 0));
+        }
+        self.seen.clear();
+        self.frontier.clear();
+        self.depth = 0;
+        self.edge_scans = 0;
+        self.slots[source as usize] = (epoch, 0);
+        self.seen.push(source);
+        self.frontier.push(source);
+    }
+
+    #[inline]
+    fn dist(&self, v: VertexId, epoch: u32) -> u32 {
+        let (stamp, d) = self.slots[v as usize];
+        if stamp == epoch {
+            d
+        } else {
+            INF_DIST
+        }
+    }
+
+    #[inline]
+    fn contains(&self, v: VertexId, epoch: u32) -> bool {
+        self.slots[v as usize].0 == epoch
+    }
+}
+
+/// Reusable flat replacement for the per-query [`DistanceIndex`] hash maps.
+///
+/// [`DistanceIndex`]: crate::traversal::DistanceIndex
+#[derive(Debug, Clone, Default)]
+pub struct FlatDistances {
+    epoch: u32,
+    fwd: StampedSide,
+    bwd: StampedSide,
+    s: VertexId,
+    t: VertexId,
+    k: u32,
+}
+
+impl FlatDistances {
+    /// Creates an empty instance; buffers grow on first use.
+    pub fn new() -> Self {
+        FlatDistances::default()
+    }
+
+    /// Runs the hop-bounded distance search for query `⟨s, t, k⟩` with the
+    /// chosen strategy, reusing all buffers.
+    ///
+    /// # Panics
+    /// Panics if `s == t` (mirrors [`DistanceIndex::compute`]).
+    ///
+    /// [`DistanceIndex::compute`]: crate::traversal::DistanceIndex::compute
+    pub fn compute(
+        &mut self,
+        g: &DiGraph,
+        s: VertexId,
+        t: VertexId,
+        k: u32,
+        strategy: DistanceStrategy,
+    ) {
+        assert!(
+            s != t,
+            "queries require distinct source and target vertices"
+        );
+        let n = g.vertex_count();
+        self.s = s;
+        self.t = t;
+        self.k = k;
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Extremely rare wrap: reset the stamps explicitly.
+            self.fwd.slots.fill((0, 0));
+            self.bwd.slots.fill((0, 0));
+            self.epoch = 1;
+        }
+        self.fwd.begin(n, s, self.epoch);
+        self.bwd.begin(n, t, self.epoch);
+
+        match strategy {
+            DistanceStrategy::Single => {
+                self.run_side(g, Direction::Forward, k, false);
+                self.run_side(g, Direction::Backward, k, false);
+            }
+            DistanceStrategy::Bidirectional => {
+                let kf = k.div_ceil(2);
+                let kb = k / 2;
+                self.run_side(g, Direction::Forward, kf, false);
+                self.run_side(g, Direction::Backward, kb, false);
+                self.run_side(g, Direction::Forward, k - kf, true);
+                self.run_side(g, Direction::Backward, k - kb, true);
+            }
+            DistanceStrategy::AdaptiveBidirectional => {
+                while self.fwd.depth + self.bwd.depth < k
+                    && !(self.fwd.frontier.is_empty() && self.bwd.frontier.is_empty())
+                {
+                    let advance_forward = if self.fwd.frontier.is_empty() {
+                        false
+                    } else if self.bwd.frontier.is_empty() {
+                        true
+                    } else {
+                        self.fwd.frontier.len() <= self.bwd.frontier.len()
+                    };
+                    if advance_forward {
+                        self.step(g, Direction::Forward, false);
+                    } else {
+                        self.step(g, Direction::Backward, false);
+                    }
+                }
+                let fd = self.fwd.depth;
+                let bd = self.bwd.depth;
+                self.run_side(g, Direction::Forward, k - fd, true);
+                self.run_side(g, Direction::Backward, k - bd, true);
+            }
+        }
+    }
+
+    /// Expands `steps` levels of one side (or until its frontier empties).
+    fn run_side(&mut self, g: &DiGraph, dir: Direction, steps: u32, restricted: bool) {
+        for _ in 0..steps {
+            if !self.step(g, dir, restricted) {
+                break;
+            }
+        }
+    }
+
+    /// Expands one BFS level of one side. When `restricted`, only vertices
+    /// already discovered by the *other* side may be newly discovered (the
+    /// "finish inside the other side's region" phase of bidirectional
+    /// search). Returns `false` once the frontier is empty.
+    fn step(&mut self, g: &DiGraph, dir: Direction, restricted: bool) -> bool {
+        let epoch = self.epoch;
+        let (side, other, source, forbidden) = match dir {
+            Direction::Forward => (&mut self.fwd, &self.bwd, self.s, self.t),
+            Direction::Backward => (&mut self.bwd, &self.fwd, self.t, self.s),
+        };
+        if side.frontier.is_empty() {
+            return false;
+        }
+        side.next.clear();
+        for i in 0..side.frontier.len() {
+            let u = side.frontier[i];
+            if u == forbidden && u != source {
+                continue;
+            }
+            for &v in g.neighbors(u, dir) {
+                side.edge_scans += 1;
+                if side.slots[v as usize].0 == epoch {
+                    continue;
+                }
+                if restricted && !other.contains(v, epoch) {
+                    continue;
+                }
+                side.slots[v as usize] = (epoch, side.depth + 1);
+                side.seen.push(v);
+                side.next.push(v);
+            }
+        }
+        side.depth += 1;
+        std::mem::swap(&mut side.frontier, &mut side.next);
+        !side.frontier.is_empty()
+    }
+
+    /// Source vertex of the current query.
+    #[inline]
+    pub fn source(&self) -> VertexId {
+        self.s
+    }
+
+    /// Target vertex of the current query.
+    #[inline]
+    pub fn target(&self) -> VertexId {
+        self.t
+    }
+
+    /// Hop constraint of the current query.
+    #[inline]
+    pub fn hop_constraint(&self) -> u32 {
+        self.k
+    }
+
+    /// Raw forward distance `Δ(s, v)` (before search-space filtering), or
+    /// [`INF_DIST`] if the forward search never reached `v`.
+    #[inline]
+    pub fn raw_dist_from_s(&self, v: VertexId) -> u32 {
+        self.fwd.dist(v, self.epoch)
+    }
+
+    /// Raw backward distance `Δ(v, t)`, or [`INF_DIST`] if unreached.
+    #[inline]
+    pub fn raw_dist_to_t(&self, v: VertexId) -> u32 {
+        self.bwd.dist(v, self.epoch)
+    }
+
+    /// `Δ(s, v)` restricted to the search space: [`INF_DIST`] unless
+    /// `Δ(s,v) + Δ(v,t) ≤ k` (matches [`DistanceIndex::dist_from_s`]).
+    ///
+    /// [`DistanceIndex::dist_from_s`]: crate::traversal::DistanceIndex::dist_from_s
+    #[inline]
+    pub fn dist_from_s(&self, v: VertexId) -> u32 {
+        let df = self.fwd.dist(v, self.epoch);
+        let db = self.bwd.dist(v, self.epoch);
+        if df != INF_DIST && db != INF_DIST && df + db <= self.k {
+            df
+        } else {
+            INF_DIST
+        }
+    }
+
+    /// `Δ(v, t)` restricted to the search space (matches
+    /// [`DistanceIndex::dist_to_t`]).
+    ///
+    /// [`DistanceIndex::dist_to_t`]: crate::traversal::DistanceIndex::dist_to_t
+    #[inline]
+    pub fn dist_to_t(&self, v: VertexId) -> u32 {
+        let df = self.fwd.dist(v, self.epoch);
+        let db = self.bwd.dist(v, self.epoch);
+        if df != INF_DIST && db != INF_DIST && df + db <= self.k {
+            db
+        } else {
+            INF_DIST
+        }
+    }
+
+    /// `true` if `v` belongs to the search space `Δ(s,v) + Δ(v,t) ≤ k`.
+    #[inline]
+    pub fn in_search_space(&self, v: VertexId) -> bool {
+        self.dist_from_s(v) != INF_DIST
+    }
+
+    /// `true` if the query is feasible (`t` reachable from `s` within `k`).
+    pub fn is_feasible(&self) -> bool {
+        self.in_search_space(self.t)
+    }
+
+    /// Vertices the forward search discovered (a superset of the search
+    /// space; filter with [`FlatDistances::in_search_space`]).
+    #[inline]
+    pub fn forward_seen(&self) -> &[VertexId] {
+        &self.fwd.seen
+    }
+
+    /// Work counters in [`SearchSpaceStats`] form; `space_vertices` is
+    /// filled by the caller once the space is materialised.
+    pub fn stats(&self) -> SearchSpaceStats {
+        SearchSpaceStats {
+            forward_edge_scans: self.fwd.edge_scans,
+            backward_edge_scans: self.bwd.edge_scans,
+            space_vertices: 0,
+        }
+    }
+
+    /// Live bytes attributable to the current query: the discovered vertex
+    /// lists and their distance entries (the stamped arrays themselves are
+    /// retained capacity, reported by [`FlatDistances::retained_bytes`]).
+    pub fn memory_bytes(&self) -> usize {
+        (self.fwd.seen.len() + self.bwd.seen.len())
+            * (std::mem::size_of::<VertexId>() + std::mem::size_of::<(u32, u32)>())
+    }
+
+    /// Bytes of capacity retained for reuse across queries.
+    pub fn retained_bytes(&self) -> usize {
+        let side = |s: &StampedSide| {
+            s.slots.capacity() * std::mem::size_of::<(u32, u32)>()
+                + (s.seen.capacity() + s.frontier.capacity() + s.next.capacity())
+                    * std::mem::size_of::<VertexId>()
+        };
+        side(&self.fwd) + side(&self.bwd)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal::DistanceIndex;
+
+    /// Figure 1(a) graph; naming s=0, a=1, c=2, t=3, h=4, b=5, i=6, j=7.
+    fn figure1() -> DiGraph {
+        DiGraph::from_edges(
+            8,
+            [
+                (0, 1),
+                (0, 2),
+                (1, 2),
+                (1, 4),
+                (1, 6),
+                (2, 3),
+                (2, 5),
+                (4, 5),
+                (5, 3),
+                (5, 1),
+                (5, 7),
+                (6, 7),
+                (7, 4),
+            ],
+        )
+    }
+
+    #[test]
+    fn agrees_with_distance_index_on_all_strategies() {
+        let g = figure1();
+        let mut flat = FlatDistances::new();
+        for strategy in DistanceStrategy::ALL {
+            for k in 1..=8u32 {
+                let idx = DistanceIndex::compute(&g, 0, 3, k, strategy);
+                flat.compute(&g, 0, 3, k, strategy);
+                assert_eq!(flat.is_feasible(), idx.is_feasible(), "k={k}");
+                for v in g.vertices() {
+                    assert_eq!(
+                        flat.dist_from_s(v),
+                        idx.dist_from_s(v),
+                        "{} k={k} v={v}",
+                        strategy.name()
+                    );
+                    assert_eq!(
+                        flat.dist_to_t(v),
+                        idx.dist_to_t(v),
+                        "{} k={k} v={v}",
+                        strategy.name()
+                    );
+                    assert_eq!(flat.in_search_space(v), idx.in_search_space(v));
+                }
+                // Work counters match the hash-map engine exactly: the
+                // traversal order is identical.
+                assert_eq!(
+                    flat.stats().forward_edge_scans + flat.stats().backward_edge_scans,
+                    idx.stats().total_edge_scans(),
+                    "{} k={k}",
+                    strategy.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_with_distance_index_on_random_graphs() {
+        for case in 0..20u64 {
+            let n = 20 + (case as usize % 30);
+            let g = crate::generators::gnm_random(n, 4 * n, 1234 + case);
+            let (s, t) = (0u32, (n - 1) as u32);
+            let mut flat = FlatDistances::new();
+            for strategy in DistanceStrategy::ALL {
+                for k in [2u32, 4, 6, 8] {
+                    let idx = DistanceIndex::compute(&g, s, t, k, strategy);
+                    flat.compute(&g, s, t, k, strategy);
+                    for v in g.vertices() {
+                        assert_eq!(
+                            flat.dist_from_s(v),
+                            idx.dist_from_s(v),
+                            "case {case} {} k={k} v={v}",
+                            strategy.name()
+                        );
+                        assert_eq!(flat.dist_to_t(v), idx.dist_to_t(v));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reuse_across_queries_and_accessors() {
+        let g = figure1();
+        let mut flat = FlatDistances::new();
+        flat.compute(&g, 0, 3, 7, DistanceStrategy::AdaptiveBidirectional);
+        assert!(flat.is_feasible());
+        assert_eq!(flat.source(), 0);
+        assert_eq!(flat.target(), 3);
+        assert_eq!(flat.hop_constraint(), 7);
+        assert_eq!(flat.raw_dist_from_s(1), 1);
+        assert!(flat.forward_seen().contains(&1));
+        assert!(flat.memory_bytes() > 0);
+        assert!(flat.retained_bytes() >= flat.memory_bytes());
+        // A later, smaller query must not leak the previous epoch's entries.
+        flat.compute(&g, 0, 3, 3, DistanceStrategy::AdaptiveBidirectional);
+        assert!(!flat.in_search_space(6), "vertex i is out of space at k=3");
+        assert_eq!(flat.raw_dist_to_t(6), INF_DIST);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn same_source_and_target_panics() {
+        let g = figure1();
+        FlatDistances::new().compute(&g, 2, 2, 3, DistanceStrategy::Single);
+    }
+}

@@ -13,8 +13,12 @@
 
 mod bfs;
 mod bidirectional;
+mod flat_distance;
 mod reachability;
+mod search_space;
 
 pub use bfs::{bfs_distances_from, bfs_distances_to, BfsOptions};
 pub use bidirectional::{DistanceIndex, DistanceStrategy, SearchSpaceStats};
+pub use flat_distance::FlatDistances;
 pub use reachability::{k_hop_reachable, shortest_distance};
+pub use search_space::{SearchSpace, SpaceScratch, NO_LOCAL};
