@@ -1,21 +1,27 @@
 //! Perf trajectory tooling: runs a fixed query suite and writes a
-//! machine-readable `BENCH_2.json` snapshot (per-variant median latency,
-//! per-phase ns, edges/sec, peak workspace bytes) so successive PRs can
-//! track the hot-path numbers in version control.
+//! machine-readable `BENCH_3.json` snapshot so successive PRs can track the
+//! hot-path numbers in version control. Two sections per suite:
+//!
+//! * **variants** — per-query median latency of the legacy hash-map pipeline
+//!   (`query_reference`), the flat pipeline on a fresh workspace (`query`)
+//!   and the flat pipeline on one warm workspace (`query_with`), plus
+//!   per-phase ns, edges/sec and workspace bytes (the PR-2 trajectory);
+//! * **thread_scaling** — whole-batch wall time of `BatchExecutor::run` at
+//!   1 / 2 / 4 / 8 threads against the same warm sequential batch, with
+//!   queries/sec and speedup vs the single-thread executor (the PR-3
+//!   trajectory). Every parallel run is checked slot-for-slot against the
+//!   sequential answers before its timing is recorded.
 //!
 //! Usage: `cargo run --release -p spg-bench --bin bench_json -- \
-//!     [--out BENCH_2.json] [--queries 64] [--repeats 5]`
+//!     [--out BENCH_3.json] [--queries 64] [--repeats 5] [--smoke]`
 //!
-//! The suite is the k = 6 configuration the workspace acceptance criterion
-//! references: a mid-size gnm graph plus the fraud case study's transaction
-//! network. Three variants answer the same batch: the legacy hash-map
-//! pipeline (`query_reference`), the flat pipeline with a fresh workspace
-//! per query (`query`), and the flat pipeline on one warm reusable
-//! workspace (`query_with`).
+//! `--smoke` shrinks the suites to a tiny graph, restricts thread scaling to
+//! 2 threads and 1 repeat, and is what CI runs to keep the JSON emitter and
+//! the parallel path honest without a statistically meaningful measurement.
 
 use std::time::{Duration, Instant};
 
-use spg_core::{Eve, PhaseTimings, Query, QueryWorkspace};
+use spg_core::{BatchExecutor, Eve, PhaseTimings, Query, QueryWorkspace};
 use spg_graph::generators::{gnm_random, TransactionGraph, TransactionGraphConfig};
 use spg_graph::DiGraph;
 use spg_workloads::reachable_queries;
@@ -24,12 +30,14 @@ struct Args {
     out: String,
     queries: usize,
     repeats: usize,
+    smoke: bool,
 }
 
 fn parse_args() -> Args {
-    let mut out = "BENCH_2.json".to_string();
+    let mut out = "BENCH_3.json".to_string();
     let mut queries = 64usize;
     let mut repeats = 5usize;
+    let mut smoke = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -46,19 +54,25 @@ fn parse_args() -> Args {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage("--repeats needs a number"))
             }
+            "--smoke" => smoke = true,
             other => usage(&format!("unknown argument {other}")),
         }
+    }
+    if smoke {
+        queries = queries.min(8);
+        repeats = 1;
     }
     Args {
         out,
         queries,
         repeats: repeats.max(1),
+        smoke,
     }
 }
 
 fn usage(message: &str) -> ! {
     eprintln!("{message}");
-    eprintln!("options: --out PATH | --queries N | --repeats R");
+    eprintln!("options: --out PATH | --queries N | --repeats R | --smoke");
     std::process::exit(2);
 }
 
@@ -90,6 +104,63 @@ fn sample<F: FnMut(Query) -> usize>(
     (samples, edges, total_start.elapsed())
 }
 
+struct ThreadScale {
+    threads: usize,
+    batch_median_ns: u64,
+    queries_per_sec: f64,
+    speedup_vs_1: f64,
+}
+
+/// Whole-batch wall time of the executor at each thread count, median over
+/// `repeats` runs. Every run's slots are checked against `expected` so a
+/// determinism regression can never produce a fast-but-wrong number.
+fn thread_scaling(
+    eve: &Eve<'_>,
+    queries: &[Query],
+    thread_counts: &[usize],
+    repeats: usize,
+    expected: &[Vec<(u32, u32)>],
+) -> Vec<ThreadScale> {
+    let mut rows: Vec<ThreadScale> = Vec::with_capacity(thread_counts.len());
+    for &threads in thread_counts {
+        let executor = BatchExecutor::new(threads);
+        // Warm-up run (also the first correctness check).
+        verify(&executor.run(eve, queries), expected, threads);
+        let mut samples: Vec<u64> = Vec::with_capacity(repeats);
+        for _ in 0..repeats {
+            let start = Instant::now();
+            let results = executor.run(eve, queries);
+            samples.push(start.elapsed().as_nanos() as u64);
+            verify(&results, expected, threads);
+        }
+        let median = median_ns(&mut samples);
+        let qps = queries.len() as f64 / (median as f64 / 1e9).max(1e-12);
+        let speedup = match rows.first() {
+            Some(first) => first.batch_median_ns as f64 / median.max(1) as f64,
+            None => 1.0,
+        };
+        rows.push(ThreadScale {
+            threads,
+            batch_median_ns: median,
+            queries_per_sec: qps,
+            speedup_vs_1: speedup,
+        });
+    }
+    rows
+}
+
+fn verify(results: &[spg_core::BatchResult], expected: &[Vec<(u32, u32)>], threads: usize) {
+    assert_eq!(results.len(), expected.len());
+    for (i, (got, exp)) in results.iter().zip(expected).enumerate() {
+        let got = got.as_ref().expect("suite queries are valid");
+        assert_eq!(
+            got.edges(),
+            exp.as_slice(),
+            "thread-scaling slot {i} diverged at {threads} threads"
+        );
+    }
+}
+
 struct SuiteResult {
     name: &'static str,
     vertices: usize,
@@ -102,9 +173,10 @@ struct SuiteResult {
     spg_edges_per_sec: f64,
     queries_per_sec_warm: f64,
     peak_workspace_bytes: usize,
+    scaling: Vec<ThreadScale>,
 }
 
-fn run_suite(name: &'static str, g: DiGraph, args: &Args) -> SuiteResult {
+fn run_suite(name: &'static str, g: DiGraph, args: &Args, thread_counts: &[usize]) -> SuiteResult {
     let queries = reachable_queries(&g, args.queries, 6, 0x5EED);
     assert!(!queries.is_empty(), "{name}: workload generation failed");
     let eve = Eve::with_defaults(&g);
@@ -130,6 +202,7 @@ fn run_suite(name: &'static str, g: DiGraph, args: &Args) -> SuiteResult {
 
     // Per-phase breakdown: mean over one warm pass, from the recorded stats.
     let mut phase = PhaseTimings::default();
+    let mut expected: Vec<Vec<(u32, u32)>> = Vec::with_capacity(queries.len());
     for &q in &queries {
         let spg = eve.query_with(&mut ws, q).unwrap();
         let t = spg.stats().timings;
@@ -137,12 +210,15 @@ fn run_suite(name: &'static str, g: DiGraph, args: &Args) -> SuiteResult {
         phase.propagation += t.propagation;
         phase.labeling += t.labeling;
         phase.verification += t.verification;
+        expected.push(spg.edges().to_vec());
     }
     let nq = queries.len() as u32;
     phase.distance /= nq;
     phase.propagation /= nq;
     phase.labeling /= nq;
     phase.verification /= nq;
+
+    let scaling = thread_scaling(&eve, &queries, thread_counts, args.repeats, &expected);
 
     let warm_secs = warm_total.as_secs_f64().max(1e-12);
     SuiteResult {
@@ -157,11 +233,12 @@ fn run_suite(name: &'static str, g: DiGraph, args: &Args) -> SuiteResult {
         spg_edges_per_sec: (warm_edges * args.repeats) as f64 / warm_secs,
         queries_per_sec_warm: (queries.len() * args.repeats) as f64 / warm_secs,
         peak_workspace_bytes: ws.retained_bytes(),
+        scaling,
     }
 }
 
 fn render_json(results: &[SuiteResult]) -> String {
-    let mut out = String::from("{\n  \"bench\": 2,\n  \"suite_k\": 6,\n  \"suites\": [\n");
+    let mut out = String::from("{\n  \"bench\": 3,\n  \"suite_k\": 6,\n  \"suites\": [\n");
     for (i, r) in results.iter().enumerate() {
         let speedup = r.legacy_median_ns as f64 / r.warm_median_ns.max(1) as f64;
         out.push_str(&format!(
@@ -179,8 +256,8 @@ fn render_json(results: &[SuiteResult]) -> String {
                 "\"labeling\": {}, \"verification\": {}}},\n",
                 "      \"spg_edges_per_sec\": {:.0},\n",
                 "      \"queries_per_sec_warm\": {:.0},\n",
-                "      \"peak_workspace_bytes\": {}\n",
-                "    }}{}\n",
+                "      \"peak_workspace_bytes\": {},\n",
+                "      \"thread_scaling\": [\n",
             ),
             r.name,
             r.vertices,
@@ -197,6 +274,22 @@ fn render_json(results: &[SuiteResult]) -> String {
             r.spg_edges_per_sec,
             r.queries_per_sec_warm,
             r.peak_workspace_bytes,
+        ));
+        for (j, s) in r.scaling.iter().enumerate() {
+            out.push_str(&format!(
+                concat!(
+                    "        {{\"threads\": {}, \"batch_median_ns\": {}, ",
+                    "\"queries_per_sec\": {:.0}, \"speedup_vs_1_thread\": {:.2}}}{}\n",
+                ),
+                s.threads,
+                s.batch_median_ns,
+                s.queries_per_sec,
+                s.speedup_vs_1,
+                if j + 1 < r.scaling.len() { "," } else { "" },
+            ));
+        }
+        out.push_str(&format!(
+            "      ]\n    }}{}\n",
             if i + 1 < results.len() { "," } else { "" },
         ));
     }
@@ -206,17 +299,31 @@ fn render_json(results: &[SuiteResult]) -> String {
 
 fn main() {
     let args = parse_args();
-    let gnm = gnm_random(4_000, 24_000, 7);
-    let txn = TransactionGraph::generate(TransactionGraphConfig {
-        accounts: 3_000,
-        background_transactions: 18_000,
-        ..Default::default()
-    })
-    .full_graph();
+    let (gnm, txn, thread_counts): (DiGraph, DiGraph, &[usize]) = if args.smoke {
+        // Tiny deterministic graphs: the smoke run exists to exercise the
+        // parallel path (2 workers) and the JSON emitter, not to measure.
+        let gnm = gnm_random(200, 1_000, 7);
+        let txn = TransactionGraph::generate(TransactionGraphConfig {
+            accounts: 150,
+            background_transactions: 900,
+            ..Default::default()
+        })
+        .full_graph();
+        (gnm, txn, &[1, 2])
+    } else {
+        let gnm = gnm_random(4_000, 24_000, 7);
+        let txn = TransactionGraph::generate(TransactionGraphConfig {
+            accounts: 3_000,
+            background_transactions: 18_000,
+            ..Default::default()
+        })
+        .full_graph();
+        (gnm, txn, &[1, 2, 4, 8])
+    };
 
     let results = vec![
-        run_suite("gnm", gnm, &args),
-        run_suite("transaction", txn, &args),
+        run_suite("gnm", gnm, &args, thread_counts),
+        run_suite("transaction", txn, &args, thread_counts),
     ];
     for r in &results {
         eprintln!(
@@ -228,8 +335,18 @@ fn main() {
             r.legacy_median_ns as f64 / r.warm_median_ns.max(1) as f64,
             r.peak_workspace_bytes,
         );
+        for s in &r.scaling {
+            eprintln!(
+                "{}: {} threads -> batch {} ns, {:.0} q/s, {:.2}x vs 1 thread",
+                r.name, s.threads, s.batch_median_ns, s.queries_per_sec, s.speedup_vs_1,
+            );
+        }
     }
     let json = render_json(&results);
     std::fs::write(&args.out, &json).expect("write benchmark json");
-    println!("wrote {}", args.out);
+    println!(
+        "wrote {}{}",
+        args.out,
+        if args.smoke { " (smoke)" } else { "" }
+    );
 }

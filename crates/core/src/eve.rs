@@ -142,13 +142,31 @@ impl<'g> Eve<'g> {
     /// Answers a query on a reusable [`QueryWorkspace`]. After warm-up the
     /// pipeline performs (amortised) zero heap allocation besides the answer
     /// itself, which makes this the entry point for batch workloads.
+    ///
+    /// The effective hop constraint is clamped to `min(k, n − 1)`
+    /// ([`Query::clamped_to`]): the answer is unchanged, and the recorded
+    /// query/stats reflect the clamped value.
     pub fn query_with(
         &self,
         ws: &mut QueryWorkspace,
         query: Query,
     ) -> Result<SimplePathGraph, QueryError> {
         query.validate(self.graph)?;
-        self.run_flat_pipeline(ws, query)
+        self.run_flat_pipeline(ws, query.clamped_to(self.graph))
+    }
+
+    /// Answers a whole batch sequentially on one internally reused
+    /// [`QueryWorkspace`], returning one result slot per query in input
+    /// order. Errors are per-slot: an invalid query never affects its
+    /// neighbours. This is the single-threaded counterpart of
+    /// [`crate::BatchExecutor::run`], which produces bit-identical slots at
+    /// any thread count.
+    pub fn query_batch(&self, queries: &[Query]) -> Vec<Result<SimplePathGraph, QueryError>> {
+        let mut ws = QueryWorkspace::new();
+        queries
+            .iter()
+            .map(|&q| self.query_with(&mut ws, q))
+            .collect()
     }
 
     /// Answers a query, additionally returning the upper-bound graph
@@ -167,7 +185,7 @@ impl<'g> Eve<'g> {
         query: Query,
     ) -> Result<EveOutput, QueryError> {
         query.validate(self.graph)?;
-        let spg = self.run_flat_pipeline(ws, query)?;
+        let spg = self.run_flat_pipeline(ws, query.clamped_to(self.graph))?;
         // The workspace still holds the phase-2 output; only the detailed
         // entry point pays for materialising it (`query_with` does not).
         let upper_bound = Self::upper_bound_subgraph(ws);
@@ -295,7 +313,7 @@ impl<'g> Eve<'g> {
         query.validate(self.graph)?;
         self.run_phases_1_2(
             ws,
-            query,
+            query.clamped_to(self.graph),
             &mut PhaseTimings::default(),
             &mut MemoryEstimate::default(),
         );
@@ -314,6 +332,7 @@ impl<'g> Eve<'g> {
     /// ([`Propagation`], [`UpperBoundGraph`], [`verify_undetermined`]).
     pub fn query_detailed_reference(&self, query: Query) -> Result<EveOutput, QueryError> {
         query.validate(self.graph)?;
+        let query = query.clamped_to(self.graph);
         let mut timings = PhaseTimings::default();
         let mut memory = MemoryEstimate::default();
 
@@ -535,6 +554,46 @@ mod tests {
             let reference = eve.query_reference(Query::new(S, T, k)).unwrap();
             assert_eq!(compact.edges(), reference.edges(), "k={k}");
         }
+    }
+
+    /// Regression test for the unbounded-`k` allocation bug: a query with
+    /// `k = u32::MAX` used to drive `k`-proportional per-level allocations
+    /// (e.g. the reference propagation's `vec![map; k]` level table) and
+    /// `O(k)` per-edge labeling loops. With the entry-point clamp it must
+    /// answer instantly and produce exactly the `k = n − 1` SPG.
+    #[test]
+    fn huge_k_is_clamped_to_simple_path_bound() {
+        let g = spg_graph::generators::gnm_random(10, 40, 4242);
+        let eve = Eve::with_defaults(&g);
+        let start = Instant::now();
+        let huge = eve.query(Query::new(0, 9, u32::MAX)).unwrap();
+        let reference = eve.query_reference(Query::new(0, 9, u32::MAX)).unwrap();
+        let clamped = eve.query(Query::new(0, 9, 9)).unwrap();
+        assert_eq!(huge.edges(), clamped.edges());
+        assert_eq!(reference.edges(), clamped.edges());
+        assert_eq!(huge.query().k, 9, "recorded query reflects the clamp");
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(10),
+            "huge-k queries must terminate promptly"
+        );
+
+        // The detailed and upper-bound entry points clamp identically.
+        let mut ws = QueryWorkspace::new();
+        let detailed = eve
+            .query_detailed_with(&mut ws, Query::new(0, 9, u32::MAX))
+            .unwrap();
+        assert_eq!(detailed.spg.edges(), clamped.edges());
+        let ub_huge = eve.upper_bound(Query::new(0, 9, u32::MAX)).unwrap();
+        let ub_clamped = eve.upper_bound(Query::new(0, 9, 9)).unwrap();
+        assert_eq!(ub_huge, ub_clamped);
+
+        // The paper's example graph agrees between huge and exact clamp too.
+        let fig = paper_example::figure1_graph();
+        let fig_eve = Eve::with_defaults(&fig);
+        assert_eq!(
+            fig_eve.query(Query::new(S, T, u32::MAX)).unwrap().edges(),
+            fig_eve.query(Query::new(S, T, 7)).unwrap().edges()
+        );
     }
 
     #[test]

@@ -1,0 +1,397 @@
+//! Multi-threaded batch query execution.
+//!
+//! The EVE pipeline is embarrassingly parallel across queries: the host
+//! [`DiGraph`](spg_graph::DiGraph) is read-only and every per-query structure
+//! lives in a [`QueryWorkspace`]. [`BatchExecutor`] exploits that with plain
+//! `std::thread::scope` workers (no dependency, no global thread-pool
+//! registry):
+//!
+//! * each worker owns a **private** [`QueryWorkspace`], so the hot path stays
+//!   allocation-free after warm-up exactly as in the sequential case;
+//! * work is pulled through one **atomic chunked cursor** — a worker claims
+//!   `chunk` consecutive query indices per `fetch_add`, which keeps cursor
+//!   traffic negligible while still load-balancing skewed batches;
+//! * every result is written into its query's **pre-sized slot**
+//!   (`OnceLock` per index), so the output order is the input order and the
+//!   answers are bit-identical to sequential [`Eve::query_with`] runs — the
+//!   workspace-reuse property (answers never depend on what a workspace ran
+//!   before; see `tests/workspace_reuse.rs`) is what makes per-thread
+//!   workspaces safe.
+//!
+//! ### Error aggregation policy
+//!
+//! A batch never short-circuits: an invalid query produces an `Err` in its
+//! own slot and has no effect on any other slot. [`BatchStats`] counts
+//! errors globally and per worker so serving layers can alarm on error
+//! ratios without scanning the result vector.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+use std::thread;
+
+use crate::eve::Eve;
+use crate::query::{Query, QueryError};
+use crate::spg::SimplePathGraph;
+use crate::stats::MemoryEstimate;
+use crate::workspace::QueryWorkspace;
+
+/// Per-query outcome of a batch: the answer, or why the query was rejected.
+pub type BatchResult = Result<SimplePathGraph, QueryError>;
+
+// The executor shares `Eve` (a graph reference + config) and the query slice
+// across scoped threads; keep that capability a compile-time fact.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Eve<'static>>();
+    assert_send_sync::<Query>();
+    assert_send_sync::<QueryError>();
+    assert_send_sync::<QueryWorkspace>();
+    assert_send_sync::<SimplePathGraph>();
+};
+
+/// Multi-threaded executor for query batches (see the module docs).
+///
+/// ```
+/// use spg_core::{BatchExecutor, Eve, Query};
+/// use spg_core::paper_example::{figure1_graph, names};
+///
+/// let g = figure1_graph();
+/// let eve = Eve::with_defaults(&g);
+/// let queries: Vec<Query> = (2..=8).map(|k| Query::new(names::S, names::T, k)).collect();
+/// let parallel = BatchExecutor::new(4).run(&eve, &queries);
+/// let sequential = eve.query_batch(&queries);
+/// for (p, s) in parallel.iter().zip(&sequential) {
+///     assert_eq!(p.as_ref().unwrap().edges(), s.as_ref().unwrap().edges());
+/// }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchExecutor {
+    threads: usize,
+    chunk_size: usize,
+}
+
+impl BatchExecutor {
+    /// Creates an executor with an explicit worker count (clamped to ≥ 1).
+    pub fn new(threads: usize) -> Self {
+        BatchExecutor {
+            threads: threads.max(1),
+            chunk_size: 0,
+        }
+    }
+
+    /// Creates an executor sized to the machine
+    /// ([`std::thread::available_parallelism`], falling back to 1).
+    pub fn with_available_parallelism() -> Self {
+        let threads = thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        BatchExecutor::new(threads)
+    }
+
+    /// Overrides the cursor chunk size (0 restores the automatic choice).
+    pub fn chunk_size(mut self, chunk: usize) -> Self {
+        self.chunk_size = chunk;
+        self
+    }
+
+    /// The configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Queries claimed per cursor `fetch_add`: the explicit override, or
+    /// roughly eight chunks per worker — small enough to balance batches
+    /// whose expensive queries cluster, large enough that cursor contention
+    /// stays invisible next to a query's cost.
+    fn effective_chunk(&self, len: usize) -> usize {
+        if self.chunk_size > 0 {
+            self.chunk_size
+        } else {
+            (len / (self.threads * 8)).clamp(1, 64)
+        }
+    }
+
+    /// Answers `queries` against `eve`'s graph, returning one slot per query
+    /// in input order. Answers (and errors) are bit-identical to calling
+    /// [`Eve::query_with`] per query on a fresh workspace, at any thread
+    /// count.
+    pub fn run(&self, eve: &Eve<'_>, queries: &[Query]) -> Vec<BatchResult> {
+        self.run_detailed(eve, queries).results
+    }
+
+    /// [`BatchExecutor::run`] plus execution statistics: global and
+    /// per-worker query/error counts, the worst single-query
+    /// [`MemoryEstimate`] (field-wise max merge), and the workspace capacity
+    /// each worker retained.
+    pub fn run_detailed(&self, eve: &Eve<'_>, queries: &[Query]) -> BatchOutcome {
+        let workers = self.threads.min(queries.len()).max(1);
+        let chunk = self.effective_chunk(queries.len());
+        let slots: Vec<OnceLock<BatchResult>> =
+            (0..queries.len()).map(|_| OnceLock::new()).collect();
+        let cursor = AtomicUsize::new(0);
+
+        let mut per_thread: Vec<ThreadBatchStats> = Vec::with_capacity(workers);
+        if workers == 1 {
+            // Sequential fast path: same drain loop, no spawn cost. This is
+            // also what makes `BatchExecutor::new(1)` a faithful baseline in
+            // the thread-scaling benchmarks.
+            per_thread.push(drain(eve, queries, &cursor, chunk, &slots));
+        } else {
+            thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| scope.spawn(|| drain(eve, queries, &cursor, chunk, &slots)))
+                    .collect();
+                for handle in handles {
+                    per_thread.push(handle.join().expect("batch worker panicked"));
+                }
+            });
+        }
+
+        let results: Vec<BatchResult> = slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("the chunked cursor visits every query index exactly once")
+            })
+            .collect();
+        let stats = BatchStats::from_workers(workers, chunk, per_thread);
+        debug_assert_eq!(stats.answered + stats.errors, results.len());
+        BatchOutcome { results, stats }
+    }
+}
+
+impl Default for BatchExecutor {
+    /// Same as [`BatchExecutor::with_available_parallelism`].
+    fn default() -> Self {
+        BatchExecutor::with_available_parallelism()
+    }
+}
+
+/// One worker's drain loop: claim a chunk of query indices, answer each on
+/// the private workspace, publish into the pre-sized slots.
+fn drain(
+    eve: &Eve<'_>,
+    queries: &[Query],
+    cursor: &AtomicUsize,
+    chunk: usize,
+    slots: &[OnceLock<BatchResult>],
+) -> ThreadBatchStats {
+    let mut ws = QueryWorkspace::new();
+    let mut stats = ThreadBatchStats::default();
+    loop {
+        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+        if start >= queries.len() {
+            break;
+        }
+        stats.chunks_claimed += 1;
+        let end = (start + chunk).min(queries.len());
+        for (query, slot) in queries[start..end].iter().zip(&slots[start..end]) {
+            let result = eve.query_with(&mut ws, *query);
+            match &result {
+                Ok(spg) => {
+                    stats.answered += 1;
+                    stats.peak_memory.merge_max(&spg.stats().memory);
+                }
+                Err(_) => stats.errors += 1,
+            }
+            slot.set(result)
+                .expect("no other worker may claim this query index");
+        }
+    }
+    stats.workspace_retained_bytes = ws.retained_bytes();
+    stats
+}
+
+/// Results plus statistics of one [`BatchExecutor::run_detailed`] call.
+#[derive(Debug, Clone)]
+pub struct BatchOutcome {
+    /// One slot per input query, in input order.
+    pub results: Vec<BatchResult>,
+    /// Global and per-worker execution counters.
+    pub stats: BatchStats,
+}
+
+/// Counters for one worker thread of a batch run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ThreadBatchStats {
+    /// Queries this worker answered successfully.
+    pub answered: usize,
+    /// Queries this worker rejected ([`QueryError`] slots).
+    pub errors: usize,
+    /// Cursor chunks this worker claimed.
+    pub chunks_claimed: usize,
+    /// Worst single-query memory estimate seen by this worker
+    /// ([`MemoryEstimate::merge_max`] over its queries).
+    pub peak_memory: MemoryEstimate,
+    /// Buffer capacity this worker's private workspace retained at the end
+    /// of the batch (its steady-state footprint).
+    pub workspace_retained_bytes: usize,
+}
+
+/// Aggregated execution statistics of a batch run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Workers actually spawned (`min(threads, queries)`, at least 1).
+    pub threads: usize,
+    /// Queries claimed per cursor step.
+    pub chunk_size: usize,
+    /// Successfully answered queries across all workers.
+    pub answered: usize,
+    /// Rejected queries across all workers (the error aggregation policy is
+    /// per-slot: an invalid query never affects its neighbours).
+    pub errors: usize,
+    /// Worst single-query memory estimate across the whole batch.
+    pub peak_memory: MemoryEstimate,
+    /// Sum of every worker's retained workspace capacity — the steady-state
+    /// memory a long-lived executor of this shape keeps resident.
+    pub workspace_retained_bytes: usize,
+    /// Per-worker breakdown, in spawn order.
+    pub per_thread: Vec<ThreadBatchStats>,
+}
+
+impl BatchStats {
+    fn from_workers(threads: usize, chunk_size: usize, per_thread: Vec<ThreadBatchStats>) -> Self {
+        let mut stats = BatchStats {
+            threads,
+            chunk_size,
+            ..BatchStats::default()
+        };
+        for worker in &per_thread {
+            stats.answered += worker.answered;
+            stats.errors += worker.errors;
+            stats.peak_memory.merge_max(&worker.peak_memory);
+            stats.workspace_retained_bytes += worker.workspace_retained_bytes;
+        }
+        stats.per_thread = per_thread;
+        stats
+    }
+
+    /// Total queries processed (answered + rejected).
+    pub fn queries(&self) -> usize {
+        self.answered + self.errors
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper_example::{self, names::*};
+
+    fn mixed_batch(n: u32) -> Vec<Query> {
+        // Valid queries across hop constraints, plus the three invalid
+        // shapes (s == t, endpoint out of range, k == 0) scattered through
+        // the batch so error slots land on every worker.
+        let mut batch = Vec::new();
+        for k in 1..=8u32 {
+            batch.push(Query::new(S, T, k));
+            batch.push(Query::new(A, B, k));
+        }
+        batch.push(Query::new(S, S, 3));
+        batch.insert(5, Query::new(S, n + 7, 3));
+        batch.insert(9, Query::new(S, T, 0));
+        batch
+    }
+
+    #[test]
+    fn parallel_matches_sequential_at_every_thread_count() {
+        let g = paper_example::figure1_graph();
+        let eve = Eve::with_defaults(&g);
+        let batch = mixed_batch(g.vertex_count() as u32);
+        let expected = eve.query_batch(&batch);
+        for threads in [1usize, 2, 3, 4, 8] {
+            let got = BatchExecutor::new(threads).run(&eve, &batch);
+            assert_eq!(got.len(), expected.len());
+            for (i, (g_slot, e_slot)) in got.iter().zip(&expected).enumerate() {
+                match (g_slot, e_slot) {
+                    (Ok(g_spg), Ok(e_spg)) => {
+                        assert_eq!(g_spg.edges(), e_spg.edges(), "slot {i} threads {threads}");
+                        assert_eq!(
+                            g_spg.stats().upper_bound_edges,
+                            e_spg.stats().upper_bound_edges
+                        );
+                    }
+                    (Err(g_err), Err(e_err)) => {
+                        assert_eq!(g_err, e_err, "slot {i} threads {threads}")
+                    }
+                    other => panic!("slot {i} threads {threads}: Ok/Err mismatch {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stats_account_for_every_query() {
+        let g = paper_example::figure1_graph();
+        let eve = Eve::with_defaults(&g);
+        let batch = mixed_batch(g.vertex_count() as u32);
+        let outcome = BatchExecutor::new(4).run_detailed(&eve, &batch);
+        let stats = &outcome.stats;
+        assert_eq!(stats.queries(), batch.len());
+        assert_eq!(stats.errors, 3, "exactly the three injected invalid slots");
+        assert_eq!(stats.threads, 4);
+        assert!(stats.chunk_size >= 1);
+        assert_eq!(stats.per_thread.len(), 4);
+        let per_thread_total: usize = stats.per_thread.iter().map(|t| t.answered + t.errors).sum();
+        assert_eq!(per_thread_total, batch.len());
+        let chunks: usize = stats.per_thread.iter().map(|t| t.chunks_claimed).sum();
+        assert_eq!(chunks, batch.len().div_ceil(stats.chunk_size));
+        assert!(stats.peak_memory.peak_bytes() > 0);
+        // Workers that answered at least one query retain workspace buffers.
+        for worker in &stats.per_thread {
+            if worker.answered > 0 {
+                assert!(worker.workspace_retained_bytes > 0);
+            }
+        }
+        assert!(stats.workspace_retained_bytes > 0);
+    }
+
+    #[test]
+    fn empty_batch_and_single_query() {
+        let g = paper_example::figure1_graph();
+        let eve = Eve::with_defaults(&g);
+        let outcome = BatchExecutor::new(8).run_detailed(&eve, &[]);
+        assert!(outcome.results.is_empty());
+        assert_eq!(outcome.stats.queries(), 0);
+        assert_eq!(outcome.stats.threads, 1, "no workers beyond the work");
+
+        let one = BatchExecutor::new(8).run(&eve, &[Query::new(S, T, 4)]);
+        assert_eq!(one.len(), 1);
+        assert_eq!(
+            one[0].as_ref().unwrap().edges(),
+            eve.query(Query::new(S, T, 4)).unwrap().edges()
+        );
+    }
+
+    #[test]
+    fn chunk_size_override_is_honoured_and_harmless() {
+        let g = paper_example::figure1_graph();
+        let eve = Eve::with_defaults(&g);
+        let batch = mixed_batch(g.vertex_count() as u32);
+        let expected = eve.query_batch(&batch);
+        for chunk in [1usize, 2, 7, 1000] {
+            let outcome = BatchExecutor::new(2)
+                .chunk_size(chunk)
+                .run_detailed(&eve, &batch);
+            assert_eq!(outcome.stats.chunk_size, chunk);
+            for (got, exp) in outcome.results.iter().zip(&expected) {
+                match (got, exp) {
+                    (Ok(a), Ok(b)) => assert_eq!(a.edges(), b.edges()),
+                    (Err(a), Err(b)) => assert_eq!(a, b),
+                    other => panic!("chunk {chunk}: Ok/Err mismatch {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn constructors_and_accessors() {
+        assert_eq!(BatchExecutor::new(0).threads(), 1, "zero threads clamps");
+        assert!(BatchExecutor::with_available_parallelism().threads() >= 1);
+        assert_eq!(BatchExecutor::default(), BatchExecutor::default());
+        // Auto chunking: never zero, never more than 64.
+        let ex = BatchExecutor::new(4);
+        assert_eq!(ex.effective_chunk(0), 1);
+        assert_eq!(ex.effective_chunk(10_000), 64);
+        assert_eq!(ex.chunk_size(9).effective_chunk(10_000), 9);
+    }
+}

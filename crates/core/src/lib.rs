@@ -34,6 +34,7 @@ mod compact;
 
 pub mod eve;
 pub mod evset;
+pub mod executor;
 pub mod labeling;
 pub mod paper_example;
 pub mod propagation;
@@ -45,6 +46,7 @@ pub mod workspace;
 
 pub use eve::{Eve, EveConfig, EveOutput};
 pub use evset::EvSet;
+pub use executor::{BatchExecutor, BatchOutcome, BatchResult, BatchStats, ThreadBatchStats};
 pub use labeling::{EdgeLabel, LabelingStats, UpperBoundGraph};
 pub use propagation::{Propagation, PropagationStats};
 pub use query::{Query, QueryError};

@@ -47,6 +47,25 @@ impl Query {
         }
         Ok(())
     }
+
+    /// Returns the query with its hop constraint clamped to `min(k, n − 1)`
+    /// for a graph with `n` vertices.
+    ///
+    /// A simple path visits every vertex at most once, so no simple path in
+    /// `g` has more than `n − 1` edges and any larger `k` produces the same
+    /// `SPG_k(s, t)`. Clamping at query entry keeps the per-level structures
+    /// of propagation and the workspace proportional to the graph instead of
+    /// an adversarial `k` (a `Query` with `k = u32::MAX` would otherwise
+    /// drive `k`-sized allocations and `O(k)` per-edge labeling loops).
+    /// Every [`crate::Eve`] entry point applies this clamp after
+    /// [`Query::validate`].
+    pub fn clamped_to(&self, g: &DiGraph) -> Query {
+        let max_useful = g.vertex_count().saturating_sub(1).min(u32::MAX as usize) as u32;
+        Query {
+            k: self.k.min(max_useful.max(1)),
+            ..*self
+        }
+    }
 }
 
 impl std::fmt::Display for Query {
@@ -132,5 +151,17 @@ mod tests {
     fn display_formats() {
         let q = Query::new(3, 7, 5);
         assert_eq!(q.to_string(), "⟨s=3, t=7, k=5⟩");
+    }
+
+    #[test]
+    fn clamp_caps_k_at_vertex_count_minus_one() {
+        let g = DiGraph::from_edges(10, [(0, 1), (1, 2)]);
+        assert_eq!(Query::new(0, 2, u32::MAX).clamped_to(&g).k, 9);
+        assert_eq!(Query::new(0, 2, 9).clamped_to(&g).k, 9);
+        // Smaller hop constraints are untouched.
+        assert_eq!(Query::new(0, 2, 3).clamped_to(&g), Query::new(0, 2, 3));
+        // Degenerate hosts never clamp below 1 (validate rejects k = 0).
+        let tiny = DiGraph::empty(1);
+        assert_eq!(Query::new(0, 0, 5).clamped_to(&tiny).k, 1);
     }
 }

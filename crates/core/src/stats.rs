@@ -90,6 +90,20 @@ impl MemoryEstimate {
         self.verification_bytes = answer_edges * std::mem::size_of::<(u32, u32)>()
             + (k as usize + 2) * 2 * std::mem::size_of::<u32>();
     }
+
+    /// Field-wise maximum merge. Batch executors fold the per-query estimates
+    /// of one worker (and then the per-worker results) through this to report
+    /// the worst single-query footprint observed anywhere in the batch — a
+    /// max, not a sum, because queries on one workspace run one at a time and
+    /// the workspace's retained capacity converges to the largest query's
+    /// demand.
+    pub fn merge_max(&mut self, other: &MemoryEstimate) {
+        self.distance_bytes = self.distance_bytes.max(other.distance_bytes);
+        self.propagation_bytes = self.propagation_bytes.max(other.propagation_bytes);
+        self.upper_bound_bytes = self.upper_bound_bytes.max(other.upper_bound_bytes);
+        self.verification_bytes = self.verification_bytes.max(other.verification_bytes);
+        self.workspace_arena_bytes = self.workspace_arena_bytes.max(other.workspace_arena_bytes);
+    }
 }
 
 /// All statistics collected while answering one query.
@@ -166,6 +180,34 @@ mod tests {
             m.verification_bytes,
             5 * std::mem::size_of::<(u32, u32)>() + 8 * 2 * std::mem::size_of::<u32>()
         );
+    }
+
+    #[test]
+    fn merge_max_is_field_wise() {
+        let mut a = MemoryEstimate {
+            distance_bytes: 10,
+            propagation_bytes: 200,
+            upper_bound_bytes: 3,
+            verification_bytes: 40,
+            workspace_arena_bytes: 500,
+        };
+        let b = MemoryEstimate {
+            distance_bytes: 100,
+            propagation_bytes: 20,
+            upper_bound_bytes: 30,
+            verification_bytes: 4,
+            workspace_arena_bytes: 5000,
+        };
+        a.merge_max(&b);
+        assert_eq!(a.distance_bytes, 100);
+        assert_eq!(a.propagation_bytes, 200);
+        assert_eq!(a.upper_bound_bytes, 30);
+        assert_eq!(a.verification_bytes, 40);
+        assert_eq!(a.workspace_arena_bytes, 5000);
+        // Merging with an empty estimate is the identity.
+        let before = a;
+        a.merge_max(&MemoryEstimate::default());
+        assert_eq!(a, before);
     }
 
     #[test]

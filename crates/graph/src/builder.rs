@@ -8,12 +8,20 @@
 //! statistics.
 
 use crate::csr::{DiGraph, VertexId};
+use crate::hash::{set_with_capacity, FxHashSet};
 
 /// Incremental builder for [`DiGraph`].
 #[derive(Debug, Clone)]
 pub struct GraphBuilder {
     n: usize,
     edges: Vec<(VertexId, VertexId)>,
+    /// Distinct edges added so far, materialised lazily on the first
+    /// [`GraphBuilder::contains_edge`] call and kept in lock-step with
+    /// `edges` from then on. Membership checks are O(1) — repeated
+    /// insert-with-check used to be quadratic via an O(E) scan — while
+    /// bulk loads that never ask pay neither the per-edge hash insert nor
+    /// the duplicated edge storage.
+    edge_set: Option<FxHashSet<(VertexId, VertexId)>>,
     keep_self_loops: bool,
 }
 
@@ -23,6 +31,7 @@ impl GraphBuilder {
         GraphBuilder {
             n,
             edges: Vec::new(),
+            edge_set: None,
             keep_self_loops: false,
         }
     }
@@ -32,6 +41,7 @@ impl GraphBuilder {
         GraphBuilder {
             n,
             edges: Vec::with_capacity(edges),
+            edge_set: None,
             keep_self_loops: false,
         }
     }
@@ -63,6 +73,9 @@ impl GraphBuilder {
             self.n
         );
         self.edges.push((u, v));
+        if let Some(set) = &mut self.edge_set {
+            set.insert((u, v));
+        }
         self
     }
 
@@ -78,9 +91,19 @@ impl GraphBuilder {
     }
 
     /// Returns `true` if the (raw, pre-dedup) edge list already contains
-    /// `(u, v)`. Linear scan — intended for small fixture graphs and tests.
-    pub fn contains_edge(&self, u: VertexId, v: VertexId) -> bool {
-        self.edges.iter().any(|&(a, b)| a == u && b == v)
+    /// `(u, v)`. Amortised O(1): the first call materialises a hash set from
+    /// the edges added so far (one O(E) pass), and [`GraphBuilder::add_edge`]
+    /// keeps it current afterwards — so insert-if-absent loops are linear in
+    /// the number of edges, while bulk loads that never check pay nothing.
+    pub fn contains_edge(&mut self, u: VertexId, v: VertexId) -> bool {
+        let edges = &self.edges;
+        self.edge_set
+            .get_or_insert_with(|| {
+                let mut set = set_with_capacity(edges.len());
+                set.extend(edges.iter().copied());
+                set
+            })
+            .contains(&(u, v))
     }
 
     /// Finalises the builder into an immutable CSR [`DiGraph`].
@@ -174,6 +197,49 @@ mod tests {
         let mut b = GraphBuilder::new(4);
         b.add_edge(1, 2);
         assert!(b.contains_edge(1, 2));
+        assert!(!b.contains_edge(2, 1));
+    }
+
+    /// Perf-shaped regression test: repeated insert-with-check must be linear
+    /// in the number of edges. Before the hash-set backing, `contains_edge`
+    /// was an O(E) scan over the raw list, making this loop quadratic
+    /// (~1.25e9 pair comparisons at this size — tens of seconds in a debug
+    /// test build); hashed membership finishes it in milliseconds. The time
+    /// bound is deliberately generous to stay robust on slow CI machines
+    /// while still failing clearly on a quadratic regression.
+    #[test]
+    fn repeated_checked_insertion_is_linear() {
+        let n = 50_000u32;
+        let mut b = GraphBuilder::new(n as usize + 1);
+        let start = std::time::Instant::now();
+        for i in 0..n {
+            if !b.contains_edge(i, i + 1) {
+                b.add_edge(i, i + 1);
+            }
+            // Re-checking the just-inserted edge is the common dedup shape.
+            assert!(b.contains_edge(i, i + 1));
+            assert!(!b.contains_edge(i + 1, i));
+        }
+        assert_eq!(b.raw_edge_count(), n as usize);
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(10),
+            "checked insertion took {:?}; contains_edge has regressed to a scan",
+            start.elapsed()
+        );
+        let g = b.build();
+        assert_eq!(g.edge_count(), n as usize);
+    }
+
+    /// The lazily materialised membership set must observe edges added both
+    /// before and after the first `contains_edge` call.
+    #[test]
+    fn lazy_edge_set_stays_in_sync_with_later_inserts() {
+        let mut b = GraphBuilder::new(5);
+        b.add_edge(0, 1);
+        assert!(b.contains_edge(0, 1), "pre-materialisation edge visible");
+        assert!(!b.contains_edge(1, 2));
+        b.add_edge(1, 2);
+        assert!(b.contains_edge(1, 2), "post-materialisation edge visible");
         assert!(!b.contains_edge(2, 1));
     }
 

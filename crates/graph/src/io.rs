@@ -25,6 +25,16 @@ pub enum EdgeListError {
         /// The offending line content.
         content: String,
     },
+    /// A vertex id token is numeric but does not fit in [`VertexId`], or is
+    /// the reserved `u32::MAX` sentinel (used internally as
+    /// `spg_graph::INF_DIST`; admitting it would also make the inferred
+    /// vertex count `max_id + 1` overflow the CSR offset range).
+    VertexIdOverflow {
+        /// 1-based line number in the input.
+        line: usize,
+        /// The offending id token.
+        token: String,
+    },
 }
 
 impl std::fmt::Display for EdgeListError {
@@ -34,6 +44,14 @@ impl std::fmt::Display for EdgeListError {
             EdgeListError::Parse { line, content } => {
                 write!(f, "cannot parse edge list line {line}: {content:?}")
             }
+            EdgeListError::VertexIdOverflow { line, token } => {
+                write!(
+                    f,
+                    "vertex id {token:?} on edge list line {line} does not fit in a \
+                     vertex id (must be < {})",
+                    VertexId::MAX
+                )
+            }
         }
     }
 }
@@ -42,7 +60,7 @@ impl std::error::Error for EdgeListError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             EdgeListError::Io(e) => Some(e),
-            EdgeListError::Parse { .. } => None,
+            EdgeListError::Parse { .. } | EdgeListError::VertexIdOverflow { .. } => None,
         }
     }
 }
@@ -53,10 +71,46 @@ impl From<io::Error> for EdgeListError {
     }
 }
 
+/// Parses one vertex-id token, distinguishing "not a number" (line-numbered
+/// [`EdgeListError::Parse`]) from "a number that overflows [`VertexId`]"
+/// ([`EdgeListError::VertexIdOverflow`]).
+fn parse_vertex_token(
+    token: Option<&str>,
+    line: usize,
+    content: &str,
+) -> Result<VertexId, EdgeListError> {
+    let parse_err = || EdgeListError::Parse {
+        line,
+        content: content.to_string(),
+    };
+    let token = token.ok_or_else(parse_err)?;
+    match token.parse::<VertexId>() {
+        // `u32::MAX` parses but is reserved (see `VertexIdOverflow` docs).
+        Ok(VertexId::MAX) => Err(EdgeListError::VertexIdOverflow {
+            line,
+            token: token.to_string(),
+        }),
+        Ok(id) => Ok(id),
+        Err(e) if matches!(e.kind(), std::num::IntErrorKind::PosOverflow) => {
+            Err(EdgeListError::VertexIdOverflow {
+                line,
+                token: token.to_string(),
+            })
+        }
+        Err(_) => Err(parse_err()),
+    }
+}
+
 /// Parses an edge list from any buffered reader.
 ///
-/// Lines starting with `#` or `%` and blank lines are ignored. Vertex ids may
-/// be arbitrary `u32` values; the resulting graph has `max_id + 1` vertices.
+/// Lines starting with `#` or `%` and blank / whitespace-only lines are
+/// ignored; trailing tokens after the two ids (e.g. edge weights) are
+/// tolerated. Vertex ids must fit in [`VertexId`] and be `< u32::MAX`
+/// (ids that overflow are rejected with a line-numbered
+/// [`EdgeListError::VertexIdOverflow`]). The resulting graph has
+/// `max_id + 1` vertices; an input with no edge rows (empty, whitespace-only
+/// or comments-only) yields an empty zero-vertex graph rather than inferring
+/// a vertex count from an uninitialised maximum.
 pub fn read_edge_list<R: BufRead>(reader: R) -> Result<DiGraph, EdgeListError> {
     let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
     let mut max_id: u32 = 0;
@@ -67,19 +121,10 @@ pub fn read_edge_list<R: BufRead>(reader: R) -> Result<DiGraph, EdgeListError> {
             continue;
         }
         let mut parts = trimmed.split_whitespace();
-        let parse = |tok: Option<&str>| tok.and_then(|t| t.parse::<u32>().ok());
-        match (parse(parts.next()), parse(parts.next())) {
-            (Some(u), Some(v)) => {
-                max_id = max_id.max(u).max(v);
-                edges.push((u, v));
-            }
-            _ => {
-                return Err(EdgeListError::Parse {
-                    line: idx + 1,
-                    content: trimmed.to_string(),
-                })
-            }
-        }
+        let u = parse_vertex_token(parts.next(), idx + 1, trimmed)?;
+        let v = parse_vertex_token(parts.next(), idx + 1, trimmed)?;
+        max_id = max_id.max(u).max(v);
+        edges.push((u, v));
     }
     let n = if edges.is_empty() {
         0
@@ -150,6 +195,60 @@ mod tests {
         let g = read_edge_list(Cursor::new("# nothing here\n")).unwrap();
         assert_eq!(g.vertex_count(), 0);
         assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn whitespace_only_input_gives_empty_graph() {
+        // No edge row may ever be inferred from padding: the vertex count
+        // must be 0, not `max_id + 1` of an uninitialised maximum.
+        for text in ["", "   \n\t\n  \t  \n", "\n\n", "# c\n   \n% c\n"] {
+            let g = read_edge_list(Cursor::new(text)).unwrap();
+            assert_eq!(g.vertex_count(), 0, "input {text:?}");
+            assert_eq!(g.edge_count(), 0, "input {text:?}");
+        }
+    }
+
+    #[test]
+    fn oversized_vertex_ids_are_rejected_with_line_numbers() {
+        // 2^32 does not fit in u32 at all.
+        let err = read_edge_list(Cursor::new("0 1\n4294967296 1\n")).unwrap_err();
+        match err {
+            EdgeListError::VertexIdOverflow { line, token } => {
+                assert_eq!(line, 2);
+                assert_eq!(token, "4294967296");
+            }
+            other => panic!("expected overflow error, got {other}"),
+        }
+        // u32::MAX parses but is the reserved INF_DIST sentinel; admitting it
+        // would also drive a 2^32-vertex allocation from `max_id + 1`.
+        let err = read_edge_list(Cursor::new("7 4294967295\n")).unwrap_err();
+        match &err {
+            EdgeListError::VertexIdOverflow { line, token } => {
+                assert_eq!(*line, 1);
+                assert_eq!(token, "4294967295");
+            }
+            other => panic!("expected overflow error, got {other}"),
+        }
+        assert!(err.to_string().contains("does not fit"));
+    }
+
+    #[test]
+    fn negative_and_single_token_rows_are_parse_errors() {
+        for (text, expect_line) in [("0 1\n-3 1\n", 2), ("5\n", 1), ("0 1\n# ok\n2\n", 3)] {
+            let err = read_edge_list(Cursor::new(text)).unwrap_err();
+            match err {
+                EdgeListError::Parse { line, .. } => assert_eq!(line, expect_line, "{text:?}"),
+                other => panic!("expected parse error for {text:?}, got {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_tokens_are_tolerated() {
+        // SNAP/Konect dumps often carry weights or timestamps per row.
+        let g = read_edge_list(Cursor::new("0 1 0.75\n1 2 1699999999 x\n")).unwrap();
+        assert_eq!(g.vertex_count(), 3);
+        assert_eq!(g.edge_count(), 2);
     }
 
     #[test]

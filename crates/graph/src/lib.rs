@@ -43,3 +43,21 @@ pub use traversal::{
 
 /// Sentinel distance meaning "unreachable / outside the search space".
 pub const INF_DIST: u32 = u32::MAX;
+
+// Concurrency audit: the batch executor in `spg-core` shares one `DiGraph`
+// across `std::thread::scope` workers and hands each worker private distance
+// / search-space buffers. Every one of these types is plain owned data
+// (`Vec`s, integers, hash maps keyed by ids) with no interior mutability, so
+// `Send + Sync` holds structurally; these compile-time asserts turn that
+// architectural assumption into a build error if a future refactor ever
+// introduces an `Rc`, `RefCell` or raw-pointer cache into the query inputs.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<DiGraph>();
+    assert_send_sync::<GraphBuilder>();
+    assert_send_sync::<EdgeSubgraph>();
+    assert_send_sync::<DistanceIndex>();
+    assert_send_sync::<FlatDistances>();
+    assert_send_sync::<SearchSpace>();
+    assert_send_sync::<SpaceScratch>();
+};

@@ -1,0 +1,308 @@
+//! Batch query-set generators for the parallel executor.
+//!
+//! "Batch Hop-Constrained s-t Simple Path Query Processing in Large Graphs"
+//! (Yuan et al.) argues that production workloads arrive as *batches* whose
+//! structure matters: hop constraints are mixed, endpoints are skewed towards
+//! hub accounts, and a large share of queries miss (no path within `k`).
+//! The uniform [`crate::reachable_queries`] workload exercises none of that,
+//! so this module adds three deterministic batch shapes — plus an
+//! invalid-query injector for testing the executor's per-slot error policy:
+//!
+//! * [`mixed_k_queries`] — reachable queries cycling through a list of hop
+//!   constraints, the shape the thread-scaling benchmarks drain;
+//! * [`skewed_queries`] — endpoints drawn from a small hot set of high
+//!   out-degree hubs with a configurable probability, stressing workspace
+//!   reuse under repeated large search spaces;
+//! * [`hit_miss_queries`] — a controlled ratio of feasible ("hit") and
+//!   infeasible-but-valid ("miss") queries, the cheap-query regime where
+//!   batch overhead dominates;
+//! * [`inject_invalid`] — replaces a deterministic subset of a batch with
+//!   malformed queries (`s == t`, endpoint out of range, `k == 0`) so error
+//!   slots land throughout a parallel run.
+//!
+//! All generators are deterministic in `(graph, arguments, seed)`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use spg_core::Query;
+use spg_graph::traversal::k_hop_reachable;
+use spg_graph::{DiGraph, VertexId};
+
+use crate::queries::QueryGenerator;
+
+/// Attempts per requested query before a draw is abandoned (matches
+/// [`QueryGenerator`]'s budget).
+const MAX_ATTEMPTS: usize = 400;
+
+/// Draws up to `count` reachable queries whose hop constraints cycle through
+/// `ks` in order (query `i` uses `ks[i % ks.len()]`). Draws that find no
+/// reachable pair for their `k` are skipped, so sparse graphs may return
+/// fewer queries.
+///
+/// # Panics
+/// Panics if `ks` is empty or contains a zero hop constraint.
+pub fn mixed_k_queries(graph: &DiGraph, count: usize, ks: &[u32], seed: u64) -> Vec<Query> {
+    assert!(!ks.is_empty(), "mixed_k_queries needs at least one k");
+    assert!(ks.iter().all(|&k| k > 0), "hop constraints must be ≥ 1");
+    let mut gen = QueryGenerator::new(graph, seed);
+    (0..count)
+        .filter_map(|i| gen.reachable_query(ks[i % ks.len()]))
+        .collect()
+}
+
+/// The `hot_set_size` vertices of highest out-degree (ties broken by vertex
+/// id, ascending), used as the skew target.
+fn hot_vertices(graph: &DiGraph, hot_set_size: usize) -> Vec<VertexId> {
+    let mut by_degree: Vec<VertexId> = graph.vertices().collect();
+    by_degree.sort_by_key(|&v| (std::cmp::Reverse(graph.out_degree(v)), v));
+    by_degree.truncate(hot_set_size.max(1));
+    by_degree
+}
+
+/// Draws up to `count` reachable queries with *skewed* endpoints: each
+/// endpoint is taken from the `hot_set_size` highest-out-degree vertices
+/// with probability `hot_fraction`, and uniformly otherwise. This mimics the
+/// hub concentration of transaction / social workloads, where a few accounts
+/// appear in most investigations.
+///
+/// # Panics
+/// Panics if `hot_fraction` is outside `[0, 1]` or `k == 0`.
+pub fn skewed_queries(
+    graph: &DiGraph,
+    count: usize,
+    k: u32,
+    hot_set_size: usize,
+    hot_fraction: f64,
+    seed: u64,
+) -> Vec<Query> {
+    assert!(
+        (0.0..=1.0).contains(&hot_fraction),
+        "hot_fraction must be a probability"
+    );
+    assert!(k > 0, "hop constraint must be ≥ 1");
+    let n = graph.vertex_count();
+    if n < 2 {
+        return Vec::new();
+    }
+    let hot = hot_vertices(graph, hot_set_size);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        for _ in 0..MAX_ATTEMPTS {
+            let pick = |rng: &mut StdRng| -> VertexId {
+                if rng.gen_bool(hot_fraction) {
+                    hot[rng.gen_range(0..hot.len())]
+                } else {
+                    rng.gen_range(0..n) as VertexId
+                }
+            };
+            let s = pick(&mut rng);
+            let t = pick(&mut rng);
+            if s == t || graph.out_degree(s) == 0 {
+                continue;
+            }
+            if k_hop_reachable(graph, s, t, k) {
+                out.push(Query::new(s, t, k));
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// Draws up to `count` *valid* queries of which roughly `hit_fraction` are
+/// feasible (`t` reachable from `s` within `k`) and the rest are guaranteed
+/// misses (`s ≠ t` but not k-hop-reachable — the query is well-formed and
+/// the answer is empty). Hits and misses are interleaved deterministically
+/// by an error-diffusion accumulator so any prefix of the batch keeps the
+/// ratio. Graphs without enough pairs of one kind return fewer queries.
+///
+/// # Panics
+/// Panics if `hit_fraction` is outside `[0, 1]` or `k == 0`.
+pub fn hit_miss_queries(
+    graph: &DiGraph,
+    count: usize,
+    k: u32,
+    hit_fraction: f64,
+    seed: u64,
+) -> Vec<Query> {
+    assert!(
+        (0.0..=1.0).contains(&hit_fraction),
+        "hit_fraction must be a probability"
+    );
+    assert!(k > 0, "hop constraint must be ≥ 1");
+    let n = graph.vertex_count();
+    if n < 2 {
+        return Vec::new();
+    }
+    let mut gen = QueryGenerator::new(graph, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xD1FF_BA7C);
+    let mut out = Vec::with_capacity(count);
+    let mut debt = 0.0f64;
+    for _ in 0..count {
+        debt += hit_fraction;
+        let want_hit = debt >= 1.0;
+        if want_hit {
+            debt -= 1.0;
+            if let Some(q) = gen.reachable_query(k) {
+                out.push(q);
+            }
+        } else {
+            for _ in 0..MAX_ATTEMPTS {
+                let s = rng.gen_range(0..n) as VertexId;
+                let t = rng.gen_range(0..n) as VertexId;
+                if s == t {
+                    continue;
+                }
+                if !k_hop_reachable(graph, s, t, k) {
+                    out.push(Query::new(s, t, k));
+                    break;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Replaces every `every`-th slot of `batch` (1-based: indices `every − 1`,
+/// `2·every − 1`, …) with an invalid query, cycling through the three
+/// rejection shapes `s == t`, target out of range and `k == 0`. Returns the
+/// number of slots replaced. Use this to test that a batch executor reports
+/// per-slot errors without disturbing its neighbours.
+///
+/// # Panics
+/// Panics if `every == 0`.
+pub fn inject_invalid(batch: &mut [Query], graph: &DiGraph, every: usize) -> usize {
+    assert!(every > 0, "inject_invalid needs a positive stride");
+    let n = graph.vertex_count() as VertexId;
+    let mut injected = 0usize;
+    for (i, slot) in batch.iter_mut().enumerate() {
+        if (i + 1) % every != 0 {
+            continue;
+        }
+        *slot = match injected % 3 {
+            0 => Query::new(0, 0, 3),
+            1 => Query::new(0, n + 7, 3),
+            _ => Query::new(0, 1.min(n.saturating_sub(1)), 0),
+        };
+        injected += 1;
+    }
+    injected
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spg_graph::generators::gnm_random;
+
+    fn graph() -> DiGraph {
+        gnm_random(300, 1800, 11)
+    }
+
+    #[test]
+    fn mixed_k_cycles_hop_constraints_deterministically() {
+        let g = graph();
+        let ks = [2u32, 4, 6];
+        let a = mixed_k_queries(&g, 30, &ks, 7);
+        let b = mixed_k_queries(&g, 30, &ks, 7);
+        assert_eq!(a, b);
+        assert!(a.len() >= 25, "most draws should succeed, got {}", a.len());
+        for q in &a {
+            assert!(ks.contains(&q.k));
+            assert!(k_hop_reachable(&g, q.source, q.target, q.k));
+        }
+        // All three constraints appear.
+        for k in ks {
+            assert!(a.iter().any(|q| q.k == k), "k={k} missing");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one k")]
+    fn mixed_k_rejects_empty_constraint_list() {
+        mixed_k_queries(&graph(), 5, &[], 1);
+    }
+
+    #[test]
+    fn skewed_queries_concentrate_on_the_hot_set() {
+        let g = graph();
+        let hot = hot_vertices(&g, 8);
+        let qs = skewed_queries(&g, 60, 4, 8, 0.9, 13);
+        assert!(qs.len() >= 50);
+        let hot_endpoints = qs
+            .iter()
+            .flat_map(|q| [q.source, q.target])
+            .filter(|v| hot.contains(v))
+            .count();
+        // With 90% hot probability, well over half of the 2·|qs| endpoints
+        // must be hubs (uniform drawing would hit the 8-vertex hot set ~3%
+        // of the time).
+        assert!(
+            hot_endpoints > qs.len(),
+            "only {hot_endpoints} hot endpoints in {} queries",
+            qs.len()
+        );
+        for q in &qs {
+            assert_ne!(q.source, q.target);
+            assert!(k_hop_reachable(&g, q.source, q.target, q.k));
+        }
+        // Determinism and zero-skew degenerate case.
+        assert_eq!(qs, skewed_queries(&g, 60, 4, 8, 0.9, 13));
+        let uniform = skewed_queries(&g, 20, 4, 8, 0.0, 13);
+        assert!(!uniform.is_empty());
+    }
+
+    #[test]
+    fn hit_miss_ratio_is_respected() {
+        let g = graph();
+        let k = 3u32;
+        let qs = hit_miss_queries(&g, 40, k, 0.5, 99);
+        assert!(qs.len() >= 30);
+        let hits = qs
+            .iter()
+            .filter(|q| k_hop_reachable(&g, q.source, q.target, k))
+            .count();
+        let misses = qs.len() - hits;
+        assert!(hits > 0 && misses > 0);
+        // Error diffusion keeps the ratio within one query of the target.
+        assert!(
+            (hits as i64 - misses as i64).unsigned_abs() as usize <= 1 + (40 - qs.len()),
+            "hits {hits} vs misses {misses}"
+        );
+        // Every miss is still a *valid* query on this graph.
+        for q in &qs {
+            assert!(q.validate(&g).is_ok());
+        }
+        assert_eq!(qs, hit_miss_queries(&g, 40, k, 0.5, 99));
+        // All-hit and all-miss extremes.
+        assert!(hit_miss_queries(&g, 10, k, 1.0, 5)
+            .iter()
+            .all(|q| k_hop_reachable(&g, q.source, q.target, k)));
+        assert!(hit_miss_queries(&g, 10, k, 0.0, 5)
+            .iter()
+            .all(|q| !k_hop_reachable(&g, q.source, q.target, k)));
+    }
+
+    #[test]
+    fn inject_invalid_replaces_every_nth_slot() {
+        let g = graph();
+        let mut batch = mixed_k_queries(&g, 20, &[4], 3);
+        let len = batch.len();
+        let injected = inject_invalid(&mut batch, &g, 4);
+        assert_eq!(injected, len / 4);
+        let invalid = batch.iter().filter(|q| q.validate(&g).is_err()).count();
+        assert_eq!(invalid, injected);
+        // The non-injected slots are untouched and still valid.
+        for (i, q) in batch.iter().enumerate() {
+            if (i + 1) % 4 != 0 {
+                assert!(q.validate(&g).is_ok(), "slot {i} was disturbed");
+            }
+        }
+        // All three rejection shapes occur once the batch is long enough.
+        let mut big = mixed_k_queries(&g, 30, &[4], 3);
+        inject_invalid(&mut big, &g, 2);
+        let errors: Vec<_> = big.iter().filter_map(|q| q.validate(&g).err()).collect();
+        assert!(errors.len() >= 3);
+    }
+}

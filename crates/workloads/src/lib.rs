@@ -7,15 +7,20 @@
 //! * [`queries`] — random k-hop-reachable query generation (1000 queries per
 //!   graph and `k` in the paper) and distance-bucketed queries for
 //!   Figure 10(b);
+//! * [`batch`] — batch-shaped query sets (mixed hop constraints, hub-skewed
+//!   endpoints, hit/miss mixes, invalid-slot injection) for the parallel
+//!   batch executor;
 //! * [`fraud`] — the transaction-network fraud investigation of the §6.9 case
 //!   study, run end-to-end through EVE.
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod datasets;
 pub mod fraud;
 pub mod queries;
 
+pub use batch::{hit_miss_queries, inject_invalid, mixed_k_queries, skewed_queries};
 pub use datasets::{
     dataset_by_code, headline_datasets, DatasetScale, DatasetSpec, GraphFamily, DATASETS,
 };

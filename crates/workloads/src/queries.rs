@@ -33,36 +33,35 @@ impl<'g> QueryGenerator<'g> {
         }
     }
 
+    /// Draws one random query `⟨s, t, k⟩` with `s ≠ t` and `t` reachable
+    /// from `s` within `k` hops, or `None` if no reachable pair was found
+    /// within the attempt budget.
+    pub fn reachable_query(&mut self, k: u32) -> Option<Query> {
+        let n = self.graph.vertex_count();
+        if n < 2 {
+            return None;
+        }
+        for _ in 0..self.max_attempts_per_query {
+            let s = self.rng.gen_range(0..n) as VertexId;
+            if self.graph.out_degree(s) == 0 {
+                continue;
+            }
+            let t = self.rng.gen_range(0..n) as VertexId;
+            if s == t {
+                continue;
+            }
+            if k_hop_reachable(self.graph, s, t, k) {
+                return Some(Query::new(s, t, k));
+            }
+        }
+        None
+    }
+
     /// Draws up to `count` random queries `⟨s, t, k⟩` with `s ≠ t` and `t`
     /// reachable from `s` within `k` hops. Fewer queries are returned when
     /// the graph does not contain enough reachable pairs.
     pub fn reachable_queries(&mut self, count: usize, k: u32) -> Vec<Query> {
-        let n = self.graph.vertex_count();
-        let mut out = Vec::with_capacity(count);
-        if n < 2 {
-            return out;
-        }
-        for _ in 0..count {
-            let mut found = None;
-            for _ in 0..self.max_attempts_per_query {
-                let s = self.rng.gen_range(0..n) as VertexId;
-                if self.graph.out_degree(s) == 0 {
-                    continue;
-                }
-                let t = self.rng.gen_range(0..n) as VertexId;
-                if s == t {
-                    continue;
-                }
-                if k_hop_reachable(self.graph, s, t, k) {
-                    found = Some(Query::new(s, t, k));
-                    break;
-                }
-            }
-            if let Some(q) = found {
-                out.push(q);
-            }
-        }
-        out
+        (0..count).filter_map(|_| self.reachable_query(k)).collect()
     }
 
     /// Draws up to `count` queries whose *exact* shortest distance `Δ(s, t)`

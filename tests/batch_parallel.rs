@@ -1,0 +1,156 @@
+//! Differential property tests for the parallel [`BatchExecutor`].
+//!
+//! The contract under test: at every thread count, `BatchExecutor::run`
+//! produces a result vector *bit-identical* to answering each query
+//! sequentially on a fresh workspace — same edges per `Ok` slot, same
+//! `QueryError` per `Err` slot, in input order. Batches deliberately mix
+//! hop constraints, shuffled endpoints, huge clamped `k`s and malformed
+//! queries so error slots land on arbitrary workers mid-chunk.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use hop_spg::eve::{BatchExecutor, Eve, Query};
+use hop_spg::graph::DiGraph;
+use hop_spg::workloads::{inject_invalid, mixed_k_queries};
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Strategy: a small random digraph plus a raw query batch that includes
+/// invalid shapes (s == t, endpoints past the vertex range, k == 0) and
+/// occasionally a clamp-stressing huge k.
+fn graph_and_batch() -> impl Strategy<Value = (DiGraph, Vec<Query>)> {
+    (4usize..16).prop_flat_map(|n| {
+        let edges = vec((0..n as u32, 0..n as u32), 0..(4 * n));
+        // Endpoints range two past the vertex count and k may be 0: both
+        // invalid shapes must surface as per-slot errors, not disturbances.
+        let queries = vec((0..n as u32 + 2, 0..n as u32 + 2, 0u32..10), 1..24);
+        (edges, queries).prop_map(move |(edges, qs)| {
+            let g = DiGraph::from_edges(n, edges);
+            let batch: Vec<Query> = qs
+                .into_iter()
+                .enumerate()
+                .map(|(i, (s, t, k))| {
+                    // Every seventh query stresses the entry-point clamp.
+                    let k = if i % 7 == 3 { u32::MAX - k } else { k };
+                    Query::new(s, t, k)
+                })
+                .collect();
+            (g, batch)
+        })
+    })
+}
+
+/// Sequential ground truth: a fresh workspace per query.
+fn sequential_fresh(eve: &Eve<'_>, batch: &[Query]) -> Vec<Result<Vec<(u32, u32)>, String>> {
+    batch
+        .iter()
+        .map(|&q| {
+            eve.query(q)
+                .map(|spg| spg.edges().to_vec())
+                .map_err(|e| e.to_string())
+        })
+        .collect()
+}
+
+fn assert_matches_sequential(
+    eve: &Eve<'_>,
+    batch: &[Query],
+    expected: &[Result<Vec<(u32, u32)>, String>],
+    threads: usize,
+) -> Result<(), String> {
+    let outcome = BatchExecutor::new(threads).run_detailed(eve, batch);
+    prop_assert_eq!(outcome.results.len(), expected.len());
+    let mut errors = 0usize;
+    for (i, (got, exp)) in outcome.results.iter().zip(expected).enumerate() {
+        match (got, exp) {
+            (Ok(spg), Ok(edges)) => {
+                prop_assert!(
+                    spg.edges() == edges.as_slice(),
+                    "slot {i} threads {threads}: {:?} != {:?}",
+                    spg.edges(),
+                    edges
+                );
+            }
+            (Err(e), Err(msg)) => {
+                errors += 1;
+                prop_assert!(
+                    &e.to_string() == msg,
+                    "slot {i} threads {threads}: {e} != {msg}"
+                );
+            }
+            _ => prop_assert!(false, "slot {i} threads {threads}: Ok/Err mismatch"),
+        }
+    }
+    prop_assert_eq!(outcome.stats.errors, errors);
+    prop_assert_eq!(outcome.stats.queries(), batch.len());
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The executor is bit-identical to sequential fresh-workspace queries
+    /// at 1, 2, 4 and 8 threads, including error slots.
+    #[test]
+    fn parallel_batches_match_sequential((g, batch) in graph_and_batch()) {
+        let eve = Eve::with_defaults(&g);
+        let expected = sequential_fresh(&eve, &batch);
+        for threads in THREAD_COUNTS {
+            assert_matches_sequential(&eve, &batch, &expected, threads)?;
+        }
+    }
+
+    /// `Eve::query_batch` (one reused workspace, sequential) agrees with the
+    /// executor slot-for-slot as well — the two public batch entry points
+    /// can never drift apart.
+    #[test]
+    fn query_batch_agrees_with_executor((g, batch) in graph_and_batch()) {
+        let eve = Eve::with_defaults(&g);
+        let sequential = eve.query_batch(&batch);
+        let parallel = BatchExecutor::new(4).run(&eve, &batch);
+        for (i, (s, p)) in sequential.iter().zip(&parallel).enumerate() {
+            match (s, p) {
+                (Ok(a), Ok(b)) => prop_assert!(a.edges() == b.edges(), "slot {i} differs"),
+                (Err(a), Err(b)) => prop_assert!(a == b, "slot {i} differs"),
+                _ => prop_assert!(false, "slot {i}: Ok/Err mismatch"),
+            }
+        }
+    }
+}
+
+/// Deterministic large-batch check on a realistic graph: a 300-vertex gnm
+/// batch with every fifth slot replaced by an invalid query, compared across
+/// all thread counts and small chunk sizes (so chunk boundaries fall inside
+/// error runs).
+#[test]
+fn large_mixed_batch_with_error_slots() {
+    let g = hop_spg::graph::generators::gnm_random(300, 1500, 77);
+    let eve = Eve::with_defaults(&g);
+    let mut batch = mixed_k_queries(&g, 120, &[2, 4, 6, 8], 0xBA7C);
+    let injected = inject_invalid(&mut batch, &g, 5);
+    assert!(injected > 0);
+    let expected: Vec<_> = batch.iter().map(|&q| eve.query(q)).collect();
+
+    for threads in THREAD_COUNTS {
+        for chunk in [0usize, 1, 3] {
+            let mut executor = BatchExecutor::new(threads);
+            if chunk > 0 {
+                executor = executor.chunk_size(chunk);
+            }
+            let outcome = executor.run_detailed(&eve, &batch);
+            assert_eq!(outcome.stats.errors, injected);
+            for (i, (got, exp)) in outcome.results.iter().zip(&expected).enumerate() {
+                match (got, exp) {
+                    (Ok(a), Ok(b)) => assert_eq!(
+                        a.edges(),
+                        b.edges(),
+                        "slot {i} threads {threads} chunk {chunk}"
+                    ),
+                    (Err(a), Err(b)) => assert_eq!(a, b),
+                    other => panic!("slot {i}: Ok/Err mismatch {other:?}"),
+                }
+            }
+        }
+    }
+}
