@@ -1,42 +1,57 @@
 //! Perf trajectory tooling: runs a fixed query suite and writes a
-//! machine-readable `BENCH_3.json` snapshot so successive PRs can track the
-//! hot-path numbers in version control. Two sections per suite:
+//! machine-readable `BENCH_4.json` snapshot so successive PRs can track the
+//! hot-path numbers in version control. Three sections per suite:
 //!
 //! * **variants** — per-query median latency of the legacy hash-map pipeline
 //!   (`query_reference`), the flat pipeline on a fresh workspace (`query`)
 //!   and the flat pipeline on one warm workspace (`query_with`), plus
 //!   per-phase ns, edges/sec and workspace bytes (the PR-2 trajectory);
 //! * **thread_scaling** — whole-batch wall time of `BatchExecutor::run` at
-//!   1 / 2 / 4 / 8 threads against the same warm sequential batch, with
-//!   queries/sec and speedup vs the single-thread executor (the PR-3
-//!   trajectory). Every parallel run is checked slot-for-slot against the
-//!   sequential answers before its timing is recorded.
+//!   each thread count of the ladder (default 1/2/4/8, overridable with
+//!   `--threads`) against the same warm sequential batch, with queries/sec
+//!   and speedup vs the single-thread executor (the PR-3 trajectory). Every
+//!   parallel run is checked slot-for-slot against the sequential answers
+//!   before its timing is recorded;
+//! * **cache** — the versioned result cache over a repeat-heavy hot-key
+//!   batch: cold wall time (empty cache, misses compute-then-publish) vs a
+//!   warm rerun of the same batch (all hits skip phases 1–3), with intra-
+//!   batch and warm hit rates, eviction counts and resident bytes (the PR-4
+//!   trajectory). Every cached run — cold and warm — is verified
+//!   slot-for-slot against the uncached pipeline before timing is recorded.
 //!
 //! Usage: `cargo run --release -p spg-bench --bin bench_json -- \
-//!     [--out BENCH_3.json] [--queries 64] [--repeats 5] [--smoke]`
+//!     [--out BENCH_4.json] [--queries 64] [--repeats 5] \
+//!     [--threads 1,2,4,8] [--smoke]`
 //!
 //! `--smoke` shrinks the suites to a tiny graph, restricts thread scaling to
 //! 2 threads and 1 repeat, and is what CI runs to keep the JSON emitter and
-//! the parallel path honest without a statistically meaningful measurement.
+//! the parallel/cached paths honest without a statistically meaningful
+//! measurement. `--threads` overrides the ladder in both modes.
 
 use std::time::{Duration, Instant};
 
-use spg_core::{BatchExecutor, Eve, PhaseTimings, Query, QueryWorkspace};
+use spg_core::{BatchExecutor, CachedEve, Eve, PhaseTimings, Query, QueryWorkspace, SpgCache};
 use spg_graph::generators::{gnm_random, TransactionGraph, TransactionGraphConfig};
-use spg_graph::DiGraph;
-use spg_workloads::reachable_queries;
+use spg_graph::{DiGraph, VersionedGraph};
+use spg_workloads::{reachable_queries, repeat_heavy_queries, skewed_queries};
+
+/// Byte budget of the benchmark cache: ample for the suites, so the warm
+/// rerun measures pure hit latency rather than eviction churn.
+const CACHE_BUDGET_BYTES: usize = 64 << 20;
 
 struct Args {
     out: String,
     queries: usize,
     repeats: usize,
+    threads: Option<Vec<usize>>,
     smoke: bool,
 }
 
 fn parse_args() -> Args {
-    let mut out = "BENCH_3.json".to_string();
+    let mut out = "BENCH_4.json".to_string();
     let mut queries = 64usize;
     let mut repeats = 5usize;
+    let mut threads: Option<Vec<usize>> = None;
     let mut smoke = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -54,6 +69,19 @@ fn parse_args() -> Args {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage("--repeats needs a number"))
             }
+            "--threads" => {
+                let spec = args
+                    .next()
+                    .unwrap_or_else(|| usage("--threads needs N or N,N,..."));
+                let ladder: Option<Vec<usize>> = spec
+                    .split(',')
+                    .map(|part| part.trim().parse::<usize>().ok().filter(|&n| n > 0))
+                    .collect();
+                match ladder {
+                    Some(l) if !l.is_empty() => threads = Some(l),
+                    _ => usage("--threads needs positive numbers, e.g. 1,2,4"),
+                }
+            }
             "--smoke" => smoke = true,
             other => usage(&format!("unknown argument {other}")),
         }
@@ -66,13 +94,14 @@ fn parse_args() -> Args {
         out,
         queries,
         repeats: repeats.max(1),
+        threads,
         smoke,
     }
 }
 
 fn usage(message: &str) -> ! {
     eprintln!("{message}");
-    eprintln!("options: --out PATH | --queries N | --repeats R | --smoke");
+    eprintln!("options: --out PATH | --queries N | --repeats R | --threads N[,N...] | --smoke");
     std::process::exit(2);
 }
 
@@ -108,7 +137,7 @@ struct ThreadScale {
     threads: usize,
     batch_median_ns: u64,
     queries_per_sec: f64,
-    speedup_vs_1: f64,
+    speedup_vs_first: f64,
 }
 
 /// Whole-batch wall time of the executor at each thread count, median over
@@ -143,7 +172,7 @@ fn thread_scaling(
             threads,
             batch_median_ns: median,
             queries_per_sec: qps,
-            speedup_vs_1: speedup,
+            speedup_vs_first: speedup,
         });
     }
     rows
@@ -156,8 +185,105 @@ fn verify(results: &[spg_core::BatchResult], expected: &[Vec<(u32, u32)>], threa
         assert_eq!(
             got.edges(),
             exp.as_slice(),
-            "thread-scaling slot {i} diverged at {threads} threads"
+            "slot {i} diverged at {threads} threads"
         );
+    }
+}
+
+struct CacheBench {
+    batch: &'static str,
+    batch_len: usize,
+    unique_queries: usize,
+    cold_batch_ns: u64,
+    warm_batch_ns: u64,
+    warm_speedup_vs_cold: f64,
+    cold_hit_rate: f64,
+    warm_hit_rate: f64,
+    evictions: u64,
+    resident_entries: usize,
+    resident_bytes: usize,
+    budget_bytes: usize,
+}
+
+/// Cold-vs-warm wall time of the cached sequential batch path over one
+/// batch shape. Cold repeats clear the cache first; warm repeats rerun the
+/// identical batch on the populated cache (all hits). Every run — cold and
+/// warm — is verified slot-for-slot against the uncached pipeline before
+/// its timing counts.
+///
+/// Two shapes are measured per suite: `repeat_heavy` (exact hot-key
+/// repeats — high intra-batch hit rate even cold) and `skewed` (hub-skewed
+/// endpoints, few exact repeats — cold is honest miss-dominated work and
+/// only the warm rerun pays off).
+fn cache_bench(
+    vg: &VersionedGraph,
+    shape: &'static str,
+    repeats: usize,
+    smoke: bool,
+) -> CacheBench {
+    let count = if smoke { 48 } else { 512 };
+    let unique = if smoke { 8 } else { 32 };
+    let batch = match shape {
+        "repeat_heavy" => repeat_heavy_queries(vg.graph(), count, &[4, 6], unique, 0.7, 0xCACE),
+        "skewed" => skewed_queries(vg.graph(), count.min(128), 6, 16, 0.8, 0x5EED),
+        other => unreachable!("unknown cache batch shape {other}"),
+    };
+    assert!(!batch.is_empty(), "cache workload generation failed");
+    let mut distinct: Vec<Query> = batch.clone();
+    distinct.sort_unstable_by_key(|q| (q.source, q.target, q.k));
+    distinct.dedup();
+
+    let eve = Eve::with_defaults(vg.graph());
+    let expected: Vec<Vec<(u32, u32)>> = {
+        let mut ws = QueryWorkspace::new();
+        batch
+            .iter()
+            .map(|&q| eve.query_with(&mut ws, q).unwrap().edges().to_vec())
+            .collect()
+    };
+
+    let cache = SpgCache::new(CACHE_BUDGET_BYTES);
+    let cached = CachedEve::with_defaults(vg, &cache);
+    let executor = BatchExecutor::new(1);
+
+    let mut cold_samples = Vec::with_capacity(repeats);
+    let mut cold_hit_rate = 0.0;
+    for _ in 0..repeats {
+        cache.clear();
+        let start = Instant::now();
+        let outcome = executor.run_cached_detailed(&cached, &batch);
+        cold_samples.push(start.elapsed().as_nanos() as u64);
+        verify(&outcome.results, &expected, 1);
+        cold_hit_rate = outcome.stats.cache_hit_rate().unwrap_or(0.0);
+    }
+
+    // The last cold run left the cache fully populated: warm reruns.
+    let mut warm_samples = Vec::with_capacity(repeats);
+    let mut warm_hit_rate = 0.0;
+    for _ in 0..repeats {
+        let start = Instant::now();
+        let outcome = executor.run_cached_detailed(&cached, &batch);
+        warm_samples.push(start.elapsed().as_nanos() as u64);
+        verify(&outcome.results, &expected, 1);
+        warm_hit_rate = outcome.stats.cache_hit_rate().unwrap_or(0.0);
+    }
+
+    let cold = median_ns(&mut cold_samples);
+    let warm = median_ns(&mut warm_samples);
+    let stats = cache.stats();
+    CacheBench {
+        batch: shape,
+        batch_len: batch.len(),
+        unique_queries: distinct.len(),
+        cold_batch_ns: cold,
+        warm_batch_ns: warm,
+        warm_speedup_vs_cold: cold as f64 / warm.max(1) as f64,
+        cold_hit_rate,
+        warm_hit_rate,
+        evictions: stats.evictions,
+        resident_entries: stats.entries,
+        resident_bytes: stats.bytes,
+        budget_bytes: stats.budget_bytes,
     }
 }
 
@@ -174,12 +300,14 @@ struct SuiteResult {
     queries_per_sec_warm: f64,
     peak_workspace_bytes: usize,
     scaling: Vec<ThreadScale>,
+    cache: Vec<CacheBench>,
 }
 
 fn run_suite(name: &'static str, g: DiGraph, args: &Args, thread_counts: &[usize]) -> SuiteResult {
-    let queries = reachable_queries(&g, args.queries, 6, 0x5EED);
+    let vg = VersionedGraph::new(g);
+    let queries = reachable_queries(vg.graph(), args.queries, 6, 0x5EED);
     assert!(!queries.is_empty(), "{name}: workload generation failed");
-    let eve = Eve::with_defaults(&g);
+    let eve = Eve::with_defaults(vg.graph());
 
     // Warm-up: touch every query once per variant so first-fault effects
     // (lazy page zeroing, branch predictors) do not skew the first samples.
@@ -219,12 +347,16 @@ fn run_suite(name: &'static str, g: DiGraph, args: &Args, thread_counts: &[usize
     phase.verification /= nq;
 
     let scaling = thread_scaling(&eve, &queries, thread_counts, args.repeats, &expected);
+    let cache = ["repeat_heavy", "skewed"]
+        .into_iter()
+        .map(|shape| cache_bench(&vg, shape, args.repeats, args.smoke))
+        .collect();
 
     let warm_secs = warm_total.as_secs_f64().max(1e-12);
     SuiteResult {
         name,
-        vertices: g.vertex_count(),
-        edges: g.edge_count(),
+        vertices: vg.vertex_count(),
+        edges: vg.edge_count(),
         query_count: queries.len(),
         legacy_median_ns: median_ns(&mut legacy),
         cold_median_ns: median_ns(&mut cold),
@@ -234,11 +366,12 @@ fn run_suite(name: &'static str, g: DiGraph, args: &Args, thread_counts: &[usize
         queries_per_sec_warm: (queries.len() * args.repeats) as f64 / warm_secs,
         peak_workspace_bytes: ws.retained_bytes(),
         scaling,
+        cache,
     }
 }
 
 fn render_json(results: &[SuiteResult]) -> String {
-    let mut out = String::from("{\n  \"bench\": 3,\n  \"suite_k\": 6,\n  \"suites\": [\n");
+    let mut out = String::from("{\n  \"bench\": 4,\n  \"suite_k\": 6,\n  \"suites\": [\n");
     for (i, r) in results.iter().enumerate() {
         let speedup = r.legacy_median_ns as f64 / r.warm_median_ns.max(1) as f64;
         out.push_str(&format!(
@@ -284,8 +417,42 @@ fn render_json(results: &[SuiteResult]) -> String {
                 s.threads,
                 s.batch_median_ns,
                 s.queries_per_sec,
-                s.speedup_vs_1,
+                s.speedup_vs_first,
                 if j + 1 < r.scaling.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("      ],\n      \"cache\": [\n");
+        for (j, c) in r.cache.iter().enumerate() {
+            out.push_str(&format!(
+                concat!(
+                    "        {{\n",
+                    "          \"batch\": \"{}\",\n",
+                    "          \"queries\": {},\n",
+                    "          \"unique_queries\": {},\n",
+                    "          \"cold_batch_ns\": {},\n",
+                    "          \"warm_batch_ns\": {},\n",
+                    "          \"warm_speedup_vs_cold\": {:.2},\n",
+                    "          \"cold_hit_rate\": {:.3},\n",
+                    "          \"warm_hit_rate\": {:.3},\n",
+                    "          \"evictions\": {},\n",
+                    "          \"resident_entries\": {},\n",
+                    "          \"resident_bytes\": {},\n",
+                    "          \"budget_bytes\": {}\n",
+                    "        }}{}\n",
+                ),
+                c.batch,
+                c.batch_len,
+                c.unique_queries,
+                c.cold_batch_ns,
+                c.warm_batch_ns,
+                c.warm_speedup_vs_cold,
+                c.cold_hit_rate,
+                c.warm_hit_rate,
+                c.evictions,
+                c.resident_entries,
+                c.resident_bytes,
+                c.budget_bytes,
+                if j + 1 < r.cache.len() { "," } else { "" },
             ));
         }
         out.push_str(&format!(
@@ -299,9 +466,9 @@ fn render_json(results: &[SuiteResult]) -> String {
 
 fn main() {
     let args = parse_args();
-    let (gnm, txn, thread_counts): (DiGraph, DiGraph, &[usize]) = if args.smoke {
+    let (gnm, txn, default_threads): (DiGraph, DiGraph, &[usize]) = if args.smoke {
         // Tiny deterministic graphs: the smoke run exists to exercise the
-        // parallel path (2 workers) and the JSON emitter, not to measure.
+        // parallel + cached paths and the JSON emitter, not to measure.
         let gnm = gnm_random(200, 1_000, 7);
         let txn = TransactionGraph::generate(TransactionGraphConfig {
             accounts: 150,
@@ -320,10 +487,14 @@ fn main() {
         .full_graph();
         (gnm, txn, &[1, 2, 4, 8])
     };
+    let thread_counts: Vec<usize> = args
+        .threads
+        .clone()
+        .unwrap_or_else(|| default_threads.to_vec());
 
     let results = vec![
-        run_suite("gnm", gnm, &args, thread_counts),
-        run_suite("transaction", txn, &args, thread_counts),
+        run_suite("gnm", gnm, &args, &thread_counts),
+        run_suite("transaction", txn, &args, &thread_counts),
     ];
     for r in &results {
         eprintln!(
@@ -337,8 +508,22 @@ fn main() {
         );
         for s in &r.scaling {
             eprintln!(
-                "{}: {} threads -> batch {} ns, {:.0} q/s, {:.2}x vs 1 thread",
-                r.name, s.threads, s.batch_median_ns, s.queries_per_sec, s.speedup_vs_1,
+                "{}: {} threads -> batch {} ns, {:.0} q/s, {:.2}x vs first ladder entry",
+                r.name, s.threads, s.batch_median_ns, s.queries_per_sec, s.speedup_vs_first,
+            );
+        }
+        for c in &r.cache {
+            eprintln!(
+                "{}: cache[{}] cold {} ns -> warm {} ns ({:.2}x), hit rate {:.1}% cold / {:.1}% warm, {} entries, {} bytes",
+                r.name,
+                c.batch,
+                c.cold_batch_ns,
+                c.warm_batch_ns,
+                c.warm_speedup_vs_cold,
+                100.0 * c.cold_hit_rate,
+                100.0 * c.warm_hit_rate,
+                c.resident_entries,
+                c.resident_bytes,
             );
         }
     }

@@ -1,0 +1,875 @@
+//! Versioned result cache for hot `(s, t, k)` queries.
+//!
+//! Fraud and investigation workloads repeat a small set of hot `(s, t, k)`
+//! triples (the hub skew `spg_workloads::batch::skewed_queries` models), and
+//! the batch-query literature (Yuan et al., *Batch Hop-Constrained s-t
+//! Simple Path Query Processing in Large Graphs*) identifies inter-query
+//! overlap as the next win after per-query optimisation. [`SpgCache`] is a
+//! memoising layer over [`SimplePathGraph`] answers that is **provably
+//! invisible**:
+//!
+//! * **Keying** — entries are keyed by `(graph version, s, t, clamped k)`.
+//!   The version comes from [`VersionedGraph`]: a process-unique monotone
+//!   stamp per graph snapshot, so a stale entry is *unreachable* (its key can
+//!   never be constructed again) rather than merely expired, and one shared
+//!   cache can serve many graphs at once. `k` is stored clamped to
+//!   `min(k, n − 1)` ([`Query::clamped_to`]) exactly as the pipeline
+//!   executes it, so `k = u32::MAX` and `k = n − 1` share one entry.
+//! * **Bit-identity** — a hit returns a clone of the stored answer, which was
+//!   produced by the deterministic EVE pipeline; edges, upper-bound counts
+//!   and every other stats-relevant field match an uncached run exactly
+//!   (`tests/cache_differential.rs` proves this property end to end).
+//!   Validation errors are never cached: [`CachedEve`] validates before the
+//!   lookup, so per-slot error behaviour is untouched.
+//! * **Bounded memory** — the cache is a sharded (lock-striped) LRU with a
+//!   byte budget. Each shard owns `budget / shards` bytes and evicts its
+//!   least-recently-used entries until it fits, so the global footprint never
+//!   exceeds the budget after any insert/evict sequence. Entry cost is fed by
+//!   the pipeline's [`MemoryEstimate`] (the recorded answer footprint) plus
+//!   fixed per-entry overhead.
+//!
+//! Concurrent readers/writers take one shard mutex per operation; counters
+//! are atomics shared by all shards. A miss computes outside any lock and
+//! then publishes (`compute-then-publish`), so two threads racing on the same
+//! key at worst compute the answer twice and publish identical values —
+//! never a torn entry.
+
+use std::mem;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use spg_graph::hash::{FxHashMap, FxHasher};
+use spg_graph::{GraphVersion, VersionedGraph, VertexId};
+
+use crate::eve::{Eve, EveConfig};
+use crate::query::{Query, QueryError};
+use crate::spg::SimplePathGraph;
+use crate::workspace::QueryWorkspace;
+
+/// Slab-index sentinel terminating the intrusive LRU list.
+const NIL: u32 = u32::MAX;
+
+/// Cache key: one graph snapshot plus one clamped query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct CacheKey {
+    version: GraphVersion,
+    source: VertexId,
+    target: VertexId,
+    k: u32,
+}
+
+impl CacheKey {
+    fn new(version: GraphVersion, query: Query) -> Self {
+        CacheKey {
+            version,
+            source: query.source,
+            target: query.target,
+            k: query.k,
+        }
+    }
+
+    fn hash64(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = FxHasher::default();
+        self.hash(&mut h);
+        h.finish()
+    }
+}
+
+/// One cached answer inside a shard's slab, threaded on the LRU list.
+/// `value` is `None` only while the slot sits on the free list. Answers are
+/// held behind an [`Arc`] so the shard lock is only ever held for O(1)
+/// pointer work — the deep copy a hit hands out happens outside the lock.
+#[derive(Debug, Clone)]
+struct Slot {
+    key: CacheKey,
+    value: Option<Arc<SimplePathGraph>>,
+    cost: usize,
+    /// Towards most-recently-used.
+    prev: u32,
+    /// Towards least-recently-used.
+    next: u32,
+}
+
+/// One lock stripe: an index map plus a slab-backed intrusive LRU list.
+#[derive(Debug, Default)]
+struct Shard {
+    map: FxHashMap<CacheKey, u32>,
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    /// Most-recently-used slot (`NIL` when empty).
+    head: u32,
+    /// Least-recently-used slot (`NIL` when empty).
+    tail: u32,
+    /// Sum of slot costs currently held.
+    bytes: usize,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Shard {
+            head: NIL,
+            tail: NIL,
+            ..Shard::default()
+        }
+    }
+
+    fn unlink(&mut self, idx: u32) {
+        let (prev, next) = {
+            let s = &self.slots[idx as usize];
+            (s.prev, s.next)
+        };
+        match prev {
+            NIL => self.head = next,
+            p => self.slots[p as usize].next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.slots[n as usize].prev = prev,
+        }
+    }
+
+    fn push_front(&mut self, idx: u32) {
+        {
+            let s = &mut self.slots[idx as usize];
+            s.prev = NIL;
+            s.next = self.head;
+        }
+        match self.head {
+            NIL => self.tail = idx,
+            h => self.slots[h as usize].prev = idx,
+        }
+        self.head = idx;
+    }
+
+    fn touch(&mut self, idx: u32) {
+        if self.head != idx {
+            self.unlink(idx);
+            self.push_front(idx);
+        }
+    }
+
+    /// Removes the least-recently-used entry, returning its cost.
+    fn evict_tail(&mut self) -> usize {
+        let idx = self.tail;
+        debug_assert_ne!(idx, NIL, "evict_tail on an empty shard");
+        self.unlink(idx);
+        let slot = &mut self.slots[idx as usize];
+        let cost = slot.cost;
+        // Drop the answer now; only the slab slot itself is recycled.
+        slot.value = None;
+        let key = slot.key;
+        self.map.remove(&key);
+        self.free.push(idx);
+        self.bytes -= cost;
+        cost
+    }
+
+    /// Inserts or refreshes `key` (the value's deep copy was made by the
+    /// caller outside the lock; only O(1) `Arc` clones happen here).
+    /// Returns the number of evictions performed to fit the shard budget,
+    /// or `None` if the entry alone exceeds it.
+    fn insert(
+        &mut self,
+        key: CacheKey,
+        value: &Arc<SimplePathGraph>,
+        budget: usize,
+    ) -> Option<usize> {
+        let cost = entry_cost(value);
+        if cost > budget {
+            return None;
+        }
+        if let Some(&idx) = self.map.get(&key) {
+            // Replace in place (identical answer by determinism, but honour
+            // the newest value and cost anyway) and refresh recency.
+            let old_cost = self.slots[idx as usize].cost;
+            self.slots[idx as usize].value = Some(Arc::clone(value));
+            self.slots[idx as usize].cost = cost;
+            self.bytes = self.bytes - old_cost + cost;
+            self.touch(idx);
+        } else {
+            let idx = match self.free.pop() {
+                Some(idx) => {
+                    let slot = &mut self.slots[idx as usize];
+                    slot.key = key;
+                    slot.value = Some(Arc::clone(value));
+                    slot.cost = cost;
+                    idx
+                }
+                None => {
+                    let idx = self.slots.len() as u32;
+                    self.slots.push(Slot {
+                        key,
+                        value: Some(Arc::clone(value)),
+                        cost,
+                        prev: NIL,
+                        next: NIL,
+                    });
+                    idx
+                }
+            };
+            self.map.insert(key, idx);
+            self.bytes += cost;
+            self.push_front(idx);
+        }
+        let mut evictions = 0;
+        while self.bytes > budget {
+            self.evict_tail();
+            evictions += 1;
+        }
+        Some(evictions)
+    }
+
+    /// O(1) under the lock: recency bump plus an `Arc` clone.
+    fn get(&mut self, key: &CacheKey) -> Option<Arc<SimplePathGraph>> {
+        let idx = *self.map.get(key)?;
+        self.touch(idx);
+        Some(
+            self.slots[idx as usize]
+                .value
+                .clone()
+                .expect("a mapped slot always holds a value"),
+        )
+    }
+
+    /// Drops every entry whose version differs from `keep`, returning the
+    /// number removed.
+    fn purge_other_versions(&mut self, keep: GraphVersion) -> usize {
+        let stale: Vec<u32> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter(|(idx, s)| {
+                s.key.version != keep && self.map.get(&s.key) == Some(&(*idx as u32))
+            })
+            .map(|(idx, _)| idx as u32)
+            .collect();
+        for idx in &stale {
+            self.unlink(*idx);
+            let slot = &mut self.slots[*idx as usize];
+            slot.value = None;
+            let key = slot.key;
+            let cost = slot.cost;
+            self.map.remove(&key);
+            self.free.push(*idx);
+            self.bytes -= cost;
+        }
+        stale.len()
+    }
+
+    fn clear(&mut self) {
+        self.map.clear();
+        self.slots.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+        self.bytes = 0;
+    }
+}
+
+/// Bytes charged per entry on top of the answer payload: the slab slot, the
+/// index-map entry and the map's load-factor slack.
+const ENTRY_OVERHEAD_BYTES: usize = mem::size_of::<Slot>() + 2 * mem::size_of::<(CacheKey, u32)>();
+
+/// Byte cost charged for caching `spg`: the per-entry overhead plus the
+/// answer footprint the pipeline recorded in its [`MemoryEstimate`]
+/// (`verification_bytes` — the answer edge list plus DFS-stack bound).
+/// Answers whose stats were not populated (e.g. assembled by a baseline)
+/// fall back to the edge-list size.
+pub fn entry_cost(spg: &SimplePathGraph) -> usize {
+    let answer_bytes = spg
+        .stats()
+        .memory
+        .verification_bytes
+        .max(spg.edge_count() * mem::size_of::<(VertexId, VertexId)>());
+    ENTRY_OVERHEAD_BYTES + answer_bytes
+}
+
+/// Monotone counters shared by all shards of one [`SpgCache`].
+#[derive(Debug, Default)]
+struct Counters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+    oversize_rejections: AtomicU64,
+}
+
+/// Point-in-time snapshot of a cache's counters and occupancy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that found no entry.
+    pub misses: u64,
+    /// Entries published (including refreshes of an existing key).
+    pub insertions: u64,
+    /// Entries dropped to respect the byte budget.
+    pub evictions: u64,
+    /// Inserts rejected because a single entry exceeded its shard budget.
+    pub oversize_rejections: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+    /// Bytes currently charged against the budget.
+    pub bytes: usize,
+    /// Configured global byte budget.
+    pub budget_bytes: usize,
+    /// Number of lock stripes.
+    pub shards: usize,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from the cache (`None` before the first
+    /// lookup).
+    pub fn hit_rate(&self) -> Option<f64> {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            None
+        } else {
+            Some(self.hits as f64 / total as f64)
+        }
+    }
+}
+
+/// Sharded, byte-budgeted LRU cache of [`SimplePathGraph`] answers (see the
+/// module docs for the keying / invalidation / budget contract).
+///
+/// ```
+/// use spg_core::{CachedEve, Query, SpgCache};
+/// use spg_core::paper_example::{figure1_graph, names};
+/// use spg_graph::VersionedGraph;
+///
+/// let vg = VersionedGraph::new(figure1_graph());
+/// let cache = SpgCache::new(1 << 20);
+/// let eve = CachedEve::with_defaults(&vg, &cache);
+///
+/// let first = eve.query(Query::new(names::S, names::T, 4)).unwrap();
+/// let again = eve.query(Query::new(names::S, names::T, 4)).unwrap();
+/// assert_eq!(first.edges(), again.edges());
+/// let stats = cache.stats();
+/// assert_eq!((stats.hits, stats.misses), (1, 1));
+/// ```
+#[derive(Debug)]
+pub struct SpgCache {
+    shards: Vec<Mutex<Shard>>,
+    /// Per-shard byte budget (`total / shards`, rounded down — no floor, so
+    /// a budget below `shards × entry cost` rejects every insert as
+    /// oversize; see [`SpgCache::with_shards`]).
+    shard_budget: usize,
+    budget_bytes: usize,
+    counters: Counters,
+}
+
+// The whole point of the cache is cross-thread sharing; keep that a
+// compile-time fact alongside the executor's other concurrency asserts.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<SpgCache>();
+    assert_send_sync::<CacheStats>();
+};
+
+/// Default number of lock stripes ([`SpgCache::new`]).
+pub const DEFAULT_SHARDS: usize = 16;
+
+impl SpgCache {
+    /// Creates a cache with `budget_bytes` of total capacity across
+    /// [`DEFAULT_SHARDS`] lock stripes.
+    pub fn new(budget_bytes: usize) -> Self {
+        SpgCache::with_shards(budget_bytes, DEFAULT_SHARDS)
+    }
+
+    /// Creates a cache with an explicit stripe count (rounded up to a power
+    /// of two, at least 1). Each stripe owns `budget_bytes / shards`, so the
+    /// global footprint never exceeds `budget_bytes`; a single-stripe cache
+    /// enforces the budget exactly and is the configuration the LRU-order
+    /// tests script against.
+    ///
+    /// There is deliberately no per-stripe floor: a budget smaller than
+    /// `shards ×` the typical entry cost rejects most inserts as oversize
+    /// (the bound is never blown, and
+    /// [`CacheStats::oversize_rejections`] makes the degradation
+    /// observable). Size the budget for at least a few entries per stripe,
+    /// or reduce the stripe count along with the budget.
+    pub fn with_shards(budget_bytes: usize, shards: usize) -> Self {
+        let shards = shards.max(1).next_power_of_two();
+        SpgCache {
+            shards: (0..shards).map(|_| Mutex::new(Shard::new())).collect(),
+            shard_budget: budget_bytes / shards,
+            budget_bytes,
+            counters: Counters::default(),
+        }
+    }
+
+    fn shard_for(&self, key: &CacheKey) -> &Mutex<Shard> {
+        // High bits of the Fx hash: the final multiply mixes them best.
+        let bits = self.shards.len().trailing_zeros();
+        let idx = (key.hash64() >> (64 - bits as u64).min(63)) as usize & (self.shards.len() - 1);
+        &self.shards[idx]
+    }
+
+    /// Looks up the answer for `query` (already clamped) on graph snapshot
+    /// `version`, refreshing its recency. Counts a hit or a miss. The shard
+    /// lock is held only for the O(1) probe + recency bump; the deep copy
+    /// handed to the caller happens after it is released.
+    pub fn get(&self, version: GraphVersion, query: Query) -> Option<SimplePathGraph> {
+        let key = CacheKey::new(version, query);
+        let hit = self.shard_for(&key).lock().expect("cache shard").get(&key);
+        match &hit {
+            Some(_) => self.counters.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.counters.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        hit.map(|arc| (*arc).clone())
+    }
+
+    /// Publishes `answer` for `query` (already clamped) on graph snapshot
+    /// `version`, evicting least-recently-used entries until the shard fits
+    /// its budget. An entry larger than the shard budget is rejected (and
+    /// counted) rather than blowing the bound. Re-publishing an existing key
+    /// refreshes the stored value and its recency. The answer's deep copy is
+    /// taken before the shard lock; the locked section is O(evictions).
+    pub fn insert(&self, version: GraphVersion, query: Query, answer: &SimplePathGraph) {
+        let key = CacheKey::new(version, query);
+        let value = Arc::new(answer.clone());
+        let evicted = self.shard_for(&key).lock().expect("cache shard").insert(
+            key,
+            &value,
+            self.shard_budget,
+        );
+        match evicted {
+            Some(evictions) => {
+                self.counters.insertions.fetch_add(1, Ordering::Relaxed);
+                if evictions > 0 {
+                    self.counters
+                        .evictions
+                        .fetch_add(evictions as u64, Ordering::Relaxed);
+                }
+            }
+            None => {
+                self.counters
+                    .oversize_rejections
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Eagerly reclaims entries of every snapshot except `keep`. Stale
+    /// entries are already unreachable through [`SpgCache::get`] (their
+    /// version can never be issued again); this frees their bytes without
+    /// waiting for LRU pressure. Returns the number of entries removed.
+    pub fn purge_other_versions(&self, keep: GraphVersion) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard").purge_other_versions(keep))
+            .sum()
+    }
+
+    /// Drops every entry (counters are retained — they are monotone).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().expect("cache shard").clear();
+        }
+    }
+
+    /// Entries currently resident across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard").map.len())
+            .sum()
+    }
+
+    /// `true` when no entry is resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Bytes currently charged against the budget across all shards.
+    pub fn bytes(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard").bytes)
+            .sum()
+    }
+
+    /// The configured global byte budget.
+    pub fn budget_bytes(&self) -> usize {
+        self.budget_bytes
+    }
+
+    /// Evictions performed since construction: a single `Relaxed` atomic
+    /// load, cheap enough to sample around every batch — unlike the full
+    /// [`SpgCache::stats`] snapshot, which locks every shard to count
+    /// occupancy.
+    pub fn eviction_count(&self) -> u64 {
+        self.counters.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of counters and occupancy. Counter reads are `Relaxed`; under
+    /// concurrent traffic the snapshot is a consistent-enough point-in-time
+    /// view (each counter individually monotone).
+    pub fn stats(&self) -> CacheStats {
+        let mut entries = 0;
+        let mut bytes = 0;
+        for shard in &self.shards {
+            let s = shard.lock().expect("cache shard");
+            entries += s.map.len();
+            bytes += s.bytes;
+        }
+        CacheStats {
+            hits: self.counters.hits.load(Ordering::Relaxed),
+            misses: self.counters.misses.load(Ordering::Relaxed),
+            insertions: self.counters.insertions.load(Ordering::Relaxed),
+            evictions: self.counters.evictions.load(Ordering::Relaxed),
+            oversize_rejections: self.counters.oversize_rejections.load(Ordering::Relaxed),
+            entries,
+            bytes,
+            budget_bytes: self.budget_bytes,
+            shards: self.shards.len(),
+        }
+    }
+}
+
+/// Whether a cached query was served from the cache or computed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Served from the cache; the EVE pipeline never ran.
+    Hit,
+    /// Computed by the pipeline and published to the cache.
+    Miss,
+}
+
+/// [`Eve`] bound to a [`VersionedGraph`] and a shared [`SpgCache`]: the
+/// cached counterpart of [`Eve::query_with`]. Hits skip all three pipeline
+/// phases; misses compute on the caller's workspace and publish. Cheap to
+/// copy (two references and a version stamp), so batch workers each carry
+/// their own copy against one shared cache.
+///
+/// ```
+/// use spg_core::{BatchExecutor, CachedEve, Query, SpgCache};
+/// use spg_core::paper_example::{figure1_graph, names};
+/// use spg_graph::VersionedGraph;
+///
+/// let vg = VersionedGraph::new(figure1_graph());
+/// let cache = SpgCache::new(1 << 20);
+/// let cached = CachedEve::with_defaults(&vg, &cache);
+/// let queries: Vec<Query> = (2..=8).map(|k| Query::new(names::S, names::T, k)).collect();
+///
+/// let cold = BatchExecutor::new(2).run_cached(&cached, &queries);
+/// let warm = BatchExecutor::new(2).run_cached(&cached, &queries);
+/// for (c, w) in cold.iter().zip(&warm) {
+///     assert_eq!(c.as_ref().unwrap().edges(), w.as_ref().unwrap().edges());
+/// }
+/// assert!(cache.stats().hits >= queries.len() as u64);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct CachedEve<'g, 'c> {
+    eve: Eve<'g>,
+    version: GraphVersion,
+    cache: &'c SpgCache,
+}
+
+impl<'g, 'c> CachedEve<'g, 'c> {
+    /// Binds EVE to `graph`'s current snapshot with an explicit
+    /// configuration, sharing `cache`.
+    ///
+    /// The version stamp is captured here; replacing the graph requires
+    /// `&mut VersionedGraph` and therefore ends this borrow, so a live
+    /// `CachedEve` can never mix answers across snapshots.
+    pub fn new(graph: &'g VersionedGraph, config: EveConfig, cache: &'c SpgCache) -> Self {
+        CachedEve {
+            eve: Eve::new(graph.graph(), config),
+            version: graph.version(),
+            cache,
+        }
+    }
+
+    /// [`CachedEve::new`] with the default (full) configuration.
+    pub fn with_defaults(graph: &'g VersionedGraph, cache: &'c SpgCache) -> Self {
+        CachedEve::new(graph, EveConfig::default(), cache)
+    }
+
+    /// The underlying (uncached) EVE instance.
+    pub fn eve(&self) -> Eve<'g> {
+        self.eve
+    }
+
+    /// The shared cache.
+    pub fn cache(&self) -> &'c SpgCache {
+        self.cache
+    }
+
+    /// The graph snapshot version answers are keyed by.
+    pub fn version(&self) -> GraphVersion {
+        self.version
+    }
+
+    /// Answers `query` through the cache on a fresh workspace.
+    pub fn query(&self, query: Query) -> Result<SimplePathGraph, QueryError> {
+        let mut ws = QueryWorkspace::new();
+        self.query_with(&mut ws, query)
+    }
+
+    /// Answers `query` through the cache on a reusable workspace: validate,
+    /// clamp, look up; on a miss run the pipeline and publish. Invalid
+    /// queries error exactly as [`Eve::query_with`] and never touch the
+    /// cache.
+    pub fn query_with(
+        &self,
+        ws: &mut QueryWorkspace,
+        query: Query,
+    ) -> Result<SimplePathGraph, QueryError> {
+        self.query_with_outcome(ws, query).map(|(spg, _)| spg)
+    }
+
+    /// [`CachedEve::query_with`] additionally reporting whether the answer
+    /// was a [`CacheOutcome::Hit`] or a computed [`CacheOutcome::Miss`].
+    pub fn query_with_outcome(
+        &self,
+        ws: &mut QueryWorkspace,
+        query: Query,
+    ) -> Result<(SimplePathGraph, CacheOutcome), QueryError> {
+        query.validate(self.eve.graph())?;
+        let clamped = query.clamped_to(self.eve.graph());
+        if let Some(hit) = self.cache.get(self.version, clamped) {
+            return Ok((hit, CacheOutcome::Hit));
+        }
+        // Compute outside any shard lock, then publish. A concurrent racer
+        // on the same key publishes an identical (deterministic) answer.
+        let spg = self.eve.query_with(ws, clamped)?;
+        self.cache.insert(self.version, clamped, &spg);
+        Ok((spg, CacheOutcome::Miss))
+    }
+
+    /// Answers a whole batch sequentially through the cache on one reused
+    /// workspace — the cached counterpart of [`Eve::query_batch`]. Slots are
+    /// bit-identical to the uncached entry points; see
+    /// [`crate::BatchExecutor::run_cached`] for the parallel version.
+    pub fn query_batch(&self, queries: &[Query]) -> Vec<Result<SimplePathGraph, QueryError>> {
+        let mut ws = QueryWorkspace::new();
+        queries
+            .iter()
+            .map(|&q| self.query_with(&mut ws, q))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper_example::{self, names::*};
+    use spg_graph::EdgeSubgraph;
+
+    /// A synthetic answer with `edges` edges, for budget scripting.
+    fn answer(tag: u32, edges: usize) -> SimplePathGraph {
+        let list: Vec<(u32, u32)> = (0..edges as u32).map(|i| (tag * 1000 + i, i + 1)).collect();
+        SimplePathGraph::from_parts(
+            Query::new(0, 1, 1),
+            EdgeSubgraph::from_edges(list),
+            crate::stats::EveStats::default(),
+        )
+    }
+
+    fn q(s: u32, t: u32, k: u32) -> Query {
+        Query::new(s, t, k)
+    }
+
+    #[test]
+    fn hit_returns_the_stored_answer() {
+        let cache = SpgCache::new(1 << 16);
+        let a = answer(1, 4);
+        assert!(cache.get(7, q(0, 1, 3)).is_none());
+        cache.insert(7, q(0, 1, 3), &a);
+        let hit = cache.get(7, q(0, 1, 3)).expect("hit");
+        assert_eq!(hit.edges(), a.edges());
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.insertions), (1, 1, 1));
+        assert_eq!(stats.entries, 1);
+        assert!(stats.bytes > 0 && stats.bytes <= stats.budget_bytes);
+        assert_eq!(stats.hit_rate(), Some(0.5));
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn version_is_part_of_the_key() {
+        let cache = SpgCache::new(1 << 16);
+        cache.insert(1, q(0, 1, 3), &answer(1, 2));
+        assert!(cache.get(2, q(0, 1, 3)).is_none(), "other version misses");
+        assert!(cache.get(1, q(0, 1, 3)).is_some());
+        // Purging keeps only the requested version.
+        cache.insert(2, q(0, 1, 3), &answer(2, 2));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.purge_other_versions(2), 1);
+        assert_eq!(cache.len(), 1);
+        assert!(cache.get(2, q(0, 1, 3)).is_some());
+    }
+
+    #[test]
+    fn lru_eviction_order_under_scripted_trace() {
+        // Single shard => exact global LRU. Budget fits exactly two entries.
+        let a = answer(1, 8);
+        let budget = 2 * entry_cost(&a) + entry_cost(&a) / 2;
+        let cache = SpgCache::with_shards(budget, 1);
+        cache.insert(1, q(0, 1, 1), &a); // A
+        cache.insert(1, q(0, 1, 2), &answer(2, 8)); // B
+        assert_eq!(cache.len(), 2);
+        // Touch A so B becomes the LRU victim.
+        assert!(cache.get(1, q(0, 1, 1)).is_some());
+        cache.insert(1, q(0, 1, 3), &answer(3, 8)); // C evicts B
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(1, q(0, 1, 1)).is_some(), "A survived");
+        assert!(cache.get(1, q(0, 1, 2)).is_none(), "B was the LRU victim");
+        assert!(cache.get(1, q(0, 1, 3)).is_some(), "C resident");
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.eviction_count(), 1, "lock-free accessor agrees");
+        assert!(cache.bytes() <= budget);
+        // Inserting D now evicts A (B's miss refreshed nothing).
+        cache.insert(1, q(0, 1, 4), &answer(4, 8)); // D evicts A
+        assert!(cache.get(1, q(0, 1, 1)).is_none(), "A evicted second");
+        assert!(cache.get(1, q(0, 1, 3)).is_some());
+        assert!(cache.get(1, q(0, 1, 4)).is_some());
+    }
+
+    #[test]
+    fn oversize_entries_are_rejected_not_stored() {
+        let small = SpgCache::with_shards(64, 1);
+        small.insert(1, q(0, 1, 1), &answer(1, 1000));
+        assert_eq!(small.len(), 0);
+        assert_eq!(small.bytes(), 0);
+        assert_eq!(small.stats().oversize_rejections, 1);
+        assert_eq!(small.stats().insertions, 0);
+    }
+
+    #[test]
+    fn reinserting_a_key_refreshes_value_and_recency() {
+        let a = answer(1, 8);
+        let budget = 2 * entry_cost(&a) + entry_cost(&a) / 2;
+        let cache = SpgCache::with_shards(budget, 1);
+        cache.insert(1, q(0, 1, 1), &a); // A
+        cache.insert(1, q(0, 1, 2), &answer(2, 8)); // B
+        cache.insert(1, q(0, 1, 1), &answer(5, 8)); // refresh A -> MRU
+        assert_eq!(cache.len(), 2, "refresh does not duplicate");
+        cache.insert(1, q(0, 1, 3), &answer(3, 8)); // evicts B, not A
+        assert!(cache.get(1, q(0, 1, 2)).is_none());
+        let hit = cache.get(1, q(0, 1, 1)).expect("refreshed A resident");
+        assert_eq!(hit.edges(), answer(5, 8).edges(), "newest value served");
+    }
+
+    #[test]
+    fn clear_empties_every_shard() {
+        let cache = SpgCache::new(1 << 16);
+        for i in 0..32 {
+            cache.insert(1, q(i, i + 1, 3), &answer(i, 3));
+        }
+        assert_eq!(cache.len(), 32);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.bytes(), 0);
+        assert_eq!(cache.stats().insertions, 32, "counters are monotone");
+    }
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        assert_eq!(SpgCache::with_shards(1024, 0).stats().shards, 1);
+        assert_eq!(SpgCache::with_shards(1024, 3).stats().shards, 4);
+        assert_eq!(SpgCache::new(1024).stats().shards, DEFAULT_SHARDS);
+        assert_eq!(SpgCache::new(1024).budget_bytes(), 1024);
+    }
+
+    #[test]
+    fn cached_eve_hits_skip_the_pipeline_and_match() {
+        let vg = VersionedGraph::new(paper_example::figure1_graph());
+        let cache = SpgCache::new(1 << 20);
+        let cached = CachedEve::with_defaults(&vg, &cache);
+        let uncached = Eve::with_defaults(vg.graph());
+        let mut ws = QueryWorkspace::new();
+
+        // k runs to n − 1 = 7 only: k = 8 would clamp onto the k = 7 key.
+        for k in 1..=7u32 {
+            let (first, o1) = cached.query_with_outcome(&mut ws, q(S, T, k)).unwrap();
+            let (second, o2) = cached.query_with_outcome(&mut ws, q(S, T, k)).unwrap();
+            assert_eq!(o1, CacheOutcome::Miss);
+            assert_eq!(o2, CacheOutcome::Hit);
+            let reference = uncached.query(q(S, T, k)).unwrap();
+            assert_eq!(first.edges(), reference.edges(), "k={k}");
+            assert_eq!(second.edges(), reference.edges(), "k={k}");
+            assert_eq!(
+                second.stats().upper_bound_edges,
+                reference.stats().upper_bound_edges
+            );
+        }
+        // k = 8 clamps to 7 and is served by the k = 7 entry immediately.
+        let (_, alias) = cached.query_with_outcome(&mut ws, q(S, T, 8)).unwrap();
+        assert_eq!(alias, CacheOutcome::Hit);
+        assert_eq!(cached.version(), vg.version());
+        assert_eq!(cached.eve().graph().edge_count(), 13);
+        assert_eq!(cached.cache().stats().hits, 8);
+    }
+
+    #[test]
+    fn clamped_k_shares_one_entry() {
+        let vg = VersionedGraph::new(paper_example::figure1_graph());
+        let cache = SpgCache::new(1 << 20);
+        let cached = CachedEve::with_defaults(&vg, &cache);
+        let n = vg.vertex_count() as u32;
+
+        let full = cached.query(q(S, T, n - 1)).unwrap();
+        let huge = cached.query(q(S, T, u32::MAX)).unwrap();
+        assert_eq!(full.edges(), huge.edges());
+        assert_eq!(huge.query().k, n - 1, "served answer records the clamp");
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 1, "one entry for every clamped alias");
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn invalid_queries_error_and_never_touch_the_cache() {
+        let vg = VersionedGraph::new(paper_example::figure1_graph());
+        let cache = SpgCache::new(1 << 20);
+        let cached = CachedEve::with_defaults(&vg, &cache);
+        assert!(cached.query(q(S, S, 3)).is_err());
+        assert!(cached.query(q(S, 99, 3)).is_err());
+        assert!(cached.query(q(S, T, 0)).is_err());
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.insertions), (0, 0, 0));
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn query_batch_matches_uncached_batch() {
+        let vg = VersionedGraph::new(paper_example::figure1_graph());
+        let cache = SpgCache::new(1 << 20);
+        let cached = CachedEve::with_defaults(&vg, &cache);
+        let eve = Eve::with_defaults(vg.graph());
+        // Repeats plus an invalid slot.
+        let batch = vec![
+            q(S, T, 4),
+            q(A, B, 3),
+            q(S, T, 4),
+            q(S, S, 2),
+            q(A, B, 3),
+            q(S, T, 7),
+        ];
+        let got = cached.query_batch(&batch);
+        let expected = eve.query_batch(&batch);
+        for (i, (g, e)) in got.iter().zip(&expected).enumerate() {
+            match (g, e) {
+                (Ok(a), Ok(b)) => assert_eq!(a.edges(), b.edges(), "slot {i}"),
+                (Err(a), Err(b)) => assert_eq!(a, b, "slot {i}"),
+                other => panic!("slot {i}: Ok/Err mismatch {other:?}"),
+            }
+        }
+        assert_eq!(cache.stats().hits, 2, "the two repeated slots hit");
+    }
+
+    #[test]
+    fn entry_cost_tracks_answer_size() {
+        let small = answer(1, 2);
+        let large = answer(1, 200);
+        assert!(entry_cost(&large) > entry_cost(&small));
+        assert!(entry_cost(&small) >= ENTRY_OVERHEAD_BYTES);
+        // Pipeline-produced answers use the recorded MemoryEstimate.
+        let g = paper_example::figure1_graph();
+        let spg = Eve::with_defaults(&g).query(q(S, T, 7)).unwrap();
+        assert!(entry_cost(&spg) >= ENTRY_OVERHEAD_BYTES + spg.stats().memory.verification_bytes);
+    }
+}

@@ -29,6 +29,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 use std::thread;
 
+use crate::cache::{CacheOutcome, CachedEve};
 use crate::eve::Eve;
 use crate::query::{Query, QueryError};
 use crate::spg::SimplePathGraph;
@@ -124,6 +125,62 @@ impl BatchExecutor {
     /// [`MemoryEstimate`] (field-wise max merge), and the workspace capacity
     /// each worker retained.
     pub fn run_detailed(&self, eve: &Eve<'_>, queries: &[Query]) -> BatchOutcome {
+        self.run_with(queries, &|ws, query, _stats| eve.query_with(ws, query))
+    }
+
+    /// Answers `queries` through a shared [`crate::SpgCache`]: every worker
+    /// carries its own copy of `cached` (an [`Eve`] plus cache handle) and a
+    /// private workspace, while the cache itself is shared lock-striped
+    /// state. Hits skip all three pipeline phases; misses compute on the
+    /// worker's workspace and publish for everyone. Slots remain
+    /// bit-identical to the uncached [`BatchExecutor::run`] at any thread
+    /// count — the differential harness in `tests/cache_differential.rs`
+    /// holds this as an invariant.
+    pub fn run_cached(&self, cached: &CachedEve<'_, '_>, queries: &[Query]) -> Vec<BatchResult> {
+        self.run_cached_detailed(cached, queries).results
+    }
+
+    /// [`BatchExecutor::run_cached`] plus execution statistics.
+    /// [`BatchStats::cache_hits`] / [`BatchStats::cache_misses`] count this
+    /// run's lookups (summed from the per-worker counters);
+    /// [`BatchStats::cache_evictions`] is the shared cache's eviction-counter
+    /// delta across the run, which includes evictions triggered by
+    /// concurrent users of the same cache, if any.
+    pub fn run_cached_detailed(
+        &self,
+        cached: &CachedEve<'_, '_>,
+        queries: &[Query],
+    ) -> BatchOutcome {
+        let evictions_before = cached.cache().eviction_count();
+        let mut outcome = self.run_with(queries, &|ws, query, stats| match cached
+            .query_with_outcome(ws, query)
+        {
+            Ok((spg, CacheOutcome::Hit)) => {
+                stats.cache_hits += 1;
+                Ok(spg)
+            }
+            Ok((spg, CacheOutcome::Miss)) => {
+                stats.cache_misses += 1;
+                Ok(spg)
+            }
+            Err(err) => Err(err),
+        });
+        outcome.stats.cache_evictions = cached
+            .cache()
+            .eviction_count()
+            .saturating_sub(evictions_before) as usize;
+        outcome
+    }
+
+    /// Shared batch driver: spawn workers, drain the chunked cursor through
+    /// `run_one`, collect slots and fold per-worker stats. `run_one` answers
+    /// one query on the worker's private workspace and may update the
+    /// worker's cache counters.
+    fn run_with(
+        &self,
+        queries: &[Query],
+        run_one: &(dyn Fn(&mut QueryWorkspace, Query, &mut ThreadBatchStats) -> BatchResult + Sync),
+    ) -> BatchOutcome {
         let workers = self.threads.min(queries.len()).max(1);
         let chunk = self.effective_chunk(queries.len());
         let slots: Vec<OnceLock<BatchResult>> =
@@ -135,11 +192,11 @@ impl BatchExecutor {
             // Sequential fast path: same drain loop, no spawn cost. This is
             // also what makes `BatchExecutor::new(1)` a faithful baseline in
             // the thread-scaling benchmarks.
-            per_thread.push(drain(eve, queries, &cursor, chunk, &slots));
+            per_thread.push(drain(run_one, queries, &cursor, chunk, &slots));
         } else {
             thread::scope(|scope| {
                 let handles: Vec<_> = (0..workers)
-                    .map(|_| scope.spawn(|| drain(eve, queries, &cursor, chunk, &slots)))
+                    .map(|_| scope.spawn(|| drain(run_one, queries, &cursor, chunk, &slots)))
                     .collect();
                 for handle in handles {
                     per_thread.push(handle.join().expect("batch worker panicked"));
@@ -168,9 +225,10 @@ impl Default for BatchExecutor {
 }
 
 /// One worker's drain loop: claim a chunk of query indices, answer each on
-/// the private workspace, publish into the pre-sized slots.
+/// the private workspace through `run_one`, publish into the pre-sized
+/// slots.
 fn drain(
-    eve: &Eve<'_>,
+    run_one: &(dyn Fn(&mut QueryWorkspace, Query, &mut ThreadBatchStats) -> BatchResult + Sync),
     queries: &[Query],
     cursor: &AtomicUsize,
     chunk: usize,
@@ -186,7 +244,7 @@ fn drain(
         stats.chunks_claimed += 1;
         let end = (start + chunk).min(queries.len());
         for (query, slot) in queries[start..end].iter().zip(&slots[start..end]) {
-            let result = eve.query_with(&mut ws, *query);
+            let result = run_one(&mut ws, *query, &mut stats);
             match &result {
                 Ok(spg) => {
                     stats.answered += 1;
@@ -220,6 +278,12 @@ pub struct ThreadBatchStats {
     pub errors: usize,
     /// Cursor chunks this worker claimed.
     pub chunks_claimed: usize,
+    /// Cache lookups this worker answered from the shared [`crate::SpgCache`]
+    /// (always 0 for uncached runs).
+    pub cache_hits: usize,
+    /// Cache lookups this worker had to compute-then-publish (always 0 for
+    /// uncached runs).
+    pub cache_misses: usize,
     /// Worst single-query memory estimate seen by this worker
     /// ([`MemoryEstimate::merge_max`] over its queries).
     pub peak_memory: MemoryEstimate,
@@ -240,6 +304,16 @@ pub struct BatchStats {
     /// Rejected queries across all workers (the error aggregation policy is
     /// per-slot: an invalid query never affects its neighbours).
     pub errors: usize,
+    /// Queries served from the shared result cache across all workers
+    /// ([`BatchExecutor::run_cached`]; always 0 for uncached runs).
+    pub cache_hits: usize,
+    /// Queries computed and published to the shared result cache across all
+    /// workers (always 0 for uncached runs).
+    pub cache_misses: usize,
+    /// Evictions the shared cache performed while this batch ran (the
+    /// cache's eviction-counter delta — includes evictions triggered by
+    /// concurrent users of the same cache; always 0 for uncached runs).
+    pub cache_evictions: usize,
     /// Worst single-query memory estimate across the whole batch.
     pub peak_memory: MemoryEstimate,
     /// Sum of every worker's retained workspace capacity — the steady-state
@@ -259,6 +333,8 @@ impl BatchStats {
         for worker in &per_thread {
             stats.answered += worker.answered;
             stats.errors += worker.errors;
+            stats.cache_hits += worker.cache_hits;
+            stats.cache_misses += worker.cache_misses;
             stats.peak_memory.merge_max(&worker.peak_memory);
             stats.workspace_retained_bytes += worker.workspace_retained_bytes;
         }
@@ -269,6 +345,17 @@ impl BatchStats {
     /// Total queries processed (answered + rejected).
     pub fn queries(&self) -> usize {
         self.answered + self.errors
+    }
+
+    /// Fraction of this run's cache lookups served from the cache (`None`
+    /// for uncached runs or batches with no valid query).
+    pub fn cache_hit_rate(&self) -> Option<f64> {
+        let lookups = self.cache_hits + self.cache_misses;
+        if lookups == 0 {
+            None
+        } else {
+            Some(self.cache_hits as f64 / lookups as f64)
+        }
     }
 }
 
@@ -381,6 +468,62 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn cached_runs_match_uncached_at_every_thread_count() {
+        use crate::cache::{CachedEve, SpgCache};
+        use spg_graph::VersionedGraph;
+
+        let vg = VersionedGraph::new(paper_example::figure1_graph());
+        let cache = SpgCache::new(1 << 20);
+        let cached = CachedEve::with_defaults(&vg, &cache);
+        let eve = Eve::with_defaults(vg.graph());
+        // Duplicate the mixed batch so hot keys repeat within one run.
+        let mut batch = mixed_batch(vg.vertex_count() as u32);
+        let original = batch.clone();
+        batch.extend(original);
+        let expected = eve.query_batch(&batch);
+
+        for threads in [1usize, 2, 4, 8] {
+            let outcome = BatchExecutor::new(threads).run_cached_detailed(&cached, &batch);
+            for (i, (got, exp)) in outcome.results.iter().zip(&expected).enumerate() {
+                match (got, exp) {
+                    (Ok(a), Ok(b)) => {
+                        assert_eq!(a.edges(), b.edges(), "slot {i} threads {threads}");
+                        assert_eq!(a.stats().upper_bound_edges, b.stats().upper_bound_edges);
+                    }
+                    (Err(a), Err(b)) => assert_eq!(a, b, "slot {i} threads {threads}"),
+                    other => panic!("slot {i} threads {threads}: Ok/Err mismatch {other:?}"),
+                }
+            }
+            // Every valid query is exactly one lookup; errors never are.
+            let stats = &outcome.stats;
+            assert_eq!(stats.cache_hits + stats.cache_misses, stats.answered);
+            let (hits, misses): (usize, usize) = stats
+                .per_thread
+                .iter()
+                .fold((0, 0), |(h, m), t| (h + t.cache_hits, m + t.cache_misses));
+            assert_eq!((hits, misses), (stats.cache_hits, stats.cache_misses));
+        }
+
+        // The cache stayed warm across thread counts: a rerun is all hits.
+        let warm = BatchExecutor::new(4).run_cached_detailed(&cached, &batch);
+        assert_eq!(warm.stats.cache_misses, 0);
+        assert_eq!(warm.stats.cache_hits, warm.stats.answered);
+        assert_eq!(warm.stats.cache_hit_rate(), Some(1.0));
+        assert_eq!(warm.stats.cache_evictions, 0, "budget was never exceeded");
+    }
+
+    #[test]
+    fn uncached_runs_report_zero_cache_counters() {
+        let g = paper_example::figure1_graph();
+        let eve = Eve::with_defaults(&g);
+        let outcome = BatchExecutor::new(2).run_detailed(&eve, &mixed_batch(8));
+        assert_eq!(outcome.stats.cache_hits, 0);
+        assert_eq!(outcome.stats.cache_misses, 0);
+        assert_eq!(outcome.stats.cache_evictions, 0);
+        assert_eq!(outcome.stats.cache_hit_rate(), None);
     }
 
     #[test]

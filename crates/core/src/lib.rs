@@ -18,6 +18,11 @@
 //!    DFS-oriented search for a witness path between a departure and an
 //!    arrival vertex.
 //!
+//! Batch serving builds on the pipeline: [`executor`] runs query batches
+//! across threads, and [`cache`] memoises answers for hot `(s, t, k)`
+//! triples behind a graph-version key ([`spg_graph::VersionedGraph`]) so
+//! cached runs are bit-identical to uncached ones.
+//!
 //! ```
 //! use spg_core::{Eve, EveConfig, Query};
 //! use spg_core::paper_example::{figure1_graph, names};
@@ -32,6 +37,7 @@
 
 mod compact;
 
+pub mod cache;
 pub mod eve;
 pub mod evset;
 pub mod executor;
@@ -44,6 +50,7 @@ pub mod stats;
 pub mod verification;
 pub mod workspace;
 
+pub use cache::{CacheOutcome, CacheStats, CachedEve, SpgCache};
 pub use eve::{Eve, EveConfig, EveOutput};
 pub use evset::EvSet;
 pub use executor::{BatchExecutor, BatchOutcome, BatchResult, BatchStats, ThreadBatchStats};

@@ -17,6 +17,9 @@
 //!   `G^k_st` materialisation).
 //! * [`hash`] — a small deterministic Fx-style hasher so hot hash maps keyed
 //!   by vertex ids do not pay the SipHash cost.
+//! * [`versioned`] — [`VersionedGraph`], a handle stamping every graph
+//!   snapshot with a process-unique monotone [`GraphVersion`] so memoising
+//!   layers (the `spg_core` result cache) can never serve stale answers.
 //!
 //! The crate is `#![forbid(unsafe_code)]`; all hot paths rely on index-based
 //! CSR traversal rather than pointer tricks.
@@ -31,6 +34,7 @@ pub mod io;
 pub mod properties;
 pub mod subgraph;
 pub mod traversal;
+pub mod versioned;
 
 pub use builder::GraphBuilder;
 pub use csr::{DiGraph, Direction, EdgeId, VertexId};
@@ -40,6 +44,7 @@ pub use traversal::{
     bfs_distances_from, bfs_distances_to, k_hop_reachable, DistanceIndex, DistanceStrategy,
     FlatDistances, SearchSpace, SearchSpaceStats, SpaceScratch,
 };
+pub use versioned::{GraphVersion, VersionedGraph};
 
 /// Sentinel distance meaning "unreachable / outside the search space".
 pub const INF_DIST: u32 = u32::MAX;
@@ -60,4 +65,5 @@ const _: () = {
     assert_send_sync::<FlatDistances>();
     assert_send_sync::<SearchSpace>();
     assert_send_sync::<SpaceScratch>();
+    assert_send_sync::<VersionedGraph>();
 };

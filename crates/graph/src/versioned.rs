@@ -1,0 +1,185 @@
+//! Version-stamped graph handles for result-cache invalidation.
+//!
+//! A [`DiGraph`] is immutable, so "mutation" in this workspace means building
+//! a new graph and swapping it in. Anything that memoises per-graph answers
+//! (notably `spg_core`'s result cache) must be able to tell those swaps
+//! apart: serving an answer computed on the pre-swap graph would be a
+//! correctness bug, not a staleness nuisance. [`VersionedGraph`] makes the
+//! distinction structural — every handle carries a [`GraphVersion`] drawn
+//! from one process-wide monotone counter, and every replacement draws a
+//! fresh stamp:
+//!
+//! * two *different* graph snapshots can never share a version, even across
+//!   independent `VersionedGraph` values (the counter is global, not
+//!   per-handle), so a cache keyed by `(version, query)` can serve entries
+//!   for many graphs at once without cross-talk;
+//! * a version is never reused, even if a replacement happens to rebuild a
+//!   bit-identical graph — invalidation errs on the side of recomputing.
+//!
+//! The handle dereferences to [`DiGraph`], so read-side code (queries,
+//! traversal, statistics) works on a `&VersionedGraph` unchanged.
+
+use std::ops::Deref;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::csr::{DiGraph, VertexId};
+
+/// Monotone, process-wide unique stamp identifying one graph snapshot.
+pub type GraphVersion = u64;
+
+/// Source of version stamps. Starts at 1 so 0 can serve as a "no version"
+/// sentinel in downstream code that wants one.
+static NEXT_VERSION: AtomicU64 = AtomicU64::new(1);
+
+fn fresh_version() -> GraphVersion {
+    NEXT_VERSION.fetch_add(1, Ordering::Relaxed)
+}
+
+/// A [`DiGraph`] plus the [`GraphVersion`] of its current snapshot (see the
+/// module docs for the invalidation contract).
+///
+/// ```
+/// use spg_graph::VersionedGraph;
+///
+/// let mut vg = VersionedGraph::from_edges(3, [(0, 1), (1, 2)]);
+/// let v0 = vg.version();
+/// assert_eq!(vg.edge_count(), 2); // derefs to DiGraph
+///
+/// let v1 = vg.update(|g| {
+///     let mut edges: Vec<_> = g.edges().collect();
+///     edges.push((0, 2));
+///     spg_graph::DiGraph::from_edges(g.vertex_count(), edges)
+/// });
+/// assert!(v1 > v0, "every mutation bumps the version");
+/// assert_eq!(vg.edge_count(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct VersionedGraph {
+    graph: DiGraph,
+    version: GraphVersion,
+}
+
+impl VersionedGraph {
+    /// Wraps `graph` in a handle stamped with a fresh version.
+    pub fn new(graph: DiGraph) -> Self {
+        VersionedGraph {
+            graph,
+            version: fresh_version(),
+        }
+    }
+
+    /// Builds a stamped graph directly from an edge iterator
+    /// (see [`DiGraph::from_edges`]).
+    pub fn from_edges<I>(n: usize, edges: I) -> Self
+    where
+        I: IntoIterator<Item = (VertexId, VertexId)>,
+    {
+        VersionedGraph::new(DiGraph::from_edges(n, edges))
+    }
+
+    /// The current snapshot's version stamp.
+    #[inline]
+    pub fn version(&self) -> GraphVersion {
+        self.version
+    }
+
+    /// The current graph snapshot. Equivalent to the `Deref` impl; useful
+    /// when an explicit `&DiGraph` is clearer than a coercion.
+    #[inline]
+    pub fn graph(&self) -> &DiGraph {
+        &self.graph
+    }
+
+    /// Replaces the snapshot with `graph`, returning the fresh version stamp.
+    /// Requires `&mut self`, so no `&VersionedGraph` borrow (e.g. a live
+    /// cached-query handle) can outlive the swap.
+    pub fn replace(&mut self, graph: DiGraph) -> GraphVersion {
+        self.graph = graph;
+        self.version = fresh_version();
+        self.version
+    }
+
+    /// Rebuilds the snapshot through `f` (e.g. add/remove edges by
+    /// constructing a new [`DiGraph`]) and stamps the result, returning the
+    /// fresh version.
+    pub fn update<F>(&mut self, f: F) -> GraphVersion
+    where
+        F: FnOnce(&DiGraph) -> DiGraph,
+    {
+        let next = f(&self.graph);
+        self.replace(next)
+    }
+
+    /// Unwraps the handle into its graph, discarding the version.
+    pub fn into_graph(self) -> DiGraph {
+        self.graph
+    }
+}
+
+impl Deref for VersionedGraph {
+    type Target = DiGraph;
+
+    #[inline]
+    fn deref(&self) -> &DiGraph {
+        &self.graph
+    }
+}
+
+impl From<DiGraph> for VersionedGraph {
+    fn from(graph: DiGraph) -> Self {
+        VersionedGraph::new(graph)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn versions_are_unique_across_handles() {
+        let a = VersionedGraph::from_edges(2, [(0, 1)]);
+        let b = VersionedGraph::from_edges(2, [(0, 1)]);
+        assert_ne!(
+            a.version(),
+            b.version(),
+            "identical contents still get distinct stamps"
+        );
+    }
+
+    #[test]
+    fn replace_and_update_bump_monotonically() {
+        let mut vg = VersionedGraph::from_edges(3, [(0, 1), (1, 2)]);
+        let v0 = vg.version();
+        let v1 = vg.replace(DiGraph::from_edges(3, [(0, 1)]));
+        assert!(v1 > v0);
+        assert_eq!(vg.version(), v1);
+        assert_eq!(vg.edge_count(), 1);
+        // Rebuilding a bit-identical graph still invalidates.
+        let v2 = vg.update(|g| g.clone());
+        assert!(v2 > v1);
+    }
+
+    #[test]
+    fn deref_and_accessors_expose_the_snapshot() {
+        let vg = VersionedGraph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(vg.vertex_count(), 4);
+        assert!(vg.has_edge(1, 2));
+        assert_eq!(vg.graph().edge_count(), 3);
+        let g = vg.clone().into_graph();
+        assert_eq!(&g, vg.graph());
+        let from: VersionedGraph = g.into();
+        assert_eq!(from.edge_count(), 3);
+    }
+
+    #[test]
+    fn clone_preserves_the_version_of_the_same_snapshot() {
+        let vg = VersionedGraph::from_edges(2, [(0, 1)]);
+        let cl = vg.clone();
+        // A clone is the *same* snapshot, so sharing the stamp is correct;
+        // any mutation of either handle re-stamps from the global counter.
+        assert_eq!(vg.version(), cl.version());
+        let mut cl = cl;
+        let v = cl.replace(DiGraph::empty(2));
+        assert_ne!(v, vg.version());
+    }
+}

@@ -16,6 +16,8 @@
 //! * [`hit_miss_queries`] — a controlled ratio of feasible ("hit") and
 //!   infeasible-but-valid ("miss") queries, the cheap-query regime where
 //!   batch overhead dominates;
+//! * [`repeat_heavy_queries`] — exact `(s, t, k)` repeats drawn from a small
+//!   hot pool, the workload the `spg_core` result cache is built for;
 //! * [`inject_invalid`] — replaces a deterministic subset of a batch with
 //!   malformed queries (`s == t`, endpoint out of range, `k == 0`) so error
 //!   slots land throughout a parallel run.
@@ -26,6 +28,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use spg_core::Query;
+use spg_graph::hash::FxHashSet;
 use spg_graph::traversal::k_hop_reachable;
 use spg_graph::{DiGraph, VertexId};
 
@@ -165,6 +168,58 @@ pub fn hit_miss_queries(
     out
 }
 
+/// Draws `count` queries dominated by *exact repeats* of a small unique pool
+/// — the workload shape the result cache exists for. A pool of up to
+/// `unique` distinct reachable queries (hop constraints cycling through
+/// `ks`) is drawn first; each emitted query then comes from the hottest
+/// eighth of that pool with probability `hot_fraction` and uniformly from
+/// the whole pool otherwise. Unlike [`skewed_queries`] (which skews
+/// *endpoints* but rarely repeats a full `(s, t, k)` triple), every emitted
+/// query here is an exact member of the pool, so a batch of `count ≫ unique`
+/// queries gives a result cache an intra-batch hit rate of about
+/// `1 − unique / count`.
+///
+/// Deterministic in `(graph, arguments, seed)`. Sparse graphs may yield a
+/// smaller pool (or none — then the result is empty).
+///
+/// # Panics
+/// Panics if `unique == 0`, `hot_fraction` is outside `[0, 1]`, or `ks` is
+/// empty / contains a zero hop constraint (see [`mixed_k_queries`]).
+pub fn repeat_heavy_queries(
+    graph: &DiGraph,
+    count: usize,
+    ks: &[u32],
+    unique: usize,
+    hot_fraction: f64,
+    seed: u64,
+) -> Vec<Query> {
+    assert!(unique > 0, "repeat_heavy_queries needs a non-empty pool");
+    assert!(
+        (0.0..=1.0).contains(&hot_fraction),
+        "hot_fraction must be a probability"
+    );
+    let mut pool = mixed_k_queries(graph, unique, ks, seed);
+    // First-occurrence dedup preserving draw order (the hot eighth is the
+    // earliest-drawn entries). `Vec::dedup` would only drop *adjacent*
+    // repeats, which the cycling hop constraints never produce.
+    let mut seen: FxHashSet<Query> = FxHashSet::default();
+    pool.retain(|q| seen.insert(*q));
+    if pool.is_empty() {
+        return Vec::new();
+    }
+    let hot_len = (pool.len() / 8).max(1);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED_CACE);
+    (0..count)
+        .map(|_| {
+            if rng.gen_bool(hot_fraction) {
+                pool[rng.gen_range(0..hot_len)]
+            } else {
+                pool[rng.gen_range(0..pool.len())]
+            }
+        })
+        .collect()
+}
+
 /// Replaces every `every`-th slot of `batch` (1-based: indices `every − 1`,
 /// `2·every − 1`, …) with an invalid query, cycling through the three
 /// rejection shapes `s == t`, target out of range and `k == 0`. Returns the
@@ -282,6 +337,47 @@ mod tests {
         assert!(hit_miss_queries(&g, 10, k, 0.0, 5)
             .iter()
             .all(|q| !k_hop_reachable(&g, q.source, q.target, k)));
+    }
+
+    #[test]
+    fn repeat_heavy_batches_repeat_a_small_pool() {
+        let g = graph();
+        let qs = repeat_heavy_queries(&g, 200, &[4, 6], 16, 0.6, 21);
+        assert_eq!(qs.len(), 200);
+        // Determinism.
+        assert_eq!(qs, repeat_heavy_queries(&g, 200, &[4, 6], 16, 0.6, 21));
+        // Every query is an exact member of a ≤16-strong pool, all valid.
+        let mut distinct: Vec<Query> = qs.clone();
+        distinct.sort_unstable_by_key(|q| (q.source, q.target, q.k));
+        distinct.dedup();
+        assert!(distinct.len() <= 16, "{} distinct", distinct.len());
+        assert!(distinct.len() >= 2);
+        for q in &distinct {
+            assert!(q.validate(&g).is_ok());
+            assert!(k_hop_reachable(&g, q.source, q.target, q.k));
+        }
+        // The hot eighth of the pool dominates: the single most frequent
+        // query must appear far above the uniform share.
+        let top = distinct
+            .iter()
+            .map(|d| qs.iter().filter(|q| *q == d).count())
+            .max()
+            .unwrap();
+        assert!(
+            top > qs.len() / 8,
+            "hottest query appears only {top}/{} times",
+            qs.len()
+        );
+        // Degenerate shapes.
+        assert!(repeat_heavy_queries(&g, 0, &[4], 4, 0.5, 1).is_empty());
+        let uniform = repeat_heavy_queries(&g, 50, &[4], 8, 0.0, 2);
+        assert_eq!(uniform.len(), 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty pool")]
+    fn repeat_heavy_rejects_zero_pool() {
+        repeat_heavy_queries(&graph(), 10, &[4], 0, 0.5, 1);
     }
 
     #[test]

@@ -20,7 +20,9 @@ pub mod datasets;
 pub mod fraud;
 pub mod queries;
 
-pub use batch::{hit_miss_queries, inject_invalid, mixed_k_queries, skewed_queries};
+pub use batch::{
+    hit_miss_queries, inject_invalid, mixed_k_queries, repeat_heavy_queries, skewed_queries,
+};
 pub use datasets::{
     dataset_by_code, headline_datasets, DatasetScale, DatasetSpec, GraphFamily, DATASETS,
 };

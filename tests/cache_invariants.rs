@@ -1,0 +1,204 @@
+//! Structural invariants of the versioned result cache.
+//!
+//! Three properties, independent of what the cached answers *are*:
+//!
+//! 1. **Budget** — after any interleaving of inserts, lookups, version
+//!    purges and clears, the bytes charged across all shards never exceed
+//!    the configured budget (proptest over random operation scripts);
+//! 2. **LRU order** — under a scripted access trace on a single-shard cache
+//!    the eviction order is exactly least-recently-used (scripted in the
+//!    `spg-core` unit tests; re-checked here through the public API with a
+//!    longer trace);
+//! 3. **Version invalidation** — after a [`VersionedGraph`] bump, entries of
+//!    the old snapshot are unreachable and the recomputed answers reflect
+//!    the new graph.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use hop_spg::eve::{cache::entry_cost, CachedEve, Eve, EveStats, Query, SimplePathGraph, SpgCache};
+use hop_spg::graph::{DiGraph, EdgeSubgraph, VersionedGraph};
+
+/// A synthetic answer with `edges` edges, for deterministic cost scripting.
+fn answer(tag: u32, edges: usize) -> SimplePathGraph {
+    let list: Vec<(u32, u32)> = (0..edges as u32).map(|i| (tag * 1000 + i, i + 1)).collect();
+    SimplePathGraph::from_parts(
+        Query::new(0, 1, 1),
+        EdgeSubgraph::from_edges(list),
+        EveStats::default(),
+    )
+}
+
+/// One scripted cache operation.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Insert an answer of the given size class under (version, s).
+    Insert { version: u64, s: u32, edges: usize },
+    /// Look up (version, s) — refreshes recency on a hit.
+    Get { version: u64, s: u32 },
+    /// Purge everything except the given version.
+    Purge { keep: u64 },
+    /// Drop everything.
+    Clear,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    (0u8..10, 0u64..3, 0u32..24, 0usize..120).prop_map(|(kind, version, s, edges)| match kind {
+        0..=4 => Op::Insert {
+            version: version + 1,
+            s,
+            edges,
+        },
+        5..=7 => Op::Get {
+            version: version + 1,
+            s,
+        },
+        8 => Op::Purge { keep: version + 1 },
+        _ => Op::Clear,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The byte budget holds after *every* operation of a random script, for
+    /// several budget / shard-count shapes, and the bytes/entries bookkeeping
+    /// stays self-consistent (clearing reclaims everything).
+    #[test]
+    fn budget_never_exceeded_under_random_scripts(
+        ops in vec(op_strategy(), 1..120),
+        budget_kb in 1usize..8,
+        shards in 1usize..5,
+    ) {
+        let budget = budget_kb * 512;
+        let cache = SpgCache::with_shards(budget, shards);
+        for op in &ops {
+            match *op {
+                Op::Insert { version, s, edges } => {
+                    cache.insert(version, Query::new(s, s + 1, 3), &answer(s, edges));
+                }
+                Op::Get { version, s } => {
+                    let _ = cache.get(version, Query::new(s, s + 1, 3));
+                }
+                Op::Purge { keep } => {
+                    cache.purge_other_versions(keep);
+                }
+                Op::Clear => cache.clear(),
+            }
+            let bytes = cache.bytes();
+            prop_assert!(
+                bytes <= budget,
+                "budget exceeded after {op:?}: {bytes} > {budget}"
+            );
+            let stats = cache.stats();
+            prop_assert_eq!(stats.bytes, bytes);
+            prop_assert_eq!(stats.entries, cache.len());
+            prop_assert!(stats.entries == 0 || stats.bytes > 0);
+        }
+        cache.clear();
+        prop_assert_eq!(cache.bytes(), 0);
+        prop_assert_eq!(cache.len(), 0);
+    }
+
+    /// Heavier variant for the CI `--ignored` job: longer scripts, more
+    /// shard shapes, and a cross-check that evicted + resident insertions
+    /// balance the counters.
+    #[test]
+    #[ignore = "heavy invariant sweep; run via cargo test --release -- --ignored"]
+    fn heavy_budget_and_counter_sweep(
+        ops in vec(op_strategy(), 100..600),
+        shards in 1usize..9,
+    ) {
+        let budget = 3 * 512;
+        let cache = SpgCache::with_shards(budget, shards);
+        for op in &ops {
+            if let Op::Insert { version, s, edges } = *op {
+                cache.insert(version, Query::new(s, s + 1, 3), &answer(s, edges));
+            }
+            prop_assert!(cache.bytes() <= budget);
+        }
+        let stats = cache.stats();
+        // Every insertion either remains resident, was evicted, was purged/
+        // cleared (not scripted here), or displaced by a same-key refresh;
+        // with only inserts in this variant, resident + evicted can never
+        // exceed insertions.
+        prop_assert!(stats.entries as u64 + stats.evictions <= stats.insertions);
+    }
+}
+
+/// LRU eviction order through the public API: a longer scripted trace on a
+/// single-shard cache (exact global LRU), interleaving refreshes by both
+/// `get` and re-`insert`.
+#[test]
+fn scripted_trace_evicts_in_lru_order() {
+    let unit = entry_cost(&answer(0, 10));
+    let cache = SpgCache::with_shards(3 * unit + unit / 2, 1); // fits 3
+    let q = |s: u32| Query::new(s, s + 1, 3);
+
+    cache.insert(1, q(0), &answer(0, 10)); // LRU: 0
+    cache.insert(1, q(1), &answer(1, 10)); // LRU: 0 1
+    cache.insert(1, q(2), &answer(2, 10)); // LRU: 0 1 2
+    assert!(cache.get(1, q(0)).is_some()); // LRU: 1 2 0
+    cache.insert(1, q(1), &answer(1, 10)); // refresh    LRU: 2 0 1
+    cache.insert(1, q(3), &answer(3, 10)); // evicts 2   LRU: 0 1 3
+    assert!(cache.get(1, q(2)).is_none(), "2 was least recently used");
+    cache.insert(1, q(4), &answer(4, 10)); // evicts 0   LRU: 1 3 4
+    assert!(cache.get(1, q(0)).is_none(), "0 went second");
+    for survivor in [1u32, 3, 4] {
+        assert!(cache.get(1, q(survivor)).is_some(), "{survivor} resident");
+    }
+    assert_eq!(cache.stats().evictions, 2);
+    assert!(cache.bytes() <= cache.budget_bytes());
+}
+
+/// After a graph bump, old-version entries are unreachable and the cache
+/// serves answers computed on the *new* snapshot — even for the same
+/// `(s, t, k)` triple, and even though the old entries may still be
+/// resident until purged.
+#[test]
+fn version_bump_makes_old_entries_unreachable() {
+    // Chain 0 -> 1 -> 2 -> 3 plus shortcut 0 -> 2.
+    let mut vg = VersionedGraph::from_edges(4, [(0, 1), (1, 2), (2, 3), (0, 2)]);
+    let cache = SpgCache::new(1 << 20);
+    let old_version = vg.version();
+
+    let q = Query::new(0, 3, 3);
+    let with_shortcut = {
+        let cached = CachedEve::with_defaults(&vg, &cache);
+        let first = cached.query(q).unwrap();
+        let hit = cached.query(q).unwrap();
+        assert_eq!(first.edges(), hit.edges());
+        first
+    };
+    assert!(with_shortcut.contains_edge(0, 2));
+    assert_eq!(cache.stats().hits, 1);
+
+    // Drop the shortcut edge; the answer for the same query changes.
+    let new_version = vg.update(|g| {
+        DiGraph::from_edges(
+            g.vertex_count(),
+            g.edges().filter(|&(u, v)| (u, v) != (0, 2)),
+        )
+    });
+    assert!(new_version > old_version);
+
+    let cached = CachedEve::with_defaults(&vg, &cache);
+    let recomputed = cached.query(q).unwrap();
+    assert!(
+        !recomputed.contains_edge(0, 2),
+        "post-bump answers reflect the new graph"
+    );
+    assert_eq!(
+        recomputed.edges(),
+        Eve::with_defaults(vg.graph()).query(q).unwrap().edges()
+    );
+    // The lookup on the new version was a miss: the old entry never served.
+    assert_eq!(cache.stats().hits, 1, "no new hits after the bump");
+    assert_eq!(cache.len(), 2, "old entry still resident until purged");
+
+    // Eager reclamation drops exactly the stale snapshot's entry.
+    assert_eq!(cache.purge_other_versions(cached.version()), 1);
+    assert_eq!(cache.len(), 1);
+    let served = cached.query(q).unwrap();
+    assert_eq!(served.edges(), recomputed.edges());
+}
