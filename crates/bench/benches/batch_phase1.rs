@@ -1,0 +1,75 @@
+//! Criterion benchmark for the cohort-shared MS-BFS Phase 1.
+//!
+//! Two comparisons on a fraud-ring-shaped batch (many queries fanning out
+//! from few sources into few targets — the shape the cohort dedup targets):
+//!
+//! * **per-query vs shared** — `BatchExecutor` with `shared_phase1(false)`
+//!   (one hop-bounded BFS pair per query) against the default cohort path
+//!   (one MS-BFS pass per direction per ≤ 64-pair cohort), single worker so
+//!   the difference is sharing, not parallelism;
+//! * **top-down-only vs direction-optimizing** — the shared path with the
+//!   Beamer switch disabled against the default per-level switching.
+//!
+//! A mixed uniform batch is included as the low-dedup control: sharing must
+//! still win (or at least not lose) when endpoint pairs rarely repeat.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spg_core::{BatchExecutor, Eve};
+use spg_graph::generators::gnm_random;
+use spg_graph::FrontierMode;
+use spg_workloads::{mixed_k_queries, shared_endpoint_queries};
+
+fn bench_batch_phase1(c: &mut Criterion) {
+    let g = gnm_random(3_000, 18_000, 7);
+    let eve = Eve::with_defaults(&g);
+    let shapes = [
+        (
+            "shared_endpoint",
+            shared_endpoint_queries(&g, 256, &[4, 6], 8, 8, 0xFA4D),
+        ),
+        (
+            "mixed_uniform",
+            mixed_k_queries(&g, 256, &[2, 4, 6], 0xBA7C),
+        ),
+    ];
+
+    let mut group = c.benchmark_group("batch_phase1");
+    for (shape, batch) in &shapes {
+        assert!(!batch.is_empty(), "{shape}: workload generation failed");
+        let per_query = BatchExecutor::new(1).shared_phase1(false);
+        let shared = BatchExecutor::new(1);
+        let top_down = BatchExecutor::new(1).phase1_mode(FrontierMode::TopDownOnly);
+
+        // Sanity: all three paths agree before anything is timed.
+        let reference = per_query.run(&eve, batch);
+        for executor in [shared, top_down] {
+            for (a, b) in executor.run(&eve, batch).iter().zip(&reference) {
+                assert_eq!(
+                    a.as_ref().unwrap().edges(),
+                    b.as_ref().unwrap().edges(),
+                    "shared and per-query paths diverged"
+                );
+            }
+        }
+
+        group.bench_with_input(
+            BenchmarkId::new("per_query", shape),
+            batch.as_slice(),
+            |b, batch| b.iter(|| per_query.run(&eve, batch)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("shared_direction_optimizing", shape),
+            batch.as_slice(),
+            |b, batch| b.iter(|| shared.run(&eve, batch)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("shared_top_down_only", shape),
+            batch.as_slice(),
+            |b, batch| b.iter(|| top_down.run(&eve, batch)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch_phase1);
+criterion_main!(benches);

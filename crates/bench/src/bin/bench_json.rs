@@ -1,6 +1,9 @@
 //! Perf trajectory tooling: runs a fixed query suite and writes a
-//! machine-readable `BENCH_4.json` snapshot so successive PRs can track the
-//! hot-path numbers in version control. Three sections per suite:
+//! machine-readable `BENCH_5.json` snapshot so successive PRs can track the
+//! hot-path numbers in version control. A top-level `hardware` section
+//! records the machine context (available parallelism, pointer width,
+//! arch/os platform) so single-core-container caveats are machine-readable,
+//! plus four sections per suite:
 //!
 //! * **variants** — per-query median latency of the legacy hash-map pipeline
 //!   (`query_reference`), the flat pipeline on a fresh workspace (`query`)
@@ -17,10 +20,18 @@
 //!   warm rerun of the same batch (all hits skip phases 1–3), with intra-
 //!   batch and warm hit rates, eviction counts and resident bytes (the PR-4
 //!   trajectory). Every cached run — cold and warm — is verified
-//!   slot-for-slot against the uncached pipeline before timing is recorded.
+//!   slot-for-slot against the uncached pipeline before timing is recorded;
+//! * **phase1_sharing** — the cohort-shared MS-BFS Phase 1 against the
+//!   per-query path (`shared_phase1(false)`), single worker, over the
+//!   suite's uniform batch (low endpoint reuse) and a fraud-ring
+//!   shared-endpoint batch (few sources × few targets — the dedup target):
+//!   whole-batch and Phase-1-only wall time, cohort fill, distinct-endpoint
+//!   dedup ratio and the top-down/bottom-up scan split (the PR-5
+//!   trajectory). Every shared run is verified slot-for-slot against the
+//!   per-query answers before timing is recorded.
 //!
 //! Usage: `cargo run --release -p spg-bench --bin bench_json -- \
-//!     [--out BENCH_4.json] [--queries 64] [--repeats 5] \
+//!     [--out BENCH_5.json] [--queries 64] [--repeats 5] \
 //!     [--threads 1,2,4,8] [--smoke]`
 //!
 //! `--smoke` shrinks the suites to a tiny graph, restricts thread scaling to
@@ -32,8 +43,11 @@ use std::time::{Duration, Instant};
 
 use spg_core::{BatchExecutor, CachedEve, Eve, PhaseTimings, Query, QueryWorkspace, SpgCache};
 use spg_graph::generators::{gnm_random, TransactionGraph, TransactionGraphConfig};
+use spg_graph::traversal::MAX_LANES;
 use spg_graph::{DiGraph, VersionedGraph};
-use spg_workloads::{reachable_queries, repeat_heavy_queries, skewed_queries};
+use spg_workloads::{
+    reachable_queries, repeat_heavy_queries, shared_endpoint_queries, skewed_queries,
+};
 
 /// Byte budget of the benchmark cache: ample for the suites, so the warm
 /// rerun measures pure hit latency rather than eviction churn.
@@ -48,7 +62,7 @@ struct Args {
 }
 
 fn parse_args() -> Args {
-    let mut out = "BENCH_4.json".to_string();
+    let mut out = "BENCH_5.json".to_string();
     let mut queries = 64usize;
     let mut repeats = 5usize;
     let mut threads: Option<Vec<usize>> = None;
@@ -287,6 +301,112 @@ fn cache_bench(
     }
 }
 
+struct Phase1Bench {
+    batch: &'static str,
+    batch_len: usize,
+    per_query_batch_ns: u64,
+    shared_batch_ns: u64,
+    batch_speedup: f64,
+    per_query_phase1_ns: u64,
+    shared_phase1_ns: u64,
+    phase1_speedup: f64,
+    cohorts: usize,
+    distinct_endpoints: usize,
+    phase1_shared: usize,
+    cohort_fill: f64,
+    dedup_ratio: f64,
+    top_down_scans: usize,
+    bottom_up_scans: usize,
+}
+
+/// Sum of the distance-phase timings recorded in a run's answer slots (ns).
+/// On the per-query path this is the whole Phase 1; on the shared path it is
+/// the per-member materialisation + space-compaction share, to which the
+/// cohort traversal time must be added.
+fn slot_distance_ns(results: &[spg_core::BatchResult]) -> u64 {
+    results
+        .iter()
+        .filter_map(|slot| slot.as_ref().ok())
+        .map(|spg| spg.stats().timings.distance.as_nanos() as u64)
+        .sum()
+}
+
+/// Cohort-shared vs per-query Phase 1 over one batch shape, single worker
+/// (so the comparison isolates traversal sharing from parallelism). Every
+/// shared run is verified slot-for-slot against the per-query answers
+/// before its timing counts.
+fn phase1_bench(
+    eve: &Eve<'_>,
+    batch: &[Query],
+    shape: &'static str,
+    repeats: usize,
+) -> Phase1Bench {
+    assert!(
+        !batch.is_empty(),
+        "{shape}: phase1 workload generation failed"
+    );
+    let per_query = BatchExecutor::new(1).shared_phase1(false);
+    let shared = BatchExecutor::new(1);
+
+    let expected: Vec<Vec<(u32, u32)>> = per_query
+        .run(eve, batch)
+        .into_iter()
+        .map(|slot| slot.expect("suite queries are valid").edges().to_vec())
+        .collect();
+
+    let mut pq_batch = Vec::with_capacity(repeats);
+    let mut pq_phase1 = Vec::with_capacity(repeats);
+    for _ in 0..repeats {
+        let start = Instant::now();
+        let outcome = per_query.run_detailed(eve, batch);
+        pq_batch.push(start.elapsed().as_nanos() as u64);
+        pq_phase1.push(slot_distance_ns(&outcome.results));
+        verify(&outcome.results, &expected, 1);
+    }
+
+    let mut sh_batch = Vec::with_capacity(repeats);
+    let mut sh_phase1 = Vec::with_capacity(repeats);
+    let mut last_stats = spg_core::SharedPhase1Stats::default();
+    for _ in 0..repeats {
+        let start = Instant::now();
+        let outcome = shared.run_detailed(eve, batch);
+        sh_batch.push(start.elapsed().as_nanos() as u64);
+        sh_phase1.push(
+            outcome.stats.phase1.traversal_time.as_nanos() as u64
+                + slot_distance_ns(&outcome.results),
+        );
+        verify(&outcome.results, &expected, 1);
+        last_stats = outcome.stats.phase1;
+    }
+
+    let per_query_batch_ns = median_ns(&mut pq_batch);
+    let shared_batch_ns = median_ns(&mut sh_batch);
+    let per_query_phase1_ns = median_ns(&mut pq_phase1);
+    let shared_phase1_ns = median_ns(&mut sh_phase1);
+    Phase1Bench {
+        batch: shape,
+        batch_len: batch.len(),
+        per_query_batch_ns,
+        shared_batch_ns,
+        batch_speedup: per_query_batch_ns as f64 / shared_batch_ns.max(1) as f64,
+        per_query_phase1_ns,
+        shared_phase1_ns,
+        phase1_speedup: per_query_phase1_ns as f64 / shared_phase1_ns.max(1) as f64,
+        cohorts: last_stats.cohorts,
+        distinct_endpoints: last_stats.distinct_endpoints,
+        phase1_shared: last_stats.phase1_shared,
+        cohort_fill: if last_stats.cohorts == 0 {
+            0.0
+        } else {
+            last_stats.distinct_endpoints as f64 / (last_stats.cohorts * MAX_LANES) as f64
+        },
+        dedup_ratio: last_stats.dedup_ratio().unwrap_or(0.0),
+        top_down_scans: last_stats.traversal.forward_edge_scans
+            + last_stats.traversal.backward_edge_scans,
+        bottom_up_scans: last_stats.traversal.bottom_up_edge_scans,
+    }
+}
+
 struct SuiteResult {
     name: &'static str,
     vertices: usize,
@@ -301,6 +421,7 @@ struct SuiteResult {
     peak_workspace_bytes: usize,
     scaling: Vec<ThreadScale>,
     cache: Vec<CacheBench>,
+    phase1_sharing: Vec<Phase1Bench>,
 }
 
 fn run_suite(name: &'static str, g: DiGraph, args: &Args, thread_counts: &[usize]) -> SuiteResult {
@@ -351,6 +472,15 @@ fn run_suite(name: &'static str, g: DiGraph, args: &Args, thread_counts: &[usize
         .into_iter()
         .map(|shape| cache_bench(&vg, shape, args.repeats, args.smoke))
         .collect();
+    // Phase-1 sharing: the suite's uniform batch (low endpoint reuse) and a
+    // fraud-ring shape (8 sources × 8 targets — at most 64 distinct pairs,
+    // so a whole batch collapses into one cohort's lanes).
+    let fanout = if args.smoke { 48 } else { 256 };
+    let ring = shared_endpoint_queries(vg.graph(), fanout, &[4, 6], 8, 8, 0xFA4D);
+    let phase1_sharing = vec![
+        phase1_bench(&eve, &queries, "uniform", args.repeats),
+        phase1_bench(&eve, &ring, "shared_endpoint", args.repeats),
+    ];
 
     let warm_secs = warm_total.as_secs_f64().max(1e-12);
     SuiteResult {
@@ -367,11 +497,39 @@ fn run_suite(name: &'static str, g: DiGraph, args: &Args, thread_counts: &[usize
         peak_workspace_bytes: ws.retained_bytes(),
         scaling,
         cache,
+        phase1_sharing,
     }
 }
 
+/// Machine context of the measurement, so caveats like "recorded on a
+/// 1-vCPU container" are machine-readable instead of README footnotes.
+fn hardware_json() -> String {
+    let parallelism = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(0);
+    // `platform` is a human-scannable arch-os pair, NOT a rustc target
+    // triple (the true triple is a compile-time property this binary cannot
+    // observe at runtime); `arch`/`os`/`family` are the parseable fields.
+    format!(
+        concat!(
+            "  \"hardware\": {{\"available_parallelism\": {}, ",
+            "\"pointer_width\": {}, \"platform\": \"{}-{}\", ",
+            "\"arch\": \"{}\", \"os\": \"{}\", \"family\": \"{}\"}},\n",
+        ),
+        parallelism,
+        usize::BITS,
+        std::env::consts::ARCH,
+        std::env::consts::OS,
+        std::env::consts::ARCH,
+        std::env::consts::OS,
+        std::env::consts::FAMILY,
+    )
+}
+
 fn render_json(results: &[SuiteResult]) -> String {
-    let mut out = String::from("{\n  \"bench\": 4,\n  \"suite_k\": 6,\n  \"suites\": [\n");
+    let mut out = String::from("{\n  \"bench\": 5,\n  \"suite_k\": 6,\n");
+    out.push_str(&hardware_json());
+    out.push_str("  \"suites\": [\n");
     for (i, r) in results.iter().enumerate() {
         let speedup = r.legacy_median_ns as f64 / r.warm_median_ns.max(1) as f64;
         out.push_str(&format!(
@@ -455,6 +613,50 @@ fn render_json(results: &[SuiteResult]) -> String {
                 if j + 1 < r.cache.len() { "," } else { "" },
             ));
         }
+        out.push_str("      ],\n      \"phase1_sharing\": [\n");
+        for (j, p) in r.phase1_sharing.iter().enumerate() {
+            out.push_str(&format!(
+                concat!(
+                    "        {{\n",
+                    "          \"batch\": \"{}\",\n",
+                    "          \"queries\": {},\n",
+                    "          \"per_query_batch_ns\": {},\n",
+                    "          \"shared_batch_ns\": {},\n",
+                    "          \"batch_speedup_shared_vs_per_query\": {:.2},\n",
+                    "          \"per_query_phase1_ns\": {},\n",
+                    "          \"shared_phase1_ns\": {},\n",
+                    "          \"phase1_speedup_shared_vs_per_query\": {:.2},\n",
+                    "          \"cohorts\": {},\n",
+                    "          \"distinct_endpoints\": {},\n",
+                    "          \"phase1_shared\": {},\n",
+                    "          \"cohort_fill\": {:.3},\n",
+                    "          \"dedup_ratio\": {:.2},\n",
+                    "          \"top_down_edge_scans\": {},\n",
+                    "          \"bottom_up_edge_scans\": {}\n",
+                    "        }}{}\n",
+                ),
+                p.batch,
+                p.batch_len,
+                p.per_query_batch_ns,
+                p.shared_batch_ns,
+                p.batch_speedup,
+                p.per_query_phase1_ns,
+                p.shared_phase1_ns,
+                p.phase1_speedup,
+                p.cohorts,
+                p.distinct_endpoints,
+                p.phase1_shared,
+                p.cohort_fill,
+                p.dedup_ratio,
+                p.top_down_scans,
+                p.bottom_up_scans,
+                if j + 1 < r.phase1_sharing.len() {
+                    ","
+                } else {
+                    ""
+                },
+            ));
+        }
         out.push_str(&format!(
             "      ]\n    }}{}\n",
             if i + 1 < results.len() { "," } else { "" },
@@ -524,6 +726,24 @@ fn main() {
                 100.0 * c.warm_hit_rate,
                 c.resident_entries,
                 c.resident_bytes,
+            );
+        }
+        for p in &r.phase1_sharing {
+            eprintln!(
+                "{}: phase1[{}] per-query {} ns -> shared {} ns ({:.2}x phase-1, {:.2}x batch), {} cohorts, {} lanes for {} queries (dedup {:.2}x, fill {:.0}%), scans {} top-down / {} bottom-up",
+                r.name,
+                p.batch,
+                p.per_query_phase1_ns,
+                p.shared_phase1_ns,
+                p.phase1_speedup,
+                p.batch_speedup,
+                p.cohorts,
+                p.distinct_endpoints,
+                p.phase1_shared,
+                p.dedup_ratio,
+                100.0 * p.cohort_fill,
+                p.top_down_scans,
+                p.bottom_up_scans,
             );
         }
     }

@@ -1,0 +1,326 @@
+//! Cohort planning and execution for the batch-shared MS-BFS Phase 1.
+//!
+//! A batch's dominant cost is Phase 1 (hop-bounded distance search), and a
+//! batch's queries repeat a lot of that traversal — in fraud-shaped
+//! workloads most queries fan out from a handful of sources into a handful
+//! of targets. [`CohortPlan`] groups a batch into **cohorts** of queries
+//! whose Phase-1 work is computed by a single bit-parallel bidirectional
+//! [`MsBfsEngine`](spg_graph::MsBfsEngine) traversal: one lane per
+//! **distinct `(s, t)` endpoint pair** (up to
+//! [`MAX_COHORT_LANES`] = 64 per cohort), so hub-skewed batches pay once
+//! per distinct pair no matter how many queries repeat it.
+//!
+//! Lanes are keyed by the *pair* rather than the bare source/target because
+//! EVE's distances are endpoint-avoiding (`Δ(s, v)` never routes through
+//! `t`): two queries from the same source but different targets need
+//! different avoid vertices, and merging them could change answers. A
+//! lane's hop budget is the maximum clamped `k` among the queries that
+//! share its pair; each member filters the (possibly deeper) shared raw
+//! distances down to its own `k` when materialising its workspace, which
+//! keeps every answer bit-identical to a per-query run.
+//!
+//! Invalid queries and queries that end up alone in their cohort skip the
+//! shared machinery entirely: the plan emits them as [`Unit::Single`] and
+//! the executors answer them on the classic per-query
+//! [`Eve::query_with`](crate::Eve::query_with) path.
+
+use std::time::Instant;
+
+use spg_graph::hash::FxHashMap;
+use spg_graph::{DiGraph, Direction, FrontierMode, MsBfsLane};
+
+use crate::eve::Eve;
+use crate::executor::{BatchResult, ThreadBatchStats};
+use crate::query::Query;
+use crate::workspace::QueryWorkspace;
+
+/// Maximum lanes (distinct endpoint pairs) per cohort — one bit each in the
+/// MS-BFS frontier words.
+pub(crate) const MAX_COHORT_LANES: usize = spg_graph::traversal::MAX_LANES;
+
+/// One cohort member: its slot in the batch, its validated + clamped query,
+/// and the lane its endpoint pair maps to.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct CohortMember {
+    pub index: usize,
+    pub query: Query,
+    pub lane: u32,
+}
+
+/// A group of ≥ 2 queries whose Phase 1 runs as one bidirectional MS-BFS
+/// traversal.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Cohort {
+    /// One lane per distinct `(s, t)` pair; `depth` = max clamped `k`
+    /// among the pair's members.
+    pub lanes: Vec<MsBfsLane>,
+    /// Member queries, in batch order.
+    pub members: Vec<CohortMember>,
+}
+
+/// One schedulable unit of a batch.
+#[derive(Debug, Clone)]
+pub(crate) enum Unit {
+    /// A shared-Phase-1 cohort.
+    Cohort(Cohort),
+    /// A query answered on the per-query path: invalid (fails validation
+    /// identically to the sequential run) or alone in its cohort.
+    Single(usize),
+}
+
+/// The cohort decomposition of one batch (see the module docs).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct CohortPlan {
+    pub units: Vec<Unit>,
+}
+
+impl CohortPlan {
+    /// Groups `queries` into cohorts in one linear scan: distinct endpoint
+    /// pairs fill the current cohort's lanes until all 64 are taken, then a
+    /// new cohort opens. Slot order is preserved through the member indices.
+    ///
+    /// `parallel_units` is the number of workers that should stay busy.
+    /// Cohorts are indivisible scheduling units, so without a cap a
+    /// fraud-ring batch (≤ 64 distinct pairs) would collapse into a single
+    /// cohort and serialize the whole batch onto one worker. With
+    /// `parallel_units > 1` the member count per cohort is capped at about
+    /// `len / (2 × parallel_units)`, trading some traversal dedup (a pair
+    /// recurring across cohorts is traversed once per cohort) for at least
+    /// two units per worker; a single worker gets the uncapped plan and
+    /// the maximum dedup.
+    pub fn build(graph: &DiGraph, queries: &[Query], parallel_units: usize) -> CohortPlan {
+        let member_cap = if parallel_units <= 1 {
+            usize::MAX
+        } else {
+            queries.len().div_ceil(parallel_units * 2).max(2)
+        };
+        let mut plan = CohortPlan::default();
+        let mut open = Cohort::default();
+        let mut pair_lane: FxHashMap<(u32, u32), u32> = FxHashMap::default();
+        for (index, query) in queries.iter().enumerate() {
+            if query.validate(graph).is_err() {
+                plan.units.push(Unit::Single(index));
+                continue;
+            }
+            let query = query.clamped_to(graph);
+            let key = (query.source, query.target);
+            let lane = match pair_lane.get(&key) {
+                Some(&lane) => {
+                    // A repeated pair deepens its lane to the largest k.
+                    let slot = &mut open.lanes[lane as usize];
+                    slot.depth = slot.depth.max(query.k);
+                    lane
+                }
+                None => {
+                    if open.lanes.len() == MAX_COHORT_LANES {
+                        plan.close(&mut open, &mut pair_lane);
+                    }
+                    let lane = open.lanes.len() as u32;
+                    open.lanes.push(MsBfsLane {
+                        source: query.source,
+                        target: query.target,
+                        depth: query.k,
+                    });
+                    pair_lane.insert(key, lane);
+                    lane
+                }
+            };
+            open.members.push(CohortMember { index, query, lane });
+            if open.members.len() >= member_cap {
+                plan.close(&mut open, &mut pair_lane);
+            }
+        }
+        plan.close(&mut open, &mut pair_lane);
+        plan
+    }
+
+    /// Seals the open cohort: empty ones vanish, singletons fall back to the
+    /// per-query path (sharing a traversal with itself buys nothing).
+    /// Members are ordered by `(lane, k)` so duplicate `(s, t, k)` triples
+    /// run back to back and [`run_cohort`] can reuse the previous member's
+    /// materialised distances + compacted space (output slots are addressed
+    /// by member index, so member execution order is free to choose).
+    fn close(&mut self, open: &mut Cohort, pair_lane: &mut FxHashMap<(u32, u32), u32>) {
+        pair_lane.clear();
+        let mut cohort = std::mem::take(open);
+        match cohort.members.len() {
+            0 => {}
+            1 => self.units.push(Unit::Single(cohort.members[0].index)),
+            _ => {
+                cohort.members.sort_by_key(|m| (m.lane, m.query.k));
+                self.units.push(Unit::Cohort(cohort));
+            }
+        }
+    }
+}
+
+/// Executes one cohort on a worker's private workspace: one bidirectional
+/// MS-BFS traversal (forward from the distinct sources, backward from the
+/// distinct targets, avoid vertices per lane), then phases 1b–3 per member
+/// on the lane's materialised distances. Results are handed to `publish` in
+/// member order; `stats` accumulates the shared-Phase-1 counters and the
+/// usual per-slot bookkeeping.
+pub(crate) fn run_cohort(
+    eve: &Eve<'_>,
+    ws: &mut QueryWorkspace,
+    cohort: &Cohort,
+    mode: FrontierMode,
+    stats: &mut ThreadBatchStats,
+    mut publish: impl FnMut(usize, BatchResult),
+) {
+    // Take the engine out of the workspace so its results can be read
+    // while the rest of the workspace runs phases 1b–3 mutably.
+    let mut engine = std::mem::take(&mut ws.msbfs);
+    engine.set_mode(mode);
+    let start = Instant::now();
+    engine.run(eve.graph(), &cohort.lanes);
+    stats.phase1.traversal_time += start.elapsed();
+    for dir in [Direction::Forward, Direction::Backward] {
+        engine
+            .side_stats(dir)
+            .accumulate_into(&mut stats.phase1.traversal, dir);
+    }
+    stats.phase1.cohorts += 1;
+    stats.phase1.distinct_endpoints += cohort.lanes.len();
+
+    let mut prev: Option<(u32, u32)> = None;
+    for member in &cohort.members {
+        let key = (member.lane, member.query.k);
+        let result = if prev == Some(key) {
+            // Same (s, t, k) as the member just answered: the workspace
+            // still holds its Phase-1a output verbatim.
+            stats.phase1.distance_reuses += 1;
+            eve.query_shared_reused(ws, member.query)
+        } else {
+            prev = Some(key);
+            eve.query_shared(ws, member.query, &engine, member.lane as usize)
+        };
+        stats.phase1.phase1_shared += 1;
+        match &result {
+            Ok(spg) => {
+                stats.answered += 1;
+                stats.peak_memory.merge_max(&spg.stats().memory);
+            }
+            Err(_) => stats.errors += 1,
+        }
+        publish(member.index, result);
+    }
+
+    ws.msbfs = engine;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper_example::{self, names::*};
+
+    fn plan_for(queries: &[Query]) -> CohortPlan {
+        CohortPlan::build(&paper_example::figure1_graph(), queries, 1)
+    }
+
+    #[test]
+    fn duplicate_pairs_share_a_lane_with_the_deepest_k() {
+        let plan = plan_for(&[
+            Query::new(S, T, 2),
+            Query::new(A, B, 3),
+            Query::new(S, T, 6),
+            Query::new(S, T, 4),
+        ]);
+        assert_eq!(plan.units.len(), 1);
+        let Unit::Cohort(cohort) = &plan.units[0] else {
+            panic!("expected a cohort");
+        };
+        assert_eq!(cohort.lanes.len(), 2, "two distinct pairs");
+        assert_eq!(cohort.members.len(), 4);
+        let st_lane = cohort.members[0].lane as usize;
+        assert_eq!(cohort.lanes[st_lane].depth, 6, "deepest k wins");
+        assert_eq!(cohort.lanes[st_lane].source, S);
+        assert_eq!(cohort.lanes[st_lane].target, T);
+    }
+
+    #[test]
+    fn same_source_different_target_gets_its_own_lane() {
+        // Endpoint-avoidance makes (s, t1) and (s, t2) different lanes.
+        let plan = plan_for(&[Query::new(S, T, 4), Query::new(S, B, 4)]);
+        let Unit::Cohort(cohort) = &plan.units[0] else {
+            panic!("expected a cohort");
+        };
+        assert_eq!(cohort.lanes.len(), 2);
+    }
+
+    #[test]
+    fn invalid_and_singleton_queries_fall_back() {
+        let plan = plan_for(&[
+            Query::new(S, S, 3), // invalid: s == t
+            Query::new(S, T, 4), // valid but alone -> singleton fallback
+        ]);
+        assert_eq!(plan.units.len(), 2);
+        assert!(matches!(plan.units[0], Unit::Single(0)));
+        assert!(matches!(plan.units[1], Unit::Single(1)));
+    }
+
+    #[test]
+    fn clamp_is_applied_before_lane_depths() {
+        let plan = plan_for(&[Query::new(S, T, u32::MAX), Query::new(S, T, 3)]);
+        let Unit::Cohort(cohort) = &plan.units[0] else {
+            panic!("expected a cohort");
+        };
+        // Figure 1 has 8 vertices, so u32::MAX clamps to 7.
+        assert_eq!(cohort.lanes[0].depth, 7);
+        // Members are (lane, k)-sorted, so the clamped query comes second.
+        assert_eq!(
+            cohort.members[1].query.k, 7,
+            "member query records the clamp"
+        );
+        assert_eq!(cohort.members[0].query.k, 3);
+    }
+
+    #[test]
+    fn member_cap_splits_single_pair_batches_across_workers() {
+        // 40 queries over ONE pair would be a single indivisible cohort —
+        // useless to 4 workers. The capped plan must produce at least two
+        // units per worker, each still a shared cohort.
+        let g = paper_example::figure1_graph();
+        let queries: Vec<Query> = (0..40).map(|i| Query::new(S, T, 2 + (i % 5))).collect();
+        let plan = CohortPlan::build(&g, &queries, 4);
+        let cohorts = plan
+            .units
+            .iter()
+            .filter(|u| matches!(u, Unit::Cohort(_)))
+            .count();
+        assert!(cohorts >= 8, "4 workers need ≥ 8 units, got {cohorts}");
+        let covered: usize = plan
+            .units
+            .iter()
+            .map(|u| match u {
+                Unit::Cohort(c) => c.members.len(),
+                Unit::Single(_) => 1,
+            })
+            .sum();
+        assert_eq!(covered, 40);
+        // A single worker gets one big cohort (maximum dedup).
+        let solo = CohortPlan::build(&g, &queries, 1);
+        assert_eq!(solo.units.len(), 1);
+    }
+
+    #[test]
+    fn overflowing_64_distinct_pairs_opens_a_new_cohort() {
+        let g = spg_graph::generators::gnm_random(200, 1200, 3);
+        // 70 distinct pairs: (0, 1), (0, 2), ... all valid on 200 vertices.
+        let queries: Vec<Query> = (0..70).map(|i| Query::new(0, i + 1, 4)).collect();
+        let plan = CohortPlan::build(&g, &queries, 1);
+        let cohorts: Vec<&Cohort> = plan
+            .units
+            .iter()
+            .filter_map(|u| match u {
+                Unit::Cohort(c) => Some(c),
+                Unit::Single(_) => None,
+            })
+            .collect();
+        assert_eq!(cohorts.len(), 2);
+        assert_eq!(cohorts[0].lanes.len(), MAX_COHORT_LANES);
+        assert_eq!(cohorts[1].lanes.len(), 6);
+        let covered: usize = cohorts.iter().map(|c| c.members.len()).sum();
+        assert_eq!(covered, 70);
+    }
+}

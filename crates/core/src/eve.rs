@@ -16,7 +16,9 @@
 
 use std::time::Instant;
 
-use spg_graph::{DiGraph, Direction, DistanceIndex, DistanceStrategy, EdgeSubgraph, VertexId};
+use spg_graph::{
+    DiGraph, Direction, DistanceIndex, DistanceStrategy, EdgeSubgraph, MsBfsEngine, VertexId,
+};
 
 use crate::compact::{apply_search_ordering_flat, verify_flat};
 use crate::labeling::UpperBoundGraph;
@@ -89,6 +91,23 @@ impl EveConfig {
     }
 }
 
+/// How Phase 1a obtains its raw distances.
+enum DistInput<'a> {
+    /// Run the per-query epoch-stamped BFS (the default path; also the
+    /// fallback for singleton queries and the uncached [`Eve::query`]).
+    Compute,
+    /// Materialise one lane of a cohort's bidirectional MS-BFS run — the
+    /// batch-shared Phase 1 of [`crate::BatchExecutor`].
+    Shared {
+        engine: &'a MsBfsEngine,
+        lane: usize,
+    },
+    /// The workspace's `dist` and `space` already hold exactly this query's
+    /// Phase-1a output (the previous cohort member was the same `(s, t, k)`
+    /// triple; phases 1b–3 never mutate them) — skip Phase 1a entirely.
+    Reuse,
+}
+
 /// Intermediate artefacts of a query, exposed for experiments that need more
 /// than the final answer (e.g. Table 3 compares `SPGᵘ_k` against `SPG_k`).
 #[derive(Debug, Clone)]
@@ -152,20 +171,74 @@ impl<'g> Eve<'g> {
         query: Query,
     ) -> Result<SimplePathGraph, QueryError> {
         query.validate(self.graph)?;
-        self.run_flat_pipeline(ws, query.clamped_to(self.graph))
+        self.run_flat_pipeline(ws, query.clamped_to(self.graph), DistInput::Compute)
+    }
+
+    /// Answers an already-validated, already-clamped query whose Phase-1
+    /// distances come from lane `lane` of a cohort's bidirectional MS-BFS
+    /// run. Phases 1b–3 are byte-for-byte the same code as
+    /// [`Eve::query_with`]; the answer is bit-identical because the
+    /// search-space filter `Δ(s,v) + Δ(v,t) ≤ k` maps the (possibly deeper)
+    /// shared raw distances onto exactly the per-query values.
+    pub(crate) fn query_shared(
+        &self,
+        ws: &mut QueryWorkspace,
+        query: Query,
+        engine: &MsBfsEngine,
+        lane: usize,
+    ) -> Result<SimplePathGraph, QueryError> {
+        self.run_flat_pipeline(ws, query, DistInput::Shared { engine, lane })
+    }
+
+    /// Answers a cohort member whose `(s, t, k)` triple equals the member
+    /// answered immediately before on this workspace: `ws.dist` and
+    /// `ws.space` still hold exactly its Phase-1a output (phases 1b–3 only
+    /// read them), so the materialisation and space compaction are skipped
+    /// wholesale. Phases 1b–3 still run, so the answer is assembled exactly
+    /// as on the other paths.
+    pub(crate) fn query_shared_reused(
+        &self,
+        ws: &mut QueryWorkspace,
+        query: Query,
+    ) -> Result<SimplePathGraph, QueryError> {
+        self.run_flat_pipeline(ws, query, DistInput::Reuse)
     }
 
     /// Answers a whole batch sequentially on one internally reused
     /// [`QueryWorkspace`], returning one result slot per query in input
     /// order. Errors are per-slot: an invalid query never affects its
-    /// neighbours. This is the single-threaded counterpart of
-    /// [`crate::BatchExecutor::run`], which produces bit-identical slots at
-    /// any thread count.
+    /// neighbours. Like [`crate::BatchExecutor::run`] (the multi-threaded
+    /// counterpart, bit-identical at any thread count), the batch is grouped
+    /// into cohorts of queries whose Phase-1 distance work is shared through
+    /// one MS-BFS pass per direction; singleton and invalid queries fall
+    /// back to the per-query path.
     pub fn query_batch(&self, queries: &[Query]) -> Vec<Result<SimplePathGraph, QueryError>> {
         let mut ws = QueryWorkspace::new();
-        queries
-            .iter()
-            .map(|&q| self.query_with(&mut ws, q))
+        // One worker: uncapped cohorts, maximum traversal dedup.
+        let plan = crate::cohort::CohortPlan::build(self.graph, queries, 1);
+        let mut results: Vec<Option<Result<SimplePathGraph, QueryError>>> =
+            (0..queries.len()).map(|_| None).collect();
+        let mut stats = crate::executor::ThreadBatchStats::default();
+        for unit in &plan.units {
+            match unit {
+                crate::cohort::Unit::Single(i) => {
+                    results[*i] = Some(self.query_with(&mut ws, queries[*i]));
+                }
+                crate::cohort::Unit::Cohort(cohort) => {
+                    crate::cohort::run_cohort(
+                        self,
+                        &mut ws,
+                        cohort,
+                        spg_graph::FrontierMode::default(),
+                        &mut stats,
+                        |index, result| results[index] = Some(result),
+                    );
+                }
+            }
+        }
+        results
+            .into_iter()
+            .map(|slot| slot.expect("the cohort plan covers every query index exactly once"))
             .collect()
     }
 
@@ -185,7 +258,7 @@ impl<'g> Eve<'g> {
         query: Query,
     ) -> Result<EveOutput, QueryError> {
         query.validate(self.graph)?;
-        let spg = self.run_flat_pipeline(ws, query.clamped_to(self.graph))?;
+        let spg = self.run_flat_pipeline(ws, query.clamped_to(self.graph), DistInput::Compute)?;
         // The workspace still holds the phase-2 output; only the detailed
         // entry point pays for materialising it (`query_with` does not).
         let upper_bound = Self::upper_bound_subgraph(ws);
@@ -202,18 +275,49 @@ impl<'g> Eve<'g> {
         query: Query,
         timings: &mut PhaseTimings,
         memory: &mut MemoryEstimate,
+        input: DistInput<'_>,
     ) {
-        // Phase 1a: epoch-stamped distance search + compacted search space.
+        // Phase 1a: raw distances (computed per query, materialised from a
+        // cohort's shared MS-BFS lane, or reused verbatim from the previous
+        // identical member) + compacted search space.
         let start = Instant::now();
-        ws.dist.compute(
-            self.graph,
-            query.source,
-            query.target,
-            query.k,
-            self.config.distance_strategy,
-        );
-        ws.space
-            .rebuild_from_flat(self.graph, &ws.dist, &mut ws.scratch);
+        match input {
+            DistInput::Compute => {
+                ws.dist.compute(
+                    self.graph,
+                    query.source,
+                    query.target,
+                    query.k,
+                    self.config.distance_strategy,
+                );
+                ws.space
+                    .rebuild_from_flat(self.graph, &ws.dist, &mut ws.scratch);
+            }
+            DistInput::Shared { engine, lane } => {
+                ws.dist.begin_load(
+                    self.graph.vertex_count(),
+                    query.source,
+                    query.target,
+                    query.k,
+                );
+                let dist = &mut ws.dist;
+                engine.for_each_lane_distance_to_depth(
+                    Direction::Forward,
+                    lane,
+                    query.k,
+                    |v, d| dist.push_forward(v, d),
+                );
+                engine.for_each_lane_distance_to_depth(
+                    Direction::Backward,
+                    lane,
+                    query.k,
+                    |v, d| dist.push_backward(v, d),
+                );
+                ws.space
+                    .rebuild_from_flat(self.graph, &ws.dist, &mut ws.scratch);
+            }
+            DistInput::Reuse => {}
+        }
         timings.distance = start.elapsed();
         memory.distance_bytes = ws.dist.memory_bytes() + ws.space.memory_bytes();
 
@@ -245,10 +349,11 @@ impl<'g> Eve<'g> {
         &self,
         ws: &mut QueryWorkspace,
         query: Query,
+        input: DistInput<'_>,
     ) -> Result<SimplePathGraph, QueryError> {
         let mut timings = PhaseTimings::default();
         let mut memory = MemoryEstimate::default();
-        self.run_phases_1_2(ws, query, &mut timings, &mut memory);
+        self.run_phases_1_2(ws, query, &mut timings, &mut memory, input);
 
         // Phase 3: verification of undetermined edges.
         let start = Instant::now();
@@ -316,6 +421,7 @@ impl<'g> Eve<'g> {
             query.clamped_to(self.graph),
             &mut PhaseTimings::default(),
             &mut MemoryEstimate::default(),
+            DistInput::Compute,
         );
         Ok(Self::upper_bound_subgraph(ws))
     }

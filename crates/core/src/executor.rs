@@ -16,7 +16,14 @@
 //!   answers are bit-identical to sequential [`Eve::query_with`] runs — the
 //!   workspace-reuse property (answers never depend on what a workspace ran
 //!   before; see `tests/workspace_reuse.rs`) is what makes per-thread
-//!   workspaces safe.
+//!   workspaces safe;
+//! * by default the batch is first planned into **cohorts**
+//!   ([`crate::cohort`]): up to 64 distinct `(s, t)` endpoint pairs whose
+//!   Phase-1 distances are computed by one bit-parallel MS-BFS traversal per
+//!   direction instead of one BFS pair per query, with per-query fallback
+//!   for singletons and invalid queries ([`BatchExecutor::shared_phase1`]
+//!   restores the per-query path wholesale). Workers then claim whole units
+//!   (cohorts or singles) through the cursor.
 //!
 //! ### Error aggregation policy
 //!
@@ -28,8 +35,12 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 use std::thread;
+use std::time::Duration;
+
+use spg_graph::{FrontierMode, SearchSpaceStats};
 
 use crate::cache::{CacheOutcome, CachedEve};
+use crate::cohort::{run_cohort, CohortPlan, Unit};
 use crate::eve::Eve;
 use crate::query::{Query, QueryError};
 use crate::spg::SimplePathGraph;
@@ -69,14 +80,20 @@ const _: () = {
 pub struct BatchExecutor {
     threads: usize,
     chunk_size: usize,
+    shared_phase1: bool,
+    phase1_mode: FrontierMode,
 }
 
 impl BatchExecutor {
     /// Creates an executor with an explicit worker count (clamped to ≥ 1).
+    /// Cohort-shared Phase 1 is on by default; see
+    /// [`BatchExecutor::shared_phase1`].
     pub fn new(threads: usize) -> Self {
         BatchExecutor {
             threads: threads.max(1),
             chunk_size: 0,
+            shared_phase1: true,
+            phase1_mode: FrontierMode::default(),
         }
     }
 
@@ -90,8 +107,28 @@ impl BatchExecutor {
     }
 
     /// Overrides the cursor chunk size (0 restores the automatic choice).
+    /// Only the per-query path uses it; the cohort-shared path claims whole
+    /// units (cohorts or fallback singles) one at a time.
     pub fn chunk_size(mut self, chunk: usize) -> Self {
         self.chunk_size = chunk;
+        self
+    }
+
+    /// Enables or disables the cohort-shared MS-BFS Phase 1 (default:
+    /// enabled). When disabled, [`BatchExecutor::run`] answers every query
+    /// on the classic per-query path — the baseline the `batch_phase1`
+    /// benchmark and `phase1_sharing` perf snapshots compare against. The
+    /// result slots are bit-identical either way.
+    pub fn shared_phase1(mut self, enabled: bool) -> Self {
+        self.shared_phase1 = enabled;
+        self
+    }
+
+    /// Overrides the per-level expansion policy of the shared Phase-1
+    /// traversal (default: [`FrontierMode::DirectionOptimizing`]). Answers
+    /// do not depend on the mode, only the work profile does.
+    pub fn phase1_mode(mut self, mode: FrontierMode) -> Self {
+        self.phase1_mode = mode;
         self
     }
 
@@ -122,10 +159,57 @@ impl BatchExecutor {
 
     /// [`BatchExecutor::run`] plus execution statistics: global and
     /// per-worker query/error counts, the worst single-query
-    /// [`MemoryEstimate`] (field-wise max merge), and the workspace capacity
-    /// each worker retained.
+    /// [`MemoryEstimate`] (field-wise max merge), the workspace capacity
+    /// each worker retained, and — on the default cohort-shared path — the
+    /// shared-Phase-1 counters ([`BatchStats::phase1`]).
     pub fn run_detailed(&self, eve: &Eve<'_>, queries: &[Query]) -> BatchOutcome {
-        self.run_with(queries, &|ws, query, _stats| eve.query_with(ws, query))
+        if self.shared_phase1 {
+            self.run_shared(eve, queries)
+        } else {
+            self.run_with(queries, &|ws, query, _stats| eve.query_with(ws, query))
+        }
+    }
+
+    /// Cohort-shared batch driver: plan the batch into units (cohorts and
+    /// per-query fallbacks), then let workers claim units through the atomic
+    /// cursor. Each worker runs a claimed cohort's two MS-BFS passes on its
+    /// private workspace and answers the members from the shared distances;
+    /// fallback units go through [`Eve::query_with`] unchanged.
+    fn run_shared(&self, eve: &Eve<'_>, queries: &[Query]) -> BatchOutcome {
+        let plan = CohortPlan::build(eve.graph(), queries, self.threads);
+        let workers = self.threads.min(plan.units.len()).max(1);
+        let slots: Vec<OnceLock<BatchResult>> =
+            (0..queries.len()).map(|_| OnceLock::new()).collect();
+        let cursor = AtomicUsize::new(0);
+        let mode = self.phase1_mode;
+
+        let mut per_thread: Vec<ThreadBatchStats> = Vec::with_capacity(workers);
+        if workers == 1 {
+            per_thread.push(drain_shared(eve, queries, &plan, mode, &cursor, &slots));
+        } else {
+            thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        scope.spawn(|| drain_shared(eve, queries, &plan, mode, &cursor, &slots))
+                    })
+                    .collect();
+                for handle in handles {
+                    per_thread.push(handle.join().expect("batch worker panicked"));
+                }
+            });
+        }
+
+        let results: Vec<BatchResult> = slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("the cohort plan covers every query index exactly once")
+            })
+            .collect();
+        // Units are claimed whole, so the chunk notion degenerates to 1.
+        let stats = BatchStats::from_workers(workers, 1, per_thread);
+        debug_assert_eq!(stats.answered + stats.errors, results.len());
+        BatchOutcome { results, stats }
     }
 
     /// Answers `queries` through a shared [`crate::SpgCache`]: every worker
@@ -224,6 +308,52 @@ impl Default for BatchExecutor {
     }
 }
 
+/// One worker's drain loop on the cohort-shared path: claim one unit at a
+/// time, run cohorts via [`run_cohort`] and fallback singles via
+/// [`Eve::query_with`], publish every member into its pre-sized slot.
+fn drain_shared(
+    eve: &Eve<'_>,
+    queries: &[Query],
+    plan: &CohortPlan,
+    mode: FrontierMode,
+    cursor: &AtomicUsize,
+    slots: &[OnceLock<BatchResult>],
+) -> ThreadBatchStats {
+    let mut ws = QueryWorkspace::new();
+    let mut stats = ThreadBatchStats::default();
+    loop {
+        let unit = cursor.fetch_add(1, Ordering::Relaxed);
+        if unit >= plan.units.len() {
+            break;
+        }
+        stats.chunks_claimed += 1;
+        match &plan.units[unit] {
+            Unit::Single(index) => {
+                let result = eve.query_with(&mut ws, queries[*index]);
+                match &result {
+                    Ok(spg) => {
+                        stats.answered += 1;
+                        stats.peak_memory.merge_max(&spg.stats().memory);
+                    }
+                    Err(_) => stats.errors += 1,
+                }
+                slots[*index]
+                    .set(result)
+                    .expect("no other worker may claim this query index");
+            }
+            Unit::Cohort(cohort) => {
+                run_cohort(eve, &mut ws, cohort, mode, &mut stats, |index, result| {
+                    slots[index]
+                        .set(result)
+                        .expect("no other worker may claim this query index");
+                });
+            }
+        }
+    }
+    stats.workspace_retained_bytes = ws.retained_bytes();
+    stats
+}
+
 /// One worker's drain loop: claim a chunk of query indices, answer each on
 /// the private workspace through `run_one`, publish into the pre-sized
 /// slots.
@@ -269,6 +399,60 @@ pub struct BatchOutcome {
     pub stats: BatchStats,
 }
 
+/// Counters of the batch-shared MS-BFS Phase 1 (the cohort path of
+/// [`BatchExecutor`] and [`Eve::query_batch`]; all-zero when sharing is
+/// disabled or the batch degenerated to per-query fallbacks).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SharedPhase1Stats {
+    /// Queries whose Phase-1 distances came from a cohort MS-BFS run
+    /// (the rest fell back to the per-query engine).
+    pub phase1_shared: usize,
+    /// MS-BFS lanes actually traversed — distinct `(s, t)` endpoint pairs,
+    /// summed over cohorts. `phase1_shared / distinct_endpoints` is the
+    /// dedup ratio hub-skewed batches benefit from.
+    pub distinct_endpoints: usize,
+    /// Cohorts executed (each pays one bidirectional MS-BFS traversal).
+    pub cohorts: usize,
+    /// Members whose Phase-1a output was reused verbatim from the previous
+    /// member of the same cohort — exact `(s, t, k)` duplicates, which the
+    /// plan orders back to back.
+    pub distance_reuses: usize,
+    /// Wall time of the cohort MS-BFS passes. Per-query materialisation of
+    /// lane distances is *not* included here — it is recorded in each
+    /// answer's distance phase timing, so "total Phase-1 time" of a shared
+    /// batch is this plus the per-answer distance timings.
+    pub traversal_time: Duration,
+    /// Cohort traversal work: top-down relaxations on the forward /
+    /// backward sides plus bottom-up probes, kept separate so the
+    /// direction-optimizing switch is observable.
+    pub traversal: SearchSpaceStats,
+}
+
+impl SharedPhase1Stats {
+    /// Queries served per traversed lane (`None` before any cohort ran).
+    /// 1.0 means no endpoint reuse; hub-skewed batches score higher.
+    pub fn dedup_ratio(&self) -> Option<f64> {
+        if self.distinct_endpoints == 0 {
+            None
+        } else {
+            Some(self.phase1_shared as f64 / self.distinct_endpoints as f64)
+        }
+    }
+
+    /// Element-wise sum, used when folding per-worker stats.
+    fn merge(&mut self, other: &SharedPhase1Stats) {
+        self.phase1_shared += other.phase1_shared;
+        self.distinct_endpoints += other.distinct_endpoints;
+        self.cohorts += other.cohorts;
+        self.distance_reuses += other.distance_reuses;
+        self.traversal_time += other.traversal_time;
+        self.traversal.forward_edge_scans += other.traversal.forward_edge_scans;
+        self.traversal.backward_edge_scans += other.traversal.backward_edge_scans;
+        self.traversal.bottom_up_edge_scans += other.traversal.bottom_up_edge_scans;
+        self.traversal.space_vertices += other.traversal.space_vertices;
+    }
+}
+
 /// Counters for one worker thread of a batch run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ThreadBatchStats {
@@ -284,6 +468,8 @@ pub struct ThreadBatchStats {
     /// Cache lookups this worker had to compute-then-publish (always 0 for
     /// uncached runs).
     pub cache_misses: usize,
+    /// This worker's shared-Phase-1 counters (cohort path only).
+    pub phase1: SharedPhase1Stats,
     /// Worst single-query memory estimate seen by this worker
     /// ([`MemoryEstimate::merge_max`] over its queries).
     pub peak_memory: MemoryEstimate,
@@ -314,6 +500,10 @@ pub struct BatchStats {
     /// cache's eviction-counter delta — includes evictions triggered by
     /// concurrent users of the same cache; always 0 for uncached runs).
     pub cache_evictions: usize,
+    /// Shared-Phase-1 counters summed over all workers: queries served from
+    /// cohort MS-BFS runs, distinct endpoint pairs traversed, cohort count,
+    /// traversal wall time and the top-down/bottom-up scan split.
+    pub phase1: SharedPhase1Stats,
     /// Worst single-query memory estimate across the whole batch.
     pub peak_memory: MemoryEstimate,
     /// Sum of every worker's retained workspace capacity — the steady-state
@@ -335,6 +525,7 @@ impl BatchStats {
             stats.errors += worker.errors;
             stats.cache_hits += worker.cache_hits;
             stats.cache_misses += worker.cache_misses;
+            stats.phase1.merge(&worker.phase1);
             stats.peak_memory.merge_max(&worker.peak_memory);
             stats.workspace_retained_bytes += worker.workspace_retained_bytes;
         }
@@ -416,12 +607,28 @@ mod tests {
         assert_eq!(stats.queries(), batch.len());
         assert_eq!(stats.errors, 3, "exactly the three injected invalid slots");
         assert_eq!(stats.threads, 4);
-        assert!(stats.chunk_size >= 1);
         assert_eq!(stats.per_thread.len(), 4);
         let per_thread_total: usize = stats.per_thread.iter().map(|t| t.answered + t.errors).sum();
         assert_eq!(per_thread_total, batch.len());
+        // Shared mode claims whole units; at 4 workers the member cap
+        // splits the 16 valid queries across several cohorts so no single
+        // indivisible unit serializes the batch.
+        assert_eq!(stats.chunk_size, 1);
         let chunks: usize = stats.per_thread.iter().map(|t| t.chunks_claimed).sum();
-        assert_eq!(chunks, batch.len().div_ceil(stats.chunk_size));
+        assert!(chunks >= 4, "at least the three singles plus one cohort");
+        assert!(stats.phase1.cohorts >= 2, "member cap produced ≥ 2 cohorts");
+        assert!(stats.phase1.phase1_shared <= 16);
+        assert!(stats.phase1.distinct_endpoints <= stats.phase1.phase1_shared);
+        assert!(stats.phase1.traversal.total_edge_scans() > 0);
+
+        // A single worker plans one uncapped cohort: exact accounting.
+        let solo = BatchExecutor::new(1).run_detailed(&eve, &batch).stats;
+        assert_eq!(solo.phase1.cohorts, 1);
+        assert_eq!(solo.phase1.phase1_shared, 16);
+        assert_eq!(solo.phase1.distinct_endpoints, 2, "(S,T) and (A,B)");
+        assert_eq!(solo.phase1.dedup_ratio(), Some(8.0));
+        let solo_chunks: usize = solo.per_thread.iter().map(|t| t.chunks_claimed).sum();
+        assert_eq!(solo_chunks, 4, "one cohort unit + three fallback singles");
         assert!(stats.peak_memory.peak_bytes() > 0);
         // Workers that answered at least one query retain workspace buffers.
         for worker in &stats.per_thread {
@@ -430,6 +637,31 @@ mod tests {
             }
         }
         assert!(stats.workspace_retained_bytes > 0);
+    }
+
+    #[test]
+    fn legacy_per_query_path_keeps_chunked_cursor_semantics() {
+        let g = paper_example::figure1_graph();
+        let eve = Eve::with_defaults(&g);
+        let batch = mixed_batch(g.vertex_count() as u32);
+        let outcome = BatchExecutor::new(4)
+            .shared_phase1(false)
+            .run_detailed(&eve, &batch);
+        let stats = &outcome.stats;
+        assert_eq!(stats.queries(), batch.len());
+        assert!(stats.chunk_size >= 1);
+        let chunks: usize = stats.per_thread.iter().map(|t| t.chunks_claimed).sum();
+        assert_eq!(chunks, batch.len().div_ceil(stats.chunk_size));
+        assert_eq!(stats.phase1, SharedPhase1Stats::default(), "sharing off");
+        // And the slots agree with the shared path bit for bit.
+        let shared = BatchExecutor::new(4).run(&eve, &batch);
+        for (i, (legacy, with_sharing)) in outcome.results.iter().zip(&shared).enumerate() {
+            match (legacy, with_sharing) {
+                (Ok(a), Ok(b)) => assert_eq!(a.edges(), b.edges(), "slot {i}"),
+                (Err(a), Err(b)) => assert_eq!(a, b, "slot {i}"),
+                other => panic!("slot {i}: Ok/Err mismatch {other:?}"),
+            }
+        }
     }
 
     #[test]
@@ -456,7 +688,10 @@ mod tests {
         let batch = mixed_batch(g.vertex_count() as u32);
         let expected = eve.query_batch(&batch);
         for chunk in [1usize, 2, 7, 1000] {
+            // The chunked cursor belongs to the per-query path; the shared
+            // path claims whole cohort units instead.
             let outcome = BatchExecutor::new(2)
+                .shared_phase1(false)
                 .chunk_size(chunk)
                 .run_detailed(&eve, &batch);
             assert_eq!(outcome.stats.chunk_size, chunk);

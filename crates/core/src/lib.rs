@@ -35,6 +35,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cohort;
 mod compact;
 
 pub mod cache;
@@ -53,7 +54,9 @@ pub mod workspace;
 pub use cache::{CacheOutcome, CacheStats, CachedEve, SpgCache};
 pub use eve::{Eve, EveConfig, EveOutput};
 pub use evset::EvSet;
-pub use executor::{BatchExecutor, BatchOutcome, BatchResult, BatchStats, ThreadBatchStats};
+pub use executor::{
+    BatchExecutor, BatchOutcome, BatchResult, BatchStats, SharedPhase1Stats, ThreadBatchStats,
+};
 pub use labeling::{EdgeLabel, LabelingStats, UpperBoundGraph};
 pub use propagation::{Propagation, PropagationStats};
 pub use query::{Query, QueryError};

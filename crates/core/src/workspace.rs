@@ -16,7 +16,7 @@
 //! test in `tests/workspace_reuse.rs` checks that answers are bit-identical
 //! to fresh single-shot queries.
 
-use spg_graph::{FlatDistances, SearchSpace, SpaceScratch};
+use spg_graph::{FlatDistances, MsBfsEngine, SearchSpace, SpaceScratch};
 
 use crate::compact::{FlatPropagation, FlatUpperBound, OrderScratch, VerifyScratch};
 
@@ -38,6 +38,9 @@ use crate::compact::{FlatPropagation, FlatUpperBound, OrderScratch, VerifyScratc
 pub struct QueryWorkspace {
     /// Epoch-stamped flat distance engine (phase 1a).
     pub(crate) dist: FlatDistances,
+    /// Bit-parallel bidirectional MS-BFS engine for cohort-shared phase 1
+    /// (empty — zero retained bytes — until the first shared batch).
+    pub(crate) msbfs: MsBfsEngine,
     /// Epoch-stamped global→local vertex translation (graph-sized).
     pub(crate) scratch: SpaceScratch,
     /// Compacted search space of the current query.
@@ -67,6 +70,7 @@ impl QueryWorkspace {
     /// [`crate::MemoryEstimate::workspace_arena_bytes`].
     pub fn retained_bytes(&self) -> usize {
         self.dist.retained_bytes()
+            + self.msbfs.retained_bytes()
             + self.scratch.memory_bytes()
             + self.space.retained_bytes()
             + self.fwd.retained_bytes()

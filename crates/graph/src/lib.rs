@@ -42,7 +42,8 @@ pub use properties::DegreeStats;
 pub use subgraph::EdgeSubgraph;
 pub use traversal::{
     bfs_distances_from, bfs_distances_to, k_hop_reachable, DistanceIndex, DistanceStrategy,
-    FlatDistances, SearchSpace, SearchSpaceStats, SpaceScratch,
+    FlatDistances, FrontierMode, MsBfsEngine, MsBfsLane, MsBfsStats, SearchSpace, SearchSpaceStats,
+    SpaceScratch,
 };
 pub use versioned::{GraphVersion, VersionedGraph};
 
@@ -63,6 +64,7 @@ const _: () = {
     assert_send_sync::<EdgeSubgraph>();
     assert_send_sync::<DistanceIndex>();
     assert_send_sync::<FlatDistances>();
+    assert_send_sync::<MsBfsEngine>();
     assert_send_sync::<SearchSpace>();
     assert_send_sync::<SpaceScratch>();
     assert_send_sync::<VersionedGraph>();

@@ -55,19 +55,26 @@ impl DistanceStrategy {
 /// Work counters for the distance phase.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SearchSpaceStats {
-    /// Edges scanned by the forward search (including its restricted
-    /// extension phase).
+    /// Edges scanned top-down by the forward search (frontier relaxations,
+    /// including the restricted extension phase of bidirectional search).
     pub forward_edge_scans: usize,
-    /// Edges scanned by the backward search.
+    /// Edges scanned top-down by the backward search.
     pub backward_edge_scans: usize,
+    /// Reverse-adjacency entries probed by bottom-up (direction-optimizing)
+    /// levels of the shared MS-BFS Phase-1 engine. Always 0 for the
+    /// per-query engines, which only relax top-down; kept separate from the
+    /// relaxation counters so direction switching stays observable instead
+    /// of being folded into the top-down totals.
+    pub bottom_up_edge_scans: usize,
     /// Vertices retained in the final search space.
     pub space_vertices: usize,
 }
 
 impl SearchSpaceStats {
-    /// Total number of edge scans across both directions.
+    /// Total number of edge scans across both directions, top-down and
+    /// bottom-up alike.
     pub fn total_edge_scans(&self) -> usize {
-        self.forward_edge_scans + self.backward_edge_scans
+        self.forward_edge_scans + self.backward_edge_scans + self.bottom_up_edge_scans
     }
 }
 
@@ -232,6 +239,7 @@ impl DistanceIndex {
         let stats = SearchSpaceStats {
             forward_edge_scans: forward.edge_scans,
             backward_edge_scans: backward.edge_scans,
+            bottom_up_edge_scans: 0,
             space_vertices: dist_from_s.len(),
         };
         DistanceIndex {

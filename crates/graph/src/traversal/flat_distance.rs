@@ -35,6 +35,16 @@ struct StampedSide {
 
 impl StampedSide {
     fn begin(&mut self, n: usize, source: VertexId, epoch: u32) {
+        self.begin_empty(n);
+        self.slots[source as usize] = (epoch, 0);
+        self.seen.push(source);
+        self.frontier.push(source);
+    }
+
+    /// Clears the per-query state without seeding a source — the externally-
+    /// loaded mode ([`FlatDistances::begin_load`]) provides every entry,
+    /// including the 0-distance source.
+    fn begin_empty(&mut self, n: usize) {
         if self.slots.len() < n {
             self.slots.resize(n, (0, 0));
         }
@@ -42,9 +52,6 @@ impl StampedSide {
         self.frontier.clear();
         self.depth = 0;
         self.edge_scans = 0;
-        self.slots[source as usize] = (epoch, 0);
-        self.seen.push(source);
-        self.frontier.push(source);
     }
 
     #[inline]
@@ -105,13 +112,7 @@ impl FlatDistances {
         self.s = s;
         self.t = t;
         self.k = k;
-        self.epoch = self.epoch.wrapping_add(1);
-        if self.epoch == 0 {
-            // Extremely rare wrap: reset the stamps explicitly.
-            self.fwd.slots.fill((0, 0));
-            self.bwd.slots.fill((0, 0));
-            self.epoch = 1;
-        }
+        self.next_epoch();
         self.fwd.begin(n, s, self.epoch);
         self.bwd.begin(n, t, self.epoch);
 
@@ -151,6 +152,65 @@ impl FlatDistances {
                 self.run_side(g, Direction::Backward, k - bd, true);
             }
         }
+    }
+
+    /// Bumps the validity epoch, handling the (extremely rare) wrap by
+    /// resetting every stamp explicitly.
+    fn next_epoch(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.fwd.slots.fill((0, 0));
+            self.bwd.slots.fill((0, 0));
+            self.epoch = 1;
+        }
+    }
+
+    /// Starts loading externally computed raw distances for query
+    /// `⟨s, t, k⟩` on a graph with `n` vertices, instead of running the BFS
+    /// itself. This is how the batch-shared MS-BFS Phase-1 engine
+    /// materialises a cohort lane into a per-query workspace: after this
+    /// call, push every vertex the forward lane discovered via
+    /// [`FlatDistances::push_forward`] (including `s` at distance 0) and
+    /// every vertex the backward lane discovered via
+    /// [`FlatDistances::push_backward`] (including `t` at distance 0), each
+    /// vertex at most once per side.
+    ///
+    /// The raw entries may extend beyond `k` (a shared lane runs to the
+    /// *maximum* hop budget of the queries it serves); the search-space
+    /// accessors ([`FlatDistances::dist_from_s`] and friends) filter with
+    /// `Δ(s,v) + Δ(v,t) ≤ k` exactly as in the computed mode, so downstream
+    /// phases see distances identical to a per-query
+    /// [`FlatDistances::compute`] run. Loaded queries report zero traversal
+    /// scans in [`FlatDistances::stats`]; the shared engine's scan counts
+    /// are accounted at the cohort level.
+    ///
+    /// # Panics
+    /// Panics if `s == t` (mirrors [`FlatDistances::compute`]).
+    pub fn begin_load(&mut self, n: usize, s: VertexId, t: VertexId, k: u32) {
+        assert!(
+            s != t,
+            "queries require distinct source and target vertices"
+        );
+        self.s = s;
+        self.t = t;
+        self.k = k;
+        self.next_epoch();
+        self.fwd.begin_empty(n);
+        self.bwd.begin_empty(n);
+    }
+
+    /// Records a forward raw distance `Δ(s, v) = d` in loaded mode.
+    #[inline]
+    pub fn push_forward(&mut self, v: VertexId, d: u32) {
+        self.fwd.slots[v as usize] = (self.epoch, d);
+        self.fwd.seen.push(v);
+    }
+
+    /// Records a backward raw distance `Δ(v, t) = d` in loaded mode.
+    #[inline]
+    pub fn push_backward(&mut self, v: VertexId, d: u32) {
+        self.bwd.slots[v as usize] = (self.epoch, d);
+        self.bwd.seen.push(v);
     }
 
     /// Expands `steps` levels of one side (or until its frontier empties).
@@ -284,6 +344,7 @@ impl FlatDistances {
         SearchSpaceStats {
             forward_edge_scans: self.fwd.edge_scans,
             backward_edge_scans: self.bwd.edge_scans,
+            bottom_up_edge_scans: 0,
             space_vertices: 0,
         }
     }

@@ -1,0 +1,955 @@
+//! Bit-parallel multi-source hop-bounded bidirectional BFS (MS-BFS) with
+//! direction-optimizing traversal.
+//!
+//! The EVE Phase 1 runs one hop-bounded bidirectional search per query. When
+//! a batch contains many queries, most of that traversal work is repeated:
+//! queries share endpoint pairs, and even unrelated queries walk the same
+//! dense core of the graph. [`MsBfsEngine`] amortises that cost in the style
+//! of *MS-BFS* (Then et al., VLDB 2015): up to [`MAX_LANES`] = 64 concurrent
+//! **lanes** — one per distinct `(s, t)` endpoint pair — share a single pass
+//! over the CSR, with one `u64` word per vertex whose bit *i* says "lane *i*
+//! has reached this vertex". Setting bit *i* for the first time at level *d*
+//! means `dist_i(v) = d`; per-level discovery records make those distances
+//! recoverable per lane afterwards.
+//!
+//! Three properties of the per-query engine are folded into the word
+//! operations, so cohort-shared answers stay bit-identical:
+//!
+//! * **Bidirectional scheduling.** A full-depth one-directional BFS
+//!   saturates the graph (`O(d_avg^k)` vs the bidirectional
+//!   `O(d_avg^{k/2})` meet-in-the-middle), which no amount of bit-
+//!   parallelism pays back. Each lane therefore follows exactly the
+//!   balanced-bidirectional schedule of the per-query
+//!   [`FlatDistances`](crate::traversal::FlatDistances) engine: the forward
+//!   side expands freely to `⌈k/2⌉`, the backward side to `⌊k/2⌋`, then
+//!   each side finishes **restricted** — only vertices the other side has
+//!   already discovered may be newly discovered. Lanes with different `k`
+//!   pause at different levels; a per-vertex *paused* word parks a lane's
+//!   frontier at its half-depth and the restricted phase resumes all lanes
+//!   level-synchronously (lane *i*'s restricted level *c* means distance
+//!   `half_i + c`).
+//! * **Per-lane avoid vertices.** EVE's forward distances `Δ(s, v)` never
+//!   route *through* `t` (and the backward ones never through `s`): paths
+//!   revisiting an endpoint cannot be simple. A per-vertex forbid word
+//!   masks a lane's bit out of every expansion *from* its avoided endpoint
+//!   while still allowing that vertex to be discovered. This is also why
+//!   lanes are keyed by the `(s, t)` *pair* rather than the bare source:
+//!   two queries from one source with different targets need different
+//!   avoid vertices, and merging them would change distances (and answers)
+//!   whenever the only shortest route to some vertex passes through one of
+//!   the targets.
+//! * **Per-lane hop budgets.** Lane *i* stops discovering at its own depth
+//!   budget; per-level active masks retire exhausted lanes, so recorded
+//!   distances are exactly the hop-bounded set a per-query run produces.
+//!
+//! Within every phase, each level is expanded either **top-down** (scan the
+//! frontier's adjacency and OR its word into the neighbours) or
+//! **bottom-up** (scan still-undiscovered vertices and gather the frontier
+//! words of their reverse neighbours, with early exit once every
+//! still-possible lane has been found) in the style of Beamer's
+//! direction-optimizing BFS. The switch is per level: bottom-up is chosen
+//! once the frontier is incident to at least `1 /`
+//! [`DIRECTION_SWITCH_DENOMINATOR`] of all edges. [`MsBfsStats`] counts both
+//! kinds of edge scan separately so the switching stays observable.
+
+use crate::csr::{DiGraph, Direction, VertexId};
+use crate::traversal::SearchSpaceStats;
+
+/// Maximum number of concurrent BFS lanes (one bit per lane in a `u64`).
+pub const MAX_LANES: usize = 64;
+
+/// Frontier density at which a level switches to bottom-up: bottom-up is
+/// used when the frontier's incident edges exceed `edge_count / 2`. The
+/// bar is deliberately much higher than Beamer's single-source α ≈ 14
+/// because a 64-lane bottom-up gather can only early-exit once *every*
+/// still-possible lane has been found, which is rare while many lanes are
+/// active — so bottom-up only pays once the frontier is incident to about
+/// half of all edges (the `batch_phase1` benchmark is the tuning harness).
+pub const DIRECTION_SWITCH_DENOMINATOR: usize = 2;
+
+/// One BFS lane: a distinct `(source, target)` endpoint pair and its hop
+/// budget. The forward side starts at `source` avoiding `target`; the
+/// backward side starts at `target` avoiding `source`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MsBfsLane {
+    /// Query source `s` (forward distance 0).
+    pub source: VertexId,
+    /// Query target `t` (backward distance 0; must differ from `source`).
+    pub target: VertexId,
+    /// Hop budget: the lane records forward + backward distances whose
+    /// filtered sum can reach `depth` (0 records only the endpoints).
+    pub depth: u32,
+}
+
+impl MsBfsLane {
+    /// Free forward levels of the balanced bidirectional schedule, `⌈k/2⌉`.
+    #[inline]
+    fn half_fwd(&self) -> u32 {
+        self.depth.div_ceil(2)
+    }
+
+    /// Free backward levels, `⌊k/2⌋`.
+    #[inline]
+    fn half_bwd(&self) -> u32 {
+        self.depth / 2
+    }
+}
+
+/// Per-level expansion policy of the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum FrontierMode {
+    /// Choose top-down or bottom-up per level by frontier density (the
+    /// default, and what production cohorts use).
+    #[default]
+    DirectionOptimizing,
+    /// Always relax frontier adjacency (classic BFS); the baseline the
+    /// `batch_phase1` benchmark compares against.
+    TopDownOnly,
+    /// Always gather from reverse adjacency (for tests and worst-case
+    /// measurements; correct but wasteful on sparse frontiers).
+    BottomUpOnly,
+}
+
+/// Work counters of one side of an [`MsBfsEngine::run`], split by expansion
+/// direction so the direction-optimizing switch is observable.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MsBfsStats {
+    /// Adjacency entries scanned by top-down levels (frontier relaxations).
+    pub top_down_edge_scans: usize,
+    /// Reverse-adjacency entries probed by bottom-up levels (including
+    /// probes cut short by the early exit).
+    pub bottom_up_edge_scans: usize,
+    /// Levels expanded top-down.
+    pub top_down_levels: usize,
+    /// Levels expanded bottom-up.
+    pub bottom_up_levels: usize,
+}
+
+impl MsBfsStats {
+    /// Total edges scanned in either direction.
+    pub fn total_edge_scans(&self) -> usize {
+        self.top_down_edge_scans + self.bottom_up_edge_scans
+    }
+
+    /// Folds this side's counters into a [`SearchSpaceStats`]: top-down
+    /// scans land on the side given by `dir` (forward side → forward
+    /// scans), bottom-up scans are accounted separately.
+    pub fn accumulate_into(&self, stats: &mut SearchSpaceStats, dir: Direction) {
+        match dir {
+            Direction::Forward => stats.forward_edge_scans += self.top_down_edge_scans,
+            Direction::Backward => stats.backward_edge_scans += self.top_down_edge_scans,
+        }
+        stats.bottom_up_edge_scans += self.bottom_up_edge_scans;
+    }
+}
+
+/// One traversal side (forward from the sources or backward from the
+/// targets) with its bit arrays and discovery records.
+#[derive(Debug, Clone, Default)]
+struct Side {
+    /// Bit *i* set ⇒ lane *i* has discovered this vertex on this side.
+    seen: Vec<u64>,
+    /// Bits discovered exactly at the current level.
+    frontier_bits: Vec<u64>,
+    /// Bits being discovered at the level under construction.
+    next_bits: Vec<u64>,
+    /// Bit *i* set ⇒ this vertex is lane *i*'s avoided endpoint on this
+    /// side (discoverable, never expanded from).
+    forbid: Vec<u64>,
+    /// Frontier bits parked at each lane's half-depth, waiting for the
+    /// restricted phase.
+    paused_bits: Vec<u64>,
+    /// Vertices with a non-zero `frontier_bits` word.
+    frontier: Vec<VertexId>,
+    /// Vertices with a non-zero `next_bits` word.
+    next: Vec<VertexId>,
+    /// Vertices with a non-zero `paused_bits` word.
+    paused: Vec<VertexId>,
+    /// `(vertex, bits first set at that level)` for the free phase,
+    /// grouped by level: level `d` distances are `d`.
+    records_free: Vec<(VertexId, u64)>,
+    offsets_free: Vec<usize>,
+    /// Restricted-phase records, grouped by resumed level: lane *i* bits at
+    /// level `c` mean distance `half_i + c`.
+    records_restricted: Vec<(VertexId, u64)>,
+    offsets_restricted: Vec<usize>,
+    stats: MsBfsStats,
+}
+
+impl Side {
+    fn begin(&mut self, n: usize) {
+        if self.seen.len() < n {
+            self.seen.resize(n, 0);
+            self.frontier_bits.resize(n, 0);
+            self.next_bits.resize(n, 0);
+            self.forbid.resize(n, 0);
+            self.paused_bits.resize(n, 0);
+        }
+        debug_assert!(
+            self.seen.iter().all(|&w| w == 0)
+                && self.forbid.iter().all(|&w| w == 0)
+                && self.paused_bits.iter().all(|&w| w == 0),
+            "bit arrays must be all-zero between runs"
+        );
+        self.records_free.clear();
+        self.offsets_free.clear();
+        self.records_restricted.clear();
+        self.offsets_restricted.clear();
+        self.frontier.clear();
+        self.next.clear();
+        self.paused.clear();
+        self.stats = MsBfsStats::default();
+    }
+
+    /// Seeds lane `i` at `start` avoiding `avoid`.
+    fn seed(&mut self, i: usize, start: VertexId, avoid: VertexId) {
+        let bit = 1u64 << i;
+        if self.frontier_bits[start as usize] == 0 {
+            self.frontier.push(start);
+        }
+        self.frontier_bits[start as usize] |= bit;
+        self.seen[start as usize] |= bit;
+        self.forbid[avoid as usize] |= bit;
+    }
+
+    /// Records the current frontier as one level of `records_free`.
+    fn record_free_level(&mut self) {
+        for &v in &self.frontier {
+            self.records_free.push((v, self.frontier_bits[v as usize]));
+        }
+        self.offsets_free.push(self.records_free.len());
+    }
+
+    /// Parks the frontier bits of `pause_mask` lanes for the restricted
+    /// phase (their free budget ends at the current level).
+    fn pause(&mut self, pause_mask: u64) {
+        if pause_mask == 0 {
+            return;
+        }
+        for &v in &self.frontier {
+            let bits = self.frontier_bits[v as usize] & pause_mask;
+            if bits != 0 {
+                if self.paused_bits[v as usize] == 0 {
+                    self.paused.push(v);
+                }
+                self.paused_bits[v as usize] |= bits;
+            }
+        }
+    }
+
+    /// Promotes `next` to the frontier, leaving the old arrays all-zero.
+    fn advance(&mut self) {
+        for &u in &self.frontier {
+            self.frontier_bits[u as usize] = 0;
+        }
+        std::mem::swap(&mut self.frontier_bits, &mut self.next_bits);
+        std::mem::swap(&mut self.frontier, &mut self.next);
+        self.next.clear();
+    }
+
+    /// Replaces the frontier with the paused set (restricted-phase start).
+    fn resume_from_paused(&mut self) {
+        for &u in &self.frontier {
+            self.frontier_bits[u as usize] = 0;
+        }
+        self.frontier.clear();
+        std::mem::swap(&mut self.frontier_bits, &mut self.paused_bits);
+        std::mem::swap(&mut self.frontier, &mut self.paused);
+    }
+
+    /// Expands one level. `level_mask` holds the lanes still in budget;
+    /// `restrict` is the other side's seen array during the restricted
+    /// phase (a lane may then only discover vertices the other side has
+    /// seen). Returns `true` if anything was discovered.
+    fn step(
+        &mut self,
+        g: &DiGraph,
+        dir: Direction,
+        level_mask: u64,
+        restrict: Option<&[u64]>,
+        mode: FrontierMode,
+    ) -> bool {
+        let bottom_up = match mode {
+            FrontierMode::TopDownOnly => false,
+            FrontierMode::BottomUpOnly => true,
+            FrontierMode::DirectionOptimizing => {
+                let frontier_edges: usize = self
+                    .frontier
+                    .iter()
+                    .map(|&u| g.neighbors(u, dir).len())
+                    .sum();
+                frontier_edges * DIRECTION_SWITCH_DENOMINATOR >= g.edge_count().max(1)
+            }
+        };
+        if bottom_up {
+            self.step_bottom_up(g, dir, level_mask, restrict);
+        } else {
+            self.step_top_down(g, dir, level_mask, restrict);
+        }
+        !self.next.is_empty()
+    }
+
+    /// Classic frontier relaxation: scan the adjacency of every frontier
+    /// vertex and OR its (forbid-masked) word into each neighbour.
+    fn step_top_down(
+        &mut self,
+        g: &DiGraph,
+        dir: Direction,
+        level_mask: u64,
+        restrict: Option<&[u64]>,
+    ) {
+        self.stats.top_down_levels += 1;
+        let frontier = std::mem::take(&mut self.frontier);
+        for &u in &frontier {
+            let mask = self.frontier_bits[u as usize] & !self.forbid[u as usize] & level_mask;
+            if mask == 0 {
+                continue;
+            }
+            for &v in g.neighbors(u, dir) {
+                self.stats.top_down_edge_scans += 1;
+                let mut new = mask & !self.seen[v as usize];
+                if let Some(other_seen) = restrict {
+                    new &= other_seen[v as usize];
+                }
+                if new != 0 {
+                    if self.next_bits[v as usize] == 0 {
+                        self.next.push(v);
+                    }
+                    self.next_bits[v as usize] |= new;
+                    self.seen[v as usize] |= new;
+                }
+            }
+        }
+        self.frontier = frontier;
+    }
+
+    /// Beamer-style bottom-up level: every vertex that some active lane
+    /// could still discover gathers the frontier words of its reverse
+    /// neighbours, stopping early once all still-possible lanes are found.
+    fn step_bottom_up(
+        &mut self,
+        g: &DiGraph,
+        dir: Direction,
+        level_mask: u64,
+        restrict: Option<&[u64]>,
+    ) {
+        self.stats.bottom_up_levels += 1;
+        let gather_dir = dir.flipped();
+        for v in 0..g.vertex_count() as VertexId {
+            let mut possible = level_mask & !self.seen[v as usize];
+            if let Some(other_seen) = restrict {
+                possible &= other_seen[v as usize];
+            }
+            if possible == 0 {
+                continue;
+            }
+            let mut gathered = 0u64;
+            for &u in g.neighbors(v, gather_dir) {
+                self.stats.bottom_up_edge_scans += 1;
+                gathered |= self.frontier_bits[u as usize] & !self.forbid[u as usize];
+                if gathered & possible == possible {
+                    break;
+                }
+            }
+            let new = gathered & possible;
+            if new != 0 {
+                self.next.push(v);
+                self.next_bits[v as usize] = new;
+                self.seen[v as usize] |= new;
+            }
+        }
+    }
+
+    /// Restores the all-zero invariant after a run: every vertex with a
+    /// set bit appears in a record, so this touches only what the run
+    /// discovered.
+    fn cleanup(&mut self, lanes: &[MsBfsLane], avoid_of: impl Fn(&MsBfsLane) -> VertexId) {
+        for &(v, _) in self.records_free.iter().chain(&self.records_restricted) {
+            self.seen[v as usize] = 0;
+            self.frontier_bits[v as usize] = 0;
+            self.paused_bits[v as usize] = 0;
+        }
+        for lane in lanes {
+            self.forbid[avoid_of(lane) as usize] = 0;
+        }
+        self.frontier.clear();
+        self.paused.clear();
+    }
+
+    fn retained_bytes(&self) -> usize {
+        let words = self.seen.capacity()
+            + self.frontier_bits.capacity()
+            + self.next_bits.capacity()
+            + self.forbid.capacity()
+            + self.paused_bits.capacity();
+        words * std::mem::size_of::<u64>()
+            + (self.frontier.capacity() + self.next.capacity() + self.paused.capacity())
+                * std::mem::size_of::<VertexId>()
+            + (self.records_free.capacity() + self.records_restricted.capacity())
+                * std::mem::size_of::<(VertexId, u64)>()
+            + (self.offsets_free.capacity() + self.offsets_restricted.capacity())
+                * std::mem::size_of::<usize>()
+    }
+}
+
+/// Reusable bit-parallel multi-source bidirectional BFS engine (see the
+/// module docs).
+///
+/// All buffers are retained across runs; between runs the graph-sized bit
+/// arrays are kept all-zero (reset touches only the vertices the previous
+/// run discovered), so a warmed engine performs no per-run allocation and
+/// no O(n) clearing.
+#[derive(Debug, Clone, Default)]
+pub struct MsBfsEngine {
+    fwd: Side,
+    bwd: Side,
+    /// `half_fwd` per lane, for restricted-level distance reconstruction.
+    halves_fwd: Vec<u32>,
+    /// `half_bwd` per lane.
+    halves_bwd: Vec<u32>,
+    mode: FrontierMode,
+    lane_count: usize,
+}
+
+impl MsBfsEngine {
+    /// Creates an empty engine; buffers grow on first use.
+    pub fn new() -> Self {
+        MsBfsEngine::default()
+    }
+
+    /// Sets the per-level expansion policy for subsequent runs.
+    pub fn set_mode(&mut self, mode: FrontierMode) {
+        self.mode = mode;
+    }
+
+    /// The current expansion policy.
+    pub fn mode(&self) -> FrontierMode {
+        self.mode
+    }
+
+    /// Runs one shared bidirectional hop-bounded search over `lanes`,
+    /// following the per-query balanced-bidirectional schedule lane by
+    /// lane: forward free to `⌈k/2⌉` (pausing each lane's frontier at its
+    /// own half-depth), backward free to `⌊k/2⌋`, then each side finishes
+    /// restricted to the other side's discovered region. Backward levels
+    /// walk the in-adjacency, so the reversed CSR is never materialised.
+    ///
+    /// Results stay readable (via [`MsBfsEngine::for_each_lane_distance`])
+    /// until the next `run`.
+    ///
+    /// # Panics
+    /// Panics if `lanes` is empty or longer than [`MAX_LANES`], or if any
+    /// lane has `source == target` or an endpoint outside the graph.
+    pub fn run(&mut self, g: &DiGraph, lanes: &[MsBfsLane]) {
+        assert!(
+            !lanes.is_empty() && lanes.len() <= MAX_LANES,
+            "MS-BFS cohorts hold 1..={MAX_LANES} lanes, got {}",
+            lanes.len()
+        );
+        let n = g.vertex_count();
+        self.fwd.begin(n);
+        self.bwd.begin(n);
+        self.halves_fwd.clear();
+        self.halves_bwd.clear();
+        self.lane_count = lanes.len();
+        for (i, lane) in lanes.iter().enumerate() {
+            assert!(
+                (lane.source as usize) < n && (lane.target as usize) < n,
+                "lane {i} endpoints must lie inside the graph"
+            );
+            assert!(
+                lane.source != lane.target,
+                "lane {i}: source and target must be distinct"
+            );
+            self.fwd.seed(i, lane.source, lane.target);
+            self.bwd.seed(i, lane.target, lane.source);
+            self.halves_fwd.push(lane.half_fwd());
+            self.halves_bwd.push(lane.half_bwd());
+        }
+
+        let mode = self.mode;
+        // Free phases: each side expands to its per-lane half-depth.
+        Self::free_phase(&mut self.fwd, g, Direction::Forward, &self.halves_fwd, mode);
+        Self::free_phase(
+            &mut self.bwd,
+            g,
+            Direction::Backward,
+            &self.halves_bwd,
+            mode,
+        );
+        // Restricted phases: resume the paused frontiers; lane i's budget is
+        // depth_i − half_i further levels, each discovery gated on the other
+        // side's seen set. The backward pass runs after (and therefore
+        // sees) the forward restricted discoveries, mirroring the
+        // sequential engine.
+        Self::restricted_phase(
+            &mut self.fwd,
+            g,
+            Direction::Forward,
+            lanes,
+            &self.halves_fwd,
+            &self.bwd.seen,
+            mode,
+        );
+        Self::restricted_phase(
+            &mut self.bwd,
+            g,
+            Direction::Backward,
+            lanes,
+            &self.halves_bwd,
+            &self.fwd.seen,
+            mode,
+        );
+
+        self.fwd.cleanup(lanes, |lane| lane.target);
+        self.bwd.cleanup(lanes, |lane| lane.source);
+    }
+
+    /// Free phase of one side: level-synchronous expansion where lane `i`
+    /// participates while the next level stays within `halves[i]`, parking
+    /// its frontier in the paused set once its half-budget is spent.
+    fn free_phase(
+        side: &mut Side,
+        g: &DiGraph,
+        dir: Direction,
+        halves: &[u32],
+        mode: FrontierMode,
+    ) {
+        let mut depth = 0u32;
+        side.record_free_level();
+        loop {
+            let pause_mask = lane_mask(halves, |&h| h == depth);
+            side.pause(pause_mask);
+            if side.frontier.is_empty() {
+                break;
+            }
+            let level_mask = lane_mask(halves, |&h| h > depth);
+            if level_mask == 0 {
+                break;
+            }
+            if !side.step(g, dir, level_mask, None, mode) {
+                side.advance();
+                break;
+            }
+            side.advance();
+            side.record_free_level();
+            depth += 1;
+        }
+    }
+
+    /// Restricted phase of one side: resume from the paused frontiers and
+    /// expand while any lane has remaining budget (`depth_i − half_i`
+    /// levels), discovering only vertices in `other_seen`.
+    #[allow(clippy::too_many_arguments)]
+    fn restricted_phase(
+        side: &mut Side,
+        g: &DiGraph,
+        dir: Direction,
+        lanes: &[MsBfsLane],
+        halves: &[u32],
+        other_seen: &[u64],
+        mode: FrontierMode,
+    ) {
+        side.resume_from_paused();
+        let mut c = 0u32;
+        loop {
+            if side.frontier.is_empty() {
+                break;
+            }
+            let level_mask = lanes
+                .iter()
+                .zip(halves)
+                .enumerate()
+                .filter(|(_, (lane, &half))| lane.depth - half > c)
+                .fold(0u64, |mask, (i, _)| mask | (1u64 << i));
+            if level_mask == 0 {
+                break;
+            }
+            let discovered = side.step(g, dir, level_mask, Some(other_seen), mode);
+            side.advance();
+            if !discovered {
+                break;
+            }
+            for i in 0..side.frontier.len() {
+                let v = side.frontier[i];
+                side.records_restricted
+                    .push((v, side.frontier_bits[v as usize]));
+            }
+            side.offsets_restricted.push(side.records_restricted.len());
+            c += 1;
+        }
+    }
+
+    /// Number of lanes of the last run.
+    pub fn lane_count(&self) -> usize {
+        self.lane_count
+    }
+
+    /// Visits every `(vertex, distance)` the given lane discovered on one
+    /// side in the last run — forward distances `Δ(s, v)` for
+    /// [`Direction::Forward`], backward distances `Δ(v, t)` for
+    /// [`Direction::Backward`] — in ascending distance order. Includes the
+    /// side's start vertex at distance 0.
+    ///
+    /// # Panics
+    /// Panics if `lane` is not a lane index of the last run.
+    pub fn for_each_lane_distance<F: FnMut(VertexId, u32)>(
+        &self,
+        dir: Direction,
+        lane: usize,
+        f: F,
+    ) {
+        self.for_each_lane_distance_to_depth(dir, lane, u32::MAX, f);
+    }
+
+    /// [`MsBfsEngine::for_each_lane_distance`] truncated to distances
+    /// `≤ max_depth`. A query served by a deeper shared lane (the lane's
+    /// budget is the maximum `k` of the queries sharing its pair) never
+    /// consumes entries past its own `k` — the search-space filter would
+    /// discard them anyway — so the materialisation loop can stop early.
+    pub fn for_each_lane_distance_to_depth<F: FnMut(VertexId, u32)>(
+        &self,
+        dir: Direction,
+        lane: usize,
+        max_depth: u32,
+        mut f: F,
+    ) {
+        assert!(lane < self.lane_count, "lane {lane} out of range");
+        let (side, halves) = match dir {
+            Direction::Forward => (&self.fwd, &self.halves_fwd),
+            Direction::Backward => (&self.bwd, &self.halves_bwd),
+        };
+        let bit = 1u64 << lane;
+        let mut start = 0usize;
+        for (d, &end) in side.offsets_free.iter().enumerate() {
+            if d as u32 > max_depth {
+                break;
+            }
+            for &(v, bits) in &side.records_free[start..end] {
+                if bits & bit != 0 {
+                    f(v, d as u32);
+                }
+            }
+            start = end;
+        }
+        let half = halves[lane];
+        if half >= max_depth {
+            return;
+        }
+        let mut start = 0usize;
+        for (c, &end) in side.offsets_restricted.iter().enumerate() {
+            let dist = half + c as u32 + 1;
+            if dist > max_depth {
+                break;
+            }
+            for &(v, bits) in &side.records_restricted[start..end] {
+                if bits & bit != 0 {
+                    f(v, dist);
+                }
+            }
+            start = end;
+        }
+    }
+
+    /// Work counters of one side of the last run.
+    pub fn side_stats(&self, dir: Direction) -> MsBfsStats {
+        match dir {
+            Direction::Forward => self.fwd.stats,
+            Direction::Backward => self.bwd.stats,
+        }
+    }
+
+    /// Bytes of buffer capacity retained for reuse across runs.
+    pub fn retained_bytes(&self) -> usize {
+        self.fwd.retained_bytes()
+            + self.bwd.retained_bytes()
+            + (self.halves_fwd.capacity() + self.halves_bwd.capacity()) * std::mem::size_of::<u32>()
+    }
+}
+
+/// Bitmask of lane indices whose entry in `values` satisfies `pred`.
+fn lane_mask<T>(values: &[T], pred: impl Fn(&T) -> bool) -> u64 {
+    values
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| pred(v))
+        .fold(0u64, |mask, (i, _)| mask | (1u64 << i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal::{DistanceStrategy, FlatDistances};
+    use crate::INF_DIST;
+
+    /// Figure 1(a) graph; naming s=0, a=1, c=2, t=3, h=4, b=5, i=6, j=7.
+    fn figure1() -> DiGraph {
+        DiGraph::from_edges(
+            8,
+            [
+                (0, 1),
+                (0, 2),
+                (1, 2),
+                (1, 4),
+                (1, 6),
+                (2, 3),
+                (2, 5),
+                (4, 5),
+                (5, 3),
+                (5, 1),
+                (5, 7),
+                (6, 7),
+                (7, 4),
+            ],
+        )
+    }
+
+    fn lane_distances(engine: &MsBfsEngine, dir: Direction, lane: usize, n: usize) -> Vec<u32> {
+        let mut dist = vec![INF_DIST; n];
+        engine.for_each_lane_distance(dir, lane, |v, d| {
+            assert_eq!(dist[v as usize], INF_DIST, "vertex {v} recorded twice");
+            dist[v as usize] = d;
+        });
+        dist
+    }
+
+    /// One lane must reproduce the per-query balanced-bidirectional raw
+    /// distances exactly — it is the same schedule, word-parallel.
+    #[test]
+    fn single_lane_matches_bidirectional_flat_distances() {
+        let g = figure1();
+        let mut engine = MsBfsEngine::new();
+        let mut flat = FlatDistances::new();
+        for k in 1..=8u32 {
+            flat.compute(&g, 0, 3, k, DistanceStrategy::Bidirectional);
+            engine.run(
+                &g,
+                &[MsBfsLane {
+                    source: 0,
+                    target: 3,
+                    depth: k,
+                }],
+            );
+            let fwd = lane_distances(&engine, Direction::Forward, 0, 8);
+            let bwd = lane_distances(&engine, Direction::Backward, 0, 8);
+            for v in g.vertices() {
+                assert_eq!(fwd[v as usize], flat.raw_dist_from_s(v), "k={k} v={v} fwd");
+                assert_eq!(bwd[v as usize], flat.raw_dist_to_t(v), "k={k} v={v} bwd");
+            }
+        }
+    }
+
+    /// The avoided endpoint may be discovered but never expanded: vertices
+    /// only reachable through it stay undiscovered for that lane, while a
+    /// lane with a different target sails past in the same run.
+    #[test]
+    fn avoid_vertex_blocks_expansion_per_lane() {
+        // 0 → 1 → 2 → 3 → 4: vertex 4 is reachable only through 3.
+        let g = DiGraph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let mut engine = MsBfsEngine::new();
+        engine.run(
+            &g,
+            &[
+                MsBfsLane {
+                    source: 0,
+                    target: 3,
+                    depth: 8,
+                },
+                MsBfsLane {
+                    source: 0,
+                    target: 1,
+                    depth: 8,
+                },
+            ],
+        );
+        let avoid3 = lane_distances(&engine, Direction::Forward, 0, 5);
+        let avoid1 = lane_distances(&engine, Direction::Forward, 1, 5);
+        assert_eq!(avoid3[3], 3, "the avoided vertex itself is discovered");
+        assert_eq!(avoid3[4], INF_DIST, "but never expanded from");
+        assert_eq!(avoid1[1], 1);
+        assert_eq!(avoid1[2], INF_DIST, "lane 1 is cut at vertex 1 instead");
+        assert_eq!(avoid1[0], 0);
+        // Backward side of lane 0 (start 3, avoid 0): half = 4 free levels
+        // walk in-edges 3 ← 2 ← 1 ← 0.
+        let bwd = lane_distances(&engine, Direction::Backward, 0, 5);
+        assert_eq!(bwd[3], 0);
+        assert_eq!(bwd[2], 1);
+    }
+
+    /// Per-lane hop budgets pause and retire lanes independently: on a
+    /// path graph the filtered distances admit exactly the path when the
+    /// budget covers it.
+    #[test]
+    fn per_lane_depth_budgets_are_respected() {
+        let g = DiGraph::from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+        let mut engine = MsBfsEngine::new();
+        let lanes = [
+            MsBfsLane {
+                source: 0,
+                target: 3,
+                depth: 2, // too short: the 0→3 path needs 3 hops
+            },
+            MsBfsLane {
+                source: 0,
+                target: 3,
+                depth: 3, // exact
+            },
+            MsBfsLane {
+                source: 0,
+                target: 5,
+                depth: 5, // exact full path
+            },
+        ];
+        engine.run(&g, &lanes);
+        for (lane, spec) in lanes.iter().enumerate() {
+            let mut fd = FlatDistances::new();
+            fd.begin_load(6, spec.source, spec.target, spec.depth);
+            engine.for_each_lane_distance(Direction::Forward, lane, |v, d| fd.push_forward(v, d));
+            engine.for_each_lane_distance(Direction::Backward, lane, |v, d| fd.push_backward(v, d));
+            let mut reference = FlatDistances::new();
+            reference.compute(
+                &g,
+                spec.source,
+                spec.target,
+                spec.depth,
+                DistanceStrategy::Single,
+            );
+            assert_eq!(fd.is_feasible(), reference.is_feasible(), "lane {lane}");
+            for v in g.vertices() {
+                assert_eq!(
+                    fd.dist_from_s(v),
+                    reference.dist_from_s(v),
+                    "lane {lane} v {v}"
+                );
+                assert_eq!(fd.dist_to_t(v), reference.dist_to_t(v), "lane {lane} v {v}");
+            }
+        }
+    }
+
+    /// All three frontier modes produce identical per-lane distances; the
+    /// forced modes actually exercise their expansion kind.
+    #[test]
+    fn frontier_modes_agree_and_are_observable() {
+        let g = crate::generators::gnm_random(60, 600, 42);
+        let lanes: Vec<MsBfsLane> = (0..32)
+            .map(|i| MsBfsLane {
+                source: i as VertexId,
+                target: (i + 7) as VertexId % 60,
+                depth: 1 + (i % 6) as u32,
+            })
+            .collect();
+        let mut reference: Option<Vec<Vec<u32>>> = None;
+        for mode in [
+            FrontierMode::TopDownOnly,
+            FrontierMode::BottomUpOnly,
+            FrontierMode::DirectionOptimizing,
+        ] {
+            let mut engine = MsBfsEngine::new();
+            engine.set_mode(mode);
+            assert_eq!(engine.mode(), mode);
+            engine.run(&g, &lanes);
+            let dists: Vec<Vec<u32>> = (0..lanes.len())
+                .flat_map(|lane| {
+                    [
+                        lane_distances(&engine, Direction::Forward, lane, 60),
+                        lane_distances(&engine, Direction::Backward, lane, 60),
+                    ]
+                })
+                .collect();
+            match &reference {
+                None => reference = Some(dists),
+                Some(r) => assert_eq!(r, &dists, "{mode:?} diverged"),
+            }
+            let fwd = engine.side_stats(Direction::Forward);
+            let bwd = engine.side_stats(Direction::Backward);
+            match mode {
+                FrontierMode::TopDownOnly => {
+                    assert_eq!(fwd.bottom_up_levels + bwd.bottom_up_levels, 0);
+                    assert!(fwd.top_down_edge_scans > 0);
+                }
+                FrontierMode::BottomUpOnly => {
+                    assert_eq!(fwd.top_down_levels + bwd.top_down_levels, 0);
+                    assert!(fwd.bottom_up_edge_scans > 0);
+                }
+                FrontierMode::DirectionOptimizing => {
+                    assert_eq!(
+                        fwd.total_edge_scans(),
+                        fwd.top_down_edge_scans + fwd.bottom_up_edge_scans
+                    );
+                }
+            }
+            let mut acc = SearchSpaceStats::default();
+            fwd.accumulate_into(&mut acc, Direction::Forward);
+            bwd.accumulate_into(&mut acc, Direction::Backward);
+            assert_eq!(
+                acc.total_edge_scans(),
+                fwd.total_edge_scans() + bwd.total_edge_scans()
+            );
+        }
+    }
+
+    /// Reuse across runs: a big run followed by a small one must not leak
+    /// bits, records or stats between them.
+    #[test]
+    fn engine_reuse_is_clean() {
+        let g = figure1();
+        let mut engine = MsBfsEngine::new();
+        let all_lanes: Vec<MsBfsLane> = (0..MAX_LANES)
+            .map(|i| MsBfsLane {
+                source: (i % 8) as VertexId,
+                target: ((i % 8) + 1) as VertexId % 8,
+                depth: 8,
+            })
+            .collect();
+        engine.run(&g, &all_lanes);
+        assert_eq!(engine.lane_count(), MAX_LANES);
+        let big_retained = engine.retained_bytes();
+
+        let mut fresh = MsBfsEngine::new();
+        let small = [MsBfsLane {
+            source: 0,
+            target: 3,
+            depth: 2,
+        }];
+        engine.run(&g, &small);
+        fresh.run(&g, &small);
+        assert_eq!(engine.lane_count(), 1);
+        for dir in [Direction::Forward, Direction::Backward] {
+            assert_eq!(
+                lane_distances(&engine, dir, 0, 8),
+                lane_distances(&fresh, dir, 0, 8),
+                "reused engine must match a fresh one ({dir:?})"
+            );
+        }
+        assert!(engine.retained_bytes() >= big_retained.min(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=64 lanes")]
+    fn too_many_lanes_panic() {
+        let g = figure1();
+        let lanes = vec![
+            MsBfsLane {
+                source: 0,
+                target: 1,
+                depth: 2
+            };
+            65
+        ];
+        MsBfsEngine::new().run(&g, &lanes);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be distinct")]
+    fn source_equals_target_panics() {
+        let g = figure1();
+        MsBfsEngine::new().run(
+            &g,
+            &[MsBfsLane {
+                source: 2,
+                target: 2,
+                depth: 3,
+            }],
+        );
+    }
+}

@@ -18,6 +18,9 @@
 //!   batch overhead dominates;
 //! * [`repeat_heavy_queries`] — exact `(s, t, k)` repeats drawn from a small
 //!   hot pool, the workload the `spg_core` result cache is built for;
+//! * [`shared_endpoint_queries`] — many queries fanning out from a few
+//!   sources into a few targets (the fraud-ring shape), the workload the
+//!   executor's cohort-shared MS-BFS Phase 1 deduplicates;
 //! * [`inject_invalid`] — replaces a deterministic subset of a batch with
 //!   malformed queries (`s == t`, endpoint out of range, `k == 0`) so error
 //!   slots land throughout a parallel run.
@@ -220,6 +223,69 @@ pub fn repeat_heavy_queries(
         .collect()
 }
 
+/// Draws up to `count` reachable queries fanning out from a pool of
+/// `sources` vertices into a pool of `targets` vertices — the fraud-ring
+/// investigation shape (a few suspect accounts queried against a few mule
+/// accounts, at several hop budgets) that the batch executor's cohort-shared
+/// Phase 1 deduplicates: the number of distinct `(s, t)` endpoint pairs is
+/// at most `sources × targets` no matter how large the batch is.
+///
+/// The source pool holds the `sources` highest-*out*-degree vertices and the
+/// target pool the `targets` highest-*in*-degree vertices (ties broken by
+/// vertex id), hop constraints cycle through `ks`, and each emitted query is
+/// checked `k`-hop reachable; draws that find no reachable pair within the
+/// attempt budget are skipped, so sparse graphs may return fewer queries.
+/// Deterministic in `(graph, arguments, seed)`.
+///
+/// # Panics
+/// Panics if `sources` or `targets` is zero, or if `ks` is empty / contains
+/// a zero hop constraint.
+pub fn shared_endpoint_queries(
+    graph: &DiGraph,
+    count: usize,
+    ks: &[u32],
+    sources: usize,
+    targets: usize,
+    seed: u64,
+) -> Vec<Query> {
+    assert!(
+        sources > 0 && targets > 0,
+        "shared_endpoint_queries needs non-empty endpoint pools"
+    );
+    assert!(
+        !ks.is_empty(),
+        "shared_endpoint_queries needs at least one k"
+    );
+    assert!(ks.iter().all(|&k| k > 0), "hop constraints must be ≥ 1");
+    if graph.vertex_count() < 2 {
+        return Vec::new();
+    }
+    let source_pool = hot_vertices(graph, sources);
+    let target_pool = {
+        let mut by_in_degree: Vec<VertexId> = graph.vertices().collect();
+        by_in_degree.sort_by_key(|&v| (std::cmp::Reverse(graph.in_degree(v)), v));
+        by_in_degree.truncate(targets.max(1));
+        by_in_degree
+    };
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xFA4D_81A6);
+    let mut out = Vec::with_capacity(count);
+    for i in 0..count {
+        let k = ks[i % ks.len()];
+        for _ in 0..MAX_ATTEMPTS {
+            let s = source_pool[rng.gen_range(0..source_pool.len())];
+            let t = target_pool[rng.gen_range(0..target_pool.len())];
+            if s == t {
+                continue;
+            }
+            if k_hop_reachable(graph, s, t, k) {
+                out.push(Query::new(s, t, k));
+                break;
+            }
+        }
+    }
+    out
+}
+
 /// Replaces every `every`-th slot of `batch` (1-based: indices `every − 1`,
 /// `2·every − 1`, …) with an invalid query, cycling through the three
 /// rejection shapes `s == t`, target out of range and `k == 0`. Returns the
@@ -378,6 +444,42 @@ mod tests {
     #[should_panic(expected = "non-empty pool")]
     fn repeat_heavy_rejects_zero_pool() {
         repeat_heavy_queries(&graph(), 10, &[4], 0, 0.5, 1);
+    }
+
+    #[test]
+    fn shared_endpoint_batches_repeat_few_pairs() {
+        let g = graph();
+        let qs = shared_endpoint_queries(&g, 160, &[3, 5], 4, 6, 31);
+        assert!(
+            qs.len() >= 120,
+            "most draws should succeed, got {}",
+            qs.len()
+        );
+        assert_eq!(qs, shared_endpoint_queries(&g, 160, &[3, 5], 4, 6, 31));
+        // The distinct endpoint-pair count is bounded by the pool product —
+        // exactly the dedup the cohort engine exploits.
+        let mut pairs: Vec<(u32, u32)> = qs.iter().map(|q| (q.source, q.target)).collect();
+        pairs.sort_unstable();
+        pairs.dedup();
+        assert!(pairs.len() <= 4 * 6, "{} distinct pairs", pairs.len());
+        assert!(pairs.len() >= 2);
+        let mut sources: Vec<u32> = qs.iter().map(|q| q.source).collect();
+        sources.sort_unstable();
+        sources.dedup();
+        assert!(sources.len() <= 4);
+        for q in &qs {
+            assert_ne!(q.source, q.target);
+            assert!([3, 5].contains(&q.k));
+            assert!(k_hop_reachable(&g, q.source, q.target, q.k));
+        }
+        // Degenerate hosts return nothing rather than panicking.
+        assert!(shared_endpoint_queries(&DiGraph::empty(1), 5, &[3], 2, 2, 1).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty endpoint pools")]
+    fn shared_endpoint_rejects_empty_pools() {
+        shared_endpoint_queries(&graph(), 5, &[3], 0, 2, 1);
     }
 
     #[test]

@@ -21,7 +21,8 @@ pub mod fraud;
 pub mod queries;
 
 pub use batch::{
-    hit_miss_queries, inject_invalid, mixed_k_queries, repeat_heavy_queries, skewed_queries,
+    hit_miss_queries, inject_invalid, mixed_k_queries, repeat_heavy_queries,
+    shared_endpoint_queries, skewed_queries,
 };
 pub use datasets::{
     dataset_by_code, headline_datasets, DatasetScale, DatasetSpec, GraphFamily, DATASETS,

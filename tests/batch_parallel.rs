@@ -11,8 +11,8 @@ use proptest::collection::vec;
 use proptest::prelude::*;
 
 use hop_spg::eve::{BatchExecutor, Eve, Query};
-use hop_spg::graph::DiGraph;
-use hop_spg::workloads::{inject_invalid, mixed_k_queries};
+use hop_spg::graph::{DiGraph, FrontierMode};
+use hop_spg::workloads::{inject_invalid, mixed_k_queries, shared_endpoint_queries};
 
 const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
@@ -115,6 +115,171 @@ proptest! {
                 (Err(a), Err(b)) => prop_assert!(a == b, "slot {i} differs"),
                 _ => prop_assert!(false, "slot {i}: Ok/Err mismatch"),
             }
+        }
+    }
+
+    /// Fraud-ring-shaped batches (few sources × few targets, so cohorts are
+    /// dense with duplicate `(s, t)` pairs at mixed `k` including huge
+    /// clamped ones and invalid slots) stay bit-identical to sequential
+    /// fresh-workspace queries at every thread count and under every
+    /// Phase-1 frontier mode, with and without sharing.
+    #[test]
+    fn shared_endpoint_cohorts_match_sequential(
+        (g, raw) in (6usize..16).prop_flat_map(|n| {
+            let edges = vec((0..n as u32, 0..n as u32), n..(5 * n));
+            // Endpoints are drawn from 3-vertex pools so pairs repeat a lot;
+            // k = 0 slots are invalid, every ninth k is clamp-stressing.
+            let queries = vec((0u32..3, 0u32..3, 0u32..12), 2..40);
+            (edges, queries).prop_map(move |(edges, qs)| {
+                (DiGraph::from_edges(n, edges), (n, qs))
+            })
+        }),
+    ) {
+        let (n, qs) = raw;
+        let src_pool = [0u32, 1, (n - 1) as u32];
+        let dst_pool = [(n - 2) as u32, 2, 1];
+        let batch: Vec<Query> = qs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (si, ti, k))| {
+                let k = if i % 9 == 4 { u32::MAX - k } else { k };
+                Query::new(src_pool[si as usize], dst_pool[ti as usize], k)
+            })
+            .collect();
+        let eve = Eve::with_defaults(&g);
+        let expected = sequential_fresh(&eve, &batch);
+        for threads in THREAD_COUNTS {
+            assert_matches_sequential(&eve, &batch, &expected, threads)?;
+        }
+        for mode in [FrontierMode::TopDownOnly, FrontierMode::BottomUpOnly] {
+            let outcome = BatchExecutor::new(3)
+                .phase1_mode(mode)
+                .run_detailed(&eve, &batch);
+            for (i, (got, exp)) in outcome.results.iter().zip(&expected).enumerate() {
+                match (got, exp) {
+                    (Ok(a), Ok(b)) => {
+                        prop_assert!(a.edges() == b.as_slice(), "slot {i} mode {mode:?}")
+                    }
+                    (Err(a), Err(b)) => {
+                        prop_assert!(&a.to_string() == b, "slot {i} mode {mode:?}")
+                    }
+                    _ => prop_assert!(false, "slot {i} mode {mode:?}: Ok/Err mismatch"),
+                }
+            }
+            // Every valid query was either cohort-shared or a singleton
+            // fallback, and lanes never exceed the distinct-pair count per
+            // cohort (a pair recurring in several member-capped cohorts is
+            // traversed once per cohort).
+            let valid = batch.iter().filter(|q| q.validate(&g).is_ok()).count();
+            let p1 = &outcome.stats.phase1;
+            prop_assert!(p1.phase1_shared <= valid);
+            prop_assert!(
+                p1.distinct_endpoints <= 9 * p1.cohorts.max(1),
+                "at most 3 × 3 pairs per cohort"
+            );
+            if p1.phase1_shared > 0 {
+                prop_assert!(p1.dedup_ratio().unwrap() >= 1.0);
+            }
+        }
+        // Sharing off is the same answer, slot for slot.
+        let legacy = BatchExecutor::new(2)
+            .shared_phase1(false)
+            .run_detailed(&eve, &batch);
+        prop_assert_eq!(legacy.stats.phase1.phase1_shared, 0);
+        for (i, (got, exp)) in legacy.results.iter().zip(&expected).enumerate() {
+            match (got, exp) {
+                (Ok(a), Ok(b)) => prop_assert!(a.edges() == b.as_slice(), "slot {i} legacy"),
+                (Err(a), Err(b)) => prop_assert!(&a.to_string() == b, "slot {i} legacy"),
+                _ => prop_assert!(false, "slot {i} legacy: Ok/Err mismatch"),
+            }
+        }
+    }
+}
+
+/// Deterministic multi-cohort check: more than 64 distinct endpoint pairs
+/// forces the planner to split cohorts, duplicate `(s, t, k)` entries and
+/// `u32::MAX` clamp aliases land in the same lanes, and every slot stays
+/// bit-identical to the sequential fresh-workspace answer at every thread
+/// count.
+#[test]
+fn multi_cohort_batches_with_duplicates_and_aliases() {
+    // Deliberately tiny host graph: the u32::MAX aliases below clamp to
+    // k = n − 1, and the verification phase's witness search over a dense
+    // small world at that hop budget must stay cheap enough for CI — a
+    // 24-vertex host still offers 552 ordered pairs, plenty to overflow a
+    // 64-lane cohort.
+    let g = hop_spg::graph::generators::gnm_random(24, 96, 99);
+    let eve = Eve::with_defaults(&g);
+    // ~80 distinct pairs from wide pools (forces ≥ 2 cohorts) plus a
+    // fraud-ring block from narrow pools (dense dedup), duplicates and
+    // clamp aliases of existing pairs, and invalid slots.
+    let mut batch = mixed_k_queries(&g, 90, &[2, 4, 6], 0x00D1);
+    batch.extend(shared_endpoint_queries(&g, 60, &[3, 6], 4, 4, 0x00D2));
+    let dups: Vec<Query> = batch.iter().step_by(7).copied().collect();
+    batch.extend(dups);
+    let aliases: Vec<Query> = batch
+        .iter()
+        .step_by(11)
+        .map(|q| Query::new(q.source, q.target, u32::MAX))
+        .collect();
+    batch.extend(aliases);
+    let injected = inject_invalid(&mut batch, &g, 13);
+    assert!(injected > 0);
+
+    let expected: Vec<_> = batch.iter().map(|&q| eve.query(q)).collect();
+    let mut distinct_pairs: Vec<(u32, u32)> = batch
+        .iter()
+        .filter(|q| q.validate(&g).is_ok())
+        .map(|q| (q.source, q.target))
+        .collect();
+    distinct_pairs.sort_unstable();
+    distinct_pairs.dedup();
+    assert!(distinct_pairs.len() > 64, "the batch must span ≥ 2 cohorts");
+
+    for threads in THREAD_COUNTS {
+        let outcome = BatchExecutor::new(threads).run_detailed(&eve, &batch);
+        assert_eq!(outcome.stats.errors, injected, "threads {threads}");
+        let p1 = &outcome.stats.phase1;
+        assert!(p1.cohorts >= 2, "threads {threads}: {} cohorts", p1.cohorts);
+        assert!(p1.distinct_endpoints <= p1.phase1_shared);
+        assert!(p1.traversal.total_edge_scans() > 0);
+        for (i, (got, exp)) in outcome.results.iter().zip(&expected).enumerate() {
+            match (got, exp) {
+                (Ok(a), Ok(b)) => assert_eq!(a.edges(), b.edges(), "slot {i} threads {threads}"),
+                (Err(a), Err(b)) => assert_eq!(a, b, "slot {i} threads {threads}"),
+                other => panic!("slot {i} threads {threads}: Ok/Err mismatch {other:?}"),
+            }
+        }
+    }
+
+    // Exact cohort accounting on the single-worker (uncapped) plan, where
+    // lane overflow is the only reason to split cohorts.
+    let solo = BatchExecutor::new(1).run_detailed(&eve, &batch).stats;
+    let p1 = &solo.phase1;
+    assert!(p1.cohorts >= 2, "{} cohorts", p1.cohorts);
+    // Only the final cohort can degenerate to a singleton fallback
+    // (overflow-closed cohorts hold 64 lanes ≥ 2 members), so at most one
+    // valid query escapes sharing.
+    let valid = batch.len() - injected;
+    assert!(p1.phase1_shared >= valid - 1 && p1.phase1_shared <= valid);
+    // A pair recurring in two cohorts is traversed once per cohort, so
+    // lanes can exceed the global distinct-pair count, but never the
+    // shared-member count.
+    assert!(p1.distinct_endpoints >= 64, "first cohort fills its lanes");
+    assert!(p1.distinct_endpoints <= p1.phase1_shared);
+    assert!(
+        p1.dedup_ratio().unwrap() > 1.0,
+        "duplicates must dedup: {:?}",
+        p1.dedup_ratio()
+    );
+
+    // `Eve::query_batch` (sequential cohorts) agrees slot-for-slot too.
+    let sequential = eve.query_batch(&batch);
+    for (i, (s, e)) in sequential.iter().zip(&expected).enumerate() {
+        match (s, e) {
+            (Ok(a), Ok(b)) => assert_eq!(a.edges(), b.edges(), "slot {i} query_batch"),
+            (Err(a), Err(b)) => assert_eq!(a, b, "slot {i} query_batch"),
+            other => panic!("slot {i} query_batch: Ok/Err mismatch {other:?}"),
         }
     }
 }

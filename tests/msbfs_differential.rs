@@ -1,0 +1,174 @@
+//! Differential property tests for the bit-parallel MS-BFS Phase-1 engine.
+//!
+//! The contract under test: for every lane `(s, t, k)` of a cohort — at any
+//! lane count up to 64, with duplicated and overlapping endpoints,
+//! unreachable pairs, `k` from 0 past `n`, and lane hop budgets *deeper*
+//! than the query's `k` (a shared lane runs to the maximum `k` of the
+//! queries it serves) — the search-space distances materialised from the
+//! shared traversal are identical to the per-query [`FlatDistances`] engine
+//! under **all three** [`DistanceStrategy`] variants, and to the hash-map
+//! [`DistanceIndex`]. This is the property that makes cohort-shared batch
+//! answers bit-identical to per-query answers.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use hop_spg::graph::traversal::{DistanceIndex, DistanceStrategy};
+use hop_spg::graph::{DiGraph, Direction, FlatDistances, FrontierMode, MsBfsEngine, MsBfsLane};
+
+/// A lane spec: endpoints, the query hop budget `k`, and how much deeper
+/// the shared traversal runs than the query needs.
+#[derive(Debug, Clone, Copy)]
+struct LaneSpec {
+    s: u32,
+    t: u32,
+    k: u32,
+    extra_depth: u32,
+}
+
+fn graph_and_lanes() -> impl Strategy<Value = (DiGraph, Vec<LaneSpec>)> {
+    (4usize..20).prop_flat_map(|n| {
+        let edges = vec((0..n as u32, 0..n as u32), 0..(4 * n));
+        // Endpoints from a *small* sub-range so lanes duplicate and overlap;
+        // k runs from 0 (records only the start) past n (clamp regime).
+        let lanes = vec(
+            (0..n as u32, 0..n as u32, 0u32..(n as u32 + 3), 0u32..3),
+            1..20,
+        );
+        (edges, lanes).prop_map(move |(edges, lane_tuples)| {
+            let g = DiGraph::from_edges(n, edges);
+            let lanes: Vec<LaneSpec> = lane_tuples
+                .into_iter()
+                .filter(|&(s, t, _, _)| s != t)
+                .map(|(s, t, k, extra_depth)| LaneSpec {
+                    s,
+                    t,
+                    k,
+                    extra_depth,
+                })
+                .collect();
+            (g, lanes)
+        })
+    })
+}
+
+/// Materialises lane `lane` of the two engine runs into a loaded
+/// [`FlatDistances`] for query budget `k` — exactly what the cohort
+/// executor does per member.
+fn load_lane(engine: &MsBfsEngine, lane: usize, n: usize, spec: LaneSpec) -> FlatDistances {
+    let mut fd = FlatDistances::new();
+    fd.begin_load(n, spec.s, spec.t, spec.k);
+    engine.for_each_lane_distance(Direction::Forward, lane, |v, d| fd.push_forward(v, d));
+    engine.for_each_lane_distance(Direction::Backward, lane, |v, d| fd.push_backward(v, d));
+    fd
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Shared-lane distances ≡ `FlatDistances` ≡ `DistanceIndex` for every
+    /// strategy, every frontier mode, every vertex.
+    #[test]
+    fn msbfs_matches_per_query_engines((g, lanes) in graph_and_lanes()) {
+        if lanes.is_empty() {
+            return Ok(None); // vendored-proptest case rejection
+        }
+        let n = g.vertex_count();
+        let engine_lanes: Vec<MsBfsLane> = lanes
+            .iter()
+            .map(|l| MsBfsLane { source: l.s, target: l.t, depth: l.k + l.extra_depth })
+            .collect();
+
+        for mode in [
+            FrontierMode::DirectionOptimizing,
+            FrontierMode::TopDownOnly,
+            FrontierMode::BottomUpOnly,
+        ] {
+            let mut engine = MsBfsEngine::new();
+            engine.set_mode(mode);
+            engine.run(&g, &engine_lanes);
+
+            let mut per_query = FlatDistances::new();
+            for (lane, &spec) in lanes.iter().enumerate() {
+                let loaded = load_lane(&engine, lane, n, spec);
+                for strategy in DistanceStrategy::ALL {
+                    per_query.compute(&g, spec.s, spec.t, spec.k, strategy);
+                    prop_assert!(
+                        loaded.is_feasible() == per_query.is_feasible(),
+                        "feasibility: lane {} {:?} {} {:?}",
+                        lane, spec, strategy.name(), mode
+                    );
+                    for v in g.vertices() {
+                        prop_assert!(
+                            loaded.dist_from_s(v) == per_query.dist_from_s(v),
+                            "dist_from_s: lane {} v {} {:?} {} {:?}: {} != {}",
+                            lane, v, spec, strategy.name(), mode,
+                            loaded.dist_from_s(v), per_query.dist_from_s(v)
+                        );
+                        prop_assert!(
+                            loaded.dist_to_t(v) == per_query.dist_to_t(v),
+                            "dist_to_t: lane {} v {} {:?} {} {:?}: {} != {}",
+                            lane, v, spec, strategy.name(), mode,
+                            loaded.dist_to_t(v), per_query.dist_to_t(v)
+                        );
+                        prop_assert_eq!(
+                            loaded.in_search_space(v),
+                            per_query.in_search_space(v)
+                        );
+                    }
+                }
+                // The hash-map reference index agrees as well.
+                let idx = DistanceIndex::compute(
+                    &g, spec.s, spec.t, spec.k,
+                    DistanceStrategy::AdaptiveBidirectional,
+                );
+                for v in g.vertices() {
+                    prop_assert_eq!(loaded.dist_from_s(v), idx.dist_from_s(v));
+                    prop_assert_eq!(loaded.dist_to_t(v), idx.dist_to_t(v));
+                }
+            }
+        }
+    }
+
+    /// A duplicate (s, t) pair served by lanes of different hop budgets —
+    /// the cohort dedup case, where the deepest k wins the lane — yields
+    /// the same *filtered* distances at the smallest budget from every
+    /// lane, all equal to the per-query engine.
+    #[test]
+    fn deeper_duplicate_lanes_serve_shallower_queries(
+        (g, lanes) in graph_and_lanes(),
+        dup in 0usize..8,
+    ) {
+        if lanes.is_empty() {
+            return Ok(None); // vendored-proptest case rejection
+        }
+        let spec = lanes[dup % lanes.len()];
+        let n = g.vertex_count();
+        // The same pair three times with different budgets: k, k + 1, 2k.
+        let budgets = [spec.k, spec.k + 1, spec.k.saturating_mul(2).max(spec.k)];
+        let engine_lanes: Vec<MsBfsLane> = budgets
+            .iter()
+            .map(|&depth| MsBfsLane { source: spec.s, target: spec.t, depth })
+            .collect();
+        let mut engine = MsBfsEngine::new();
+        engine.run(&g, &engine_lanes);
+        let mut per_query = FlatDistances::new();
+        per_query.compute(&g, spec.s, spec.t, spec.k, DistanceStrategy::Single);
+        for (lane, &budget) in budgets.iter().enumerate() {
+            let loaded = load_lane(&engine, lane, n, LaneSpec { k: spec.k, ..spec });
+            for v in g.vertices() {
+                prop_assert!(
+                    loaded.dist_from_s(v) == per_query.dist_from_s(v),
+                    "lane {} (budget {}) v {}: {} != {}",
+                    lane, budget, v,
+                    loaded.dist_from_s(v), per_query.dist_from_s(v)
+                );
+                prop_assert!(
+                    loaded.dist_to_t(v) == per_query.dist_to_t(v),
+                    "lane {} (budget {}) v {} backward",
+                    lane, budget, v
+                );
+            }
+        }
+    }
+}
