@@ -421,6 +421,19 @@ impl SpgCache {
         hit.map(|arc| (*arc).clone())
     }
 
+    /// [`SpgCache::get`] without touching the hit/miss counters. The
+    /// singleflight drain uses this for the leader's double-check probe
+    /// (between its counted miss and its flight claim another leader may
+    /// have published) — re-counting there would double-book the slot.
+    pub(crate) fn get_quiet(&self, version: GraphVersion, query: Query) -> Option<SimplePathGraph> {
+        let key = CacheKey::new(version, query);
+        self.shard_for(&key)
+            .lock()
+            .expect("cache shard")
+            .get(&key)
+            .map(|arc| (*arc).clone())
+    }
+
     /// Publishes `answer` for `query` (already clamped) on graph snapshot
     /// `version`, evicting least-recently-used entries until the shard fits
     /// its budget. An entry larger than the shard budget is rejected (and
@@ -536,6 +549,11 @@ pub enum CacheOutcome {
     Hit,
     /// Computed by the pipeline and published to the cache.
     Miss,
+    /// Collapsed onto a concurrent in-flight computation of the same key by
+    /// the singleflight layer ([`crate::FlightGroup`]): this slot neither
+    /// probed a resident entry nor ran the pipeline — it received the
+    /// leader's answer when the shared flight completed.
+    Coalesced,
 }
 
 /// [`Eve`] bound to a [`VersionedGraph`] and a shared [`SpgCache`]: the

@@ -33,7 +33,7 @@
 //! ratios without scanning the result vector.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 use std::thread;
 use std::time::Duration;
 
@@ -42,6 +42,7 @@ use spg_graph::{FrontierMode, SearchSpaceStats};
 use crate::cache::{CacheOutcome, CachedEve};
 use crate::cohort::{run_cohort, CohortPlan, Unit};
 use crate::eve::Eve;
+use crate::flight::{FlightGroup, FlightRole};
 use crate::query::{Query, QueryError};
 use crate::spg::SimplePathGraph;
 use crate::stats::MemoryEstimate;
@@ -209,24 +210,32 @@ impl BatchExecutor {
         // Units are claimed whole, so the chunk notion degenerates to 1.
         let stats = BatchStats::from_workers(workers, 1, per_thread);
         debug_assert_eq!(stats.answered + stats.errors, results.len());
-        BatchOutcome { results, stats }
+        BatchOutcome {
+            results,
+            stats,
+            slot_sources: Vec::new(),
+        }
     }
 
-    /// Answers `queries` through a shared [`crate::SpgCache`]: every worker
-    /// carries its own copy of `cached` (an [`Eve`] plus cache handle) and a
-    /// private workspace, while the cache itself is shared lock-striped
-    /// state. Hits skip all three pipeline phases; misses compute on the
-    /// worker's workspace and publish for everyone. Slots remain
-    /// bit-identical to the uncached [`BatchExecutor::run`] at any thread
-    /// count — the differential harness in `tests/cache_differential.rs`
-    /// holds this as an invariant.
+    /// Answers `queries` through a shared [`crate::SpgCache`] with a
+    /// **two-phase drain**: first every slot is validated and probed against
+    /// the cache (hits skip all three pipeline phases and identical missed
+    /// keys are collapsed onto one in-flight computation — a batch of 64
+    /// identical cold queries computes **once**), then the distinct misses
+    /// are planned into cohorts and computed by one
+    /// [`BatchExecutor::run`]-style parallel run, so shared-endpoint misses
+    /// still get the bit-parallel shared Phase 1 before their answers are
+    /// published to the cache and fanned out to the collapsed duplicates.
+    /// Slots remain bit-identical to the uncached [`BatchExecutor::run`] at
+    /// any thread count — the differential harness in
+    /// `tests/cache_differential.rs` holds this as an invariant.
     pub fn run_cached(&self, cached: &CachedEve<'_, '_>, queries: &[Query]) -> Vec<BatchResult> {
         self.run_cached_detailed(cached, queries).results
     }
 
     /// [`BatchExecutor::run_cached`] plus execution statistics.
-    /// [`BatchStats::cache_hits`] / [`BatchStats::cache_misses`] count this
-    /// run's lookups (summed from the per-worker counters);
+    /// [`BatchStats::cache_hits`] / [`BatchStats::cache_misses`] /
+    /// [`BatchStats::cache_coalesced`] partition this run's valid slots;
     /// [`BatchStats::cache_evictions`] is the shared cache's eviction-counter
     /// delta across the run, which includes evictions triggered by
     /// concurrent users of the same cache, if any.
@@ -235,25 +244,172 @@ impl BatchExecutor {
         cached: &CachedEve<'_, '_>,
         queries: &[Query],
     ) -> BatchOutcome {
-        let evictions_before = cached.cache().eviction_count();
-        let mut outcome = self.run_with(queries, &|ws, query, stats| match cached
-            .query_with_outcome(ws, query)
-        {
-            Ok((spg, CacheOutcome::Hit)) => {
-                stats.cache_hits += 1;
-                Ok(spg)
+        // A drain-local group: collapses duplicates within this batch. A
+        // serving frontend shares one long-lived group across drains instead
+        // (see `run_cached_coalesced`).
+        let flights = FlightGroup::new();
+        self.run_cached_coalesced(cached, &flights, queries)
+    }
+
+    /// [`BatchExecutor::run_cached_detailed`] against a caller-supplied
+    /// [`FlightGroup`], so concurrent drains sharing one group (a serving
+    /// frontend's micro-batches) coalesce misses *across* batches: a key
+    /// already in flight in another drain is joined, not recomputed.
+    ///
+    /// Deadlock-freedom: a drain completes every flight it leads during its
+    /// compute phase *before* waiting on any flight led elsewhere, so
+    /// cross-drain waits can never form a cycle.
+    pub fn run_cached_coalesced(
+        &self,
+        cached: &CachedEve<'_, '_>,
+        flights: &FlightGroup,
+        queries: &[Query],
+    ) -> BatchOutcome {
+        let graph = cached.eve().graph();
+        let version = cached.version();
+        let cache = cached.cache();
+        let evictions_before = cache.eviction_count();
+
+        // ---- Phase A: validate + probe + claim flights (calling thread).
+        let mut slots: Vec<Option<BatchResult>> = (0..queries.len()).map(|_| None).collect();
+        let mut slot_sources: Vec<Option<CacheOutcome>> = vec![None; queries.len()];
+        let mut probe_hits = 0usize;
+        let mut probe_errors = 0usize;
+        let mut missed: Vec<Query> = Vec::new();
+        let mut missed_slots: Vec<usize> = Vec::new();
+        let mut tokens = Vec::new();
+        let mut waits: Vec<(usize, crate::flight::FlightJoiner)> = Vec::new();
+        for (i, &query) in queries.iter().enumerate() {
+            if let Err(err) = query.validate(graph) {
+                slots[i] = Some(Err(err));
+                probe_errors += 1;
+                continue;
             }
-            Ok((spg, CacheOutcome::Miss)) => {
-                stats.cache_misses += 1;
-                Ok(spg)
+            let clamped = query.clamped_to(graph);
+            if let Some(hit) = cache.get(version, clamped) {
+                slots[i] = Some(Ok(hit));
+                slot_sources[i] = Some(CacheOutcome::Hit);
+                probe_hits += 1;
+                continue;
             }
-            Err(err) => Err(err),
-        });
-        outcome.stats.cache_evictions = cached
-            .cache()
-            .eviction_count()
-            .saturating_sub(evictions_before) as usize;
-        outcome
+            match flights.join_or_lead(version, clamped) {
+                FlightRole::Leader(token) => {
+                    // Double-check: a leader elsewhere may have published
+                    // between our probe and our claim (shared groups only).
+                    // The quiet probe keeps hit/miss counters exact.
+                    if let Some(hit) = cache.get_quiet(version, clamped) {
+                        token.complete(Arc::new(hit.clone()));
+                        slots[i] = Some(Ok(hit));
+                        slot_sources[i] = Some(CacheOutcome::Hit);
+                        probe_hits += 1;
+                    } else {
+                        missed.push(clamped);
+                        missed_slots.push(i);
+                        tokens.push(token);
+                        slot_sources[i] = Some(CacheOutcome::Miss);
+                    }
+                }
+                FlightRole::Joiner(joiner) => {
+                    waits.push((i, joiner));
+                    slot_sources[i] = Some(CacheOutcome::Coalesced);
+                }
+            }
+        }
+
+        // ---- Phase B: compute the distinct misses as one batch (cohort
+        // planning + parallel workers), publish, complete flights.
+        let mut stats = if missed.is_empty() {
+            BatchStats {
+                threads: 1,
+                chunk_size: 1,
+                ..BatchStats::default()
+            }
+        } else {
+            let inner = if self.shared_phase1 {
+                self.run_shared(&cached.eve(), &missed)
+            } else {
+                self.run_with(&missed, &|ws, query, _stats| {
+                    cached.eve().query_with(ws, query)
+                })
+            };
+            let mut stats = inner.stats;
+            for ((&slot, token), result) in missed_slots.iter().zip(tokens).zip(inner.results) {
+                match result {
+                    Ok(spg) => {
+                        let clamped = spg.query();
+                        cache.insert(version, clamped, &spg);
+                        stats.cache_misses += 1;
+                        let arc = Arc::new(spg);
+                        // Publish-then-complete: a prober that finds the
+                        // flight gone must find the cache populated.
+                        token.complete(Arc::clone(&arc));
+                        slots[slot] =
+                            Some(Ok(Arc::try_unwrap(arc).unwrap_or_else(|arc| (*arc).clone())));
+                    }
+                    Err(err) => {
+                        // Unreachable for validated queries; dropping the
+                        // token abandons the flight so joiners recompute.
+                        slots[slot] = Some(Err(err));
+                    }
+                }
+            }
+            // Every inner worker computed misses exclusively; make that
+            // readable in the per-thread breakdown.
+            for worker in &mut stats.per_thread {
+                worker.cache_misses = worker.answered;
+            }
+            stats
+        };
+
+        // ---- Phase C: fan the leaders' answers out to the joiners.
+        let mut coalesced = 0usize;
+        for (slot, joiner) in waits {
+            match joiner.wait() {
+                Some(arc) => {
+                    slots[slot] = Some(Ok((*arc).clone()));
+                    coalesced += 1;
+                }
+                None => {
+                    // The leader abandoned (cross-drain panic); compute
+                    // individually — the pre-singleflight behaviour.
+                    let mut ws = QueryWorkspace::new();
+                    match cached.query_with_outcome(&mut ws, queries[slot]) {
+                        Ok((spg, CacheOutcome::Hit)) => {
+                            slots[slot] = Some(Ok(spg));
+                            slot_sources[slot] = Some(CacheOutcome::Hit);
+                            probe_hits += 1;
+                        }
+                        Ok((spg, _)) => {
+                            slots[slot] = Some(Ok(spg));
+                            slot_sources[slot] = Some(CacheOutcome::Miss);
+                            stats.cache_misses += 1;
+                            stats.answered += 1;
+                        }
+                        Err(err) => {
+                            slots[slot] = Some(Err(err));
+                            probe_errors += 1;
+                        }
+                    }
+                }
+            }
+        }
+
+        stats.answered += probe_hits + coalesced;
+        stats.errors += probe_errors;
+        stats.cache_hits += probe_hits;
+        stats.cache_coalesced = coalesced;
+        stats.cache_evictions = cache.eviction_count().saturating_sub(evictions_before) as usize;
+
+        let results: Vec<BatchResult> = slots
+            .into_iter()
+            .map(|slot| slot.expect("every slot is resolved by probe, compute or fan-out"))
+            .collect();
+        debug_assert_eq!(stats.answered + stats.errors, results.len());
+        BatchOutcome {
+            results,
+            stats,
+            slot_sources,
+        }
     }
 
     /// Shared batch driver: spawn workers, drain the chunked cursor through
@@ -297,7 +453,11 @@ impl BatchExecutor {
             .collect();
         let stats = BatchStats::from_workers(workers, chunk, per_thread);
         debug_assert_eq!(stats.answered + stats.errors, results.len());
-        BatchOutcome { results, stats }
+        BatchOutcome {
+            results,
+            stats,
+            slot_sources: Vec::new(),
+        }
     }
 }
 
@@ -397,6 +557,12 @@ pub struct BatchOutcome {
     pub results: Vec<BatchResult>,
     /// Global and per-worker execution counters.
     pub stats: BatchStats,
+    /// Cached runs only: how each slot was served, in input order —
+    /// [`CacheOutcome::Hit`] (resident answer), [`CacheOutcome::Miss`]
+    /// (computed and published) or [`CacheOutcome::Coalesced`] (collapsed
+    /// onto another slot's in-flight computation); `None` for error slots.
+    /// Empty for uncached runs. Serving layers report this per response.
+    pub slot_sources: Vec<Option<CacheOutcome>>,
 }
 
 /// Counters of the batch-shared MS-BFS Phase 1 (the cohort path of
@@ -462,10 +628,13 @@ pub struct ThreadBatchStats {
     pub errors: usize,
     /// Cursor chunks this worker claimed.
     pub chunks_claimed: usize,
-    /// Cache lookups this worker answered from the shared [`crate::SpgCache`]
-    /// (always 0 for uncached runs).
+    /// Cache lookups this worker answered from the shared
+    /// [`crate::SpgCache`]. On the two-phase cached drain the probe phase
+    /// runs on the calling thread, so hits are counted globally
+    /// ([`BatchStats::cache_hits`]) and this stays 0; compute workers only
+    /// ever see misses.
     pub cache_hits: usize,
-    /// Cache lookups this worker had to compute-then-publish (always 0 for
+    /// Missed queries this worker computed-then-published (always 0 for
     /// uncached runs).
     pub cache_misses: usize,
     /// This worker's shared-Phase-1 counters (cohort path only).
@@ -496,6 +665,11 @@ pub struct BatchStats {
     /// Queries computed and published to the shared result cache across all
     /// workers (always 0 for uncached runs).
     pub cache_misses: usize,
+    /// Missed queries collapsed onto another slot's in-flight computation by
+    /// the singleflight layer instead of computing themselves (always 0 for
+    /// uncached runs). Valid slots of a cached run partition exactly:
+    /// `cache_hits + cache_misses + cache_coalesced == answered`.
+    pub cache_coalesced: usize,
     /// Evictions the shared cache performed while this batch ran (the
     /// cache's eviction-counter delta — includes evictions triggered by
     /// concurrent users of the same cache; always 0 for uncached runs).
@@ -538,10 +712,11 @@ impl BatchStats {
         self.answered + self.errors
     }
 
-    /// Fraction of this run's cache lookups served from the cache (`None`
-    /// for uncached runs or batches with no valid query).
+    /// Fraction of this run's cache lookups served from the cache — hits
+    /// over all valid slots (hits, computed misses and coalesced slots);
+    /// `None` for uncached runs or batches with no valid query.
     pub fn cache_hit_rate(&self) -> Option<f64> {
-        let lookups = self.cache_hits + self.cache_misses;
+        let lookups = self.cache_hits + self.cache_misses + self.cache_coalesced;
         if lookups == 0 {
             None
         } else {
@@ -732,14 +907,26 @@ mod tests {
                     other => panic!("slot {i} threads {threads}: Ok/Err mismatch {other:?}"),
                 }
             }
-            // Every valid query is exactly one lookup; errors never are.
+            // Valid slots partition into hits, computed misses and
+            // coalesced duplicates; errors are none of the three.
             let stats = &outcome.stats;
-            assert_eq!(stats.cache_hits + stats.cache_misses, stats.answered);
+            assert_eq!(
+                stats.cache_hits + stats.cache_misses + stats.cache_coalesced,
+                stats.answered
+            );
+            // Compute workers only ever see misses (the probe phase counts
+            // hits globally), and their per-thread counters sum exactly.
             let (hits, misses): (usize, usize) = stats
                 .per_thread
                 .iter()
                 .fold((0, 0), |(h, m), t| (h + t.cache_hits, m + t.cache_misses));
-            assert_eq!((hits, misses), (stats.cache_hits, stats.cache_misses));
+            assert_eq!(hits, 0);
+            assert_eq!(misses, stats.cache_misses);
+            // Per-slot sources line up with the result shape.
+            assert_eq!(outcome.slot_sources.len(), batch.len());
+            for (src, result) in outcome.slot_sources.iter().zip(&outcome.results) {
+                assert_eq!(src.is_none(), result.is_err());
+            }
         }
 
         // The cache stayed warm across thread counts: a rerun is all hits.
@@ -757,8 +944,45 @@ mod tests {
         let outcome = BatchExecutor::new(2).run_detailed(&eve, &mixed_batch(8));
         assert_eq!(outcome.stats.cache_hits, 0);
         assert_eq!(outcome.stats.cache_misses, 0);
+        assert_eq!(outcome.stats.cache_coalesced, 0);
         assert_eq!(outcome.stats.cache_evictions, 0);
         assert_eq!(outcome.stats.cache_hit_rate(), None);
+        assert!(outcome.slot_sources.is_empty(), "uncached runs carry none");
+    }
+
+    #[test]
+    fn identical_cold_misses_compute_once_per_drain() {
+        use crate::cache::{CachedEve, SpgCache};
+        use spg_graph::VersionedGraph;
+
+        let vg = VersionedGraph::new(paper_example::figure1_graph());
+        let cache = SpgCache::new(1 << 20);
+        let cached = CachedEve::with_defaults(&vg, &cache);
+        // 64 identical cold queries in one batch: the singleflight probe
+        // collapses 63 of them onto the first slot's computation.
+        let batch = vec![Query::new(S, T, 4); 64];
+        let outcome = BatchExecutor::new(4).run_cached_detailed(&cached, &batch);
+        assert_eq!(outcome.stats.cache_misses, 1, "one compute");
+        assert_eq!(outcome.stats.cache_coalesced, 63, "the rest fan in");
+        assert_eq!(outcome.stats.cache_hits, 0);
+        assert_eq!(cache.stats().insertions, 1, "one publish");
+        let reference = Eve::with_defaults(vg.graph())
+            .query(Query::new(S, T, 4))
+            .unwrap();
+        for slot in &outcome.results {
+            assert_eq!(slot.as_ref().unwrap().edges(), reference.edges());
+        }
+        for src in &outcome.slot_sources {
+            assert!(src.is_some());
+        }
+        assert_eq!(
+            outcome
+                .slot_sources
+                .iter()
+                .filter(|s| **s == Some(CacheOutcome::Coalesced))
+                .count(),
+            63
+        );
     }
 
     #[test]

@@ -1,0 +1,194 @@
+//! Minimal blocking client for the serving protocol.
+//!
+//! Used by the integration tests and the `serve_bench` harness; also a
+//! reference implementation of the framing for anyone writing a real
+//! client. One [`SpgClient`] is one TCP connection; it is deliberately
+//! synchronous (send one frame, read one frame) because the tests and the
+//! bench's closed-loop workers want exactly that. Out-of-order responses —
+//! which the server may produce across *concurrent* requests — only matter
+//! to clients that pipeline, and those should match on [`Reply::id`].
+
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::json::{self, Json};
+use crate::protocol::{read_frame, write_frame, FrameError, DEFAULT_MAX_FRAME_BYTES};
+
+/// One response, decoded from the wire into plain fields.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Reply {
+    /// Echoed request id (`None` when the server could not attribute the
+    /// frame, e.g. a malformed or oversized request).
+    pub id: Option<u64>,
+    /// `"ok"`, `"error"` or `"overloaded"`.
+    pub status: String,
+    /// For `ok` query replies: `"hit"`, `"miss"` or `"coalesced"`.
+    pub source: Option<String>,
+    /// For `ok` query replies: the clamped hop bound the engine recorded.
+    pub k: Option<u32>,
+    /// For `ok` query replies: the answer's edge list in engine order.
+    pub edges: Option<Vec<(u32, u32)>>,
+    /// For `error` / `overloaded`: the server's message.
+    pub error: Option<String>,
+    /// The full parsed document (stats payloads and forward compatibility).
+    pub raw: Json,
+}
+
+impl Reply {
+    fn from_json(raw: Json) -> io::Result<Reply> {
+        let status = raw
+            .get("status")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad_reply("response has no status"))?
+            .to_string();
+        let edges = match raw.get("edges") {
+            None => None,
+            Some(Json::Array(items)) => {
+                let mut list = Vec::with_capacity(items.len());
+                for item in items {
+                    let pair = item
+                        .as_array()
+                        .ok_or_else(|| bad_reply("edge not a pair"))?;
+                    match pair {
+                        [u, v] => {
+                            let u = u.as_u64().ok_or_else(|| bad_reply("edge endpoint"))?;
+                            let v = v.as_u64().ok_or_else(|| bad_reply("edge endpoint"))?;
+                            list.push((
+                                u32::try_from(u).map_err(|_| bad_reply("edge endpoint range"))?,
+                                u32::try_from(v).map_err(|_| bad_reply("edge endpoint range"))?,
+                            ));
+                        }
+                        _ => return Err(bad_reply("edge not a pair")),
+                    }
+                }
+                Some(list)
+            }
+            Some(_) => return Err(bad_reply("edges not an array")),
+        };
+        Ok(Reply {
+            id: raw.get("id").and_then(Json::as_u64),
+            status,
+            source: raw.get("source").and_then(Json::as_str).map(str::to_string),
+            k: raw
+                .get("k")
+                .and_then(Json::as_u64)
+                .and_then(|v| u32::try_from(v).ok()),
+            edges,
+            error: raw.get("error").and_then(Json::as_str).map(str::to_string),
+            raw,
+        })
+    }
+}
+
+fn bad_reply(message: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("bad reply: {message}"))
+}
+
+/// One blocking protocol connection (see the module docs).
+#[derive(Debug)]
+pub struct SpgClient {
+    stream: TcpStream,
+    max_frame_bytes: usize,
+}
+
+impl SpgClient {
+    /// Connects to a running server.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<SpgClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(SpgClient {
+            stream,
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+        })
+    }
+
+    /// Caps how large a *response* frame this client will accept.
+    pub fn max_frame_bytes(mut self, max: usize) -> Self {
+        self.max_frame_bytes = max;
+        self
+    }
+
+    /// Sets a read timeout for [`SpgClient::recv`] (`None` blocks forever).
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
+
+    /// Sends one raw payload as a frame (tests use this to send hostile
+    /// bytes; well-formed callers use the typed helpers).
+    pub fn send_raw(&mut self, payload: &[u8]) -> io::Result<()> {
+        write_frame(&mut self.stream, payload)
+    }
+
+    /// Writes raw bytes *without* framing — for tests that truncate a frame
+    /// or corrupt a length prefix on purpose.
+    pub fn send_bytes(&mut self, bytes: &[u8]) -> io::Result<()> {
+        use std::io::Write;
+        self.stream.write_all(bytes)
+    }
+
+    /// Reads one response frame and decodes it.
+    pub fn recv(&mut self) -> io::Result<Reply> {
+        let payload = read_frame(&mut self.stream, self.max_frame_bytes).map_err(|e| match e {
+            FrameError::Io(io) => io,
+            other => io::Error::new(io::ErrorKind::InvalidData, other.to_string()),
+        })?;
+        let doc = json::parse(&payload)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        Reply::from_json(doc)
+    }
+
+    /// Sends a query request (no tenant).
+    pub fn send_query(&mut self, id: u64, s: u32, t: u32, k: u32) -> io::Result<()> {
+        self.send_query_for(id, s, t, k, None)
+    }
+
+    /// Sends a query request charged to `tenant`.
+    pub fn send_query_for(
+        &mut self,
+        id: u64,
+        s: u32,
+        t: u32,
+        k: u32,
+        tenant: Option<&str>,
+    ) -> io::Result<()> {
+        let mut fields = vec![
+            ("id".to_string(), Json::Uint(id)),
+            ("op".to_string(), Json::Str("query".into())),
+            ("s".to_string(), Json::Uint(s as u64)),
+            ("t".to_string(), Json::Uint(t as u64)),
+            ("k".to_string(), Json::Uint(k as u64)),
+        ];
+        if let Some(name) = tenant {
+            fields.push(("tenant".to_string(), Json::Str(name.into())));
+        }
+        let payload = json::to_string(&Json::Object(fields));
+        self.send_raw(payload.as_bytes())
+    }
+
+    /// Round trip: send a query, read one reply.
+    pub fn query(&mut self, id: u64, s: u32, t: u32, k: u32) -> io::Result<Reply> {
+        self.send_query(id, s, t, k)?;
+        self.recv()
+    }
+
+    /// Round trip: liveness probe.
+    pub fn ping(&mut self, id: u64) -> io::Result<Reply> {
+        let payload = json::to_string(&Json::Object(vec![
+            ("id".into(), Json::Uint(id)),
+            ("op".into(), Json::Str("ping".into())),
+        ]));
+        self.send_raw(payload.as_bytes())?;
+        self.recv()
+    }
+
+    /// Round trip: counter snapshot (see [`crate::server`] for the shape).
+    pub fn stats(&mut self, id: u64) -> io::Result<Reply> {
+        let payload = json::to_string(&Json::Object(vec![
+            ("id".into(), Json::Uint(id)),
+            ("op".into(), Json::Str("stats".into())),
+        ]));
+        self.send_raw(payload.as_bytes())?;
+        self.recv()
+    }
+}

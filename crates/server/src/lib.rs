@@ -1,0 +1,45 @@
+//! # spg-server — online serving engine for hop-constrained s-t SPG queries
+//!
+//! The paper's flagship workload is interactive (fraud-ring investigation:
+//! an analyst asks for `SPG_k(s, t)` and drills in), and the batch-query
+//! literature shows admission-time grouping is where batched sharing wins
+//! are made or lost. This crate turns the `spg-core` library into a
+//! long-running process that serves continuous traffic:
+//!
+//! * **[`protocol`]** — length-prefixed JSON frames over TCP (std-only,
+//!   thread-per-connection; no async runtime). Responses carry the answer's
+//!   full edge list and exact [`spg_core::QueryError`] strings, so clients
+//!   can hold the server to bit-identity with [`spg_core::Eve::query`].
+//! * **[`admission`]** — per-tenant token buckets and a bounded queue
+//!   drained in deadline-bounded micro-batches. Overload produces explicit
+//!   `overloaded` responses, never an unbounded queue.
+//! * **[`server`]** — the engine: each micro-batch runs through
+//!   [`spg_core::BatchExecutor::run_cached_coalesced`], which probes the
+//!   shared [`spg_core::SpgCache`], collapses duplicate misses onto
+//!   singleflight latches ([`spg_core::FlightGroup`], shared across
+//!   batches), and computes the distinct misses as one cohort-planned
+//!   parallel run — so shared-endpoint misses get the bit-parallel shared
+//!   Phase 1.
+//! * **[`client`]** — a small blocking client (tests, benchmarks,
+//!   reference framing implementation).
+//! * **[`json`]** — the vendored-deps-free JSON layer under all of it.
+//!
+//! The `spg-server` binary (`src/main.rs`) wraps [`server::SpgServer`] with
+//! a CLI: pick a graph (generated or loaded), bind a port, print
+//! `LISTENING <addr>` on stdout, serve until killed. `spg-bench`'s
+//! `serve_bench` drives that binary over real sockets and writes the
+//! `serving` section of `BENCH_6.json`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod client;
+pub mod json;
+pub mod protocol;
+pub mod server;
+
+pub use admission::{BatchQueue, RateLimiter};
+pub use client::{Reply, SpgClient};
+pub use protocol::{BadRequest, FrameError, Request};
+pub use server::{ServerConfig, ServerHandle, SpgServer};

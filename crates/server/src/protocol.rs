@@ -1,0 +1,436 @@
+//! Wire protocol: length-prefixed JSON frames over TCP.
+//!
+//! Every message — request or response — is one **frame**: a 4-byte
+//! big-endian payload length followed by exactly that many bytes of JSON.
+//! Explicit framing (rather than a line protocol) makes truncation,
+//! oversized payloads and mid-frame disconnects first-class protocol states
+//! the server handles deliberately instead of edge cases inside a text
+//! splitter.
+//!
+//! ## Requests
+//!
+//! ```json
+//! {"id": 1, "op": "query", "s": 0, "t": 5, "k": 4}
+//! {"id": 2, "op": "query", "s": 0, "t": 5, "k": 4, "tenant": "fraud-team"}
+//! {"id": 3, "op": "ping"}
+//! {"id": 4, "op": "stats"}
+//! ```
+//!
+//! `id` is an arbitrary `u64` chosen by the client and echoed verbatim in
+//! the response; `s`/`t` are vertex ids, `k` the hop bound (the full `u32`
+//! range is accepted — clamping happens in the engine exactly as in the
+//! library API). `tenant` selects the token bucket charged for admission
+//! (default: the anonymous tenant).
+//!
+//! ## Responses
+//!
+//! ```json
+//! {"id": 1, "status": "ok", "source": "miss", "k": 4, "edges": [[0,3],[3,5]]}
+//! {"id": 1, "status": "error", "error": "source and target must differ ..."}
+//! {"id": 2, "status": "overloaded", "error": "admission queue is full"}
+//! {"id": 3, "status": "ok", "pong": true}
+//! ```
+//!
+//! `source` is `"hit"`, `"miss"` or `"coalesced"` — how the cache/
+//! singleflight layer served the slot. `edges` is the answer's edge list in
+//! the engine's deterministic order, so a client can compare responses
+//! bit-for-bit against [`spg_core::Eve::query`]; `error` strings are the
+//! exact [`spg_core::QueryError`] display strings for the same reason.
+//! Frames that cannot be attributed to a request (unparseable id) are
+//! answered with `"id": null`.
+
+use std::io::{self, Read, Write};
+
+use spg_core::{CacheOutcome, Query};
+
+use crate::json::{self, Json};
+
+/// Default cap on a frame's payload size. Requests are tiny; responses
+/// carry edge lists, and the server sizes its own cap to the graph.
+pub const DEFAULT_MAX_FRAME_BYTES: usize = 1 << 20;
+
+/// Reading one frame: the payload, a clean end-of-stream, or a violation.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The peer closed the connection between frames — a normal goodbye.
+    Closed,
+    /// The declared payload length exceeds the cap. The stream can no
+    /// longer be trusted to be frame-aligned, so the connection must close
+    /// after the error response.
+    Oversized {
+        /// Length the prefix declared.
+        declared: usize,
+        /// The configured cap it exceeded.
+        max: usize,
+    },
+    /// The peer disconnected mid-frame or another I/O error occurred.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Closed => write!(f, "connection closed"),
+            FrameError::Oversized { declared, max } => {
+                write!(f, "frame of {declared} bytes exceeds the {max}-byte cap")
+            }
+            FrameError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+/// Reads one length-prefixed frame. Returns [`FrameError::Closed`] only for
+/// EOF *between* frames; EOF inside the prefix or payload is an I/O error
+/// (truncated frame).
+pub fn read_frame<R: Read>(reader: &mut R, max_bytes: usize) -> Result<Vec<u8>, FrameError> {
+    let mut prefix = [0u8; 4];
+    // First byte decides Closed vs truncated.
+    match reader.read(&mut prefix[..1]) {
+        Ok(0) => return Err(FrameError::Closed),
+        Ok(_) => {}
+        Err(e) => return Err(FrameError::Io(e)),
+    }
+    reader
+        .read_exact(&mut prefix[1..])
+        .map_err(FrameError::Io)?;
+    let declared = u32::from_be_bytes(prefix) as usize;
+    if declared > max_bytes {
+        return Err(FrameError::Oversized {
+            declared,
+            max: max_bytes,
+        });
+    }
+    let mut payload = vec![0u8; declared];
+    reader.read_exact(&mut payload).map_err(FrameError::Io)?;
+    Ok(payload)
+}
+
+/// Writes one length-prefixed frame (flushing is the caller's business;
+/// the server's connection writer flushes per response).
+pub fn write_frame<W: Write>(writer: &mut W, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame exceeds u32 length"))?;
+    writer.write_all(&len.to_be_bytes())?;
+    writer.write_all(payload)
+}
+
+/// One parsed client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Answer `⟨s, t, k⟩` on the served graph.
+    Query {
+        /// Client-chosen correlation id, echoed in the response.
+        id: u64,
+        /// The hop-constrained s-t query.
+        query: Query,
+        /// Token bucket to charge (`None` = the anonymous tenant).
+        tenant: Option<String>,
+    },
+    /// Liveness probe; answered inline by the connection thread.
+    Ping {
+        /// Client-chosen correlation id, echoed in the response.
+        id: u64,
+    },
+    /// Counter snapshot (cache, singleflight, server); answered inline.
+    Stats {
+        /// Client-chosen correlation id, echoed in the response.
+        id: u64,
+    },
+}
+
+/// Why a request frame was rejected before reaching the engine. Carries the
+/// request id when one could be recovered, so the error response still
+/// correlates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BadRequest {
+    /// Recovered correlation id, if the frame got that far.
+    pub id: Option<u64>,
+    /// Human-readable reason, echoed to the client.
+    pub message: String,
+}
+
+impl BadRequest {
+    fn new(id: Option<u64>, message: impl Into<String>) -> Self {
+        BadRequest {
+            id,
+            message: message.into(),
+        }
+    }
+}
+
+/// Extracts a required exact-`u64` field. [`Json::Float`] is how the parser
+/// surfaces out-of-range integers, so overflow reports precisely.
+fn u64_field(doc: &Json, id: Option<u64>, key: &str) -> Result<u64, BadRequest> {
+    match doc.get(key) {
+        Some(Json::Uint(v)) => Ok(*v),
+        Some(Json::Int(_) | Json::Float(_)) => Err(BadRequest::new(
+            id,
+            format!("field '{key}' must be an integer in [0, 2^64)"),
+        )),
+        Some(_) => Err(BadRequest::new(
+            id,
+            format!("field '{key}' must be a number"),
+        )),
+        None => Err(BadRequest::new(id, format!("missing field '{key}'"))),
+    }
+}
+
+/// Like [`u64_field`] but bounded to `u32` (vertex ids and hop bounds).
+fn u32_field(doc: &Json, id: Option<u64>, key: &str) -> Result<u32, BadRequest> {
+    let v = u64_field(doc, id, key)?;
+    u32::try_from(v)
+        .map_err(|_| BadRequest::new(id, format!("field '{key}' exceeds the u32 range")))
+}
+
+/// Parses one request frame. Never panics on hostile input: every malformed
+/// shape maps to a [`BadRequest`] the server answers and survives.
+pub fn parse_request(payload: &[u8]) -> Result<Request, BadRequest> {
+    let doc =
+        json::parse(payload).map_err(|e| BadRequest::new(None, format!("malformed JSON: {e}")))?;
+    if !matches!(doc, Json::Object(_)) {
+        return Err(BadRequest::new(None, "request must be a JSON object"));
+    }
+    // Recover the id first so later errors still correlate.
+    let id = match doc.get("id") {
+        Some(Json::Uint(v)) => *v,
+        Some(_) => {
+            return Err(BadRequest::new(
+                None,
+                "field 'id' must be an integer in [0, 2^64)",
+            ))
+        }
+        None => return Err(BadRequest::new(None, "missing field 'id'")),
+    };
+    let op = doc
+        .get("op")
+        .and_then(Json::as_str)
+        .ok_or_else(|| BadRequest::new(Some(id), "missing or non-string field 'op'"))?;
+    match op {
+        "ping" => Ok(Request::Ping { id }),
+        "stats" => Ok(Request::Stats { id }),
+        "query" => {
+            let s = u32_field(&doc, Some(id), "s")?;
+            let t = u32_field(&doc, Some(id), "t")?;
+            let k = u32_field(&doc, Some(id), "k")?;
+            let tenant = match doc.get("tenant") {
+                None | Some(Json::Null) => None,
+                Some(Json::Str(name)) => Some(name.clone()),
+                Some(_) => {
+                    return Err(BadRequest::new(Some(id), "field 'tenant' must be a string"))
+                }
+            };
+            Ok(Request::Query {
+                id,
+                query: Query::new(s, t, k),
+                tenant,
+            })
+        }
+        other => Err(BadRequest::new(
+            Some(id),
+            format!("unknown op '{other}' (expected query, ping or stats)"),
+        )),
+    }
+}
+
+/// The wire spelling of a [`CacheOutcome`].
+pub fn source_str(outcome: CacheOutcome) -> &'static str {
+    match outcome {
+        CacheOutcome::Hit => "hit",
+        CacheOutcome::Miss => "miss",
+        CacheOutcome::Coalesced => "coalesced",
+    }
+}
+
+fn id_json(id: Option<u64>) -> Json {
+    match id {
+        Some(v) => Json::Uint(v),
+        None => Json::Null,
+    }
+}
+
+/// Builds the `status: ok` response for an answered query: the clamped `k`
+/// the engine recorded plus the full edge list in deterministic order.
+pub fn ok_response(id: u64, source: CacheOutcome, clamped_k: u32, edges: &[(u32, u32)]) -> String {
+    let edge_json: Vec<Json> = edges
+        .iter()
+        .map(|&(u, v)| Json::Array(vec![Json::Uint(u as u64), Json::Uint(v as u64)]))
+        .collect();
+    json::to_string(&Json::Object(vec![
+        ("id".into(), Json::Uint(id)),
+        ("status".into(), Json::Str("ok".into())),
+        ("source".into(), Json::Str(source_str(source).into())),
+        ("k".into(), Json::Uint(clamped_k as u64)),
+        ("edges".into(), Json::Array(edge_json)),
+    ]))
+}
+
+/// Builds a `status: error` response (invalid query, malformed frame, …).
+pub fn error_response(id: Option<u64>, message: &str) -> String {
+    json::to_string(&Json::Object(vec![
+        ("id".into(), id_json(id)),
+        ("status".into(), Json::Str("error".into())),
+        ("error".into(), Json::Str(message.into())),
+    ]))
+}
+
+/// Builds a `status: overloaded` back-pressure response.
+pub fn overloaded_response(id: u64, message: &str) -> String {
+    json::to_string(&Json::Object(vec![
+        ("id".into(), Json::Uint(id)),
+        ("status".into(), Json::Str("overloaded".into())),
+        ("error".into(), Json::Str(message.into())),
+    ]))
+}
+
+/// Builds the `ping` response.
+pub fn pong_response(id: u64) -> String {
+    json::to_string(&Json::Object(vec![
+        ("id".into(), Json::Uint(id)),
+        ("status".into(), Json::Str("ok".into())),
+        ("pong".into(), Json::Bool(true)),
+    ]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"{\"id\":1}").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut cursor = Cursor::new(buf);
+        assert_eq!(read_frame(&mut cursor, 1024).unwrap(), b"{\"id\":1}");
+        assert_eq!(read_frame(&mut cursor, 1024).unwrap(), b"");
+        assert!(matches!(
+            read_frame(&mut cursor, 1024),
+            Err(FrameError::Closed)
+        ));
+    }
+
+    #[test]
+    fn truncated_prefix_and_payload_are_io_errors_not_closed() {
+        // Only 2 of 4 prefix bytes.
+        let mut cursor = Cursor::new(vec![0u8, 0]);
+        assert!(matches!(
+            read_frame(&mut cursor, 1024),
+            Err(FrameError::Io(_))
+        ));
+        // Prefix declares 10 bytes, 3 arrive.
+        let mut partial = 10u32.to_be_bytes().to_vec();
+        partial.extend_from_slice(b"abc");
+        let mut cursor = Cursor::new(partial);
+        assert!(matches!(
+            read_frame(&mut cursor, 1024),
+            Err(FrameError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_declaration_is_rejected_without_reading() {
+        let mut framed = u32::MAX.to_be_bytes().to_vec();
+        framed.extend_from_slice(b"x");
+        let mut cursor = Cursor::new(framed);
+        match read_frame(&mut cursor, 64) {
+            Err(FrameError::Oversized { declared, max }) => {
+                assert_eq!(declared, u32::MAX as usize);
+                assert_eq!(max, 64);
+            }
+            other => panic!("expected Oversized, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_the_documented_requests() {
+        let q = parse_request(br#"{"id": 1, "op": "query", "s": 0, "t": 5, "k": 4}"#).unwrap();
+        assert_eq!(
+            q,
+            Request::Query {
+                id: 1,
+                query: Query::new(0, 5, 4),
+                tenant: None
+            }
+        );
+        let q = parse_request(
+            br#"{"id": 2, "op": "query", "s": 1, "t": 2, "k": 4294967295, "tenant": "team"}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            q,
+            Request::Query {
+                id: 2,
+                query: Query::new(1, 2, u32::MAX),
+                tenant: Some("team".into())
+            }
+        );
+        assert_eq!(
+            parse_request(br#"{"id": 3, "op": "ping"}"#).unwrap(),
+            Request::Ping { id: 3 }
+        );
+        assert_eq!(
+            parse_request(br#"{"id": 4, "op": "stats"}"#).unwrap(),
+            Request::Stats { id: 4 }
+        );
+    }
+
+    #[test]
+    fn id_and_k_overflow_are_rejected_with_correlation() {
+        // id beyond u64: unattributable.
+        let err = parse_request(br#"{"id": 18446744073709551616, "op": "ping"}"#).unwrap_err();
+        assert_eq!(err.id, None);
+        assert!(err.message.contains("'id'"), "{}", err.message);
+        // k beyond u32: attributable to id 9.
+        let err = parse_request(br#"{"id": 9, "op": "query", "s": 0, "t": 1, "k": 4294967296}"#)
+            .unwrap_err();
+        assert_eq!(err.id, Some(9));
+        assert!(err.message.contains("'k'"), "{}", err.message);
+        // Negative and fractional ids.
+        for bad in [
+            &br#"{"id": -1, "op": "ping"}"#[..],
+            br#"{"id": 1.5, "op": "ping"}"#,
+            br#"{"id": "x", "op": "ping"}"#,
+        ] {
+            assert_eq!(parse_request(bad).unwrap_err().id, None);
+        }
+    }
+
+    #[test]
+    fn malformed_shapes_error_cleanly() {
+        for bad in [
+            &b"not json"[..],
+            b"[]",
+            b"{}",
+            br#"{"id": 1}"#,
+            br#"{"id": 1, "op": "evaporate"}"#,
+            br#"{"id": 1, "op": "query"}"#,
+            br#"{"id": 1, "op": "query", "s": "a", "t": 1, "k": 1}"#,
+            br#"{"id": 1, "op": "query", "s": 0, "t": 1, "k": 1, "tenant": 7}"#,
+        ] {
+            assert!(parse_request(bad).is_err(), "{:?} must not parse", bad);
+        }
+    }
+
+    #[test]
+    fn responses_are_parseable_and_stable() {
+        let ok = ok_response(7, CacheOutcome::Coalesced, 4, &[(0, 3), (3, 5)]);
+        assert_eq!(
+            ok,
+            r#"{"id":7,"status":"ok","source":"coalesced","k":4,"edges":[[0,3],[3,5]]}"#
+        );
+        let doc = json::parse(ok.as_bytes()).unwrap();
+        assert_eq!(doc.get("source").and_then(Json::as_str), Some("coalesced"));
+        assert_eq!(
+            error_response(None, "malformed"),
+            r#"{"id":null,"status":"error","error":"malformed"}"#
+        );
+        assert_eq!(
+            overloaded_response(1, "queue full"),
+            r#"{"id":1,"status":"overloaded","error":"queue full"}"#
+        );
+        assert_eq!(pong_response(2), r#"{"id":2,"status":"ok","pong":true}"#);
+        assert_eq!(source_str(CacheOutcome::Hit), "hit");
+        assert_eq!(source_str(CacheOutcome::Miss), "miss");
+    }
+}

@@ -1,0 +1,487 @@
+//! The serving engine: acceptor, connection handlers, and the micro-batch
+//! drain loop.
+//!
+//! ## Thread model (std-only, no async runtime)
+//!
+//! * **Acceptor** — [`SpgServer::run`] polls a non-blocking listener,
+//!   spawning one handler thread per connection.
+//! * **Connection handlers** — each reads length-prefixed frames
+//!   ([`crate::protocol`]), answers `ping`/`stats` and protocol errors
+//!   inline, and pushes admitted queries into the shared
+//!   [`BatchQueue`]. Responses are written by whichever thread finishes the
+//!   work, serialised per connection by a write lock, so one slow query
+//!   never blocks the wire for its neighbours and responses may arrive out
+//!   of request order (clients correlate by `id`).
+//! * **Batcher** — a single thread drains the queue in deadline-bounded
+//!   micro-batches and runs each through
+//!   [`BatchExecutor::run_cached_coalesced`]: probe the shared
+//!   [`SpgCache`], collapse duplicate misses onto singleflight latches
+//!   ([`spg_core::FlightGroup`] — shared across batches, so a key already
+//!   computing in the previous drain is joined, not recomputed), and compute
+//!   the distinct misses as one cohort-planned parallel run.
+//!
+//! ## Back-pressure
+//!
+//! Nothing in the engine queues unboundedly. A query is refused with an
+//! explicit `overloaded` response when its tenant's token bucket is dry or
+//! the batch queue is full; the connection stays usable either way.
+//!
+//! ## Crash containment
+//!
+//! The batcher wraps each drain in `catch_unwind`: a panicking batch
+//! answers `internal error` to its own requests and the server keeps
+//! serving. Flight tokens abandon on unwind (their `Drop` wakes joiners to
+//! recompute), so a crashed drain can never wedge another batch.
+
+use std::io::Read;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, Weak};
+use std::thread;
+use std::time::Duration;
+
+use spg_core::{BatchExecutor, CachedEve, FlightGroup, Query, SpgCache};
+use spg_graph::{DiGraph, VersionedGraph};
+
+use crate::admission::{BatchQueue, RateLimiter};
+use crate::json::{self, Json};
+use crate::protocol::{
+    self, error_response, ok_response, overloaded_response, pong_response, FrameError, Request,
+};
+
+/// Tuning knobs of one [`SpgServer`] (see the crate docs for the protocol
+/// and [`crate::admission`] for the admission semantics).
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Largest micro-batch one drain executes.
+    pub batch_max: usize,
+    /// Longest a request waits for its batch to fill. Zero dispatches
+    /// immediately; under a backlog the deadline is never paid.
+    pub batch_deadline: Duration,
+    /// Bound on queries admitted but not yet drained; pushes beyond it are
+    /// refused with `overloaded`.
+    pub queue_capacity: usize,
+    /// Cap on request/response frame payloads.
+    pub max_frame_bytes: usize,
+    /// Per-tenant admission rate (requests/second); ≤ 0 disables limiting.
+    pub rate_per_sec: f64,
+    /// Per-tenant burst capacity (tokens).
+    pub burst: f64,
+    /// Worker threads per batch drain (0 = available parallelism).
+    pub threads: usize,
+    /// Byte budget of the shared result cache.
+    pub cache_bytes: usize,
+    /// Cohort-shared MS-BFS Phase 1 for missed queries (the library
+    /// default; disable only to measure the per-query baseline).
+    pub shared_phase1: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            batch_max: 64,
+            batch_deadline: Duration::from_micros(200),
+            queue_capacity: 1024,
+            max_frame_bytes: protocol::DEFAULT_MAX_FRAME_BYTES,
+            rate_per_sec: 0.0,
+            burst: 64.0,
+            threads: 0,
+            cache_bytes: 64 << 20,
+            shared_phase1: true,
+        }
+    }
+}
+
+/// Monotone serving counters, exposed over the wire by the `stats` op.
+#[derive(Debug, Default)]
+struct ServerCounters {
+    /// Frames received that parsed into some request.
+    requests: AtomicU64,
+    /// Query responses with `status: ok`.
+    answered: AtomicU64,
+    /// Query responses with `status: error` from [`spg_core::QueryError`].
+    query_errors: AtomicU64,
+    /// Frames refused before reaching the engine (malformed, oversized).
+    protocol_errors: AtomicU64,
+    /// Queries refused with `status: overloaded`.
+    overloaded: AtomicU64,
+    /// Micro-batches drained.
+    batches: AtomicU64,
+    /// Largest micro-batch drained.
+    max_batch: AtomicU64,
+}
+
+/// One admitted query waiting for its micro-batch.
+struct PendingQuery {
+    id: u64,
+    query: Query,
+    conn: Arc<Connection>,
+}
+
+/// Write half of one client connection. Reads happen in the connection's
+/// own thread through `&TcpStream`; writes come from any thread and are
+/// serialised by the lock so frames are never interleaved.
+struct Connection {
+    stream: TcpStream,
+    write_lock: Mutex<()>,
+}
+
+impl Connection {
+    /// Writes one response frame; errors are deliberately swallowed (the
+    /// peer may have hung up while its query computed, which is its right).
+    fn send(&self, payload: &str) {
+        let _guard = self.write_lock.lock().expect("connection writer");
+        let mut stream = &self.stream;
+        let _ = protocol::write_frame(&mut stream, payload.as_bytes());
+    }
+
+    /// Unblocks the reader thread (used at shutdown).
+    fn hang_up(&self) {
+        let _ = self.stream.shutdown(Shutdown::Both);
+    }
+}
+
+/// Everything the server's threads share.
+struct ServerState {
+    graph: VersionedGraph,
+    cache: SpgCache,
+    flights: FlightGroup,
+    queue: BatchQueue<PendingQuery>,
+    limiter: RateLimiter,
+    config: ServerConfig,
+    counters: ServerCounters,
+    shutdown: AtomicBool,
+    /// Live connections, so shutdown can unblock their readers.
+    connections: Mutex<Vec<Weak<Connection>>>,
+}
+
+/// Remote control for a running [`SpgServer`] (cloneable, thread-safe).
+#[derive(Clone)]
+pub struct ServerHandle {
+    state: Arc<ServerState>,
+}
+
+impl ServerHandle {
+    /// Asks the server to stop: the acceptor exits, connection readers are
+    /// unblocked, the batcher drains what was admitted and exits.
+    pub fn shutdown(&self) {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+        self.state.queue.close();
+        let connections = self.state.connections.lock().expect("connection registry");
+        for conn in connections.iter().filter_map(Weak::upgrade) {
+            conn.hang_up();
+        }
+    }
+}
+
+/// A bound serving engine: call [`SpgServer::run`] to serve until
+/// [`ServerHandle::shutdown`].
+pub struct SpgServer {
+    listener: TcpListener,
+    local_addr: SocketAddr,
+    state: Arc<ServerState>,
+}
+
+impl SpgServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// prepares to serve `graph` under `config`.
+    pub fn bind<A: ToSocketAddrs>(
+        graph: DiGraph,
+        addr: A,
+        config: ServerConfig,
+    ) -> std::io::Result<SpgServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let state = Arc::new(ServerState {
+            graph: VersionedGraph::new(graph),
+            cache: SpgCache::new(config.cache_bytes),
+            flights: FlightGroup::new(),
+            queue: BatchQueue::new(
+                config.queue_capacity,
+                config.batch_max,
+                config.batch_deadline,
+            ),
+            limiter: RateLimiter::new(config.rate_per_sec, config.burst),
+            config,
+            counters: ServerCounters::default(),
+            shutdown: AtomicBool::new(false),
+            connections: Mutex::new(Vec::new()),
+        });
+        Ok(SpgServer {
+            listener,
+            local_addr,
+            state,
+        })
+    }
+
+    /// The bound address (the resolved port when binding port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A handle for stopping the server from another thread.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            state: Arc::clone(&self.state),
+        }
+    }
+
+    /// Serves until [`ServerHandle::shutdown`]: spawns the batcher, then
+    /// accepts connections, one handler thread each. Returns after the
+    /// batcher has drained the admitted backlog.
+    pub fn run(self) {
+        let batcher = {
+            let state = Arc::clone(&self.state);
+            thread::Builder::new()
+                .name("spg-batcher".into())
+                .spawn(move || batcher_loop(&state))
+                .expect("spawn batcher thread")
+        };
+
+        while !self.state.shutdown.load(Ordering::SeqCst) {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let state = Arc::clone(&self.state);
+                    let _ = thread::Builder::new()
+                        .name("spg-conn".into())
+                        .spawn(move || connection_loop(&state, stream));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    thread::sleep(Duration::from_millis(2));
+                }
+                Err(_) => break,
+            }
+        }
+        // `shutdown()` already closed the queue; wait for the drain to end.
+        self.state.queue.close();
+        let _ = batcher.join();
+    }
+}
+
+/// One connection's read loop: frame in, request out (see the module docs
+/// for which thread answers what).
+fn connection_loop(state: &Arc<ServerState>, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let conn = Arc::new(Connection {
+        stream,
+        write_lock: Mutex::new(()),
+    });
+    state
+        .connections
+        .lock()
+        .expect("connection registry")
+        .push(Arc::downgrade(&conn));
+
+    let mut reader = read_half;
+    loop {
+        if state.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match protocol::read_frame(&mut reader, state.config.max_frame_bytes) {
+            Ok(payload) => handle_frame(state, &conn, &payload),
+            Err(FrameError::Closed) => break,
+            Err(FrameError::Oversized { declared, max }) => {
+                // The stream is no longer frame-aligned; answer, then close.
+                state
+                    .counters
+                    .protocol_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                conn.send(&error_response(
+                    None,
+                    &format!(
+                        "oversized request: frame of {declared} bytes exceeds the {max}-byte cap"
+                    ),
+                ));
+                conn.hang_up();
+                break;
+            }
+            // Mid-frame disconnects and any other read failure end the
+            // connection quietly; in-flight queries for it complete and
+            // their writes are swallowed.
+            Err(FrameError::Io(_)) => break,
+        }
+    }
+}
+
+/// Parses and dispatches one request frame.
+fn handle_frame(state: &Arc<ServerState>, conn: &Arc<Connection>, payload: &[u8]) {
+    let request = match protocol::parse_request(payload) {
+        Ok(request) => request,
+        Err(bad) => {
+            state
+                .counters
+                .protocol_errors
+                .fetch_add(1, Ordering::Relaxed);
+            conn.send(&error_response(bad.id, &bad.message));
+            return;
+        }
+    };
+    state.counters.requests.fetch_add(1, Ordering::Relaxed);
+    match request {
+        Request::Ping { id } => conn.send(&pong_response(id)),
+        Request::Stats { id } => conn.send(&stats_response(state, id)),
+        Request::Query { id, query, tenant } => {
+            let tenant_name = tenant.as_deref().unwrap_or("");
+            if !state.limiter.admit(tenant_name) {
+                state.counters.overloaded.fetch_add(1, Ordering::Relaxed);
+                conn.send(&overloaded_response(
+                    id,
+                    &format!("rate limit exceeded for tenant '{tenant_name}'"),
+                ));
+                return;
+            }
+            let pending = PendingQuery {
+                id,
+                query,
+                conn: Arc::clone(conn),
+            };
+            if let Err(refused) = state.queue.push(pending) {
+                state.counters.overloaded.fetch_add(1, Ordering::Relaxed);
+                refused
+                    .conn
+                    .send(&overloaded_response(refused.id, "admission queue is full"));
+            }
+        }
+    }
+}
+
+/// The single batcher thread: drain micro-batches until shutdown.
+fn batcher_loop(state: &Arc<ServerState>) {
+    let cached = CachedEve::with_defaults(&state.graph, &state.cache);
+    let executor = if state.config.threads == 0 {
+        BatchExecutor::with_available_parallelism()
+    } else {
+        BatchExecutor::new(state.config.threads)
+    }
+    .shared_phase1(state.config.shared_phase1);
+
+    while let Some(batch) = state.queue.next_batch() {
+        state.counters.batches.fetch_add(1, Ordering::Relaxed);
+        state
+            .counters
+            .max_batch
+            .fetch_max(batch.len() as u64, Ordering::Relaxed);
+        let queries: Vec<Query> = batch.iter().map(|p| p.query).collect();
+        let drained = catch_unwind(AssertUnwindSafe(|| {
+            executor.run_cached_coalesced(&cached, &state.flights, &queries)
+        }));
+        match drained {
+            Ok(outcome) => {
+                for (i, pending) in batch.iter().enumerate() {
+                    match &outcome.results[i] {
+                        Ok(spg) => {
+                            state.counters.answered.fetch_add(1, Ordering::Relaxed);
+                            let source = outcome.slot_sources[i]
+                                .expect("ok slots always carry a cache outcome");
+                            pending.conn.send(&ok_response(
+                                pending.id,
+                                source,
+                                spg.query().k,
+                                spg.edges(),
+                            ));
+                        }
+                        Err(err) => {
+                            state.counters.query_errors.fetch_add(1, Ordering::Relaxed);
+                            pending
+                                .conn
+                                .send(&error_response(Some(pending.id), &err.to_string()));
+                        }
+                    }
+                }
+            }
+            Err(_) => {
+                // Contain the crash to this batch: flight tokens abandoned on
+                // unwind, joiners in other drains recompute, we keep serving.
+                for pending in &batch {
+                    state.counters.query_errors.fetch_add(1, Ordering::Relaxed);
+                    pending.conn.send(&error_response(
+                        Some(pending.id),
+                        "internal error: batch execution panicked",
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Builds the `stats` response: serving, cache and singleflight counters.
+fn stats_response(state: &Arc<ServerState>, id: u64) -> String {
+    let c = &state.counters;
+    let cache = state.cache.stats();
+    let flights = state.flights.stats();
+    let obj = Json::Object(vec![
+        ("id".into(), Json::Uint(id)),
+        ("status".into(), Json::Str("ok".into())),
+        (
+            "server".into(),
+            Json::Object(vec![
+                (
+                    "requests".into(),
+                    Json::Uint(c.requests.load(Ordering::Relaxed)),
+                ),
+                (
+                    "answered".into(),
+                    Json::Uint(c.answered.load(Ordering::Relaxed)),
+                ),
+                (
+                    "query_errors".into(),
+                    Json::Uint(c.query_errors.load(Ordering::Relaxed)),
+                ),
+                (
+                    "protocol_errors".into(),
+                    Json::Uint(c.protocol_errors.load(Ordering::Relaxed)),
+                ),
+                (
+                    "overloaded".into(),
+                    Json::Uint(c.overloaded.load(Ordering::Relaxed)),
+                ),
+                (
+                    "batches".into(),
+                    Json::Uint(c.batches.load(Ordering::Relaxed)),
+                ),
+                (
+                    "max_batch".into(),
+                    Json::Uint(c.max_batch.load(Ordering::Relaxed)),
+                ),
+                ("queue_depth".into(), Json::Uint(state.queue.len() as u64)),
+                ("tenants".into(), Json::Uint(state.limiter.tenants() as u64)),
+            ]),
+        ),
+        (
+            "cache".into(),
+            Json::Object(vec![
+                ("hits".into(), Json::Uint(cache.hits)),
+                ("misses".into(), Json::Uint(cache.misses)),
+                ("insertions".into(), Json::Uint(cache.insertions)),
+                ("evictions".into(), Json::Uint(cache.evictions)),
+                ("entries".into(), Json::Uint(cache.entries as u64)),
+                ("bytes".into(), Json::Uint(cache.bytes as u64)),
+                ("budget_bytes".into(), Json::Uint(cache.budget_bytes as u64)),
+            ]),
+        ),
+        (
+            "flights".into(),
+            Json::Object(vec![
+                ("led".into(), Json::Uint(flights.led)),
+                ("joined".into(), Json::Uint(flights.joined)),
+                ("abandoned".into(), Json::Uint(flights.abandoned)),
+            ]),
+        ),
+    ]);
+    json::to_string(&obj)
+}
+
+// `Read` is used through `&TcpStream` (see `connection_loop`); keep the
+// bound explicit so refactors that break it fail here, not at a call site.
+const _: () = {
+    const fn assert_read<T: Read>() {}
+    assert_read::<&TcpStream>();
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<ServerState>();
+    assert_send_sync::<ServerHandle>();
+};

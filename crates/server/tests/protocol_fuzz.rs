@@ -1,0 +1,155 @@
+//! Hostile-client tests: the server must survive anything the wire can
+//! carry — malformed JSON, truncated frames, corrupt length prefixes,
+//! numeric overflow, mid-request disconnects — without panicking, wedging
+//! the batcher, or poisoning a lock. Liveness is asserted the same way
+//! after every attack: a fresh connection's `ping` must still answer.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use spg_graph::generators::gnm_random;
+use spg_server::{ServerConfig, ServerHandle, SpgClient, SpgServer};
+
+fn start_server() -> (std::net::SocketAddr, ServerHandle, JoinHandle<()>) {
+    let config = ServerConfig {
+        batch_deadline: Duration::ZERO,
+        max_frame_bytes: 64 << 10,
+        ..ServerConfig::default()
+    };
+    let graph = gnm_random(30, 120, 0xF422);
+    let server = SpgServer::bind(graph, "127.0.0.1:0", config).expect("bind loopback");
+    let addr = server.local_addr();
+    let handle = server.handle();
+    let thread = thread::spawn(move || server.run());
+    (addr, handle, thread)
+}
+
+fn connect(addr: std::net::SocketAddr) -> SpgClient {
+    let client = SpgClient::connect(addr).expect("connect");
+    client
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("read timeout");
+    client
+}
+
+/// The liveness probe every attack is followed by.
+fn assert_alive(addr: std::net::SocketAddr) {
+    let mut probe = connect(addr);
+    let pong = probe.ping(u64::MAX).expect("server must stay up");
+    assert_eq!(pong.status, "ok");
+    assert_eq!(pong.id, Some(u64::MAX));
+}
+
+#[test]
+fn malformed_payloads_get_error_responses_not_crashes() {
+    let (addr, handle, server) = start_server();
+    let attacks: &[&[u8]] = &[
+        b"",
+        b"{",
+        b"}",
+        b"[1,2",
+        b"null",
+        b"42",
+        b"\"just a string\"",
+        b"[]",
+        b"{}",                                                           // no op
+        b"{\"op\":\"query\"}",                                           // no id
+        b"{\"id\":1,\"op\":\"teleport\"}",                               // unknown op
+        b"{\"id\":1,\"op\":\"query\",\"s\":0}",                          // missing fields
+        b"{\"id\":-1,\"op\":\"ping\"}",                                  // negative id
+        b"{\"id\":1.5,\"op\":\"ping\"}",                                 // fractional id
+        b"{\"id\":18446744073709551616,\"op\":\"ping\"}",                // id > u64::MAX
+        b"{\"id\":1,\"op\":\"query\",\"s\":0,\"t\":1,\"k\":4294967296}", // k > u32::MAX
+        b"{\"id\":1,\"op\":\"query\",\"s\":-3,\"t\":1,\"k\":4}",
+        b"{\"id\":1,\"op\":\"query\",\"s\":\"zero\",\"t\":1,\"k\":4}",
+        b"{\"id\":1,\"op\":query}", // bare word
+        b"\xff\xfe\xfd\xfc",        // not UTF-8 at all
+        b"{\"id\":1,\"op\":\"ping\",\"junk\":[[[[[[[[[[[[[[[[[[[[[[[[[[[[[[[[[[[[[",
+    ];
+    let mut client = connect(addr);
+    for attack in attacks {
+        client.send_raw(attack).expect("send attack");
+        let reply = client.recv().expect("every framed payload is answered");
+        assert_eq!(
+            reply.status,
+            "error",
+            "hostile payload {:?} must be refused",
+            String::from_utf8_lossy(attack)
+        );
+    }
+    // The same connection still serves well-formed traffic afterwards.
+    assert_eq!(client.ping(1).expect("ping").status, "ok");
+    assert_alive(addr);
+    handle.shutdown();
+    server.join().expect("clean exit");
+}
+
+#[test]
+fn wire_max_hop_bound_is_a_valid_query() {
+    let (addr, handle, server) = start_server();
+    let mut client = connect(addr);
+    // k = u32::MAX is not an error: the engine clamps it to the graph.
+    let reply = client.query(1, 0, 1, u32::MAX).expect("round trip");
+    assert_eq!(reply.status, "ok");
+    let clamped = reply.k.expect("ok replies echo clamped k");
+    assert!(clamped < u32::MAX, "the engine clamps the hop bound");
+    handle.shutdown();
+    server.join().expect("clean exit");
+}
+
+#[test]
+fn truncated_length_prefixes_and_mid_frame_disconnects_are_harmless() {
+    let (addr, handle, server) = start_server();
+
+    // 1: connect and say nothing.
+    drop(TcpStream::connect(addr).expect("connect"));
+    // 2: half a length prefix, then disconnect.
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(&[0x00, 0x00]).expect("write");
+    drop(stream);
+    // 3: a full prefix declaring 100 bytes, then only 3, then disconnect.
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(&[0, 0, 0, 100]).expect("write");
+    stream.write_all(b"abc").expect("write");
+    drop(stream);
+    // 4: a prefix declaring the maximum possible frame, then disconnect.
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(&[0xff, 0xff, 0xff, 0xff]).expect("write");
+    drop(stream);
+    // 5: a valid query, then disconnect before reading the response.
+    let mut client = connect(addr);
+    client.send_query(9, 0, 1, 4).expect("send");
+    drop(client);
+
+    // Give the handler threads a beat to trip over the hangups.
+    thread::sleep(Duration::from_millis(50));
+    assert_alive(addr);
+    handle.shutdown();
+    server.join().expect("clean exit");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // Arbitrary framed garbage: the server answers (or refuses oversized
+    // frames and hangs up) but never dies. One shared server across all
+    // cases makes this a soak test of the connection registry too.
+    #[test]
+    fn arbitrary_framed_bytes_never_kill_the_server(payload in vec(0u8..255, 0..512)) {
+        use std::sync::OnceLock;
+        static SHARED: OnceLock<(std::net::SocketAddr, ServerHandle)> = OnceLock::new();
+        let (addr, _) = SHARED.get_or_init(|| {
+            let (addr, handle, _thread) = start_server();
+            (addr, handle)
+        });
+        let mut client = connect(*addr);
+        client.send_raw(&payload).expect("send");
+        let reply = client.recv().expect("framed garbage is answered");
+        prop_assert!(reply.status == "error" || reply.status == "ok");
+        assert_alive(*addr);
+    }
+}

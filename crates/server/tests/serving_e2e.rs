@@ -1,0 +1,313 @@
+//! End-to-end serving tests: a real `SpgServer` on a loopback socket,
+//! driven by real [`SpgClient`] connections.
+//!
+//! The contract under test is the one the CI smoke job enforces on the
+//! release binary: every byte that comes back over the wire must be
+//! explainable by a local [`Eve::query`] call — identical edge lists for
+//! `ok`, identical [`spg_core::QueryError`] strings for `error` — and
+//! overload must surface as explicit `overloaded` responses, never as a
+//! hang or a dropped connection.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use spg_core::{Eve, EveConfig, Query};
+use spg_graph::generators::gnm_random;
+use spg_graph::DiGraph;
+use spg_server::{Reply, ServerConfig, ServerHandle, SpgClient, SpgServer};
+
+/// The shared test graph: small enough that every query is fast, dense
+/// enough that answers have non-trivial edge lists.
+fn test_graph() -> DiGraph {
+    gnm_random(60, 360, 0xE2E)
+}
+
+/// Starts an in-process server and returns its address, control handle and
+/// the `run()` thread (join it after `shutdown()` to assert clean exit).
+fn start_server(config: ServerConfig) -> (std::net::SocketAddr, ServerHandle, JoinHandle<()>) {
+    let server = SpgServer::bind(test_graph(), "127.0.0.1:0", config).expect("bind loopback");
+    let addr = server.local_addr();
+    let handle = server.handle();
+    let thread = thread::spawn(move || server.run());
+    (addr, handle, thread)
+}
+
+fn connect(addr: std::net::SocketAddr) -> SpgClient {
+    let client = SpgClient::connect(addr).expect("connect");
+    client
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("read timeout");
+    client
+}
+
+/// Fresh request ids, unique across every thread of a test.
+fn next_id(counter: &AtomicU64) -> u64 {
+    counter.fetch_add(1, Ordering::Relaxed)
+}
+
+#[test]
+fn responses_are_bit_identical_to_local_eve() {
+    let (addr, handle, server) = start_server(ServerConfig {
+        batch_deadline: Duration::ZERO,
+        ..ServerConfig::default()
+    });
+    let graph = test_graph();
+    let eve = Eve::new(&graph, EveConfig::default());
+    let mut client = connect(addr);
+
+    // A spread of valid, clamped, and failing queries.
+    let cases = [
+        Query::new(0, 1, 4),
+        Query::new(3, 17, 6),
+        Query::new(5, 5, 4),   // s == t -> QueryError
+        Query::new(999, 1, 4), // s out of range -> QueryError
+        Query::new(2, 40, 0),  // k = 0 -> no path possible
+    ];
+    for (i, case) in cases.iter().enumerate() {
+        let id = 100 + i as u64;
+        let reply = client
+            .query(id, case.source, case.target, case.k)
+            .expect("round trip");
+        assert_eq!(reply.id, Some(id), "responses echo the request id");
+        match eve.query(*case) {
+            Ok(spg) => {
+                assert_eq!(reply.status, "ok", "{case:?}");
+                assert_eq!(
+                    reply.edges.as_deref(),
+                    Some(spg.edges()),
+                    "wire edges must be bit-identical to Eve::query for {case:?}"
+                );
+                assert_eq!(reply.k, Some(spg.query().k), "clamped k is echoed");
+            }
+            Err(err) => {
+                assert_eq!(reply.status, "error", "{case:?}");
+                assert_eq!(
+                    reply.error.as_deref(),
+                    Some(err.to_string().as_str()),
+                    "wire error must be the exact QueryError string for {case:?}"
+                );
+            }
+        }
+    }
+
+    // The same valid query again is a cache hit with the same bytes.
+    let cold = client.query(200, 0, 1, 4).expect("cold");
+    let warm = client.query(201, 0, 1, 4).expect("warm");
+    assert_eq!(warm.source.as_deref(), Some("hit"));
+    assert_eq!(warm.edges, cold.edges, "hits serve the identical answer");
+
+    handle.shutdown();
+    server.join().expect("clean server exit");
+}
+
+#[test]
+fn wire_max_hop_bound_round_trips_bit_identically() {
+    // k = u32::MAX must be served, not refused: the engine clamps it to
+    // n − 1. Exercised on the paper's Figure-1 graph — the clamp keeps the
+    // verification phase cheap, which an adversarial k on a dense random
+    // graph would not (simple-path verification cost grows with k).
+    let graph = DiGraph::from_edges(
+        8,
+        [
+            (0, 1),
+            (0, 2),
+            (1, 2),
+            (2, 1),
+            (2, 3),
+            (1, 4),
+            (4, 5),
+            (5, 3),
+            (3, 1),
+            (5, 0),
+            (2, 6),
+            (4, 6),
+            (6, 7),
+            (7, 5),
+        ],
+    );
+    let eve = Eve::new(&graph, EveConfig::default());
+    let server = SpgServer::bind(
+        graph.clone(),
+        "127.0.0.1:0",
+        ServerConfig {
+            batch_deadline: Duration::ZERO,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr();
+    let handle = server.handle();
+    let thread = thread::spawn(move || server.run());
+
+    let mut client = connect(addr);
+    let reply = client.query(1, 0, 3, u32::MAX).expect("round trip");
+    assert_eq!(reply.status, "ok");
+    let spg = eve.query(Query::new(0, 3, u32::MAX)).expect("local answer");
+    assert_eq!(reply.k, Some(spg.query().k), "clamped k echoed on the wire");
+    assert!(reply.k.unwrap() <= 7, "clamp is n - 1");
+    assert_eq!(reply.edges.as_deref(), Some(spg.edges()), "bit-identical");
+
+    handle.shutdown();
+    thread.join().expect("clean server exit");
+}
+
+#[test]
+fn concurrent_hot_misses_compute_once() {
+    const CLIENTS: usize = 12;
+    // A wide admission window so all clients land in one micro-batch, where
+    // the coalescing path (and cross-batch singleflight) must collapse them.
+    let (addr, handle, server) = start_server(ServerConfig {
+        batch_max: 64,
+        batch_deadline: Duration::from_millis(150),
+        ..ServerConfig::default()
+    });
+    let ids = AtomicU64::new(1);
+    let barrier = Arc::new(Barrier::new(CLIENTS));
+    let workers: Vec<_> = (0..CLIENTS)
+        .map(|_| {
+            let barrier = Arc::clone(&barrier);
+            let id = next_id(&ids);
+            thread::spawn(move || {
+                let mut client = connect(addr);
+                barrier.wait();
+                client.query(id, 0, 1, 5).expect("hot query")
+            })
+        })
+        .collect();
+    let replies: Vec<Reply> = workers.into_iter().map(|w| w.join().unwrap()).collect();
+
+    for reply in &replies {
+        assert_eq!(reply.status, "ok");
+        assert_eq!(reply.edges, replies[0].edges, "one answer for everyone");
+    }
+
+    let stats = connect(addr).stats(9000).expect("stats").raw;
+    let insertions = stats
+        .get("cache")
+        .and_then(|c| c.get("insertions"))
+        .and_then(spg_server::json::Json::as_u64)
+        .expect("cache.insertions");
+    assert_eq!(
+        insertions, 1,
+        "12 concurrent misses on one hot key must compute exactly once"
+    );
+    let answered = stats
+        .get("server")
+        .and_then(|s| s.get("answered"))
+        .and_then(spg_server::json::Json::as_u64)
+        .expect("server.answered");
+    assert_eq!(answered, CLIENTS as u64);
+
+    handle.shutdown();
+    server.join().expect("clean server exit");
+}
+
+#[test]
+fn rate_limited_tenant_gets_explicit_overload() {
+    let (addr, handle, server) = start_server(ServerConfig {
+        batch_deadline: Duration::ZERO,
+        rate_per_sec: 1e-6, // effectively no refill within the test
+        burst: 2.0,
+        ..ServerConfig::default()
+    });
+    let mut client = connect(addr);
+
+    // The burst admits two queries; the third is refused, explicitly.
+    for id in 0..2u64 {
+        client
+            .send_query_for(id, 0, 1, 4, Some("noisy"))
+            .expect("send");
+        let reply = client.recv().expect("reply");
+        assert_eq!(reply.status, "ok", "burst admits request {id}");
+    }
+    client
+        .send_query_for(2, 0, 1, 4, Some("noisy"))
+        .expect("send");
+    let refused = client.recv().expect("reply");
+    assert_eq!(refused.status, "overloaded");
+    assert_eq!(refused.id, Some(2));
+    assert!(refused.error.unwrap().contains("rate limit"));
+
+    // Another tenant has its own bucket and is unaffected.
+    client
+        .send_query_for(3, 0, 1, 4, Some("quiet"))
+        .expect("send");
+    assert_eq!(client.recv().expect("reply").status, "ok");
+
+    // The connection survives refusals: a ping still answers.
+    assert_eq!(client.ping(4).expect("ping").status, "ok");
+
+    handle.shutdown();
+    server.join().expect("clean server exit");
+}
+
+#[test]
+fn oversized_request_is_answered_then_connection_closes() {
+    let (addr, handle, server) = start_server(ServerConfig {
+        max_frame_bytes: 256,
+        batch_deadline: Duration::ZERO,
+        ..ServerConfig::default()
+    });
+    let mut client = connect(addr);
+    client.send_raw(&vec![b' '; 4096]).expect("send oversized");
+    let reply = client.recv().expect("the refusal is answered first");
+    assert_eq!(reply.status, "error");
+    assert_eq!(reply.id, None, "an unreadable frame has no id to echo");
+    assert!(reply.error.unwrap().contains("oversized"));
+    // After the refusal the server hangs up (the stream is desynced).
+    assert!(
+        client.recv().is_err(),
+        "the connection must be closed after an oversized frame"
+    );
+
+    // The server itself is fine: new connections work.
+    let mut fresh = connect(addr);
+    assert_eq!(fresh.ping(1).expect("ping").status, "ok");
+
+    handle.shutdown();
+    server.join().expect("clean server exit");
+}
+
+#[test]
+fn ping_and_stats_expose_the_engine() {
+    let (addr, handle, server) = start_server(ServerConfig {
+        batch_deadline: Duration::ZERO,
+        ..ServerConfig::default()
+    });
+    let mut client = connect(addr);
+    let pong = client.ping(7).expect("ping");
+    assert_eq!(pong.status, "ok");
+    assert_eq!(pong.id, Some(7));
+
+    client.query(8, 0, 1, 4).expect("one miss");
+    client.query(9, 0, 1, 4).expect("one hit");
+    let stats = client.stats(10).expect("stats").raw;
+    for section in ["server", "cache", "flights"] {
+        assert!(
+            stats.get(section).is_some(),
+            "stats has a {section} section"
+        );
+    }
+    let hits = stats
+        .get("cache")
+        .and_then(|c| c.get("hits"))
+        .and_then(spg_server::json::Json::as_u64)
+        .expect("cache.hits");
+    assert!(hits >= 1, "the repeat query must register as a cache hit");
+
+    handle.shutdown();
+    server.join().expect("clean server exit");
+}
+
+#[test]
+fn shutdown_is_clean_with_connected_clients() {
+    let (addr, handle, server) = start_server(ServerConfig::default());
+    let mut client = connect(addr);
+    assert_eq!(client.ping(1).expect("ping").status, "ok");
+    handle.shutdown();
+    server.join().expect("run() returns after shutdown");
+    // The client's connection was hung up; the next read fails cleanly.
+    assert!(client.recv().is_err());
+}

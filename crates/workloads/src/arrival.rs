@@ -1,0 +1,123 @@
+//! Request arrival schedules for the online serving harness.
+//!
+//! A latency benchmark is only as honest as its arrival process. Two
+//! standard shapes are provided:
+//!
+//! * **Closed loop** ([`closed_loop`]) — each simulated client issues its
+//!   next request the moment the previous response lands. Offered load
+//!   adapts to service speed, so a closed loop measures *capacity*, hides
+//!   queueing delay, and cannot exhibit coordinated omission by design.
+//! * **Open loop** ([`open_loop_poisson`]) — arrivals follow a Poisson
+//!   process at a fixed offered rate, independent of how the server is
+//!   doing. This is the shape that exposes tail latency under load: a slow
+//!   response does *not* delay later arrivals, so queueing shows up in the
+//!   measured percentiles instead of silently thinning the workload.
+//!
+//! Schedules are plain sorted `Vec<Duration>` offsets from the run start,
+//! so the bench driver can compute each request's intended send time up
+//! front and report latency against the *schedule* (send-time correction):
+//! a request that found the driver busy is charged its queueing delay, the
+//! standard guard against coordinated omission.
+
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Arrival offsets for `count` requests issued back-to-back by `clients`
+/// closed-loop workers. All offsets are zero — a closed-loop client has no
+/// schedule, it is paced by responses — but the per-client partition is
+/// returned so drivers can split a query list evenly: client `i` of `n`
+/// takes requests `i`, `i + n`, `i + 2n`, …
+///
+/// Returned as (client index per request), length `count`.
+pub fn closed_loop(count: usize, clients: usize) -> Vec<usize> {
+    let clients = clients.max(1);
+    (0..count).map(|i| i % clients).collect()
+}
+
+/// A Poisson (memoryless) arrival schedule: `count` offsets from run start
+/// with exponentially distributed inter-arrival gaps at `rate_per_sec`
+/// offered requests/second. Deterministic in `seed`.
+///
+/// # Panics
+///
+/// Panics when `rate_per_sec` is not finite and positive.
+pub fn open_loop_poisson(count: usize, rate_per_sec: f64, seed: u64) -> Vec<Duration> {
+    assert!(
+        rate_per_sec.is_finite() && rate_per_sec > 0.0,
+        "offered rate must be a positive, finite requests/second"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut at = 0.0f64;
+    let mut schedule = Vec::with_capacity(count);
+    for _ in 0..count {
+        // Inverse-CDF sample of Exp(rate): -ln(U) / rate, U in (0, 1].
+        let u: f64 = 1.0 - rng.gen::<f64>(); // map [0,1) to (0,1]
+        at += -u.ln() / rate_per_sec;
+        schedule.push(Duration::from_secs_f64(at));
+    }
+    schedule
+}
+
+/// A uniform open-loop schedule: `count` arrivals exactly `1/rate_per_sec`
+/// apart. The deterministic sibling of [`open_loop_poisson`] — no burst
+/// variance, useful for calibrating the driver itself.
+///
+/// # Panics
+///
+/// Panics when `rate_per_sec` is not finite and positive.
+pub fn open_loop_uniform(count: usize, rate_per_sec: f64) -> Vec<Duration> {
+    assert!(
+        rate_per_sec.is_finite() && rate_per_sec > 0.0,
+        "offered rate must be a positive, finite requests/second"
+    );
+    let gap = 1.0 / rate_per_sec;
+    (0..count)
+        .map(|i| Duration::from_secs_f64(gap * (i + 1) as f64))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closed_loop_partitions_requests_round_robin() {
+        assert_eq!(closed_loop(7, 3), vec![0, 1, 2, 0, 1, 2, 0]);
+        assert_eq!(closed_loop(3, 0), vec![0, 0, 0], "clients clamped to 1");
+        assert!(closed_loop(0, 4).is_empty());
+    }
+
+    #[test]
+    fn poisson_schedule_is_sorted_deterministic_and_near_rate() {
+        let a = open_loop_poisson(2000, 500.0, 42);
+        let b = open_loop_poisson(2000, 500.0, 42);
+        assert_eq!(a, b, "same seed, same schedule");
+        assert!(a.windows(2).all(|w| w[0] <= w[1]), "offsets are sorted");
+        // 2000 arrivals at 500/s span ~4s; the law of large numbers puts the
+        // empirical rate well within ±15% at this sample size.
+        let span = a.last().unwrap().as_secs_f64();
+        let rate = 2000.0 / span;
+        assert!(
+            (425.0..=575.0).contains(&rate),
+            "empirical rate {rate:.1}/s should be near the offered 500/s"
+        );
+
+        let c = open_loop_poisson(2000, 500.0, 43);
+        assert_ne!(a, c, "different seed, different schedule");
+    }
+
+    #[test]
+    fn uniform_schedule_is_exact() {
+        let s = open_loop_uniform(4, 100.0);
+        assert_eq!(s[0], Duration::from_millis(10));
+        assert_eq!(s[3], Duration::from_millis(40));
+    }
+
+    #[test]
+    #[should_panic(expected = "offered rate")]
+    fn zero_rate_panics() {
+        open_loop_poisson(1, 0.0, 0);
+    }
+}

@@ -11,15 +11,19 @@
 //!   endpoints, hit/miss mixes, invalid-slot injection) for the parallel
 //!   batch executor;
 //! * [`fraud`] — the transaction-network fraud investigation of the §6.9 case
-//!   study, run end-to-end through EVE.
+//!   study, run end-to-end through EVE;
+//! * [`arrival`] — open- and closed-loop arrival schedules for the online
+//!   serving latency harness (`serve_bench`).
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arrival;
 pub mod batch;
 pub mod datasets;
 pub mod fraud;
 pub mod queries;
 
+pub use arrival::{closed_loop, open_loop_poisson, open_loop_uniform};
 pub use batch::{
     hit_miss_queries, inject_invalid, mixed_k_queries, repeat_heavy_queries,
     shared_endpoint_queries, skewed_queries,

@@ -13,6 +13,9 @@
 //!   k-hop subgraph constructions used as baselines.
 //! * [`workloads`] — synthetic datasets and query workloads mirroring the
 //!   paper's evaluation.
+//! * [`server`] — the online serving engine: a TCP frontend that admits
+//!   continuous traffic into deadline-bounded micro-batches over the cached,
+//!   singleflight-deduplicated batch executor.
 //!
 //! ## Quick example
 //!
@@ -38,6 +41,7 @@
 pub use spg_baselines as baselines;
 pub use spg_core as eve;
 pub use spg_graph as graph;
+pub use spg_server as server;
 pub use spg_workloads as workloads;
 
 /// Crate version of the umbrella package.

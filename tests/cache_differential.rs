@@ -107,10 +107,11 @@ fn assert_cached_matches(
             _ => prop_assert!(false, "slot {i} threads {threads}: Ok/Err mismatch"),
         }
     }
-    // Error slots bypass the cache entirely; every valid slot is one lookup.
+    // Error slots bypass the cache entirely; every valid slot is exactly a
+    // hit, a computed miss, or a duplicate coalesced onto a miss in flight.
     prop_assert_eq!(outcome.stats.errors, errors);
     prop_assert_eq!(
-        outcome.stats.cache_hits + outcome.stats.cache_misses,
+        outcome.stats.cache_hits + outcome.stats.cache_misses + outcome.stats.cache_coalesced,
         outcome.stats.answered
     );
     Ok(())
@@ -199,6 +200,39 @@ proptest! {
                 assert_cached_matches(&cached, &batch, &expected, threads)?;
             }
             prop_assert!(cache.bytes() <= budget);
+        }
+    }
+}
+
+/// Regression: duplicate missed keys inside a single drain must compute
+/// once. Before the two-phase singleflight drain, a batch of 64 identical
+/// cold queries ran the pipeline 64 times and published 64 times; the cache
+/// insert counter pins the fixed behaviour, and every slot still matches
+/// the uncached answer bit for bit.
+#[test]
+fn duplicate_cold_misses_in_one_batch_compute_once() {
+    let g = hop_spg::graph::generators::gnm_random(40, 200, 0xD00D);
+    let vg = VersionedGraph::new(g);
+    let eve = Eve::with_defaults(vg.graph());
+    let cache = SpgCache::new(1 << 20);
+    let cached = CachedEve::with_defaults(&vg, &cache);
+
+    let hot = Query::new(0, 1, 5);
+    let reference = eve.query(hot).unwrap();
+    for threads in THREAD_COUNTS {
+        cache.clear();
+        let before = cache.stats().insertions;
+        let batch = vec![hot; 64];
+        let outcome = BatchExecutor::new(threads).run_cached_detailed(&cached, &batch);
+        assert_eq!(
+            cache.stats().insertions - before,
+            1,
+            "threads {threads}: 64 identical cold misses must publish once"
+        );
+        assert_eq!(outcome.stats.cache_misses, 1);
+        assert_eq!(outcome.stats.cache_coalesced, 63);
+        for slot in &outcome.results {
+            assert_eq!(slot.as_ref().unwrap().edges(), reference.edges());
         }
     }
 }

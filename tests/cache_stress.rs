@@ -103,20 +103,20 @@ fn stress(threads: usize, rounds: usize, budget: usize) {
         assert_eq!(via_cache.edges(), fresh.edges(), "final consistency: {q}");
     }
 
-    // The parallel executor path over the same shared cache: per-thread
-    // counters must sum to the global ones and slots stay correct.
+    // The parallel executor path over the same shared cache: compute-worker
+    // counters must sum to the global miss count (the probe phase counts
+    // hits and coalesced duplicates on the draining thread) and slots stay
+    // correct.
     let outcome = BatchExecutor::new(threads).run_cached_detailed(&cached, &workload);
-    let (hits, misses): (usize, usize) = outcome
+    let misses: usize = outcome
         .stats
         .per_thread
         .iter()
-        .fold((0, 0), |(h, m), t| (h + t.cache_hits, m + t.cache_misses));
+        .map(|t| t.cache_misses)
+        .sum();
+    assert_eq!(misses, outcome.stats.cache_misses);
     assert_eq!(
-        (hits, misses),
-        (outcome.stats.cache_hits, outcome.stats.cache_misses)
-    );
-    assert_eq!(
-        outcome.stats.cache_hits + outcome.stats.cache_misses,
+        outcome.stats.cache_hits + outcome.stats.cache_misses + outcome.stats.cache_coalesced,
         outcome.stats.answered
     );
     for (got, &q) in outcome.results.iter().zip(&workload) {
