@@ -598,6 +598,38 @@ fn run_smoke(args: &Args) -> Vec<Scenario> {
     );
     checks += 1;
 
+    // Deadline admission: an already-expired deadline is shed with an
+    // explicit `expired` response (the 20ms batch-forming deadline above
+    // guarantees the queue wait outlives a 0ms budget), and the robustness
+    // counters are exposed — and quiet — on a healthy server.
+    client
+        .send_query_with(40, 0, 3, 4, None, Some(0))
+        .expect("send expiring query");
+    let expired = client.recv().expect("expired round trip");
+    assert_eq!(expired.status, "expired");
+    assert_eq!(
+        expired.error.as_deref(),
+        Some("deadline expired before execution")
+    );
+    let shed_expired = stat(&mut client, "server", "shed_expired");
+    assert_eq!(shed_expired, 1, "the shed query is counted in wire stats");
+    assert_eq!(
+        stat(&mut client, "server", "deadline_exceeded"),
+        0,
+        "nothing was cancelled mid-execution in this smoke"
+    );
+    assert_eq!(
+        stat(&mut client, "server", "panics_isolated"),
+        0,
+        "no query panicked in this smoke"
+    );
+    assert_eq!(
+        stat(&mut client, "server", "batcher_restarts"),
+        0,
+        "the batcher thread stayed up"
+    );
+    checks += 1;
+
     let _ = std::fs::remove_file(&graph_path);
     vec![Scenario {
         name: "smoke",
@@ -608,6 +640,7 @@ fn run_smoke(args: &Args) -> Vec<Scenario> {
         extra: vec![
             ("bit_identical", "true".into()),
             ("singleflight_insertions", insertions.to_string()),
+            ("shed_expired", shed_expired.to_string()),
         ],
     }]
 }

@@ -39,7 +39,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use spg_graph::hash::{FxHashMap, FxHasher};
-use spg_graph::{GraphVersion, VersionedGraph, VertexId};
+use spg_graph::{GraphVersion, QueryBudget, VersionedGraph, VertexId};
 
 use crate::eve::{Eve, EveConfig};
 use crate::query::{Query, QueryError};
@@ -646,6 +646,18 @@ impl<'g, 'c> CachedEve<'g, 'c> {
         ws: &mut QueryWorkspace,
         query: Query,
     ) -> Result<(SimplePathGraph, CacheOutcome), QueryError> {
+        self.query_with_outcome_budgeted(ws, query, &QueryBudget::unlimited())
+    }
+
+    /// [`CachedEve::query_with_outcome`] under a caller-supplied
+    /// [`QueryBudget`]. A hit costs nothing; a miss runs the pipeline
+    /// cooperatively and a budget abort publishes nothing to the cache.
+    pub fn query_with_outcome_budgeted(
+        &self,
+        ws: &mut QueryWorkspace,
+        query: Query,
+        budget: &QueryBudget,
+    ) -> Result<(SimplePathGraph, CacheOutcome), QueryError> {
         query.validate(self.eve.graph())?;
         let clamped = query.clamped_to(self.eve.graph());
         if let Some(hit) = self.cache.get(self.version, clamped) {
@@ -653,7 +665,7 @@ impl<'g, 'c> CachedEve<'g, 'c> {
         }
         // Compute outside any shard lock, then publish. A concurrent racer
         // on the same key publishes an identical (deterministic) answer.
-        let spg = self.eve.query_with(ws, clamped)?;
+        let spg = self.eve.query_budgeted(ws, clamped, budget)?;
         self.cache.insert(self.version, clamped, &spg);
         Ok((spg, CacheOutcome::Miss))
     }

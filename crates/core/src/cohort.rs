@@ -27,11 +27,11 @@
 use std::time::Instant;
 
 use spg_graph::hash::FxHashMap;
-use spg_graph::{DiGraph, Direction, FrontierMode, MsBfsLane};
+use spg_graph::{DiGraph, Direction, FrontierMode, MsBfsLane, QueryBudget};
 
 use crate::eve::Eve;
 use crate::executor::{BatchResult, ThreadBatchStats};
-use crate::query::Query;
+use crate::query::{Query, QueryError};
 use crate::workspace::QueryWorkspace;
 
 /// Maximum lanes (distinct endpoint pairs) per cohort — one bit each in the
@@ -160,20 +160,45 @@ impl CohortPlan {
 /// on the lane's materialised distances. Results are handed to `publish` in
 /// member order; `stats` accumulates the shared-Phase-1 counters and the
 /// usual per-slot bookkeeping.
+/// `deadlines` is indexed by batch slot (may be empty: no deadlines). The
+/// shared traversal is work every member needs, so it is only abandoned once
+/// **every** member's deadline has passed (the cohort-level budget is the
+/// *latest* member deadline, or unlimited if any member is unbounded); an
+/// abandoned traversal fails all members with
+/// [`QueryError::DeadlineExceeded`]. Phases 1b–3 then run under each
+/// member's own deadline.
 pub(crate) fn run_cohort(
     eve: &Eve<'_>,
     ws: &mut QueryWorkspace,
     cohort: &Cohort,
     mode: FrontierMode,
+    deadlines: &[Option<Instant>],
     stats: &mut ThreadBatchStats,
     mut publish: impl FnMut(usize, BatchResult),
 ) {
+    let deadline_at = |index: usize| deadlines.get(index).copied().flatten();
+    let mut cohort_deadline: Option<Instant> = None;
+    let mut all_bounded = true;
+    for member in &cohort.members {
+        match deadline_at(member.index) {
+            Some(d) => cohort_deadline = Some(cohort_deadline.map_or(d, |c| c.max(d))),
+            None => {
+                all_bounded = false;
+                break;
+            }
+        }
+    }
+    let engine_budget = match cohort_deadline.filter(|_| all_bounded) {
+        Some(d) => QueryBudget::with_deadline(d),
+        None => QueryBudget::unlimited(),
+    };
+
     // Take the engine out of the workspace so its results can be read
     // while the rest of the workspace runs phases 1b–3 mutably.
     let mut engine = std::mem::take(&mut ws.msbfs);
     engine.set_mode(mode);
     let start = Instant::now();
-    engine.run(eve.graph(), &cohort.lanes);
+    let traversal = engine.run_budgeted(eve.graph(), &cohort.lanes, &engine_budget);
     stats.phase1.traversal_time += start.elapsed();
     for dir in [Direction::Forward, Direction::Backward] {
         engine
@@ -183,18 +208,37 @@ pub(crate) fn run_cohort(
     stats.phase1.cohorts += 1;
     stats.phase1.distinct_endpoints += cohort.lanes.len();
 
+    if let Err(exhausted) = traversal {
+        // The abort restored the engine's between-runs invariants, so the
+        // workspace stays reusable; every member is past its deadline.
+        let err = QueryError::from(exhausted);
+        for member in &cohort.members {
+            stats.errors += 1;
+            publish(member.index, Err(err));
+        }
+        ws.msbfs = engine;
+        return;
+    }
+
     let mut prev: Option<(u32, u32)> = None;
     for member in &cohort.members {
         let key = (member.lane, member.query.k);
+        let budget = match deadline_at(member.index) {
+            Some(d) => QueryBudget::with_deadline(d),
+            None => QueryBudget::unlimited(),
+        };
         let result = if prev == Some(key) {
             // Same (s, t, k) as the member just answered: the workspace
             // still holds its Phase-1a output verbatim.
             stats.phase1.distance_reuses += 1;
-            eve.query_shared_reused(ws, member.query)
+            eve.query_shared_reused(ws, member.query, &budget)
         } else {
-            prev = Some(key);
-            eve.query_shared(ws, member.query, &engine, member.lane as usize)
+            eve.query_shared(ws, member.query, &engine, member.lane as usize, &budget)
         };
+        // Only a member that ran to completion is guaranteed to leave its
+        // own Phase-1a output behind for the next identical member; after a
+        // cancellation the next member re-materialises from the engine.
+        prev = if result.is_ok() { Some(key) } else { None };
         stats.phase1.phase1_shared += 1;
         match &result {
             Ok(spg) => {

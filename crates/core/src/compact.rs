@@ -26,11 +26,17 @@
 //! global order, so iteration order, tie-breaking and therefore every output
 //! edge set and work counter that the answer depends on are identical.
 
-use spg_graph::{Direction, SearchSpace};
+use spg_graph::{BudgetExhausted, Direction, QueryBudget, SearchSpace};
 
 use crate::labeling::LabelingStats;
 use crate::propagation::PropagationStats;
 use crate::verification::VerificationStats;
+
+/// DFS steps accumulated locally before each budget poll during
+/// verification. Keeps the poll off the per-step hot path while bounding
+/// deadline overshoot to one chunk; a fixed constant so work-limited
+/// cancellation stays bit-reproducible.
+const DFS_BUDGET_CHUNK: u32 = 256;
 
 /// Sentinel for "no entry" in u32 slot maps.
 const NONE32: u32 = u32::MAX;
@@ -166,7 +172,23 @@ impl FlatPropagation {
     /// Restricting the walk to the space CSR is itself a (structural) form of
     /// the Theorem 3.6 rule, so the sets any downstream consumer is allowed
     /// to consult are identical to the reference implementation's.
+    #[cfg(test)]
     pub(crate) fn run(&mut self, space: &SearchSpace, dir: Direction, forward_looking: bool) {
+        self.run_budgeted(space, dir, forward_looking, &QueryBudget::unlimited())
+            .expect("an unlimited budget never trips")
+    }
+
+    /// [`FlatPropagation::run`] polling `budget` at every level boundary
+    /// (charging the level's edge scans). On `Err` the rows built so far are
+    /// torn down, so an aborted run can never be consulted and the instance
+    /// is immediately reusable — every run starts by clearing all state.
+    pub(crate) fn run_budgeted(
+        &mut self,
+        space: &SearchSpace,
+        dir: Direction,
+        forward_looking: bool,
+        budget: &QueryBudget,
+    ) -> Result<(), BudgetExhausted> {
         let k = space.hop_constraint();
         self.arena.clear();
         self.refs.clear();
@@ -175,7 +197,7 @@ impl FlatPropagation {
         self.row = space.vertex_count();
         let row = self.row;
         if row == 0 {
-            return;
+            return Ok(());
         }
         let (origin, excluded) = match dir {
             Direction::Forward => (space.source_local(), space.target_local()),
@@ -192,10 +214,17 @@ impl FlatPropagation {
         self.frontier.clear();
         self.frontier.push(origin);
 
+        let mut charged_scans = 0usize;
+        let mut outcome = Ok(());
         for l in 1..k {
             if self.frontier.is_empty() {
                 break;
             }
+            if let Err(e) = budget.charge((self.stats.edge_scans - charged_scans) as u64) {
+                outcome = Err(e);
+                break;
+            }
+            charged_scans = self.stats.edge_scans;
             self.stats.levels_run = l;
             self.top_level = l;
             // Row `l` starts as a copy of row `l−1`: unchanged vertices
@@ -247,6 +276,18 @@ impl FlatPropagation {
             }
             std::mem::swap(&mut self.frontier, &mut self.next_frontier);
         }
+        if outcome.is_ok() {
+            outcome = budget.charge((self.stats.edge_scans - charged_scans) as u64);
+        }
+        if outcome.is_err() {
+            // Tear down the partial rows: `ev` on an aborted run answers
+            // `None` for everything instead of serving truncated sets.
+            self.arena.clear();
+            self.refs.clear();
+            self.top_level = 0;
+            self.row = 0;
+        }
+        outcome
     }
 
     /// `EV_l(origin, v)` as a sorted local-id slice, or `None` if `v` was
@@ -427,12 +468,28 @@ pub(crate) struct FlatUpperBound {
 impl FlatUpperBound {
     /// Runs Algorithm 2 over every space edge and assembles the flat
     /// upper-bound graph, reusing all buffers.
+    #[cfg(test)]
     pub(crate) fn build(
         &mut self,
         space: &SearchSpace,
         fwd: &FlatPropagation,
         bwd: &FlatPropagation,
     ) {
+        self.build_budgeted(space, fwd, bwd, &QueryBudget::unlimited())
+            .expect("an unlimited budget never trips")
+    }
+
+    /// [`FlatUpperBound::build`] polling `budget` at every vertex-row
+    /// boundary (charging the row's examined edges). On `Err` the partial
+    /// edge list is cleared; the instance is immediately reusable because
+    /// every build starts by clearing all state.
+    pub(crate) fn build_budgeted(
+        &mut self,
+        space: &SearchSpace,
+        fwd: &FlatPropagation,
+        bwd: &FlatPropagation,
+        budget: &QueryBudget,
+    ) -> Result<(), BudgetExhausted> {
         let n = space.vertex_count();
         self.k = space.hop_constraint();
         self.n = n;
@@ -457,7 +514,7 @@ impl FlatUpperBound {
             self.t_local = NONE32;
             self.out_offsets.push(0);
             self.in_offsets.push(0);
-            return;
+            return Ok(());
         }
         self.s_local = space.source_local();
         self.t_local = space.target_local();
@@ -467,7 +524,20 @@ impl FlatUpperBound {
 
         // Space vertices are iterated in ascending local (== global) order,
         // so the edge list comes out sorted exactly like the reference.
+        let mut charged_edges = 0usize;
         for u in 0..n as u32 {
+            if let Err(e) = budget.charge((self.stats.edges_examined - charged_edges) as u64) {
+                // Drop the partial edge list so an aborted build cannot be
+                // mistaken for an upper-bound graph.
+                self.edges.clear();
+                self.is_definite.clear();
+                self.undetermined.clear();
+                self.out_offsets.push(0);
+                self.in_offsets.push(0);
+                self.n = 0;
+                return Err(e);
+            }
+            charged_edges = self.stats.edges_examined;
             for &v in space.out_neighbors(u) {
                 self.stats.edges_examined += 1;
                 match label_edge(space, fwd, bwd, u, v) {
@@ -509,7 +579,19 @@ impl FlatUpperBound {
                 }
             }
         }
+        budget
+            .charge((self.stats.edges_examined - charged_edges) as u64)
+            .map_err(|e| {
+                self.edges.clear();
+                self.is_definite.clear();
+                self.undetermined.clear();
+                self.out_offsets.push(0);
+                self.in_offsets.push(0);
+                self.n = 0;
+                e
+            })?;
         self.build_adjacency();
+        Ok(())
     }
 
     /// Records `item` as a valid neighbour of `vertex`, allocating the
@@ -885,7 +967,21 @@ impl VerifyScratch {
 /// Verifies every undetermined edge (Algorithm 3) over the flat upper bound.
 /// After the call, `scratch.result()[eid]` tells whether edge `eid` belongs
 /// to `SPG_k`. The local-id mirror of [`crate::verification::verify_undetermined`].
+#[cfg(test)]
 pub(crate) fn verify_flat(ub: &FlatUpperBound, scratch: &mut VerifyScratch) -> VerificationStats {
+    verify_flat_budgeted(ub, scratch, &QueryBudget::unlimited())
+        .expect("an unlimited budget never trips")
+}
+
+/// [`verify_flat`] polling `budget` before every undetermined edge and every
+/// [`DFS_BUDGET_CHUNK`] DFS steps (charging one unit per step). On `Err` the
+/// result bitmap is cleared so an aborted verification cannot be read as an
+/// answer; every run rebuilds the bitmap from scratch, so reuse is safe.
+pub(crate) fn verify_flat_budgeted(
+    ub: &FlatUpperBound,
+    scratch: &mut VerifyScratch,
+    budget: &QueryBudget,
+) -> Result<VerificationStats, BudgetExhausted> {
     scratch.result.clear();
     scratch.result.extend_from_slice(ub.definite_bits());
     let mut stats = VerificationStats::default();
@@ -905,27 +1001,44 @@ pub(crate) fn verify_flat(ub: &FlatUpperBound, scratch: &mut VerifyScratch) -> V
             stack_vertices,
             stack_eids,
             dfs_steps: 0,
+            budget,
+            pending_steps: 0,
         };
+        let mut outcome = Ok(());
         for &eid in ub.undetermined_eids() {
             if verifier.result[eid as usize] {
                 stats.covered_by_witness += 1;
                 stats.confirmed += 1;
                 continue;
             }
+            if let Err(e) = verifier.flush_pending() {
+                outcome = Err(e);
+                break;
+            }
             stats.searches += 1;
             let (u, v) = ub.edges()[eid as usize];
-            if verifier.verify_edge(eid, u, v) {
-                stats.confirmed += 1;
-            } else {
-                stats.rejected += 1;
+            match verifier.verify_edge(eid, u, v) {
+                Ok(true) => stats.confirmed += 1,
+                Ok(false) => stats.rejected += 1,
+                Err(e) => {
+                    outcome = Err(e);
+                    break;
+                }
             }
         }
+        if outcome.is_ok() {
+            outcome = verifier.flush_pending();
+        }
         stats.dfs_steps = verifier.dfs_steps;
+        if let Err(e) = outcome {
+            scratch.result.clear();
+            return Err(e);
+        }
     } else {
         // Theorem 4.8: k ≤ 4 means no undetermined edges can exist.
         debug_assert!(ub.undetermined_eids().is_empty());
     }
-    stats
+    Ok(stats)
 }
 
 struct FlatVerifier<'a> {
@@ -935,12 +1048,33 @@ struct FlatVerifier<'a> {
     stack_vertices: &'a mut Vec<u32>,
     stack_eids: &'a mut Vec<u32>,
     dfs_steps: usize,
+    budget: &'a QueryBudget,
+    /// Steps taken since the last budget poll (≤ [`DFS_BUDGET_CHUNK`]).
+    pending_steps: u32,
 }
 
 impl FlatVerifier<'_> {
+    /// Accounts one DFS step, polling the budget every
+    /// [`DFS_BUDGET_CHUNK`] steps so the poll stays off the per-step path.
+    #[inline]
+    fn step(&mut self) -> Result<(), BudgetExhausted> {
+        self.dfs_steps += 1;
+        self.pending_steps += 1;
+        if self.pending_steps >= DFS_BUDGET_CHUNK {
+            self.flush_pending()?;
+        }
+        Ok(())
+    }
+
+    /// Charges the locally accumulated steps to the budget.
+    fn flush_pending(&mut self) -> Result<(), BudgetExhausted> {
+        let pending = std::mem::take(&mut self.pending_steps);
+        self.budget.charge(pending as u64)
+    }
+
     /// Tries to find a witness for undetermined edge `eid = (u, v)`; if
     /// found, every edge id on the stack is switched on in the result bitmap.
-    fn verify_edge(&mut self, eid: u32, u: u32, v: u32) -> bool {
+    fn verify_edge(&mut self, eid: u32, u: u32, v: u32) -> Result<bool, BudgetExhausted> {
         self.stack_vertices.clear();
         self.stack_eids.clear();
         self.stack_vertices.extend_from_slice(&[
@@ -950,18 +1084,18 @@ impl FlatVerifier<'_> {
             self.ub.target_local(),
         ]);
         self.stack_eids.push(eid);
-        let confirmed = self.forward(v, 1, u);
+        let confirmed = self.forward(v, 1, u)?;
         if confirmed {
             debug_assert!(self.result[eid as usize]);
         }
-        confirmed
+        Ok(confirmed)
     }
 
     /// Grows the path forwards from `cur` towards an arrival vertex.
-    fn forward(&mut self, cur: u32, len: u32, u: u32) -> bool {
-        self.dfs_steps += 1;
-        if self.ub.is_arrival(cur) && self.backward(u, len, cur) {
-            return true;
+    fn forward(&mut self, cur: u32, len: u32, u: u32) -> Result<bool, BudgetExhausted> {
+        self.step()?;
+        if self.ub.is_arrival(cur) && self.backward(u, len, cur)? {
+            return Ok(true);
         }
         if len < self.k - 4 {
             let ub = self.ub;
@@ -971,21 +1105,21 @@ impl FlatVerifier<'_> {
                 }
                 self.stack_vertices.push(nxt);
                 self.stack_eids.push(eid);
-                if self.forward(nxt, len + 1, u) {
-                    return true;
+                if self.forward(nxt, len + 1, u)? {
+                    return Ok(true);
                 }
                 self.stack_vertices.pop();
                 self.stack_eids.pop();
             }
         }
-        false
+        Ok(false)
     }
 
     /// Grows the path backwards from `cur` towards a departure vertex.
-    fn backward(&mut self, cur: u32, len: u32, arrival: u32) -> bool {
-        self.dfs_steps += 1;
+    fn backward(&mut self, cur: u32, len: u32, arrival: u32) -> Result<bool, BudgetExhausted> {
+        self.step()?;
         if self.ub.is_departure(cur) && self.try_add_edges(cur, arrival) {
-            return true;
+            return Ok(true);
         }
         if len < self.k - 4 {
             let ub = self.ub;
@@ -995,14 +1129,14 @@ impl FlatVerifier<'_> {
                 }
                 self.stack_vertices.push(nxt);
                 self.stack_eids.push(eid);
-                if self.backward(nxt, len + 1, arrival) {
-                    return true;
+                if self.backward(nxt, len + 1, arrival)? {
+                    return Ok(true);
                 }
                 self.stack_vertices.pop();
                 self.stack_eids.pop();
             }
         }
-        false
+        Ok(false)
     }
 
     /// Final check of Theorem 5.6 condition (2), allocation-free: count the

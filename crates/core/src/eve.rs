@@ -17,10 +17,12 @@
 use std::time::Instant;
 
 use spg_graph::{
-    DiGraph, Direction, DistanceIndex, DistanceStrategy, EdgeSubgraph, MsBfsEngine, VertexId,
+    DiGraph, Direction, DistanceIndex, DistanceStrategy, EdgeSubgraph, MsBfsEngine, QueryBudget,
+    VertexId,
 };
 
-use crate::compact::{apply_search_ordering_flat, verify_flat};
+use crate::compact::{apply_search_ordering_flat, verify_flat_budgeted};
+use crate::failpoints::{self, sites};
 use crate::labeling::UpperBoundGraph;
 use crate::propagation::Propagation;
 use crate::query::{Query, QueryError};
@@ -170,8 +172,26 @@ impl<'g> Eve<'g> {
         ws: &mut QueryWorkspace,
         query: Query,
     ) -> Result<SimplePathGraph, QueryError> {
+        self.query_budgeted(ws, query, &QueryBudget::unlimited())
+    }
+
+    /// [`Eve::query_with`] under a cooperative [`QueryBudget`]: the pipeline
+    /// polls the budget at phase-internal boundaries (BFS levels,
+    /// propagation levels, labeling rows, verification DFS chunks) and
+    /// returns [`QueryError::DeadlineExceeded`] / [`QueryError::BudgetExceeded`]
+    /// when it trips. A cancelled query leaves the workspace fully reusable:
+    /// the very next query on it produces bit-identical answers to a fresh
+    /// workspace. Work-limited cancellation is deterministic — the budget is
+    /// charged with the engine's own work counters, so the same query dies
+    /// at the same boundary on every run.
+    pub fn query_budgeted(
+        &self,
+        ws: &mut QueryWorkspace,
+        query: Query,
+        budget: &QueryBudget,
+    ) -> Result<SimplePathGraph, QueryError> {
         query.validate(self.graph)?;
-        self.run_flat_pipeline(ws, query.clamped_to(self.graph), DistInput::Compute)
+        self.run_flat_pipeline(ws, query.clamped_to(self.graph), DistInput::Compute, budget)
     }
 
     /// Answers an already-validated, already-clamped query whose Phase-1
@@ -186,8 +206,9 @@ impl<'g> Eve<'g> {
         query: Query,
         engine: &MsBfsEngine,
         lane: usize,
+        budget: &QueryBudget,
     ) -> Result<SimplePathGraph, QueryError> {
-        self.run_flat_pipeline(ws, query, DistInput::Shared { engine, lane })
+        self.run_flat_pipeline(ws, query, DistInput::Shared { engine, lane }, budget)
     }
 
     /// Answers a cohort member whose `(s, t, k)` triple equals the member
@@ -200,8 +221,9 @@ impl<'g> Eve<'g> {
         &self,
         ws: &mut QueryWorkspace,
         query: Query,
+        budget: &QueryBudget,
     ) -> Result<SimplePathGraph, QueryError> {
-        self.run_flat_pipeline(ws, query, DistInput::Reuse)
+        self.run_flat_pipeline(ws, query, DistInput::Reuse, budget)
     }
 
     /// Answers a whole batch sequentially on one internally reused
@@ -230,6 +252,7 @@ impl<'g> Eve<'g> {
                         &mut ws,
                         cohort,
                         spg_graph::FrontierMode::default(),
+                        &[],
                         &mut stats,
                         |index, result| results[index] = Some(result),
                     );
@@ -258,7 +281,12 @@ impl<'g> Eve<'g> {
         query: Query,
     ) -> Result<EveOutput, QueryError> {
         query.validate(self.graph)?;
-        let spg = self.run_flat_pipeline(ws, query.clamped_to(self.graph), DistInput::Compute)?;
+        let spg = self.run_flat_pipeline(
+            ws,
+            query.clamped_to(self.graph),
+            DistInput::Compute,
+            &QueryBudget::unlimited(),
+        )?;
         // The workspace still holds the phase-2 output; only the detailed
         // entry point pays for materialising it (`query_with` does not).
         let upper_bound = Self::upper_bound_subgraph(ws);
@@ -276,20 +304,23 @@ impl<'g> Eve<'g> {
         timings: &mut PhaseTimings,
         memory: &mut MemoryEstimate,
         input: DistInput<'_>,
-    ) {
+        budget: &QueryBudget,
+    ) -> Result<(), QueryError> {
         // Phase 1a: raw distances (computed per query, materialised from a
         // cohort's shared MS-BFS lane, or reused verbatim from the previous
         // identical member) + compacted search space.
         let start = Instant::now();
+        failpoints::check(sites::PHASE1)?;
         match input {
             DistInput::Compute => {
-                ws.dist.compute(
+                ws.dist.compute_budgeted(
                     self.graph,
                     query.source,
                     query.target,
                     query.k,
                     self.config.distance_strategy,
-                );
+                    budget,
+                )?;
                 ws.space
                     .rebuild_from_flat(self.graph, &ws.dist, &mut ws.scratch);
             }
@@ -315,6 +346,9 @@ impl<'g> Eve<'g> {
                 );
                 ws.space
                     .rebuild_from_flat(self.graph, &ws.dist, &mut ws.scratch);
+                // The engine's work was charged to the cohort-level budget;
+                // here only a deadline poll after the materialisation.
+                budget.check()?;
             }
             DistInput::Reuse => {}
         }
@@ -323,24 +357,29 @@ impl<'g> Eve<'g> {
 
         // Phase 1b: essential-vertex propagation on flat per-level rows.
         let start = Instant::now();
-        ws.fwd.run(
+        failpoints::check(sites::PHASE1B)?;
+        ws.fwd.run_budgeted(
             &ws.space,
             Direction::Forward,
             self.config.forward_looking_pruning,
-        );
-        ws.bwd.run(
+            budget,
+        )?;
+        ws.bwd.run_budgeted(
             &ws.space,
             Direction::Backward,
             self.config.forward_looking_pruning,
-        );
+            budget,
+        )?;
         timings.propagation = start.elapsed();
         memory.propagation_bytes = ws.fwd.memory_bytes() + ws.bwd.memory_bytes();
 
         // Phase 2: upper-bound graph via edge labeling.
         let start = Instant::now();
-        ws.ub.build(&ws.space, &ws.fwd, &ws.bwd);
+        failpoints::check(sites::PHASE2)?;
+        ws.ub.build_budgeted(&ws.space, &ws.fwd, &ws.bwd, budget)?;
         timings.labeling = start.elapsed();
         memory.upper_bound_bytes = ws.ub.memory_bytes();
+        Ok(())
     }
 
     /// Phases 1a–3 on the workspace, assembling the answer (but not the
@@ -350,17 +389,19 @@ impl<'g> Eve<'g> {
         ws: &mut QueryWorkspace,
         query: Query,
         input: DistInput<'_>,
+        budget: &QueryBudget,
     ) -> Result<SimplePathGraph, QueryError> {
         let mut timings = PhaseTimings::default();
         let mut memory = MemoryEstimate::default();
-        self.run_phases_1_2(ws, query, &mut timings, &mut memory, input);
+        self.run_phases_1_2(ws, query, &mut timings, &mut memory, input, budget)?;
 
         // Phase 3: verification of undetermined edges.
         let start = Instant::now();
+        failpoints::check(sites::VERIFY)?;
         if self.config.search_ordering && query.k >= 5 {
             apply_search_ordering_flat(&mut ws.ub, &mut ws.order);
         }
-        let verification = verify_flat(&ws.ub, &mut ws.verify);
+        let verification = verify_flat_budgeted(&ws.ub, &mut ws.verify, budget)?;
         let mut answer: Vec<(VertexId, VertexId)> = Vec::with_capacity(ws.ub.edge_count());
         for (eid, &(u, v)) in ws.ub.edges().iter().enumerate() {
             if ws.verify.result()[eid] {
@@ -422,7 +463,8 @@ impl<'g> Eve<'g> {
             &mut PhaseTimings::default(),
             &mut MemoryEstimate::default(),
             DistInput::Compute,
-        );
+            &QueryBudget::unlimited(),
+        )?;
         Ok(Self::upper_bound_subgraph(ws))
     }
 

@@ -25,28 +25,64 @@
 //!   restores the per-query path wholesale). Workers then claim whole units
 //!   (cohorts or singles) through the cursor.
 //!
-//! ### Error aggregation policy
+//! ### Error aggregation and fault-isolation policy
 //!
 //! A batch never short-circuits: an invalid query produces an `Err` in its
 //! own slot and has no effect on any other slot. [`BatchStats`] counts
 //! errors globally and per worker so serving layers can alarm on error
 //! ratios without scanning the result vector.
+//!
+//! The same per-slot discipline extends to faults and deadlines:
+//!
+//! * **Panic isolation** — every scheduling unit (a cohort or a single
+//!   query) runs under [`std::panic::catch_unwind`]. A panicking query
+//!   turns into [`QueryError::ExecutionPanicked`] in its own slot (and the
+//!   unanswered slots of its cohort), the worker's possibly-corrupted
+//!   workspace is discarded for a fresh one, and every other slot of the
+//!   batch is answered normally. [`BatchStats::panics_isolated`] counts
+//!   the contained panics.
+//! * **Per-slot deadlines** — the `*_with_deadlines` entry points take one
+//!   optional [`Instant`] per slot and run each query under a cooperative
+//!   [`QueryBudget`]; an expired slot reports
+//!   [`QueryError::DeadlineExceeded`] without disturbing its neighbours.
+//!   Cohorts run their shared traversal under the *latest* member deadline
+//!   (see [`crate::cohort`]).
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use spg_graph::{FrontierMode, SearchSpaceStats};
+use spg_graph::{FrontierMode, QueryBudget, SearchSpaceStats};
 
 use crate::cache::{CacheOutcome, CachedEve};
 use crate::cohort::{run_cohort, CohortPlan, Unit};
 use crate::eve::Eve;
-use crate::flight::{FlightGroup, FlightRole};
+use crate::failpoints::{self, sites};
+use crate::flight::{FlightGroup, FlightOutcome, FlightRole};
 use crate::query::{Query, QueryError};
 use crate::spg::SimplePathGraph;
 use crate::stats::MemoryEstimate;
 use crate::workspace::QueryWorkspace;
+
+/// The budget a slot runs under: its deadline, or unlimited without one.
+fn budget_for(deadline: Option<Instant>) -> QueryBudget {
+    match deadline {
+        Some(d) => QueryBudget::with_deadline(d),
+        None => QueryBudget::unlimited(),
+    }
+}
+
+/// Slot `index`'s deadline; slices shorter than the batch mean unbounded.
+fn slot_deadline(deadlines: &[Option<Instant>], index: usize) -> Option<Instant> {
+    deadlines.get(index).copied().flatten()
+}
+
+/// Per-query callback of the chunked-cursor drain: answer the query at
+/// batch index `usize` on the worker's private workspace.
+type RunOne<'a> =
+    &'a (dyn Fn(&mut QueryWorkspace, usize, Query, &mut ThreadBatchStats) -> BatchResult + Sync);
 
 /// Per-query outcome of a batch: the answer, or why the query was rejected.
 pub type BatchResult = Result<SimplePathGraph, QueryError>;
@@ -164,10 +200,26 @@ impl BatchExecutor {
     /// each worker retained, and — on the default cohort-shared path — the
     /// shared-Phase-1 counters ([`BatchStats::phase1`]).
     pub fn run_detailed(&self, eve: &Eve<'_>, queries: &[Query]) -> BatchOutcome {
+        self.run_detailed_with_deadlines(eve, queries, &[])
+    }
+
+    /// [`BatchExecutor::run_detailed`] with one optional wall-clock deadline
+    /// per slot (`deadlines` may be shorter than `queries`; missing entries
+    /// mean unbounded). A slot whose deadline expires mid-flight reports
+    /// [`QueryError::DeadlineExceeded`] deterministically in its own slot —
+    /// neighbours, workers and the reused workspaces are unaffected.
+    pub fn run_detailed_with_deadlines(
+        &self,
+        eve: &Eve<'_>,
+        queries: &[Query],
+        deadlines: &[Option<Instant>],
+    ) -> BatchOutcome {
         if self.shared_phase1 {
-            self.run_shared(eve, queries)
+            self.run_shared(eve, queries, deadlines)
         } else {
-            self.run_with(queries, &|ws, query, _stats| eve.query_with(ws, query))
+            self.run_with(queries, &|ws, index, query, _stats| {
+                eve.query_budgeted(ws, query, &budget_for(slot_deadline(deadlines, index)))
+            })
         }
     }
 
@@ -176,7 +228,12 @@ impl BatchExecutor {
     /// cursor. Each worker runs a claimed cohort's two MS-BFS passes on its
     /// private workspace and answers the members from the shared distances;
     /// fallback units go through [`Eve::query_with`] unchanged.
-    fn run_shared(&self, eve: &Eve<'_>, queries: &[Query]) -> BatchOutcome {
+    fn run_shared(
+        &self,
+        eve: &Eve<'_>,
+        queries: &[Query],
+        deadlines: &[Option<Instant>],
+    ) -> BatchOutcome {
         let plan = CohortPlan::build(eve.graph(), queries, self.threads);
         let workers = self.threads.min(plan.units.len()).max(1);
         let slots: Vec<OnceLock<BatchResult>> =
@@ -186,12 +243,16 @@ impl BatchExecutor {
 
         let mut per_thread: Vec<ThreadBatchStats> = Vec::with_capacity(workers);
         if workers == 1 {
-            per_thread.push(drain_shared(eve, queries, &plan, mode, &cursor, &slots));
+            per_thread.push(drain_shared(
+                eve, queries, &plan, mode, deadlines, &cursor, &slots,
+            ));
         } else {
             thread::scope(|scope| {
                 let handles: Vec<_> = (0..workers)
                     .map(|_| {
-                        scope.spawn(|| drain_shared(eve, queries, &plan, mode, &cursor, &slots))
+                        scope.spawn(|| {
+                            drain_shared(eve, queries, &plan, mode, deadlines, &cursor, &slots)
+                        })
                     })
                     .collect();
                 for handle in handles {
@@ -265,6 +326,38 @@ impl BatchExecutor {
         flights: &FlightGroup,
         queries: &[Query],
     ) -> BatchOutcome {
+        self.run_cached_coalesced_with_deadlines(cached, flights, queries, &[])
+    }
+
+    /// [`BatchExecutor::run_cached_coalesced`] with one optional wall-clock
+    /// deadline per slot. A slot past its deadline reports
+    /// [`QueryError::DeadlineExceeded`]; a leader that fails mid-flight
+    /// broadcasts its error to every joiner instead of leaving them waiting
+    /// ([`crate::FlightToken::fail`]), and joiners of a budget-killed leader
+    /// recompute under their *own* deadline rather than inheriting the
+    /// leader's failure.
+    pub fn run_cached_coalesced_with_deadlines(
+        &self,
+        cached: &CachedEve<'_, '_>,
+        flights: &FlightGroup,
+        queries: &[Query],
+        deadlines: &[Option<Instant>],
+    ) -> BatchOutcome {
+        // Drain-level failpoint: an injected panic here models the batcher
+        // dying mid-drain; an injected budget error fails the whole drain
+        // gracefully (every slot gets an error response, nothing hangs).
+        if let Err(err) = failpoints::check(sites::BATCH_DRAIN) {
+            return BatchOutcome {
+                results: queries.iter().map(|_| Err(err)).collect(),
+                stats: BatchStats {
+                    threads: 1,
+                    chunk_size: 1,
+                    errors: queries.len(),
+                    ..BatchStats::default()
+                },
+                slot_sources: vec![None; queries.len()],
+            };
+        }
         let graph = cached.eve().graph();
         let version = cached.version();
         let cache = cached.cache();
@@ -324,12 +417,35 @@ impl BatchExecutor {
                 chunk_size: 1,
                 ..BatchStats::default()
             }
+        } else if let Err(err) = failpoints::check(sites::FLIGHT_LEADER) {
+            // Injected leader failure: broadcast it to every joiner (none
+            // may block forever) and error the led slots themselves.
+            for (&slot, token) in missed_slots.iter().zip(tokens) {
+                token.fail(err);
+                slots[slot] = Some(Err(err));
+                slot_sources[slot] = None;
+                probe_errors += 1;
+            }
+            BatchStats {
+                threads: 1,
+                chunk_size: 1,
+                ..BatchStats::default()
+            }
         } else {
+            // Misses run under their own slots' deadlines.
+            let missed_deadlines: Vec<Option<Instant>> = missed_slots
+                .iter()
+                .map(|&slot| slot_deadline(deadlines, slot))
+                .collect();
             let inner = if self.shared_phase1 {
-                self.run_shared(&cached.eve(), &missed)
+                self.run_shared(&cached.eve(), &missed, &missed_deadlines)
             } else {
-                self.run_with(&missed, &|ws, query, _stats| {
-                    cached.eve().query_with(ws, query)
+                self.run_with(&missed, &|ws, index, query, _stats| {
+                    cached.eve().query_budgeted(
+                        ws,
+                        query,
+                        &budget_for(slot_deadline(&missed_deadlines, index)),
+                    )
                 })
             };
             let mut stats = inner.stats;
@@ -347,9 +463,12 @@ impl BatchExecutor {
                             Some(Ok(Arc::try_unwrap(arc).unwrap_or_else(|arc| (*arc).clone())));
                     }
                     Err(err) => {
-                        // Unreachable for validated queries; dropping the
-                        // token abandons the flight so joiners recompute.
+                        // Deadline, budget or isolated-panic failure: fail
+                        // the flight so joiners observe the error instead
+                        // of waiting forever, and error the slot itself.
+                        token.fail(err);
                         slots[slot] = Some(Err(err));
+                        slot_sources[slot] = None;
                     }
                 }
             }
@@ -365,31 +484,43 @@ impl BatchExecutor {
         let mut coalesced = 0usize;
         for (slot, joiner) in waits {
             match joiner.wait() {
-                Some(arc) => {
+                FlightOutcome::Done(arc) => {
                     slots[slot] = Some(Ok((*arc).clone()));
                     coalesced += 1;
+                    continue;
                 }
-                None => {
-                    // The leader abandoned (cross-drain panic); compute
-                    // individually — the pre-singleflight behaviour.
-                    let mut ws = QueryWorkspace::new();
-                    match cached.query_with_outcome(&mut ws, queries[slot]) {
-                        Ok((spg, CacheOutcome::Hit)) => {
-                            slots[slot] = Some(Ok(spg));
-                            slot_sources[slot] = Some(CacheOutcome::Hit);
-                            probe_hits += 1;
-                        }
-                        Ok((spg, _)) => {
-                            slots[slot] = Some(Ok(spg));
-                            slot_sources[slot] = Some(CacheOutcome::Miss);
-                            stats.cache_misses += 1;
-                            stats.answered += 1;
-                        }
-                        Err(err) => {
-                            slots[slot] = Some(Err(err));
-                            probe_errors += 1;
-                        }
-                    }
+                FlightOutcome::Failed(QueryError::ExecutionPanicked) => {
+                    // The computation itself is faulty; rerunning it would
+                    // panic again. Take the leader's error as-is.
+                    slots[slot] = Some(Err(QueryError::ExecutionPanicked));
+                    slot_sources[slot] = None;
+                    probe_errors += 1;
+                    continue;
+                }
+                // Failed: the leader ran out of *its* budget — this slot's
+                // own deadline may still have room, so recompute under it.
+                // Abandoned: the leader vanished (cross-drain panic);
+                // compute individually — the pre-singleflight behaviour.
+                FlightOutcome::Failed(_) | FlightOutcome::Abandoned => {}
+            }
+            let mut ws = QueryWorkspace::new();
+            let budget = budget_for(slot_deadline(deadlines, slot));
+            match cached.query_with_outcome_budgeted(&mut ws, queries[slot], &budget) {
+                Ok((spg, CacheOutcome::Hit)) => {
+                    slots[slot] = Some(Ok(spg));
+                    slot_sources[slot] = Some(CacheOutcome::Hit);
+                    probe_hits += 1;
+                }
+                Ok((spg, _)) => {
+                    slots[slot] = Some(Ok(spg));
+                    slot_sources[slot] = Some(CacheOutcome::Miss);
+                    stats.cache_misses += 1;
+                    stats.answered += 1;
+                }
+                Err(err) => {
+                    slots[slot] = Some(Err(err));
+                    slot_sources[slot] = None;
+                    probe_errors += 1;
                 }
             }
         }
@@ -414,13 +545,10 @@ impl BatchExecutor {
 
     /// Shared batch driver: spawn workers, drain the chunked cursor through
     /// `run_one`, collect slots and fold per-worker stats. `run_one` answers
-    /// one query on the worker's private workspace and may update the
-    /// worker's cache counters.
-    fn run_with(
-        &self,
-        queries: &[Query],
-        run_one: &(dyn Fn(&mut QueryWorkspace, Query, &mut ThreadBatchStats) -> BatchResult + Sync),
-    ) -> BatchOutcome {
+    /// one query (given with its batch index, so callers can attach
+    /// per-slot budgets) on the worker's private workspace and may update
+    /// the worker's cache counters.
+    fn run_with(&self, queries: &[Query], run_one: RunOne<'_>) -> BatchOutcome {
         let workers = self.threads.min(queries.len()).max(1);
         let chunk = self.effective_chunk(queries.len());
         let slots: Vec<OnceLock<BatchResult>> =
@@ -470,12 +598,18 @@ impl Default for BatchExecutor {
 
 /// One worker's drain loop on the cohort-shared path: claim one unit at a
 /// time, run cohorts via [`run_cohort`] and fallback singles via
-/// [`Eve::query_with`], publish every member into its pre-sized slot.
+/// [`Eve::query_budgeted`], publish every member into its pre-sized slot.
+///
+/// Every unit runs under [`catch_unwind`]: a panic (a defect or an injected
+/// failpoint) is contained to the unit — its unanswered slots get
+/// [`QueryError::ExecutionPanicked`], the possibly-corrupted workspace is
+/// replaced by a fresh one, and the worker moves on to the next unit.
 fn drain_shared(
     eve: &Eve<'_>,
     queries: &[Query],
     plan: &CohortPlan,
     mode: FrontierMode,
+    deadlines: &[Option<Instant>],
     cursor: &AtomicUsize,
     slots: &[OnceLock<BatchResult>],
 ) -> ThreadBatchStats {
@@ -489,7 +623,15 @@ fn drain_shared(
         stats.chunks_claimed += 1;
         match &plan.units[unit] {
             Unit::Single(index) => {
-                let result = eve.query_with(&mut ws, queries[*index]);
+                let budget = budget_for(slot_deadline(deadlines, *index));
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    eve.query_budgeted(&mut ws, queries[*index], &budget)
+                }))
+                .unwrap_or_else(|_| {
+                    ws = QueryWorkspace::new();
+                    stats.panics_isolated += 1;
+                    Err(QueryError::ExecutionPanicked)
+                });
                 match &result {
                     Ok(spg) => {
                         stats.answered += 1;
@@ -502,11 +644,37 @@ fn drain_shared(
                     .expect("no other worker may claim this query index");
             }
             Unit::Cohort(cohort) => {
-                run_cohort(eve, &mut ws, cohort, mode, &mut stats, |index, result| {
-                    slots[index]
-                        .set(result)
-                        .expect("no other worker may claim this query index");
-                });
+                let unwound = catch_unwind(AssertUnwindSafe(|| {
+                    run_cohort(
+                        eve,
+                        &mut ws,
+                        cohort,
+                        mode,
+                        deadlines,
+                        &mut stats,
+                        |index, result| {
+                            slots[index]
+                                .set(result)
+                                .expect("no other worker may claim this query index");
+                        },
+                    )
+                }));
+                if unwound.is_err() {
+                    // The panic is contained to this cohort: members whose
+                    // slot was published before the panic keep their
+                    // answers, the rest become error slots, and the
+                    // workspace (in an unknown state) is discarded.
+                    ws = QueryWorkspace::new();
+                    stats.panics_isolated += 1;
+                    for member in &cohort.members {
+                        if slots[member.index]
+                            .set(Err(QueryError::ExecutionPanicked))
+                            .is_ok()
+                        {
+                            stats.errors += 1;
+                        }
+                    }
+                }
             }
         }
     }
@@ -516,9 +684,11 @@ fn drain_shared(
 
 /// One worker's drain loop: claim a chunk of query indices, answer each on
 /// the private workspace through `run_one`, publish into the pre-sized
-/// slots.
+/// slots. A panicking query is contained to its own slot
+/// ([`QueryError::ExecutionPanicked`]); the workspace is discarded for a
+/// fresh one and the drain continues with the next query.
 fn drain(
-    run_one: &(dyn Fn(&mut QueryWorkspace, Query, &mut ThreadBatchStats) -> BatchResult + Sync),
+    run_one: RunOne<'_>,
     queries: &[Query],
     cursor: &AtomicUsize,
     chunk: usize,
@@ -533,8 +703,20 @@ fn drain(
         }
         stats.chunks_claimed += 1;
         let end = (start + chunk).min(queries.len());
-        for (query, slot) in queries[start..end].iter().zip(&slots[start..end]) {
-            let result = run_one(&mut ws, *query, &mut stats);
+        for (offset, (query, slot)) in queries[start..end]
+            .iter()
+            .zip(&slots[start..end])
+            .enumerate()
+        {
+            let index = start + offset;
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                run_one(&mut ws, index, *query, &mut stats)
+            }))
+            .unwrap_or_else(|_| {
+                ws = QueryWorkspace::new();
+                stats.panics_isolated += 1;
+                Err(QueryError::ExecutionPanicked)
+            });
             match &result {
                 Ok(spg) => {
                     stats.answered += 1;
@@ -637,6 +819,10 @@ pub struct ThreadBatchStats {
     /// Missed queries this worker computed-then-published (always 0 for
     /// uncached runs).
     pub cache_misses: usize,
+    /// Panics this worker caught and contained to their scheduling unit
+    /// (the affected slots report [`QueryError::ExecutionPanicked`] and the
+    /// worker continued on a fresh workspace).
+    pub panics_isolated: usize,
     /// This worker's shared-Phase-1 counters (cohort path only).
     pub phase1: SharedPhase1Stats,
     /// Worst single-query memory estimate seen by this worker
@@ -674,6 +860,10 @@ pub struct BatchStats {
     /// cache's eviction-counter delta — includes evictions triggered by
     /// concurrent users of the same cache; always 0 for uncached runs).
     pub cache_evictions: usize,
+    /// Panics caught and contained across all workers — each one produced
+    /// [`QueryError::ExecutionPanicked`] slots (counted in
+    /// [`BatchStats::errors`]) without disturbing any other slot.
+    pub panics_isolated: usize,
     /// Shared-Phase-1 counters summed over all workers: queries served from
     /// cohort MS-BFS runs, distinct endpoint pairs traversed, cohort count,
     /// traversal wall time and the top-down/bottom-up scan split.
@@ -699,6 +889,7 @@ impl BatchStats {
             stats.errors += worker.errors;
             stats.cache_hits += worker.cache_hits;
             stats.cache_misses += worker.cache_misses;
+            stats.panics_isolated += worker.panics_isolated;
             stats.phase1.merge(&worker.phase1);
             stats.peak_memory.merge_max(&worker.peak_memory);
             stats.workspace_retained_bytes += worker.workspace_retained_bytes;
@@ -983,6 +1174,169 @@ mod tests {
                 .count(),
             63
         );
+    }
+
+    #[test]
+    fn expired_deadlines_fail_their_own_slots_only() {
+        let g = paper_example::figure1_graph();
+        let eve = Eve::with_defaults(&g);
+        let batch: Vec<Query> = (2..=8).map(|k| Query::new(S, T, k)).collect();
+        let expected = eve.query_batch(&batch);
+        // Slots 1 and 4 are already past their deadline; the rest unbounded.
+        let mut deadlines: Vec<Option<Instant>> = vec![None; batch.len()];
+        let expired = Instant::now();
+        deadlines[1] = Some(expired);
+        deadlines[4] = Some(expired);
+        for shared in [true, false] {
+            let outcome = BatchExecutor::new(2)
+                .shared_phase1(shared)
+                .run_detailed_with_deadlines(&eve, &batch, &deadlines);
+            for (i, slot) in outcome.results.iter().enumerate() {
+                if i == 1 || i == 4 {
+                    assert_eq!(
+                        slot.as_ref().unwrap_err(),
+                        &QueryError::DeadlineExceeded,
+                        "slot {i} shared={shared}"
+                    );
+                } else {
+                    assert_eq!(
+                        slot.as_ref().unwrap().edges(),
+                        expected[i].as_ref().unwrap().edges(),
+                        "slot {i} shared={shared}"
+                    );
+                }
+            }
+            assert_eq!(outcome.stats.errors, 2);
+            assert_eq!(outcome.stats.panics_isolated, 0);
+        }
+
+        // All members expired: the cohort's shared traversal itself aborts
+        // (its budget is the latest member deadline) and every slot reports
+        // the deadline deterministically.
+        let all_expired: Vec<Option<Instant>> = vec![Some(expired); batch.len()];
+        let outcome = BatchExecutor::new(2).run_detailed_with_deadlines(&eve, &batch, &all_expired);
+        for slot in &outcome.results {
+            assert_eq!(slot.as_ref().unwrap_err(), &QueryError::DeadlineExceeded);
+        }
+    }
+
+    #[test]
+    fn a_panicking_query_is_contained_to_its_slot() {
+        let g = paper_example::figure1_graph();
+        let eve = Eve::with_defaults(&g);
+        let batch: Vec<Query> = (1..=8).map(|k| Query::new(S, T, k)).collect();
+        let expected = eve.query_batch(&batch);
+        // Drive the per-query drain directly with a run_one that blows up on
+        // one slot — the executor must contain it, replace the workspace and
+        // answer every other slot bit-identically.
+        let outcome =
+            BatchExecutor::new(2)
+                .chunk_size(2)
+                .run_with(&batch, &|ws, index, query, _stats| {
+                    if index == 3 {
+                        panic!("injected defect");
+                    }
+                    eve.query_with(ws, query)
+                });
+        for (i, slot) in outcome.results.iter().enumerate() {
+            if i == 3 {
+                assert_eq!(slot.as_ref().unwrap_err(), &QueryError::ExecutionPanicked);
+            } else {
+                assert_eq!(
+                    slot.as_ref().unwrap().edges(),
+                    expected[i].as_ref().unwrap().edges(),
+                    "slot {i}"
+                );
+            }
+        }
+        assert_eq!(outcome.stats.panics_isolated, 1);
+        assert_eq!(outcome.stats.errors, 1);
+        assert_eq!(outcome.stats.answered, batch.len() - 1);
+    }
+
+    /// Failpoint-injected faults exercise the cohort path, the drain-level
+    /// gate and the singleflight leader. One #[test] (the registry is
+    /// process-global) under the serialization guard.
+    #[cfg(feature = "failpoints")]
+    #[test]
+    fn injected_faults_are_contained_and_recovered_from() {
+        use crate::cache::{CachedEve, SpgCache};
+        use crate::failpoints::{self, FailAction};
+        use spg_graph::VersionedGraph;
+
+        let _guard = failpoints::serial_guard();
+        failpoints::clear_all();
+
+        let g = paper_example::figure1_graph();
+        let eve = Eve::with_defaults(&g);
+        let batch: Vec<Query> = (1..=8).map(|k| Query::new(S, T, k)).collect();
+        let expected = eve.query_batch(&batch);
+
+        // A phase-2 panic inside a cohort poisons only that cohort's
+        // unanswered members; the drain recovers on a fresh workspace and
+        // an immediate rerun is bit-identical to the sequential reference.
+        failpoints::set(sites::PHASE2, FailAction::Panic, Some(1));
+        let outcome = BatchExecutor::new(1).run_detailed(&eve, &batch);
+        assert_eq!(outcome.stats.panics_isolated, 1);
+        let panicked = outcome
+            .results
+            .iter()
+            .filter(|r| matches!(r, Err(QueryError::ExecutionPanicked)))
+            .count();
+        assert!(panicked >= 1, "the hit member (at least) errors");
+        assert_eq!(outcome.stats.errors, panicked);
+        for (slot, exp) in outcome.results.iter().zip(&expected) {
+            if let Ok(spg) = slot {
+                assert_eq!(spg.edges(), exp.as_ref().unwrap().edges());
+            }
+        }
+        let recovered = BatchExecutor::new(1).run_detailed(&eve, &batch);
+        assert_eq!(recovered.stats.panics_isolated, 0);
+        for (slot, exp) in recovered.results.iter().zip(&expected) {
+            assert_eq!(
+                slot.as_ref().unwrap().edges(),
+                exp.as_ref().unwrap().edges()
+            );
+        }
+
+        // A drain-level budget fault fails the whole cached drain
+        // gracefully: every slot answers with the canonical error.
+        let vg = VersionedGraph::new(paper_example::figure1_graph());
+        let cache = SpgCache::new(1 << 20);
+        let cached = CachedEve::with_defaults(&vg, &cache);
+        failpoints::set(sites::BATCH_DRAIN, FailAction::Budget, Some(1));
+        let outcome = BatchExecutor::new(2).run_cached_detailed(&cached, &batch);
+        assert_eq!(outcome.results.len(), batch.len());
+        for slot in &outcome.results {
+            assert_eq!(slot.as_ref().unwrap_err(), &QueryError::BudgetExceeded);
+        }
+        assert!(outcome.slot_sources.iter().all(Option::is_none));
+
+        // A failing singleflight leader broadcasts its error to the led
+        // slots instead of leaving flights dangling. The k = 8 slot clamps
+        // onto the k = 7 key and *joins* that flight; observing a
+        // budget-failed (not panicked) leader it recomputes under its own
+        // unlimited budget and recovers the answer.
+        failpoints::set(sites::FLIGHT_LEADER, FailAction::Budget, Some(1));
+        let outcome = BatchExecutor::new(2).run_cached_detailed(&cached, &batch);
+        for (slot, exp) in outcome.results.iter().take(7).zip(&expected) {
+            assert_eq!(slot.as_ref().unwrap_err(), &QueryError::BudgetExceeded);
+            assert!(exp.is_ok());
+        }
+        assert_eq!(
+            outcome.results[7].as_ref().unwrap().edges(),
+            expected[7].as_ref().unwrap().edges(),
+            "the joiner recomputed under its own budget"
+        );
+        let healthy = BatchExecutor::new(2).run_cached_detailed(&cached, &batch);
+        for (slot, exp) in healthy.results.iter().zip(&expected) {
+            assert_eq!(
+                slot.as_ref().unwrap().edges(),
+                exp.as_ref().unwrap().edges()
+            );
+        }
+
+        failpoints::clear_all();
     }
 
     #[test]

@@ -15,13 +15,19 @@
 //! * flights are keyed by `(GraphVersion, clamped Query)` — exactly the
 //!   cache key, so an answer fanned out of a flight is the same answer a
 //!   cache hit would have served;
-//! * only *validated* queries fly, so a flight always resolves to a
-//!   successful answer (errors are rejected before any latch exists);
+//! * only *validated* queries fly, so a flight normally resolves to a
+//!   successful answer (validation errors are rejected before any latch
+//!   exists); a leader cancelled mid-flight (deadline, work budget) or
+//!   isolated after a panic broadcasts that failure explicitly via
+//!   [`FlightToken::fail`], so joiners observe [`FlightOutcome::Failed`]
+//!   and can decide per error whether to surface it or retry under their
+//!   own budget;
 //! * a leader that unwinds or drops its token without completing marks the
-//!   flight **abandoned** and wakes every joiner with `None`; joiners then
-//!   fall back to computing for themselves. A crashed leader can therefore
-//!   never wedge a waiter — the latch degrades to the pre-singleflight
-//!   behaviour instead of deadlocking.
+//!   flight **abandoned** and wakes every joiner with
+//!   [`FlightOutcome::Abandoned`]; joiners then fall back to computing for
+//!   themselves. A crashed leader can therefore never wedge a waiter — the
+//!   latch degrades to the pre-singleflight behaviour instead of
+//!   deadlocking.
 //!
 //! [`crate::BatchExecutor::run_cached`] opens a fresh group per drain (which
 //! is what dedups identical missed keys *within* one batch); a serving
@@ -34,7 +40,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use spg_graph::hash::FxHashMap;
 use spg_graph::GraphVersion;
 
-use crate::query::Query;
+use crate::query::{Query, QueryError};
 use crate::spg::SimplePathGraph;
 
 /// Flight key: one graph snapshot plus one clamped query — identical to the
@@ -48,8 +54,25 @@ enum FlightState {
     Pending,
     /// The leader published this answer; joiners clone it.
     Done(Arc<SimplePathGraph>),
+    /// The leader's computation failed (cancelled or isolated after a
+    /// panic); joiners receive the error.
+    Failed(QueryError),
     /// The leader dropped its token without completing (panic or early
     /// return); joiners must compute for themselves.
+    Abandoned,
+}
+
+/// What a joiner observes once its flight resolves.
+#[derive(Debug, Clone)]
+pub enum FlightOutcome {
+    /// The leader's answer; clone it.
+    Done(Arc<SimplePathGraph>),
+    /// The leader failed with this error. [`QueryError::ExecutionPanicked`]
+    /// should be taken as-is (a deterministic recompute would panic again);
+    /// budget errors reflect the *leader's* budget — a joiner with a more
+    /// generous one may recompute for itself.
+    Failed(QueryError),
+    /// The leader vanished without resolving; compute for yourself.
     Abandoned,
 }
 
@@ -86,6 +109,9 @@ pub struct FlightStats {
     /// Flights whose leader dropped its token without completing; their
     /// joiners recomputed individually.
     pub abandoned: u64,
+    /// Flights whose leader broadcast an explicit failure
+    /// ([`FlightToken::fail`]): cancellation or per-slot panic isolation.
+    pub failed: u64,
 }
 
 impl FlightStats {
@@ -125,6 +151,7 @@ pub struct FlightGroup {
     led: AtomicU64,
     joined: AtomicU64,
     abandoned: AtomicU64,
+    failed: AtomicU64,
 }
 
 // Shared across connection handlers and batch workers by design.
@@ -186,6 +213,7 @@ impl FlightGroup {
             led: self.led.load(Ordering::Relaxed),
             joined: self.joined.load(Ordering::Relaxed),
             abandoned: self.abandoned.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
         }
     }
 }
@@ -221,6 +249,17 @@ impl FlightToken<'_> {
         self.group.retire(&self.key, &self.flight);
         self.flight.resolve(FlightState::Done(answer));
     }
+
+    /// Broadcasts `err` to every joiner and retires the flight. Use this
+    /// when the leader's computation was cancelled (deadline / work budget)
+    /// or isolated after a panic, so joiners learn *why* the flight died
+    /// instead of silently recomputing.
+    pub fn fail(mut self, err: QueryError) {
+        self.completed = true;
+        self.group.failed.fetch_add(1, Ordering::Relaxed);
+        self.group.retire(&self.key, &self.flight);
+        self.flight.resolve(FlightState::Failed(err));
+    }
 }
 
 impl Drop for FlightToken<'_> {
@@ -240,15 +279,17 @@ pub struct FlightJoiner {
 }
 
 impl FlightJoiner {
-    /// Blocks until the leader resolves the flight. `Some` is the leader's
-    /// answer; `None` means the leader abandoned and the caller must compute
-    /// for itself.
-    pub fn wait(self) -> Option<Arc<SimplePathGraph>> {
+    /// Blocks until the leader resolves the flight: completion, explicit
+    /// failure, or abandonment. The latch can never block forever — every
+    /// leader path resolves it, including panics (the token's `Drop` runs
+    /// during unwinding and broadcasts [`FlightOutcome::Abandoned`]).
+    pub fn wait(self) -> FlightOutcome {
         let mut state = self.flight.state.lock().expect("flight state");
         loop {
             match &*state {
-                FlightState::Done(answer) => return Some(Arc::clone(answer)),
-                FlightState::Abandoned => return None,
+                FlightState::Done(answer) => return FlightOutcome::Done(Arc::clone(answer)),
+                FlightState::Failed(err) => return FlightOutcome::Failed(*err),
+                FlightState::Abandoned => return FlightOutcome::Abandoned,
                 FlightState::Pending => {
                     state = self.flight.arrived.wait(state).expect("flight state");
                 }
@@ -256,13 +297,14 @@ impl FlightJoiner {
         }
     }
 
-    /// Non-blocking probe: `Some(result)` once resolved, `None` while the
+    /// Non-blocking probe: `Some(outcome)` once resolved, `None` while the
     /// leader is still computing.
-    pub fn try_wait(&self) -> Option<Option<Arc<SimplePathGraph>>> {
+    pub fn try_wait(&self) -> Option<FlightOutcome> {
         let state = self.flight.state.lock().expect("flight state");
         match &*state {
-            FlightState::Done(answer) => Some(Some(Arc::clone(answer))),
-            FlightState::Abandoned => Some(None),
+            FlightState::Done(answer) => Some(FlightOutcome::Done(Arc::clone(answer))),
+            FlightState::Failed(err) => Some(FlightOutcome::Failed(*err)),
+            FlightState::Abandoned => Some(FlightOutcome::Abandoned),
             FlightState::Pending => None,
         }
     }
@@ -303,12 +345,42 @@ mod tests {
         token.complete(Arc::clone(&spg));
         assert_eq!(group.in_flight(), 0, "completion retires the flight");
         for joiner in joiners {
-            let got = joiner.wait().expect("leader completed");
+            let FlightOutcome::Done(got) = joiner.wait() else {
+                panic!("leader completed");
+            };
             assert_eq!(got.edges(), spg.edges());
         }
         let stats = group.stats();
         assert_eq!((stats.led, stats.joined, stats.abandoned), (1, 4, 0));
         assert_eq!(stats.collapse_rate(), Some(0.8));
+    }
+
+    #[test]
+    fn failed_leader_broadcasts_the_error() {
+        let group = FlightGroup::new();
+        let q = Query::new(0, 1, 3);
+        let token = match group.join_or_lead(1, q) {
+            FlightRole::Leader(t) => t,
+            _ => unreachable!(),
+        };
+        let joiners: Vec<FlightJoiner> = (0..3)
+            .map(|_| match group.join_or_lead(1, q) {
+                FlightRole::Joiner(j) => j,
+                _ => unreachable!(),
+            })
+            .collect();
+        token.fail(QueryError::DeadlineExceeded);
+        assert_eq!(group.in_flight(), 0, "failure retires the flight");
+        for joiner in joiners {
+            let FlightOutcome::Failed(err) = joiner.wait() else {
+                panic!("failure must be observable");
+            };
+            assert_eq!(err, QueryError::DeadlineExceeded);
+        }
+        let stats = group.stats();
+        assert_eq!((stats.failed, stats.abandoned), (1, 0));
+        // The key is free again for a fresh leader.
+        assert!(matches!(group.join_or_lead(1, q), FlightRole::Leader(_)));
     }
 
     #[test]
@@ -335,9 +407,12 @@ mod tests {
             FlightRole::Joiner(j) => j,
             _ => unreachable!(),
         };
-        assert_eq!(joiner.try_wait().map(|r| r.is_some()), None, "pending");
+        assert!(joiner.try_wait().is_none(), "pending");
         drop(token);
-        assert!(joiner.wait().is_none(), "abandonment is observable");
+        assert!(
+            matches!(joiner.wait(), FlightOutcome::Abandoned),
+            "abandonment is observable"
+        );
         assert_eq!(group.in_flight(), 0);
         assert_eq!(group.stats().abandoned, 1);
         // The key is free again: the next prober leads a fresh flight.
@@ -363,7 +438,9 @@ mod tests {
                     };
                     let expected = &expected;
                     scope.spawn(move || {
-                        let got = joiner.wait().expect("completed");
+                        let FlightOutcome::Done(got) = joiner.wait() else {
+                            panic!("completed");
+                        };
                         assert_eq!(got.edges(), expected.as_slice());
                     })
                 })

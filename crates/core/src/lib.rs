@@ -42,6 +42,7 @@ pub mod cache;
 pub mod eve;
 pub mod evset;
 pub mod executor;
+pub mod failpoints;
 pub mod flight;
 pub mod labeling;
 pub mod paper_example;
@@ -58,7 +59,7 @@ pub use evset::EvSet;
 pub use executor::{
     BatchExecutor, BatchOutcome, BatchResult, BatchStats, SharedPhase1Stats, ThreadBatchStats,
 };
-pub use flight::{FlightGroup, FlightJoiner, FlightRole, FlightStats, FlightToken};
+pub use flight::{FlightGroup, FlightJoiner, FlightOutcome, FlightRole, FlightStats, FlightToken};
 pub use labeling::{EdgeLabel, LabelingStats, UpperBoundGraph};
 pub use propagation::{Propagation, PropagationStats};
 pub use query::{Query, QueryError};

@@ -4,7 +4,7 @@
 //! the simple path graph `SPG_k(s, t)` containing every edge that lies on at
 //! least one simple path from `s` to `t` of length at most `k`.
 
-use spg_graph::{DiGraph, VertexId};
+use spg_graph::{BudgetExhausted, DiGraph, VertexId};
 
 /// A hop-constrained s-t simple path graph query `⟨s, t, k⟩`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -74,7 +74,16 @@ impl std::fmt::Display for Query {
     }
 }
 
-/// Reasons a query can be rejected before any computation starts.
+/// Reasons a query can be rejected — before any computation starts
+/// (validation) or mid-flight (budget cancellation, fault isolation).
+///
+/// The [`std::fmt::Display`] impl below is the **one canonical formatting
+/// path** for these errors: the server's wire protocol promises that every
+/// `status: error` response carries the exact Display string of the
+/// `QueryError` a local [`crate::Eve::query`] would return
+/// (`spg_server::protocol::query_error_response` builds responses from the
+/// variant, never from a free-form string), so changing a string here *is*
+/// a wire-protocol change.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum QueryError {
     /// A query endpoint does not exist in the graph.
@@ -88,6 +97,23 @@ pub enum QueryError {
     SourceEqualsTarget(VertexId),
     /// `k == 0`; no edge can lie on a path of length zero.
     ZeroHopConstraint,
+    /// The query's wall-clock deadline passed mid-flight; the engine stopped
+    /// cooperatively at the next phase/level boundary.
+    DeadlineExceeded,
+    /// The query's deterministic work ceiling was reached mid-flight.
+    BudgetExceeded,
+    /// The query panicked inside the executor and was isolated to its slot
+    /// (its workspace was discarded; neighbouring slots are unaffected).
+    ExecutionPanicked,
+}
+
+impl From<BudgetExhausted> for QueryError {
+    fn from(e: BudgetExhausted) -> Self {
+        match e {
+            BudgetExhausted::Deadline => QueryError::DeadlineExceeded,
+            BudgetExhausted::Work => QueryError::BudgetExceeded,
+        }
+    }
 }
 
 impl std::fmt::Display for QueryError {
@@ -103,6 +129,13 @@ impl std::fmt::Display for QueryError {
                 write!(f, "source and target must be distinct (both are {v})")
             }
             QueryError::ZeroHopConstraint => write!(f, "hop constraint k must be at least 1"),
+            // The budget variants delegate to the traversal layer's
+            // [`BudgetExhausted`] strings so the two layers cannot drift.
+            QueryError::DeadlineExceeded => write!(f, "{}", BudgetExhausted::Deadline),
+            QueryError::BudgetExceeded => write!(f, "{}", BudgetExhausted::Work),
+            QueryError::ExecutionPanicked => {
+                write!(f, "internal error: query execution panicked")
+            }
         }
     }
 }
@@ -151,6 +184,41 @@ mod tests {
     fn display_formats() {
         let q = Query::new(3, 7, 5);
         assert_eq!(q.to_string(), "⟨s=3, t=7, k=5⟩");
+    }
+
+    #[test]
+    fn budget_errors_map_and_display_canonically() {
+        assert_eq!(
+            QueryError::from(BudgetExhausted::Deadline),
+            QueryError::DeadlineExceeded
+        );
+        assert_eq!(
+            QueryError::from(BudgetExhausted::Work),
+            QueryError::BudgetExceeded
+        );
+        // The wire contract: these exact strings are what the server sends.
+        assert_eq!(
+            QueryError::DeadlineExceeded.to_string(),
+            "query deadline exceeded"
+        );
+        assert_eq!(
+            QueryError::BudgetExceeded.to_string(),
+            "query work budget exceeded"
+        );
+        assert_eq!(
+            QueryError::ExecutionPanicked.to_string(),
+            "internal error: query execution panicked"
+        );
+        // ... and they delegate to the traversal layer, so the two layers
+        // cannot drift apart.
+        assert_eq!(
+            QueryError::DeadlineExceeded.to_string(),
+            BudgetExhausted::Deadline.to_string()
+        );
+        assert_eq!(
+            QueryError::BudgetExceeded.to_string(),
+            BudgetExhausted::Work.to_string()
+        );
     }
 
     #[test]

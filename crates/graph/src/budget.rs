@@ -1,0 +1,221 @@
+//! Cooperative per-query budgets: wall-clock deadlines and work ceilings.
+//!
+//! EVE's worst-case work is super-linear in the search space, so a serving
+//! path needs queries that can be *cancelled mid-flight*. [`QueryBudget`] is
+//! the cancellation token the whole stack threads through its phase loops:
+//! a wall-clock deadline, a work-unit ceiling, or both, polled **at
+//! boundaries only** (BFS levels, propagation levels, labeling rows, DFS
+//! step chunks) via [`QueryBudget::charge`]. There are no atomics and no
+//! per-edge checks: the token is a plain [`Cell`]-based accumulator owned by
+//! one query on one thread, and an unlimited budget reduces every poll to a
+//! single predictable branch.
+//!
+//! Work units are the engine's own deterministic counters (edge scans, rows
+//! expanded, DFS steps), so a work-limited query is killed at the *same*
+//! boundary on every run — [`BudgetExhausted::Work`] is bit-reproducible.
+//! Deadlines are wall-clock and therefore inherently racy; what is
+//! deterministic is the *granularity*: a query is never more than one
+//! boundary (one BFS level, one row, one DFS chunk) past its deadline when
+//! it observes [`BudgetExhausted::Deadline`].
+
+use std::cell::Cell;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Why a budget-limited query was cut off.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BudgetExhausted {
+    /// The wall-clock deadline passed.
+    Deadline,
+    /// The work-unit ceiling was reached (deterministic).
+    Work,
+}
+
+impl fmt::Display for BudgetExhausted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BudgetExhausted::Deadline => write!(f, "query deadline exceeded"),
+            BudgetExhausted::Work => write!(f, "query work budget exceeded"),
+        }
+    }
+}
+
+/// A per-query cancellation token (see the module docs).
+///
+/// Cheap to construct per query; deliberately **not** `Sync` (the `Cell`
+/// accumulator) — a budget belongs to one query on one thread. Cross-thread
+/// executors ship the raw `Option<Instant>` deadline per slot and build the
+/// token worker-side.
+#[derive(Debug, Clone, Default)]
+pub struct QueryBudget {
+    deadline: Option<Instant>,
+    /// `None` = unlimited.
+    work_limit: Option<u64>,
+    charged: Cell<u64>,
+}
+
+impl QueryBudget {
+    /// A budget that never trips — every poll is one branch.
+    pub fn unlimited() -> Self {
+        QueryBudget::default()
+    }
+
+    /// A budget tripping once `deadline` passes.
+    pub fn with_deadline(deadline: Instant) -> Self {
+        QueryBudget {
+            deadline: Some(deadline),
+            ..QueryBudget::default()
+        }
+    }
+
+    /// A budget tripping `timeout` from now.
+    pub fn with_timeout(timeout: Duration) -> Self {
+        QueryBudget::with_deadline(Instant::now() + timeout)
+    }
+
+    /// A budget tripping after `limit` work units (deterministic).
+    pub fn with_work_limit(limit: u64) -> Self {
+        QueryBudget {
+            work_limit: Some(limit),
+            ..QueryBudget::default()
+        }
+    }
+
+    /// Adds a wall-clock deadline to this budget (the tighter of the two if
+    /// one is already set).
+    pub fn and_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(match self.deadline {
+            Some(d) => d.min(deadline),
+            None => deadline,
+        });
+        self
+    }
+
+    /// Adds a work-unit ceiling to this budget (the tighter of the two if
+    /// one is already set).
+    pub fn and_work_limit(mut self, limit: u64) -> Self {
+        self.work_limit = Some(match self.work_limit {
+            Some(l) => l.min(limit),
+            None => limit,
+        });
+        self
+    }
+
+    /// `true` when no deadline and no work limit is set.
+    #[inline]
+    pub fn is_unlimited(&self) -> bool {
+        self.deadline.is_none() && self.work_limit.is_none()
+    }
+
+    /// The wall-clock deadline, if any.
+    #[inline]
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// Work units charged so far.
+    #[inline]
+    pub fn charged(&self) -> u64 {
+        self.charged.get()
+    }
+
+    /// The boundary poll: accounts `units` of work done since the last poll
+    /// and trips if the accumulated work exceeds the ceiling or the deadline
+    /// has passed. On an unlimited budget this is a single branch; the clock
+    /// is only read when a deadline is set.
+    #[inline]
+    pub fn charge(&self, units: u64) -> Result<(), BudgetExhausted> {
+        if self.is_unlimited() {
+            return Ok(());
+        }
+        self.charge_limited(units)
+    }
+
+    /// [`QueryBudget::charge`] with no work attached — a pure "should I keep
+    /// going?" poll.
+    #[inline]
+    pub fn check(&self) -> Result<(), BudgetExhausted> {
+        self.charge(0)
+    }
+
+    #[cold]
+    fn charge_limited(&self, units: u64) -> Result<(), BudgetExhausted> {
+        let total = self.charged.get().saturating_add(units);
+        self.charged.set(total);
+        if let Some(limit) = self.work_limit {
+            if total > limit {
+                return Err(BudgetExhausted::Work);
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Err(BudgetExhausted::Deadline);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_trips() {
+        let b = QueryBudget::unlimited();
+        assert!(b.is_unlimited());
+        for _ in 0..1000 {
+            assert!(b.charge(u64::MAX).is_ok());
+        }
+        assert_eq!(b.charged(), 0, "unlimited budgets do not even account");
+    }
+
+    #[test]
+    fn work_limit_trips_deterministically() {
+        let b = QueryBudget::with_work_limit(10);
+        assert!(!b.is_unlimited());
+        assert!(b.charge(4).is_ok());
+        assert!(b.charge(6).is_ok(), "exactly at the limit is still fine");
+        assert_eq!(b.charge(1), Err(BudgetExhausted::Work));
+        assert_eq!(b.charged(), 11);
+        // Saturating accumulation cannot wrap back under the limit.
+        assert_eq!(b.charge(u64::MAX), Err(BudgetExhausted::Work));
+    }
+
+    #[test]
+    fn deadline_trips_once_passed() {
+        let past = Instant::now() - Duration::from_millis(1);
+        let b = QueryBudget::with_deadline(past);
+        assert_eq!(b.check(), Err(BudgetExhausted::Deadline));
+        let future = Instant::now() + Duration::from_secs(3600);
+        let b = QueryBudget::with_deadline(future);
+        assert!(b.check().is_ok());
+        assert_eq!(b.deadline(), Some(future));
+    }
+
+    #[test]
+    fn combinators_keep_the_tighter_bound() {
+        let near = Instant::now() + Duration::from_secs(1);
+        let far = near + Duration::from_secs(100);
+        let b = QueryBudget::with_deadline(far).and_deadline(near);
+        assert_eq!(b.deadline(), Some(near));
+        let b = QueryBudget::with_work_limit(100).and_work_limit(5);
+        assert_eq!(b.charge(6), Err(BudgetExhausted::Work));
+        let b = QueryBudget::unlimited().and_work_limit(3).and_deadline(far);
+        assert!(!b.is_unlimited());
+        assert!(b.charge(3).is_ok());
+        assert_eq!(b.charge(1), Err(BudgetExhausted::Work));
+    }
+
+    #[test]
+    fn display_strings_are_stable() {
+        assert_eq!(
+            BudgetExhausted::Deadline.to_string(),
+            "query deadline exceeded"
+        );
+        assert_eq!(
+            BudgetExhausted::Work.to_string(),
+            "query work budget exceeded"
+        );
+    }
+}

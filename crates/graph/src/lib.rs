@@ -20,12 +20,16 @@
 //! * [`versioned`] — [`VersionedGraph`], a handle stamping every graph
 //!   snapshot with a process-unique monotone [`GraphVersion`] so memoising
 //!   layers (the `spg_core` result cache) can never serve stale answers.
+//! * [`budget`] — [`QueryBudget`], the cooperative cancellation token
+//!   (wall-clock deadline + work ceiling) the traversal engines poll at
+//!   level boundaries.
 //!
 //! The crate is `#![forbid(unsafe_code)]`; all hot paths rely on index-based
 //! CSR traversal rather than pointer tricks.
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod budget;
 pub mod builder;
 pub mod csr;
 pub mod generators;
@@ -36,6 +40,7 @@ pub mod subgraph;
 pub mod traversal;
 pub mod versioned;
 
+pub use budget::{BudgetExhausted, QueryBudget};
 pub use builder::GraphBuilder;
 pub use csr::{DiGraph, Direction, EdgeId, VertexId};
 pub use properties::DegreeStats;

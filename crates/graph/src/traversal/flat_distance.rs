@@ -16,6 +16,7 @@
 //! because a side's restricted expansion only consults the *other* side's
 //! entries, which that side's own expansion never mutates mid-run.
 
+use crate::budget::{BudgetExhausted, QueryBudget};
 use crate::csr::{DiGraph, Direction, VertexId};
 use crate::traversal::{DistanceStrategy, SearchSpaceStats};
 use crate::INF_DIST;
@@ -104,6 +105,28 @@ impl FlatDistances {
         k: u32,
         strategy: DistanceStrategy,
     ) {
+        self.compute_budgeted(g, s, t, k, strategy, &QueryBudget::unlimited())
+            .expect("an unlimited budget never trips");
+    }
+
+    /// [`FlatDistances::compute`] under a cooperative [`QueryBudget`]:
+    /// the budget is charged one unit per edge scanned at every BFS **level
+    /// boundary**, so an exhausted budget stops the search within one level
+    /// of the ceiling. On `Err` the instance holds no valid entries for the
+    /// query (the epoch is spent); the next `compute`/`begin_load` starts
+    /// clean — an aborted run can never leak into a later one.
+    ///
+    /// # Panics
+    /// Panics if `s == t` (mirrors [`FlatDistances::compute`]).
+    pub fn compute_budgeted(
+        &mut self,
+        g: &DiGraph,
+        s: VertexId,
+        t: VertexId,
+        k: u32,
+        strategy: DistanceStrategy,
+        budget: &QueryBudget,
+    ) -> Result<(), BudgetExhausted> {
         assert!(
             s != t,
             "queries require distinct source and target vertices"
@@ -118,16 +141,16 @@ impl FlatDistances {
 
         match strategy {
             DistanceStrategy::Single => {
-                self.run_side(g, Direction::Forward, k, false);
-                self.run_side(g, Direction::Backward, k, false);
+                self.run_side(g, Direction::Forward, k, false, budget)?;
+                self.run_side(g, Direction::Backward, k, false, budget)?;
             }
             DistanceStrategy::Bidirectional => {
                 let kf = k.div_ceil(2);
                 let kb = k / 2;
-                self.run_side(g, Direction::Forward, kf, false);
-                self.run_side(g, Direction::Backward, kb, false);
-                self.run_side(g, Direction::Forward, k - kf, true);
-                self.run_side(g, Direction::Backward, k - kb, true);
+                self.run_side(g, Direction::Forward, kf, false, budget)?;
+                self.run_side(g, Direction::Backward, kb, false, budget)?;
+                self.run_side(g, Direction::Forward, k - kf, true, budget)?;
+                self.run_side(g, Direction::Backward, k - kb, true, budget)?;
             }
             DistanceStrategy::AdaptiveBidirectional => {
                 while self.fwd.depth + self.bwd.depth < k
@@ -140,17 +163,29 @@ impl FlatDistances {
                     } else {
                         self.fwd.frontier.len() <= self.bwd.frontier.len()
                     };
-                    if advance_forward {
-                        self.step(g, Direction::Forward, false);
+                    let dir = if advance_forward {
+                        Direction::Forward
                     } else {
-                        self.step(g, Direction::Backward, false);
-                    }
+                        Direction::Backward
+                    };
+                    let before = self.scans(dir);
+                    self.step(g, dir, false);
+                    budget.charge((self.scans(dir) - before) as u64)?;
                 }
                 let fd = self.fwd.depth;
                 let bd = self.bwd.depth;
-                self.run_side(g, Direction::Forward, k - fd, true);
-                self.run_side(g, Direction::Backward, k - bd, true);
+                self.run_side(g, Direction::Forward, k - fd, true, budget)?;
+                self.run_side(g, Direction::Backward, k - bd, true, budget)?;
             }
+        }
+        Ok(())
+    }
+
+    #[inline]
+    fn scans(&self, dir: Direction) -> usize {
+        match dir {
+            Direction::Forward => self.fwd.edge_scans,
+            Direction::Backward => self.bwd.edge_scans,
         }
     }
 
@@ -213,13 +248,25 @@ impl FlatDistances {
         self.bwd.seen.push(v);
     }
 
-    /// Expands `steps` levels of one side (or until its frontier empties).
-    fn run_side(&mut self, g: &DiGraph, dir: Direction, steps: u32, restricted: bool) {
+    /// Expands `steps` levels of one side (or until its frontier empties),
+    /// charging the budget each level with the edges that level scanned.
+    fn run_side(
+        &mut self,
+        g: &DiGraph,
+        dir: Direction,
+        steps: u32,
+        restricted: bool,
+        budget: &QueryBudget,
+    ) -> Result<(), BudgetExhausted> {
         for _ in 0..steps {
-            if !self.step(g, dir, restricted) {
+            let before = self.scans(dir);
+            let advanced = self.step(g, dir, restricted);
+            budget.charge((self.scans(dir) - before) as u64)?;
+            if !advanced {
                 break;
             }
         }
+        Ok(())
     }
 
     /// Expands one BFS level of one side. When `restricted`, only vertices
@@ -480,5 +527,52 @@ mod tests {
     fn same_source_and_target_panics() {
         let g = figure1();
         FlatDistances::new().compute(&g, 2, 2, 3, DistanceStrategy::Single);
+    }
+
+    #[test]
+    fn budget_abort_is_reuse_safe() {
+        let g = figure1();
+        let mut flat = FlatDistances::new();
+        for strategy in DistanceStrategy::ALL {
+            // Kill the search at every possible work ceiling, then prove a
+            // full re-run on the same instance matches a fresh one exactly.
+            for limit in 0..16u64 {
+                let killed = flat.compute_budgeted(
+                    &g,
+                    0,
+                    3,
+                    7,
+                    strategy,
+                    &QueryBudget::with_work_limit(limit),
+                );
+                if killed.is_ok() {
+                    break;
+                }
+                assert_eq!(killed, Err(BudgetExhausted::Work));
+                flat.compute(&g, 0, 3, 7, strategy);
+                let mut fresh = FlatDistances::new();
+                fresh.compute(&g, 0, 3, 7, strategy);
+                for v in g.vertices() {
+                    assert_eq!(
+                        flat.dist_from_s(v),
+                        fresh.dist_from_s(v),
+                        "{} limit={limit} v={v}",
+                        strategy.name()
+                    );
+                    assert_eq!(flat.dist_to_t(v), fresh.dist_to_t(v));
+                }
+            }
+        }
+        // An already-expired deadline trips on the first level boundary.
+        let expired = std::time::Instant::now() - std::time::Duration::from_millis(1);
+        let err = flat.compute_budgeted(
+            &g,
+            0,
+            3,
+            7,
+            DistanceStrategy::Single,
+            &QueryBudget::with_deadline(expired),
+        );
+        assert_eq!(err, Err(BudgetExhausted::Deadline));
     }
 }

@@ -52,6 +52,7 @@
 //! [`DIRECTION_SWITCH_DENOMINATOR`] of all edges. [`MsBfsStats`] counts both
 //! kinds of edge scan separately so the switching stays observable.
 
+use crate::budget::{BudgetExhausted, QueryBudget};
 use crate::csr::{DiGraph, Direction, VertexId};
 use crate::traversal::SearchSpaceStats;
 
@@ -441,6 +442,26 @@ impl MsBfsEngine {
     /// Panics if `lanes` is empty or longer than [`MAX_LANES`], or if any
     /// lane has `source == target` or an endpoint outside the graph.
     pub fn run(&mut self, g: &DiGraph, lanes: &[MsBfsLane]) {
+        self.run_budgeted(g, lanes, &QueryBudget::unlimited())
+            .expect("an unlimited budget never trips");
+    }
+
+    /// [`MsBfsEngine::run`] under a cooperative [`QueryBudget`], charged one
+    /// unit per edge scanned and polled at every level boundary of every
+    /// phase. On `Err` the traversal stops within one level of the ceiling,
+    /// the partial results are discarded (reading them panics, exactly like
+    /// an engine that never ran), and — crucially for workspace reuse — the
+    /// graph-sized bit arrays are restored to all-zero, so the engine is
+    /// immediately reusable for the next run.
+    ///
+    /// # Panics
+    /// As [`MsBfsEngine::run`].
+    pub fn run_budgeted(
+        &mut self,
+        g: &DiGraph,
+        lanes: &[MsBfsLane],
+        budget: &QueryBudget,
+    ) -> Result<(), BudgetExhausted> {
         assert!(
             !lanes.is_empty() && lanes.len() <= MAX_LANES,
             "MS-BFS cohorts hold 1..={MAX_LANES} lanes, got {}",
@@ -466,58 +487,100 @@ impl MsBfsEngine {
             self.halves_fwd.push(lane.half_fwd());
             self.halves_bwd.push(lane.half_bwd());
         }
+        // Record the seed level of both sides up front: every set bit is
+        // then always covered by a record, which is what lets an abort at
+        // any level boundary restore the all-zero invariant via `cleanup`.
+        self.fwd.record_free_level();
+        self.bwd.record_free_level();
 
         let mode = self.mode;
         // Free phases: each side expands to its per-lane half-depth.
-        Self::free_phase(&mut self.fwd, g, Direction::Forward, &self.halves_fwd, mode);
-        Self::free_phase(
-            &mut self.bwd,
+        let mut outcome = Self::free_phase(
+            &mut self.fwd,
             g,
-            Direction::Backward,
-            &self.halves_bwd,
+            Direction::Forward,
+            &self.halves_fwd,
             mode,
+            budget,
         );
+        if outcome.is_ok() {
+            outcome = Self::free_phase(
+                &mut self.bwd,
+                g,
+                Direction::Backward,
+                &self.halves_bwd,
+                mode,
+                budget,
+            );
+        }
         // Restricted phases: resume the paused frontiers; lane i's budget is
         // depth_i − half_i further levels, each discovery gated on the other
         // side's seen set. The backward pass runs after (and therefore
         // sees) the forward restricted discoveries, mirroring the
         // sequential engine.
-        Self::restricted_phase(
-            &mut self.fwd,
-            g,
-            Direction::Forward,
-            lanes,
-            &self.halves_fwd,
-            &self.bwd.seen,
-            mode,
-        );
-        Self::restricted_phase(
-            &mut self.bwd,
-            g,
-            Direction::Backward,
-            lanes,
-            &self.halves_bwd,
-            &self.fwd.seen,
-            mode,
-        );
+        if outcome.is_ok() {
+            outcome = Self::restricted_phase(
+                &mut self.fwd,
+                g,
+                Direction::Forward,
+                lanes,
+                &self.halves_fwd,
+                &self.bwd.seen,
+                mode,
+                budget,
+            );
+        }
+        if outcome.is_ok() {
+            outcome = Self::restricted_phase(
+                &mut self.bwd,
+                g,
+                Direction::Backward,
+                lanes,
+                &self.halves_bwd,
+                &self.fwd.seen,
+                mode,
+                budget,
+            );
+        }
 
         self.fwd.cleanup(lanes, |lane| lane.target);
         self.bwd.cleanup(lanes, |lane| lane.source);
+        if outcome.is_err() {
+            // Partial distances must never be readable: drop the records and
+            // present as an engine that has not run.
+            self.fwd.records_free.clear();
+            self.fwd.offsets_free.clear();
+            self.fwd.records_restricted.clear();
+            self.fwd.offsets_restricted.clear();
+            self.bwd.records_free.clear();
+            self.bwd.offsets_free.clear();
+            self.bwd.records_restricted.clear();
+            self.bwd.offsets_restricted.clear();
+            self.lane_count = 0;
+        }
+        outcome
     }
 
     /// Free phase of one side: level-synchronous expansion where lane `i`
     /// participates while the next level stays within `halves[i]`, parking
-    /// its frontier in the paused set once its half-budget is spent.
+    /// its frontier in the paused set once its half-budget is spent. The
+    /// seed level is recorded by the caller (see `run_budgeted`); the budget
+    /// is polled only at level boundaries, where every set bit is covered
+    /// by a record and an abort can restore the all-zero invariant.
     fn free_phase(
         side: &mut Side,
         g: &DiGraph,
         dir: Direction,
         halves: &[u32],
         mode: FrontierMode,
-    ) {
+        budget: &QueryBudget,
+    ) -> Result<(), BudgetExhausted> {
         let mut depth = 0u32;
-        side.record_free_level();
+        let mut charged = 0usize;
         loop {
+            let scans = side.stats.total_edge_scans();
+            budget.charge((scans - charged) as u64)?;
+            charged = scans;
             let pause_mask = lane_mask(halves, |&h| h == depth);
             side.pause(pause_mask);
             if side.frontier.is_empty() {
@@ -535,6 +598,8 @@ impl MsBfsEngine {
             side.record_free_level();
             depth += 1;
         }
+        budget.charge((side.stats.total_edge_scans() - charged) as u64)?;
+        Ok(())
     }
 
     /// Restricted phase of one side: resume from the paused frontiers and
@@ -549,10 +614,15 @@ impl MsBfsEngine {
         halves: &[u32],
         other_seen: &[u64],
         mode: FrontierMode,
-    ) {
+        budget: &QueryBudget,
+    ) -> Result<(), BudgetExhausted> {
         side.resume_from_paused();
         let mut c = 0u32;
+        let mut charged = side.stats.total_edge_scans();
         loop {
+            let scans = side.stats.total_edge_scans();
+            budget.charge((scans - charged) as u64)?;
+            charged = scans;
             if side.frontier.is_empty() {
                 break;
             }
@@ -578,6 +648,8 @@ impl MsBfsEngine {
             side.offsets_restricted.push(side.records_restricted.len());
             c += 1;
         }
+        budget.charge((side.stats.total_edge_scans() - charged) as u64)?;
+        Ok(())
     }
 
     /// Number of lanes of the last run.
@@ -922,6 +994,46 @@ mod tests {
             );
         }
         assert!(engine.retained_bytes() >= big_retained.min(1));
+    }
+
+    /// A budget abort at any level boundary must restore the all-zero bit
+    /// invariant (the `begin` debug_assert would fire otherwise) and leave
+    /// the engine bit-identical to a fresh one on the next run.
+    #[test]
+    fn budget_abort_restores_invariants_and_reuse() {
+        let g = crate::generators::gnm_random(60, 600, 42);
+        let lanes: Vec<MsBfsLane> = (0..16)
+            .map(|i| MsBfsLane {
+                source: i as VertexId,
+                target: (i + 7) as VertexId % 60,
+                depth: 1 + (i % 6) as u32,
+            })
+            .collect();
+        let mut engine = MsBfsEngine::new();
+        let mut aborted = 0;
+        for limit in (0..2000u64).step_by(37) {
+            let outcome = engine.run_budgeted(&g, &lanes, &QueryBudget::with_work_limit(limit));
+            if outcome.is_err() {
+                assert_eq!(outcome, Err(BudgetExhausted::Work));
+                assert_eq!(engine.lane_count(), 0, "partial results are discarded");
+                aborted += 1;
+            }
+            // Whether aborted or not, the next full run must match a fresh
+            // engine exactly.
+            engine.run(&g, &lanes);
+            let mut fresh = MsBfsEngine::new();
+            fresh.run(&g, &lanes);
+            for lane in 0..lanes.len() {
+                for dir in [Direction::Forward, Direction::Backward] {
+                    assert_eq!(
+                        lane_distances(&engine, dir, lane, 60),
+                        lane_distances(&fresh, dir, lane, 60),
+                        "limit={limit} lane={lane} {dir:?}"
+                    );
+                }
+            }
+        }
+        assert!(aborted > 0, "some ceilings must actually trip");
     }
 
     #[test]

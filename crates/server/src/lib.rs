@@ -40,6 +40,6 @@ pub mod protocol;
 pub mod server;
 
 pub use admission::{BatchQueue, RateLimiter};
-pub use client::{Reply, SpgClient};
+pub use client::{Reply, RetryPolicy, SpgClient};
 pub use protocol::{BadRequest, FrameError, Request};
-pub use server::{ServerConfig, ServerHandle, SpgServer};
+pub use server::{ServeError, ServerConfig, ServerHandle, SpgServer, MAX_BATCHER_RESTARTS};

@@ -150,6 +150,13 @@ fn main() -> ExitCode {
         cli.config.queue_capacity,
         cli.config.cache_bytes,
     );
+    #[cfg(feature = "failpoints")]
+    {
+        let armed = spg_core::failpoints::init_from_env();
+        if armed > 0 {
+            eprintln!("spg-server: {armed} failpoint(s) armed from SPG_FAILPOINTS");
+        }
+    }
     let server = match SpgServer::bind(cli.graph, &cli.listen, cli.config) {
         Ok(server) => server,
         Err(e) => {
@@ -162,7 +169,14 @@ fn main() -> ExitCode {
     use std::io::Write;
     let _ = std::io::stdout().flush();
     eprintln!("spg-server: serving on {}", server.local_addr());
-    server.run();
-    eprintln!("spg-server: shut down");
-    ExitCode::SUCCESS
+    match server.run() {
+        Ok(()) => {
+            eprintln!("spg-server: shut down");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("spg-server: fatal: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }

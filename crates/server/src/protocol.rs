@@ -12,6 +12,7 @@
 //! ```json
 //! {"id": 1, "op": "query", "s": 0, "t": 5, "k": 4}
 //! {"id": 2, "op": "query", "s": 0, "t": 5, "k": 4, "tenant": "fraud-team"}
+//! {"id": 5, "op": "query", "s": 0, "t": 5, "k": 4, "deadline_ms": 250}
 //! {"id": 3, "op": "ping"}
 //! {"id": 4, "op": "stats"}
 //! ```
@@ -20,28 +21,37 @@
 //! the response; `s`/`t` are vertex ids, `k` the hop bound (the full `u32`
 //! range is accepted — clamping happens in the engine exactly as in the
 //! library API). `tenant` selects the token bucket charged for admission
-//! (default: the anonymous tenant).
+//! (default: the anonymous tenant). `deadline_ms` is an optional per-request
+//! wall-clock budget, measured from the moment the server parses the
+//! request: a request whose deadline passes while it waits in the admission
+//! queue is **shed** with a `status: expired` response instead of being
+//! computed, and one that expires mid-computation reports the engine's
+//! [`spg_core::QueryError::DeadlineExceeded`].
 //!
 //! ## Responses
 //!
 //! ```json
 //! {"id": 1, "status": "ok", "source": "miss", "k": 4, "edges": [[0,3],[3,5]]}
-//! {"id": 1, "status": "error", "error": "source and target must differ ..."}
+//! {"id": 1, "status": "error", "error": "source and target must be distinct (both are 5)"}
 //! {"id": 2, "status": "overloaded", "error": "admission queue is full"}
+//! {"id": 5, "status": "expired", "error": "deadline expired before execution"}
 //! {"id": 3, "status": "ok", "pong": true}
 //! ```
 //!
 //! `source` is `"hit"`, `"miss"` or `"coalesced"` — how the cache/
 //! singleflight layer served the slot. `edges` is the answer's edge list in
 //! the engine's deterministic order, so a client can compare responses
-//! bit-for-bit against [`spg_core::Eve::query`]; `error` strings are the
-//! exact [`spg_core::QueryError`] display strings for the same reason.
-//! Frames that cannot be attributed to a request (unparseable id) are
-//! answered with `"id": null`.
+//! bit-for-bit against [`spg_core::Eve::query`]. `error` strings on
+//! `status: error` responses are the exact [`spg_core::QueryError`] display
+//! strings for the same reason: [`query_error_response`] is the **only**
+//! path from an engine error to the wire, and it formats the variant via
+//! that one canonical `Display` implementation — the server never writes a
+//! free-form copy of an engine error string. Frames that cannot be
+//! attributed to a request (unparseable id) are answered with `"id": null`.
 
 use std::io::{self, Read, Write};
 
-use spg_core::{CacheOutcome, Query};
+use spg_core::{CacheOutcome, Query, QueryError};
 
 use crate::json::{self, Json};
 
@@ -125,6 +135,9 @@ pub enum Request {
         query: Query,
         /// Token bucket to charge (`None` = the anonymous tenant).
         tenant: Option<String>,
+        /// Wall-clock budget in milliseconds, measured from parse time
+        /// (`None` = unbounded).
+        deadline_ms: Option<u64>,
     },
     /// Liveness probe; answered inline by the connection thread.
     Ping {
@@ -219,10 +232,15 @@ pub fn parse_request(payload: &[u8]) -> Result<Request, BadRequest> {
                     return Err(BadRequest::new(Some(id), "field 'tenant' must be a string"))
                 }
             };
+            let deadline_ms = match doc.get("deadline_ms") {
+                None | Some(Json::Null) => None,
+                Some(_) => Some(u64_field(&doc, Some(id), "deadline_ms")?),
+            };
             Ok(Request::Query {
                 id,
                 query: Query::new(s, t, k),
                 tenant,
+                deadline_ms,
             })
         }
         other => Err(BadRequest::new(
@@ -264,12 +282,37 @@ pub fn ok_response(id: u64, source: CacheOutcome, clamped_k: u32, edges: &[(u32,
     ]))
 }
 
-/// Builds a `status: error` response (invalid query, malformed frame, …).
+/// Builds a `status: error` response (malformed frame, protocol violation,
+/// …). Engine errors must go through [`query_error_response`] instead so
+/// their wire strings stay bit-identical to the library's.
 pub fn error_response(id: Option<u64>, message: &str) -> String {
     json::to_string(&Json::Object(vec![
         ("id".into(), id_json(id)),
         ("status".into(), Json::Str("error".into())),
         ("error".into(), Json::Str(message.into())),
+    ]))
+}
+
+/// Builds the `status: error` response for an engine [`QueryError`]. This
+/// is the single path from an engine error to the wire: the `error` string
+/// is exactly `err`'s canonical `Display` rendering — the same string a
+/// local [`spg_core::Eve::query`] caller would format — so clients can
+/// compare failures bit-for-bit too.
+pub fn query_error_response(id: u64, err: &QueryError) -> String {
+    error_response(Some(id), &err.to_string())
+}
+
+/// Builds the `status: expired` response for a request shed because its
+/// deadline passed while it waited in the admission queue (it never reached
+/// the engine; retrying with a larger `deadline_ms` may succeed).
+pub fn expired_response(id: u64) -> String {
+    json::to_string(&Json::Object(vec![
+        ("id".into(), Json::Uint(id)),
+        ("status".into(), Json::Str("expired".into())),
+        (
+            "error".into(),
+            Json::Str("deadline expired before execution".into()),
+        ),
     ]))
 }
 
@@ -350,7 +393,8 @@ mod tests {
             Request::Query {
                 id: 1,
                 query: Query::new(0, 5, 4),
-                tenant: None
+                tenant: None,
+                deadline_ms: None
             }
         );
         let q = parse_request(
@@ -362,7 +406,21 @@ mod tests {
             Request::Query {
                 id: 2,
                 query: Query::new(1, 2, u32::MAX),
-                tenant: Some("team".into())
+                tenant: Some("team".into()),
+                deadline_ms: None
+            }
+        );
+        let q = parse_request(
+            br#"{"id": 5, "op": "query", "s": 0, "t": 5, "k": 4, "deadline_ms": 250}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            q,
+            Request::Query {
+                id: 5,
+                query: Query::new(0, 5, 4),
+                tenant: None,
+                deadline_ms: Some(250)
             }
         );
         assert_eq!(
@@ -407,6 +465,8 @@ mod tests {
             br#"{"id": 1, "op": "query"}"#,
             br#"{"id": 1, "op": "query", "s": "a", "t": 1, "k": 1}"#,
             br#"{"id": 1, "op": "query", "s": 0, "t": 1, "k": 1, "tenant": 7}"#,
+            br#"{"id": 1, "op": "query", "s": 0, "t": 1, "k": 1, "deadline_ms": -5}"#,
+            br#"{"id": 1, "op": "query", "s": 0, "t": 1, "k": 1, "deadline_ms": "soon"}"#,
         ] {
             assert!(parse_request(bad).is_err(), "{:?} must not parse", bad);
         }
@@ -432,5 +492,45 @@ mod tests {
         assert_eq!(pong_response(2), r#"{"id":2,"status":"ok","pong":true}"#);
         assert_eq!(source_str(CacheOutcome::Hit), "hit");
         assert_eq!(source_str(CacheOutcome::Miss), "miss");
+        assert_eq!(
+            expired_response(3),
+            r#"{"id":3,"status":"expired","error":"deadline expired before execution"}"#
+        );
+    }
+
+    /// The wire contract: `status: error` responses to engine failures carry
+    /// the exact `QueryError` display string, for every variant, through the
+    /// one canonical builder.
+    #[test]
+    fn engine_errors_format_through_the_canonical_display_path() {
+        for (err, wire) in [
+            (
+                QueryError::SourceEqualsTarget(5),
+                r#"{"id":1,"status":"error","error":"source and target must be distinct (both are 5)"}"#,
+            ),
+            (
+                QueryError::ZeroHopConstraint,
+                r#"{"id":1,"status":"error","error":"hop constraint k must be at least 1"}"#,
+            ),
+            (
+                QueryError::DeadlineExceeded,
+                r#"{"id":1,"status":"error","error":"query deadline exceeded"}"#,
+            ),
+            (
+                QueryError::BudgetExceeded,
+                r#"{"id":1,"status":"error","error":"query work budget exceeded"}"#,
+            ),
+            (
+                QueryError::ExecutionPanicked,
+                r#"{"id":1,"status":"error","error":"internal error: query execution panicked"}"#,
+            ),
+        ] {
+            assert_eq!(query_error_response(1, &err), wire);
+            // And it is literally the Display string, not a lookalike.
+            assert_eq!(
+                query_error_response(1, &err),
+                error_response(Some(1), &err.to_string())
+            );
+        }
     }
 }

@@ -26,12 +26,28 @@
 //! explicit `overloaded` response when its tenant's token bucket is dry or
 //! the batch queue is full; the connection stays usable either way.
 //!
+//! ## Deadlines
+//!
+//! A query request may carry `deadline_ms`; the deadline clock starts when
+//! the frame is parsed. A request whose deadline has already passed when
+//! the batcher claims its batch is *shed* — answered with an explicit
+//! `expired` response and never executed (counted as `shed_expired` in
+//! `stats`). Live deadlines ride into the engine as per-slot
+//! [`spg_core::QueryError::DeadlineExceeded`] budgets.
+//!
 //! ## Crash containment
 //!
-//! The batcher wraps each drain in `catch_unwind`: a panicking batch
-//! answers `internal error` to its own requests and the server keeps
-//! serving. Flight tokens abandon on unwind (their `Drop` wakes joiners to
-//! recompute), so a crashed drain can never wedge another batch.
+//! Containment is layered. The executor isolates a panicking query to its
+//! own slot (`internal error: query execution panicked`, counted as
+//! `panics_isolated`). The batcher wraps each drain in `catch_unwind`: a
+//! panicking batch answers `internal error` to its own requests and the
+//! server keeps serving. Flight tokens abandon or broadcast failure on
+//! unwind (their `Drop` wakes joiners to recompute), so a crashed drain can
+//! never wedge another batch. Finally, [`SpgServer::run`] supervises the
+//! batcher thread itself: if it ever dies, the supervisor respawns it a
+//! bounded number of times and then fails fast with [`ServeError`] — a dead
+//! engine that silently keeps accepting connections is exactly the bug this
+//! guards against.
 
 use std::io::Read;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -39,15 +55,16 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, Weak};
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use spg_core::{BatchExecutor, CachedEve, FlightGroup, Query, SpgCache};
+use spg_core::{BatchExecutor, CachedEve, FlightGroup, Query, QueryError, SpgCache};
 use spg_graph::{DiGraph, VersionedGraph};
 
 use crate::admission::{BatchQueue, RateLimiter};
 use crate::json::{self, Json};
 use crate::protocol::{
-    self, error_response, ok_response, overloaded_response, pong_response, FrameError, Request,
+    self, error_response, expired_response, ok_response, overloaded_response, pong_response,
+    query_error_response, FrameError, Request,
 };
 
 /// Tuning knobs of one [`SpgServer`] (see the crate docs for the protocol
@@ -110,12 +127,23 @@ struct ServerCounters {
     batches: AtomicU64,
     /// Largest micro-batch drained.
     max_batch: AtomicU64,
+    /// Queries shed with `status: expired` (deadline burned in the queue).
+    shed_expired: AtomicU64,
+    /// Query errors that were deadline expiries inside the engine.
+    deadline_exceeded: AtomicU64,
+    /// Query panics the executor contained to their own slot.
+    panics_isolated: AtomicU64,
+    /// Times the supervisor respawned a dead batcher thread.
+    batcher_restarts: AtomicU64,
 }
 
 /// One admitted query waiting for its micro-batch.
 struct PendingQuery {
     id: u64,
     query: Query,
+    /// Absolute wall-clock deadline, from the request's `deadline_ms`
+    /// (measured from parse time; `None` = unlimited).
+    deadline: Option<Instant>,
     conn: Arc<Connection>,
 }
 
@@ -154,6 +182,9 @@ struct ServerState {
     shutdown: AtomicBool,
     /// Live connections, so shutdown can unblock their readers.
     connections: Mutex<Vec<Weak<Connection>>>,
+    /// Chaos hook flag (see [`ServerHandle::chaos_kill_batcher`]).
+    #[cfg(feature = "failpoints")]
+    chaos_kill_batcher: AtomicBool,
 }
 
 /// Remote control for a running [`SpgServer`] (cloneable, thread-safe).
@@ -173,7 +204,40 @@ impl ServerHandle {
             conn.hang_up();
         }
     }
+
+    /// Chaos hook (failpoints builds only): makes the batcher thread panic
+    /// just before it claims its next batch, exercising the supervisor's
+    /// respawn path without losing any admitted query. The batcher only
+    /// observes the flag when it wakes, so pair this with a query.
+    #[cfg(feature = "failpoints")]
+    pub fn chaos_kill_batcher(&self) {
+        self.state.chaos_kill_batcher.store(true, Ordering::SeqCst);
+    }
 }
+
+/// Why [`SpgServer::run`] stopped serving instead of shutting down cleanly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeError {
+    /// The batcher thread died more times than the supervisor tolerates;
+    /// the server refused to keep accepting connections it could never
+    /// answer and stopped instead.
+    BatcherFailed {
+        /// How many times the batcher was observed dead in total.
+        deaths: u32,
+    },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::BatcherFailed { deaths } => {
+                write!(f, "batcher thread died {deaths} times; giving up")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
 
 /// A bound serving engine: call [`SpgServer::run`] to serve until
 /// [`ServerHandle::shutdown`].
@@ -208,6 +272,8 @@ impl SpgServer {
             counters: ServerCounters::default(),
             shutdown: AtomicBool::new(false),
             connections: Mutex::new(Vec::new()),
+            #[cfg(feature = "failpoints")]
+            chaos_kill_batcher: AtomicBool::new(false),
         });
         Ok(SpgServer {
             listener,
@@ -231,16 +297,42 @@ impl SpgServer {
     /// Serves until [`ServerHandle::shutdown`]: spawns the batcher, then
     /// accepts connections, one handler thread each. Returns after the
     /// batcher has drained the admitted backlog.
-    pub fn run(self) {
-        let batcher = {
-            let state = Arc::clone(&self.state);
-            thread::Builder::new()
-                .name("spg-batcher".into())
-                .spawn(move || batcher_loop(&state))
-                .expect("spawn batcher thread")
-        };
+    ///
+    /// The acceptor doubles as the batcher's supervisor. A server whose
+    /// batcher has died would keep accepting connections it can never
+    /// answer — every admitted query would wait forever. If the batcher
+    /// thread is ever observed dead outside shutdown, it is respawned (up
+    /// to [`MAX_BATCHER_RESTARTS`] times); past that the server stops and
+    /// returns [`ServeError::BatcherFailed`] so the process can exit
+    /// nonzero instead of serving a black hole.
+    pub fn run(self) -> Result<(), ServeError> {
+        let mut batcher = Some(spawn_batcher(&self.state));
+        let mut deaths = 0u32;
+        let mut fatal = None;
 
         while !self.state.shutdown.load(Ordering::SeqCst) {
+            if batcher.as_ref().is_some_and(|h| h.is_finished()) {
+                let panicked = batcher.take().expect("checked present").join().is_err();
+                if self.state.shutdown.load(Ordering::SeqCst) {
+                    break; // Clean exit: the queue closed under shutdown.
+                }
+                deaths += 1;
+                let cause = if panicked { "panicked" } else { "exited early" };
+                if deaths > MAX_BATCHER_RESTARTS {
+                    eprintln!("spg-server: batcher thread {cause} ({deaths} deaths); failing fast");
+                    fatal = Some(ServeError::BatcherFailed { deaths });
+                    break;
+                }
+                eprintln!(
+                    "spg-server: batcher thread {cause}; \
+                     respawning ({deaths}/{MAX_BATCHER_RESTARTS})"
+                );
+                self.state
+                    .counters
+                    .batcher_restarts
+                    .fetch_add(1, Ordering::Relaxed);
+                batcher = Some(spawn_batcher(&self.state));
+            }
             match self.listener.accept() {
                 Ok((stream, _peer)) => {
                     let state = Arc::clone(&self.state);
@@ -254,10 +346,32 @@ impl SpgServer {
                 Err(_) => break,
             }
         }
+        if fatal.is_some() {
+            // Stop admitting, unblock connection readers, drain the queue.
+            self.handle().shutdown();
+        }
         // `shutdown()` already closed the queue; wait for the drain to end.
         self.state.queue.close();
-        let _ = batcher.join();
+        if let Some(handle) = batcher {
+            let _ = handle.join();
+        }
+        match fatal {
+            Some(err) => Err(err),
+            None => Ok(()),
+        }
     }
+}
+
+/// Batcher deaths tolerated (respawned) before [`SpgServer::run`] fails
+/// fast with [`ServeError::BatcherFailed`].
+pub const MAX_BATCHER_RESTARTS: u32 = 3;
+
+fn spawn_batcher(state: &Arc<ServerState>) -> thread::JoinHandle<()> {
+    let state = Arc::clone(state);
+    thread::Builder::new()
+        .name("spg-batcher".into())
+        .spawn(move || batcher_loop(&state))
+        .expect("spawn batcher thread")
 }
 
 /// One connection's read loop: frame in, request out (see the module docs
@@ -325,7 +439,12 @@ fn handle_frame(state: &Arc<ServerState>, conn: &Arc<Connection>, payload: &[u8]
     match request {
         Request::Ping { id } => conn.send(&pong_response(id)),
         Request::Stats { id } => conn.send(&stats_response(state, id)),
-        Request::Query { id, query, tenant } => {
+        Request::Query {
+            id,
+            query,
+            tenant,
+            deadline_ms,
+        } => {
             let tenant_name = tenant.as_deref().unwrap_or("");
             if !state.limiter.admit(tenant_name) {
                 state.counters.overloaded.fetch_add(1, Ordering::Relaxed);
@@ -335,9 +454,14 @@ fn handle_frame(state: &Arc<ServerState>, conn: &Arc<Connection>, payload: &[u8]
                 ));
                 return;
             }
+            // The deadline clock starts now, at parse time; a `deadline_ms`
+            // too large for the clock saturates to unlimited.
+            let deadline =
+                deadline_ms.and_then(|ms| Instant::now().checked_add(Duration::from_millis(ms)));
             let pending = PendingQuery {
                 id,
                 query,
+                deadline,
                 conn: Arc::clone(conn),
             };
             if let Err(refused) = state.queue.push(pending) {
@@ -360,19 +484,57 @@ fn batcher_loop(state: &Arc<ServerState>) {
     }
     .shared_phase1(state.config.shared_phase1);
 
-    while let Some(batch) = state.queue.next_batch() {
+    loop {
+        // Chaos hook: die here, *between* batches, so the supervisor's
+        // respawn path is exercised without losing any admitted query.
+        #[cfg(feature = "failpoints")]
+        if state.chaos_kill_batcher.swap(false, Ordering::SeqCst) {
+            panic!("chaos: batcher killed by test hook");
+        }
+        let Some(batch) = state.queue.next_batch() else {
+            break;
+        };
         state.counters.batches.fetch_add(1, Ordering::Relaxed);
         state
             .counters
             .max_batch
             .fetch_max(batch.len() as u64, Ordering::Relaxed);
-        let queries: Vec<Query> = batch.iter().map(|p| p.query).collect();
+
+        // Shed requests whose deadline burned away while they queued: an
+        // explicit `expired` response now beats a `deadline exceeded` error
+        // after paying for a doomed execution.
+        let now = Instant::now();
+        let mut live: Vec<&PendingQuery> = Vec::with_capacity(batch.len());
+        for pending in &batch {
+            match pending.deadline {
+                Some(deadline) if deadline <= now => {
+                    state.counters.shed_expired.fetch_add(1, Ordering::Relaxed);
+                    pending.conn.send(&expired_response(pending.id));
+                }
+                _ => live.push(pending),
+            }
+        }
+        if live.is_empty() {
+            continue;
+        }
+
+        let queries: Vec<Query> = live.iter().map(|p| p.query).collect();
+        let deadlines: Vec<Option<Instant>> = live.iter().map(|p| p.deadline).collect();
         let drained = catch_unwind(AssertUnwindSafe(|| {
-            executor.run_cached_coalesced(&cached, &state.flights, &queries)
+            executor.run_cached_coalesced_with_deadlines(
+                &cached,
+                &state.flights,
+                &queries,
+                &deadlines,
+            )
         }));
         match drained {
             Ok(outcome) => {
-                for (i, pending) in batch.iter().enumerate() {
+                state
+                    .counters
+                    .panics_isolated
+                    .fetch_add(outcome.stats.panics_isolated as u64, Ordering::Relaxed);
+                for (i, pending) in live.iter().enumerate() {
                     match &outcome.results[i] {
                         Ok(spg) => {
                             state.counters.answered.fetch_add(1, Ordering::Relaxed);
@@ -387,9 +549,13 @@ fn batcher_loop(state: &Arc<ServerState>) {
                         }
                         Err(err) => {
                             state.counters.query_errors.fetch_add(1, Ordering::Relaxed);
-                            pending
-                                .conn
-                                .send(&error_response(Some(pending.id), &err.to_string()));
+                            if matches!(err, QueryError::DeadlineExceeded) {
+                                state
+                                    .counters
+                                    .deadline_exceeded
+                                    .fetch_add(1, Ordering::Relaxed);
+                            }
+                            pending.conn.send(&query_error_response(pending.id, err));
                         }
                     }
                 }
@@ -397,7 +563,7 @@ fn batcher_loop(state: &Arc<ServerState>) {
             Err(_) => {
                 // Contain the crash to this batch: flight tokens abandoned on
                 // unwind, joiners in other drains recompute, we keep serving.
-                for pending in &batch {
+                for pending in &live {
                     state.counters.query_errors.fetch_add(1, Ordering::Relaxed);
                     pending.conn.send(&error_response(
                         Some(pending.id),
@@ -447,6 +613,22 @@ fn stats_response(state: &Arc<ServerState>, id: u64) -> String {
                 (
                     "max_batch".into(),
                     Json::Uint(c.max_batch.load(Ordering::Relaxed)),
+                ),
+                (
+                    "shed_expired".into(),
+                    Json::Uint(c.shed_expired.load(Ordering::Relaxed)),
+                ),
+                (
+                    "deadline_exceeded".into(),
+                    Json::Uint(c.deadline_exceeded.load(Ordering::Relaxed)),
+                ),
+                (
+                    "panics_isolated".into(),
+                    Json::Uint(c.panics_isolated.load(Ordering::Relaxed)),
+                ),
+                (
+                    "batcher_restarts".into(),
+                    Json::Uint(c.batcher_restarts.load(Ordering::Relaxed)),
                 ),
                 ("queue_depth".into(), Json::Uint(state.queue.len() as u64)),
                 ("tenants".into(), Json::Uint(state.limiter.tenants() as u64)),

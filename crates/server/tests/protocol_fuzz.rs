@@ -24,7 +24,7 @@ fn start_server() -> (std::net::SocketAddr, ServerHandle, JoinHandle<()>) {
     let server = SpgServer::bind(graph, "127.0.0.1:0", config).expect("bind loopback");
     let addr = server.local_addr();
     let handle = server.handle();
-    let thread = thread::spawn(move || server.run());
+    let thread = thread::spawn(move || server.run().expect("serving loop"));
     (addr, handle, thread)
 }
 

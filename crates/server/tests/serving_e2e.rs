@@ -30,7 +30,7 @@ fn start_server(config: ServerConfig) -> (std::net::SocketAddr, ServerHandle, Jo
     let server = SpgServer::bind(test_graph(), "127.0.0.1:0", config).expect("bind loopback");
     let addr = server.local_addr();
     let handle = server.handle();
-    let thread = thread::spawn(move || server.run());
+    let thread = thread::spawn(move || server.run().expect("serving loop"));
     (addr, handle, thread)
 }
 
@@ -139,7 +139,7 @@ fn wire_max_hop_bound_round_trips_bit_identically() {
     .expect("bind loopback");
     let addr = server.local_addr();
     let handle = server.handle();
-    let thread = thread::spawn(move || server.run());
+    let thread = thread::spawn(move || server.run().expect("serving loop"));
 
     let mut client = connect(addr);
     let reply = client.query(1, 0, 3, u32::MAX).expect("round trip");
@@ -310,4 +310,93 @@ fn shutdown_is_clean_with_connected_clients() {
     server.join().expect("run() returns after shutdown");
     // The client's connection was hung up; the next read fails cleanly.
     assert!(client.recv().is_err());
+}
+
+#[test]
+fn already_expired_deadlines_are_shed_with_explicit_responses() {
+    // A long batch-forming deadline guarantees the request sits in the
+    // queue past its own deadline before the batcher claims it.
+    let (addr, handle, server) = start_server(ServerConfig {
+        batch_deadline: Duration::from_millis(30),
+        ..ServerConfig::default()
+    });
+    let mut client = connect(addr);
+
+    let shed = client
+        .query_with_deadline(1, 0, 1, 4, 0)
+        .expect("round trip");
+    assert_eq!(shed.status, "expired");
+    assert_eq!(
+        shed.error.as_deref(),
+        Some("deadline expired before execution"),
+        "shedding is an explicit protocol status, not a query error"
+    );
+
+    // A generous deadline changes nothing about the answer.
+    let ok = client
+        .query_with_deadline(2, 0, 1, 4, 60_000)
+        .expect("round trip");
+    assert_eq!(ok.status, "ok");
+    let plain = client.query(3, 0, 1, 4).expect("round trip");
+    assert_eq!(
+        ok.edges, plain.edges,
+        "deadline does not perturb the answer"
+    );
+
+    let stats = client.stats(4).expect("stats").raw;
+    let shed_expired = stats
+        .get("server")
+        .and_then(|s| s.get("shed_expired"))
+        .and_then(spg_server::json::Json::as_u64)
+        .expect("server.shed_expired");
+    assert_eq!(shed_expired, 1, "exactly the one shed query is counted");
+
+    handle.shutdown();
+    server.join().expect("clean server exit");
+}
+
+#[test]
+fn retrying_client_rides_out_transient_refusals() {
+    use spg_server::RetryPolicy;
+
+    // Burst of 1 token refilling at 50/s: the second immediate query is
+    // refused, but a backoff of a few tens of ms earns the token back.
+    let (addr, handle, server) = start_server(ServerConfig {
+        rate_per_sec: 50.0,
+        burst: 1.0,
+        batch_deadline: Duration::ZERO,
+        ..ServerConfig::default()
+    });
+    let mut client = connect(addr);
+
+    assert_eq!(client.query(1, 0, 1, 4).expect("first").status, "ok");
+    let refused = client.query(2, 0, 1, 4).expect("second");
+    assert_eq!(refused.status, "overloaded", "the bucket is dry");
+
+    let policy = RetryPolicy {
+        max_attempts: 6,
+        base_backoff: Duration::from_millis(15),
+        max_backoff: Duration::from_millis(120),
+        ..RetryPolicy::default()
+    };
+    let retried = client
+        .query_retrying(3, 0, 1, 4, None, &policy)
+        .expect("retry loop");
+    assert_eq!(
+        retried.status, "ok",
+        "backoff outlasts the refill interval, so the retry lands"
+    );
+
+    // Deterministic errors are not transient: no retries, immediate return.
+    let error = client
+        .query_retrying(4, 5, 5, 4, None, &policy)
+        .expect("retry loop");
+    assert_eq!(error.status, "error");
+    assert_eq!(
+        error.error.as_deref(),
+        Some("source and target must be distinct (both are 5)")
+    );
+
+    handle.shutdown();
+    server.join().expect("clean server exit");
 }

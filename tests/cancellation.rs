@@ -1,0 +1,185 @@
+//! Cooperative cancellation: deadlines, work budgets, and workspace
+//! reusability after a mid-flight kill.
+//!
+//! Three contracts:
+//!
+//! * **Deadlines are enforced promptly.** On an adversarial graph whose
+//!   query would run far past the budget, `query_budgeted` returns
+//!   [`QueryError::DeadlineExceeded`] within about twice the budget — the
+//!   poll-at-boundaries design trades a bounded overshoot for zero atomic
+//!   traffic in the inner loops.
+//! * **Work budgets are deterministic.** The budget is charged with the
+//!   engine's own work counters, so the same (query, limit) pair trips at
+//!   the same boundary every run — or succeeds bit-identically when the
+//!   limit is generous.
+//! * **Cancellation leaves no residue.** A workspace whose query was killed
+//!   at an *arbitrary* point answers the next query bit-identically to a
+//!   fresh workspace (the property-test mirror of `workspace_reuse.rs`).
+
+use std::time::{Duration, Instant};
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use hop_spg::eve::{Eve, Query, QueryError, QueryWorkspace};
+use hop_spg::graph::generators::gnm_random;
+use hop_spg::graph::{DiGraph, QueryBudget};
+
+/// Dense enough that a deep-k query meanders for a long time in debug
+/// builds, which is what the tier-1 suite runs.
+fn adversarial_graph() -> DiGraph {
+    gnm_random(1500, 45_000, 0xDEAD)
+}
+
+#[test]
+fn deadlines_are_enforced_within_twice_the_budget() {
+    let graph = adversarial_graph();
+    let eve = Eve::with_defaults(&graph);
+    let mut ws = QueryWorkspace::new();
+    let budget_ms = 150;
+
+    let start = Instant::now();
+    let budget = QueryBudget::with_deadline(start + Duration::from_millis(budget_ms));
+    let result = eve.query_budgeted(&mut ws, Query::new(0, 1, 10), &budget);
+    let elapsed = start.elapsed();
+
+    assert_eq!(
+        result.map(|spg| spg.edge_count()),
+        Err(QueryError::DeadlineExceeded),
+        "the adversarial query must be far slower than the {budget_ms}ms budget \
+         (if it finished, grow the graph)"
+    );
+    // "Within ~2x the budget": the boundary-poll granularity bounds the
+    // overshoot. A small absolute allowance absorbs scheduler noise on
+    // loaded single-vCPU CI runners.
+    let bound = Duration::from_millis(2 * budget_ms + 100);
+    assert!(
+        elapsed < bound,
+        "cancelled after {elapsed:?}, want < {bound:?}"
+    );
+}
+
+#[test]
+fn an_expired_deadline_cancels_before_any_phase() {
+    let graph = adversarial_graph();
+    let eve = Eve::with_defaults(&graph);
+    let mut ws = QueryWorkspace::new();
+
+    let budget = QueryBudget::with_deadline(Instant::now());
+    let start = Instant::now();
+    let result = eve.query_budgeted(&mut ws, Query::new(0, 1, 10), &budget);
+    assert_eq!(result.err(), Some(QueryError::DeadlineExceeded));
+    assert!(
+        start.elapsed() < Duration::from_millis(100),
+        "an already-dead query must not pay for a traversal"
+    );
+}
+
+#[test]
+fn work_budgets_trip_deterministically_and_leave_answers_intact() {
+    let graph = gnm_random(200, 1600, 7);
+    let eve = Eve::with_defaults(&graph);
+    let query = Query::new(0, 7, 6);
+    let reference = eve.query(query).expect("baseline answer");
+
+    // Find a limit that actually trips (1 certainly does: validation is
+    // free but the first BFS level is not).
+    let mut ws = QueryWorkspace::new();
+    let first = eve.query_budgeted(&mut ws, query, &QueryBudget::with_work_limit(1));
+    assert_eq!(first.err(), Some(QueryError::BudgetExceeded));
+
+    // Same query, same limit, fresh workspace: the identical outcome —
+    // work charging uses engine counters, not wall clock.
+    let mut ws2 = QueryWorkspace::new();
+    let second = eve.query_budgeted(&mut ws2, query, &QueryBudget::with_work_limit(1));
+    assert_eq!(second.err(), Some(QueryError::BudgetExceeded));
+
+    // A generous limit changes nothing about the answer.
+    let roomy = eve
+        .query_budgeted(&mut ws, query, &QueryBudget::with_work_limit(u64::MAX))
+        .expect("generous budget");
+    assert_eq!(roomy.edges(), reference.edges());
+
+    // And both killed workspaces answer the next query bit-identically.
+    for ws in [&mut ws, &mut ws2] {
+        let after = eve.query_with(ws, query).expect("post-kill query");
+        assert_eq!(after.edges(), reference.edges());
+    }
+}
+
+/// Strategy: a small random digraph, a query batch, and a kill point
+/// (work limit) per query.
+fn graph_and_killed_batch() -> impl Strategy<Value = (DiGraph, Vec<(Query, u64)>)> {
+    (4usize..16).prop_flat_map(|n| {
+        let edges = vec((0..n as u32, 0..n as u32), 0..(4 * n));
+        let queries = vec((0..n as u32, 0..n as u32, 1u32..9, 0u64..5_000), 1..10);
+        (edges, queries).prop_map(move |(edges, qs)| {
+            let g = DiGraph::from_edges(n, edges);
+            let batch: Vec<(Query, u64)> = qs
+                .into_iter()
+                .filter(|&(s, t, _, _)| s != t)
+                .map(|(s, t, k, limit)| (Query::new(s, t, k), limit))
+                .collect();
+            (g, batch)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Satellite: a query killed at an arbitrary point leaves the reused
+    /// workspace producing bit-identical answers on the next query.
+    #[test]
+    fn a_killed_query_leaves_the_workspace_bit_clean(
+        (g, batch) in graph_and_killed_batch()
+    ) {
+        let eve = Eve::with_defaults(&g);
+        let mut ws = QueryWorkspace::new();
+        for &(q, limit) in &batch {
+            // Maybe-kill: tiny limits die mid-phase, generous ones finish.
+            let killed = eve.query_budgeted(&mut ws, q, &QueryBudget::with_work_limit(limit));
+            if let Ok(ref spg) = killed {
+                let fresh = eve.query(q).unwrap();
+                // A budget that does not trip must not perturb the answer.
+                prop_assert_eq!(spg.edges(), fresh.edges());
+            }
+            // The very next unlimited query on the same workspace matches a
+            // fresh workspace bit for bit.
+            let warm = eve.query_with(&mut ws, q).unwrap();
+            let fresh = eve.query(q).unwrap();
+            prop_assert_eq!(warm.edges(), fresh.edges());
+            prop_assert_eq!(
+                warm.stats().upper_bound_edges,
+                fresh.stats().upper_bound_edges
+            );
+        }
+    }
+
+    /// Work-limited cancellation is deterministic: the same (query, limit)
+    /// pair produces the same outcome — including the same answer bytes
+    /// when it survives — on every run and on any workspace.
+    #[test]
+    fn work_limited_outcomes_are_reproducible(
+        (g, batch) in graph_and_killed_batch()
+    ) {
+        let eve = Eve::with_defaults(&g);
+        let mut warm = QueryWorkspace::new();
+        for &(q, limit) in &batch {
+            // One budget per run: a budget accumulates its charge, so
+            // sharing one across runs would double-bill the second.
+            let a = eve.query_budgeted(&mut warm, q, &QueryBudget::with_work_limit(limit));
+            let b = eve.query_budgeted(
+                &mut QueryWorkspace::new(),
+                q,
+                &QueryBudget::with_work_limit(limit),
+            );
+            match (a, b) {
+                (Ok(x), Ok(y)) => prop_assert_eq!(x.edges(), y.edges()),
+                (Err(x), Err(y)) => prop_assert_eq!(x, y),
+                (x, y) => prop_assert!(false,
+                    "same (query, limit) diverged: {:?} vs {:?}", x.is_ok(), y.is_ok()),
+            }
+        }
+    }
+}
