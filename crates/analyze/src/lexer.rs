@@ -1,0 +1,520 @@
+//! A hand-rolled Rust surface lexer.
+//!
+//! The environment has no crates.io access, so there is no `syn` here; the
+//! rules instead run over a **masked** view of each source file in which
+//! comment bodies and string-literal contents are replaced by spaces
+//! (newlines preserved, so byte offsets and line numbers survive) and
+//! `#[cfg(test)]` / `#[test]` items are blanked entirely. Everything a rule
+//! matches against the masked text is therefore *code*, never prose, and
+//! everything it needs from prose (waivers, `// lock:` annotations, wire
+//! string literals) is carried out-of-band in [`Lexed::comments`] and
+//! [`Lexed::strings`].
+//!
+//! The lexer understands: line comments (`//`, `///`, `//!`), nested block
+//! comments, plain/byte strings with escapes, raw strings (`r"…"`,
+//! `r#"…"#`, `br"…"`), char and byte-char literals, and the
+//! lifetime-vs-char-literal ambiguity (`'g` vs `'g'`).
+
+/// One comment or string literal recovered from the source, anchored to the
+/// 1-indexed line where it starts.
+#[derive(Debug, Clone)]
+pub struct Span {
+    /// Byte offset of the first character (the `/` or the opening quote).
+    pub offset: usize,
+    /// 1-indexed line of the first character.
+    pub line: usize,
+    /// Comment text without its delimiters, or string contents without the
+    /// surrounding quotes (raw, escapes untouched).
+    pub text: String,
+}
+
+/// The masked view of one file (see the module docs).
+#[derive(Debug)]
+pub struct Lexed {
+    /// Same byte length as the input: comments/string bodies/test items are
+    /// spaces, all newlines are preserved.
+    pub masked: String,
+    /// Byte offset where each line starts; `line_starts[0] == 0`.
+    pub line_starts: Vec<usize>,
+    /// Every comment outside blanked test items, in source order.
+    pub comments: Vec<Span>,
+    /// Every string literal outside blanked test items, in source order.
+    pub strings: Vec<Span>,
+}
+
+impl Lexed {
+    /// 1-indexed line containing byte `offset`.
+    pub fn line_of(&self, offset: usize) -> usize {
+        match self.line_starts.binary_search(&offset) {
+            Ok(i) => i + 1,
+            Err(i) => i,
+        }
+    }
+}
+
+/// Lexes `source`, masking comments, string bodies and test-gated items.
+pub fn lex(source: &str) -> Lexed {
+    let bytes = source.as_bytes();
+    let mut masked: Vec<u8> = Vec::with_capacity(bytes.len());
+    let mut comments = Vec::new();
+    let mut strings = Vec::new();
+    let mut line_starts = vec![0usize];
+    for (i, &b) in bytes.iter().enumerate() {
+        if b == b'\n' {
+            line_starts.push(i + 1);
+        }
+    }
+    let line_of = |offset: usize| -> usize {
+        match line_starts.binary_search(&offset) {
+            Ok(i) => i + 1,
+            Err(i) => i,
+        }
+    };
+
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                let start = i;
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                comments.push(Span {
+                    offset: start,
+                    line: line_of(start),
+                    text: source[start + 2..i].to_string(),
+                });
+                // Keep the `//` marker so test-region filtering (below) can
+                // still tell this span apart from blanked test code.
+                let mark = masked.len();
+                blank(&mut masked, &bytes[start..i]);
+                masked[mark] = b'/';
+                masked[mark + 1] = b'/';
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let start = i;
+                let mut depth = 1usize;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                let inner_end = i.saturating_sub(2).max(start + 2);
+                comments.push(Span {
+                    offset: start,
+                    line: line_of(start),
+                    text: source[start + 2..inner_end].to_string(),
+                });
+                let mark = masked.len();
+                blank(&mut masked, &bytes[start..i]);
+                masked[mark] = b'/';
+                masked[mark + 1] = b'*';
+            }
+            b'"' => {
+                i = lex_plain_string(source, bytes, i, &mut masked, &mut strings, &line_of);
+            }
+            b'r' | b'b' if is_literal_prefix(bytes, i) => {
+                i = lex_prefixed_literal(source, bytes, i, &mut masked, &mut strings, &line_of);
+            }
+            b'\'' => {
+                // Char literal vs lifetime. `'\x'` and `'c'` are literals;
+                // `'ident` (no closing quote right after one char) is a
+                // lifetime and passes through unmasked.
+                if bytes.get(i + 1) == Some(&b'\\') {
+                    masked.push(b'\'');
+                    i += 1;
+                    let start = i;
+                    while i < bytes.len() && bytes[i] != b'\'' {
+                        i += if bytes[i] == b'\\' { 2 } else { 1 };
+                    }
+                    blank(&mut masked, &bytes[start..i.min(bytes.len())]);
+                    if i < bytes.len() {
+                        masked.push(b'\'');
+                        i += 1;
+                    }
+                } else if i + 2 < bytes.len() && bytes[i + 2] == b'\'' && bytes[i + 1] != b'\'' {
+                    masked.extend_from_slice(b"' '");
+                    i += 3;
+                } else {
+                    masked.push(b);
+                    i += 1;
+                }
+            }
+            _ => {
+                masked.push(b);
+                i += 1;
+            }
+        }
+    }
+    debug_assert_eq!(masked.len(), bytes.len());
+    let mut masked = String::from_utf8(masked).unwrap_or_default();
+    blank_test_items(&mut masked);
+    // A span that now sits inside a blanked region belonged to test code.
+    let in_code = |s: &Span| {
+        masked[s.offset..]
+            .bytes()
+            .next()
+            .map(|c| c == b'/' || c == b'"' || c == b'r' || c == b'b' || c == b'\'')
+            .unwrap_or(false)
+    };
+    comments.retain(&in_code);
+    strings.retain(&in_code);
+    Lexed {
+        masked,
+        line_starts,
+        comments,
+        strings,
+    }
+}
+
+/// `true` when `bytes[i]` starts a raw/byte literal prefix (`r"`, `r#"`,
+/// `b"`, `br"`, `b'`) rather than a plain identifier.
+fn is_literal_prefix(bytes: &[u8], i: usize) -> bool {
+    if i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_') {
+        return false; // part of a longer identifier, e.g. `for` / `attr`
+    }
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+        if bytes.get(j) == Some(&b'\'') {
+            return true; // byte char b'x'
+        }
+    }
+    if bytes.get(j) == Some(&b'r') {
+        j += 1;
+        while bytes.get(j) == Some(&b'#') {
+            j += 1;
+        }
+    }
+    bytes.get(j) == Some(&b'"')
+}
+
+/// Lexes a `"…"` string starting at `i`; returns the index just past it.
+fn lex_plain_string(
+    source: &str,
+    bytes: &[u8],
+    i: usize,
+    masked: &mut Vec<u8>,
+    strings: &mut Vec<Span>,
+    line_of: &dyn Fn(usize) -> usize,
+) -> usize {
+    let start = i;
+    masked.push(b'"');
+    let mut j = i + 1;
+    while j < bytes.len() {
+        match bytes[j] {
+            b'\\' => {
+                masked.push(b' ');
+                if j + 1 < bytes.len() {
+                    masked.push(if bytes[j + 1] == b'\n' { b'\n' } else { b' ' });
+                }
+                j += 2;
+            }
+            b'"' => break,
+            b'\n' => {
+                masked.push(b'\n');
+                j += 1;
+            }
+            _ => {
+                masked.push(b' ');
+                j += 1;
+            }
+        }
+    }
+    strings.push(Span {
+        offset: start,
+        line: line_of(start),
+        text: source[start + 1..j.min(bytes.len())].to_string(),
+    });
+    if j < bytes.len() {
+        masked.push(b'"');
+        j += 1;
+    }
+    j
+}
+
+/// Lexes `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#` or `b'x'` starting at `i`.
+fn lex_prefixed_literal(
+    source: &str,
+    bytes: &[u8],
+    i: usize,
+    masked: &mut Vec<u8>,
+    strings: &mut Vec<Span>,
+    line_of: &dyn Fn(usize) -> usize,
+) -> usize {
+    let start = i;
+    let mut j = i;
+    if bytes[j] == b'b' {
+        masked.push(b'b');
+        j += 1;
+        if bytes.get(j) == Some(&b'\'') {
+            // Byte char literal.
+            masked.push(b'\'');
+            j += 1;
+            let body = j;
+            while j < bytes.len() && bytes[j] != b'\'' {
+                j += if bytes[j] == b'\\' { 2 } else { 1 };
+            }
+            blank(masked, &bytes[body..j.min(bytes.len())]);
+            if j < bytes.len() {
+                masked.push(b'\'');
+                j += 1;
+            }
+            return j;
+        }
+    }
+    let raw = bytes.get(j) == Some(&b'r');
+    if raw {
+        masked.push(b'r');
+        j += 1;
+    }
+    let mut hashes = 0usize;
+    while bytes.get(j) == Some(&b'#') {
+        masked.push(b'#');
+        hashes += 1;
+        j += 1;
+    }
+    if bytes.get(j) != Some(&b'"') {
+        return j; // not actually a literal; prefix already copied verbatim
+    }
+    if !raw {
+        // Plain byte string: same escape rules as a plain string.
+        return lex_plain_string(source, bytes, j, masked, strings, line_of);
+    }
+    masked.push(b'"');
+    j += 1;
+    let body = j;
+    let terminator: Vec<u8> = std::iter::once(b'"')
+        .chain(std::iter::repeat(b'#').take(hashes))
+        .collect();
+    while j < bytes.len() && !bytes[j..].starts_with(&terminator) {
+        masked.push(if bytes[j] == b'\n' { b'\n' } else { b' ' });
+        j += 1;
+    }
+    strings.push(Span {
+        offset: start,
+        line: line_of(start),
+        text: source[body..j.min(bytes.len())].to_string(),
+    });
+    if j < bytes.len() {
+        masked.extend_from_slice(&terminator);
+        j += terminator.len();
+    }
+    j
+}
+
+fn blank(masked: &mut Vec<u8>, region: &[u8]) {
+    for &b in region {
+        masked.push(if b == b'\n' { b'\n' } else { b' ' });
+    }
+}
+
+/// Blanks every item gated behind `#[test]` or a `#[cfg(…)]` whose predicate
+/// enables it only for tests (`test`, `all(test, …)`, `any(test, …)` —
+/// `not(test)` is deliberately kept). Runs on the already comment/string
+/// masked text, so attribute detection cannot be fooled by prose.
+fn blank_test_items(masked: &mut String) {
+    // SAFETY-free in-place byte editing: the buffer is ASCII-masked already.
+    let mut bytes = std::mem::take(masked).into_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] != b'#' || bytes.get(i + 1) != Some(&b'[') {
+            i += 1;
+            continue;
+        }
+        let attr_start = i;
+        // Find the matching `]` (attributes can nest brackets in cfg exprs).
+        let mut j = i + 2;
+        let mut depth = 1usize;
+        while j < bytes.len() && depth > 0 {
+            match bytes[j] {
+                b'[' => depth += 1,
+                b']' => depth -= 1,
+                _ => {}
+            }
+            j += 1;
+        }
+        let content: String = bytes[i + 2..j.saturating_sub(1)]
+            .iter()
+            .map(|&b| b as char)
+            .collect();
+        if !attr_gates_tests(&content) {
+            i = j;
+            continue;
+        }
+        // Skip any further attributes and whitespace, then blank through the
+        // end of the gated item (`;` for semicolon items, matching `}` for
+        // braced ones).
+        let mut k = j;
+        loop {
+            while k < bytes.len() && (bytes[k] as char).is_whitespace() {
+                k += 1;
+            }
+            if bytes.get(k) == Some(&b'#') && bytes.get(k + 1) == Some(&b'[') {
+                let mut depth = 1usize;
+                k += 2;
+                while k < bytes.len() && depth > 0 {
+                    match bytes[k] {
+                        b'[' => depth += 1,
+                        b']' => depth -= 1,
+                        _ => {}
+                    }
+                    k += 1;
+                }
+            } else {
+                break;
+            }
+        }
+        let mut brace_depth = 0usize;
+        let mut entered = false;
+        while k < bytes.len() {
+            match bytes[k] {
+                b'{' => {
+                    brace_depth += 1;
+                    entered = true;
+                }
+                b'}' => {
+                    brace_depth = brace_depth.saturating_sub(1);
+                    if entered && brace_depth == 0 {
+                        k += 1;
+                        break;
+                    }
+                }
+                b';' if !entered => {
+                    k += 1;
+                    break;
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        for b in &mut bytes[attr_start..k] {
+            if *b != b'\n' {
+                *b = b' ';
+            }
+        }
+        i = k;
+    }
+    *masked = String::from_utf8(bytes).unwrap_or_default();
+}
+
+/// Whether attribute `content` (text between `#[` and `]`) gates its item to
+/// test builds.
+fn attr_gates_tests(content: &str) -> bool {
+    let trimmed = content.trim();
+    if trimmed == "test" {
+        return true; // #[test]
+    }
+    let Some(pred) = trimmed.strip_prefix("cfg") else {
+        return false;
+    };
+    let pred = pred.trim_start();
+    if !pred.starts_with('(') {
+        return false;
+    }
+    // Bare-word scan: strip if `test` appears as a token and the predicate
+    // is not a negation. `cfg(not(test))` and `cfg(not(feature = …))` keep
+    // their items; `cfg(test)` / `cfg(all(test, …))` blank them.
+    let mut tokens = Vec::new();
+    let mut cur = String::new();
+    for c in pred.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            cur.push(c);
+        } else if !cur.is_empty() {
+            tokens.push(std::mem::take(&mut cur));
+        }
+    }
+    if !cur.is_empty() {
+        tokens.push(cur);
+    }
+    tokens.iter().any(|t| t == "test") && !tokens.iter().any(|t| t == "not")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_masked_but_recovered() {
+        let src = "let a = \"lock it\"; // lock: cache.shard\nlet b = 1;\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.masked.len(), src.len());
+        assert!(!lexed.masked.contains("lock it"));
+        assert!(!lexed.masked.contains("lock:"));
+        assert_eq!(lexed.strings.len(), 1);
+        assert_eq!(lexed.strings[0].text, "lock it");
+        assert_eq!(lexed.strings[0].line, 1);
+        assert_eq!(lexed.comments.len(), 1);
+        assert!(lexed.comments[0].text.contains("lock: cache.shard"));
+    }
+
+    #[test]
+    fn raw_strings_and_char_literals() {
+        let src = "let r = r#\"a \"quoted\" b\"#; let c = 'x'; let l: &'static str = \"s\";\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.masked.len(), src.len());
+        assert_eq!(lexed.strings[0].text, "a \"quoted\" b");
+        assert_eq!(lexed.strings[1].text, "s");
+        assert!(lexed.masked.contains("&'static str"), "lifetime survives");
+        assert!(!lexed.masked.contains('x'), "char literal masked");
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_strings() {
+        let src = r#"let s = "a\"b"; let t = "c";"#;
+        let lexed = lex(src);
+        assert_eq!(lexed.strings.len(), 2);
+        assert_eq!(lexed.strings[0].text, r#"a\"b"#);
+        assert_eq!(lexed.strings[1].text, "c");
+    }
+
+    #[test]
+    fn cfg_test_items_are_blanked() {
+        let src = "fn live() { x.lock(); }\n#[cfg(test)]\nmod tests {\n    fn t() { y.lock(); }\n}\nfn tail() {}\n";
+        let lexed = lex(src);
+        assert!(lexed.masked.contains("x.lock()"));
+        assert!(!lexed.masked.contains("y.lock()"));
+        assert!(lexed.masked.contains("fn tail"));
+    }
+
+    #[test]
+    fn cfg_not_test_is_kept_and_all_test_is_blanked() {
+        let src = "#[cfg(not(test))]\nfn keep() { a(); }\n#[cfg(all(test, feature = \"fp\"))]\nmod gone { fn x() { b(); } }\n";
+        let lexed = lex(src);
+        assert!(lexed.masked.contains("fn keep"));
+        assert!(!lexed.masked.contains("fn x"));
+    }
+
+    #[test]
+    fn test_spans_are_dropped_from_comment_and_string_lists() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    // waiver here\n    const S: &str = \"secret\";\n}\n";
+        let lexed = lex(src);
+        assert!(lexed.comments.is_empty());
+        assert!(lexed.strings.is_empty());
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner */ still */ fn f() {}\n";
+        let lexed = lex(src);
+        assert!(lexed.masked.contains("fn f"));
+        assert!(!lexed.masked.contains("outer"));
+        assert_eq!(lexed.comments.len(), 1);
+    }
+
+    #[test]
+    fn line_of_maps_offsets() {
+        let lexed = lex("a\nbb\nccc\n");
+        assert_eq!(lexed.line_of(0), 1);
+        assert_eq!(lexed.line_of(2), 2);
+        assert_eq!(lexed.line_of(5), 3);
+    }
+}

@@ -1,0 +1,52 @@
+//! `spg-analyze` — the workspace-invariant lint engine.
+//!
+//! The serving stack's guarantees rest on conventions no compiler checks:
+//! lock acquisition order across the sharded cache / singleflight /
+//! admission / connection layers, "no clocks or atomics in inner loops",
+//! exact wire-string agreement with `docs/robustness.md`, a closed
+//! failpoint registry, and panic-free library code. This crate turns each
+//! convention into a machine-checked rule over a masked lexical view of
+//! every source file (see [`lexer`]), with per-site waivers
+//! (`// spg-analyze: allow(<rule>)`) as the reviewable escape hatch.
+//!
+//! Run it as `cargo run -p spg-analyze -- lint`; CI gates on it. The rule
+//! catalog and annotation grammar live in `docs/static_analysis.md`.
+
+#![forbid(unsafe_code)]
+
+pub mod lexer;
+pub mod rules;
+pub mod workspace;
+
+use std::io;
+use std::path::Path;
+
+pub use workspace::{Diagnostic, SourceFile, Workspace};
+
+/// Runs every rule over an already-loaded workspace, applies waivers, and
+/// returns the surviving diagnostics sorted by file, line and rule.
+pub fn lint_workspace(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut diags = rules::run_all(ws);
+    diags.retain(|d| {
+        ws.file(&d.file)
+            .map(|f| !f.is_waived(d.rule, d.line))
+            .unwrap_or(true)
+    });
+    diags.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.rule, a.message.as_str()).cmp(&(
+            b.file.as_str(),
+            b.line,
+            b.rule,
+            b.message.as_str(),
+        ))
+    });
+    diags.dedup();
+    diags
+}
+
+/// Loads the workspace at `root` and lints it.
+pub fn lint(root: &Path) -> io::Result<(usize, Vec<Diagnostic>)> {
+    let ws = Workspace::load(root)?;
+    let count = ws.files.len();
+    Ok((count, lint_workspace(&ws)))
+}

@@ -1,0 +1,60 @@
+//! CLI for the lint engine: `spg-analyze lint [--root PATH]`.
+//!
+//! Exit codes: 0 clean, 1 diagnostics found, 2 usage or I/O error — CI
+//! treats anything nonzero as a failed gate.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut command = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "lint" if command.is_none() => command = Some("lint"),
+            "--root" => match args.next() {
+                Some(path) => root = PathBuf::from(path),
+                None => return usage("--root needs a path"),
+            },
+            "--help" | "-h" => return usage(""),
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+    if command != Some("lint") {
+        return usage("expected the `lint` subcommand");
+    }
+
+    match spg_analyze::lint(&root) {
+        Ok((scanned, diags)) if diags.is_empty() => {
+            eprintln!("spg-analyze: {scanned} files clean");
+            ExitCode::SUCCESS
+        }
+        Ok((scanned, diags)) => {
+            for diag in &diags {
+                println!("{diag}");
+            }
+            eprintln!(
+                "spg-analyze: {} diagnostic(s) across {scanned} files",
+                diags.len()
+            );
+            ExitCode::FAILURE
+        }
+        Err(err) => {
+            eprintln!("spg-analyze: error: {err}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage(problem: &str) -> ExitCode {
+    if !problem.is_empty() {
+        eprintln!("spg-analyze: {problem}");
+    }
+    eprintln!("usage: spg-analyze lint [--root PATH]");
+    if problem.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    }
+}

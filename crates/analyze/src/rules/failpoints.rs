@@ -1,0 +1,189 @@
+//! Rule `failpoint-registry`: every failpoint site is declared, listed in
+//! `sites::ALL`, referenced only by its declared constant, and exercised by
+//! the chaos e2e harness.
+//!
+//! A failpoint that is not in `ALL` silently drops out of "fire at every
+//! site" chaos sweeps; a site the harness never names is armed in
+//! production builds but proven by nothing. The registry file
+//! (`crates/core/src/failpoints.rs`) is the single source of truth: its
+//! `pub mod sites` constants, the `ALL` array, each `failpoints::check(…)`
+//! call site across the workspace, and `chaos_e2e.rs` must all agree.
+
+use std::collections::BTreeMap;
+
+use super::{matching, occurrences};
+use crate::workspace::{Diagnostic, SourceFile, Workspace};
+
+pub const NAME: &str = "failpoint-registry";
+
+const REGISTRY: &str = "crates/core/src/failpoints.rs";
+const CHAOS: &str = "crates/server/tests/chaos_e2e.rs";
+
+pub fn run(ws: &Workspace) -> Vec<Diagnostic> {
+    let Some(registry) = ws.file(REGISTRY) else {
+        return Vec::new();
+    };
+    let mut diags = Vec::new();
+    let Some((consts, all, all_line)) = parse_sites(registry) else {
+        diags.push(Diagnostic {
+            file: REGISTRY.to_string(),
+            line: 1,
+            rule: NAME,
+            message: "no `pub mod sites` with site constants and an `ALL` array found".to_string(),
+        });
+        return diags;
+    };
+
+    // Internal consistency: ALL <-> constants, no duplicate wire names.
+    for (name, (value, line)) in &consts {
+        if !all.contains(name) {
+            diags.push(Diagnostic {
+                file: REGISTRY.to_string(),
+                line: *line,
+                rule: NAME,
+                message: format!(
+                    "failpoint site `{name}` (\"{value}\") is missing from sites::ALL"
+                ),
+            });
+        }
+    }
+    for name in &all {
+        if !consts.contains_key(name) {
+            diags.push(Diagnostic {
+                file: REGISTRY.to_string(),
+                line: all_line,
+                rule: NAME,
+                message: format!("sites::ALL names `{name}`, which is not a declared site"),
+            });
+        }
+    }
+    let mut by_value: BTreeMap<&str, &str> = BTreeMap::new();
+    for (name, (value, line)) in &consts {
+        if let Some(first) = by_value.insert(value.as_str(), name.as_str()) {
+            diags.push(Diagnostic {
+                file: REGISTRY.to_string(),
+                line: *line,
+                rule: NAME,
+                message: format!(
+                    "failpoint sites `{first}` and `{name}` share the wire name \"{value}\""
+                ),
+            });
+        }
+    }
+
+    // Every check() call across the workspace names a declared site.
+    for file in &ws.files {
+        let masked = &file.lexed.masked;
+        for at in occurrences(masked, "failpoints::check(") {
+            let open = at + "failpoints::check(".len() - 1;
+            let Some(close) = matching(masked, open) else {
+                continue;
+            };
+            let arg = masked[open + 1..close].trim();
+            let site_name = arg.rsplit("::").next().unwrap_or(arg);
+            let known = consts.contains_key(site_name)
+                // String-literal args are masked; resolve via the span list.
+                || file
+                    .lexed
+                    .strings
+                    .iter()
+                    .find(|s| s.offset > open && s.offset < close)
+                    .map(|s| by_value.contains_key(s.text.as_str()))
+                    .unwrap_or(false);
+            if !known {
+                diags.push(Diagnostic {
+                    file: file.rel.clone(),
+                    line: file.lexed.line_of(at),
+                    rule: NAME,
+                    message: format!("failpoint check site `{arg}` is not declared in sites::"),
+                });
+            }
+        }
+    }
+
+    // Every declared site must be exercised by the chaos harness.
+    match ws.read_reference(CHAOS) {
+        None => diags.push(Diagnostic {
+            file: REGISTRY.to_string(),
+            line: all_line,
+            rule: NAME,
+            message: format!("chaos harness {CHAOS} not found; sites are unproven"),
+        }),
+        Some(chaos) => {
+            for (name, (value, line)) in &consts {
+                if !chaos.contains(value.as_str()) {
+                    diags.push(Diagnostic {
+                        file: REGISTRY.to_string(),
+                        line: *line,
+                        rule: NAME,
+                        message: format!(
+                            "failpoint site `{name}` (\"{value}\") is never exercised \
+                             by {CHAOS}"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    diags
+}
+
+type Sites = (BTreeMap<String, (String, usize)>, Vec<String>, usize);
+
+/// Parses `pub mod sites { pub const NAME: &str = "value"; … pub const ALL:
+/// [&str; N] = [NAME, …]; }` out of the registry file. Returns the
+/// name → (wire value, line) map, the `ALL` identifier list and its line.
+fn parse_sites(file: &SourceFile) -> Option<Sites> {
+    let masked = &file.lexed.masked;
+    let mod_at = occurrences(masked, "pub mod sites").into_iter().next()?;
+    let open = masked[mod_at..].find('{').map(|p| mod_at + p)?;
+    let end = matching(masked, open)?;
+
+    let mut consts = BTreeMap::new();
+    let mut all = Vec::new();
+    let mut all_line = 0;
+    for const_at in occurrences(&masked[open..end], "const ") {
+        let at = open + const_at;
+        let name_start = at + "const ".len();
+        let name: String = masked[name_start..]
+            .bytes()
+            .take_while(|&b| super::is_ident(b))
+            .map(char::from)
+            .collect();
+        if name.is_empty() {
+            continue;
+        }
+        let line = file.lexed.line_of(at);
+        if name == "ALL" {
+            let bracket = masked[at..end].find('[').map(|p| at + p)?;
+            // Skip the `[&str; N]` type to the initializer array.
+            let type_close = matching(masked, bracket)?;
+            let init = masked[type_close..end].find('[').map(|p| type_close + p)?;
+            let init_close = matching(masked, init)?;
+            all = masked[init + 1..init_close]
+                .split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(|s| s.rsplit("::").next().unwrap_or(s).to_string())
+                .collect();
+            all_line = line;
+        } else {
+            // The wire name is the first string literal of the declaration;
+            // constants of other types (no string before their `;`) are not
+            // sites and are skipped.
+            let stmt_end = masked[at..end].find(';').map(|p| at + p).unwrap_or(end);
+            if let Some(value) = file
+                .lexed
+                .strings
+                .iter()
+                .find(|s| s.offset > at && s.offset < stmt_end)
+            {
+                consts.insert(name, (value.text.clone(), line));
+            }
+        }
+    }
+    if consts.is_empty() || all.is_empty() {
+        return None;
+    }
+    Some((consts, all, all_line))
+}

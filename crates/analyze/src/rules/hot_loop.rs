@@ -1,0 +1,78 @@
+//! Rule `hot-loop`: no clock reads or atomic RMW outside the allowlist.
+//!
+//! The PR-7 budget contract is "polls at phase boundaries only — no atomics
+//! and no syscalls in inner loops"; `BENCH_*.json` numbers depend on it.
+//! This rule turns the contract into a default-deny: `Instant::now`,
+//! `SystemTime` and atomic read-modify-write calls are flagged everywhere
+//! except the clock's own home (`budget.rs`) and the serving/bench layers,
+//! which are allowed to read time by design (deadlines, admission windows,
+//! latency capture). A library-crate site that genuinely sits at a phase
+//! boundary carries a `// spg-analyze: allow(hot-loop)` waiver naming it as
+//! such — the waiver is the reviewable record that someone decided the
+//! call is boundary-grade, not loop-grade.
+
+use super::occurrences;
+use crate::workspace::{Diagnostic, Workspace};
+
+pub const NAME: &str = "hot-loop";
+
+/// The clock's home module: budget deadlines are made of `Instant`s.
+const ALLOW_EXACT: [&str; 1] = ["crates/graph/src/budget.rs"];
+/// Layers allowed to touch clocks/atomics freely: the server (deadlines,
+/// supervision) and the bench harness (it measures time for a living).
+const ALLOW_PREFIX: [&str; 2] = ["crates/server/", "crates/bench/"];
+
+const CLOCKS: [&str; 2] = ["Instant::now", "SystemTime"];
+// `.swap(` is deliberately absent: `slice::swap`/`mem::swap` make it all
+// noise, and `AtomicUsize::swap` without a `fetch_` twin is not in use.
+const RMW: [&str; 9] = [
+    ".fetch_add(",
+    ".fetch_sub(",
+    ".fetch_and(",
+    ".fetch_or(",
+    ".fetch_xor(",
+    ".fetch_max(",
+    ".fetch_min(",
+    ".fetch_update(",
+    ".compare_exchange",
+];
+
+pub fn run(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for file in &ws.files {
+        if ALLOW_EXACT.contains(&file.rel.as_str())
+            || ALLOW_PREFIX.iter().any(|p| file.rel.starts_with(p))
+        {
+            continue;
+        }
+        let masked = &file.lexed.masked;
+        for pat in CLOCKS {
+            for offset in occurrences(masked, pat) {
+                diags.push(Diagnostic {
+                    file: file.rel.clone(),
+                    line: file.lexed.line_of(offset),
+                    rule: NAME,
+                    message: format!(
+                        "clock read `{pat}` outside the hot-loop allowlist (poll at \
+                         phase boundaries only; waive if this *is* a phase boundary)"
+                    ),
+                });
+            }
+        }
+        for pat in RMW {
+            for offset in occurrences(masked, pat) {
+                let name = pat.trim_matches(['.', '(']);
+                diags.push(Diagnostic {
+                    file: file.rel.clone(),
+                    line: file.lexed.line_of(offset),
+                    rule: NAME,
+                    message: format!(
+                        "atomic read-modify-write `{name}` outside the hot-loop \
+                         allowlist (contended atomics do not belong in inner loops)"
+                    ),
+                });
+            }
+        }
+    }
+    diags
+}

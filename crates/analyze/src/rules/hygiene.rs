@@ -1,0 +1,156 @@
+//! Rules `no-panic` and `forbid-unsafe`: library-crate hygiene.
+//!
+//! `no-panic` keeps `println!`, `.unwrap()` and `.expect(…)` out of
+//! library code: a library talks to callers through `Result`, stdout
+//! belongs to the binaries, and ad-hoc panics defeat the per-slot
+//! isolation the executor builds (`catch_unwind` turns them into
+//! `ExecutionPanicked`, but each one is a query lost for nothing). Binary
+//! roots (`main.rs`, `src/bin/**`) are exempt, `eprintln!` is allowed
+//! everywhere (stderr is the operator channel), and poison-handling on
+//! lock acquisition (`.lock().expect("…")` and friends) is carved out —
+//! a poisoned lock *should* take the process down, that is the policy.
+//! Anything else legitimate carries a `// spg-analyze: allow(no-panic)`
+//! waiver stating its invariant.
+//!
+//! `forbid-unsafe` asserts every library crate root carries
+//! `#![forbid(unsafe_code)]` — `forbid` (not the workspace `deny`) so no
+//! inner `#[allow]` can sneak unsafe back in.
+
+use super::{is_ident, occurrences};
+use crate::workspace::{Diagnostic, SourceFile, Workspace};
+
+pub const NO_PANIC: &str = "no-panic";
+pub const FORBID_UNSAFE: &str = "forbid-unsafe";
+
+pub fn run(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for file in &ws.files {
+        forbid_unsafe(&file.rel, &file.lexed.masked, &mut diags);
+        if file.rel.ends_with("/main.rs") || file.rel.contains("/src/bin/") {
+            continue;
+        }
+        no_panic(&file.rel, file, &mut diags);
+    }
+    diags
+}
+
+fn forbid_unsafe(rel: &str, masked: &str, diags: &mut Vec<Diagnostic>) {
+    let parts: Vec<&str> = rel.split('/').collect();
+    let is_lib_root = rel == "src/lib.rs"
+        || (parts.len() == 4 && parts[0] == "crates" && parts[2] == "src" && parts[3] == "lib.rs");
+    if !is_lib_root {
+        return;
+    }
+    if !masked.contains("#![forbid(unsafe_code)]") {
+        diags.push(Diagnostic {
+            file: rel.to_string(),
+            line: 1,
+            rule: FORBID_UNSAFE,
+            message: "library crate root lacks `#![forbid(unsafe_code)]`".to_string(),
+        });
+    }
+}
+
+fn no_panic(rel: &str, file: &SourceFile, diags: &mut Vec<Diagnostic>) {
+    let masked = &file.lexed.masked;
+    for at in occurrences(masked, "println!") {
+        diags.push(Diagnostic {
+            file: rel.to_string(),
+            line: file.lexed.line_of(at),
+            rule: NO_PANIC,
+            message: "`println!` in library code (stdout belongs to the binaries; \
+                      use `eprintln!` for operator messages or return the data)"
+                .to_string(),
+        });
+    }
+    for (pat, what) in [(".unwrap()", "unwrap"), (".expect(", "expect")] {
+        for at in occurrences(masked, pat) {
+            if follows_lock_acquisition(masked, at) {
+                continue;
+            }
+            // `Option/Result::expect` takes exactly one argument; a
+            // multi-argument `.expect(…)` is some type's own fallible
+            // method (e.g. a parser's `expect(token, msg)`), not a panic.
+            if what == "expect" && !single_argument(masked, at + pat.len() - 1) {
+                continue;
+            }
+            diags.push(Diagnostic {
+                file: rel.to_string(),
+                line: file.lexed.line_of(at),
+                rule: NO_PANIC,
+                message: format!(
+                    "`.{what}` in library code (return the error, or waive with the \
+                     invariant that makes this unreachable)"
+                ),
+            });
+        }
+    }
+}
+
+/// Whether the call whose `(` sits at `open` has at most one top-level
+/// argument (commas inside nested delimiters don't count).
+fn single_argument(masked: &str, open: usize) -> bool {
+    let Some(close) = super::matching(masked, open) else {
+        return true;
+    };
+    let bytes = masked.as_bytes();
+    let (mut paren, mut bracket, mut brace) = (0u32, 0u32, 0u32);
+    for &b in &bytes[open + 1..close] {
+        match b {
+            b'(' => paren += 1,
+            b')' => paren = paren.saturating_sub(1),
+            b'[' => bracket += 1,
+            b']' => bracket = bracket.saturating_sub(1),
+            b'{' => brace += 1,
+            b'}' => brace = brace.saturating_sub(1),
+            b',' if paren == 0 && bracket == 0 && brace == 0 => return false,
+            _ => {}
+        }
+    }
+    true
+}
+
+/// Whether the `.unwrap`/`.expect` at `dot` directly follows a sync
+/// acquisition call — `.lock()`, `.read()`, `.write()` (argless, so io
+/// reads/writes do not qualify), `.wait(guard)` or `.wait_timeout(…)`.
+/// Panicking on lock poisoning is the workspace-wide policy.
+fn follows_lock_acquisition(masked: &str, dot: usize) -> bool {
+    // Masked comments keep their `//`/`/*` markers; a trailing annotation
+    // between the acquisition and its `.expect` must not break the chain.
+    let mut head = masked[..dot].trim_end();
+    while let Some(stripped) = head.strip_suffix("//").or_else(|| head.strip_suffix("/*")) {
+        head = stripped.trim_end();
+    }
+    if !head.ends_with(')') {
+        return false;
+    }
+    let bytes = head.as_bytes();
+    let mut depth = 0i32;
+    let mut open = None;
+    for i in (0..head.len()).rev() {
+        match bytes[i] {
+            b')' => depth += 1,
+            b'(' => {
+                depth -= 1;
+                if depth == 0 {
+                    open = Some(i);
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    let Some(open) = open else {
+        return false;
+    };
+    let args_empty = head[open + 1..head.len() - 1].trim().is_empty();
+    let mut start = open;
+    while start > 0 && is_ident(bytes[start - 1]) {
+        start -= 1;
+    }
+    match &head[start..open] {
+        "lock" | "read" | "write" => args_empty,
+        "wait" | "wait_timeout" => true,
+        _ => false,
+    }
+}

@@ -1,0 +1,118 @@
+//! The rule registry and the text-matching helpers the rules share.
+//!
+//! Every rule is a function from a loaded [`Workspace`] to diagnostics. A
+//! rule whose subject files are absent stays quiet — that is what lets the
+//! fixture trees under `tests/fixtures/` exercise one rule at a time — and
+//! every diagnostic can be suppressed at its site with
+//! `// spg-analyze: allow(<rule>)` (filtered centrally in [`crate::lint`]).
+
+pub mod failpoints;
+pub mod hot_loop;
+pub mod hygiene;
+pub mod lock_order;
+pub mod wire;
+
+use crate::workspace::{Diagnostic, Workspace};
+
+/// Runs every rule over the workspace. Waivers are not yet applied.
+pub fn run_all(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    diags.extend(lock_order::run(ws));
+    diags.extend(hot_loop::run(ws));
+    diags.extend(wire::run(ws));
+    diags.extend(failpoints::run(ws));
+    diags.extend(hygiene::run(ws));
+    diags
+}
+
+/// The names of every registered rule, for waiver validation and docs.
+pub const ALL_RULES: [&str; 6] = [
+    lock_order::NAME,
+    hot_loop::NAME,
+    wire::NAME,
+    failpoints::NAME,
+    hygiene::NO_PANIC,
+    hygiene::FORBID_UNSAFE,
+];
+
+pub(crate) fn is_ident(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Byte offsets of every occurrence of `pat` in `masked` that sits on
+/// identifier boundaries (so `println!` does not match inside `eprintln!`
+/// and `SystemTime` does not match `SystemTimeError`). Patterns whose first
+/// or last character is not an identifier character skip that side's check.
+pub(crate) fn occurrences(masked: &str, pat: &str) -> Vec<usize> {
+    let bytes = masked.as_bytes();
+    let pat_bytes = pat.as_bytes();
+    let mut out = Vec::new();
+    if pat_bytes.is_empty() {
+        return out;
+    }
+    let mut from = 0;
+    while let Some(found) = masked[from..].find(pat) {
+        let at = from + found;
+        let before_ok = !is_ident(pat_bytes[0]) || at == 0 || !is_ident(bytes[at - 1]);
+        let end = at + pat_bytes.len();
+        let after_ok = !is_ident(pat_bytes[pat_bytes.len() - 1])
+            || end >= bytes.len()
+            || !is_ident(bytes[end]);
+        if before_ok && after_ok {
+            out.push(at);
+        }
+        from = at + 1;
+    }
+    out
+}
+
+/// Index of the delimiter closing the one at `open` (`(`, `[` or `{`),
+/// counting nesting of that same delimiter kind only — fine on masked text,
+/// where no delimiter can hide in a string or comment.
+pub(crate) fn matching(masked: &str, open: usize) -> Option<usize> {
+    let bytes = masked.as_bytes();
+    let (open_ch, close_ch) = match bytes.get(open)? {
+        b'(' => (b'(', b')'),
+        b'[' => (b'[', b']'),
+        b'{' => (b'{', b'}'),
+        _ => return None,
+    };
+    let mut depth = 0usize;
+    for (i, &b) in bytes.iter().enumerate().skip(open) {
+        if b == open_ch {
+            depth += 1;
+        } else if b == close_ch {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn occurrences_respect_ident_boundaries() {
+        assert_eq!(
+            occurrences("eprintln!(x); println!(y)", "println!"),
+            vec![14]
+        );
+        assert_eq!(
+            occurrences("SystemTimeError SystemTime", "SystemTime"),
+            vec![16]
+        );
+        assert_eq!(occurrences("a.lock() b.relock()", ".lock("), vec![1]);
+    }
+
+    #[test]
+    fn matching_counts_nesting() {
+        let s = "f(a(b), c) d";
+        assert_eq!(matching(s, 1), Some(9));
+        assert_eq!(matching(s, 3), Some(5));
+        assert_eq!(matching("unterminated(", 12), None);
+    }
+}

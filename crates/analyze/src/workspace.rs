@@ -1,0 +1,304 @@
+//! Workspace discovery and per-file annotation extraction.
+//!
+//! The scanner walks the workspace's library/binary sources (`src/` of the
+//! umbrella crate and of every `crates/*` member — `tests/`, `benches/`,
+//! `examples/` and `vendor/` are out of scope) and attaches to each file:
+//!
+//! * **waivers** — `// spg-analyze: allow(rule-a, rule-b)` comments. A
+//!   trailing waiver applies to its own line; a waiver on a line of its own
+//!   applies to the next line that carries code. Diagnostics of the named
+//!   rules on the covered line are suppressed.
+//! * **lock annotations** — `// lock: <class>` comments with the same
+//!   placement rules, naming the lock class acquired on the covered line
+//!   (comma-separated when one line acquires several classes in order).
+
+use std::collections::HashMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{lex, Lexed};
+
+/// One lint diagnostic, anchored to a workspace-relative file and line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path with `/` separators.
+    pub file: String,
+    /// 1-indexed line.
+    pub line: usize,
+    /// Rule identifier (see `docs/static_analysis.md` for the catalog).
+    pub rule: &'static str,
+    /// Human-readable finding.
+    pub message: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// One lexed source file plus its extracted waivers/annotations.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators.
+    pub rel: String,
+    pub lexed: Lexed,
+    /// rule name -> set of (1-indexed) lines waived for that rule.
+    pub waivers: HashMap<String, Vec<usize>>,
+    /// line -> ordered lock classes annotated for that line.
+    pub lock_classes: HashMap<usize, Vec<String>>,
+}
+
+impl SourceFile {
+    /// Whether a diagnostic of `rule` on `line` is waived in this file.
+    pub fn is_waived(&self, rule: &str, line: usize) -> bool {
+        self.waivers
+            .get(rule)
+            .map(|lines| lines.contains(&line))
+            .unwrap_or(false)
+    }
+}
+
+/// The loaded workspace the rules run over.
+#[derive(Debug)]
+pub struct Workspace {
+    pub root: PathBuf,
+    pub files: Vec<SourceFile>,
+}
+
+impl Workspace {
+    /// Loads every in-scope source file under `root`.
+    pub fn load(root: &Path) -> io::Result<Workspace> {
+        let mut rust_files = Vec::new();
+        let umbrella = root.join("src");
+        if umbrella.is_dir() {
+            collect_rs(&umbrella, &mut rust_files)?;
+        }
+        let crates_dir = root.join("crates");
+        if crates_dir.is_dir() {
+            let mut members: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+                .filter_map(|e| e.ok())
+                .map(|e| e.path())
+                .filter(|p| p.is_dir())
+                .collect();
+            members.sort();
+            for member in members {
+                let src = member.join("src");
+                if src.is_dir() {
+                    collect_rs(&src, &mut rust_files)?;
+                }
+            }
+        }
+        rust_files.sort();
+        let mut files = Vec::with_capacity(rust_files.len());
+        for path in rust_files {
+            let text = fs::read_to_string(&path)?;
+            files.push(load_file(root, &path, &text));
+        }
+        Ok(Workspace {
+            root: root.to_path_buf(),
+            files,
+        })
+    }
+
+    /// The loaded file at workspace-relative path `rel`, if in scope.
+    pub fn file(&self, rel: &str) -> Option<&SourceFile> {
+        self.files.iter().find(|f| f.rel == rel)
+    }
+
+    /// Reads a non-Rust reference file (docs, test harnesses) under the
+    /// root. Returns `None` when absent — rules treat a missing reference
+    /// as "this rule's subject does not exist here" and stay quiet, which
+    /// is what lets small fixture trees target a single rule.
+    pub fn read_reference(&self, rel: &str) -> Option<String> {
+        fs::read_to_string(self.root.join(rel)).ok()
+    }
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().and_then(|e| e.to_str()) == Some("rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn load_file(root: &Path, path: &Path, text: &str) -> SourceFile {
+    let rel = path
+        .strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/");
+    let lexed = lex(text);
+    let (waivers, lock_classes) = extract_annotations(&lexed);
+    SourceFile {
+        rel,
+        lexed,
+        waivers,
+        lock_classes,
+    }
+}
+
+/// Computes the line each comment governs: its own line when code precedes
+/// it (a trailing comment), otherwise the next line that carries code.
+fn governed_line(lexed: &Lexed, comment_offset: usize, comment_line: usize) -> usize {
+    let line_start = lexed.line_starts[comment_line - 1];
+    let before = &lexed.masked[line_start..comment_offset];
+    let has_code = before.trim_start().chars().any(|c| c != ' ');
+    if has_code {
+        return comment_line;
+    }
+    // Standalone comment: governs the next line with any code on it.
+    let mut line = comment_line + 1;
+    while line <= lexed.line_starts.len() {
+        let start = lexed.line_starts[line - 1];
+        let end = lexed
+            .line_starts
+            .get(line)
+            .copied()
+            .unwrap_or(lexed.masked.len());
+        let body = &lexed.masked[start..end];
+        let code = body
+            .trim()
+            .trim_start_matches(['/', '*'])
+            .chars()
+            .any(|c| !c.is_whitespace());
+        if code {
+            return line;
+        }
+        line += 1;
+    }
+    comment_line
+}
+
+type Annotations = (HashMap<String, Vec<usize>>, HashMap<usize, Vec<String>>);
+
+fn extract_annotations(lexed: &Lexed) -> Annotations {
+    let mut waivers: HashMap<String, Vec<usize>> = HashMap::new();
+    let mut lock_classes: HashMap<usize, Vec<String>> = HashMap::new();
+    for comment in &lexed.comments {
+        let governed = governed_line(lexed, comment.offset, comment.line);
+        if let Some(rules) = parse_waiver(&comment.text) {
+            for rule in rules {
+                waivers.entry(rule).or_default().push(governed);
+            }
+        }
+        if let Some(classes) = parse_lock_annotation(&comment.text) {
+            lock_classes.entry(governed).or_default().extend(classes);
+        }
+    }
+    (waivers, lock_classes)
+}
+
+/// Parses `spg-analyze: allow(rule-a, rule-b)` out of a comment body.
+fn parse_waiver(comment: &str) -> Option<Vec<String>> {
+    let idx = comment.find("spg-analyze: allow(")?;
+    let rest = &comment[idx + "spg-analyze: allow(".len()..];
+    let close = rest.find(')')?;
+    let rules: Vec<String> = rest[..close]
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect();
+    (!rules.is_empty()).then_some(rules)
+}
+
+/// Parses `lock: class.a, class.b` out of a comment body. The class grammar
+/// is `[a-z0-9_.-]+`; anything after the class list (an em-dash rationale,
+/// say) is ignored.
+fn parse_lock_annotation(comment: &str) -> Option<Vec<String>> {
+    let trimmed = comment.trim_start();
+    let rest = trimmed.strip_prefix("lock:")?;
+    let mut classes = Vec::new();
+    for part in rest.split(',') {
+        let class: String = part
+            .trim_start()
+            .chars()
+            .take_while(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || "._-".contains(*c))
+            .collect();
+        if class.is_empty() {
+            break;
+        }
+        classes.push(class);
+        // A rationale after the last class ends the list.
+        if part.trim_start().len() > classes.last().map(String::len).unwrap_or(0) {
+            break;
+        }
+    }
+    (!classes.is_empty()).then_some(classes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn file(src: &str) -> SourceFile {
+        let lexed = lex(src);
+        let (waivers, lock_classes) = extract_annotations(&lexed);
+        SourceFile {
+            rel: "test.rs".into(),
+            lexed,
+            waivers,
+            lock_classes,
+        }
+    }
+
+    #[test]
+    fn trailing_waiver_governs_its_own_line() {
+        let f = file("fn a() {}\nlet x = now(); // spg-analyze: allow(hot-loop)\n");
+        assert!(f.is_waived("hot-loop", 2));
+        assert!(!f.is_waived("hot-loop", 1));
+        assert!(!f.is_waived("no-panic", 2));
+    }
+
+    #[test]
+    fn standalone_waiver_governs_next_code_line() {
+        let f = file("// spg-analyze: allow(no-panic) — invariant\n\nlet x = v.unwrap();\n");
+        assert!(f.is_waived("no-panic", 3));
+    }
+
+    #[test]
+    fn multi_rule_waiver() {
+        let f = file("do_it(); // spg-analyze: allow(hot-loop, no-panic)\n");
+        assert!(f.is_waived("hot-loop", 1));
+        assert!(f.is_waived("no-panic", 1));
+    }
+
+    #[test]
+    fn lock_annotations_attach_to_lines() {
+        let f = file("let g = m.lock(); // lock: cache.shard\n// lock: flight.state — rationale\nlet h = s.lock();\n");
+        assert_eq!(
+            f.lock_classes.get(&1).map(Vec::as_slice),
+            Some(&["cache.shard".to_string()][..])
+        );
+        assert_eq!(
+            f.lock_classes.get(&3).map(Vec::as_slice),
+            Some(&["flight.state".to_string()][..])
+        );
+    }
+
+    #[test]
+    fn comma_list_of_classes() {
+        let f = file("acquire_both(); // lock: a.x, b.y\n");
+        assert_eq!(
+            f.lock_classes.get(&1).map(Vec::as_slice),
+            Some(&["a.x".to_string(), "b.y".to_string()][..])
+        );
+    }
+}

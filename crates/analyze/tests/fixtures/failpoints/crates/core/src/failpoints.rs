@@ -1,0 +1,6 @@
+pub mod sites {
+    pub const GOOD: &str = "good";
+    pub const ORPHAN: &str = "orphan";
+    pub const UNPROVEN: &str = "unproven";
+    pub const ALL: [&str; 2] = [GOOD, UNPROVEN];
+}

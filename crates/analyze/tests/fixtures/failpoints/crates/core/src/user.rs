@@ -1,0 +1,3 @@
+pub fn hit() {
+    let _ = failpoints::check(sites::GHOST);
+}

@@ -1,0 +1,1 @@
+//! Chaos fixture: arms "good" and "orphan", never mentions the third site.

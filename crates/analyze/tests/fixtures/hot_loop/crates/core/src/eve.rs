@@ -1,0 +1,8 @@
+//! Hot-loop fixture: one clock read, one waived clock read, one atomic RMW.
+
+pub fn tick(counter: &AtomicU64) {
+    let t = Instant::now();
+    let w = Instant::now(); // spg-analyze: allow(hot-loop) — fixture boundary
+    counter.fetch_add(1, Ordering::Relaxed);
+    let _ = (t, w);
+}

@@ -1,0 +1,3 @@
+//! Hygiene fixture library root, deliberately missing the forbid attribute.
+
+pub mod util;

@@ -1,0 +1,4 @@
+fn main() {
+    println!("binary roots may print");
+    Some(1).unwrap();
+}

@@ -1,0 +1,12 @@
+pub fn bad(v: Option<u32>) -> u32 {
+    println!("library stdout");
+    v.unwrap()
+}
+
+pub fn waived(v: Option<u32>) -> u32 {
+    v.unwrap() // spg-analyze: allow(no-panic) — fixture waiver
+}
+
+pub fn poison_policy(m: &std::sync::Mutex<u32>) -> u32 {
+    *m.lock().expect("poisoned")
+}

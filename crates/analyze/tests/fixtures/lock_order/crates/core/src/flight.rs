@@ -1,0 +1,26 @@
+//! Lock-order fixture: one well-ordered pair, one reversed pair (order
+//! violation + cycle), one unannotated site, one waived unannotated site.
+
+pub fn ordered(a: &Holder, b: &Holder) {
+    let g = a.mu.lock().expect("a"); // lock: alpha
+    let h = b.mu.lock().expect("b"); // lock: beta
+    drop(h);
+    drop(g);
+}
+
+pub fn reversed(a: &Holder, b: &Holder) {
+    let h = b.mu.lock().expect("b"); // lock: beta
+    let g = a.mu.lock().expect("a"); // lock: alpha
+    drop(g);
+    drop(h);
+}
+
+pub fn unannotated(a: &Holder) {
+    let g = a.mu.lock().expect("a");
+    drop(g);
+}
+
+pub fn waived(a: &Holder) {
+    let g = a.mu.lock().expect("a"); // spg-analyze: allow(lock-order)
+    drop(g);
+}

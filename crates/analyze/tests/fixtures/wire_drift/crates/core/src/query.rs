@@ -1,0 +1,11 @@
+//! Wire-drift fixture: a Display template the doc does not carry.
+
+pub enum QueryError {
+    Boom,
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "an undocumented wire string")
+    }
+}

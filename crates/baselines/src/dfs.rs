@@ -33,7 +33,7 @@ fn naive_rec(
     stack: &mut Vec<VertexId>,
     sink: &mut dyn PathSink,
 ) -> bool {
-    let cur = *stack.last().unwrap();
+    let cur = *stack.last().unwrap(); // spg-analyze: allow(no-panic) — loop guard: the stack is non-empty
     if cur == t {
         return sink.accept(stack);
     }
@@ -78,7 +78,7 @@ fn pruned_rec(
     stack: &mut Vec<VertexId>,
     sink: &mut dyn PathSink,
 ) -> bool {
-    let cur = *stack.last().unwrap();
+    let cur = *stack.last().unwrap(); // spg-analyze: allow(no-panic) — loop guard: the stack is non-empty
     if cur == t {
         return sink.accept(stack);
     }
@@ -153,7 +153,7 @@ fn bc_rec(
     st: &mut BcState,
     sink: &mut dyn PathSink,
 ) -> BcOutcome {
-    let cur = *st.stack.last().unwrap();
+    let cur = *st.stack.last().unwrap(); // spg-analyze: allow(no-panic) — loop guard: the stack is non-empty
     if cur == t {
         if !sink.accept(&st.stack) {
             st.stopped = true;

@@ -140,7 +140,7 @@ fn forward_rec(
     partials: &mut FxHashMap<VertexId, Vec<Vec<VertexId>>>,
     stopped: &mut bool,
 ) {
-    let cur = *stack.last().unwrap();
+    let cur = *stack.last().unwrap(); // spg-analyze: allow(no-panic) — loop guard: the stack is non-empty
     if cur == t {
         if !sink.accept(stack) {
             *stopped = true;
@@ -195,7 +195,7 @@ fn backward_rec(
     stack: &mut Vec<VertexId>,
     partials: &mut FxHashMap<VertexId, Vec<Vec<VertexId>>>,
 ) {
-    let cur = *stack.last().unwrap();
+    let cur = *stack.last().unwrap(); // spg-analyze: allow(no-panic) — loop guard: the stack is non-empty
     if stack.len() > 1 {
         // `cur` is a candidate middle vertex. The forward phase only produces
         // partials whose endpoint is at forward distance ≤ k_f from s.

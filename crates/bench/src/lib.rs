@@ -16,6 +16,8 @@
 //! shapes — who wins, by roughly what factor, where the crossovers are — are
 //! what EXPERIMENTS.md tracks.
 
+#![forbid(unsafe_code)]
+
 use std::time::{Duration, Instant};
 
 use spg_baselines::{join_enumerate_with_stats, EdgeUnion, PathEnumIndex, PathSink};
@@ -198,7 +200,7 @@ impl Table {
 
     /// Prints the rendered table to stdout.
     pub fn print(&self) {
-        println!("{}", self.render());
+        println!("{}", self.render()); // spg-analyze: allow(no-panic) — the rendered report table is the bench bins' stdout product
     }
 }
 
@@ -346,7 +348,7 @@ pub fn run_query(
     let start = Instant::now();
     match algorithm {
         SpgAlgorithm::Eve => {
-            let spg = eve.query(query).expect("workload queries are valid");
+            let spg = eve.query(query).expect("workload queries are valid"); // spg-analyze: allow(no-panic) — generated workload queries are in-range by construction
             QueryRun {
                 elapsed: start.elapsed(),
                 spg_edges: spg.edge_count(),

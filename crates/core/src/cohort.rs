@@ -197,7 +197,7 @@ pub(crate) fn run_cohort(
     // while the rest of the workspace runs phases 1b–3 mutably.
     let mut engine = std::mem::take(&mut ws.msbfs);
     engine.set_mode(mode);
-    let start = Instant::now();
+    let start = Instant::now(); // spg-analyze: allow(hot-loop) — phase-boundary timer (cohort MS-BFS entry)
     let traversal = engine.run_budgeted(eve.graph(), &cohort.lanes, &engine_budget);
     stats.phase1.traversal_time += start.elapsed();
     for dir in [Direction::Forward, Direction::Backward] {

@@ -384,7 +384,7 @@ fn label_edge(
         if space.dist_from_s(u) <= 1 && space.dist_to_t(v) <= k - 2 {
             let ev_vt = bwd
                 .ev(k - 2, v)
-                .expect("EV(v,t) must be materialised when it exists");
+                .expect("EV(v,t) must be materialised when it exists"); // spg-analyze: allow(no-panic) — invariant stated in the message; checked by debug assertions
             if !sorted_contains(ev_vt, u) {
                 definite = true;
                 departure = true;
@@ -393,7 +393,7 @@ fn label_edge(
         if space.dist_to_t(v) <= 1 && space.dist_from_s(u) <= k - 2 {
             let ev_su = fwd
                 .ev(k - 2, u)
-                .expect("EV(s,u) must be materialised when it exists");
+                .expect("EV(s,u) must be materialised when it exists"); // spg-analyze: allow(no-panic) — invariant stated in the message; checked by debug assertions
             if !sorted_contains(ev_su, v) {
                 definite = true;
                 arrival = true;
@@ -413,10 +413,10 @@ fn label_edge(
             }
             let ev_su = fwd
                 .ev(kf, u)
-                .expect("forward EV must exist for an in-space vertex");
+                .expect("forward EV must exist for an in-space vertex"); // spg-analyze: allow(no-panic) — invariant stated in the message; checked by debug assertions
             let ev_vt = bwd
                 .ev(kb, v)
-                .expect("backward EV must exist for an in-space vertex");
+                .expect("backward EV must exist for an in-space vertex"); // spg-analyze: allow(no-panic) — invariant stated in the message; checked by debug assertions
             if sorted_disjoint(ev_su, ev_vt) {
                 return FlatLabel::Undetermined;
             }

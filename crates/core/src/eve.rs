@@ -261,7 +261,7 @@ impl<'g> Eve<'g> {
         }
         results
             .into_iter()
-            .map(|slot| slot.expect("the cohort plan covers every query index exactly once"))
+            .map(|slot| slot.expect("the cohort plan covers every query index exactly once")) // spg-analyze: allow(no-panic) — the cohort planner is exhaustive over query indices
             .collect()
     }
 
@@ -309,7 +309,7 @@ impl<'g> Eve<'g> {
         // Phase 1a: raw distances (computed per query, materialised from a
         // cohort's shared MS-BFS lane, or reused verbatim from the previous
         // identical member) + compacted search space.
-        let start = Instant::now();
+        let start = Instant::now(); // spg-analyze: allow(hot-loop) — phase-boundary timer (Phase 1a entry)
         failpoints::check(sites::PHASE1)?;
         match input {
             DistInput::Compute => {
@@ -356,7 +356,7 @@ impl<'g> Eve<'g> {
         memory.distance_bytes = ws.dist.memory_bytes() + ws.space.memory_bytes();
 
         // Phase 1b: essential-vertex propagation on flat per-level rows.
-        let start = Instant::now();
+        let start = Instant::now(); // spg-analyze: allow(hot-loop) — phase-boundary timer (Phase 1b entry)
         failpoints::check(sites::PHASE1B)?;
         ws.fwd.run_budgeted(
             &ws.space,
@@ -374,7 +374,7 @@ impl<'g> Eve<'g> {
         memory.propagation_bytes = ws.fwd.memory_bytes() + ws.bwd.memory_bytes();
 
         // Phase 2: upper-bound graph via edge labeling.
-        let start = Instant::now();
+        let start = Instant::now(); // spg-analyze: allow(hot-loop) — phase-boundary timer (Phase 2 entry)
         failpoints::check(sites::PHASE2)?;
         ws.ub.build_budgeted(&ws.space, &ws.fwd, &ws.bwd, budget)?;
         timings.labeling = start.elapsed();
@@ -396,7 +396,7 @@ impl<'g> Eve<'g> {
         self.run_phases_1_2(ws, query, &mut timings, &mut memory, input, budget)?;
 
         // Phase 3: verification of undetermined edges.
-        let start = Instant::now();
+        let start = Instant::now(); // spg-analyze: allow(hot-loop) — phase-boundary timer (Phase 3 entry)
         failpoints::check(sites::VERIFY)?;
         if self.config.search_ordering && query.k >= 5 {
             apply_search_ordering_flat(&mut ws.ub, &mut ws.order);
@@ -485,7 +485,7 @@ impl<'g> Eve<'g> {
         let mut memory = MemoryEstimate::default();
 
         // Phase 1a: distance index.
-        let start = Instant::now();
+        let start = Instant::now(); // spg-analyze: allow(hot-loop) — phase-boundary timer (legacy phase 1)
         let index = DistanceIndex::compute(
             self.graph,
             query.source,
@@ -497,7 +497,7 @@ impl<'g> Eve<'g> {
         memory.distance_bytes = index.memory_bytes();
 
         // Phase 1b: essential-vertex propagation.
-        let start = Instant::now();
+        let start = Instant::now(); // spg-analyze: allow(hot-loop) — phase-boundary timer (legacy phase 1b)
         let forward = Propagation::forward(
             self.graph,
             query,
@@ -514,13 +514,13 @@ impl<'g> Eve<'g> {
         memory.propagation_bytes = forward.memory_bytes() + backward.memory_bytes();
 
         // Phase 2: upper-bound graph via edge labeling.
-        let start = Instant::now();
+        let start = Instant::now(); // spg-analyze: allow(hot-loop) — phase-boundary timer (legacy phase 2)
         let mut upper = UpperBoundGraph::build(self.graph, query, &index, &forward, &backward);
         timings.labeling = start.elapsed();
         memory.upper_bound_bytes = upper.memory_bytes();
 
         // Phase 3: verification of undetermined edges.
-        let start = Instant::now();
+        let start = Instant::now(); // spg-analyze: allow(hot-loop) — phase-boundary timer (legacy phase 3)
         if self.config.search_ordering && query.k >= 5 {
             apply_search_ordering(&mut upper);
         }

@@ -256,6 +256,7 @@ impl BatchExecutor {
                     })
                     .collect();
                 for handle in handles {
+                    // spg-analyze: allow(no-panic) — a worker panic here is a bug; catch_unwind guards the slots
                     per_thread.push(handle.join().expect("batch worker panicked"));
                 }
             });
@@ -265,6 +266,7 @@ impl BatchExecutor {
             .into_iter()
             .map(|slot| {
                 slot.into_inner()
+                    // spg-analyze: allow(no-panic) — the cohort planner is exhaustive over query indices
                     .expect("the cohort plan covers every query index exactly once")
             })
             .collect();
@@ -533,7 +535,7 @@ impl BatchExecutor {
 
         let results: Vec<BatchResult> = slots
             .into_iter()
-            .map(|slot| slot.expect("every slot is resolved by probe, compute or fan-out"))
+            .map(|slot| slot.expect("every slot is resolved by probe, compute or fan-out")) // spg-analyze: allow(no-panic) — every slot is resolved by probe, compute or fan-out
             .collect();
         debug_assert_eq!(stats.answered + stats.errors, results.len());
         BatchOutcome {
@@ -567,6 +569,7 @@ impl BatchExecutor {
                     .map(|_| scope.spawn(|| drain(run_one, queries, &cursor, chunk, &slots)))
                     .collect();
                 for handle in handles {
+                    // spg-analyze: allow(no-panic) — a worker panic here is a bug; catch_unwind guards the slots
                     per_thread.push(handle.join().expect("batch worker panicked"));
                 }
             });
@@ -576,6 +579,7 @@ impl BatchExecutor {
             .into_iter()
             .map(|slot| {
                 slot.into_inner()
+                    // spg-analyze: allow(no-panic) — the chunked cursor is exhaustive over query indices
                     .expect("the chunked cursor visits every query index exactly once")
             })
             .collect();
@@ -616,7 +620,7 @@ fn drain_shared(
     let mut ws = QueryWorkspace::new();
     let mut stats = ThreadBatchStats::default();
     loop {
-        let unit = cursor.fetch_add(1, Ordering::Relaxed);
+        let unit = cursor.fetch_add(1, Ordering::Relaxed); // spg-analyze: allow(hot-loop) — one claim per scheduling unit, amortised over the unit
         if unit >= plan.units.len() {
             break;
         }
@@ -641,7 +645,7 @@ fn drain_shared(
                 }
                 slots[*index]
                     .set(result)
-                    .expect("no other worker may claim this query index");
+                    .expect("no other worker may claim this query index"); // spg-analyze: allow(no-panic) — slot claimed by this worker via the cursor
             }
             Unit::Cohort(cohort) => {
                 let unwound = catch_unwind(AssertUnwindSafe(|| {
@@ -655,6 +659,7 @@ fn drain_shared(
                         |index, result| {
                             slots[index]
                                 .set(result)
+                                // spg-analyze: allow(no-panic) — slot claimed by this worker via the cursor
                                 .expect("no other worker may claim this query index");
                         },
                     )
@@ -697,7 +702,7 @@ fn drain(
     let mut ws = QueryWorkspace::new();
     let mut stats = ThreadBatchStats::default();
     loop {
-        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+        let start = cursor.fetch_add(chunk, Ordering::Relaxed); // spg-analyze: allow(hot-loop) — one claim per chunk, amortised over the chunk
         if start >= queries.len() {
             break;
         }
@@ -725,7 +730,7 @@ fn drain(
                 Err(_) => stats.errors += 1,
             }
             slot.set(result)
-                .expect("no other worker may claim this query index");
+                .expect("no other worker may claim this query index"); // spg-analyze: allow(no-panic) — slot claimed by this worker via the cursor
         }
     }
     stats.workspace_retained_bytes = ws.retained_bytes();

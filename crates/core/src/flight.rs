@@ -93,7 +93,7 @@ impl Flight {
     }
 
     fn resolve(&self, state: FlightState) {
-        *self.state.lock().expect("flight state") = state;
+        *self.state.lock().expect("flight state") = state; // lock: flight.state
         self.arrived.notify_all();
     }
 }
@@ -172,16 +172,16 @@ impl FlightGroup {
     /// concurrent caller becomes a [`FlightRole::Joiner`] holding a latch.
     pub fn join_or_lead(&self, version: GraphVersion, query: Query) -> FlightRole<'_> {
         let key = (version, query);
-        let mut flights = self.flights.lock().expect("flight registry");
+        let mut flights = self.flights.lock().expect("flight registry"); // lock: flight.registry
         if let Some(flight) = flights.get(&key) {
-            self.joined.fetch_add(1, Ordering::Relaxed);
+            self.joined.fetch_add(1, Ordering::Relaxed); // spg-analyze: allow(hot-loop) — one bump per flight join
             return FlightRole::Joiner(FlightJoiner {
                 flight: Arc::clone(flight),
             });
         }
         let flight = Arc::new(Flight::new());
         flights.insert(key, Arc::clone(&flight));
-        self.led.fetch_add(1, Ordering::Relaxed);
+        self.led.fetch_add(1, Ordering::Relaxed); // spg-analyze: allow(hot-loop) — one bump per flight claim
         FlightRole::Leader(FlightToken {
             group: self,
             key,
@@ -193,7 +193,7 @@ impl FlightGroup {
     /// Removes `key` from the registry iff it still maps to `flight`
     /// (an abandoned key may have been re-led by a new leader since).
     fn retire(&self, key: &FlightKey, flight: &Arc<Flight>) {
-        let mut flights = self.flights.lock().expect("flight registry");
+        let mut flights = self.flights.lock().expect("flight registry"); // lock: flight.registry
         if let Some(current) = flights.get(key) {
             if Arc::ptr_eq(current, flight) {
                 flights.remove(key);
@@ -204,7 +204,7 @@ impl FlightGroup {
     /// Flights currently pending (leaders that have neither completed nor
     /// abandoned).
     pub fn in_flight(&self) -> usize {
-        self.flights.lock().expect("flight registry").len()
+        self.flights.lock().expect("flight registry").len() // lock: flight.registry
     }
 
     /// Counter snapshot.
@@ -256,7 +256,7 @@ impl FlightToken<'_> {
     /// instead of silently recomputing.
     pub fn fail(mut self, err: QueryError) {
         self.completed = true;
-        self.group.failed.fetch_add(1, Ordering::Relaxed);
+        self.group.failed.fetch_add(1, Ordering::Relaxed); // spg-analyze: allow(hot-loop) — one bump per failed flight
         self.group.retire(&self.key, &self.flight);
         self.flight.resolve(FlightState::Failed(err));
     }
@@ -265,7 +265,7 @@ impl FlightToken<'_> {
 impl Drop for FlightToken<'_> {
     fn drop(&mut self) {
         if !self.completed {
-            self.group.abandoned.fetch_add(1, Ordering::Relaxed);
+            self.group.abandoned.fetch_add(1, Ordering::Relaxed); // spg-analyze: allow(hot-loop) — one bump per abandoned flight
             self.group.retire(&self.key, &self.flight);
             self.flight.resolve(FlightState::Abandoned);
         }
@@ -284,13 +284,14 @@ impl FlightJoiner {
     /// leader path resolves it, including panics (the token's `Drop` runs
     /// during unwinding and broadcasts [`FlightOutcome::Abandoned`]).
     pub fn wait(self) -> FlightOutcome {
-        let mut state = self.flight.state.lock().expect("flight state");
+        let mut state = self.flight.state.lock().expect("flight state"); // lock: flight.state
         loop {
             match &*state {
                 FlightState::Done(answer) => return FlightOutcome::Done(Arc::clone(answer)),
                 FlightState::Failed(err) => return FlightOutcome::Failed(*err),
                 FlightState::Abandoned => return FlightOutcome::Abandoned,
                 FlightState::Pending => {
+                    // lock: flight.state
                     state = self.flight.arrived.wait(state).expect("flight state");
                 }
             }
@@ -300,7 +301,7 @@ impl FlightJoiner {
     /// Non-blocking probe: `Some(outcome)` once resolved, `None` while the
     /// leader is still computing.
     pub fn try_wait(&self) -> Option<FlightOutcome> {
-        let state = self.flight.state.lock().expect("flight state");
+        let state = self.flight.state.lock().expect("flight state"); // lock: flight.state
         match &*state {
             FlightState::Done(answer) => Some(FlightOutcome::Done(Arc::clone(answer))),
             FlightState::Failed(err) => Some(FlightOutcome::Failed(*err)),

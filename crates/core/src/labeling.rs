@@ -340,7 +340,7 @@ impl<'a> EdgeLabeler<'a> {
                 let ev_vt = self
                     .backward
                     .ev(k - 2, v)
-                    .expect("EV(v,t) must be materialised when it exists");
+                    .expect("EV(v,t) must be materialised when it exists"); // spg-analyze: allow(no-panic) — invariant stated in the message; checked by debug assertions
                 if !ev_vt.contains(u) {
                     definite = true;
                     departure = true;
@@ -350,7 +350,7 @@ impl<'a> EdgeLabeler<'a> {
                 let ev_su = self
                     .forward
                     .ev(k - 2, u)
-                    .expect("EV(s,u) must be materialised when it exists");
+                    .expect("EV(s,u) must be materialised when it exists"); // spg-analyze: allow(no-panic) — invariant stated in the message; checked by debug assertions
                 if !ev_su.contains(v) {
                     definite = true;
                     arrival = true;
@@ -376,11 +376,11 @@ impl<'a> EdgeLabeler<'a> {
                 let ev_su = self
                     .forward
                     .ev(kf, u)
-                    .expect("forward EV must exist for an in-space vertex");
+                    .expect("forward EV must exist for an in-space vertex"); // spg-analyze: allow(no-panic) — invariant stated in the message; checked by debug assertions
                 let ev_vt = self
                     .backward
                     .ev(kb, v)
-                    .expect("backward EV must exist for an in-space vertex");
+                    .expect("backward EV must exist for an in-space vertex"); // spg-analyze: allow(no-panic) — invariant stated in the message; checked by debug assertions
                 if ev_su.is_disjoint(ev_vt) {
                     return LabelOutcome::plain(EdgeLabel::Undetermined);
                 }

@@ -152,7 +152,7 @@ impl Propagation {
                 // previous level (the origin at level 0, or updated vertices).
                 let ev_x = prop
                     .ev(l - 1, x)
-                    .expect("frontier vertex must have an essential vertex set");
+                    .expect("frontier vertex must have an essential vertex set"); // spg-analyze: allow(no-panic) — frontier vertices are inserted with their sets
                 for &y in g.neighbors(x, dir) {
                     edge_scans += 1;
                     if y == origin || y == excluded {

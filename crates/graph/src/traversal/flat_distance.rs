@@ -106,7 +106,7 @@ impl FlatDistances {
         strategy: DistanceStrategy,
     ) {
         self.compute_budgeted(g, s, t, k, strategy, &QueryBudget::unlimited())
-            .expect("an unlimited budget never trips");
+            .expect("an unlimited budget never trips"); // spg-analyze: allow(no-panic) — unlimited budgets cannot trip
     }
 
     /// [`FlatDistances::compute`] under a cooperative [`QueryBudget`]:

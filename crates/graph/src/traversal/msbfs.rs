@@ -443,7 +443,7 @@ impl MsBfsEngine {
     /// lane has `source == target` or an endpoint outside the graph.
     pub fn run(&mut self, g: &DiGraph, lanes: &[MsBfsLane]) {
         self.run_budgeted(g, lanes, &QueryBudget::unlimited())
-            .expect("an unlimited budget never trips");
+            .expect("an unlimited budget never trips"); // spg-analyze: allow(no-panic) — unlimited budgets cannot trip
     }
 
     /// [`MsBfsEngine::run`] under a cooperative [`QueryBudget`], charged one

@@ -32,7 +32,7 @@ pub type GraphVersion = u64;
 static NEXT_VERSION: AtomicU64 = AtomicU64::new(1);
 
 fn fresh_version() -> GraphVersion {
-    NEXT_VERSION.fetch_add(1, Ordering::Relaxed)
+    NEXT_VERSION.fetch_add(1, Ordering::Relaxed) // spg-analyze: allow(hot-loop) — once per graph build, nowhere near a query loop
 }
 
 /// A [`DiGraph`] plus the [`GraphVersion`] of its current snapshot (see the

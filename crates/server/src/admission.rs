@@ -65,7 +65,7 @@ impl RateLimiter {
         let Some(rate) = self.rate else {
             return true;
         };
-        let mut buckets = self.buckets.lock().expect("rate limiter poisoned");
+        let mut buckets = self.buckets.lock().expect("rate limiter poisoned"); // lock: admission.buckets
         let bucket = buckets.entry(tenant.to_string()).or_insert(Bucket {
             tokens: self.burst,
             refreshed: now,
@@ -85,7 +85,7 @@ impl RateLimiter {
 
     /// Tenants with a bucket so far (observability only).
     pub fn tenants(&self) -> usize {
-        self.buckets.lock().expect("rate limiter poisoned").len()
+        self.buckets.lock().expect("rate limiter poisoned").len() // lock: admission.buckets
     }
 }
 
@@ -127,7 +127,7 @@ impl<T> BatchQueue<T> {
     /// caller answers `overloaded` (full) or drops the work (shutdown).
     /// Never blocks.
     pub fn push(&self, item: T) -> Result<(), T> {
-        let mut state = self.state.lock().expect("batch queue poisoned");
+        let mut state = self.state.lock().expect("batch queue poisoned"); // lock: admission.queue
         if state.closed || state.items.len() >= self.capacity {
             return Err(item);
         }
@@ -142,13 +142,13 @@ impl<T> BatchQueue<T> {
     /// item opens the batch; it closes at `batch_max` items or after the
     /// configured deadline, whichever comes first.
     pub fn next_batch(&self) -> Option<Vec<T>> {
-        let mut state = self.state.lock().expect("batch queue poisoned");
-        // Wait for the opening item.
+        let mut state = self.state.lock().expect("batch queue poisoned"); // lock: admission.queue
+                                                                          // Wait for the opening item.
         while state.items.is_empty() {
             if state.closed {
                 return None;
             }
-            state = self.arrived.wait(state).expect("batch queue poisoned");
+            state = self.arrived.wait(state).expect("batch queue poisoned"); // lock: admission.queue
         }
         // Batch-forming window: absorb arrivals until full or deadline.
         let opened = Instant::now();
@@ -159,7 +159,7 @@ impl<T> BatchQueue<T> {
             }
             let (next, timeout) = self
                 .arrived
-                .wait_timeout(state, self.deadline - elapsed)
+                .wait_timeout(state, self.deadline - elapsed) // lock: admission.queue
                 .expect("batch queue poisoned");
             state = next;
             if timeout.timed_out() {
@@ -173,13 +173,13 @@ impl<T> BatchQueue<T> {
     /// Closes the queue: future pushes fail, the consumer drains what is
     /// left and then gets `None`.
     pub fn close(&self) {
-        self.state.lock().expect("batch queue poisoned").closed = true;
+        self.state.lock().expect("batch queue poisoned").closed = true; // lock: admission.queue
         self.arrived.notify_all();
     }
 
     /// Items currently waiting (observability only).
     pub fn len(&self) -> usize {
-        self.state.lock().expect("batch queue poisoned").items.len()
+        self.state.lock().expect("batch queue poisoned").items.len() // lock: admission.queue
     }
 
     /// `true` when no item is waiting.

@@ -346,7 +346,7 @@ impl<'a> Parser<'a> {
         }
         // The scanned range is ASCII by construction.
         let text =
-            std::str::from_utf8(&self.input[start..self.pos]).expect("number chars are ASCII");
+            std::str::from_utf8(&self.input[start..self.pos]).expect("number chars are ASCII"); // spg-analyze: allow(no-panic) — the scanner only accepts ASCII number chars
         if integral {
             if neg {
                 if let Ok(v) = text.parse::<i64>() {

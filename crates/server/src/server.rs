@@ -159,7 +159,7 @@ impl Connection {
     /// Writes one response frame; errors are deliberately swallowed (the
     /// peer may have hung up while its query computed, which is its right).
     fn send(&self, payload: &str) {
-        let _guard = self.write_lock.lock().expect("connection writer");
+        let _guard = self.write_lock.lock().expect("connection writer"); // lock: server.conn_write
         let mut stream = &self.stream;
         let _ = protocol::write_frame(&mut stream, payload.as_bytes());
     }
@@ -199,7 +199,7 @@ impl ServerHandle {
     pub fn shutdown(&self) {
         self.state.shutdown.store(true, Ordering::SeqCst);
         self.state.queue.close();
-        let connections = self.state.connections.lock().expect("connection registry");
+        let connections = self.state.connections.lock().expect("connection registry"); // lock: server.connections
         for conn in connections.iter().filter_map(Weak::upgrade) {
             conn.hang_up();
         }
@@ -312,7 +312,7 @@ impl SpgServer {
 
         while !self.state.shutdown.load(Ordering::SeqCst) {
             if batcher.as_ref().is_some_and(|h| h.is_finished()) {
-                let panicked = batcher.take().expect("checked present").join().is_err();
+                let panicked = batcher.take().expect("checked present").join().is_err(); // spg-analyze: allow(no-panic) — presence checked on the line above
                 if self.state.shutdown.load(Ordering::SeqCst) {
                     break; // Clean exit: the queue closed under shutdown.
                 }
@@ -371,7 +371,7 @@ fn spawn_batcher(state: &Arc<ServerState>) -> thread::JoinHandle<()> {
     thread::Builder::new()
         .name("spg-batcher".into())
         .spawn(move || batcher_loop(&state))
-        .expect("spawn batcher thread")
+        .expect("spawn batcher thread") // spg-analyze: allow(no-panic) — thread spawn failure at startup is fatal by design
 }
 
 /// One connection's read loop: frame in, request out (see the module docs
@@ -387,7 +387,7 @@ fn connection_loop(state: &Arc<ServerState>, stream: TcpStream) {
     });
     state
         .connections
-        .lock()
+        .lock() // lock: server.connections
         .expect("connection registry")
         .push(Arc::downgrade(&conn));
 
@@ -539,7 +539,7 @@ fn batcher_loop(state: &Arc<ServerState>) {
                         Ok(spg) => {
                             state.counters.answered.fetch_add(1, Ordering::Relaxed);
                             let source = outcome.slot_sources[i]
-                                .expect("ok slots always carry a cache outcome");
+                                .expect("ok slots always carry a cache outcome"); // spg-analyze: allow(no-panic) — ok slots always carry a cache outcome
                             pending.conn.send(&ok_response(
                                 pending.id,
                                 source,

@@ -97,7 +97,7 @@ pub fn investigate_network(
     let eve = Eve::new(&window_graph, EveConfig::default());
     let suspicious = eve
         .query(Query::new(s, t, k))
-        .expect("hot edge endpoints are valid vertices");
+        .expect("hot edge endpoints are valid vertices"); // spg-analyze: allow(no-panic) — hot edges are sampled from the graph's own vertex range
     FraudInvestigation {
         hot_edge: (t, s),
         suspicious,
