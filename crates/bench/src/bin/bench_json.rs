@@ -28,10 +28,17 @@
 //!   whole-batch and Phase-1-only wall time, cohort fill, distinct-endpoint
 //!   dedup ratio and the top-down/bottom-up scan split (the PR-5
 //!   trajectory). Every shared run is verified slot-for-slot against the
-//!   per-query answers before timing is recorded.
+//!   per-query answers before timing is recorded;
+//! * **dynamic** — delta-aware updates on a warm hot-key cache:
+//!   update-then-requery (CSR overlay + scoped purge, survivors hit) vs
+//!   rebuild-then-requery (from-scratch CSR whose fresh version stamp
+//!   orphans every cached entry, so the rerun is all misses), plus the
+//!   per-round purge count and the survivor rate of resident entries (the
+//!   PR-9 trajectory). Both paths' answers are verified bit-identical each
+//!   round before their timings count.
 //!
 //! Usage: `cargo run --release -p spg-bench --bin bench_json -- \
-//!     [--out BENCH_5.json] [--queries 64] [--repeats 5] \
+//!     [--out BENCH_9.json] [--queries 64] [--repeats 5] \
 //!     [--threads 1,2,4,8] [--smoke]`
 //!
 //! `--smoke` shrinks the suites to a tiny graph, restricts thread scaling to
@@ -41,10 +48,13 @@
 
 use std::time::{Duration, Instant};
 
-use spg_core::{BatchExecutor, CachedEve, Eve, PhaseTimings, Query, QueryWorkspace, SpgCache};
+use spg_core::{
+    apply_delta_scoped, BatchExecutor, CachedEve, Eve, PhaseTimings, Query, QueryWorkspace,
+    SpgCache,
+};
 use spg_graph::generators::{gnm_random, TransactionGraph, TransactionGraphConfig};
 use spg_graph::traversal::MAX_LANES;
-use spg_graph::{DiGraph, VersionedGraph};
+use spg_graph::{DiGraph, EdgeDelta, VersionedGraph};
 use spg_workloads::{
     reachable_queries, repeat_heavy_queries, shared_endpoint_queries, skewed_queries,
 };
@@ -62,7 +72,7 @@ struct Args {
 }
 
 fn parse_args() -> Args {
-    let mut out = "BENCH_5.json".to_string();
+    let mut out = "BENCH_9.json".to_string();
     let mut queries = 64usize;
     let mut repeats = 5usize;
     let mut threads: Option<Vec<usize>> = None;
@@ -407,6 +417,123 @@ fn phase1_bench(
     }
 }
 
+struct DynamicBench {
+    batch_len: usize,
+    unique_queries: usize,
+    rounds: usize,
+    deltas_per_round: usize,
+    update_then_requery_ns: u64,
+    rebuild_then_requery_ns: u64,
+    update_speedup_vs_rebuild: f64,
+    mean_purged_per_round: f64,
+    survivor_rate: f64,
+    overlay_compactions: u64,
+}
+
+/// Update-then-requery vs rebuild-then-requery over a warm hot-key batch.
+/// Each round toggles one edge. The update path applies the delta as a CSR
+/// overlay plus a *scoped* cache purge and reruns the batch — unaffected
+/// entries keep hitting. The rebuild path constructs a from-scratch CSR
+/// whose fresh version stamp orphans every cached entry, so its rerun is
+/// all misses. Both paths' answers are checked bit-identical every round,
+/// outside the timed regions.
+fn dynamic_bench(g: &DiGraph, smoke: bool) -> DynamicBench {
+    let rounds = if smoke { 4 } else { 12 };
+    let count = if smoke { 48 } else { 512 };
+    let unique = if smoke { 8 } else { 64 };
+    let batch = repeat_heavy_queries(g, count, &[4, 6], unique, 0.7, 0xD11A);
+    assert!(!batch.is_empty(), "dynamic workload generation failed");
+    let mut distinct: Vec<Query> = batch.clone();
+    distinct.sort_unstable_by_key(|q| (q.source, q.target, q.k));
+    distinct.dedup();
+
+    let n = g.vertex_count();
+    let mut model: Vec<(u32, u32)> = g.edges().collect();
+    let mut present = true;
+
+    let mut vg = VersionedGraph::new(g.clone());
+    let update_cache = SpgCache::new(CACHE_BUDGET_BYTES);
+    let rebuild_cache = SpgCache::new(CACHE_BUDGET_BYTES);
+    let executor = BatchExecutor::new(1);
+    // Warm the update-path cache: round zero starts from steady serving
+    // state. (The rebuild path cannot be warmed — every round's fresh
+    // version stamp makes prior entries unreachable, which is the point.)
+    let warm = executor.run_cached(&CachedEve::with_defaults(&vg, &update_cache), &batch);
+    // Toggle an edge from inside a cached answer, so the delta genuinely
+    // intersects a resident entry's scope each round — the purge is
+    // exercised, and its survivor rate is a real measurement rather than a
+    // vacuous 100%.
+    let toggled = warm
+        .iter()
+        .filter_map(|slot| slot.as_ref().ok())
+        .find_map(|spg| spg.edges().first().copied())
+        .unwrap_or_else(|| *model.last().expect("suite graphs have edges"));
+
+    let mut update_ns = Vec::with_capacity(rounds);
+    let mut rebuild_ns = Vec::with_capacity(rounds);
+    let mut purged_total = 0usize;
+    let mut survivor_acc = 0.0f64;
+    let mut survivor_rounds = 0usize;
+    for round in 0..rounds {
+        let deltas = if present {
+            model.retain(|&e| e != toggled);
+            vec![EdgeDelta::remove(toggled.0, toggled.1)]
+        } else {
+            model.push(toggled);
+            vec![EdgeDelta::add(toggled.0, toggled.1)]
+        };
+        present = !present;
+
+        let entries_before = update_cache.stats().entries;
+        let start = Instant::now();
+        let upd = apply_delta_scoped(&mut vg, &update_cache, &deltas).expect("valid delta");
+        let update_results =
+            executor.run_cached(&CachedEve::with_defaults(&vg, &update_cache), &batch);
+        update_ns.push(start.elapsed().as_nanos() as u64);
+
+        let start = Instant::now();
+        let rebuilt = VersionedGraph::new(DiGraph::from_edges(n, model.iter().copied()));
+        let rebuild_results =
+            executor.run_cached(&CachedEve::with_defaults(&rebuilt, &rebuild_cache), &batch);
+        rebuild_ns.push(start.elapsed().as_nanos() as u64);
+
+        for (i, (u, r)) in update_results.iter().zip(&rebuild_results).enumerate() {
+            let u = u.as_ref().expect("suite queries are valid");
+            let r = r.as_ref().expect("suite queries are valid");
+            assert_eq!(
+                u.edges(),
+                r.edges(),
+                "round {round} slot {i}: update path diverged from rebuild"
+            );
+        }
+
+        purged_total += upd.purged;
+        if entries_before > 0 {
+            survivor_acc += (entries_before - upd.purged) as f64 / entries_before as f64;
+            survivor_rounds += 1;
+        }
+    }
+
+    let update = median_ns(&mut update_ns);
+    let rebuild = median_ns(&mut rebuild_ns);
+    DynamicBench {
+        batch_len: batch.len(),
+        unique_queries: distinct.len(),
+        rounds,
+        deltas_per_round: 1,
+        update_then_requery_ns: update,
+        rebuild_then_requery_ns: rebuild,
+        update_speedup_vs_rebuild: rebuild as f64 / update.max(1) as f64,
+        mean_purged_per_round: purged_total as f64 / rounds as f64,
+        survivor_rate: if survivor_rounds == 0 {
+            1.0
+        } else {
+            survivor_acc / survivor_rounds as f64
+        },
+        overlay_compactions: vg.compactions(),
+    }
+}
+
 struct SuiteResult {
     name: &'static str,
     vertices: usize,
@@ -422,9 +549,11 @@ struct SuiteResult {
     scaling: Vec<ThreadScale>,
     cache: Vec<CacheBench>,
     phase1_sharing: Vec<Phase1Bench>,
+    dynamic: DynamicBench,
 }
 
 fn run_suite(name: &'static str, g: DiGraph, args: &Args, thread_counts: &[usize]) -> SuiteResult {
+    let dynamic = dynamic_bench(&g, args.smoke);
     let vg = VersionedGraph::new(g);
     let queries = reachable_queries(vg.graph(), args.queries, 6, 0x5EED);
     assert!(!queries.is_empty(), "{name}: workload generation failed");
@@ -498,6 +627,7 @@ fn run_suite(name: &'static str, g: DiGraph, args: &Args, thread_counts: &[usize
         scaling,
         cache,
         phase1_sharing,
+        dynamic,
     }
 }
 
@@ -527,7 +657,7 @@ fn hardware_json() -> String {
 }
 
 fn render_json(results: &[SuiteResult]) -> String {
-    let mut out = String::from("{\n  \"bench\": 5,\n  \"suite_k\": 6,\n");
+    let mut out = String::from("{\n  \"bench\": 9,\n  \"suite_k\": 6,\n");
     out.push_str(&hardware_json());
     out.push_str("  \"suites\": [\n");
     for (i, r) in results.iter().enumerate() {
@@ -657,8 +787,33 @@ fn render_json(results: &[SuiteResult]) -> String {
                 },
             ));
         }
+        let d = &r.dynamic;
         out.push_str(&format!(
-            "      ]\n    }}{}\n",
+            concat!(
+                "      ],\n",
+                "      \"dynamic\": {{\n",
+                "        \"queries\": {},\n",
+                "        \"unique_queries\": {},\n",
+                "        \"rounds\": {},\n",
+                "        \"deltas_per_round\": {},\n",
+                "        \"update_then_requery_ns\": {},\n",
+                "        \"rebuild_then_requery_ns\": {},\n",
+                "        \"update_speedup_vs_rebuild\": {:.2},\n",
+                "        \"mean_purged_per_round\": {:.2},\n",
+                "        \"survivor_rate\": {:.3},\n",
+                "        \"overlay_compactions\": {}\n",
+                "      }}\n    }}{}\n",
+            ),
+            d.batch_len,
+            d.unique_queries,
+            d.rounds,
+            d.deltas_per_round,
+            d.update_then_requery_ns,
+            d.rebuild_then_requery_ns,
+            d.update_speedup_vs_rebuild,
+            d.mean_purged_per_round,
+            d.survivor_rate,
+            d.overlay_compactions,
             if i + 1 < results.len() { "," } else { "" },
         ));
     }
@@ -728,6 +883,16 @@ fn main() {
                 c.resident_bytes,
             );
         }
+        let d = &r.dynamic;
+        eprintln!(
+            "{}: dynamic update+requery {} ns vs rebuild+requery {} ns ({:.2}x), {:.2} purged/round, survivor rate {:.1}%",
+            r.name,
+            d.update_then_requery_ns,
+            d.rebuild_then_requery_ns,
+            d.update_speedup_vs_rebuild,
+            d.mean_purged_per_round,
+            100.0 * d.survivor_rate,
+        );
         for p in &r.phase1_sharing {
             eprintln!(
                 "{}: phase1[{}] per-query {} ns -> shared {} ns ({:.2}x phase-1, {:.2}x batch), {} cohorts, {} lanes for {} queries (dedup {:.2}x, fill {:.0}%), scans {} top-down / {} bottom-up",

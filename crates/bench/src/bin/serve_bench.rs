@@ -10,9 +10,11 @@
 //!   [`Eve::query`]: cache miss, cache hit, three invalid queries (exact
 //!   `QueryError` strings), the wire-maximum `k = u32::MAX` (clamped by
 //!   the engine), an oversized request (answered, then the connection is
-//!   closed), and an 8-client concurrent miss on one hot key that must
-//!   insert into the cache exactly once. Any mismatch aborts with a
-//!   non-zero exit.
+//!   closed), an 8-client concurrent miss on one hot key that must
+//!   insert into the cache exactly once, and a streaming `update` round
+//!   trip (edge removed, scoped purge observed, requery bit-identical to
+//!   a local Eve on the mutated graph, edge restored). Any mismatch
+//!   aborts with a non-zero exit.
 //! * full (default) — the latency measurement. Four scenarios against a
 //!   G(4000, 24000) graph, each reported with p50/p99/p999 microseconds:
 //!   `cold_miss` (distinct k=10 queries, empty cache), `hot_key_warm`
@@ -41,6 +43,7 @@ use spg_core::{Eve, Query};
 use spg_graph::generators::gnm_random;
 use spg_graph::io::write_edge_list_file;
 use spg_graph::DiGraph;
+use spg_server::json::Json;
 use spg_server::{Reply, SpgClient};
 use spg_workloads::{open_loop_poisson, reachable_queries};
 
@@ -630,6 +633,49 @@ fn run_smoke(args: &Args) -> Vec<Scenario> {
     );
     checks += 1;
 
+    // Streaming update round trip: remove an edge that lies on cached
+    // answers, observe the scoped purge, and check the requery against a
+    // local Eve on the mutated graph — then restore the edge and confirm
+    // the original answer comes back.
+    let removed = client.update(50, &[], &[(2, 3)]).expect("update");
+    assert_eq!(removed.status, "ok", "update round trip: {removed:?}");
+    assert_eq!(
+        removed.raw.get("applied").and_then(Json::as_u64),
+        Some(1),
+        "one real removal"
+    );
+    let update_purged = removed
+        .raw
+        .get("purged")
+        .and_then(Json::as_u64)
+        .expect("update reply carries the purge count");
+    assert!(
+        update_purged >= 1,
+        "removing (2, 3) must purge the cached entries that cross it"
+    );
+    let mutated = DiGraph::from_edges(8, graph.edges().filter(|&e| e != (2, 3)));
+    let mutated_eve = Eve::with_defaults(&mutated);
+    let requery = client.query(51, 0, 3, 4).expect("post-update query");
+    assert_eq!(
+        requery.source.as_deref(),
+        Some("miss"),
+        "the purged entry must recompute"
+    );
+    assert_matches_eve(&requery, &mutated_eve, Query::new(0, 3, 4), "post-update");
+    let restored = client.update(52, &[(2, 3)], &[]).expect("restore");
+    assert_eq!(restored.status, "ok", "restore round trip: {restored:?}");
+    let back = client.query(53, 0, 3, 4).expect("restored query");
+    assert_eq!(
+        back.edges, miss.edges,
+        "restoring the edge restores the original answer"
+    );
+    let refused = client.update(54, &[(4, 4)], &[]).expect("self-loop update");
+    assert_eq!(refused.status, "error", "self-loops are refused");
+    assert_eq!(stat(&mut client, "server", "deltas_applied"), 2);
+    assert!(stat(&mut client, "server", "entries_purged_scoped") >= update_purged);
+    assert_eq!(stat(&mut client, "server", "update_errors"), 1);
+    checks += 1;
+
     let _ = std::fs::remove_file(&graph_path);
     vec![Scenario {
         name: "smoke",
@@ -641,6 +687,7 @@ fn run_smoke(args: &Args) -> Vec<Scenario> {
             ("bit_identical", "true".into()),
             ("singleflight_insertions", insertions.to_string()),
             ("shed_expired", shed_expired.to_string()),
+            ("update_purged", update_purged.to_string()),
         ],
     }]
 }

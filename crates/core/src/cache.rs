@@ -15,6 +15,19 @@
 //!   cache can serve many graphs at once. `k` is stored clamped to
 //!   `min(k, n − 1)` ([`Query::clamped_to`]) exactly as the pipeline
 //!   executes it, so `k = u32::MAX` and `k = n − 1` share one entry.
+//! * **Eager reclamation** — unreachable is not free: stale bytes still
+//!   compete with live entries for the budget until evicted. Binding a
+//!   [`CachedEve`] therefore sweeps the graph's retired-snapshot list out of
+//!   the cache ([`SpgCache::purge_versions`], deduped so re-binding costs
+//!   one mutex probe), list-driven so other live graphs sharing the cache
+//!   keep their entries.
+//! * **Scoped invalidation** — an [`spg_graph::EdgeDelta`] batch keeps the
+//!   version (the graph mutates in place via the CSR overlay) and purges
+//!   only the entries it could have affected: [`SpgCache::purge_scoped`]
+//!   applies an [`InvalidationScope`]'s conservative affect tests against
+//!   each key and its recorded search-space witness
+//!   ([`SimplePathGraph::witness`]). See [`crate::dynamic`] for the
+//!   soundness argument.
 //! * **Bit-identity** — a hit returns a clone of the stored answer, which was
 //!   produced by the deterministic EVE pipeline; edges, upper-bound counts
 //!   and every other stats-relevant field match an uncached run exactly
@@ -38,9 +51,10 @@ use std::mem;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-use spg_graph::hash::{FxHashMap, FxHasher};
+use spg_graph::hash::{FxHashMap, FxHashSet, FxHasher};
 use spg_graph::{GraphVersion, QueryBudget, VersionedGraph, VertexId};
 
+use crate::dynamic::InvalidationScope;
 use crate::eve::{Eve, EveConfig};
 use crate::query::{Query, QueryError};
 use crate::spg::SimplePathGraph;
@@ -232,15 +246,17 @@ impl Shard {
         )
     }
 
-    /// Drops every entry whose version differs from `keep`, returning the
+    /// Drops every resident entry matching `pred` (which sees the key and
+    /// the entry's invalidation witness, if one was recorded), returning the
     /// number removed.
-    fn purge_other_versions(&mut self, keep: GraphVersion) -> usize {
+    fn purge_matching(&mut self, pred: impl Fn(&CacheKey, Option<&[VertexId]>) -> bool) -> usize {
         let stale: Vec<u32> = self
             .slots
             .iter()
             .enumerate()
             .filter(|(idx, s)| {
-                s.key.version != keep && self.map.get(&s.key) == Some(&(*idx as u32))
+                self.map.get(&s.key) == Some(&(*idx as u32))
+                    && pred(&s.key, s.value.as_deref().and_then(|v| v.witness()))
             })
             .map(|(idx, _)| idx as u32)
             .collect();
@@ -255,6 +271,12 @@ impl Shard {
             self.bytes -= cost;
         }
         stale.len()
+    }
+
+    /// Drops every entry whose version differs from `keep`, returning the
+    /// number removed.
+    fn purge_other_versions(&mut self, keep: GraphVersion) -> usize {
+        self.purge_matching(|key, _| key.version != keep)
     }
 
     fn clear(&mut self) {
@@ -282,7 +304,8 @@ pub fn entry_cost(spg: &SimplePathGraph) -> usize {
         .memory
         .verification_bytes
         .max(spg.edge_count() * mem::size_of::<(VertexId, VertexId)>());
-    ENTRY_OVERHEAD_BYTES + answer_bytes
+    let witness_bytes = spg.witness().map_or(0, mem::size_of_val);
+    ENTRY_OVERHEAD_BYTES + answer_bytes + witness_bytes
 }
 
 /// Monotone counters shared by all shards of one [`SpgCache`].
@@ -293,6 +316,8 @@ struct Counters {
     insertions: AtomicU64,
     evictions: AtomicU64,
     oversize_rejections: AtomicU64,
+    purged_stale: AtomicU64,
+    purged_scoped: AtomicU64,
 }
 
 /// Point-in-time snapshot of a cache's counters and occupancy.
@@ -308,6 +333,12 @@ pub struct CacheStats {
     pub evictions: u64,
     /// Inserts rejected because a single entry exceeded its shard budget.
     pub oversize_rejections: u64,
+    /// Entries of retired graph snapshots reclaimed by
+    /// [`SpgCache::purge_versions`] (eagerly, on version observation).
+    pub purged_stale: u64,
+    /// Entries dropped by a delta batch's scoped purge
+    /// ([`SpgCache::purge_scoped`]).
+    pub purged_scoped: u64,
     /// Entries currently resident.
     pub entries: usize,
     /// Bytes currently charged against the budget.
@@ -358,6 +389,10 @@ pub struct SpgCache {
     shard_budget: usize,
     budget_bytes: usize,
     counters: Counters,
+    /// Versions already swept by [`SpgCache::purge_versions`], so repeated
+    /// observation of the same retired list (every [`CachedEve::new`] bind)
+    /// is a dedup probe, not a full shard sweep.
+    purged_versions: Mutex<FxHashSet<GraphVersion>>,
 }
 
 // The whole point of the cache is cross-thread sharing; keep that a
@@ -397,6 +432,7 @@ impl SpgCache {
             shard_budget: budget_bytes / shards,
             budget_bytes,
             counters: Counters::default(),
+            purged_versions: Mutex::new(FxHashSet::default()),
         }
     }
 
@@ -470,11 +506,108 @@ impl SpgCache {
     /// entries are already unreachable through [`SpgCache::get`] (their
     /// version can never be issued again); this frees their bytes without
     /// waiting for LRU pressure. Returns the number of entries removed.
+    ///
+    /// This is the keep-one sledgehammer (it also drops entries of *other
+    /// live graphs* sharing the cache); the serving stack instead purges the
+    /// explicit retired list of the graph it binds
+    /// ([`SpgCache::purge_versions`], driven by [`CachedEve::new`]), which
+    /// preserves the one-cache-many-graphs story.
     pub fn purge_other_versions(&self, keep: GraphVersion) -> usize {
         self.shards
             .iter()
             .map(|s| s.lock().expect("cache shard").purge_other_versions(keep)) // lock: cache.shard
             .sum()
+    }
+
+    /// Eagerly reclaims entries of the given retired snapshots, returning
+    /// the number removed. Versions already swept are skipped via a dedup
+    /// set, so the steady-state cost of re-observing the same retired list
+    /// is one short mutex probe and no shard locks — cheap enough to run on
+    /// every [`CachedEve`] bind. Unlike [`SpgCache::purge_other_versions`]
+    /// this is list-driven: entries of other live graphs sharing the cache
+    /// are untouched.
+    pub fn purge_versions(&self, versions: &[GraphVersion]) -> usize {
+        if versions.is_empty() {
+            return 0;
+        }
+        // Collect the not-yet-swept versions, then release before touching
+        // any shard: cache.retired is never held across cache.shard.
+        let fresh: Vec<GraphVersion> = {
+            let mut seen = self
+                .purged_versions
+                .lock() // lock: cache.retired
+                .expect("cache retired-version set");
+            versions
+                .iter()
+                .copied()
+                .filter(|v| seen.insert(*v))
+                .collect()
+        };
+        if fresh.is_empty() {
+            return 0;
+        }
+        let removed: usize = self
+            .shards
+            .iter()
+            .map(|s| {
+                s.lock() // lock: cache.shard
+                    .expect("cache shard")
+                    .purge_matching(|key, _| fresh.contains(&key.version))
+            })
+            .sum();
+        if removed > 0 {
+            self.counters
+                .purged_stale
+                .fetch_add(removed as u64, Ordering::Relaxed); // spg-analyze: allow(hot-loop) — one bump per retired-version sweep, not an inner loop
+        }
+        removed
+    }
+
+    /// Drops exactly the entries of snapshot `version` that a delta batch
+    /// could have affected, per `scope`'s conservative tests
+    /// ([`InvalidationScope::affects`] — addition reachability plus
+    /// witness-scoped removals). Entries of other versions and out-of-scope
+    /// entries survive and keep serving hits. Returns the number removed.
+    pub fn purge_scoped(&self, version: GraphVersion, scope: &InvalidationScope) -> usize {
+        let removed: usize = self
+            .shards
+            .iter()
+            .map(|s| {
+                s.lock() // lock: cache.shard
+                    .expect("cache shard")
+                    .purge_matching(|key, witness| {
+                        key.version == version
+                            && scope.affects(key.source, key.target, key.k, witness)
+                    })
+            })
+            .sum();
+        if removed > 0 {
+            self.counters
+                .purged_scoped
+                .fetch_add(removed as u64, Ordering::Relaxed); // spg-analyze: allow(hot-loop) — one bump per delta batch, not an inner loop
+        }
+        removed
+    }
+
+    /// The largest clamped hop constraint among resident entries of
+    /// snapshot `version` (0 when none are resident). Bounds the BFS depth
+    /// of a delta batch's addition-reachability sweep — entries with a
+    /// larger `k` cannot exist, so no deeper exploration can matter.
+    pub fn max_resident_k(&self, version: GraphVersion) -> u32 {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.lock() // lock: cache.shard
+                    .expect("cache shard")
+                    .map
+                    .keys()
+                    .filter(|key| key.version == version)
+                    .map(|key| key.k)
+                    .max()
+                    .unwrap_or(0)
+            })
+            .max()
+            .unwrap_or(0)
     }
 
     /// Drops every entry (counters are retained — they are monotone).
@@ -535,6 +668,8 @@ impl SpgCache {
             insertions: self.counters.insertions.load(Ordering::Relaxed),
             evictions: self.counters.evictions.load(Ordering::Relaxed),
             oversize_rejections: self.counters.oversize_rejections.load(Ordering::Relaxed),
+            purged_stale: self.counters.purged_stale.load(Ordering::Relaxed),
+            purged_scoped: self.counters.purged_scoped.load(Ordering::Relaxed),
             entries,
             bytes,
             budget_bytes: self.budget_bytes,
@@ -584,6 +719,9 @@ pub enum CacheOutcome {
 pub struct CachedEve<'g, 'c> {
     eve: Eve<'g>,
     version: GraphVersion,
+    /// The graph's retired-snapshot list, borrowed so the binding stays
+    /// `Copy`; swept on bind and by [`CachedEve::purge_retired`].
+    retired: &'g [GraphVersion],
     cache: &'c SpgCache,
 }
 
@@ -593,13 +731,20 @@ impl<'g, 'c> CachedEve<'g, 'c> {
     ///
     /// The version stamp is captured here; replacing the graph requires
     /// `&mut VersionedGraph` and therefore ends this borrow, so a live
-    /// `CachedEve` can never mix answers across snapshots.
+    /// `CachedEve` can never mix answers across snapshots. Binding also
+    /// sweeps the bytes of snapshots this graph has retired
+    /// ([`VersionedGraph::retired`]) out of the cache — stale entries were
+    /// already unreachable, but until this sweep their bytes kept competing
+    /// with live entries for the budget.
     pub fn new(graph: &'g VersionedGraph, config: EveConfig, cache: &'c SpgCache) -> Self {
-        CachedEve {
+        let cached = CachedEve {
             eve: Eve::new(graph.graph(), config),
             version: graph.version(),
+            retired: graph.retired(),
             cache,
-        }
+        };
+        cached.purge_retired();
+        cached
     }
 
     /// [`CachedEve::new`] with the default (full) configuration.
@@ -620,6 +765,15 @@ impl<'g, 'c> CachedEve<'g, 'c> {
     /// The graph snapshot version answers are keyed by.
     pub fn version(&self) -> GraphVersion {
         self.version
+    }
+
+    /// Reclaims cache entries of snapshots the bound graph has retired.
+    /// Runs automatically on bind; the batch drain re-invokes it per batch
+    /// so long-lived bindings also converge. Deduped inside
+    /// [`SpgCache::purge_versions`], so the steady-state cost is one short
+    /// mutex probe. Returns the number of entries removed.
+    pub fn purge_retired(&self) -> usize {
+        self.cache.purge_versions(self.retired)
     }
 
     /// Answers `query` through the cache on a fresh workspace.
@@ -890,6 +1044,84 @@ mod tests {
             }
         }
         assert_eq!(cache.stats().hits, 2, "the two repeated slots hit");
+    }
+
+    #[test]
+    fn binding_after_a_swap_reclaims_stale_bytes() {
+        let mut vg = VersionedGraph::new(paper_example::figure1_graph());
+        let cache = SpgCache::new(1 << 20);
+        CachedEve::with_defaults(&vg, &cache)
+            .query(q(S, T, 4))
+            .unwrap();
+        assert!(cache.bytes() > 0);
+        let insertions = cache.stats().insertions;
+
+        vg.replace(paper_example::figure1_graph());
+        let cached = CachedEve::with_defaults(&vg, &cache); // bind sweeps retired
+        assert_eq!(cache.bytes(), 0, "stale bytes reclaimed on bind");
+        assert!(cache.is_empty());
+        let stats = cache.stats();
+        assert_eq!(stats.insertions, insertions, "no new inserts were needed");
+        assert_eq!(stats.purged_stale, 1);
+        // Re-sweeping the same retired list is a deduped no-op.
+        assert_eq!(cached.purge_retired(), 0);
+        assert_eq!(cache.stats().purged_stale, 1);
+    }
+
+    #[test]
+    fn purge_versions_is_list_driven() {
+        let cache = SpgCache::new(1 << 16);
+        cache.insert(1, q(0, 1, 3), &answer(1, 2));
+        cache.insert(2, q(0, 1, 3), &answer(2, 2));
+        cache.insert(3, q(0, 1, 3), &answer(3, 2));
+        assert_eq!(cache.purge_versions(&[]), 0);
+        assert_eq!(cache.purge_versions(&[2]), 1, "only the listed version");
+        assert!(
+            cache.get_quiet(1, q(0, 1, 3)).is_some(),
+            "other graphs keep theirs"
+        );
+        assert!(cache.get_quiet(3, q(0, 1, 3)).is_some());
+        assert_eq!(cache.purge_versions(&[2]), 0, "deduped re-sweep");
+        assert_eq!(cache.stats().purged_stale, 1);
+    }
+
+    #[test]
+    fn scoped_purge_checks_version_and_witness() {
+        use spg_graph::{DiGraph, EdgeDelta};
+        let cache = SpgCache::new(1 << 16);
+        // Two versions share a key shape; only version 1 entries are swept.
+        cache.insert(1, q(0, 1, 4), &answer(1, 2)); // witness-less
+        cache.insert(
+            1,
+            q(2, 3, 4),
+            &answer(2, 2).with_witness(&[2, 3]), // witness excludes 5 and 6
+        );
+        cache.insert(9, q(0, 1, 4), &answer(3, 2));
+        assert_eq!(cache.max_resident_k(1), 4);
+        assert_eq!(cache.max_resident_k(7), 0);
+        let g = DiGraph::from_edges(8, [(0, 1), (5, 6)]);
+        let scope = InvalidationScope::build(&g, &[EdgeDelta::remove(5, 6)], 4);
+        assert_eq!(cache.purge_scoped(1, &scope), 1, "witness-less entry only");
+        assert!(cache.get_quiet(1, q(0, 1, 4)).is_none());
+        assert!(
+            cache.get_quiet(1, q(2, 3, 4)).is_some(),
+            "witness cleared it"
+        );
+        assert!(
+            cache.get_quiet(9, q(0, 1, 4)).is_some(),
+            "other version safe"
+        );
+        assert_eq!(cache.stats().purged_scoped, 1);
+    }
+
+    #[test]
+    fn entry_cost_charges_the_witness() {
+        let bare = answer(1, 4);
+        let witnessed = answer(1, 4).with_witness(&[0, 1, 2, 3]);
+        assert_eq!(
+            entry_cost(&witnessed),
+            entry_cost(&bare) + 4 * mem::size_of::<VertexId>()
+        );
     }
 
     #[test]

@@ -424,11 +424,13 @@ impl<'g> Eve<'g> {
             verification,
             upper_bound_edges: ws.ub.edge_count(),
         };
-        Ok(SimplePathGraph::from_parts(
-            query,
-            EdgeSubgraph::from_edges(answer),
-            stats,
-        ))
+        // The space vertex set doubles as the scoped-invalidation witness:
+        // any edge whose removal could perturb this answer lives inside the
+        // space, so the cache can skip purging on unrelated removals.
+        Ok(
+            SimplePathGraph::from_parts(query, EdgeSubgraph::from_edges(answer), stats)
+                .with_witness(ws.space.vertices()),
+        )
     }
 
     /// Materialises the `SPGᵘ_k` edges currently held by the workspace.

@@ -363,6 +363,10 @@ impl BatchExecutor {
         let graph = cached.eve().graph();
         let version = cached.version();
         let cache = cached.cache();
+        // Reclaim bytes of snapshots the bound graph has retired before this
+        // drain competes for the budget (deduped: a no-op after the first
+        // drain on a given binding's retired list).
+        cached.purge_retired();
         let evictions_before = cache.eviction_count();
 
         // ---- Phase A: validate + probe + claim flights (calling thread).

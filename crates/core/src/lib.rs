@@ -21,7 +21,9 @@
 //! Batch serving builds on the pipeline: [`executor`] runs query batches
 //! across threads, and [`cache`] memoises answers for hot `(s, t, k)`
 //! triples behind a graph-version key ([`spg_graph::VersionedGraph`]) so
-//! cached runs are bit-identical to uncached ones.
+//! cached runs are bit-identical to uncached ones. Streaming edge deltas
+//! mutate the graph in place and invalidate only the affected cache entries
+//! ([`dynamic`]).
 //!
 //! ```
 //! use spg_core::{Eve, EveConfig, Query};
@@ -39,6 +41,7 @@ mod cohort;
 mod compact;
 
 pub mod cache;
+pub mod dynamic;
 pub mod eve;
 pub mod evset;
 pub mod executor;
@@ -54,6 +57,7 @@ pub mod verification;
 pub mod workspace;
 
 pub use cache::{CacheOutcome, CacheStats, CachedEve, SpgCache};
+pub use dynamic::{apply_delta_scoped, DeltaUpdate, InvalidationScope};
 pub use eve::{Eve, EveConfig, EveOutput};
 pub use evset::EvSet;
 pub use executor::{

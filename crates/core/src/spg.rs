@@ -1,5 +1,7 @@
 //! The answer type: a k-hop-constrained s-t simple path graph.
 
+use std::sync::Arc;
+
 use spg_graph::hash::FxHashSet;
 use spg_graph::{DiGraph, EdgeSubgraph, VertexId};
 
@@ -17,17 +19,42 @@ pub struct SimplePathGraph {
     query: Query,
     edges: EdgeSubgraph,
     stats: EveStats,
+    /// Invalidation witness: the sorted vertex set of the `G^k_st` search
+    /// space this answer was derived from (see [`SimplePathGraph::witness`]).
+    witness: Option<Arc<[VertexId]>>,
 }
 
 impl SimplePathGraph {
     /// Assembles an answer from its parts (used by the EVE pipeline and by
-    /// the baseline adapters, which produce the same answer type).
+    /// the baseline adapters, which produce the same answer type). The
+    /// answer carries no invalidation witness; attach one with
+    /// [`SimplePathGraph::with_witness`].
     pub fn from_parts(query: Query, edges: EdgeSubgraph, stats: EveStats) -> Self {
         SimplePathGraph {
             query,
             edges,
             stats,
+            witness: None,
         }
+    }
+
+    /// Attaches the invalidation witness: the **sorted** global vertex ids of
+    /// the query's search space `G^k_st`. Every edge whose removal could
+    /// change this answer (or its recorded upper bound) has both endpoints
+    /// in the space, so a result cache can scope removal invalidation to
+    /// entries whose witness contains both touched endpoints. Witness-less
+    /// answers are purged pessimistically on any removal batch.
+    pub fn with_witness(mut self, space_vertices: &[VertexId]) -> Self {
+        debug_assert!(space_vertices.windows(2).all(|w| w[0] < w[1]));
+        self.witness = Some(Arc::from(space_vertices));
+        self
+    }
+
+    /// The invalidation witness, if the producer attached one: sorted global
+    /// vertex ids of the search space (shared, not copied, across cache
+    /// clones of this answer).
+    pub fn witness(&self) -> Option<&[VertexId]> {
+        self.witness.as_deref()
     }
 
     /// The query this answer belongs to.

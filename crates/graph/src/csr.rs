@@ -15,6 +15,7 @@
 //! order.
 
 use crate::builder::GraphBuilder;
+use crate::delta::{validate_deltas, DeltaError, DeltaOp, EdgeDelta};
 
 /// Dense vertex identifier (`0..vertex_count`).
 pub type VertexId = u32;
@@ -22,7 +23,78 @@ pub type VertexId = u32;
 /// Dense edge identifier: the position of the edge in out-adjacency order.
 pub type EdgeId = u32;
 
+/// One adjacency direction of a delta overlay: the handful of vertices whose
+/// rows differ from the base CSR each own a full replacement row (merged,
+/// sorted, deduplicated — byte-identical to what a from-scratch rebuild
+/// would produce for that vertex).
+#[derive(Clone, PartialEq, Eq)]
+struct PatchSide {
+    /// Per-vertex slot into `rows`; `u32::MAX` means "row unpatched".
+    idx: Vec<u32>,
+    /// Replacement adjacency rows for the patched vertices.
+    rows: Vec<Vec<VertexId>>,
+}
+
+impl PatchSide {
+    fn new(n: usize) -> Self {
+        PatchSide {
+            idx: vec![u32::MAX; n],
+            rows: Vec::new(),
+        }
+    }
+
+    /// The replacement row for `v`, if `v` is patched.
+    #[inline]
+    fn row(&self, v: VertexId) -> Option<&[VertexId]> {
+        let slot = self.idx[v as usize];
+        if slot == u32::MAX {
+            None
+        } else {
+            Some(&self.rows[slot as usize])
+        }
+    }
+
+    /// The mutable replacement row for `v`, materialising it from `base` on
+    /// first touch.
+    fn row_mut(&mut self, v: VertexId, base: &[VertexId]) -> &mut Vec<VertexId> {
+        let mut slot = self.idx[v as usize];
+        if slot == u32::MAX {
+            slot = self.rows.len() as u32;
+            self.idx[v as usize] = slot;
+            self.rows.push(base.to_vec());
+        }
+        &mut self.rows[slot as usize]
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.idx.len() * std::mem::size_of::<u32>()
+            + self
+                .rows
+                .iter()
+                .map(|r| r.capacity() * std::mem::size_of::<VertexId>())
+                .sum::<usize>()
+    }
+}
+
+/// The delta overlay of a [`DiGraph`]: patched rows for both adjacency
+/// directions plus the effective edge count of the merged graph.
+#[derive(Clone, PartialEq, Eq)]
+struct Overlay {
+    out: PatchSide,
+    inc: PatchSide,
+    edge_count: usize,
+}
+
 /// An immutable directed graph in CSR form with out- and in-adjacency.
+///
+/// "Immutable" describes the base CSR arrays; [`DiGraph::apply_delta`] layers
+/// an **overlay** of patched adjacency rows on top without rebuilding them.
+/// Every traversal accessor (`neighbors`, `edges`, degrees, `has_edge`, …)
+/// merges base + overlay at lookup time, so engines observe exactly the
+/// graph a from-scratch rebuild would produce; [`DiGraph::compact`] folds
+/// the overlay into fresh CSR arrays. `PartialEq` is representational (an
+/// overlaid graph and its compacted twin compare unequal) — compare
+/// [`DiGraph::edges`] for semantic equality.
 #[derive(Clone, PartialEq, Eq)]
 pub struct DiGraph {
     /// `out_offsets[u]..out_offsets[u+1]` indexes `out_targets` for vertex `u`.
@@ -33,6 +105,8 @@ pub struct DiGraph {
     in_offsets: Vec<u32>,
     /// Concatenated, per-vertex-sorted in-neighbour lists.
     in_sources: Vec<VertexId>,
+    /// Patched rows from applied [`EdgeDelta`] batches, if any.
+    overlay: Option<Box<Overlay>>,
 }
 
 impl std::fmt::Debug for DiGraph {
@@ -61,6 +135,7 @@ impl DiGraph {
             out_targets,
             in_offsets,
             in_sources,
+            overlay: None,
         }
     }
 
@@ -92,16 +167,19 @@ impl DiGraph {
         self.out_offsets.len() - 1
     }
 
-    /// Number of directed edges.
+    /// Number of directed edges (overlay-aware).
     #[inline]
     pub fn edge_count(&self) -> usize {
-        self.out_targets.len()
+        match &self.overlay {
+            Some(o) => o.edge_count,
+            None => self.out_targets.len(),
+        }
     }
 
     /// `true` if the graph has no edges.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.out_targets.is_empty()
+        self.edge_count() == 0
     }
 
     /// Iterator over all vertex ids `0..n`.
@@ -110,20 +188,43 @@ impl DiGraph {
         0..self.vertex_count() as VertexId
     }
 
-    /// Out-neighbours of `u`, sorted ascending.
+    /// Out-neighbours of `u` in the *base* CSR, ignoring any overlay.
     #[inline]
-    pub fn out_neighbors(&self, u: VertexId) -> &[VertexId] {
+    fn base_out(&self, u: VertexId) -> &[VertexId] {
         let lo = self.out_offsets[u as usize] as usize;
         let hi = self.out_offsets[u as usize + 1] as usize;
         &self.out_targets[lo..hi]
     }
 
-    /// In-neighbours of `v`, sorted ascending.
+    /// In-neighbours of `v` in the *base* CSR, ignoring any overlay.
     #[inline]
-    pub fn in_neighbors(&self, v: VertexId) -> &[VertexId] {
+    fn base_in(&self, v: VertexId) -> &[VertexId] {
         let lo = self.in_offsets[v as usize] as usize;
         let hi = self.in_offsets[v as usize + 1] as usize;
         &self.in_sources[lo..hi]
+    }
+
+    /// Out-neighbours of `u`, sorted ascending (overlay-aware: a patched row
+    /// shadows the base CSR, still a plain slice fetch plus one branch).
+    #[inline]
+    pub fn out_neighbors(&self, u: VertexId) -> &[VertexId] {
+        if let Some(o) = &self.overlay {
+            if let Some(row) = o.out.row(u) {
+                return row;
+            }
+        }
+        self.base_out(u)
+    }
+
+    /// In-neighbours of `v`, sorted ascending (overlay-aware).
+    #[inline]
+    pub fn in_neighbors(&self, v: VertexId) -> &[VertexId] {
+        if let Some(o) = &self.overlay {
+            if let Some(row) = o.inc.row(v) {
+                return row;
+            }
+        }
+        self.base_in(v)
     }
 
     /// Out-degree of `u`.
@@ -161,32 +262,40 @@ impl DiGraph {
     }
 
     /// Dense id of edge `(u, v)` if present.
+    ///
+    /// Dense edge ids index the **base** CSR; on an overlaid graph call
+    /// [`DiGraph::compact`] first to re-densify them.
     #[inline]
     pub fn edge_id(&self, u: VertexId, v: VertexId) -> Option<EdgeId> {
+        debug_assert!(self.overlay.is_none(), "edge ids index the base CSR");
         let base = self.out_offsets[u as usize];
-        self.out_neighbors(u)
+        self.base_out(u)
             .binary_search(&v)
             .ok()
             .map(|pos| base + pos as EdgeId)
     }
 
-    /// Endpoints `(u, v)` of the edge with dense id `e`.
+    /// Endpoints `(u, v)` of the edge with dense id `e` (base CSR; see
+    /// [`DiGraph::edge_id`]).
     ///
     /// `O(log n)` — the source vertex is located by binary search over the
     /// offset array.
     pub fn edge_endpoints(&self, e: EdgeId) -> (VertexId, VertexId) {
-        debug_assert!((e as usize) < self.edge_count());
+        debug_assert!(self.overlay.is_none(), "edge ids index the base CSR");
+        debug_assert!((e as usize) < self.out_targets.len());
         let v = self.out_targets[e as usize];
         // partition_point returns the first u with offset > e, so source = u-1.
         let u = self.out_offsets.partition_point(|&off| off <= e) - 1;
         (u as VertexId, v)
     }
 
-    /// Iterator over `(EdgeId, source, target)` for the out-edges of `u`.
+    /// Iterator over `(EdgeId, source, target)` for the out-edges of `u`
+    /// (base CSR; see [`DiGraph::edge_id`]).
     #[inline]
     pub fn out_edges(&self, u: VertexId) -> impl Iterator<Item = (EdgeId, VertexId)> + '_ {
+        debug_assert!(self.overlay.is_none(), "edge ids index the base CSR");
         let base = self.out_offsets[u as usize];
-        self.out_neighbors(u)
+        self.base_out(u)
             .iter()
             .enumerate()
             .map(move |(i, &v)| (base + i as EdgeId, v))
@@ -198,18 +307,22 @@ impl DiGraph {
             .flat_map(move |u| self.out_neighbors(u).iter().map(move |&v| (u, v)))
     }
 
-    /// Iterator over all edges as `(EdgeId, source, target)` triples.
+    /// Iterator over all edges as `(EdgeId, source, target)` triples
+    /// (base CSR; see [`DiGraph::edge_id`]).
     pub fn edges_with_ids(&self) -> impl Iterator<Item = (EdgeId, VertexId, VertexId)> + '_ {
+        debug_assert!(self.overlay.is_none(), "edge ids index the base CSR");
         self.vertices().flat_map(move |u| {
             let base = self.out_offsets[u as usize];
-            self.out_neighbors(u)
+            self.base_out(u)
                 .iter()
                 .enumerate()
                 .map(move |(i, &v)| (base + i as EdgeId, u, v))
         })
     }
 
-    /// Returns the reversed graph `Gʳ` (every edge flipped).
+    /// Returns the reversed graph `Gʳ` (every edge flipped). An overlay is
+    /// carried over with its patch sides swapped, so the reversal of an
+    /// overlaid graph is the overlaid reversal.
     ///
     /// Note that most algorithms in this workspace do not need this: backward
     /// traversal can use [`DiGraph::in_neighbors`] directly. The method is
@@ -220,6 +333,13 @@ impl DiGraph {
             out_targets: self.in_sources.clone(),
             in_offsets: self.out_offsets.clone(),
             in_sources: self.out_targets.clone(),
+            overlay: self.overlay.as_ref().map(|o| {
+                Box::new(Overlay {
+                    out: o.inc.clone(),
+                    inc: o.out.clone(),
+                    edge_count: o.edge_count,
+                })
+            }),
         }
     }
 
@@ -240,10 +360,125 @@ impl DiGraph {
         }
     }
 
-    /// Approximate heap footprint of the CSR arrays in bytes.
+    /// Approximate heap footprint of the CSR arrays (plus any overlay) in
+    /// bytes.
     pub fn memory_bytes(&self) -> usize {
         (self.out_offsets.len() + self.in_offsets.len()) * std::mem::size_of::<u32>()
             + (self.out_targets.len() + self.in_sources.len()) * std::mem::size_of::<VertexId>()
+            + self
+                .overlay
+                .as_ref()
+                .map_or(0, |o| o.out.memory_bytes() + o.inc.memory_bytes())
+    }
+
+    /// Applies a batch of edge deltas as an overlay patch, returning how many
+    /// deltas actually changed the graph (adding a present edge or removing
+    /// an absent one is an idempotent no-op). The batch is validated as a
+    /// unit **before** any mutation — on `Err` the graph is untouched.
+    ///
+    /// After the call every traversal accessor observes the merged graph,
+    /// edge-for-edge identical to `DiGraph::from_edges` over the mutated
+    /// edge list; only the touched adjacency rows were copied. Dense edge
+    /// ids are not maintained by the overlay — [`DiGraph::compact`]
+    /// re-densifies them.
+    pub fn apply_delta(&mut self, deltas: &[EdgeDelta]) -> Result<usize, DeltaError> {
+        validate_deltas(self, deltas)?;
+        if deltas.is_empty() {
+            return Ok(0);
+        }
+        let n = self.vertex_count();
+        let mut overlay = self.overlay.take().unwrap_or_else(|| {
+            Box::new(Overlay {
+                out: PatchSide::new(n),
+                inc: PatchSide::new(n),
+                edge_count: self.out_targets.len(),
+            })
+        });
+        let mut applied = 0usize;
+        for d in deltas {
+            let present = match overlay.out.row(d.source) {
+                Some(row) => row.binary_search(&d.target).is_ok(),
+                None => self.base_out(d.source).binary_search(&d.target).is_ok(),
+            };
+            match d.op {
+                DeltaOp::Add if !present => {
+                    let row = overlay.out.row_mut(d.source, self.base_out(d.source));
+                    if let Err(pos) = row.binary_search(&d.target) {
+                        row.insert(pos, d.target);
+                    }
+                    let row = overlay.inc.row_mut(d.target, self.base_in(d.target));
+                    if let Err(pos) = row.binary_search(&d.source) {
+                        row.insert(pos, d.source);
+                    }
+                    overlay.edge_count += 1;
+                    applied += 1;
+                }
+                DeltaOp::Remove if present => {
+                    let row = overlay.out.row_mut(d.source, self.base_out(d.source));
+                    if let Ok(pos) = row.binary_search(&d.target) {
+                        row.remove(pos);
+                    }
+                    let row = overlay.inc.row_mut(d.target, self.base_in(d.target));
+                    if let Ok(pos) = row.binary_search(&d.source) {
+                        row.remove(pos);
+                    }
+                    overlay.edge_count -= 1;
+                    applied += 1;
+                }
+                _ => {}
+            }
+        }
+        self.overlay = Some(overlay);
+        Ok(applied)
+    }
+
+    /// `true` when delta patches are currently overlaid on the base CSR.
+    #[inline]
+    pub fn is_overlaid(&self) -> bool {
+        self.overlay.is_some()
+    }
+
+    /// Number of patched adjacency rows (both directions) in the overlay —
+    /// the measure [`crate::VersionedGraph`] compares against its compaction
+    /// threshold.
+    pub fn overlay_rows(&self) -> usize {
+        self.overlay
+            .as_ref()
+            .map_or(0, |o| o.out.rows.len() + o.inc.rows.len())
+    }
+
+    /// Folds the overlay into fresh CSR arrays, restoring dense edge ids.
+    /// Returns `false` (and does nothing) when no overlay is present. The
+    /// merged structure is unchanged, so answers (and cache entries keyed by
+    /// the owning snapshot's version) remain valid across a compaction.
+    pub fn compact(&mut self) -> bool {
+        let Some(o) = self.overlay.take() else {
+            return false;
+        };
+        let n = self.vertex_count();
+        let mut out_offsets = Vec::with_capacity(n + 1);
+        let mut out_targets = Vec::with_capacity(o.edge_count);
+        out_offsets.push(0u32);
+        for u in 0..n as VertexId {
+            let row = o.out.row(u).unwrap_or_else(|| self.base_out(u));
+            out_targets.extend_from_slice(row);
+            out_offsets.push(out_targets.len() as u32);
+        }
+        let mut in_offsets = Vec::with_capacity(n + 1);
+        let mut in_sources = Vec::with_capacity(o.edge_count);
+        in_offsets.push(0u32);
+        for v in 0..n as VertexId {
+            let row = o.inc.row(v).unwrap_or_else(|| self.base_in(v));
+            in_sources.extend_from_slice(row);
+            in_offsets.push(in_sources.len() as u32);
+        }
+        debug_assert_eq!(out_targets.len(), o.edge_count);
+        debug_assert_eq!(in_sources.len(), o.edge_count);
+        self.out_offsets = out_offsets;
+        self.out_targets = out_targets;
+        self.in_offsets = in_offsets;
+        self.in_sources = in_sources;
+        true
     }
 }
 
@@ -373,5 +608,85 @@ mod tests {
         let g = figure1_graph();
         assert!(g.memory_bytes() > 0);
         assert!(g.memory_bytes() >= g.edge_count() * 8);
+    }
+
+    /// The merged view after `apply_delta` must be edge-for-edge identical to
+    /// a from-scratch rebuild, before and after `compact()`.
+    #[test]
+    fn overlay_matches_rebuild_and_compacts() {
+        let mut g = figure1_graph();
+        let deltas = [
+            EdgeDelta::add(3, 0),    // new edge t -> s
+            EdgeDelta::add(0, 1),    // already present: no-op
+            EdgeDelta::remove(5, 1), // drop b -> a
+            EdgeDelta::remove(6, 0), // absent: no-op
+        ];
+        let applied = g.apply_delta(&deltas).unwrap();
+        assert_eq!(applied, 2);
+        assert!(g.is_overlaid());
+        assert!(g.overlay_rows() > 0);
+
+        let mut edges: Vec<_> = figure1_graph().edges().collect();
+        edges.push((3, 0));
+        edges.retain(|&e| e != (5, 1));
+        let rebuilt = DiGraph::from_edges(8, edges);
+        assert_eq!(g.edge_count(), rebuilt.edge_count());
+        let overlay_edges: Vec<_> = g.edges().collect();
+        let rebuilt_edges: Vec<_> = rebuilt.edges().collect();
+        assert_eq!(overlay_edges, rebuilt_edges);
+        for v in g.vertices() {
+            assert_eq!(g.out_neighbors(v), rebuilt.out_neighbors(v), "out {v}");
+            assert_eq!(g.in_neighbors(v), rebuilt.in_neighbors(v), "in {v}");
+        }
+        assert!(g.has_edge(3, 0));
+        assert!(!g.has_edge(5, 1));
+
+        // Folding the overlay yields a bit-identical CSR.
+        assert!(g.compact());
+        assert!(!g.is_overlaid());
+        assert_eq!(g, rebuilt);
+        assert!(!g.compact(), "no overlay left to fold");
+    }
+
+    #[test]
+    fn overlay_rejects_invalid_deltas_atomically() {
+        let mut g = figure1_graph();
+        let before: Vec<_> = g.edges().collect();
+        assert!(g
+            .apply_delta(&[EdgeDelta::add(0, 3), EdgeDelta::add(0, 99)])
+            .is_err());
+        assert!(g.apply_delta(&[EdgeDelta::add(2, 2)]).is_err());
+        assert!(
+            !g.is_overlaid(),
+            "rejected batches leave the graph untouched"
+        );
+        assert_eq!(g.edges().collect::<Vec<_>>(), before);
+        // An empty batch is accepted and does nothing.
+        assert_eq!(g.apply_delta(&[]).unwrap(), 0);
+        assert!(!g.is_overlaid());
+    }
+
+    #[test]
+    fn overlaid_reversal_flips_patched_rows() {
+        let mut g = figure1_graph();
+        g.apply_delta(&[EdgeDelta::add(3, 0), EdgeDelta::remove(2, 5)])
+            .unwrap();
+        let r = g.reversed();
+        assert_eq!(r.edge_count(), g.edge_count());
+        for (u, v) in g.edges() {
+            assert!(r.has_edge(v, u));
+        }
+        assert!(r.has_edge(0, 3));
+        assert!(!r.has_edge(5, 2));
+    }
+
+    #[test]
+    fn removing_then_readding_restores_the_row() {
+        let mut g = figure1_graph();
+        g.apply_delta(&[EdgeDelta::remove(1, 4)]).unwrap();
+        assert!(!g.has_edge(1, 4));
+        g.apply_delta(&[EdgeDelta::add(1, 4)]).unwrap();
+        assert_eq!(g.out_neighbors(1), figure1_graph().out_neighbors(1));
+        assert_eq!(g.edge_count(), 13);
     }
 }

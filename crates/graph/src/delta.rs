@@ -1,0 +1,212 @@
+//! Edge-delta batches for streaming graph updates.
+//!
+//! A fraud graph mutates constantly, but a full CSR rebuild per mutation
+//! (plus the version re-stamp that makes *every* cached answer unreachable)
+//! prices streaming workloads out. This module defines the delta vocabulary:
+//! an [`EdgeDelta`] batch is validated as a unit and applied to a
+//! [`crate::DiGraph`] as a **patch overlay** — only the touched adjacency
+//! rows are copied and edited, queries see base + overlay merged at
+//! traversal time, and [`crate::VersionedGraph::compact`] (or the automatic
+//! row-count threshold) folds the overlay back into a fresh CSR.
+//!
+//! Deltas never change the vertex universe: both endpoints must already be
+//! valid vertex ids. Adding an edge that exists and removing an edge that
+//! does not are idempotent no-ops, mirroring the deduplicating/self-loop-
+//! dropping semantics of [`crate::DiGraph::from_edges`] so an overlay-patched
+//! graph is always edge-for-edge identical to a from-scratch rebuild.
+
+use crate::csr::{DiGraph, VertexId};
+use crate::versioned::GraphVersion;
+
+/// What a single [`EdgeDelta`] does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeltaOp {
+    /// Insert the directed edge (idempotent if already present).
+    Add,
+    /// Delete the directed edge (idempotent if absent).
+    Remove,
+}
+
+/// One directed-edge mutation of a delta batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EdgeDelta {
+    /// Add or remove.
+    pub op: DeltaOp,
+    /// Edge source endpoint.
+    pub source: VertexId,
+    /// Edge target endpoint.
+    pub target: VertexId,
+}
+
+impl EdgeDelta {
+    /// An edge insertion.
+    pub fn add(source: VertexId, target: VertexId) -> Self {
+        EdgeDelta {
+            op: DeltaOp::Add,
+            source,
+            target,
+        }
+    }
+
+    /// An edge removal.
+    pub fn remove(source: VertexId, target: VertexId) -> Self {
+        EdgeDelta {
+            op: DeltaOp::Remove,
+            source,
+            target,
+        }
+    }
+}
+
+/// Reasons a delta batch is rejected. Validation happens before any
+/// mutation, so a rejected batch leaves the graph untouched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeltaError {
+    /// A delta endpoint does not exist in the graph (deltas cannot grow the
+    /// vertex universe; use [`crate::VersionedGraph::replace`] for that).
+    VertexOutOfRange {
+        /// The offending vertex id.
+        vertex: VertexId,
+        /// Number of vertices in the graph.
+        vertices: usize,
+    },
+    /// A delta names a self-loop; self-loops can never lie on a simple path
+    /// and [`crate::DiGraph::from_edges`] drops them, so admitting one would
+    /// break overlay/rebuild equivalence.
+    SelfLoop(VertexId),
+}
+
+impl std::fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeltaError::VertexOutOfRange { vertex, vertices } => write!(
+                f,
+                "delta vertex {vertex} out of range (graph has {vertices} vertices)"
+            ),
+            DeltaError::SelfLoop(v) => {
+                write!(f, "delta self-loop on vertex {v} is not allowed")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+/// Receipt of one applied delta batch: the graph *version* is unchanged
+/// (survivor cache entries keyed by it stay reachable — that is the whole
+/// point of scoped invalidation), while `seq` counts applied batches within
+/// the snapshot's lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeltaVersion {
+    /// The (unchanged) version stamp of the mutated snapshot.
+    pub version: GraphVersion,
+    /// Number of delta batches applied to this snapshot so far.
+    pub seq: u64,
+    /// Deltas of this batch that changed the graph (no-ops — adding a
+    /// present edge, removing an absent one — are excluded).
+    pub applied: usize,
+}
+
+/// Validates a batch against `g` without mutating anything.
+pub(crate) fn validate_deltas(g: &DiGraph, deltas: &[EdgeDelta]) -> Result<(), DeltaError> {
+    let n = g.vertex_count();
+    for d in deltas {
+        for v in [d.source, d.target] {
+            if (v as usize) >= n {
+                return Err(DeltaError::VertexOutOfRange {
+                    vertex: v,
+                    vertices: n,
+                });
+            }
+        }
+        if d.source == d.target {
+            return Err(DeltaError::SelfLoop(d.source));
+        }
+    }
+    Ok(())
+}
+
+/// Depth-bounded multi-source BFS over `g`: distances from the nearest seed
+/// (0 at each seed), `u32::MAX` beyond `depth` or unreachable. Forward walks
+/// out-edges; pass [`crate::Direction::Backward`] to measure distance *to*
+/// the seeds instead. This powers the addition-side scoped-invalidation test
+/// in `spg-core`: the hop budget `k` bounds how far an added edge can be
+/// felt, so the scan never leaves the neighbourhood the deltas touched.
+pub fn multi_source_distances(
+    g: &DiGraph,
+    seeds: &[VertexId],
+    dir: crate::Direction,
+    depth: u32,
+) -> Vec<u32> {
+    let n = g.vertex_count();
+    let mut dist = vec![u32::MAX; n];
+    let mut frontier: Vec<VertexId> = Vec::new();
+    for &s in seeds {
+        if (s as usize) < n && dist[s as usize] == u32::MAX {
+            dist[s as usize] = 0;
+            frontier.push(s);
+        }
+    }
+    let mut next: Vec<VertexId> = Vec::new();
+    let mut level = 0u32;
+    while !frontier.is_empty() && level < depth {
+        level += 1;
+        for &u in &frontier {
+            for &v in g.neighbors(u, dir) {
+                if dist[v as usize] == u32::MAX {
+                    dist[v as usize] = level;
+                    next.push(v);
+                }
+            }
+        }
+        std::mem::swap(&mut frontier, &mut next);
+        next.clear();
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Direction;
+
+    #[test]
+    fn validation_rejects_bad_batches_atomically() {
+        let g = DiGraph::from_edges(3, [(0, 1)]);
+        assert!(validate_deltas(&g, &[EdgeDelta::add(0, 2)]).is_ok());
+        assert_eq!(
+            validate_deltas(&g, &[EdgeDelta::add(0, 2), EdgeDelta::remove(0, 9)]),
+            Err(DeltaError::VertexOutOfRange {
+                vertex: 9,
+                vertices: 3
+            })
+        );
+        assert_eq!(
+            validate_deltas(&g, &[EdgeDelta::add(1, 1)]),
+            Err(DeltaError::SelfLoop(1))
+        );
+    }
+
+    #[test]
+    fn delta_error_display() {
+        let e = DeltaError::VertexOutOfRange {
+            vertex: 7,
+            vertices: 3,
+        };
+        assert!(e.to_string().contains("out of range"));
+        assert!(DeltaError::SelfLoop(2).to_string().contains("self-loop"));
+    }
+
+    #[test]
+    fn multi_source_bfs_bounded_both_directions() {
+        // 0 -> 1 -> 2 -> 3 -> 4
+        let g = DiGraph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let fwd = multi_source_distances(&g, &[1], Direction::Forward, 2);
+        assert_eq!(fwd, vec![u32::MAX, 0, 1, 2, u32::MAX]);
+        let bwd = multi_source_distances(&g, &[3], Direction::Backward, 10);
+        assert_eq!(bwd, vec![3, 2, 1, 0, u32::MAX]);
+        // Two seeds take the pointwise minimum.
+        let both = multi_source_distances(&g, &[0, 3], Direction::Forward, 10);
+        assert_eq!(both, vec![0, 1, 2, 0, 1]);
+    }
+}

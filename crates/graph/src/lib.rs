@@ -20,6 +20,9 @@
 //! * [`versioned`] — [`VersionedGraph`], a handle stamping every graph
 //!   snapshot with a process-unique monotone [`GraphVersion`] so memoising
 //!   layers (the `spg_core` result cache) can never serve stale answers.
+//! * [`delta`] — [`EdgeDelta`] batches applied as CSR overlays for
+//!   streaming updates that keep the version (and unaffected cache
+//!   entries) alive.
 //! * [`budget`] — [`QueryBudget`], the cooperative cancellation token
 //!   (wall-clock deadline + work ceiling) the traversal engines poll at
 //!   level boundaries.
@@ -32,6 +35,7 @@
 pub mod budget;
 pub mod builder;
 pub mod csr;
+pub mod delta;
 pub mod generators;
 pub mod hash;
 pub mod io;
@@ -43,6 +47,7 @@ pub mod versioned;
 pub use budget::{BudgetExhausted, QueryBudget};
 pub use builder::GraphBuilder;
 pub use csr::{DiGraph, Direction, EdgeId, VertexId};
+pub use delta::{multi_source_distances, DeltaError, DeltaOp, DeltaVersion, EdgeDelta};
 pub use properties::DegreeStats;
 pub use subgraph::EdgeSubgraph;
 pub use traversal::{

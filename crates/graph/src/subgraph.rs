@@ -56,6 +56,11 @@ impl EdgeSubgraph {
     }
 
     /// Set of distinct vertices incident to at least one subgraph edge.
+    ///
+    /// Allocates a fresh hash set per call; hot callers that only need an
+    /// ordered membership structure (e.g. witness construction for scoped
+    /// cache invalidation) should prefer [`EdgeSubgraph::sorted_vertices`],
+    /// which sorts instead of hashing and supports binary-search probes.
     pub fn vertex_set(&self) -> FxHashSet<VertexId> {
         let mut s: FxHashSet<VertexId> = FxHashSet::default();
         for &(u, v) in &self.edges {
@@ -65,9 +70,24 @@ impl EdgeSubgraph {
         s
     }
 
+    /// Distinct incident vertices as a sorted, deduplicated vector — the
+    /// hash-free [`EdgeSubgraph::vertex_set`] variant. Membership is then an
+    /// `O(log n)` `binary_search`, and the sorted form is directly usable as
+    /// an invalidation witness.
+    pub fn sorted_vertices(&self) -> Vec<VertexId> {
+        let mut v: Vec<VertexId> = Vec::with_capacity(self.edges.len() * 2);
+        for &(a, b) in &self.edges {
+            v.push(a);
+            v.push(b);
+        }
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
     /// Number of distinct incident vertices.
     pub fn vertex_count(&self) -> usize {
-        self.vertex_set().len()
+        self.sorted_vertices().len()
     }
 
     /// `true` if `other` contains every edge of `self`.
@@ -95,8 +115,7 @@ impl EdgeSubgraph {
     /// is the number of incident vertices. Returns the graph together with
     /// the mapping `original id -> compact id`.
     pub fn to_compact_graph(&self) -> (DiGraph, FxHashMap<VertexId, VertexId>) {
-        let mut ids: Vec<VertexId> = self.vertex_set().into_iter().collect();
-        ids.sort_unstable();
+        let ids = self.sorted_vertices();
         let mapping: FxHashMap<VertexId, VertexId> = ids
             .iter()
             .enumerate()
@@ -145,6 +164,19 @@ mod tests {
         assert!(s.contains(1, 2));
         assert!(!s.contains(2, 1));
         assert_eq!(s.vertex_count(), 4);
+    }
+
+    #[test]
+    fn sorted_vertices_agree_with_the_hash_set() {
+        let s = EdgeSubgraph::from_edges([(9, 2), (2, 9), (4, 2), (9, 4)]);
+        let sorted = s.sorted_vertices();
+        assert_eq!(sorted, vec![2, 4, 9]);
+        let mut from_set: Vec<_> = s.vertex_set().into_iter().collect();
+        from_set.sort_unstable();
+        assert_eq!(sorted, from_set);
+        assert!(sorted.binary_search(&4).is_ok());
+        assert!(sorted.binary_search(&3).is_err());
+        assert!(EdgeSubgraph::new().sorted_vertices().is_empty());
     }
 
     #[test]

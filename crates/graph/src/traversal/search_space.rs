@@ -292,6 +292,15 @@ impl SearchSpace {
         self.verts[v as usize]
     }
 
+    /// The space's vertices as sorted global ids (local order == global
+    /// order). This is the **witness** the result cache records per entry
+    /// for scoped invalidation: every edge whose removal could change the
+    /// answer has both endpoints in this set.
+    #[inline]
+    pub fn vertices(&self) -> &[VertexId] {
+        &self.verts
+    }
+
     /// Local id of global vertex `v`, if it belongs to the space
     /// (`O(log n')` — intended for tests and non-hot-path callers).
     pub fn local_of(&self, v: VertexId) -> Option<u32> {

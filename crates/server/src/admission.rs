@@ -18,6 +18,15 @@
 //!    is never paid (the batch fills instantly); under a trickle it bounds
 //!    the worst-case queueing delay a request can suffer for the benefit of
 //!    batch-sharing (`deadline = 0` dispatches immediately).
+//!
+//! When a backlog forces a batch to leave items behind, the drain is
+//! **earliest-deadline-first**, not FIFO: items whose own deadline expires
+//! soonest are taken first (deadline-less items last, FIFO within ties), so
+//! a tight-deadline request stuck behind a wall of lax ones is not timed
+//! out by queueing order alone. Construct with
+//! [`BatchQueue::with_deadline_fn`] to supply the per-item deadline;
+//! [`BatchQueue::new`] treats every item as deadline-less, which degrades
+//! to exact FIFO.
 
 use std::collections::HashMap;
 use std::sync::{Condvar, Mutex};
@@ -104,13 +113,37 @@ pub struct BatchQueue<T> {
     capacity: usize,
     batch_max: usize,
     deadline: Duration,
+    /// Per-item deadline used for earliest-deadline-first drain order;
+    /// `None` means the item has no deadline and drains after all that do.
+    deadline_of: fn(&T) -> Option<Instant>,
+}
+
+/// The [`BatchQueue::new`] default: no item carries a deadline, so the
+/// earliest-deadline-first drain degrades to exact FIFO.
+fn no_deadline<T>(_: &T) -> Option<Instant> {
+    None
 }
 
 impl<T> BatchQueue<T> {
     /// Creates a queue holding at most `capacity` waiting items, drained in
     /// batches of at most `batch_max` (both clamped to ≥ 1) after at most
-    /// `deadline` of batch-forming delay.
+    /// `deadline` of batch-forming delay. Items are treated as
+    /// deadline-less (exact FIFO drain); see
+    /// [`BatchQueue::with_deadline_fn`].
     pub fn new(capacity: usize, batch_max: usize, deadline: Duration) -> Self {
+        BatchQueue::with_deadline_fn(capacity, batch_max, deadline, no_deadline::<T>)
+    }
+
+    /// [`BatchQueue::new`] with a per-item deadline accessor: when a drain
+    /// cannot take everything, the items whose deadlines expire soonest are
+    /// taken first (deadline-less items last, FIFO within ties), and the
+    /// items left behind keep their arrival order.
+    pub fn with_deadline_fn(
+        capacity: usize,
+        batch_max: usize,
+        deadline: Duration,
+        deadline_of: fn(&T) -> Option<Instant>,
+    ) -> Self {
         BatchQueue {
             state: Mutex::new(QueueState {
                 items: std::collections::VecDeque::new(),
@@ -120,6 +153,7 @@ impl<T> BatchQueue<T> {
             capacity: capacity.max(1),
             batch_max: batch_max.max(1),
             deadline,
+            deadline_of,
         }
     }
 
@@ -167,7 +201,24 @@ impl<T> BatchQueue<T> {
             }
         }
         let take = state.items.len().min(self.batch_max);
-        Some(state.items.drain(..take).collect())
+        if take == state.items.len() {
+            // Taking everything: selection order is irrelevant, skip it.
+            return Some(state.items.drain(..).collect());
+        }
+        // Earliest-deadline-first selection (see the module docs): rank by
+        // (has-no-deadline, deadline, arrival) so tight deadlines drain
+        // first, deadline-less items last, FIFO within ties.
+        let mut order: Vec<usize> = (0..state.items.len()).collect();
+        order.sort_unstable_by_key(|&i| {
+            let d = (self.deadline_of)(&state.items[i]);
+            (d.is_none(), d, i)
+        });
+        order.truncate(take);
+        let mut slots: Vec<Option<T>> = state.items.drain(..).map(Some).collect();
+        let batch: Vec<T> = order.iter().filter_map(|&i| slots[i].take()).collect();
+        // The unselected remainder keeps its arrival order.
+        state.items.extend(slots.into_iter().flatten());
+        Some(batch)
     }
 
     /// Closes the queue: future pushes fail, the consumer drains what is
@@ -292,6 +343,38 @@ mod tests {
             batch.len() >= 2,
             "the deadline window must absorb more than the opening item, got {batch:?}"
         );
+    }
+
+    #[test]
+    fn backlog_drains_earliest_deadline_first_with_fifo_ties() {
+        let t0 = Instant::now();
+        let soon = t0 + Duration::from_secs(1);
+        let late = t0 + Duration::from_secs(60);
+        let queue: BatchQueue<(u32, Option<Instant>)> =
+            BatchQueue::with_deadline_fn(16, 2, Duration::ZERO, |item| item.1);
+        // Arrival order: lax, deadline-less, tight, tight.
+        queue.push((0, Some(late))).unwrap();
+        queue.push((1, None)).unwrap();
+        queue.push((2, Some(soon))).unwrap();
+        queue.push((3, Some(soon))).unwrap();
+        let ids = |batch: Vec<(u32, Option<Instant>)>| -> Vec<u32> {
+            batch.into_iter().map(|(id, _)| id).collect()
+        };
+        // The two tight-deadline items jump the queue, FIFO between them.
+        assert_eq!(ids(queue.next_batch().unwrap()), vec![2, 3]);
+        // The remainder kept its arrival order: lax deadline before none.
+        assert_eq!(ids(queue.next_batch().unwrap()), vec![0, 1]);
+    }
+
+    #[test]
+    fn deadline_less_queue_stays_fifo() {
+        let queue = BatchQueue::new(16, 2, Duration::ZERO);
+        for i in 0..5 {
+            queue.push(i).unwrap();
+        }
+        assert_eq!(queue.next_batch(), Some(vec![0, 1]));
+        assert_eq!(queue.next_batch(), Some(vec![2, 3]));
+        assert_eq!(queue.next_batch(), Some(vec![4]));
     }
 
     #[test]

@@ -298,6 +298,34 @@ impl SpgClient {
         unreachable!("the loop always returns on its last attempt");
     }
 
+    /// Round trip: apply one edge-delta batch (`op: "update"`). Either list
+    /// may be empty, but the server rejects a batch where both are. The
+    /// reply's `raw` object carries `applied` (deltas that changed the
+    /// graph), `purged` (cache entries scoped out) and `seq` (delta batches
+    /// applied to the current snapshot).
+    pub fn update(
+        &mut self,
+        id: u64,
+        add: &[(u32, u32)],
+        remove: &[(u32, u32)],
+    ) -> io::Result<Reply> {
+        fn edges(list: &[(u32, u32)]) -> Json {
+            Json::Array(
+                list.iter()
+                    .map(|&(s, t)| Json::Array(vec![Json::Uint(s as u64), Json::Uint(t as u64)]))
+                    .collect(),
+            )
+        }
+        let payload = json::to_string(&Json::Object(vec![
+            ("id".into(), Json::Uint(id)),
+            ("op".into(), Json::Str("update".into())),
+            ("add".into(), edges(add)),
+            ("remove".into(), edges(remove)),
+        ]));
+        self.send_raw(payload.as_bytes())?;
+        self.recv()
+    }
+
     /// Round trip: liveness probe.
     pub fn ping(&mut self, id: u64) -> io::Result<Reply> {
         let payload = json::to_string(&Json::Object(vec![

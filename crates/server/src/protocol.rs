@@ -15,6 +15,7 @@
 //! {"id": 5, "op": "query", "s": 0, "t": 5, "k": 4, "deadline_ms": 250}
 //! {"id": 3, "op": "ping"}
 //! {"id": 4, "op": "stats"}
+//! {"id": 6, "op": "update", "add": [[0, 7]], "remove": [[3, 5]]}
 //! ```
 //!
 //! `id` is an arbitrary `u64` chosen by the client and echoed verbatim in
@@ -28,6 +29,12 @@
 //! computed, and one that expires mid-computation reports the engine's
 //! [`spg_core::QueryError::DeadlineExceeded`].
 //!
+//! `update` applies a streaming edge-delta batch to the served graph
+//! (`add`/`remove` are arrays of `[u, v]` pairs; either may be absent, not
+//! both) and scopes cache invalidation to the entries the batch could have
+//! affected — see `docs/dynamic_graphs.md` for the semantics and
+//! guarantees.
+//!
 //! ## Responses
 //!
 //! ```json
@@ -36,6 +43,7 @@
 //! {"id": 2, "status": "overloaded", "error": "admission queue is full"}
 //! {"id": 5, "status": "expired", "error": "deadline expired before execution"}
 //! {"id": 3, "status": "ok", "pong": true}
+//! {"id": 6, "status": "ok", "applied": 2, "purged": 1, "seq": 3}
 //! ```
 //!
 //! `source` is `"hit"`, `"miss"` or `"coalesced"` — how the cache/
@@ -149,6 +157,17 @@ pub enum Request {
         /// Client-chosen correlation id, echoed in the response.
         id: u64,
     },
+    /// Streaming edge-delta batch: apply to the served graph, purge only
+    /// the affected cache entries. Applied on the connection thread under
+    /// the server's graph write lock.
+    Update {
+        /// Client-chosen correlation id, echoed in the response.
+        id: u64,
+        /// Edges to insert (present edges are no-ops).
+        add: Vec<(u32, u32)>,
+        /// Edges to delete (absent edges are no-ops).
+        remove: Vec<(u32, u32)>,
+    },
 }
 
 /// Why a request frame was rejected before reaching the engine. Carries the
@@ -193,6 +212,52 @@ fn u32_field(doc: &Json, id: Option<u64>, key: &str) -> Result<u32, BadRequest> 
     let v = u64_field(doc, id, key)?;
     u32::try_from(v)
         .map_err(|_| BadRequest::new(id, format!("field '{key}' exceeds the u32 range")))
+}
+
+/// Optional edge-list field of an `update` request: an array of `[u, v]`
+/// pairs (absent or `null` reads as empty).
+fn edge_list_field(doc: &Json, id: u64, key: &str) -> Result<Vec<(u32, u32)>, BadRequest> {
+    let items = match doc.get(key) {
+        None | Some(Json::Null) => return Ok(Vec::new()),
+        Some(Json::Array(items)) => items,
+        Some(_) => {
+            return Err(BadRequest::new(
+                Some(id),
+                format!("field '{key}' must be an array of [u, v] pairs"),
+            ))
+        }
+    };
+    let mut edges = Vec::with_capacity(items.len());
+    for item in items {
+        let pair = match item {
+            Json::Array(pair) if pair.len() == 2 => pair,
+            _ => {
+                return Err(BadRequest::new(
+                    Some(id),
+                    format!("field '{key}' entries must be [u, v] pairs"),
+                ))
+            }
+        };
+        let mut ends = [0u32; 2];
+        for (slot, value) in ends.iter_mut().zip(pair) {
+            *slot = match value {
+                Json::Uint(v) => u32::try_from(*v).map_err(|_| {
+                    BadRequest::new(
+                        Some(id),
+                        format!("field '{key}' vertex exceeds the u32 range"),
+                    )
+                })?,
+                _ => {
+                    return Err(BadRequest::new(
+                        Some(id),
+                        format!("field '{key}' vertices must be integers in [0, 2^32)"),
+                    ))
+                }
+            };
+        }
+        edges.push((ends[0], ends[1]));
+    }
+    Ok(edges)
 }
 
 /// Parses one request frame. Never panics on hostile input: every malformed
@@ -243,9 +308,20 @@ pub fn parse_request(payload: &[u8]) -> Result<Request, BadRequest> {
                 deadline_ms,
             })
         }
+        "update" => {
+            let add = edge_list_field(&doc, id, "add")?;
+            let remove = edge_list_field(&doc, id, "remove")?;
+            if add.is_empty() && remove.is_empty() {
+                return Err(BadRequest::new(
+                    Some(id),
+                    "update needs a non-empty 'add' or 'remove' edge list",
+                ));
+            }
+            Ok(Request::Update { id, add, remove })
+        }
         other => Err(BadRequest::new(
             Some(id),
-            format!("unknown op '{other}' (expected query, ping or stats)"),
+            format!("unknown op '{other}' (expected query, update, ping or stats)"),
         )),
     }
 }
@@ -322,6 +398,20 @@ pub fn overloaded_response(id: u64, message: &str) -> String {
         ("id".into(), Json::Uint(id)),
         ("status".into(), Json::Str("overloaded".into())),
         ("error".into(), Json::Str(message.into())),
+    ]))
+}
+
+/// Builds the `status: ok` response for an applied `update` batch:
+/// `applied` counts the deltas that changed the graph (no-ops excluded),
+/// `purged` the cache entries dropped by the scoped invalidation, `seq` the
+/// graph's delta sequence number after the batch.
+pub fn update_response(id: u64, applied: usize, purged: usize, seq: u64) -> String {
+    json::to_string(&Json::Object(vec![
+        ("id".into(), Json::Uint(id)),
+        ("status".into(), Json::Str("ok".into())),
+        ("applied".into(), Json::Uint(applied as u64)),
+        ("purged".into(), Json::Uint(purged as u64)),
+        ("seq".into(), Json::Uint(seq)),
     ]))
 }
 
@@ -431,6 +521,40 @@ mod tests {
             parse_request(br#"{"id": 4, "op": "stats"}"#).unwrap(),
             Request::Stats { id: 4 }
         );
+        assert_eq!(
+            parse_request(br#"{"id": 6, "op": "update", "add": [[0, 7]], "remove": [[3, 5]]}"#)
+                .unwrap(),
+            Request::Update {
+                id: 6,
+                add: vec![(0, 7)],
+                remove: vec![(3, 5)],
+            }
+        );
+        assert_eq!(
+            parse_request(br#"{"id": 7, "op": "update", "remove": [[1, 2], [2, 1]]}"#).unwrap(),
+            Request::Update {
+                id: 7,
+                add: vec![],
+                remove: vec![(1, 2), (2, 1)],
+            }
+        );
+    }
+
+    #[test]
+    fn malformed_updates_error_cleanly() {
+        for bad in [
+            &br#"{"id": 1, "op": "update"}"#[..],
+            br#"{"id": 1, "op": "update", "add": [], "remove": []}"#,
+            br#"{"id": 1, "op": "update", "add": 7}"#,
+            br#"{"id": 1, "op": "update", "add": [[0]]}"#,
+            br#"{"id": 1, "op": "update", "add": [[0, 1, 2]]}"#,
+            br#"{"id": 1, "op": "update", "add": [[0, "x"]]}"#,
+            br#"{"id": 1, "op": "update", "add": [[0, 4294967296]]}"#,
+            br#"{"id": 1, "op": "update", "add": [[0, -1]]}"#,
+        ] {
+            let err = parse_request(bad).unwrap_err();
+            assert_eq!(err.id, Some(1), "{:?}", bad);
+        }
     }
 
     #[test]
@@ -495,6 +619,10 @@ mod tests {
         assert_eq!(
             expired_response(3),
             r#"{"id":3,"status":"expired","error":"deadline expired before execution"}"#
+        );
+        assert_eq!(
+            update_response(6, 2, 1, 3),
+            r#"{"id":6,"status":"ok","applied":2,"purged":1,"seq":3}"#
         );
     }
 

@@ -20,6 +20,18 @@
 //!   computing in the previous drain is joined, not recomputed), and compute
 //!   the distinct misses as one cohort-planned parallel run.
 //!
+//! ## Streaming updates
+//!
+//! The served graph is mutable: an `update` request applies an edge-delta
+//! batch on its **connection thread** under the graph's write lock
+//! ([`spg_core::apply_delta_scoped`]), while the batcher binds each drain
+//! to the current snapshot under the read lock — so a drain always sees a
+//! consistent graph and an update waits at most one micro-batch. Deltas
+//! keep the graph version (queries see the base CSR plus an overlay merged
+//! at traversal time) and purge only the cache entries the batch could have
+//! affected; unaffected hot keys keep serving hits. The `stats` op reports
+//! `deltas_applied`, `entries_purged_scoped` and `overlay_compactions`.
+//!
 //! ## Back-pressure
 //!
 //! Nothing in the engine queues unboundedly. A query is refused with an
@@ -53,18 +65,20 @@ use std::io::Read;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, Weak};
+use std::sync::{Arc, Mutex, RwLock, Weak};
 use std::thread;
 use std::time::{Duration, Instant};
 
-use spg_core::{BatchExecutor, CachedEve, FlightGroup, Query, QueryError, SpgCache};
-use spg_graph::{DiGraph, VersionedGraph};
+use spg_core::{
+    apply_delta_scoped, BatchExecutor, CachedEve, FlightGroup, Query, QueryError, SpgCache,
+};
+use spg_graph::{DiGraph, EdgeDelta, VersionedGraph};
 
 use crate::admission::{BatchQueue, RateLimiter};
 use crate::json::{self, Json};
 use crate::protocol::{
     self, error_response, expired_response, ok_response, overloaded_response, pong_response,
-    query_error_response, FrameError, Request,
+    query_error_response, update_response, FrameError, Request,
 };
 
 /// Tuning knobs of one [`SpgServer`] (see the crate docs for the protocol
@@ -135,6 +149,13 @@ struct ServerCounters {
     panics_isolated: AtomicU64,
     /// Times the supervisor respawned a dead batcher thread.
     batcher_restarts: AtomicU64,
+    /// Edge deltas that changed the graph (no-ops excluded), across all
+    /// `update` batches.
+    deltas_applied: AtomicU64,
+    /// Cache entries dropped by scoped (delta-driven) invalidation.
+    entries_purged_scoped: AtomicU64,
+    /// `update` batches rejected with a delta validation error.
+    update_errors: AtomicU64,
 }
 
 /// One admitted query waiting for its micro-batch.
@@ -172,7 +193,9 @@ impl Connection {
 
 /// Everything the server's threads share.
 struct ServerState {
-    graph: VersionedGraph,
+    /// The served graph. Connection threads take the write lock to apply
+    /// `update` batches; the batcher takes the read lock per drain.
+    graph: RwLock<VersionedGraph>,
     cache: SpgCache,
     flights: FlightGroup,
     queue: BatchQueue<PendingQuery>,
@@ -259,7 +282,7 @@ impl SpgServer {
         let local_addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
         let state = Arc::new(ServerState {
-            graph: VersionedGraph::new(graph),
+            graph: RwLock::new(VersionedGraph::new(graph)),
             cache: SpgCache::new(config.cache_bytes),
             flights: FlightGroup::new(),
             queue: BatchQueue::new(
@@ -471,12 +494,48 @@ fn handle_frame(state: &Arc<ServerState>, conn: &Arc<Connection>, payload: &[u8]
                     .send(&overloaded_response(refused.id, "admission queue is full"));
             }
         }
+        Request::Update { id, add, remove } => {
+            let deltas: Vec<EdgeDelta> = add
+                .iter()
+                .map(|&(u, v)| EdgeDelta::add(u, v))
+                .chain(remove.iter().map(|&(u, v)| EdgeDelta::remove(u, v)))
+                .collect();
+            // Applied here, on the connection thread, while holding the
+            // graph writer side: the batcher's per-drain read lock
+            // serialises the mutation against in-flight batches, and the
+            // scoped purge happens before any query can observe the
+            // mutated graph.
+            let mut graph = state.graph.write().expect("server graph"); // lock: server.graph
+            match apply_delta_scoped(&mut graph, &state.cache, &deltas) {
+                Ok(update) => {
+                    drop(graph);
+                    state
+                        .counters
+                        .deltas_applied
+                        .fetch_add(update.delta.applied as u64, Ordering::Relaxed);
+                    state
+                        .counters
+                        .entries_purged_scoped
+                        .fetch_add(update.purged as u64, Ordering::Relaxed);
+                    conn.send(&update_response(
+                        id,
+                        update.delta.applied,
+                        update.purged,
+                        update.delta.seq,
+                    ));
+                }
+                Err(err) => {
+                    drop(graph);
+                    state.counters.update_errors.fetch_add(1, Ordering::Relaxed);
+                    conn.send(&error_response(Some(id), &err.to_string()));
+                }
+            }
+        }
     }
 }
 
 /// The single batcher thread: drain micro-batches until shutdown.
 fn batcher_loop(state: &Arc<ServerState>) {
-    let cached = CachedEve::with_defaults(&state.graph, &state.cache);
     let executor = if state.config.threads == 0 {
         BatchExecutor::with_available_parallelism()
     } else {
@@ -520,6 +579,12 @@ fn batcher_loop(state: &Arc<ServerState>) {
 
         let queries: Vec<Query> = live.iter().map(|p| p.query).collect();
         let deadlines: Vec<Option<Instant>> = live.iter().map(|p| p.deadline).collect();
+        // Bind to the *current* snapshot per drain — `update` requests may
+        // have mutated the graph since the last batch. Holding the read
+        // lock across the drain keeps the batch consistent: an update waits
+        // for the write lock until this drain's responses are computed.
+        let graph = state.graph.read().expect("server graph"); // lock: server.graph
+        let cached = CachedEve::with_defaults(&graph, &state.cache);
         let drained = catch_unwind(AssertUnwindSafe(|| {
             executor.run_cached_coalesced_with_deadlines(
                 &cached,
@@ -578,6 +643,12 @@ fn batcher_loop(state: &Arc<ServerState>) {
 /// Builds the `stats` response: serving, cache and singleflight counters.
 fn stats_response(state: &Arc<ServerState>, id: u64) -> String {
     let c = &state.counters;
+    // Graph counters first, in their own scope: server.graph is released
+    // before any other lock (cache shards, admission) is touched below.
+    let (overlay_compactions, delta_seq, graph_version) = {
+        let graph = state.graph.read().expect("server graph"); // lock: server.graph
+        (graph.compactions(), graph.delta_seq(), graph.version())
+    };
     let cache = state.cache.stats();
     let flights = state.flights.stats();
     let obj = Json::Object(vec![
@@ -630,6 +701,24 @@ fn stats_response(state: &Arc<ServerState>, id: u64) -> String {
                     "batcher_restarts".into(),
                     Json::Uint(c.batcher_restarts.load(Ordering::Relaxed)),
                 ),
+                (
+                    "deltas_applied".into(),
+                    Json::Uint(c.deltas_applied.load(Ordering::Relaxed)),
+                ),
+                (
+                    "entries_purged_scoped".into(),
+                    Json::Uint(c.entries_purged_scoped.load(Ordering::Relaxed)),
+                ),
+                (
+                    "update_errors".into(),
+                    Json::Uint(c.update_errors.load(Ordering::Relaxed)),
+                ),
+                (
+                    "overlay_compactions".into(),
+                    Json::Uint(overlay_compactions),
+                ),
+                ("delta_seq".into(), Json::Uint(delta_seq)),
+                ("graph_version".into(), Json::Uint(graph_version)),
                 ("queue_depth".into(), Json::Uint(state.queue.len() as u64)),
                 ("tenants".into(), Json::Uint(state.limiter.tenants() as u64)),
             ]),
@@ -641,6 +730,8 @@ fn stats_response(state: &Arc<ServerState>, id: u64) -> String {
                 ("misses".into(), Json::Uint(cache.misses)),
                 ("insertions".into(), Json::Uint(cache.insertions)),
                 ("evictions".into(), Json::Uint(cache.evictions)),
+                ("purged_stale".into(), Json::Uint(cache.purged_stale)),
+                ("purged_scoped".into(), Json::Uint(cache.purged_scoped)),
                 ("entries".into(), Json::Uint(cache.entries as u64)),
                 ("bytes".into(), Json::Uint(cache.bytes as u64)),
                 ("budget_bytes".into(), Json::Uint(cache.budget_bytes as u64)),

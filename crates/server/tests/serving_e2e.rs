@@ -16,6 +16,7 @@ use std::time::Duration;
 use spg_core::{Eve, EveConfig, Query};
 use spg_graph::generators::gnm_random;
 use spg_graph::DiGraph;
+use spg_server::json::Json;
 use spg_server::{Reply, ServerConfig, ServerHandle, SpgClient, SpgServer};
 
 /// The shared test graph: small enough that every query is fast, dense
@@ -299,6 +300,99 @@ fn ping_and_stats_expose_the_engine() {
 
     handle.shutdown();
     server.join().expect("clean server exit");
+}
+
+#[test]
+fn update_round_trip_purges_scoped_and_serves_the_new_graph() {
+    // Two disconnected components so one cached answer is provably out of
+    // scope of the delta: component A (0..4, a diamond) and component B
+    // (8 -> 9).
+    let graph = DiGraph::from_edges(10, [(0, 1), (1, 2), (2, 3), (0, 2), (1, 3), (8, 9)]);
+    let server = SpgServer::bind(
+        graph,
+        "127.0.0.1:0",
+        ServerConfig {
+            batch_deadline: Duration::ZERO,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr();
+    let handle = server.handle();
+    let thread = thread::spawn(move || server.run().expect("serving loop"));
+    let mut client = connect(addr);
+
+    // Warm the cache with one entry per component.
+    assert_eq!(client.query(1, 0, 3, 4).expect("warm A").status, "ok");
+    assert_eq!(client.query(2, 8, 9, 1).expect("warm B").status, "ok");
+
+    // Remove an edge inside component A's answer.
+    let reply = client.update(3, &[], &[(1, 2)]).expect("update");
+    assert_eq!(reply.status, "ok");
+    assert_eq!(reply.id, Some(3));
+    let field = |key: &str| reply.raw.get(key).and_then(Json::as_u64).expect(key);
+    assert_eq!(field("applied"), 1, "one real removal");
+    assert_eq!(field("seq"), 1, "first delta batch on this snapshot");
+    assert_eq!(
+        field("purged"),
+        1,
+        "only component A's entry is in scope of the removal"
+    );
+
+    // Component B's entry survived the purge: the requery is a hit.
+    let warm = client.query(4, 8, 9, 1).expect("requery B");
+    assert_eq!(warm.source.as_deref(), Some("hit"));
+
+    // Component A's entry was purged and recomputes on the mutated graph,
+    // bit-identical to a local Eve on a from-scratch rebuild.
+    let recomputed = client.query(5, 0, 3, 4).expect("requery A");
+    assert_eq!(recomputed.status, "ok");
+    assert_eq!(recomputed.source.as_deref(), Some("miss"));
+    let rebuilt = DiGraph::from_edges(10, [(0, 1), (2, 3), (0, 2), (1, 3), (8, 9)]);
+    let eve = Eve::new(&rebuilt, EveConfig::default());
+    let spg = eve.query(Query::new(0, 3, 4)).expect("local answer");
+    assert_eq!(
+        recomputed.edges.as_deref(),
+        Some(spg.edges()),
+        "post-update wire answer must match the full rebuild"
+    );
+
+    // A second batch bumps seq; additions are in scope too, so the freshly
+    // recomputed component-A entry is purged again by the re-add.
+    let added = client.update(6, &[(1, 2)], &[]).expect("re-add");
+    assert_eq!(added.status, "ok");
+    let field = |key: &str| added.raw.get(key).and_then(Json::as_u64).expect(key);
+    assert_eq!(field("applied"), 1);
+    assert_eq!(field("seq"), 2);
+    assert_eq!(field("purged"), 1, "the recomputed (0, 3, 4) entry");
+
+    // Malformed batches are refused without poisoning the connection.
+    let refused = client.update(7, &[(2, 2)], &[]).expect("self-loop");
+    assert_eq!(refused.status, "error");
+    assert!(refused.error.unwrap().contains("self-loop"));
+    let empty = client.update(8, &[], &[]).expect("empty");
+    assert_eq!(empty.status, "error");
+    assert!(empty.error.unwrap().contains("non-empty"));
+    assert_eq!(client.ping(9).expect("ping").status, "ok");
+
+    // The stats surface the whole story.
+    let stats = client.stats(10).expect("stats").raw;
+    let server_stat = |key: &str| {
+        stats
+            .get("server")
+            .and_then(|s| s.get(key))
+            .and_then(Json::as_u64)
+            .expect(key)
+    };
+    assert_eq!(server_stat("deltas_applied"), 2);
+    assert_eq!(server_stat("entries_purged_scoped"), 2);
+    // The empty batch died at parse time (a bad request, not an update
+    // error); only the self-loop reached delta validation.
+    assert_eq!(server_stat("update_errors"), 1);
+    assert_eq!(server_stat("delta_seq"), 2);
+
+    handle.shutdown();
+    thread.join().expect("clean server exit");
 }
 
 #[test]

@@ -153,8 +153,8 @@ fn scripted_trace_evicts_in_lru_order() {
 
 /// After a graph bump, old-version entries are unreachable and the cache
 /// serves answers computed on the *new* snapshot — even for the same
-/// `(s, t, k)` triple, and even though the old entries may still be
-/// resident until purged.
+/// `(s, t, k)` triple. Binding a `CachedEve` to the new snapshot eagerly
+/// reclaims the retired version's entries, so nothing stale lingers.
 #[test]
 fn version_bump_makes_old_entries_unreachable() {
     // Chain 0 -> 1 -> 2 -> 3 plus shortcut 0 -> 2.
@@ -194,10 +194,13 @@ fn version_bump_makes_old_entries_unreachable() {
     );
     // The lookup on the new version was a miss: the old entry never served.
     assert_eq!(cache.stats().hits, 1, "no new hits after the bump");
-    assert_eq!(cache.len(), 2, "old entry still resident until purged");
+    // Binding to the bumped snapshot eagerly purged the retired entry, so
+    // only the freshly recomputed answer is resident.
+    assert_eq!(cache.len(), 1, "stale entry reclaimed on bind");
+    assert_eq!(cache.stats().purged_stale, 1);
 
-    // Eager reclamation drops exactly the stale snapshot's entry.
-    assert_eq!(cache.purge_other_versions(cached.version()), 1);
+    // A manual sweep finds nothing left to reclaim.
+    assert_eq!(cache.purge_other_versions(cached.version()), 0);
     assert_eq!(cache.len(), 1);
     let served = cached.query(q).unwrap();
     assert_eq!(served.edges(), recomputed.edges());
