@@ -8,13 +8,17 @@
 //!   (one MS-BFS pass per direction per ≤ 64-pair cohort), single worker so
 //!   the difference is sharing, not parallelism;
 //! * **top-down-only vs direction-optimizing** — the shared path with the
-//!   Beamer switch disabled against the default per-level switching.
+//!   Beamer switch disabled against the default per-level α/β switching;
+//! * **64-lane vs 256-lane cohorts** — the shared path capped at one-word
+//!   lane blocks against the default four-word blocks, on a wide fraud
+//!   ring whose distinct-pair count overflows a single 64-lane cohort.
 //!
 //! A mixed uniform batch is included as the low-dedup control: sharing must
-//! still win (or at least not lose) when endpoint pairs rarely repeat.
+//! still win (or at least not lose) when endpoint pairs rarely repeat — the
+//! cost model dissolves unprofitable cohorts into per-query singletons.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use spg_core::{BatchExecutor, Eve};
+use spg_core::{BatchExecutor, Eve, LaneWidth};
 use spg_graph::generators::gnm_random;
 use spg_graph::FrontierMode;
 use spg_workloads::{mixed_k_queries, shared_endpoint_queries};
@@ -28,6 +32,13 @@ fn bench_batch_phase1(c: &mut Criterion) {
             shared_endpoint_queries(&g, 256, &[4, 6], 8, 8, 0xFA4D),
         ),
         (
+            "shared_wide",
+            // Asymmetric pools (many sources, few targets): every narrow
+            // cohort re-walks the same source set, which is exactly the
+            // repeated work a wider lane block collapses.
+            shared_endpoint_queries(&g, 384, &[6, 6], 64, 4, 0x1A4E),
+        ),
+        (
             "mixed_uniform",
             mixed_k_queries(&g, 256, &[2, 4, 6], 0xBA7C),
         ),
@@ -38,11 +49,12 @@ fn bench_batch_phase1(c: &mut Criterion) {
         assert!(!batch.is_empty(), "{shape}: workload generation failed");
         let per_query = BatchExecutor::new(1).shared_phase1(false);
         let shared = BatchExecutor::new(1);
+        let narrow = BatchExecutor::new(1).phase1_lanes(LaneWidth::W64);
         let top_down = BatchExecutor::new(1).phase1_mode(FrontierMode::TopDownOnly);
 
-        // Sanity: all three paths agree before anything is timed.
+        // Sanity: all four paths agree before anything is timed.
         let reference = per_query.run(&eve, batch);
-        for executor in [shared, top_down] {
+        for executor in [&shared, &narrow, &top_down] {
             for (a, b) in executor.run(&eve, batch).iter().zip(&reference) {
                 assert_eq!(
                     a.as_ref().unwrap().edges(),
@@ -58,9 +70,14 @@ fn bench_batch_phase1(c: &mut Criterion) {
             |b, batch| b.iter(|| per_query.run(&eve, batch)),
         );
         group.bench_with_input(
-            BenchmarkId::new("shared_direction_optimizing", shape),
+            BenchmarkId::new("shared_lanes256", shape),
             batch.as_slice(),
             |b, batch| b.iter(|| shared.run(&eve, batch)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("shared_lanes64", shape),
+            batch.as_slice(),
+            |b, batch| b.iter(|| narrow.run(&eve, batch)),
         );
         group.bench_with_input(
             BenchmarkId::new("shared_top_down_only", shape),

@@ -17,8 +17,8 @@
 use std::time::Instant;
 
 use spg_graph::{
-    DiGraph, Direction, DistanceIndex, DistanceStrategy, EdgeSubgraph, MsBfsEngine, QueryBudget,
-    VertexId,
+    DiGraph, Direction, DistanceIndex, DistanceStrategy, EdgeSubgraph, FlatDistances, LaneBlock,
+    MsBfsEngine, QueryBudget, VertexId,
 };
 
 use crate::compact::{apply_search_ordering_flat, verify_flat_budgeted};
@@ -99,10 +99,14 @@ enum DistInput<'a> {
     /// fallback for singleton queries and the uncached [`Eve::query`]).
     Compute,
     /// Materialise one lane of a cohort's bidirectional MS-BFS run — the
-    /// batch-shared Phase 1 of [`crate::BatchExecutor`].
+    /// batch-shared Phase 1 of [`crate::BatchExecutor`]. The loader closure
+    /// (built by [`Eve::query_shared`]) pushes the lane's forward + backward
+    /// distances into the freshly `begin_load`ed [`FlatDistances`]; holding
+    /// the engine behind `dyn Fn` keeps the whole pipeline monomorphic in
+    /// the engine's lane-block width, so three widths don't triple the
+    /// compiled pipeline.
     Shared {
-        engine: &'a MsBfsEngine,
-        lane: usize,
+        load: &'a dyn Fn(&mut FlatDistances),
     },
     /// The workspace's `dist` and `space` already hold exactly this query's
     /// Phase-1a output (the previous cohort member was the same `(s, t, k)`
@@ -200,15 +204,25 @@ impl<'g> Eve<'g> {
     /// [`Eve::query_with`]; the answer is bit-identical because the
     /// search-space filter `Δ(s,v) + Δ(v,t) ≤ k` maps the (possibly deeper)
     /// shared raw distances onto exactly the per-query values.
-    pub(crate) fn query_shared(
+    pub(crate) fn query_shared<B: LaneBlock>(
         &self,
         ws: &mut QueryWorkspace,
         query: Query,
-        engine: &MsBfsEngine,
+        engine: &MsBfsEngine<B>,
         lane: usize,
         budget: &QueryBudget,
     ) -> Result<SimplePathGraph, QueryError> {
-        self.run_flat_pipeline(ws, query, DistInput::Shared { engine, lane }, budget)
+        // Only this thin loader is generic over the lane-block width; the
+        // pipeline behind it is compiled once.
+        let load = |dist: &mut FlatDistances| {
+            engine.for_each_lane_distance_to_depth(Direction::Forward, lane, query.k, |v, d| {
+                dist.push_forward(v, d)
+            });
+            engine.for_each_lane_distance_to_depth(Direction::Backward, lane, query.k, |v, d| {
+                dist.push_backward(v, d)
+            });
+        };
+        self.run_flat_pipeline(ws, query, DistInput::Shared { load: &load }, budget)
     }
 
     /// Answers a cohort member whose `(s, t, k)` triple equals the member
@@ -237,7 +251,12 @@ impl<'g> Eve<'g> {
     pub fn query_batch(&self, queries: &[Query]) -> Vec<Result<SimplePathGraph, QueryError>> {
         let mut ws = QueryWorkspace::new();
         // One worker: uncapped cohorts, maximum traversal dedup.
-        let plan = crate::cohort::CohortPlan::build(self.graph, queries, 1);
+        let plan = crate::cohort::CohortPlan::build(
+            self.graph,
+            queries,
+            1,
+            crate::cohort::LaneWidth::default(),
+        );
         let mut results: Vec<Option<Result<SimplePathGraph, QueryError>>> =
             (0..queries.len()).map(|_| None).collect();
         let mut stats = crate::executor::ThreadBatchStats::default();
@@ -252,6 +271,7 @@ impl<'g> Eve<'g> {
                         &mut ws,
                         cohort,
                         spg_graph::FrontierMode::default(),
+                        spg_graph::FrontierPolicy::default(),
                         &[],
                         &mut stats,
                         |index, result| results[index] = Some(result),
@@ -324,26 +344,14 @@ impl<'g> Eve<'g> {
                 ws.space
                     .rebuild_from_flat(self.graph, &ws.dist, &mut ws.scratch);
             }
-            DistInput::Shared { engine, lane } => {
+            DistInput::Shared { load } => {
                 ws.dist.begin_load(
                     self.graph.vertex_count(),
                     query.source,
                     query.target,
                     query.k,
                 );
-                let dist = &mut ws.dist;
-                engine.for_each_lane_distance_to_depth(
-                    Direction::Forward,
-                    lane,
-                    query.k,
-                    |v, d| dist.push_forward(v, d),
-                );
-                engine.for_each_lane_distance_to_depth(
-                    Direction::Backward,
-                    lane,
-                    query.k,
-                    |v, d| dist.push_backward(v, d),
-                );
+                load(&mut ws.dist);
                 ws.space
                     .rebuild_from_flat(self.graph, &ws.dist, &mut ws.scratch);
                 // The engine's work was charged to the cohort-level budget;

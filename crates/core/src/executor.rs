@@ -18,12 +18,15 @@
 //!   before; see `tests/workspace_reuse.rs`) is what makes per-thread
 //!   workspaces safe;
 //! * by default the batch is first planned into **cohorts**
-//!   ([`crate::cohort`]): up to 64 distinct `(s, t)` endpoint pairs whose
-//!   Phase-1 distances are computed by one bit-parallel MS-BFS traversal per
-//!   direction instead of one BFS pair per query, with per-query fallback
-//!   for singletons and invalid queries ([`BatchExecutor::shared_phase1`]
-//!   restores the per-query path wholesale). Workers then claim whole units
-//!   (cohorts or singles) through the cursor.
+//!   ([`crate::cohort`]): up to [`LaneWidth::lanes`] (256 by default)
+//!   distinct `(s, t)` endpoint pairs whose Phase-1 distances are computed
+//!   by one bit-parallel MS-BFS traversal per direction instead of one BFS
+//!   pair per query, with per-query fallback for singletons, invalid
+//!   queries and cohorts the cost model dissolves
+//!   ([`BatchExecutor::shared_phase1`] restores the per-query path
+//!   wholesale; [`BatchExecutor::phase1_lanes`] narrows the packing).
+//!   Workers then claim whole units (cohorts or singles) through the
+//!   cursor.
 //!
 //! ### Error aggregation and fault-isolation policy
 //!
@@ -50,14 +53,14 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::thread;
 use std::time::{Duration, Instant};
 
-use spg_graph::{FrontierMode, QueryBudget, SearchSpaceStats};
+use spg_graph::{FrontierMode, FrontierPolicy, QueryBudget, SearchSpaceStats};
 
 use crate::cache::{CacheOutcome, CachedEve};
-use crate::cohort::{run_cohort, CohortPlan, Unit};
+use crate::cohort::{run_cohort, CohortPlan, LaneWidth, Unit};
 use crate::eve::Eve;
 use crate::failpoints::{self, sites};
 use crate::flight::{FlightGroup, FlightOutcome, FlightRole};
@@ -113,12 +116,71 @@ const _: () = {
 ///     assert_eq!(p.as_ref().unwrap().edges(), s.as_ref().unwrap().edges());
 /// }
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug)]
 pub struct BatchExecutor {
     threads: usize,
     chunk_size: usize,
     shared_phase1: bool,
     phase1_mode: FrontierMode,
+    phase1_policy: FrontierPolicy,
+    phase1_lanes: LaneWidth,
+    pool: WorkspacePool,
+}
+
+impl Clone for BatchExecutor {
+    /// Clones the configuration; the pooled workspaces stay with the
+    /// original (the clone warms its own pool).
+    fn clone(&self) -> Self {
+        BatchExecutor {
+            threads: self.threads,
+            chunk_size: self.chunk_size,
+            shared_phase1: self.shared_phase1,
+            phase1_mode: self.phase1_mode,
+            phase1_policy: self.phase1_policy,
+            phase1_lanes: self.phase1_lanes,
+            pool: WorkspacePool::default(),
+        }
+    }
+}
+
+/// Checkout/checkin pool of [`QueryWorkspace`]s shared by the workers of
+/// every run on one executor. A long-lived executor (the server drains
+/// every micro-batch through one; the benchmarks time repeated runs) hands
+/// each worker the previous run's warmed buffers instead of growing — and
+/// first-touch page-faulting — graph-sized arrays per call. That cost
+/// scales with graph size × lane width (a 256-lane MS-BFS engine keeps
+/// 5 × 32 bytes per vertex per side), so on large graphs it would otherwise
+/// rival the traversal itself. Reuse cannot change answers: a workspace's
+/// output never depends on what it ran before (`tests/workspace_reuse.rs`).
+#[derive(Default)]
+struct WorkspacePool {
+    idle: Mutex<Vec<QueryWorkspace>>,
+}
+
+impl WorkspacePool {
+    fn checkout(&self) -> QueryWorkspace {
+        self.idle().pop().unwrap_or_default()
+    }
+
+    fn checkin(&self, ws: QueryWorkspace) {
+        self.idle().push(ws);
+    }
+
+    fn idle(&self) -> std::sync::MutexGuard<'_, Vec<QueryWorkspace>> {
+        // A panic while the lock is held cannot corrupt a Vec of idle
+        // workspaces; recover instead of poisoning every later batch.
+        self.idle
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+impl std::fmt::Debug for WorkspacePool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkspacePool")
+            .field("idle", &self.idle().len())
+            .finish()
+    }
 }
 
 impl BatchExecutor {
@@ -131,6 +193,9 @@ impl BatchExecutor {
             chunk_size: 0,
             shared_phase1: true,
             phase1_mode: FrontierMode::default(),
+            phase1_policy: FrontierPolicy::default(),
+            phase1_lanes: LaneWidth::default(),
+            pool: WorkspacePool::default(),
         }
     }
 
@@ -166,6 +231,26 @@ impl BatchExecutor {
     /// do not depend on the mode, only the work profile does.
     pub fn phase1_mode(mut self, mode: FrontierMode) -> Self {
         self.phase1_mode = mode;
+        self
+    }
+
+    /// Overrides the direction-switch policy used when
+    /// [`FrontierMode::DirectionOptimizing`] is active (default: α/β
+    /// hysteresis, [`FrontierPolicy::default`]). [`FrontierPolicy::Fixed`]
+    /// restores the pre-hysteresis fixed threshold for A/B comparisons and
+    /// differential tests; answers do not depend on the policy.
+    pub fn phase1_policy(mut self, policy: FrontierPolicy) -> Self {
+        self.phase1_policy = policy;
+        self
+    }
+
+    /// Overrides the cohort lane capacity — how many distinct `(s, t)`
+    /// pairs one shared Phase-1 traversal may carry (default:
+    /// [`LaneWidth::W256`]). Each cohort still runs on the narrowest
+    /// MS-BFS engine that fits it, so narrower plans only change the
+    /// packing, and answers never depend on the width.
+    pub fn phase1_lanes(mut self, width: LaneWidth) -> Self {
+        self.phase1_lanes = width;
         self
     }
 
@@ -234,24 +319,28 @@ impl BatchExecutor {
         queries: &[Query],
         deadlines: &[Option<Instant>],
     ) -> BatchOutcome {
-        let plan = CohortPlan::build(eve.graph(), queries, self.threads);
+        let plan = CohortPlan::build(eve.graph(), queries, self.threads, self.phase1_lanes);
         let workers = self.threads.min(plan.units.len()).max(1);
         let slots: Vec<OnceLock<BatchResult>> =
             (0..queries.len()).map(|_| OnceLock::new()).collect();
         let cursor = AtomicUsize::new(0);
         let mode = self.phase1_mode;
+        let policy = self.phase1_policy;
 
         let mut per_thread: Vec<ThreadBatchStats> = Vec::with_capacity(workers);
         if workers == 1 {
             per_thread.push(drain_shared(
-                eve, queries, &plan, mode, deadlines, &cursor, &slots,
+                eve, queries, &plan, mode, policy, deadlines, &cursor, &slots, &self.pool,
             ));
         } else {
             thread::scope(|scope| {
                 let handles: Vec<_> = (0..workers)
                     .map(|_| {
                         scope.spawn(|| {
-                            drain_shared(eve, queries, &plan, mode, deadlines, &cursor, &slots)
+                            drain_shared(
+                                eve, queries, &plan, mode, policy, deadlines, &cursor, &slots,
+                                &self.pool,
+                            )
                         })
                     })
                     .collect();
@@ -488,6 +577,8 @@ impl BatchExecutor {
 
         // ---- Phase C: fan the leaders' answers out to the joiners.
         let mut coalesced = 0usize;
+        // Lazily checked out: only abandoned/failed flights recompute here.
+        let mut recompute_ws: Option<QueryWorkspace> = None;
         for (slot, joiner) in waits {
             match joiner.wait() {
                 FlightOutcome::Done(arc) => {
@@ -509,9 +600,9 @@ impl BatchExecutor {
                 // compute individually — the pre-singleflight behaviour.
                 FlightOutcome::Failed(_) | FlightOutcome::Abandoned => {}
             }
-            let mut ws = QueryWorkspace::new();
+            let ws = recompute_ws.get_or_insert_with(|| self.pool.checkout());
             let budget = budget_for(slot_deadline(deadlines, slot));
-            match cached.query_with_outcome_budgeted(&mut ws, queries[slot], &budget) {
+            match cached.query_with_outcome_budgeted(ws, queries[slot], &budget) {
                 Ok((spg, CacheOutcome::Hit)) => {
                     slots[slot] = Some(Ok(spg));
                     slot_sources[slot] = Some(CacheOutcome::Hit);
@@ -529,6 +620,10 @@ impl BatchExecutor {
                     probe_errors += 1;
                 }
             }
+        }
+
+        if let Some(ws) = recompute_ws {
+            self.pool.checkin(ws);
         }
 
         stats.answered += probe_hits + coalesced;
@@ -566,11 +661,13 @@ impl BatchExecutor {
             // Sequential fast path: same drain loop, no spawn cost. This is
             // also what makes `BatchExecutor::new(1)` a faithful baseline in
             // the thread-scaling benchmarks.
-            per_thread.push(drain(run_one, queries, &cursor, chunk, &slots));
+            per_thread.push(drain(run_one, queries, &cursor, chunk, &slots, &self.pool));
         } else {
             thread::scope(|scope| {
                 let handles: Vec<_> = (0..workers)
-                    .map(|_| scope.spawn(|| drain(run_one, queries, &cursor, chunk, &slots)))
+                    .map(|_| {
+                        scope.spawn(|| drain(run_one, queries, &cursor, chunk, &slots, &self.pool))
+                    })
                     .collect();
                 for handle in handles {
                     // spg-analyze: allow(no-panic) — a worker panic here is a bug; catch_unwind guards the slots
@@ -612,16 +709,19 @@ impl Default for BatchExecutor {
 /// failpoint) is contained to the unit — its unanswered slots get
 /// [`QueryError::ExecutionPanicked`], the possibly-corrupted workspace is
 /// replaced by a fresh one, and the worker moves on to the next unit.
+#[allow(clippy::too_many_arguments)]
 fn drain_shared(
     eve: &Eve<'_>,
     queries: &[Query],
     plan: &CohortPlan,
     mode: FrontierMode,
+    policy: FrontierPolicy,
     deadlines: &[Option<Instant>],
     cursor: &AtomicUsize,
     slots: &[OnceLock<BatchResult>],
+    pool: &WorkspacePool,
 ) -> ThreadBatchStats {
-    let mut ws = QueryWorkspace::new();
+    let mut ws = pool.checkout();
     let mut stats = ThreadBatchStats::default();
     loop {
         let unit = cursor.fetch_add(1, Ordering::Relaxed); // spg-analyze: allow(hot-loop) — one claim per scheduling unit, amortised over the unit
@@ -636,6 +736,7 @@ fn drain_shared(
                     eve.query_budgeted(&mut ws, queries[*index], &budget)
                 }))
                 .unwrap_or_else(|_| {
+                    // The corrupted workspace is dropped, never pooled.
                     ws = QueryWorkspace::new();
                     stats.panics_isolated += 1;
                     Err(QueryError::ExecutionPanicked)
@@ -658,6 +759,7 @@ fn drain_shared(
                         &mut ws,
                         cohort,
                         mode,
+                        policy,
                         deadlines,
                         &mut stats,
                         |index, result| {
@@ -688,6 +790,7 @@ fn drain_shared(
         }
     }
     stats.workspace_retained_bytes = ws.retained_bytes();
+    pool.checkin(ws);
     stats
 }
 
@@ -702,8 +805,9 @@ fn drain(
     cursor: &AtomicUsize,
     chunk: usize,
     slots: &[OnceLock<BatchResult>],
+    pool: &WorkspacePool,
 ) -> ThreadBatchStats {
-    let mut ws = QueryWorkspace::new();
+    let mut ws = pool.checkout();
     let mut stats = ThreadBatchStats::default();
     loop {
         let start = cursor.fetch_add(chunk, Ordering::Relaxed); // spg-analyze: allow(hot-loop) — one claim per chunk, amortised over the chunk
@@ -722,6 +826,7 @@ fn drain(
                 run_one(&mut ws, index, *query, &mut stats)
             }))
             .unwrap_or_else(|_| {
+                // The corrupted workspace is dropped, never pooled.
                 ws = QueryWorkspace::new();
                 stats.panics_isolated += 1;
                 Err(QueryError::ExecutionPanicked)
@@ -738,6 +843,7 @@ fn drain(
         }
     }
     stats.workspace_retained_bytes = ws.retained_bytes();
+    pool.checkin(ws);
     stats
 }
 
@@ -1352,7 +1458,10 @@ mod tests {
     fn constructors_and_accessors() {
         assert_eq!(BatchExecutor::new(0).threads(), 1, "zero threads clamps");
         assert!(BatchExecutor::with_available_parallelism().threads() >= 1);
-        assert_eq!(BatchExecutor::default(), BatchExecutor::default());
+        assert_eq!(
+            BatchExecutor::default().threads(),
+            BatchExecutor::with_available_parallelism().threads()
+        );
         // Auto chunking: never zero, never more than 64.
         let ex = BatchExecutor::new(4);
         assert_eq!(ex.effective_chunk(0), 1);

@@ -57,6 +57,7 @@ pub mod verification;
 pub mod workspace;
 
 pub use cache::{CacheOutcome, CacheStats, CachedEve, SpgCache};
+pub use cohort::LaneWidth;
 pub use dynamic::{apply_delta_scoped, DeltaUpdate, InvalidationScope};
 pub use eve::{Eve, EveConfig, EveOutput};
 pub use evset::EvSet;

@@ -16,7 +16,9 @@
 //! test in `tests/workspace_reuse.rs` checks that answers are bit-identical
 //! to fresh single-shot queries.
 
-use spg_graph::{FlatDistances, MsBfsEngine, SearchSpace, SpaceScratch};
+use spg_graph::{
+    FlatDistances, Lanes128, Lanes256, Lanes64, MsBfsEngine, SearchSpace, SpaceScratch,
+};
 
 use crate::compact::{FlatPropagation, FlatUpperBound, OrderScratch, VerifyScratch};
 
@@ -38,9 +40,16 @@ use crate::compact::{FlatPropagation, FlatUpperBound, OrderScratch, VerifyScratc
 pub struct QueryWorkspace {
     /// Epoch-stamped flat distance engine (phase 1a).
     pub(crate) dist: FlatDistances,
-    /// Bit-parallel bidirectional MS-BFS engine for cohort-shared phase 1
-    /// (empty — zero retained bytes — until the first shared batch).
-    pub(crate) msbfs: MsBfsEngine,
+    /// Bit-parallel bidirectional MS-BFS engines for cohort-shared phase 1,
+    /// one per lane-block width (each empty — zero retained bytes — until
+    /// the first shared batch needing that width). `run_cohort` picks the
+    /// narrowest engine that fits a cohort, so small cohorts never pay
+    /// wide-word overhead and the unused widths cost nothing.
+    pub(crate) msbfs64: MsBfsEngine<Lanes64>,
+    /// 128-lane engine (see `msbfs64`).
+    pub(crate) msbfs128: MsBfsEngine<Lanes128>,
+    /// 256-lane engine (see `msbfs64`).
+    pub(crate) msbfs256: MsBfsEngine<Lanes256>,
     /// Epoch-stamped global→local vertex translation (graph-sized).
     pub(crate) scratch: SpaceScratch,
     /// Compacted search space of the current query.
@@ -70,7 +79,9 @@ impl QueryWorkspace {
     /// [`crate::MemoryEstimate::workspace_arena_bytes`].
     pub fn retained_bytes(&self) -> usize {
         self.dist.retained_bytes()
-            + self.msbfs.retained_bytes()
+            + self.msbfs64.retained_bytes()
+            + self.msbfs128.retained_bytes()
+            + self.msbfs256.retained_bytes()
             + self.scratch.memory_bytes()
             + self.space.retained_bytes()
             + self.fwd.retained_bytes()

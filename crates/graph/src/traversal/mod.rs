@@ -22,7 +22,8 @@ pub use bfs::{bfs_distances_from, bfs_distances_to, BfsOptions};
 pub use bidirectional::{DistanceIndex, DistanceStrategy, SearchSpaceStats};
 pub use flat_distance::FlatDistances;
 pub use msbfs::{
-    FrontierMode, MsBfsEngine, MsBfsLane, MsBfsStats, DIRECTION_SWITCH_DENOMINATOR, MAX_LANES,
+    FrontierMode, FrontierPolicy, LaneBlock, Lanes128, Lanes256, Lanes64, MsBfsEngine, MsBfsLane,
+    MsBfsStats, MAX_LANES,
 };
 pub use reachability::{k_hop_reachable, shortest_distance};
 pub use search_space::{SearchSpace, SpaceScratch, NO_LOCAL};

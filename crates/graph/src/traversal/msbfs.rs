@@ -1,16 +1,26 @@
 //! Bit-parallel multi-source hop-bounded bidirectional BFS (MS-BFS) with
-//! direction-optimizing traversal.
+//! direction-optimizing traversal over multi-word lane blocks.
 //!
 //! The EVE Phase 1 runs one hop-bounded bidirectional search per query. When
 //! a batch contains many queries, most of that traversal work is repeated:
 //! queries share endpoint pairs, and even unrelated queries walk the same
 //! dense core of the graph. [`MsBfsEngine`] amortises that cost in the style
-//! of *MS-BFS* (Then et al., VLDB 2015): up to [`MAX_LANES`] = 64 concurrent
-//! **lanes** — one per distinct `(s, t)` endpoint pair — share a single pass
-//! over the CSR, with one `u64` word per vertex whose bit *i* says "lane *i*
-//! has reached this vertex". Setting bit *i* for the first time at level *d*
-//! means `dist_i(v) = d`; per-level discovery records make those distances
+//! of *MS-BFS* (Then et al., VLDB 2015): concurrent **lanes** — one per
+//! distinct `(s, t)` endpoint pair — share a single pass over the CSR, with
+//! one [`LaneBlock`] per vertex whose bit *i* says "lane *i* has reached this
+//! vertex". Setting bit *i* for the first time at level *d* means
+//! `dist_i(v) = d`; per-level discovery records make those distances
 //! recoverable per lane afterwards.
+//!
+//! A lane block is a fixed-size array of `u64` words: `[u64; 1]`
+//! ([`Lanes64`]) carries the classic 64 lanes, `[u64; 2]` ([`Lanes128`]) and
+//! `[u64; 4]` ([`Lanes256`]) widen one traversal to 128 / 256 pairs. The
+//! word-wise `or`/`and`/`not`/`any`/`count_ones` operations are written as
+//! straight-line array loops with a compile-time trip count, which the
+//! compiler unrolls and autovectorizes on stable Rust (a `[u64; 4]` OR is
+//! one AVX2 operation) — no `std::simd`, no `unsafe`. Wider blocks cost
+//! proportionally more per touched vertex but divide the number of sweeps:
+//! a 256-pair batch pays one CSR traversal instead of four.
 //!
 //! Three properties of the per-query engine are folded into the word
 //! operations, so cohort-shared answers stay bit-identical:
@@ -24,13 +34,13 @@
 //!   side expands freely to `⌈k/2⌉`, the backward side to `⌊k/2⌋`, then
 //!   each side finishes **restricted** — only vertices the other side has
 //!   already discovered may be newly discovered. Lanes with different `k`
-//!   pause at different levels; a per-vertex *paused* word parks a lane's
+//!   pause at different levels; a per-vertex *paused* block parks a lane's
 //!   frontier at its half-depth and the restricted phase resumes all lanes
 //!   level-synchronously (lane *i*'s restricted level *c* means distance
 //!   `half_i + c`).
 //! * **Per-lane avoid vertices.** EVE's forward distances `Δ(s, v)` never
 //!   route *through* `t` (and the backward ones never through `s`): paths
-//!   revisiting an endpoint cannot be simple. A per-vertex forbid word
+//!   revisiting an endpoint cannot be simple. A per-vertex forbid block
 //!   masks a lane's bit out of every expansion *from* its avoided endpoint
 //!   while still allowing that vertex to be discovered. This is also why
 //!   lanes are keyed by the `(s, t)` *pair* rather than the bare source:
@@ -43,30 +53,148 @@
 //!   distances are exactly the hop-bounded set a per-query run produces.
 //!
 //! Within every phase, each level is expanded either **top-down** (scan the
-//! frontier's adjacency and OR its word into the neighbours) or
+//! frontier's adjacency and OR its block into the neighbours) or
 //! **bottom-up** (scan still-undiscovered vertices and gather the frontier
-//! words of their reverse neighbours, with early exit once every
+//! blocks of their reverse neighbours, with early exit once every
 //! still-possible lane has been found) in the style of Beamer's
-//! direction-optimizing BFS. The switch is per level: bottom-up is chosen
-//! once the frontier is incident to at least `1 /`
-//! [`DIRECTION_SWITCH_DENOMINATOR`] of all edges. [`MsBfsStats`] counts both
-//! kinds of edge scan separately so the switching stays observable.
+//! direction-optimizing BFS. Which one runs is decided per level by the
+//! engine's [`FrontierPolicy`]: the default α/β **hysteresis** enters
+//! bottom-up when the frontier's incident edges exceed `edges / α` and only
+//! returns to top-down once the frontier shrinks below `vertices / β`
+//! (while bottom-up is active the per-level degree scan is skipped
+//! entirely); the legacy [`FrontierPolicy::Fixed`] threshold is retained
+//! for differential tests. [`MsBfsStats`] counts both kinds of edge scan
+//! separately so the switching stays observable, and
+//! [`FrontierPolicy::seeded_from_scan_split`] turns those observed counters
+//! back into tuned α/β thresholds.
 
 use crate::budget::{BudgetExhausted, QueryBudget};
 use crate::csr::{DiGraph, Direction, VertexId};
 use crate::traversal::SearchSpaceStats;
 
-/// Maximum number of concurrent BFS lanes (one bit per lane in a `u64`).
+/// Lanes carried by a single `u64` word — the capacity of the default
+/// [`Lanes64`] block. Wider blocks hold `WORDS × 64` lanes
+/// ([`LaneBlock::LANES`]).
 pub const MAX_LANES: usize = 64;
 
-/// Frontier density at which a level switches to bottom-up: bottom-up is
-/// used when the frontier's incident edges exceed `edge_count / 2`. The
-/// bar is deliberately much higher than Beamer's single-source α ≈ 14
-/// because a 64-lane bottom-up gather can only early-exit once *every*
-/// still-possible lane has been found, which is rare while many lanes are
-/// active — so bottom-up only pays once the frontier is incident to about
-/// half of all edges (the `batch_phase1` benchmark is the tuning harness).
-pub const DIRECTION_SWITCH_DENOMINATOR: usize = 2;
+/// A fixed-size block of `u64` lane words — the unit of bit-parallelism of
+/// [`MsBfsEngine`]. Bit *i* (word `i / 64`, bit `i % 64`) belongs to lane
+/// *i*. Implemented for every `[u64; W]` via const generics; the supported
+/// engine widths are [`Lanes64`], [`Lanes128`] and [`Lanes256`].
+///
+/// Every operation is a straight-line loop over the `W` words with a
+/// compile-time trip count, which the compiler unrolls and autovectorizes —
+/// the abstraction adds no branches to the traversal inner loops.
+pub trait LaneBlock: Copy + PartialEq + Eq + std::fmt::Debug + Send + Sync + 'static {
+    /// Number of `u64` words per block.
+    const WORDS: usize;
+    /// Number of lanes the block carries (`WORDS × 64`).
+    const LANES: usize = Self::WORDS * 64;
+
+    /// The all-zero block.
+    fn zero() -> Self;
+    /// `true` if any bit is set.
+    fn any(&self) -> bool;
+    /// Whether bit `lane` is set.
+    fn test(&self, lane: usize) -> bool;
+    /// Sets bit `lane`.
+    fn set(&mut self, lane: usize);
+    /// Word-wise `self & other`.
+    fn and(self, other: Self) -> Self;
+    /// Word-wise `self & !other`.
+    fn and_not(self, other: Self) -> Self;
+    /// Word-wise `self |= other`.
+    fn or_assign(&mut self, other: Self);
+    /// Total set bits across all words.
+    fn count_ones(&self) -> u32;
+    /// `self & other == other` — "every bit of `other` is already in
+    /// `self`", the bottom-up early-exit test.
+    fn covers(&self, other: Self) -> bool;
+    /// Word `i` of the block (lanes `64·i .. 64·i + 64`).
+    fn word(&self, i: usize) -> u64;
+}
+
+impl<const W: usize> LaneBlock for [u64; W] {
+    const WORDS: usize = W;
+
+    #[inline(always)]
+    fn zero() -> Self {
+        [0u64; W]
+    }
+
+    #[inline(always)]
+    fn any(&self) -> bool {
+        let mut acc = 0u64;
+        for w in self {
+            acc |= w;
+        }
+        acc != 0
+    }
+
+    #[inline(always)]
+    fn test(&self, lane: usize) -> bool {
+        self[lane / 64] & (1u64 << (lane % 64)) != 0
+    }
+
+    #[inline(always)]
+    fn set(&mut self, lane: usize) {
+        self[lane / 64] |= 1u64 << (lane % 64);
+    }
+
+    #[inline(always)]
+    fn and(mut self, other: Self) -> Self {
+        for (a, b) in self.iter_mut().zip(&other) {
+            *a &= b;
+        }
+        self
+    }
+
+    #[inline(always)]
+    fn and_not(mut self, other: Self) -> Self {
+        for (a, b) in self.iter_mut().zip(&other) {
+            *a &= !b;
+        }
+        self
+    }
+
+    #[inline(always)]
+    fn or_assign(&mut self, other: Self) {
+        for (a, b) in self.iter_mut().zip(&other) {
+            *a |= b;
+        }
+    }
+
+    #[inline(always)]
+    fn count_ones(&self) -> u32 {
+        let mut total = 0u32;
+        for w in self {
+            total += w.count_ones();
+        }
+        total
+    }
+
+    #[inline(always)]
+    fn covers(&self, other: Self) -> bool {
+        let mut missing = 0u64;
+        for (a, b) in self.iter().zip(&other) {
+            missing |= b & !a;
+        }
+        missing == 0
+    }
+
+    #[inline(always)]
+    fn word(&self, i: usize) -> u64 {
+        self[i]
+    }
+}
+
+/// Single-word lane block: 64 lanes, the default engine width.
+pub type Lanes64 = [u64; 1];
+/// Two-word lane block: 128 lanes per traversal.
+pub type Lanes128 = [u64; 2];
+/// Four-word lane block: 256 lanes per traversal (one AVX2 op per
+/// word-wise operation when vectorized).
+pub type Lanes256 = [u64; 4];
 
 /// One BFS lane: a distinct `(source, target)` endpoint pair and its hop
 /// budget. The forward side starts at `source` avoiding `target`; the
@@ -99,8 +227,8 @@ impl MsBfsLane {
 /// Per-level expansion policy of the engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum FrontierMode {
-    /// Choose top-down or bottom-up per level by frontier density (the
-    /// default, and what production cohorts use).
+    /// Choose top-down or bottom-up per level via the engine's
+    /// [`FrontierPolicy`] (the default, and what production cohorts use).
     #[default]
     DirectionOptimizing,
     /// Always relax frontier adjacency (classic BFS); the baseline the
@@ -109,6 +237,72 @@ pub enum FrontierMode {
     /// Always gather from reverse adjacency (for tests and worst-case
     /// measurements; correct but wasteful on sparse frontiers).
     BottomUpOnly,
+}
+
+/// How [`FrontierMode::DirectionOptimizing`] decides top-down vs bottom-up
+/// per level. Answers never depend on the policy — only the work profile
+/// does — so differential tests sweep policies freely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FrontierPolicy {
+    /// Beamer-style α/β hysteresis with direction state per traversal
+    /// phase: a top-down level switches to bottom-up when the frontier's
+    /// incident edges exceed `edge_count / alpha`; bottom-up persists —
+    /// skipping the per-level degree scan entirely — until the frontier
+    /// shrinks below `vertex_count / beta` vertices. The defaults
+    /// (α = [`FrontierPolicy::DEFAULT_ALPHA`],
+    /// β = [`FrontierPolicy::DEFAULT_BETA`]) keep the deliberately high
+    /// entry bar of the old fixed threshold — a multi-lane bottom-up gather
+    /// only early-exits once *every* still-possible lane is found, so
+    /// bottom-up pays later than in single-source BFS — while the β exit
+    /// lets a collapsing frontier return to top-down instead of re-scanning
+    /// all vertices level after level.
+    Hysteresis {
+        /// Bottom-up entry: switch when `frontier_edges × alpha > edges`.
+        alpha: u32,
+        /// Top-down return: switch back when
+        /// `frontier_vertices × beta < vertices`.
+        beta: u32,
+    },
+    /// The pre-hysteresis fixed threshold, evaluated from scratch every
+    /// level: bottom-up iff `frontier_edges × denominator ≥ edges`.
+    /// Retained for differential tests and A/B measurements.
+    Fixed {
+        /// The fixed density denominator (the legacy engine used 2).
+        denominator: u32,
+    },
+}
+
+impl FrontierPolicy {
+    /// Default bottom-up entry threshold (`frontier_edges > edges / 2`).
+    pub const DEFAULT_ALPHA: u32 = 2;
+    /// Default top-down return threshold (`frontier < vertices / 8`).
+    pub const DEFAULT_BETA: u32 = 8;
+
+    /// Derives hysteresis thresholds from an observed top-down/bottom-up
+    /// edge-scan split — e.g. the `SharedPhase1Stats` traversal counters of
+    /// a prior representative batch. Cheap observed bottom-up gathers
+    /// (early exits firing, `bottom_up ≪ top_down`) justify entering
+    /// bottom-up earlier (lower α); expensive gathers push the switch
+    /// later. With no bottom-up evidence the defaults are kept.
+    pub fn seeded_from_scan_split(top_down_edge_scans: usize, bottom_up_edge_scans: usize) -> Self {
+        if bottom_up_edge_scans == 0 {
+            return FrontierPolicy::default();
+        }
+        let alpha = ((2 * bottom_up_edge_scans) / top_down_edge_scans.max(1)).clamp(1, 16) as u32;
+        FrontierPolicy::Hysteresis {
+            alpha,
+            beta: (alpha * 4).clamp(4, 64),
+        }
+    }
+}
+
+impl Default for FrontierPolicy {
+    fn default() -> Self {
+        FrontierPolicy::Hysteresis {
+            alpha: FrontierPolicy::DEFAULT_ALPHA,
+            beta: FrontierPolicy::DEFAULT_BETA,
+        }
+    }
 }
 
 /// Work counters of one side of an [`MsBfsEngine::run`], split by expansion
@@ -145,72 +339,113 @@ impl MsBfsStats {
 }
 
 /// One traversal side (forward from the sources or backward from the
-/// targets) with its bit arrays and discovery records.
-#[derive(Debug, Clone, Default)]
-struct Side {
+/// targets) with its lane-block arrays and discovery records.
+#[derive(Debug, Clone)]
+struct Side<B: LaneBlock> {
     /// Bit *i* set ⇒ lane *i* has discovered this vertex on this side.
-    seen: Vec<u64>,
+    seen: Vec<B>,
     /// Bits discovered exactly at the current level.
-    frontier_bits: Vec<u64>,
+    frontier_bits: Vec<B>,
     /// Bits being discovered at the level under construction.
-    next_bits: Vec<u64>,
+    next_bits: Vec<B>,
     /// Bit *i* set ⇒ this vertex is lane *i*'s avoided endpoint on this
     /// side (discoverable, never expanded from).
-    forbid: Vec<u64>,
+    forbid: Vec<B>,
     /// Frontier bits parked at each lane's half-depth, waiting for the
     /// restricted phase.
-    paused_bits: Vec<u64>,
-    /// Vertices with a non-zero `frontier_bits` word.
+    paused_bits: Vec<B>,
+    /// Vertices with a non-zero `frontier_bits` block.
     frontier: Vec<VertexId>,
-    /// Vertices with a non-zero `next_bits` word.
+    /// Vertices with a non-zero `next_bits` block.
     next: Vec<VertexId>,
-    /// Vertices with a non-zero `paused_bits` word.
+    /// Vertices with a non-zero `paused_bits` block.
     paused: Vec<VertexId>,
     /// `(vertex, bits first set at that level)` for the free phase,
     /// grouped by level: level `d` distances are `d`.
-    records_free: Vec<(VertexId, u64)>,
+    records_free: Vec<(VertexId, B)>,
     offsets_free: Vec<usize>,
     /// Restricted-phase records, grouped by resumed level: lane *i* bits at
     /// level `c` mean distance `half_i + c`.
-    records_restricted: Vec<(VertexId, u64)>,
+    records_restricted: Vec<(VertexId, B)>,
     offsets_restricted: Vec<usize>,
+    /// Per-lane CSR over both record lists, built once per run by
+    /// [`Side::index_lanes`]: lane *i*'s `(vertex, distance)` entries, in
+    /// ascending distance order, are
+    /// `lane_entries[lane_starts[i]..lane_starts[i + 1]]`. Reading one
+    /// lane's distances then costs its own entry count — not one scan of
+    /// the whole cohort's records per member, which grows with lane width.
+    lane_starts: Vec<usize>,
+    lane_entries: Vec<(VertexId, u32)>,
+    /// Fill cursors of `index_lanes`, retained to avoid per-run allocation.
+    lane_cursor: Vec<usize>,
+    /// Hysteresis state of [`FrontierPolicy::Hysteresis`]: whether the
+    /// previous level of the current phase ran bottom-up. Reset at every
+    /// phase start (`begin` / `resume_from_paused`).
+    bottom_up_active: bool,
     stats: MsBfsStats,
 }
 
-impl Side {
+impl<B: LaneBlock> Default for Side<B> {
+    fn default() -> Self {
+        Side {
+            seen: Vec::new(),
+            frontier_bits: Vec::new(),
+            next_bits: Vec::new(),
+            forbid: Vec::new(),
+            paused_bits: Vec::new(),
+            frontier: Vec::new(),
+            next: Vec::new(),
+            paused: Vec::new(),
+            records_free: Vec::new(),
+            offsets_free: Vec::new(),
+            records_restricted: Vec::new(),
+            offsets_restricted: Vec::new(),
+            lane_starts: Vec::new(),
+            lane_entries: Vec::new(),
+            lane_cursor: Vec::new(),
+            bottom_up_active: false,
+            stats: MsBfsStats::default(),
+        }
+    }
+}
+
+impl<B: LaneBlock> Side<B> {
     fn begin(&mut self, n: usize) {
         if self.seen.len() < n {
-            self.seen.resize(n, 0);
-            self.frontier_bits.resize(n, 0);
-            self.next_bits.resize(n, 0);
-            self.forbid.resize(n, 0);
-            self.paused_bits.resize(n, 0);
+            self.seen.resize(n, B::zero());
+            self.frontier_bits.resize(n, B::zero());
+            self.next_bits.resize(n, B::zero());
+            self.forbid.resize(n, B::zero());
+            self.paused_bits.resize(n, B::zero());
         }
         debug_assert!(
-            self.seen.iter().all(|&w| w == 0)
-                && self.forbid.iter().all(|&w| w == 0)
-                && self.paused_bits.iter().all(|&w| w == 0),
+            self.seen.iter().all(|w| !w.any())
+                && self.forbid.iter().all(|w| !w.any())
+                && self.frontier_bits.iter().all(|w| !w.any())
+                && self.paused_bits.iter().all(|w| !w.any()),
             "bit arrays must be all-zero between runs"
         );
         self.records_free.clear();
         self.offsets_free.clear();
         self.records_restricted.clear();
         self.offsets_restricted.clear();
+        self.lane_starts.clear();
+        self.lane_entries.clear();
         self.frontier.clear();
         self.next.clear();
         self.paused.clear();
+        self.bottom_up_active = false;
         self.stats = MsBfsStats::default();
     }
 
     /// Seeds lane `i` at `start` avoiding `avoid`.
     fn seed(&mut self, i: usize, start: VertexId, avoid: VertexId) {
-        let bit = 1u64 << i;
-        if self.frontier_bits[start as usize] == 0 {
+        if !self.frontier_bits[start as usize].any() {
             self.frontier.push(start);
         }
-        self.frontier_bits[start as usize] |= bit;
-        self.seen[start as usize] |= bit;
-        self.forbid[avoid as usize] |= bit;
+        self.frontier_bits[start as usize].set(i);
+        self.seen[start as usize].set(i);
+        self.forbid[avoid as usize].set(i);
     }
 
     /// Records the current frontier as one level of `records_free`.
@@ -223,17 +458,17 @@ impl Side {
 
     /// Parks the frontier bits of `pause_mask` lanes for the restricted
     /// phase (their free budget ends at the current level).
-    fn pause(&mut self, pause_mask: u64) {
-        if pause_mask == 0 {
+    fn pause(&mut self, pause_mask: B) {
+        if !pause_mask.any() {
             return;
         }
         for &v in &self.frontier {
-            let bits = self.frontier_bits[v as usize] & pause_mask;
-            if bits != 0 {
-                if self.paused_bits[v as usize] == 0 {
+            let bits = self.frontier_bits[v as usize].and(pause_mask);
+            if bits.any() {
+                if !self.paused_bits[v as usize].any() {
                     self.paused.push(v);
                 }
-                self.paused_bits[v as usize] |= bits;
+                self.paused_bits[v as usize].or_assign(bits);
             }
         }
     }
@@ -241,7 +476,7 @@ impl Side {
     /// Promotes `next` to the frontier, leaving the old arrays all-zero.
     fn advance(&mut self) {
         for &u in &self.frontier {
-            self.frontier_bits[u as usize] = 0;
+            self.frontier_bits[u as usize] = B::zero();
         }
         std::mem::swap(&mut self.frontier_bits, &mut self.next_bits);
         std::mem::swap(&mut self.frontier, &mut self.next);
@@ -251,11 +486,22 @@ impl Side {
     /// Replaces the frontier with the paused set (restricted-phase start).
     fn resume_from_paused(&mut self) {
         for &u in &self.frontier {
-            self.frontier_bits[u as usize] = 0;
+            self.frontier_bits[u as usize] = B::zero();
         }
         self.frontier.clear();
         std::mem::swap(&mut self.frontier_bits, &mut self.paused_bits);
         std::mem::swap(&mut self.frontier, &mut self.paused);
+        // The restricted phase starts a fresh direction decision.
+        self.bottom_up_active = false;
+    }
+
+    /// Adjacency entries incident to the current frontier in `dir` — the
+    /// density signal of the direction switch.
+    fn frontier_edges(&self, g: &DiGraph, dir: Direction) -> usize {
+        self.frontier
+            .iter()
+            .map(|&u| g.neighbors(u, dir).len())
+            .sum()
     }
 
     /// Expands one level. `level_mask` holds the lanes still in budget;
@@ -266,22 +512,32 @@ impl Side {
         &mut self,
         g: &DiGraph,
         dir: Direction,
-        level_mask: u64,
-        restrict: Option<&[u64]>,
+        level_mask: B,
+        restrict: Option<&[B]>,
         mode: FrontierMode,
+        policy: FrontierPolicy,
     ) -> bool {
         let bottom_up = match mode {
             FrontierMode::TopDownOnly => false,
             FrontierMode::BottomUpOnly => true,
-            FrontierMode::DirectionOptimizing => {
-                let frontier_edges: usize = self
-                    .frontier
-                    .iter()
-                    .map(|&u| g.neighbors(u, dir).len())
-                    .sum();
-                frontier_edges * DIRECTION_SWITCH_DENOMINATOR >= g.edge_count().max(1)
-            }
+            FrontierMode::DirectionOptimizing => match policy {
+                FrontierPolicy::Fixed { denominator } => {
+                    self.frontier_edges(g, dir) * denominator as usize >= g.edge_count().max(1)
+                }
+                FrontierPolicy::Hysteresis { alpha, beta } => {
+                    if self.bottom_up_active {
+                        // β exit: stay bottom-up until the frontier thins
+                        // out; only its vertex count is consulted, so the
+                        // per-level degree scan is skipped entirely.
+                        self.frontier.len() * beta as usize >= g.vertex_count().max(1)
+                    } else {
+                        // α entry: a dense frontier justifies gathering.
+                        self.frontier_edges(g, dir) * alpha as usize > g.edge_count().max(1)
+                    }
+                }
+            },
         };
+        self.bottom_up_active = bottom_up;
         if bottom_up {
             self.step_bottom_up(g, dir, level_mask, restrict);
         } else {
@@ -291,33 +547,35 @@ impl Side {
     }
 
     /// Classic frontier relaxation: scan the adjacency of every frontier
-    /// vertex and OR its (forbid-masked) word into each neighbour.
+    /// vertex and OR its (forbid-masked) block into each neighbour.
     fn step_top_down(
         &mut self,
         g: &DiGraph,
         dir: Direction,
-        level_mask: u64,
-        restrict: Option<&[u64]>,
+        level_mask: B,
+        restrict: Option<&[B]>,
     ) {
         self.stats.top_down_levels += 1;
         let frontier = std::mem::take(&mut self.frontier);
         for &u in &frontier {
-            let mask = self.frontier_bits[u as usize] & !self.forbid[u as usize] & level_mask;
-            if mask == 0 {
+            let mask = self.frontier_bits[u as usize]
+                .and_not(self.forbid[u as usize])
+                .and(level_mask);
+            if !mask.any() {
                 continue;
             }
             for &v in g.neighbors(u, dir) {
                 self.stats.top_down_edge_scans += 1;
-                let mut new = mask & !self.seen[v as usize];
+                let mut new = mask.and_not(self.seen[v as usize]);
                 if let Some(other_seen) = restrict {
-                    new &= other_seen[v as usize];
+                    new = new.and(other_seen[v as usize]);
                 }
-                if new != 0 {
-                    if self.next_bits[v as usize] == 0 {
+                if new.any() {
+                    if !self.next_bits[v as usize].any() {
                         self.next.push(v);
                     }
-                    self.next_bits[v as usize] |= new;
-                    self.seen[v as usize] |= new;
+                    self.next_bits[v as usize].or_assign(new);
+                    self.seen[v as usize].or_assign(new);
                 }
             }
         }
@@ -325,97 +583,194 @@ impl Side {
     }
 
     /// Beamer-style bottom-up level: every vertex that some active lane
-    /// could still discover gathers the frontier words of its reverse
+    /// could still discover gathers the frontier blocks of its reverse
     /// neighbours, stopping early once all still-possible lanes are found.
     fn step_bottom_up(
         &mut self,
         g: &DiGraph,
         dir: Direction,
-        level_mask: u64,
-        restrict: Option<&[u64]>,
+        level_mask: B,
+        restrict: Option<&[B]>,
     ) {
         self.stats.bottom_up_levels += 1;
         let gather_dir = dir.flipped();
         for v in 0..g.vertex_count() as VertexId {
-            let mut possible = level_mask & !self.seen[v as usize];
+            let mut possible = level_mask.and_not(self.seen[v as usize]);
             if let Some(other_seen) = restrict {
-                possible &= other_seen[v as usize];
+                possible = possible.and(other_seen[v as usize]);
             }
-            if possible == 0 {
+            if !possible.any() {
                 continue;
             }
-            let mut gathered = 0u64;
+            let mut gathered = B::zero();
             for &u in g.neighbors(v, gather_dir) {
                 self.stats.bottom_up_edge_scans += 1;
-                gathered |= self.frontier_bits[u as usize] & !self.forbid[u as usize];
-                if gathered & possible == possible {
+                gathered.or_assign(self.frontier_bits[u as usize].and_not(self.forbid[u as usize]));
+                if gathered.covers(possible) {
                     break;
                 }
             }
-            let new = gathered & possible;
-            if new != 0 {
+            let new = gathered.and(possible);
+            if new.any() {
                 self.next.push(v);
                 self.next_bits[v as usize] = new;
-                self.seen[v as usize] |= new;
+                self.seen[v as usize].or_assign(new);
             }
         }
     }
 
-    /// Restores the all-zero invariant after a run: every vertex with a
-    /// set bit appears in a record, so this touches only what the run
-    /// discovered.
+    /// Restores the all-zero invariant after a run. Every vertex with a
+    /// `seen` bit appears in a record, and the `frontier` / `paused` lists
+    /// track exactly the vertices whose `frontier_bits` / `paused_bits`
+    /// blocks are non-zero (`seed`, the step functions, `advance`, `pause`
+    /// and `resume_from_paused` all maintain this, and the budget poll
+    /// aborts only at level boundaries where it holds) — so one store per
+    /// recorded vertex plus the two short lists suffice, instead of three
+    /// block stores per record.
     fn cleanup(&mut self, lanes: &[MsBfsLane], avoid_of: impl Fn(&MsBfsLane) -> VertexId) {
         for &(v, _) in self.records_free.iter().chain(&self.records_restricted) {
-            self.seen[v as usize] = 0;
-            self.frontier_bits[v as usize] = 0;
-            self.paused_bits[v as usize] = 0;
+            self.seen[v as usize] = B::zero();
+        }
+        for &v in &self.frontier {
+            self.frontier_bits[v as usize] = B::zero();
+        }
+        for &v in &self.paused {
+            self.paused_bits[v as usize] = B::zero();
         }
         for lane in lanes {
-            self.forbid[avoid_of(lane) as usize] = 0;
+            self.forbid[avoid_of(lane) as usize] = B::zero();
         }
         self.frontier.clear();
         self.paused.clear();
     }
 
+    /// Builds the per-lane distance index: one pass over the level-grouped
+    /// records fans each block's set bits out to the owning lanes (counting
+    /// pass, prefix sum, fill pass). Group order is ascending distance per
+    /// lane — free levels stop at the lane's half, restricted level `c`
+    /// means `half + c + 1` — so each lane's entry run is distance-sorted
+    /// and a depth-truncated read can stop at the first too-deep entry.
+    fn index_lanes(&mut self, lane_count: usize, halves: &[u32]) {
+        self.lane_starts.clear();
+        self.lane_starts.resize(lane_count + 1, 0);
+        for &(_, bits) in self.records_free.iter().chain(&self.records_restricted) {
+            for w in 0..B::WORDS {
+                let mut word = bits.word(w);
+                while word != 0 {
+                    let lane = w * 64 + word.trailing_zeros() as usize;
+                    word &= word - 1;
+                    self.lane_starts[lane + 1] += 1;
+                }
+            }
+        }
+        for i in 1..=lane_count {
+            self.lane_starts[i] += self.lane_starts[i - 1];
+        }
+        self.lane_cursor.clear();
+        self.lane_cursor
+            .extend_from_slice(&self.lane_starts[..lane_count]);
+        self.lane_entries.clear();
+        self.lane_entries
+            .resize(self.lane_starts[lane_count], (0, 0));
+        let mut start = 0usize;
+        for (d, &end) in self.offsets_free.iter().enumerate() {
+            for &(v, bits) in &self.records_free[start..end] {
+                for w in 0..B::WORDS {
+                    let mut word = bits.word(w);
+                    while word != 0 {
+                        let lane = w * 64 + word.trailing_zeros() as usize;
+                        word &= word - 1;
+                        let slot = self.lane_cursor[lane];
+                        self.lane_entries[slot] = (v, d as u32);
+                        self.lane_cursor[lane] = slot + 1;
+                    }
+                }
+            }
+            start = end;
+        }
+        let mut start = 0usize;
+        for (c, &end) in self.offsets_restricted.iter().enumerate() {
+            for &(v, bits) in &self.records_restricted[start..end] {
+                for w in 0..B::WORDS {
+                    let mut word = bits.word(w);
+                    while word != 0 {
+                        let lane = w * 64 + word.trailing_zeros() as usize;
+                        word &= word - 1;
+                        let slot = self.lane_cursor[lane];
+                        self.lane_entries[slot] = (v, halves[lane] + c as u32 + 1);
+                        self.lane_cursor[lane] = slot + 1;
+                    }
+                }
+            }
+            start = end;
+        }
+    }
+
     fn retained_bytes(&self) -> usize {
-        let words = self.seen.capacity()
+        let blocks = self.seen.capacity()
             + self.frontier_bits.capacity()
             + self.next_bits.capacity()
             + self.forbid.capacity()
             + self.paused_bits.capacity();
-        words * std::mem::size_of::<u64>()
+        blocks * std::mem::size_of::<B>()
             + (self.frontier.capacity() + self.next.capacity() + self.paused.capacity())
                 * std::mem::size_of::<VertexId>()
             + (self.records_free.capacity() + self.records_restricted.capacity())
-                * std::mem::size_of::<(VertexId, u64)>()
+                * std::mem::size_of::<(VertexId, B)>()
             + (self.offsets_free.capacity() + self.offsets_restricted.capacity())
                 * std::mem::size_of::<usize>()
+            + (self.lane_starts.capacity() + self.lane_cursor.capacity())
+                * std::mem::size_of::<usize>()
+            + self.lane_entries.capacity() * std::mem::size_of::<(VertexId, u32)>()
     }
 }
 
 /// Reusable bit-parallel multi-source bidirectional BFS engine (see the
-/// module docs).
+/// module docs), generic over its lane-block width `B`. The default
+/// [`Lanes64`] engine carries 64 lanes; [`Lanes128`] / [`Lanes256`]
+/// engines carry 128 / 256 (cohort planners pick the narrowest block that
+/// fits a cohort, so small cohorts never pay wide-word overhead).
 ///
 /// All buffers are retained across runs; between runs the graph-sized bit
 /// arrays are kept all-zero (reset touches only the vertices the previous
 /// run discovered), so a warmed engine performs no per-run allocation and
 /// no O(n) clearing.
-#[derive(Debug, Clone, Default)]
-pub struct MsBfsEngine {
-    fwd: Side,
-    bwd: Side,
+#[derive(Debug, Clone)]
+pub struct MsBfsEngine<B: LaneBlock = Lanes64> {
+    fwd: Side<B>,
+    bwd: Side<B>,
     /// `half_fwd` per lane, for restricted-level distance reconstruction.
     halves_fwd: Vec<u32>,
     /// `half_bwd` per lane.
     halves_bwd: Vec<u32>,
     mode: FrontierMode,
+    policy: FrontierPolicy,
     lane_count: usize,
 }
 
-impl MsBfsEngine {
+impl<B: LaneBlock> Default for MsBfsEngine<B> {
+    fn default() -> Self {
+        MsBfsEngine {
+            fwd: Side::default(),
+            bwd: Side::default(),
+            halves_fwd: Vec::new(),
+            halves_bwd: Vec::new(),
+            mode: FrontierMode::default(),
+            policy: FrontierPolicy::default(),
+            lane_count: 0,
+        }
+    }
+}
+
+impl<B: LaneBlock> MsBfsEngine<B> {
     /// Creates an empty engine; buffers grow on first use.
     pub fn new() -> Self {
         MsBfsEngine::default()
+    }
+
+    /// Maximum lanes one run of this engine carries ([`LaneBlock::LANES`]).
+    pub fn max_lanes() -> usize {
+        B::LANES
     }
 
     /// Sets the per-level expansion policy for subsequent runs.
@@ -426,6 +781,17 @@ impl MsBfsEngine {
     /// The current expansion policy.
     pub fn mode(&self) -> FrontierMode {
         self.mode
+    }
+
+    /// Sets the direction-switch policy used by
+    /// [`FrontierMode::DirectionOptimizing`] for subsequent runs.
+    pub fn set_policy(&mut self, policy: FrontierPolicy) {
+        self.policy = policy;
+    }
+
+    /// The current direction-switch policy.
+    pub fn policy(&self) -> FrontierPolicy {
+        self.policy
     }
 
     /// Runs one shared bidirectional hop-bounded search over `lanes`,
@@ -439,8 +805,8 @@ impl MsBfsEngine {
     /// until the next `run`.
     ///
     /// # Panics
-    /// Panics if `lanes` is empty or longer than [`MAX_LANES`], or if any
-    /// lane has `source == target` or an endpoint outside the graph.
+    /// Panics if `lanes` is empty or longer than [`LaneBlock::LANES`], or
+    /// if any lane has `source == target` or an endpoint outside the graph.
     pub fn run(&mut self, g: &DiGraph, lanes: &[MsBfsLane]) {
         self.run_budgeted(g, lanes, &QueryBudget::unlimited())
             .expect("an unlimited budget never trips"); // spg-analyze: allow(no-panic) — unlimited budgets cannot trip
@@ -463,8 +829,9 @@ impl MsBfsEngine {
         budget: &QueryBudget,
     ) -> Result<(), BudgetExhausted> {
         assert!(
-            !lanes.is_empty() && lanes.len() <= MAX_LANES,
-            "MS-BFS cohorts hold 1..={MAX_LANES} lanes, got {}",
+            !lanes.is_empty() && lanes.len() <= B::LANES,
+            "MS-BFS cohorts hold 1..={} lanes, got {}",
+            B::LANES,
             lanes.len()
         );
         let n = g.vertex_count();
@@ -494,6 +861,7 @@ impl MsBfsEngine {
         self.bwd.record_free_level();
 
         let mode = self.mode;
+        let policy = self.policy;
         // Free phases: each side expands to its per-lane half-depth.
         let mut outcome = Self::free_phase(
             &mut self.fwd,
@@ -501,6 +869,7 @@ impl MsBfsEngine {
             Direction::Forward,
             &self.halves_fwd,
             mode,
+            policy,
             budget,
         );
         if outcome.is_ok() {
@@ -510,6 +879,7 @@ impl MsBfsEngine {
                 Direction::Backward,
                 &self.halves_bwd,
                 mode,
+                policy,
                 budget,
             );
         }
@@ -527,6 +897,7 @@ impl MsBfsEngine {
                 &self.halves_fwd,
                 &self.bwd.seen,
                 mode,
+                policy,
                 budget,
             );
         }
@@ -539,12 +910,16 @@ impl MsBfsEngine {
                 &self.halves_bwd,
                 &self.fwd.seen,
                 mode,
+                policy,
                 budget,
             );
         }
-
         self.fwd.cleanup(lanes, |lane| lane.target);
         self.bwd.cleanup(lanes, |lane| lane.source);
+        if outcome.is_ok() {
+            self.fwd.index_lanes(lanes.len(), &self.halves_fwd);
+            self.bwd.index_lanes(lanes.len(), &self.halves_bwd);
+        }
         if outcome.is_err() {
             // Partial distances must never be readable: drop the records and
             // present as an engine that has not run.
@@ -567,12 +942,14 @@ impl MsBfsEngine {
     /// seed level is recorded by the caller (see `run_budgeted`); the budget
     /// is polled only at level boundaries, where every set bit is covered
     /// by a record and an abort can restore the all-zero invariant.
+    #[allow(clippy::too_many_arguments)]
     fn free_phase(
-        side: &mut Side,
+        side: &mut Side<B>,
         g: &DiGraph,
         dir: Direction,
         halves: &[u32],
         mode: FrontierMode,
+        policy: FrontierPolicy,
         budget: &QueryBudget,
     ) -> Result<(), BudgetExhausted> {
         let mut depth = 0u32;
@@ -581,16 +958,16 @@ impl MsBfsEngine {
             let scans = side.stats.total_edge_scans();
             budget.charge((scans - charged) as u64)?;
             charged = scans;
-            let pause_mask = lane_mask(halves, |&h| h == depth);
+            let pause_mask = lane_mask::<B, _>(halves, |&h| h == depth);
             side.pause(pause_mask);
             if side.frontier.is_empty() {
                 break;
             }
-            let level_mask = lane_mask(halves, |&h| h > depth);
-            if level_mask == 0 {
+            let level_mask = lane_mask::<B, _>(halves, |&h| h > depth);
+            if !level_mask.any() {
                 break;
             }
-            if !side.step(g, dir, level_mask, None, mode) {
+            if !side.step(g, dir, level_mask, None, mode, policy) {
                 side.advance();
                 break;
             }
@@ -607,13 +984,14 @@ impl MsBfsEngine {
     /// levels), discovering only vertices in `other_seen`.
     #[allow(clippy::too_many_arguments)]
     fn restricted_phase(
-        side: &mut Side,
+        side: &mut Side<B>,
         g: &DiGraph,
         dir: Direction,
         lanes: &[MsBfsLane],
         halves: &[u32],
-        other_seen: &[u64],
+        other_seen: &[B],
         mode: FrontierMode,
+        policy: FrontierPolicy,
         budget: &QueryBudget,
     ) -> Result<(), BudgetExhausted> {
         side.resume_from_paused();
@@ -626,16 +1004,16 @@ impl MsBfsEngine {
             if side.frontier.is_empty() {
                 break;
             }
-            let level_mask = lanes
-                .iter()
-                .zip(halves)
-                .enumerate()
-                .filter(|(_, (lane, &half))| lane.depth - half > c)
-                .fold(0u64, |mask, (i, _)| mask | (1u64 << i));
-            if level_mask == 0 {
+            let mut level_mask = B::zero();
+            for (i, (lane, &half)) in lanes.iter().zip(halves).enumerate() {
+                if lane.depth - half > c {
+                    level_mask.set(i);
+                }
+            }
+            if !level_mask.any() {
                 break;
             }
-            let discovered = side.step(g, dir, level_mask, Some(other_seen), mode);
+            let discovered = side.step(g, dir, level_mask, Some(other_seen), mode, policy);
             side.advance();
             if !discovered {
                 break;
@@ -687,39 +1065,19 @@ impl MsBfsEngine {
         mut f: F,
     ) {
         assert!(lane < self.lane_count, "lane {lane} out of range");
-        let (side, halves) = match dir {
-            Direction::Forward => (&self.fwd, &self.halves_fwd),
-            Direction::Backward => (&self.bwd, &self.halves_bwd),
+        let side = match dir {
+            Direction::Forward => &self.fwd,
+            Direction::Backward => &self.bwd,
         };
-        let bit = 1u64 << lane;
-        let mut start = 0usize;
-        for (d, &end) in side.offsets_free.iter().enumerate() {
-            if d as u32 > max_depth {
+        // The per-lane index (built once per run) holds this lane's entries
+        // in ascending distance order, so the read touches only the lane's
+        // own discoveries — never the other lanes' share of the records.
+        let entries = &side.lane_entries[side.lane_starts[lane]..side.lane_starts[lane + 1]];
+        for &(v, d) in entries {
+            if d > max_depth {
                 break;
             }
-            for &(v, bits) in &side.records_free[start..end] {
-                if bits & bit != 0 {
-                    f(v, d as u32);
-                }
-            }
-            start = end;
-        }
-        let half = halves[lane];
-        if half >= max_depth {
-            return;
-        }
-        let mut start = 0usize;
-        for (c, &end) in side.offsets_restricted.iter().enumerate() {
-            let dist = half + c as u32 + 1;
-            if dist > max_depth {
-                break;
-            }
-            for &(v, bits) in &side.records_restricted[start..end] {
-                if bits & bit != 0 {
-                    f(v, dist);
-                }
-            }
-            start = end;
+            f(v, d);
         }
     }
 
@@ -739,13 +1097,15 @@ impl MsBfsEngine {
     }
 }
 
-/// Bitmask of lane indices whose entry in `values` satisfies `pred`.
-fn lane_mask<T>(values: &[T], pred: impl Fn(&T) -> bool) -> u64 {
-    values
-        .iter()
-        .enumerate()
-        .filter(|(_, v)| pred(v))
-        .fold(0u64, |mask, (i, _)| mask | (1u64 << i))
+/// Lane-block mask of lane indices whose entry in `values` satisfies `pred`.
+fn lane_mask<B: LaneBlock, T>(values: &[T], pred: impl Fn(&T) -> bool) -> B {
+    let mut mask = B::zero();
+    for (i, v) in values.iter().enumerate() {
+        if pred(v) {
+            mask.set(i);
+        }
+    }
+    mask
 }
 
 #[cfg(test)]
@@ -776,7 +1136,12 @@ mod tests {
         )
     }
 
-    fn lane_distances(engine: &MsBfsEngine, dir: Direction, lane: usize, n: usize) -> Vec<u32> {
+    fn lane_distances<B: LaneBlock>(
+        engine: &MsBfsEngine<B>,
+        dir: Direction,
+        lane: usize,
+        n: usize,
+    ) -> Vec<u32> {
         let mut dist = vec![INF_DIST; n];
         engine.for_each_lane_distance(dir, lane, |v, d| {
             assert_eq!(dist[v as usize], INF_DIST, "vertex {v} recorded twice");
@@ -785,30 +1150,59 @@ mod tests {
         dist
     }
 
+    #[test]
+    fn lane_block_word_ops() {
+        let mut a = Lanes256::zero();
+        assert!(!a.any());
+        assert_eq!(Lanes256::WORDS, 4);
+        assert_eq!(Lanes256::LANES, 256);
+        a.set(0);
+        a.set(67);
+        a.set(255);
+        assert!(a.any() && a.test(67) && !a.test(66));
+        assert_eq!(a.count_ones(), 3);
+        let mut b = Lanes256::zero();
+        b.set(67);
+        assert!(a.covers(b));
+        assert!(!b.covers(a));
+        assert_eq!(a.and(b), b);
+        assert_eq!(a.and_not(b).count_ones(), 2);
+        assert!(!a.and_not(b).test(67));
+        b.or_assign(a);
+        assert_eq!(b, a);
+    }
+
     /// One lane must reproduce the per-query balanced-bidirectional raw
-    /// distances exactly — it is the same schedule, word-parallel.
+    /// distances exactly — it is the same schedule, word-parallel. Holds at
+    /// every block width (a wide block with one active lane is the same
+    /// traversal with zero-padded words).
     #[test]
     fn single_lane_matches_bidirectional_flat_distances() {
-        let g = figure1();
-        let mut engine = MsBfsEngine::new();
-        let mut flat = FlatDistances::new();
-        for k in 1..=8u32 {
-            flat.compute(&g, 0, 3, k, DistanceStrategy::Bidirectional);
-            engine.run(
-                &g,
-                &[MsBfsLane {
-                    source: 0,
-                    target: 3,
-                    depth: k,
-                }],
-            );
-            let fwd = lane_distances(&engine, Direction::Forward, 0, 8);
-            let bwd = lane_distances(&engine, Direction::Backward, 0, 8);
-            for v in g.vertices() {
-                assert_eq!(fwd[v as usize], flat.raw_dist_from_s(v), "k={k} v={v} fwd");
-                assert_eq!(bwd[v as usize], flat.raw_dist_to_t(v), "k={k} v={v} bwd");
+        fn check<B: LaneBlock>() {
+            let g = figure1();
+            let mut engine = MsBfsEngine::<B>::new();
+            let mut flat = FlatDistances::new();
+            for k in 1..=8u32 {
+                flat.compute(&g, 0, 3, k, DistanceStrategy::Bidirectional);
+                engine.run(
+                    &g,
+                    &[MsBfsLane {
+                        source: 0,
+                        target: 3,
+                        depth: k,
+                    }],
+                );
+                let fwd = lane_distances(&engine, Direction::Forward, 0, 8);
+                let bwd = lane_distances(&engine, Direction::Backward, 0, 8);
+                for v in g.vertices() {
+                    assert_eq!(fwd[v as usize], flat.raw_dist_from_s(v), "k={k} v={v} fwd");
+                    assert_eq!(bwd[v as usize], flat.raw_dist_to_t(v), "k={k} v={v} bwd");
+                }
             }
         }
+        check::<Lanes64>();
+        check::<Lanes128>();
+        check::<Lanes256>();
     }
 
     /// The avoided endpoint may be discovered but never expanded: vertices
@@ -818,7 +1212,7 @@ mod tests {
     fn avoid_vertex_blocks_expansion_per_lane() {
         // 0 → 1 → 2 → 3 → 4: vertex 4 is reachable only through 3.
         let g = DiGraph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)]);
-        let mut engine = MsBfsEngine::new();
+        let mut engine = MsBfsEngine::<Lanes64>::new();
         engine.run(
             &g,
             &[
@@ -854,7 +1248,7 @@ mod tests {
     #[test]
     fn per_lane_depth_budgets_are_respected() {
         let g = DiGraph::from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
-        let mut engine = MsBfsEngine::new();
+        let mut engine = MsBfsEngine::<Lanes64>::new();
         let lanes = [
             MsBfsLane {
                 source: 0,
@@ -898,8 +1292,9 @@ mod tests {
         }
     }
 
-    /// All three frontier modes produce identical per-lane distances; the
-    /// forced modes actually exercise their expansion kind.
+    /// All frontier modes and direction-switch policies produce identical
+    /// per-lane distances; the forced modes actually exercise their
+    /// expansion kind.
     #[test]
     fn frontier_modes_agree_and_are_observable() {
         let g = crate::generators::gnm_random(60, 600, 42);
@@ -911,14 +1306,12 @@ mod tests {
             })
             .collect();
         let mut reference: Option<Vec<Vec<u32>>> = None;
-        for mode in [
-            FrontierMode::TopDownOnly,
-            FrontierMode::BottomUpOnly,
-            FrontierMode::DirectionOptimizing,
-        ] {
-            let mut engine = MsBfsEngine::new();
+        let mut check = |mode: FrontierMode, policy: FrontierPolicy| {
+            let mut engine = MsBfsEngine::<Lanes64>::new();
             engine.set_mode(mode);
+            engine.set_policy(policy);
             assert_eq!(engine.mode(), mode);
+            assert_eq!(engine.policy(), policy);
             engine.run(&g, &lanes);
             let dists: Vec<Vec<u32>> = (0..lanes.len())
                 .flat_map(|lane| {
@@ -930,7 +1323,7 @@ mod tests {
                 .collect();
             match &reference {
                 None => reference = Some(dists),
-                Some(r) => assert_eq!(r, &dists, "{mode:?} diverged"),
+                Some(r) => assert_eq!(r, &dists, "{mode:?} / {policy:?} diverged"),
             }
             let fwd = engine.side_stats(Direction::Forward);
             let bwd = engine.side_stats(Direction::Backward);
@@ -957,7 +1350,45 @@ mod tests {
                 acc.total_edge_scans(),
                 fwd.total_edge_scans() + bwd.total_edge_scans()
             );
+        };
+        for mode in [
+            FrontierMode::TopDownOnly,
+            FrontierMode::BottomUpOnly,
+            FrontierMode::DirectionOptimizing,
+        ] {
+            for policy in [
+                FrontierPolicy::default(),
+                FrontierPolicy::Hysteresis {
+                    alpha: 14,
+                    beta: 24,
+                },
+                FrontierPolicy::Fixed { denominator: 2 },
+                FrontierPolicy::Fixed { denominator: 8 },
+            ] {
+                check(mode, policy);
+            }
         }
+    }
+
+    #[test]
+    fn seeded_policy_reacts_to_the_scan_split() {
+        // No bottom-up evidence: keep the defaults.
+        assert_eq!(
+            FrontierPolicy::seeded_from_scan_split(1000, 0),
+            FrontierPolicy::default()
+        );
+        // Cheap gathers (bottom-up did an eighth of the top-down work):
+        // enter bottom-up eagerly.
+        let eager = FrontierPolicy::seeded_from_scan_split(8000, 1000);
+        assert_eq!(eager, FrontierPolicy::Hysteresis { alpha: 1, beta: 4 });
+        // Expensive gathers: raise the entry bar.
+        let FrontierPolicy::Hysteresis { alpha, beta } =
+            FrontierPolicy::seeded_from_scan_split(1000, 8000)
+        else {
+            panic!("seeded policies are hysteresis policies");
+        };
+        assert!(alpha > FrontierPolicy::DEFAULT_ALPHA);
+        assert!(beta >= alpha);
     }
 
     /// Reuse across runs: a big run followed by a small one must not leak
@@ -965,7 +1396,7 @@ mod tests {
     #[test]
     fn engine_reuse_is_clean() {
         let g = figure1();
-        let mut engine = MsBfsEngine::new();
+        let mut engine = MsBfsEngine::<Lanes64>::new();
         let all_lanes: Vec<MsBfsLane> = (0..MAX_LANES)
             .map(|i| MsBfsLane {
                 source: (i % 8) as VertexId,
@@ -977,7 +1408,7 @@ mod tests {
         assert_eq!(engine.lane_count(), MAX_LANES);
         let big_retained = engine.retained_bytes();
 
-        let mut fresh = MsBfsEngine::new();
+        let mut fresh = MsBfsEngine::<Lanes64>::new();
         let small = [MsBfsLane {
             source: 0,
             target: 3,
@@ -996,44 +1427,78 @@ mod tests {
         assert!(engine.retained_bytes() >= big_retained.min(1));
     }
 
+    /// A 256-lane engine filled past the 64-lane capacity must agree with
+    /// per-lane 64-lane runs bit for bit — the multi-word block is the same
+    /// schedule with a wider payload.
+    #[test]
+    fn wide_blocks_match_narrow_engines_lane_for_lane() {
+        let g = crate::generators::gnm_random(80, 700, 7);
+        let lanes: Vec<MsBfsLane> = (0..150)
+            .map(|i| MsBfsLane {
+                source: (i % 80) as VertexId,
+                target: ((i * 13 + 7) % 80) as VertexId,
+                depth: 1 + (i % 7) as u32,
+            })
+            .filter(|lane| lane.source != lane.target)
+            .collect();
+        assert!(lanes.len() > MAX_LANES, "the point is exceeding one word");
+        let mut wide = MsBfsEngine::<Lanes256>::new();
+        wide.run(&g, &lanes);
+        let mut narrow = MsBfsEngine::<Lanes64>::new();
+        for (i, lane) in lanes.iter().enumerate() {
+            narrow.run(&g, std::slice::from_ref(lane));
+            for dir in [Direction::Forward, Direction::Backward] {
+                assert_eq!(
+                    lane_distances(&wide, dir, i, 80),
+                    lane_distances(&narrow, dir, 0, 80),
+                    "lane {i} {dir:?}"
+                );
+            }
+        }
+    }
+
     /// A budget abort at any level boundary must restore the all-zero bit
     /// invariant (the `begin` debug_assert would fire otherwise) and leave
     /// the engine bit-identical to a fresh one on the next run.
     #[test]
     fn budget_abort_restores_invariants_and_reuse() {
-        let g = crate::generators::gnm_random(60, 600, 42);
-        let lanes: Vec<MsBfsLane> = (0..16)
-            .map(|i| MsBfsLane {
-                source: i as VertexId,
-                target: (i + 7) as VertexId % 60,
-                depth: 1 + (i % 6) as u32,
-            })
-            .collect();
-        let mut engine = MsBfsEngine::new();
-        let mut aborted = 0;
-        for limit in (0..2000u64).step_by(37) {
-            let outcome = engine.run_budgeted(&g, &lanes, &QueryBudget::with_work_limit(limit));
-            if outcome.is_err() {
-                assert_eq!(outcome, Err(BudgetExhausted::Work));
-                assert_eq!(engine.lane_count(), 0, "partial results are discarded");
-                aborted += 1;
-            }
-            // Whether aborted or not, the next full run must match a fresh
-            // engine exactly.
-            engine.run(&g, &lanes);
-            let mut fresh = MsBfsEngine::new();
-            fresh.run(&g, &lanes);
-            for lane in 0..lanes.len() {
-                for dir in [Direction::Forward, Direction::Backward] {
-                    assert_eq!(
-                        lane_distances(&engine, dir, lane, 60),
-                        lane_distances(&fresh, dir, lane, 60),
-                        "limit={limit} lane={lane} {dir:?}"
-                    );
+        fn check<B: LaneBlock>(lanes_count: usize) {
+            let g = crate::generators::gnm_random(60, 600, 42);
+            let lanes: Vec<MsBfsLane> = (0..lanes_count)
+                .map(|i| MsBfsLane {
+                    source: (i % 60) as VertexId,
+                    target: ((i + 7) % 60) as VertexId,
+                    depth: 1 + (i % 6) as u32,
+                })
+                .collect();
+            let mut engine = MsBfsEngine::<B>::new();
+            let mut aborted = 0;
+            for limit in (0..2000u64).step_by(37) {
+                let outcome = engine.run_budgeted(&g, &lanes, &QueryBudget::with_work_limit(limit));
+                if outcome.is_err() {
+                    assert_eq!(outcome, Err(BudgetExhausted::Work));
+                    assert_eq!(engine.lane_count(), 0, "partial results are discarded");
+                    aborted += 1;
+                }
+                // Whether aborted or not, the next full run must match a
+                // fresh engine exactly.
+                engine.run(&g, &lanes);
+                let mut fresh = MsBfsEngine::<B>::new();
+                fresh.run(&g, &lanes);
+                for lane in 0..lanes.len() {
+                    for dir in [Direction::Forward, Direction::Backward] {
+                        assert_eq!(
+                            lane_distances(&engine, dir, lane, 60),
+                            lane_distances(&fresh, dir, lane, 60),
+                            "limit={limit} lane={lane} {dir:?}"
+                        );
+                    }
                 }
             }
+            assert!(aborted > 0, "some ceilings must actually trip");
         }
-        assert!(aborted > 0, "some ceilings must actually trip");
+        check::<Lanes64>(16);
+        check::<Lanes256>(80);
     }
 
     #[test]
@@ -1048,14 +1513,29 @@ mod tests {
             };
             65
         ];
-        MsBfsEngine::new().run(&g, &lanes);
+        MsBfsEngine::<Lanes64>::new().run(&g, &lanes);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=256 lanes")]
+    fn too_many_lanes_panic_wide() {
+        let g = figure1();
+        let lanes = vec![
+            MsBfsLane {
+                source: 0,
+                target: 1,
+                depth: 2
+            };
+            257
+        ];
+        MsBfsEngine::<Lanes256>::new().run(&g, &lanes);
     }
 
     #[test]
     #[should_panic(expected = "must be distinct")]
     fn source_equals_target_panics() {
         let g = figure1();
-        MsBfsEngine::new().run(
+        MsBfsEngine::<Lanes64>::new().run(
             &g,
             &[MsBfsLane {
                 source: 2,

@@ -70,7 +70,8 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use spg_core::{
-    apply_delta_scoped, BatchExecutor, CachedEve, FlightGroup, Query, QueryError, SpgCache,
+    apply_delta_scoped, BatchExecutor, CachedEve, FlightGroup, LaneWidth, Query, QueryError,
+    SpgCache,
 };
 use spg_graph::{DiGraph, EdgeDelta, VersionedGraph};
 
@@ -106,6 +107,10 @@ pub struct ServerConfig {
     /// Cohort-shared MS-BFS Phase 1 for missed queries (the library
     /// default; disable only to measure the per-query baseline).
     pub shared_phase1: bool,
+    /// Widest MS-BFS lane block a shared-Phase-1 cohort may fill
+    /// (64/128/256 pairs per traversal; narrower widths are for
+    /// apples-to-apples benchmarking, not production).
+    pub phase1_lanes: LaneWidth,
 }
 
 impl Default for ServerConfig {
@@ -120,6 +125,7 @@ impl Default for ServerConfig {
             threads: 0,
             cache_bytes: 64 << 20,
             shared_phase1: true,
+            phase1_lanes: LaneWidth::default(),
         }
     }
 }
@@ -541,7 +547,8 @@ fn batcher_loop(state: &Arc<ServerState>) {
     } else {
         BatchExecutor::new(state.config.threads)
     }
-    .shared_phase1(state.config.shared_phase1);
+    .shared_phase1(state.config.shared_phase1)
+    .phase1_lanes(state.config.phase1_lanes);
 
     loop {
         // Chaos hook: die here, *between* batches, so the supervisor's

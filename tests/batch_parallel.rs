@@ -10,7 +10,7 @@
 use proptest::collection::vec;
 use proptest::prelude::*;
 
-use hop_spg::eve::{BatchExecutor, Eve, Query};
+use hop_spg::eve::{BatchExecutor, Eve, LaneWidth, Query};
 use hop_spg::graph::{DiGraph, FrontierMode};
 use hop_spg::workloads::{inject_invalid, mixed_k_queries, shared_endpoint_queries};
 
@@ -196,11 +196,13 @@ proptest! {
     }
 }
 
-/// Deterministic multi-cohort check: more than 64 distinct endpoint pairs
-/// forces the planner to split cohorts, duplicate `(s, t, k)` entries and
-/// `u32::MAX` clamp aliases land in the same lanes, and every slot stays
-/// bit-identical to the sequential fresh-workspace answer at every thread
-/// count.
+/// Deterministic multi-cohort check, pinned to 64-lane cohorts (the
+/// default 256-lane capacity would swallow the whole batch in one — the
+/// `wide_cohorts_match_per_query_at_every_thread_count` test covers that
+/// side): more than 64 distinct endpoint pairs forces the planner to split
+/// cohorts, duplicate `(s, t, k)` entries and `u32::MAX` clamp aliases
+/// land in the same lanes, and every slot stays bit-identical to the
+/// sequential fresh-workspace answer at every thread count.
 #[test]
 fn multi_cohort_batches_with_duplicates_and_aliases() {
     // Deliberately tiny host graph: the u32::MAX aliases below clamp to
@@ -237,7 +239,9 @@ fn multi_cohort_batches_with_duplicates_and_aliases() {
     assert!(distinct_pairs.len() > 64, "the batch must span ≥ 2 cohorts");
 
     for threads in THREAD_COUNTS {
-        let outcome = BatchExecutor::new(threads).run_detailed(&eve, &batch);
+        let outcome = BatchExecutor::new(threads)
+            .phase1_lanes(LaneWidth::W64)
+            .run_detailed(&eve, &batch);
         assert_eq!(outcome.stats.errors, injected, "threads {threads}");
         let p1 = &outcome.stats.phase1;
         assert!(p1.cohorts >= 2, "threads {threads}: {} cohorts", p1.cohorts);
@@ -254,7 +258,10 @@ fn multi_cohort_batches_with_duplicates_and_aliases() {
 
     // Exact cohort accounting on the single-worker (uncapped) plan, where
     // lane overflow is the only reason to split cohorts.
-    let solo = BatchExecutor::new(1).run_detailed(&eve, &batch).stats;
+    let solo = BatchExecutor::new(1)
+        .phase1_lanes(LaneWidth::W64)
+        .run_detailed(&eve, &batch)
+        .stats;
     let p1 = &solo.phase1;
     assert!(p1.cohorts >= 2, "{} cohorts", p1.cohorts);
     // Only the final cohort can degenerate to a singleton fallback

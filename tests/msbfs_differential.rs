@@ -1,20 +1,32 @@
 //! Differential property tests for the bit-parallel MS-BFS Phase-1 engine.
 //!
 //! The contract under test: for every lane `(s, t, k)` of a cohort — at any
-//! lane count up to 64, with duplicated and overlapping endpoints,
-//! unreachable pairs, `k` from 0 past `n`, and lane hop budgets *deeper*
-//! than the query's `k` (a shared lane runs to the maximum `k` of the
-//! queries it serves) — the search-space distances materialised from the
+//! lane count up to the block width, with duplicated and overlapping
+//! endpoints, unreachable pairs, `k` from 0 past `n`, and lane hop budgets
+//! *deeper* than the query's `k` (a shared lane runs to the maximum `k` of
+//! the queries it serves) — the search-space distances materialised from the
 //! shared traversal are identical to the per-query [`FlatDistances`] engine
 //! under **all three** [`DistanceStrategy`] variants, and to the hash-map
-//! [`DistanceIndex`]. This is the property that makes cohort-shared batch
-//! answers bit-identical to per-query answers.
+//! [`DistanceIndex`]. The sweep covers every lane-block width (64-, 128-
+//! and 256-lane cohorts), every [`FrontierMode`], and the α/β hysteresis /
+//! fixed-denominator [`FrontierPolicy`] variants. This is the property that
+//! makes cohort-shared batch answers bit-identical to per-query answers.
+//!
+//! A separate executor-level test covers the widening payoff end to end: a
+//! batch with more than 64 distinct endpoint pairs that the old engine had
+//! to split across cohorts now runs as a single 256-lane cohort, with
+//! answers bit-identical to the per-query path at 1, 2 and 4 threads.
 
 use proptest::collection::vec;
 use proptest::prelude::*;
 
+use hop_spg::eve::{BatchExecutor, Eve, LaneWidth, Query};
+use hop_spg::graph::generators::gnm_random;
 use hop_spg::graph::traversal::{DistanceIndex, DistanceStrategy};
-use hop_spg::graph::{DiGraph, Direction, FlatDistances, FrontierMode, MsBfsEngine, MsBfsLane};
+use hop_spg::graph::{
+    DiGraph, Direction, FlatDistances, FrontierMode, FrontierPolicy, LaneBlock, Lanes128, Lanes256,
+    Lanes64, MsBfsEngine, MsBfsLane,
+};
 
 /// A lane spec: endpoints, the query hop budget `k`, and how much deeper
 /// the shared traversal runs than the query needs.
@@ -52,10 +64,15 @@ fn graph_and_lanes() -> impl Strategy<Value = (DiGraph, Vec<LaneSpec>)> {
     })
 }
 
-/// Materialises lane `lane` of the two engine runs into a loaded
+/// Materialises lane `lane` of an engine run into a loaded
 /// [`FlatDistances`] for query budget `k` — exactly what the cohort
 /// executor does per member.
-fn load_lane(engine: &MsBfsEngine, lane: usize, n: usize, spec: LaneSpec) -> FlatDistances {
+fn load_lane<B: LaneBlock>(
+    engine: &MsBfsEngine<B>,
+    lane: usize,
+    n: usize,
+    spec: LaneSpec,
+) -> FlatDistances {
     let mut fd = FlatDistances::new();
     fd.begin_load(n, spec.s, spec.t, spec.k);
     engine.for_each_lane_distance(Direction::Forward, lane, |v, d| fd.push_forward(v, d));
@@ -63,77 +80,149 @@ fn load_lane(engine: &MsBfsEngine, lane: usize, n: usize, spec: LaneSpec) -> Fla
     fd
 }
 
+/// Per-query reference distances for every lane, cross-checked across all
+/// [`DistanceStrategy`] variants and the hash-map [`DistanceIndex`] so any
+/// engine disagreement below is unambiguous.
+fn reference_distances(g: &DiGraph, lanes: &[LaneSpec]) -> Vec<FlatDistances> {
+    let mut expected = Vec::with_capacity(lanes.len());
+    let mut scratch = FlatDistances::new();
+    for &spec in lanes {
+        let mut fd = FlatDistances::new();
+        fd.compute(g, spec.s, spec.t, spec.k, DistanceStrategy::Single);
+        for strategy in DistanceStrategy::ALL {
+            scratch.compute(g, spec.s, spec.t, spec.k, strategy);
+            assert_eq!(
+                fd.is_feasible(),
+                scratch.is_feasible(),
+                "strategy {} disagrees on feasibility for {spec:?}",
+                strategy.name()
+            );
+            for v in g.vertices() {
+                assert_eq!(fd.dist_from_s(v), scratch.dist_from_s(v));
+                assert_eq!(fd.dist_to_t(v), scratch.dist_to_t(v));
+            }
+        }
+        let idx = DistanceIndex::compute(
+            g,
+            spec.s,
+            spec.t,
+            spec.k,
+            DistanceStrategy::AdaptiveBidirectional,
+        );
+        for v in g.vertices() {
+            assert_eq!(fd.dist_from_s(v), idx.dist_from_s(v));
+            assert_eq!(fd.dist_to_t(v), idx.dist_to_t(v));
+        }
+        expected.push(fd);
+    }
+    expected
+}
+
+/// Runs one engine configuration at block width `B` and checks every lane's
+/// materialised distances against the per-query reference.
+fn check_width<B: LaneBlock>(
+    g: &DiGraph,
+    lanes: &[LaneSpec],
+    expected: &[FlatDistances],
+    mode: FrontierMode,
+    policy: FrontierPolicy,
+) {
+    let n = g.vertex_count();
+    let engine_lanes: Vec<MsBfsLane> = lanes
+        .iter()
+        .map(|l| MsBfsLane {
+            source: l.s,
+            target: l.t,
+            depth: l.k + l.extra_depth,
+        })
+        .collect();
+    let mut engine = MsBfsEngine::<B>::new();
+    engine.set_mode(mode);
+    engine.set_policy(policy);
+    engine.run(g, &engine_lanes);
+    for (lane, (&spec, exp)) in lanes.iter().zip(expected).enumerate() {
+        let loaded = load_lane(&engine, lane, n, spec);
+        assert_eq!(
+            loaded.is_feasible(),
+            exp.is_feasible(),
+            "feasibility: {} lanes {mode:?} {policy:?} lane {lane} {spec:?}",
+            B::LANES
+        );
+        for v in g.vertices() {
+            assert_eq!(
+                loaded.dist_from_s(v),
+                exp.dist_from_s(v),
+                "dist_from_s: {} lanes {mode:?} {policy:?} lane {lane} v {v} {spec:?}",
+                B::LANES
+            );
+            assert_eq!(
+                loaded.dist_to_t(v),
+                exp.dist_to_t(v),
+                "dist_to_t: {} lanes {mode:?} {policy:?} lane {lane} v {v} {spec:?}",
+                B::LANES
+            );
+            assert_eq!(loaded.in_search_space(v), exp.in_search_space(v));
+        }
+    }
+}
+
+/// (mode, policy) configurations the width sweep exercises: every frontier
+/// mode under the default α/β hysteresis, plus the direction-optimizing
+/// mode under a sluggish hysteresis, the legacy fixed switch and an eager
+/// fixed switch.
+const CONFIGS: [(FrontierMode, FrontierPolicy); 6] = [
+    (
+        FrontierMode::DirectionOptimizing,
+        FrontierPolicy::Hysteresis { alpha: 2, beta: 8 },
+    ),
+    (
+        FrontierMode::TopDownOnly,
+        FrontierPolicy::Hysteresis { alpha: 2, beta: 8 },
+    ),
+    (
+        FrontierMode::BottomUpOnly,
+        FrontierPolicy::Hysteresis { alpha: 2, beta: 8 },
+    ),
+    (
+        FrontierMode::DirectionOptimizing,
+        FrontierPolicy::Hysteresis {
+            alpha: 14,
+            beta: 24,
+        },
+    ),
+    (
+        FrontierMode::DirectionOptimizing,
+        FrontierPolicy::Fixed { denominator: 2 },
+    ),
+    (
+        FrontierMode::DirectionOptimizing,
+        FrontierPolicy::Fixed { denominator: 8 },
+    ),
+];
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(40))]
 
     /// Shared-lane distances ≡ `FlatDistances` ≡ `DistanceIndex` for every
-    /// strategy, every frontier mode, every vertex.
+    /// lane-block width, frontier mode and frontier policy, every vertex.
     #[test]
     fn msbfs_matches_per_query_engines((g, lanes) in graph_and_lanes()) {
         if lanes.is_empty() {
             return Ok(None); // vendored-proptest case rejection
         }
-        let n = g.vertex_count();
-        let engine_lanes: Vec<MsBfsLane> = lanes
-            .iter()
-            .map(|l| MsBfsLane { source: l.s, target: l.t, depth: l.k + l.extra_depth })
-            .collect();
-
-        for mode in [
-            FrontierMode::DirectionOptimizing,
-            FrontierMode::TopDownOnly,
-            FrontierMode::BottomUpOnly,
-        ] {
-            let mut engine = MsBfsEngine::new();
-            engine.set_mode(mode);
-            engine.run(&g, &engine_lanes);
-
-            let mut per_query = FlatDistances::new();
-            for (lane, &spec) in lanes.iter().enumerate() {
-                let loaded = load_lane(&engine, lane, n, spec);
-                for strategy in DistanceStrategy::ALL {
-                    per_query.compute(&g, spec.s, spec.t, spec.k, strategy);
-                    prop_assert!(
-                        loaded.is_feasible() == per_query.is_feasible(),
-                        "feasibility: lane {} {:?} {} {:?}",
-                        lane, spec, strategy.name(), mode
-                    );
-                    for v in g.vertices() {
-                        prop_assert!(
-                            loaded.dist_from_s(v) == per_query.dist_from_s(v),
-                            "dist_from_s: lane {} v {} {:?} {} {:?}: {} != {}",
-                            lane, v, spec, strategy.name(), mode,
-                            loaded.dist_from_s(v), per_query.dist_from_s(v)
-                        );
-                        prop_assert!(
-                            loaded.dist_to_t(v) == per_query.dist_to_t(v),
-                            "dist_to_t: lane {} v {} {:?} {} {:?}: {} != {}",
-                            lane, v, spec, strategy.name(), mode,
-                            loaded.dist_to_t(v), per_query.dist_to_t(v)
-                        );
-                        prop_assert_eq!(
-                            loaded.in_search_space(v),
-                            per_query.in_search_space(v)
-                        );
-                    }
-                }
-                // The hash-map reference index agrees as well.
-                let idx = DistanceIndex::compute(
-                    &g, spec.s, spec.t, spec.k,
-                    DistanceStrategy::AdaptiveBidirectional,
-                );
-                for v in g.vertices() {
-                    prop_assert_eq!(loaded.dist_from_s(v), idx.dist_from_s(v));
-                    prop_assert_eq!(loaded.dist_to_t(v), idx.dist_to_t(v));
-                }
-            }
+        let expected = reference_distances(&g, &lanes);
+        for (mode, policy) in CONFIGS {
+            check_width::<Lanes64>(&g, &lanes, &expected, mode, policy);
+            check_width::<Lanes128>(&g, &lanes, &expected, mode, policy);
+            check_width::<Lanes256>(&g, &lanes, &expected, mode, policy);
         }
     }
 
     /// A duplicate (s, t) pair served by lanes of different hop budgets —
     /// the cohort dedup case, where the deepest k wins the lane — yields
     /// the same *filtered* distances at the smallest budget from every
-    /// lane, all equal to the per-query engine.
+    /// lane, all equal to the per-query engine. Checked at both the
+    /// narrowest and the widest block.
     #[test]
     fn deeper_duplicate_lanes_serve_shallower_queries(
         (g, lanes) in graph_and_lanes(),
@@ -150,25 +239,90 @@ proptest! {
             .iter()
             .map(|&depth| MsBfsLane { source: spec.s, target: spec.t, depth })
             .collect();
-        let mut engine = MsBfsEngine::new();
-        engine.run(&g, &engine_lanes);
+        let mut narrow = MsBfsEngine::<Lanes64>::new();
+        narrow.run(&g, &engine_lanes);
+        let mut wide = MsBfsEngine::<Lanes256>::new();
+        wide.run(&g, &engine_lanes);
         let mut per_query = FlatDistances::new();
         per_query.compute(&g, spec.s, spec.t, spec.k, DistanceStrategy::Single);
         for (lane, &budget) in budgets.iter().enumerate() {
-            let loaded = load_lane(&engine, lane, n, LaneSpec { k: spec.k, ..spec });
-            for v in g.vertices() {
-                prop_assert!(
-                    loaded.dist_from_s(v) == per_query.dist_from_s(v),
-                    "lane {} (budget {}) v {}: {} != {}",
-                    lane, budget, v,
-                    loaded.dist_from_s(v), per_query.dist_from_s(v)
-                );
-                prop_assert!(
-                    loaded.dist_to_t(v) == per_query.dist_to_t(v),
-                    "lane {} (budget {}) v {} backward",
-                    lane, budget, v
-                );
+            for loaded in [
+                load_lane(&narrow, lane, n, LaneSpec { k: spec.k, ..spec }),
+                load_lane(&wide, lane, n, LaneSpec { k: spec.k, ..spec }),
+            ] {
+                for v in g.vertices() {
+                    prop_assert!(
+                        loaded.dist_from_s(v) == per_query.dist_from_s(v),
+                        "lane {} (budget {}) v {}: {} != {}",
+                        lane, budget, v,
+                        loaded.dist_from_s(v), per_query.dist_from_s(v)
+                    );
+                    prop_assert!(
+                        loaded.dist_to_t(v) == per_query.dist_to_t(v),
+                        "lane {} (budget {}) v {} backward",
+                        lane, budget, v
+                    );
+                }
             }
+        }
+    }
+}
+
+/// A batch with more than 64 distinct endpoint pairs sharing one source:
+/// one 64-lane cohort cannot hold it (the solo plan splits it in two), one
+/// 256-lane cohort runs it in a single traversal — and every width's
+/// answers are bit-identical to the per-query path at 1, 2 and 4 threads.
+#[test]
+fn wide_cohorts_match_per_query_at_every_thread_count() {
+    let g = gnm_random(200, 1_200, 3);
+    // 100 distinct pairs fanning out of vertex 0 at alternating hop
+    // budgets; unreachable targets are fine (the answer is empty, not an
+    // error) — the lane still occupies a cohort slot.
+    let batch: Vec<Query> = (1u32..=100)
+        .map(|t| Query::new(0, t, 4 + (t % 2) * 2))
+        .collect();
+
+    let eve = Eve::with_defaults(&g);
+    let per_query = BatchExecutor::new(1).shared_phase1(false);
+    let expected: Vec<Vec<(u32, u32)>> = per_query
+        .run(&eve, &batch)
+        .into_iter()
+        .map(|slot| slot.expect("valid queries").edges().to_vec())
+        .collect();
+
+    // Solo plans have no member cap: the cohort count is exactly the
+    // lane-capacity split.
+    let narrow = BatchExecutor::new(1).phase1_lanes(LaneWidth::W64);
+    let narrow_outcome = narrow.run_detailed(&eve, &batch);
+    assert_eq!(
+        narrow_outcome.stats.phase1.cohorts, 2,
+        "100 pairs must split across two 64-lane cohorts"
+    );
+    let wide = BatchExecutor::new(1).phase1_lanes(LaneWidth::W256);
+    let wide_outcome = wide.run_detailed(&eve, &batch);
+    assert_eq!(
+        wide_outcome.stats.phase1.cohorts, 1,
+        "100 pairs must fit one 256-lane cohort"
+    );
+    assert_eq!(wide_outcome.stats.phase1.distinct_endpoints, 100);
+
+    for (threads, width) in [
+        (1, LaneWidth::W64),
+        (1, LaneWidth::W128),
+        (1, LaneWidth::W256),
+        (2, LaneWidth::W64),
+        (2, LaneWidth::W256),
+        (4, LaneWidth::W64),
+        (4, LaneWidth::W256),
+    ] {
+        let executor = BatchExecutor::new(threads).phase1_lanes(width);
+        let results = executor.run(&eve, &batch);
+        for (i, (got, exp)) in results.iter().zip(&expected).enumerate() {
+            assert_eq!(
+                got.as_ref().expect("valid queries").edges(),
+                exp.as_slice(),
+                "slot {i} diverged at {threads} threads / {width:?}"
+            );
         }
     }
 }
